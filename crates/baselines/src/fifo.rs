@@ -1,0 +1,232 @@
+//! FIFO space-shared batch queue (PBS/LSF-style).
+//!
+//! Each sub-job occupies one vCPU slot exclusively until it completes; the
+//! queue drains in arrival order. No budgets, no priorities — the
+//! "administrative means" strawman of §2.1.
+
+use gm_des::{SimDuration, SimTime};
+use gm_tycoon::HostSpec;
+
+use crate::common::{JobOutcome, JobRequest, RunResult};
+
+/// The batch-queue scheduler.
+pub struct FifoBatchQueue {
+    /// Allocation tick in seconds.
+    pub interval_secs: f64,
+}
+
+impl Default for FifoBatchQueue {
+    fn default() -> Self {
+        FifoBatchQueue { interval_secs: 10.0 }
+    }
+}
+
+struct SubJobRun {
+    job: usize,
+    remaining: f64,
+}
+
+struct JobTrack {
+    pending: u32,
+    running: u32,
+    finished: u32,
+    total: u32,
+    started_nodes_samples: (u64, f64, usize),
+    finished_at: Option<SimTime>,
+}
+
+impl FifoBatchQueue {
+    /// Run the workload to completion (or `horizon`).
+    pub fn run(&self, hosts: &[HostSpec], jobs: &[JobRequest], horizon: SimTime) -> RunResult {
+        for j in jobs {
+            j.validate().expect("invalid job");
+        }
+        let slots_total: usize = hosts.iter().map(|h| h.cpus as usize).sum();
+        let vcpu_mhz: Vec<f64> = hosts
+            .iter()
+            .flat_map(|h| std::iter::repeat(h.vcpu_capacity_mhz()).take(h.cpus as usize))
+            .collect();
+        assert!(slots_total > 0, "no slots");
+
+        let mut slots: Vec<Option<SubJobRun>> = (0..slots_total).map(|_| None).collect();
+        let mut track: Vec<JobTrack> = jobs
+            .iter()
+            .map(|j| JobTrack {
+                pending: j.subjobs,
+                running: 0,
+                finished: 0,
+                total: j.subjobs,
+                started_nodes_samples: (0, 0.0, 0),
+                finished_at: None,
+            })
+            .collect();
+
+        // Queue of (arrival, job_idx) in arrival order (stable by id).
+        let mut queue: Vec<usize> = (0..jobs.len()).collect();
+        queue.sort_by_key(|&i| (jobs[i].arrival, jobs[i].id));
+
+        let dt = SimDuration::from_secs_f64(self.interval_secs);
+        let mut now = SimTime::ZERO;
+        while now < horizon {
+            // Admit from the queue in FIFO order.
+            for &ji in &queue {
+                if jobs[ji].arrival > now {
+                    break;
+                }
+                while track[ji].pending > 0 {
+                    match slots.iter().position(Option::is_none) {
+                        Some(free) => {
+                            slots[free] = Some(SubJobRun {
+                                job: ji,
+                                remaining: jobs[ji].work_per_subjob,
+                            });
+                            track[ji].pending -= 1;
+                            track[ji].running += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+
+            // Progress.
+            let mut any_running = false;
+            for (s_idx, slot) in slots.iter_mut().enumerate() {
+                if let Some(run) = slot {
+                    any_running = true;
+                    let cap = vcpu_mhz[s_idx];
+                    run.remaining -= cap * self.interval_secs;
+                    if run.remaining <= 0.0 {
+                        let ji = run.job;
+                        track[ji].running -= 1;
+                        track[ji].finished += 1;
+                        if track[ji].finished == track[ji].total {
+                            track[ji].finished_at = Some(now + dt);
+                        }
+                        *slot = None;
+                    }
+                }
+            }
+
+            // Concurrency sampling.
+            for t in track.iter_mut() {
+                if t.finished < t.total && (t.running > 0 || t.pending < t.total) {
+                    t.started_nodes_samples.0 += 1;
+                    t.started_nodes_samples.1 += t.running as f64;
+                    t.started_nodes_samples.2 = t.started_nodes_samples.2.max(t.running as usize);
+                }
+            }
+
+            now += dt;
+            let all_done = track.iter().all(|t| t.finished == t.total);
+            if all_done {
+                break;
+            }
+            if !any_running && track.iter().all(|t| t.pending == 0 || jobs.iter().all(|j| j.arrival > now)) && track.iter().all(|t| t.pending == t.total) {
+                // nothing admitted yet; fast-forward handled by loop anyway
+            }
+        }
+
+        let outcomes = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let t = &track[i];
+                let makespan = t
+                    .finished_at
+                    .unwrap_or(now)
+                    .since(j.arrival)
+                    .as_secs_f64();
+                JobOutcome {
+                    id: j.id,
+                    user: j.user,
+                    finished_at: t.finished_at,
+                    makespan_secs: makespan,
+                    cost: 0.0,
+                    max_nodes: t.started_nodes_samples.2,
+                    avg_nodes: if t.started_nodes_samples.0 == 0 {
+                        0.0
+                    } else {
+                        t.started_nodes_samples.1 / t.started_nodes_samples.0 as f64
+                    },
+                }
+            })
+            .collect();
+
+        RunResult {
+            outcomes,
+            price_history: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_tycoon::UserId;
+
+    fn hosts(n: u32) -> Vec<HostSpec> {
+        (0..n).map(HostSpec::testbed).collect()
+    }
+
+    fn job(id: u32, subjobs: u32, work_secs_at_full: f64, arrival_s: u64) -> JobRequest {
+        JobRequest {
+            id,
+            user: UserId(id),
+            subjobs,
+            work_per_subjob: work_secs_at_full * 2910.0,
+            arrival: SimTime::from_secs(arrival_s),
+            budget: 0.0,
+            deadline_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_job_fits_in_slots() {
+        let q = FifoBatchQueue::default();
+        // 2 hosts × 2 cpus = 4 slots; 4 subjobs of 100 s each.
+        let result = q.run(&hosts(2), &[job(0, 4, 100.0, 0)], SimTime::from_secs(10_000));
+        assert!(result.all_finished());
+        let o = &result.outcomes[0];
+        assert!((o.makespan_secs - 100.0).abs() <= 10.0, "{}", o.makespan_secs);
+        assert_eq!(o.max_nodes, 4);
+    }
+
+    #[test]
+    fn queueing_doubles_makespan_when_oversubscribed() {
+        let q = FifoBatchQueue::default();
+        // 4 slots, 8 subjobs → two waves.
+        let result = q.run(&hosts(2), &[job(0, 8, 100.0, 0)], SimTime::from_secs(10_000));
+        let o = &result.outcomes[0];
+        assert!(result.all_finished());
+        assert!((o.makespan_secs - 200.0).abs() <= 20.0, "{}", o.makespan_secs);
+    }
+
+    #[test]
+    fn fifo_order_is_respected() {
+        let q = FifoBatchQueue::default();
+        // Job 0 saturates all 4 slots for ~100 s; job 1 arrives later and
+        // must wait even though it is tiny.
+        let jobs = [job(0, 4, 100.0, 0), job(1, 1, 10.0, 10)];
+        let result = q.run(&hosts(2), &jobs, SimTime::from_secs(10_000));
+        let t0 = result.outcomes[0].finished_at.unwrap();
+        let t1 = result.outcomes[1].finished_at.unwrap();
+        assert!(t1 > t0, "late tiny job must finish after the hog: {t0:?} {t1:?}");
+    }
+
+    #[test]
+    fn unfinished_jobs_reported_at_horizon() {
+        let q = FifoBatchQueue::default();
+        let result = q.run(&hosts(1), &[job(0, 1, 1e9, 0)], SimTime::from_secs(100));
+        assert!(!result.all_finished());
+        assert!(result.outcomes[0].finished_at.is_none());
+        assert!(result.outcomes[0].makespan_secs >= 100.0);
+    }
+
+    #[test]
+    fn no_price_history() {
+        let q = FifoBatchQueue::default();
+        let r = q.run(&hosts(1), &[job(0, 1, 10.0, 0)], SimTime::from_secs(1000));
+        assert!(r.price_history.is_empty());
+        assert!(r.price_volatility().is_none());
+    }
+}

@@ -1,0 +1,314 @@
+//! A G-commerce-style commodity market (Wolski, Plank, Bryan & Brevik,
+//! IPDPS'01), as characterized in the paper's related work (§6):
+//! "providers decide the selling price after considering long-term profit
+//! and past performance … resources are divided into static slots that are
+//! sold with a price based on expected revenue", with periodic budget
+//! allocations to users.
+//!
+//! Implementation: hosts sell fixed vCPU slots at one *posted* price per
+//! interval; the price moves toward supply/demand equilibrium with a
+//! multiplicative adjustment. Buyers purchase slots while their budget
+//! rate affords them. There is no preemption or proportional share — a
+//! slot is yours for the interval at the posted price.
+
+use gm_des::{SimDuration, SimTime};
+use gm_tycoon::HostSpec;
+
+use crate::common::{JobOutcome, JobRequest, RunResult};
+
+/// The commodity-market scheduler.
+pub struct GCommerceMarket {
+    /// Allocation tick in seconds.
+    pub interval_secs: f64,
+    /// Initial posted price per slot-interval.
+    pub initial_price: f64,
+    /// Multiplicative price adjustment gain per interval.
+    pub adjustment_gain: f64,
+    /// Price floor.
+    pub min_price: f64,
+}
+
+impl Default for GCommerceMarket {
+    fn default() -> Self {
+        GCommerceMarket {
+            interval_secs: 10.0,
+            initial_price: 0.01,
+            adjustment_gain: 0.05,
+            min_price: 1e-6,
+        }
+    }
+}
+
+struct JobTrack {
+    /// Remaining work of subjobs not currently holding a slot (paused
+    /// subjobs keep their progress — checkpointed, not lost).
+    queued: Vec<f64>,
+    /// Remaining work of subjobs currently holding slots.
+    running: Vec<f64>,
+    finished: u32,
+    spent: f64,
+    budget_left: f64,
+    finished_at: Option<SimTime>,
+    nodes_stat: (u64, f64, usize),
+}
+
+impl GCommerceMarket {
+    /// Run the workload until completion or `horizon`.
+    pub fn run(&self, hosts: &[HostSpec], jobs: &[JobRequest], horizon: SimTime) -> RunResult {
+        for j in jobs {
+            j.validate().expect("invalid job");
+        }
+        let slots: usize = hosts.iter().map(|h| h.cpus as usize).sum();
+        let vcpu_mhz = hosts
+            .first()
+            .map(|h| h.vcpu_capacity_mhz())
+            .unwrap_or(2910.0);
+        assert!(slots > 0);
+
+        let mut price = self.initial_price;
+        let mut track: Vec<JobTrack> = jobs
+            .iter()
+            .map(|j| JobTrack {
+                queued: vec![j.work_per_subjob; j.subjobs as usize],
+                running: Vec::new(),
+                finished: 0,
+                spent: 0.0,
+                budget_left: j.budget,
+                finished_at: None,
+                nodes_stat: (0, 0.0, 0),
+            })
+            .collect();
+
+        let dt = SimDuration::from_secs_f64(self.interval_secs);
+        let mut now = SimTime::ZERO;
+        let mut price_history = Vec::new();
+
+        while now < horizon {
+            price_history.push((now, price));
+
+            // Each buyer's willingness-to-pay per slot-interval: the
+            // budget spread over the remaining slot-intervals of work —
+            // paying more would bankrupt the job before completion.
+            let willing: Vec<f64> = jobs
+                .iter()
+                .enumerate()
+                .map(|(ji, j)| {
+                    let t = &track[ji];
+                    let per_subjob = (j.work_per_subjob / (vcpu_mhz * self.interval_secs)).ceil();
+                    let slot_ints = |r: &f64| (r / (vcpu_mhz * self.interval_secs)).ceil();
+                    let total: f64 = t.running.iter().map(slot_ints).sum::<f64>()
+                        + t.queued.iter().map(slot_ints).sum::<f64>();
+                    let _ = per_subjob;
+                    if total <= 0.0 {
+                        0.0
+                    } else {
+                        t.budget_left / total
+                    }
+                })
+                .collect();
+
+            // Demand at the posted price: one slot per pending-or-running
+            // subjob, but only from buyers whose willingness covers it.
+            let mut demand = 0usize;
+            for (ji, j) in jobs.iter().enumerate() {
+                if j.arrival > now || price > willing[ji] {
+                    continue;
+                }
+                demand += track[ji].running.len() + track[ji].queued.len();
+            }
+
+            // Sell slots in job-id order (the posted-price market is
+            // first-come-first-served).
+            let mut sold = 0usize;
+            for (ji, j) in jobs.iter().enumerate() {
+                if j.arrival > now {
+                    continue;
+                }
+                let _ = j;
+                let t = &mut track[ji];
+                if price > willing[ji] || price > t.budget_left {
+                    // Priced out: release the slots, checkpoint progress.
+                    t.queued.append(&mut t.running);
+                    continue;
+                }
+                // Keep already-running subjobs first (pay per interval),
+                // then resume queued ones.
+                let mut affordable = (t.budget_left / price).floor() as usize;
+                let kept = t.running.len().min(slots - sold).min(affordable);
+                while t.running.len() > kept {
+                    let r = t.running.pop().expect("nonempty");
+                    t.queued.push(r);
+                }
+                sold += kept;
+                affordable -= kept;
+                while !t.queued.is_empty() && sold < slots && affordable > 0 {
+                    let r = t.queued.remove(0);
+                    t.running.push(r);
+                    sold += 1;
+                    affordable -= 1;
+                }
+                let cost = price * t.running.len() as f64;
+                t.budget_left -= cost;
+                t.spent += cost;
+            }
+
+            // Progress the purchased slots.
+            for (ji, j) in jobs.iter().enumerate() {
+                let t = &mut track[ji];
+                for r in t.running.iter_mut() {
+                    *r -= vcpu_mhz * self.interval_secs;
+                }
+                let before = t.running.len();
+                t.running.retain(|r| *r > 0.0);
+                let done = before - t.running.len();
+                t.finished += done as u32;
+                if t.finished == j.subjobs && t.finished_at.is_none() {
+                    t.finished_at = Some(now + dt);
+                }
+                if j.arrival <= now && t.finished < j.subjobs {
+                    let active = t.running.len();
+                    t.nodes_stat.0 += 1;
+                    t.nodes_stat.1 += active as f64;
+                    t.nodes_stat.2 = t.nodes_stat.2.max(active);
+                }
+            }
+
+            // Supply/demand price adjustment.
+            let imbalance = (demand as f64 - slots as f64) / slots as f64;
+            price *= 1.0 + self.adjustment_gain * imbalance.clamp(-1.0, 1.0);
+            price = price.max(self.min_price);
+
+            now += dt;
+            if track
+                .iter()
+                .zip(jobs)
+                .all(|(t, j)| t.finished == j.subjobs)
+            {
+                break;
+            }
+        }
+
+        let outcomes = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let t = &track[i];
+                JobOutcome {
+                    id: j.id,
+                    user: j.user,
+                    finished_at: t.finished_at,
+                    makespan_secs: t.finished_at.unwrap_or(now).since(j.arrival).as_secs_f64(),
+                    cost: t.spent,
+                    max_nodes: t.nodes_stat.2,
+                    avg_nodes: if t.nodes_stat.0 == 0 {
+                        0.0
+                    } else {
+                        t.nodes_stat.1 / t.nodes_stat.0 as f64
+                    },
+                }
+            })
+            .collect();
+
+        RunResult {
+            outcomes,
+            price_history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_tycoon::UserId;
+
+    fn hosts(n: u32) -> Vec<HostSpec> {
+        (0..n).map(HostSpec::testbed).collect()
+    }
+
+    fn job(id: u32, subjobs: u32, work_secs: f64, budget: f64) -> JobRequest {
+        JobRequest {
+            id,
+            user: UserId(id),
+            subjobs,
+            work_per_subjob: work_secs * 2910.0,
+            arrival: SimTime::ZERO,
+            budget,
+            deadline_secs: 1e9,
+        }
+    }
+
+    #[test]
+    fn funded_job_completes() {
+        let m = GCommerceMarket::default();
+        let r = m.run(&hosts(2), &[job(0, 4, 100.0, 1000.0)], SimTime::from_secs(10_000));
+        assert!(r.all_finished());
+        assert!(r.outcomes[0].cost > 0.0);
+    }
+
+    #[test]
+    fn price_rises_under_excess_demand() {
+        let m = GCommerceMarket::default();
+        // 1 host (2 slots), 20 wanted slots → sustained excess demand.
+        let r = m.run(&hosts(1), &[job(0, 20, 500.0, 1e9)], SimTime::from_secs(2_000));
+        let first = r.price_history.first().unwrap().1;
+        let last = r.price_history.last().unwrap().1;
+        assert!(last > first * 2.0, "price should rise: {first} → {last}");
+    }
+
+    #[test]
+    fn price_decays_when_idle() {
+        let m = GCommerceMarket::default();
+        let r = m.run(&hosts(4), &[job(0, 1, 10.0, 100.0)], SimTime::from_secs(3_000));
+        // After the tiny job finishes… horizon ends at completion; instead
+        // run with a no-op long horizon by adding an unfunded job.
+        let r2 = m.run(
+            &hosts(4),
+            &[job(0, 1, 10.0, 100.0), job(1, 1, 1e12, 0.0)],
+            SimTime::from_secs(3_000),
+        );
+        let last = r2.price_history.last().unwrap().1;
+        assert!(last < m.initial_price, "idle market must cool: {last}");
+        drop(r);
+    }
+
+    #[test]
+    fn broke_job_starves() {
+        let m = GCommerceMarket::default();
+        let r = m.run(&hosts(2), &[job(0, 2, 100.0, 0.0)], SimTime::from_secs(2_000));
+        assert!(!r.all_finished());
+        assert_eq!(r.outcomes[0].max_nodes, 0);
+    }
+
+    #[test]
+    fn posted_price_is_less_volatile_than_burst_auctions() {
+        // Sanity for the G-commerce predictability claim: the posted price
+        // series moves by at most `gain` per step.
+        let m = GCommerceMarket::default();
+        let jobs: Vec<JobRequest> = (0..5).map(|i| job(i, 10, 300.0, 1e6)).collect();
+        let r = m.run(&hosts(3), &jobs, SimTime::from_secs(20_000));
+        for w in r.price_history.windows(2) {
+            let ratio = w[1].1 / w[0].1;
+            assert!(
+                (1.0 - m.adjustment_gain - 1e-9..=1.0 + m.adjustment_gain + 1e-9)
+                    .contains(&ratio),
+                "price jumped by {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn richer_job_outlasts_poorer_under_contention() {
+        let m = GCommerceMarket::default();
+        // Over-subscribed market: prices climb until the poor job can't buy.
+        let rich = job(0, 6, 2_000.0, 1e9);
+        let poor = job(1, 6, 2_000.0, 0.05);
+        let r = m.run(&hosts(1), &[rich, poor], SimTime::from_secs(200_000));
+        let rich_done = r.outcomes[0].finished_at;
+        let poor_done = r.outcomes[1].finished_at;
+        match (rich_done, poor_done) {
+            (Some(tr), Some(tp)) => assert!(tr <= tp),
+            (Some(_), None) => {} // poor starved entirely — acceptable
+            other => panic!("rich job should finish: {other:?}"),
+        }
+    }
+}

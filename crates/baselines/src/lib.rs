@@ -1,0 +1,31 @@
+//! # gm-baselines — comparison schedulers
+//!
+//! The schedulers the paper positions itself against (§2.1, §6), usable as
+//! baselines in the benchmark harness:
+//!
+//! * [`fifo`] — a traditional PBS/LSF-style space-shared batch queue
+//!   ("traditional queueing and batch scheduling algorithms assume that
+//!   job priorities can simply be set by administrative means", §2.1).
+//! * [`share`] — administratively equal processor sharing with
+//!   least-loaded or round-robin placement (the no-market strawman).
+//! * [`gcommerce`] — a G-commerce-style commodity market (Wolski et al.):
+//!   posted per-slot prices adjusted toward supply/demand equilibrium.
+//! * [`wta`] — per-host winner-takes-all auctions, first-price (the
+//!   auction model G-commerce simulated: "winner-takes-it-all auctions and
+//!   not proportional share, leading to reduced fairness", §6) or
+//!   second-price sealed-bid (Spawn, the paper's ancestor system).
+//!
+//! All baselines run over the same [`common`] workload/outcome types so
+//! the benches can compare them with the Tycoon grid market directly.
+
+pub mod common;
+pub mod fifo;
+pub mod gcommerce;
+pub mod share;
+pub mod wta;
+
+pub use common::{jain_fairness, JobOutcome, JobRequest, RunResult};
+pub use fifo::FifoBatchQueue;
+pub use gcommerce::GCommerceMarket;
+pub use share::{Placement, ShareScheduler};
+pub use wta::{Pricing, WinnerTakesAllMarket};

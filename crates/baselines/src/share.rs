@@ -1,0 +1,242 @@
+//! Administratively equal processor sharing.
+//!
+//! Every sub-job placed on a host time-shares it equally with the host's
+//! other residents — no budgets, no incentives, the egalitarian baseline.
+//! Placement is least-loaded or round-robin.
+
+use gm_des::{SimDuration, SimTime};
+use gm_tycoon::HostSpec;
+
+use crate::common::{JobOutcome, JobRequest, RunResult};
+
+/// Sub-job placement strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Put each sub-job on the host with the fewest residents.
+    LeastLoaded,
+    /// Cycle through hosts.
+    RoundRobin,
+}
+
+/// The equal-share scheduler.
+pub struct ShareScheduler {
+    /// Allocation tick in seconds.
+    pub interval_secs: f64,
+    /// Placement strategy.
+    pub placement: Placement,
+}
+
+impl Default for ShareScheduler {
+    fn default() -> Self {
+        ShareScheduler {
+            interval_secs: 10.0,
+            placement: Placement::LeastLoaded,
+        }
+    }
+}
+
+struct Resident {
+    job: usize,
+    remaining: f64,
+}
+
+impl ShareScheduler {
+    /// Run the workload to completion (or `horizon`).
+    pub fn run(&self, hosts: &[HostSpec], jobs: &[JobRequest], horizon: SimTime) -> RunResult {
+        for j in jobs {
+            j.validate().expect("invalid job");
+        }
+        assert!(!hosts.is_empty());
+        let mut residents: Vec<Vec<Resident>> = hosts.iter().map(|_| Vec::new()).collect();
+        let mut pending: Vec<u32> = jobs.iter().map(|j| j.subjobs).collect();
+        let mut finished: Vec<u32> = vec![0; jobs.len()];
+        let mut finished_at: Vec<Option<SimTime>> = vec![None; jobs.len()];
+        let mut nodes_stat: Vec<(u64, f64, usize)> = vec![(0, 0.0, 0); jobs.len()];
+        let mut rr_next = 0usize;
+
+        let dt = SimDuration::from_secs_f64(self.interval_secs);
+        let mut now = SimTime::ZERO;
+        while now < horizon {
+            // Admit everything that has arrived (time sharing: no slots).
+            for (ji, j) in jobs.iter().enumerate() {
+                if j.arrival > now {
+                    continue;
+                }
+                while pending[ji] > 0 {
+                    let h = match self.placement {
+                        Placement::LeastLoaded => residents
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(i, r)| (r.len(), *i))
+                            .map(|(i, _)| i)
+                            .expect("hosts nonempty"),
+                        Placement::RoundRobin => {
+                            let h = rr_next % residents.len();
+                            rr_next += 1;
+                            h
+                        }
+                    };
+                    residents[h].push(Resident {
+                        job: ji,
+                        remaining: j.work_per_subjob,
+                    });
+                    pending[ji] -= 1;
+                }
+            }
+
+            // Progress: equal share of the host among residents, each
+            // capped at one vCPU.
+            for (h_idx, host) in hosts.iter().enumerate() {
+                let n = residents[h_idx].len();
+                if n == 0 {
+                    continue;
+                }
+                let share = 1.0 / n as f64;
+                let cpu_fraction = (share * host.cpus as f64).min(1.0);
+                let cap = cpu_fraction * host.vcpu_capacity_mhz();
+                for r in residents[h_idx].iter_mut() {
+                    r.remaining -= cap * self.interval_secs;
+                }
+                residents[h_idx].retain(|r| {
+                    if r.remaining <= 0.0 {
+                        finished[r.job] += 1;
+                        if finished[r.job] == jobs[r.job].subjobs {
+                            finished_at[r.job] = Some(now + dt);
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+
+            // Concurrency samples.
+            for (ji, j) in jobs.iter().enumerate() {
+                if finished[ji] < j.subjobs && j.arrival <= now {
+                    let active: usize = residents
+                        .iter()
+                        .map(|r| r.iter().filter(|x| x.job == ji).count())
+                        .sum();
+                    nodes_stat[ji].0 += 1;
+                    nodes_stat[ji].1 += active as f64;
+                    nodes_stat[ji].2 = nodes_stat[ji].2.max(active);
+                }
+            }
+
+            now += dt;
+            if finished.iter().zip(jobs).all(|(f, j)| *f == j.subjobs) {
+                break;
+            }
+        }
+
+        let outcomes = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| JobOutcome {
+                id: j.id,
+                user: j.user,
+                finished_at: finished_at[i],
+                makespan_secs: finished_at[i].unwrap_or(now).since(j.arrival).as_secs_f64(),
+                cost: 0.0,
+                max_nodes: nodes_stat[i].2,
+                avg_nodes: if nodes_stat[i].0 == 0 {
+                    0.0
+                } else {
+                    nodes_stat[i].1 / nodes_stat[i].0 as f64
+                },
+            })
+            .collect();
+
+        RunResult {
+            outcomes,
+            price_history: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_tycoon::UserId;
+
+    fn hosts(n: u32) -> Vec<HostSpec> {
+        (0..n).map(HostSpec::testbed).collect()
+    }
+
+    fn job(id: u32, subjobs: u32, work_secs: f64) -> JobRequest {
+        JobRequest {
+            id,
+            user: UserId(id),
+            subjobs,
+            work_per_subjob: work_secs * 2910.0,
+            arrival: SimTime::ZERO,
+            budget: 0.0,
+            deadline_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn lone_job_runs_at_full_speed() {
+        let s = ShareScheduler::default();
+        let r = s.run(&hosts(4), &[job(0, 4, 100.0)], SimTime::from_secs(10_000));
+        assert!(r.all_finished());
+        assert!((r.outcomes[0].makespan_secs - 100.0).abs() <= 10.0);
+    }
+
+    #[test]
+    fn two_jobs_on_dual_cpu_hosts_dont_contend() {
+        // 2 users × 4 subjobs on 4 dual-CPU hosts: each host has 2
+        // residents, each gets a full CPU.
+        let s = ShareScheduler::default();
+        let jobs = [job(0, 4, 100.0), job(1, 4, 100.0)];
+        let r = s.run(&hosts(4), &jobs, SimTime::from_secs(10_000));
+        for o in &r.outcomes {
+            assert!((o.makespan_secs - 100.0).abs() <= 10.0, "{}", o.makespan_secs);
+        }
+    }
+
+    #[test]
+    fn four_jobs_halve_throughput() {
+        // 4 users × 4 subjobs on 4 dual-CPU hosts: 4 residents per host,
+        // each gets 2/4 = 0.5 CPU.
+        let s = ShareScheduler::default();
+        let jobs: Vec<JobRequest> = (0..4).map(|i| job(i, 4, 100.0)).collect();
+        let r = s.run(&hosts(4), &jobs, SimTime::from_secs(10_000));
+        for o in &r.outcomes {
+            assert!((o.makespan_secs - 200.0).abs() <= 20.0, "{}", o.makespan_secs);
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_over_hosts() {
+        let s = ShareScheduler {
+            interval_secs: 10.0,
+            placement: Placement::RoundRobin,
+        };
+        let r = s.run(&hosts(4), &[job(0, 4, 50.0)], SimTime::from_secs(10_000));
+        assert_eq!(r.outcomes[0].max_nodes, 4, "one subjob per host");
+    }
+
+    #[test]
+    fn least_loaded_balances() {
+        let s = ShareScheduler::default();
+        let jobs = [job(0, 8, 50.0)];
+        let r = s.run(&hosts(4), &jobs, SimTime::from_secs(10_000));
+        // 8 subjobs over 4 hosts = 2 per host; everyone gets a full CPU.
+        assert!((r.outcomes[0].makespan_secs - 50.0).abs() <= 10.0);
+    }
+
+    #[test]
+    fn equal_share_ignores_budgets() {
+        // Identical shapes, wildly different budgets → identical outcomes.
+        let s = ShareScheduler::default();
+        let mut a = job(0, 4, 100.0);
+        a.budget = 1.0;
+        let mut b = job(1, 4, 100.0);
+        b.budget = 1000.0;
+        let r = s.run(&hosts(2), &[a, b], SimTime::from_secs(100_000));
+        let m0 = r.outcomes[0].makespan_secs;
+        let m1 = r.outcomes[1].makespan_secs;
+        assert!((m0 - m1).abs() < 1e-9, "budget must not matter: {m0} {m1}");
+    }
+}

@@ -1,0 +1,352 @@
+//! Winner-takes-all first-price auctions, one per host per interval.
+//!
+//! The auction model the G-commerce paper simulated, which the paper
+//! contrasts with Tycoon: "winner-takes-it-all auctions and not
+//! proportional share, leading to reduced fairness" (§6). Every interval,
+//! each job bids its spending rate on the hosts it wants; on each host the
+//! single highest bidder takes the *whole* host for that interval and pays
+//! its bid.
+
+use gm_des::{SimDuration, SimTime};
+use gm_tycoon::HostSpec;
+
+use crate::common::{JobOutcome, JobRequest, RunResult};
+
+/// How the winning bidder is charged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pricing {
+    /// Pay your own bid (the G-commerce simulation's model).
+    FirstPrice,
+    /// Pay the runner-up's bid — sealed-bid Vickrey, the per-timeslice
+    /// auction of Spawn (Waldspurger et al. 1992, cited as the paper's
+    /// ancestor system in §6).
+    SecondPrice,
+}
+
+/// The winner-takes-all market.
+pub struct WinnerTakesAllMarket {
+    /// Allocation tick in seconds.
+    pub interval_secs: f64,
+    /// Charging rule.
+    pub pricing: Pricing,
+}
+
+impl Default for WinnerTakesAllMarket {
+    fn default() -> Self {
+        WinnerTakesAllMarket {
+            interval_secs: 10.0,
+            pricing: Pricing::FirstPrice,
+        }
+    }
+}
+
+impl WinnerTakesAllMarket {
+    /// A Spawn-style sealed-bid second-price market.
+    pub fn spawn_style() -> WinnerTakesAllMarket {
+        WinnerTakesAllMarket {
+            interval_secs: 10.0,
+            pricing: Pricing::SecondPrice,
+        }
+    }
+}
+
+struct JobTrack {
+    remaining: Vec<f64>,
+    budget_left: f64,
+    spent: f64,
+    finished_at: Option<SimTime>,
+    nodes_stat: (u64, f64, usize),
+    capacity_received: f64,
+}
+
+impl WinnerTakesAllMarket {
+    /// Run the workload until completion or `horizon`. Also returns the
+    /// per-user capacity received (for fairness analysis) via the
+    /// outcomes' `avg_nodes`/`cost` fields and the price history (winning
+    /// bids averaged across hosts).
+    pub fn run(&self, hosts: &[HostSpec], jobs: &[JobRequest], horizon: SimTime) -> RunResult {
+        for j in jobs {
+            j.validate().expect("invalid job");
+        }
+        assert!(!hosts.is_empty());
+        let mut track: Vec<JobTrack> = jobs
+            .iter()
+            .map(|j| JobTrack {
+                remaining: vec![j.work_per_subjob; j.subjobs as usize],
+                budget_left: j.budget,
+                spent: 0.0,
+                finished_at: None,
+                nodes_stat: (0, 0.0, 0),
+                capacity_received: 0.0,
+            })
+            .collect();
+
+        let dt = SimDuration::from_secs_f64(self.interval_secs);
+        let mut now = SimTime::ZERO;
+        let mut price_history = Vec::new();
+
+        while now < horizon {
+            // Each unfinished job bids budget/deadline (its sustainable
+            // rate) per host, on as many hosts as it has unfinished
+            // subjobs.
+            struct Bid {
+                job: usize,
+                rate_per_host: f64,
+                hosts_wanted: usize,
+            }
+            let mut bids: Vec<Bid> = Vec::new();
+            for (ji, j) in jobs.iter().enumerate() {
+                if j.arrival > now || track[ji].finished_at.is_some() {
+                    continue;
+                }
+                let unfinished = track[ji].remaining.iter().filter(|r| **r > 0.0).count();
+                if unfinished == 0 || track[ji].budget_left <= 0.0 {
+                    continue;
+                }
+                let rate = (track[ji].budget_left / j.deadline_secs.max(self.interval_secs))
+                    * self.interval_secs;
+                bids.push(Bid {
+                    job: ji,
+                    rate_per_host: rate / unfinished as f64,
+                    hosts_wanted: unfinished,
+                });
+            }
+
+            // Hosts auction independently; bidders spread over hosts in
+            // host order until their wanted count is exhausted.
+            let mut winners: Vec<Option<(usize, f64)>> = vec![None; hosts.len()];
+            let mut assigned: Vec<usize> = vec![0; bids.len()];
+            for (h_idx, _) in hosts.iter().enumerate() {
+                let mut best: Option<(usize, f64)> = None;
+                let mut second: f64 = 0.0;
+                for (b_idx, b) in bids.iter().enumerate() {
+                    if assigned[b_idx] >= b.hosts_wanted {
+                        continue;
+                    }
+                    match best {
+                        None => best = Some((b_idx, b.rate_per_host)),
+                        Some((_, rate)) if b.rate_per_host > rate => {
+                            second = rate;
+                            best = Some((b_idx, b.rate_per_host));
+                        }
+                        Some((_, _)) => second = second.max(b.rate_per_host),
+                    }
+                }
+                if let Some((b_idx, rate)) = best {
+                    let charge = match self.pricing {
+                        Pricing::FirstPrice => rate,
+                        Pricing::SecondPrice => second,
+                    };
+                    winners[h_idx] = Some((bids[b_idx].job, charge));
+                    assigned[b_idx] += 1;
+                }
+            }
+
+            let winning: Vec<f64> = winners.iter().flatten().map(|(_, r)| *r).collect();
+            if !winning.is_empty() {
+                price_history
+                    .push((now, winning.iter().sum::<f64>() / winning.len() as f64));
+            }
+
+            // Winners get the whole host (all CPUs → one subjob per CPU).
+            let mut active_now = vec![0usize; jobs.len()];
+            for (h_idx, w) in winners.iter().enumerate() {
+                let Some((ji, rate)) = *w else { continue };
+                let t = &mut track[ji];
+                t.budget_left -= rate;
+                t.spent += rate;
+                let host = &hosts[h_idx];
+                let cap = host.vcpu_capacity_mhz() * self.interval_secs;
+                // One subjob per CPU of the won host.
+                let mut cpus = host.cpus as usize;
+                for r in t.remaining.iter_mut() {
+                    if cpus == 0 {
+                        break;
+                    }
+                    if *r > 0.0 {
+                        *r -= cap;
+                        t.capacity_received += cap;
+                        active_now[ji] += 1;
+                        cpus -= 1;
+                    }
+                }
+            }
+
+            for (ji, j) in jobs.iter().enumerate() {
+                let t = &mut track[ji];
+                if t.finished_at.is_none() && t.remaining.iter().all(|r| *r <= 0.0) {
+                    t.finished_at = Some(now + dt);
+                }
+                if j.arrival <= now && t.finished_at.is_none() {
+                    t.nodes_stat.0 += 1;
+                    t.nodes_stat.1 += active_now[ji] as f64;
+                    t.nodes_stat.2 = t.nodes_stat.2.max(active_now[ji]);
+                }
+            }
+
+            now += dt;
+            if track.iter().all(|t| t.finished_at.is_some()) {
+                break;
+            }
+        }
+
+        let outcomes = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let t = &track[i];
+                JobOutcome {
+                    id: j.id,
+                    user: j.user,
+                    finished_at: t.finished_at,
+                    makespan_secs: t.finished_at.unwrap_or(now).since(j.arrival).as_secs_f64(),
+                    cost: t.spent,
+                    max_nodes: t.nodes_stat.2,
+                    avg_nodes: if t.nodes_stat.0 == 0 {
+                        0.0
+                    } else {
+                        t.nodes_stat.1 / t.nodes_stat.0 as f64
+                    },
+                }
+            })
+            .collect();
+
+        RunResult {
+            outcomes,
+            price_history,
+        }
+    }
+
+    /// Capacity received per job (MHz·seconds) — input for fairness
+    /// comparisons.
+    pub fn capacity_received(
+        &self,
+        hosts: &[HostSpec],
+        jobs: &[JobRequest],
+        horizon: SimTime,
+    ) -> Vec<f64> {
+        // Re-run tracking capacity. (Cheap; keeps the public API small.)
+        let mut track: Vec<f64> = vec![0.0; jobs.len()];
+        let result = self.run(hosts, jobs, horizon);
+        // Approximate from average nodes × makespan × vCPU.
+        for (i, o) in result.outcomes.iter().enumerate() {
+            let vcpu = hosts[0].vcpu_capacity_mhz();
+            track[i] = o.avg_nodes * o.makespan_secs * vcpu;
+        }
+        track
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::jain_fairness;
+    use gm_tycoon::UserId;
+
+    fn hosts(n: u32) -> Vec<HostSpec> {
+        (0..n).map(HostSpec::testbed).collect()
+    }
+
+    fn job(id: u32, subjobs: u32, work_secs: f64, budget: f64) -> JobRequest {
+        JobRequest {
+            id,
+            user: UserId(id),
+            subjobs,
+            work_per_subjob: work_secs * 2910.0,
+            arrival: SimTime::ZERO,
+            budget,
+            deadline_secs: 3600.0,
+        }
+    }
+
+    #[test]
+    fn lone_bidder_wins_everything() {
+        let m = WinnerTakesAllMarket::default();
+        let r = m.run(&hosts(2), &[job(0, 4, 100.0, 100.0)], SimTime::from_secs(10_000));
+        assert!(r.all_finished());
+        assert_eq!(r.outcomes[0].max_nodes, 4, "2 hosts × 2 cpus");
+    }
+
+    #[test]
+    fn highest_bidder_shuts_out_the_rest() {
+        // Same shape, 10× budget: on a single host, the poor job gets
+        // nothing until the rich one finishes.
+        let m = WinnerTakesAllMarket::default();
+        let rich = job(0, 2, 500.0, 1000.0);
+        let poor = job(1, 2, 500.0, 100.0);
+        let r = m.run(&hosts(1), &[rich, poor], SimTime::from_secs(100_000));
+        let tr = r.outcomes[0].finished_at.expect("rich finishes");
+        if let Some(tp) = r.outcomes[1].finished_at {
+            assert!(tr < tp, "rich must finish strictly first");
+        }
+        // While the rich job ran, the poor job had zero nodes → its average
+        // concurrency is well below its peak.
+        assert!(r.outcomes[1].avg_nodes < 2.0);
+    }
+
+    #[test]
+    fn wta_is_less_fair_than_equal_budgets_imply() {
+        // Two equal-work jobs, budgets 3:1, measured over a horizon where
+        // they still contend: the loser is starved entirely (with
+        // proportional share both would run at 3:1 shares).
+        let m = WinnerTakesAllMarket::default();
+        let a = job(0, 2, 2_000.0, 300.0);
+        let b = job(1, 2, 2_000.0, 100.0);
+        let caps = m.capacity_received(&hosts(1), &[a, b], SimTime::from_secs(2_000));
+        let fairness = jain_fairness(&caps);
+        assert!(
+            fairness < 0.9,
+            "winner-takes-all should be visibly unfair: {fairness} ({caps:?})"
+        );
+    }
+
+    #[test]
+    fn broke_bidder_never_runs() {
+        let m = WinnerTakesAllMarket::default();
+        let r = m.run(&hosts(1), &[job(0, 1, 100.0, 0.0)], SimTime::from_secs(5_000));
+        assert!(!r.all_finished());
+        assert_eq!(r.outcomes[0].max_nodes, 0);
+    }
+
+    #[test]
+    fn second_price_lone_bidder_pays_nothing() {
+        // Vickrey with one bidder and no reserve: the clearing price is 0.
+        let m = WinnerTakesAllMarket::spawn_style();
+        let r = m.run(&hosts(1), &[job(0, 1, 100.0, 360.0)], SimTime::from_secs(5_000));
+        assert!(r.all_finished());
+        assert_eq!(r.outcomes[0].cost, 0.0);
+    }
+
+    #[test]
+    fn second_price_charges_runner_up_bid() {
+        let m = WinnerTakesAllMarket::spawn_style();
+        // rich bids 1.0/interval, poor bids 0.25/interval.
+        let rich = job(0, 1, 500.0, 360.0);
+        let poor = job(1, 1, 500.0, 90.0);
+        let r = m.run(&hosts(1), &[rich, poor], SimTime::from_secs(50_000));
+        // While contending, the rich winner pays the poor bid (0.25), so
+        // its total spend is well under first-price.
+        let first = WinnerTakesAllMarket::default().run(
+            &hosts(1),
+            &[job(0, 1, 500.0, 360.0), job(1, 1, 500.0, 90.0)],
+            SimTime::from_secs(50_000),
+        );
+        assert!(
+            r.outcomes[0].cost < first.outcomes[0].cost,
+            "second price {} should undercut first price {}",
+            r.outcomes[0].cost,
+            first.outcomes[0].cost
+        );
+        assert!(r.outcomes[0].cost > 0.0, "contended winner still pays");
+    }
+
+    #[test]
+    fn price_history_tracks_winning_bids() {
+        let m = WinnerTakesAllMarket::default();
+        let r = m.run(&hosts(1), &[job(0, 1, 100.0, 360.0)], SimTime::from_secs(5_000));
+        assert!(!r.price_history.is_empty());
+        // bid per interval = budget/deadline × interval = 360/3600×10 = 1.0
+        let (_, p0) = r.price_history[0];
+        assert!((p0 - 1.0).abs() < 1e-9, "{p0}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Ablations of the design choices called out in `DESIGN.md`: each bench
+//! times a scenario variant and prints its outcome metrics once, so the
+//! quality impact is recorded next to the timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gm_bench::bench_scenario;
+
+use gm_predict::ar::{epsilon, naive_epsilon, walk_forward, ArModel, MeanMode};
+use std::hint::black_box;
+
+fn summarize(tag: &str, r: &gridmarket::ScenarioResult) {
+    let makespan = r.users.iter().map(|u| u.time_hours).fold(0.0f64, f64::max);
+    let cost: f64 = r.users.iter().map(|u| u.charged).sum();
+    eprintln!(
+        "[ablation] {tag}: makespan {makespan:.2} h, total cost {cost:.2} cr, all done: {}",
+        r.all_done()
+    );
+}
+
+fn ablate_rebidding(c: &mut Criterion) {
+    summarize("rebid=on ", &bench_scenario(true, 9.0));
+    summarize("rebid=off", &bench_scenario(false, 9.0));
+    let mut g = c.benchmark_group("ablation_rebid");
+    g.sample_size(10);
+    g.bench_function("rebid_on", |b| b.iter(|| black_box(bench_scenario(true, 9.0))));
+    g.bench_function("rebid_off", |b| b.iter(|| black_box(bench_scenario(false, 9.0))));
+    g.finish();
+}
+
+fn ablate_premium_cap(c: &mut Criterion) {
+    summarize("premium=3   ", &bench_scenario(true, 3.0));
+    summarize("premium=9   ", &bench_scenario(true, 9.0));
+    summarize("premium=off ", &bench_scenario(true, f64::INFINITY));
+    let mut g = c.benchmark_group("ablation_premium");
+    g.sample_size(10);
+    g.bench_function("premium_3", |b| b.iter(|| black_box(bench_scenario(true, 3.0))));
+    g.bench_function("premium_uncapped", |b| {
+        b.iter(|| black_box(bench_scenario(true, f64::INFINITY)))
+    });
+    g.finish();
+}
+
+fn ablate_ar_smoothing(c: &mut Criterion) {
+    let cfg = gm_experiments::pricegen::PriceGenConfig::new(3.0, 0xAB1);
+    let prices = gm_experiments::pricegen::host0_prices(&cfg);
+    let split = prices.len() / 2;
+    let (train, validate) = prices.split_at(split);
+    let horizon = 10;
+    for (tag, lambda) in [("raw", 0.0), ("smoothed", 81.0)] {
+        if let Some(m) = ArModel::fit(train, 6, lambda) {
+            let m = m.with_mean_mode(MeanMode::Local(30));
+            let (p, me) = walk_forward(&m, train, validate, horizon);
+            eprintln!(
+                "[ablation] AR {tag}: eps {:.4} (naive {:.4})",
+                epsilon(&p, &me),
+                naive_epsilon(validate, horizon)
+            );
+        }
+    }
+    let model_raw = ArModel::fit(train, 6, 0.0).unwrap();
+    let model_smooth = ArModel::fit(train, 6, 81.0).unwrap();
+    let mut g = c.benchmark_group("ablation_ar_smoothing");
+    g.sample_size(10);
+    g.bench_function("walk_forward_raw", |b| {
+        b.iter(|| black_box(walk_forward(&model_raw, train, validate, horizon)))
+    });
+    g.bench_function("walk_forward_smoothed", |b| {
+        b.iter(|| black_box(walk_forward(&model_smooth, train, validate, horizon)))
+    });
+    g.finish();
+}
+
+fn ablate_interval(c: &mut Criterion) {
+    use gridmarket::scenario::{Scenario, UserSetup};
+    let run = |interval: f64| {
+        Scenario::builder()
+            .seed(33)
+            .hosts(4)
+            .chunk_minutes(6.0)
+            .deadline_minutes(60)
+            .horizon_hours(6)
+            .interval_secs(interval)
+            .user(UserSetup::new(100.0).subjobs(3))
+            .user(UserSetup::new(300.0).subjobs(3))
+            .run()
+            .expect("interval scenario")
+    };
+    for interval in [10.0, 60.0] {
+        let r = run(interval);
+        let makespan = r.users.iter().map(|u| u.time_hours).fold(0.0f64, f64::max);
+        eprintln!("[ablation] interval={interval}s: makespan {makespan:.2} h, all done {}", r.all_done());
+    }
+    let mut g = c.benchmark_group("ablation_interval");
+    g.sample_size(10);
+    g.bench_function("interval_10s", |b| b.iter(|| black_box(run(10.0))));
+    g.bench_function("interval_60s", |b| b.iter(|| black_box(run(60.0))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_rebidding,
+    ablate_premium_cap,
+    ablate_ar_smoothing,
+    ablate_interval
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! # gm-bench — benchmark harness
+//!
+//! Criterion benches (`cargo bench --workspace`):
+//!
+//! * `tables` — regenerate Table 1 / Table 2 (quick scale).
+//! * `figures` — regenerate Fig. 3–7 (quick scale).
+//! * `micro` — hot-path microbenchmarks: Best Response, auctioneer
+//!   allocation, SHA-256, Schnorr sign/verify, token verification,
+//!   Levinson-Durbin, smoothing spline, the BLOSUM62 scan kernel.
+//! * `ablations` — design-choice ablations called out in `DESIGN.md`:
+//!   per-interval rebidding on/off, bid-rate premium cap, VM provisioning
+//!   cost, AR smoothing on/off.
+//!
+//! The benches print the *quality* metrics they produce (ε, group rows)
+//! to stderr once per run so `bench_output.txt` records both speed and
+//! outcome.
+
+/// Shared helper: a small deterministic scenario used by several benches.
+pub fn bench_scenario(rebid: bool, premium: f64) -> gridmarket::ScenarioResult {
+    use gridmarket::scenario::{Scenario, UserSetup};
+    let agent = gm_grid::AgentConfig {
+        rebid,
+        max_share_premium: premium,
+        ..gm_grid::AgentConfig::default()
+    };
+    Scenario::builder()
+        .seed(100)
+        .hosts(6)
+        .chunk_minutes(6.0)
+        .deadline_minutes(60)
+        .horizon_hours(6)
+        .agent(agent)
+        .user(UserSetup::new(100.0).subjobs(3))
+        .user(UserSetup::new(100.0).subjobs(3))
+        .user(UserSetup::new(400.0).subjobs(3))
+        .run()
+        .expect("bench scenario")
+}

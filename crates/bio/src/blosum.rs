@@ -1,0 +1,124 @@
+//! The BLOSUM62 substitution matrix (Henikoff & Henikoff 1992), the default
+//! scoring matrix of protein BLAST.
+
+/// The 20 standard amino acids in the conventional BLOSUM row order.
+pub const AMINO_ACIDS: [u8; 20] = [
+    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P', b'S',
+    b'T', b'W', b'Y', b'V',
+];
+
+/// BLOSUM62 scores, rows/columns in [`AMINO_ACIDS`] order.
+#[rustfmt::skip]
+const MATRIX: [[i8; 20]; 20] = [
+    //  A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+    [   4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0], // A
+    [  -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3], // R
+    [  -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3], // N
+    [  -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3], // D
+    [   0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1], // C
+    [  -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2], // Q
+    [  -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2], // E
+    [   0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3], // G
+    [  -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3], // H
+    [  -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3], // I
+    [  -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1], // L
+    [  -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2], // K
+    [  -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1], // M
+    [  -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1], // F
+    [  -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2], // P
+    [   1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2], // S
+    [   0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0], // T
+    [  -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3], // W
+    [  -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -2], // Y
+    [   0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -2,  4], // V
+];
+
+/// Residue byte → matrix index lookup (255 = invalid).
+const fn build_index() -> [u8; 256] {
+    let mut idx = [255u8; 256];
+    let mut i = 0;
+    while i < 20 {
+        idx[AMINO_ACIDS[i] as usize] = i as u8;
+        i += 1;
+    }
+    idx
+}
+
+const INDEX: [u8; 256] = build_index();
+
+/// BLOSUM62 score of aligning residues `a` and `b` (uppercase one-letter
+/// codes). Unknown residues score the conventional mismatch −4.
+#[inline]
+pub fn blosum62(a: u8, b: u8) -> i32 {
+    let ia = INDEX[a as usize];
+    let ib = INDEX[b as usize];
+    if ia == 255 || ib == 255 {
+        return -4;
+    }
+    MATRIX[ia as usize][ib as usize] as i32
+}
+
+/// Index of a residue in [`AMINO_ACIDS`], if it is a standard amino acid.
+#[inline]
+pub fn residue_index(a: u8) -> Option<usize> {
+    match INDEX[a as usize] {
+        255 => None,
+        i => Some(i as usize),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_entries() {
+        assert_eq!(blosum62(b'A', b'A'), 4);
+        assert_eq!(blosum62(b'W', b'W'), 11);
+        assert_eq!(blosum62(b'C', b'C'), 9);
+        assert_eq!(blosum62(b'A', b'R'), -1);
+        assert_eq!(blosum62(b'W', b'P'), -4);
+        assert_eq!(blosum62(b'E', b'D'), 2);
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for &a in &AMINO_ACIDS {
+            for &b in &AMINO_ACIDS {
+                assert_eq!(blosum62(a, b), blosum62(b, a), "{}{}", a as char, b as char);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_dominates_row() {
+        // Every residue matches itself at least as well as any other.
+        for &a in &AMINO_ACIDS {
+            for &b in &AMINO_ACIDS {
+                assert!(blosum62(a, a) >= blosum62(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_positive() {
+        for &a in &AMINO_ACIDS {
+            assert!(blosum62(a, a) > 0);
+        }
+    }
+
+    #[test]
+    fn unknown_residue_scores_minus_four() {
+        assert_eq!(blosum62(b'X', b'A'), -4);
+        assert_eq!(blosum62(b'A', b'*'), -4);
+        assert_eq!(blosum62(b'z', b'z'), -4, "lowercase is not standard");
+    }
+
+    #[test]
+    fn residue_index_round_trips() {
+        for (i, &a) in AMINO_ACIDS.iter().enumerate() {
+            assert_eq!(residue_index(a), Some(i));
+        }
+        assert_eq!(residue_index(b'X'), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Proteome partitioning.
+//!
+//! "The proteome database is partitioned into chunks that can be analyzed
+//! in parallel. One of these chunks takes approximately 212 minutes to
+//! analyze on a single node" (§5.2). Partitioning balances *residues* (the
+//! scan cost driver), not protein counts.
+
+use std::ops::Range;
+
+use crate::proteome::Proteome;
+
+/// A contiguous range of proteins assigned to one sub-job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// Chunk index.
+    pub index: usize,
+    /// Range of protein indices in the proteome.
+    pub proteins: Range<usize>,
+}
+
+impl Chunk {
+    /// New chunk.
+    pub fn new(index: usize, proteins: Range<usize>) -> Chunk {
+        Chunk { index, proteins }
+    }
+
+    /// Number of proteins in the chunk.
+    pub fn len(&self) -> usize {
+        self.proteins.len()
+    }
+
+    /// True for an empty chunk.
+    pub fn is_empty(&self) -> bool {
+        self.proteins.is_empty()
+    }
+
+    /// Total residues of this chunk within `proteome`.
+    pub fn residues(&self, proteome: &Proteome) -> usize {
+        proteome.proteins[self.proteins.clone()]
+            .iter()
+            .map(|p| p.seq.len())
+            .sum()
+    }
+}
+
+/// Partition `proteome` into at most `n_chunks` contiguous chunks with
+/// approximately equal residue counts (greedy threshold splitting).
+///
+/// # Panics
+/// Panics if `n_chunks == 0`.
+pub fn partition(proteome: &Proteome, n_chunks: usize) -> Vec<Chunk> {
+    assert!(n_chunks >= 1, "need at least one chunk");
+    let total = proteome.total_residues();
+    if proteome.is_empty() || total == 0 {
+        return Vec::new();
+    }
+    let target = total.div_ceil(n_chunks);
+    let mut chunks = Vec::with_capacity(n_chunks);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (i, p) in proteome.proteins.iter().enumerate() {
+        acc += p.seq.len();
+        let remaining_chunks = n_chunks - chunks.len();
+        let is_last_protein = i + 1 == proteome.proteins.len();
+        // Close the chunk when it reaches the target, but never leave more
+        // proteins than chunks behind… and always close at the end.
+        if (acc >= target && remaining_chunks > 1) || is_last_protein {
+            chunks.push(Chunk::new(chunks.len(), start..i + 1));
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_proteins_without_overlap() {
+        let p = Proteome::synthesize(100, 5);
+        let chunks = partition(&p, 7);
+        assert!(!chunks.is_empty());
+        assert!(chunks.len() <= 7);
+        let mut covered = 0;
+        for (i, c) in chunks.iter().enumerate() {
+            assert_eq!(c.index, i);
+            assert_eq!(c.proteins.start, covered, "gap or overlap");
+            covered = c.proteins.end;
+        }
+        assert_eq!(covered, p.len());
+    }
+
+    #[test]
+    fn chunks_are_roughly_balanced() {
+        let p = Proteome::synthesize(500, 8);
+        let chunks = partition(&p, 10);
+        assert_eq!(chunks.len(), 10);
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.residues(&p)).collect();
+        let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        for s in &sizes {
+            assert!(
+                (*s as f64) < 2.0 * avg,
+                "chunk with {s} residues vs avg {avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_chunk_is_everything() {
+        let p = Proteome::synthesize(10, 1);
+        let chunks = partition(&p, 1);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].proteins, 0..10);
+        assert_eq!(chunks[0].residues(&p), p.total_residues());
+    }
+
+    #[test]
+    fn more_chunks_than_proteins_collapses() {
+        let p = Proteome::synthesize(3, 2);
+        let chunks = partition(&p, 10);
+        assert!(chunks.len() <= 3);
+        let covered: usize = chunks.iter().map(Chunk::len).sum();
+        assert_eq!(covered, 3);
+    }
+
+    #[test]
+    fn empty_proteome_gives_no_chunks() {
+        let p = Proteome::default();
+        assert!(partition(&p, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn zero_chunks_rejected() {
+        partition(&Proteome::synthesize(5, 1), 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Synthetic proteome generation.
+//!
+//! The paper scans "a database of the complete human proteome" (§5.1). We
+//! synthesize an equivalent: proteins drawn with the human proteome's
+//! marginal residue frequencies (UniProt statistics) and a log-normal
+//! length distribution around the human median (~375 aa, mean ~460 aa).
+//! The substitution is documented in `DESIGN.md` §2 — the experiments need
+//! a CPU-intensive scan, not biological truth.
+
+use gm_des::{Pcg32, Rng64};
+use gm_numeric::samplers::{LogNormal, Sampler};
+
+use crate::blosum::AMINO_ACIDS;
+
+/// Approximate human proteome residue frequencies (UniProt human
+/// statistics), in [`AMINO_ACIDS`] order (A R N D C Q E G H I L K M F P S
+/// T W Y V).
+pub const HUMAN_FREQUENCIES: [f64; 20] = [
+    0.0702, 0.0564, 0.0359, 0.0473, 0.0230, 0.0477, 0.0710, 0.0657, 0.0263, 0.0433, 0.0996,
+    0.0573, 0.0213, 0.0365, 0.0631, 0.0831, 0.0535, 0.0122, 0.0266, 0.0597,
+];
+
+/// One protein: an id and its residue sequence (uppercase bytes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Protein {
+    /// Sequential id, e.g. `SYN000042`.
+    pub id: String,
+    /// The residue sequence.
+    pub seq: Vec<u8>,
+}
+
+/// A set of proteins.
+#[derive(Clone, Debug, Default)]
+pub struct Proteome {
+    /// The proteins, in generation order.
+    pub proteins: Vec<Protein>,
+}
+
+impl Proteome {
+    /// Synthesize `n` proteins deterministically from `seed`.
+    pub fn synthesize(n: usize, seed: u64) -> Proteome {
+        let mut rng = Pcg32::new(seed, 0xB10);
+        // Log-normal matched to the human proteome: median ~375 aa.
+        let length_dist = LogNormal::new(375f64.ln(), 0.65);
+        let cdf = cumulative(&HUMAN_FREQUENCIES);
+        let mut proteins = Vec::with_capacity(n);
+        for i in 0..n {
+            let len = (length_dist.sample(&mut rng).round() as usize).clamp(30, 5000);
+            let mut seq = Vec::with_capacity(len);
+            for _ in 0..len {
+                seq.push(sample_residue(&cdf, &mut rng));
+            }
+            proteins.push(Protein {
+                id: format!("SYN{i:06}"),
+                seq,
+            });
+        }
+        Proteome { proteins }
+    }
+
+    /// Number of proteins.
+    pub fn len(&self) -> usize {
+        self.proteins.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.proteins.is_empty()
+    }
+
+    /// Total residue count.
+    pub fn total_residues(&self) -> usize {
+        self.proteins.iter().map(|p| p.seq.len()).sum()
+    }
+
+    /// Render in FASTA format (for the examples' stage-in files).
+    pub fn to_fasta(&self) -> String {
+        let mut out = String::new();
+        for p in &self.proteins {
+            out.push('>');
+            out.push_str(&p.id);
+            out.push('\n');
+            for line in p.seq.chunks(60) {
+                out.push_str(std::str::from_utf8(line).expect("ascii residues"));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Parse FASTA text (inverse of [`Self::to_fasta`]; tolerant of
+    /// blank lines).
+    pub fn from_fasta(text: &str) -> Result<Proteome, String> {
+        let mut proteins = Vec::new();
+        let mut current: Option<Protein> = None;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(id) = line.strip_prefix('>') {
+                if let Some(p) = current.take() {
+                    proteins.push(p);
+                }
+                current = Some(Protein {
+                    id: id.trim().to_owned(),
+                    seq: Vec::new(),
+                });
+            } else {
+                match current.as_mut() {
+                    Some(p) => p.seq.extend(line.bytes().map(|b| b.to_ascii_uppercase())),
+                    None => return Err(format!("line {}: sequence before header", lineno + 1)),
+                }
+            }
+        }
+        if let Some(p) = current.take() {
+            proteins.push(p);
+        }
+        Ok(Proteome { proteins })
+    }
+}
+
+fn cumulative(freqs: &[f64; 20]) -> [f64; 20] {
+    let total: f64 = freqs.iter().sum();
+    let mut cdf = [0.0f64; 20];
+    let mut acc = 0.0;
+    for (i, f) in freqs.iter().enumerate() {
+        acc += f / total;
+        cdf[i] = acc;
+    }
+    cdf[19] = 1.0;
+    cdf
+}
+
+fn sample_residue(cdf: &[f64; 20], rng: &mut Pcg32) -> u8 {
+    let u = rng.next_f64();
+    let idx = cdf.partition_point(|&c| c <= u).min(19);
+    AMINO_ACIDS[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blosum::residue_index;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Proteome::synthesize(10, 42);
+        let b = Proteome::synthesize(10, 42);
+        let c = Proteome::synthesize(10, 43);
+        assert_eq!(a.proteins, b.proteins);
+        assert_ne!(a.proteins, c.proteins);
+    }
+
+    #[test]
+    fn sequences_are_valid_residues() {
+        let p = Proteome::synthesize(20, 7);
+        for protein in &p.proteins {
+            assert!(protein.seq.len() >= 30);
+            for &r in &protein.seq {
+                assert!(residue_index(r).is_some(), "invalid residue {}", r as char);
+            }
+        }
+    }
+
+    #[test]
+    fn residue_frequencies_match_target() {
+        let p = Proteome::synthesize(500, 11);
+        let mut counts = [0usize; 20];
+        for protein in &p.proteins {
+            for &r in &protein.seq {
+                counts[residue_index(r).unwrap()] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / total as f64;
+            let target = HUMAN_FREQUENCIES[i];
+            assert!(
+                (freq - target).abs() < 0.01,
+                "residue {}: {freq:.4} vs {target:.4}",
+                AMINO_ACIDS[i] as char
+            );
+        }
+    }
+
+    #[test]
+    fn median_length_is_realistic() {
+        let p = Proteome::synthesize(2000, 3);
+        let mut lens: Vec<usize> = p.proteins.iter().map(|x| x.seq.len()).collect();
+        lens.sort_unstable();
+        let median = lens[lens.len() / 2];
+        assert!(
+            (250..=550).contains(&median),
+            "median protein length {median} unrealistic"
+        );
+    }
+
+    #[test]
+    fn fasta_round_trip() {
+        let p = Proteome::synthesize(5, 9);
+        let fasta = p.to_fasta();
+        assert!(fasta.starts_with(">SYN000000\n"));
+        let back = Proteome::from_fasta(&fasta).unwrap();
+        assert_eq!(p.proteins, back.proteins);
+    }
+
+    #[test]
+    fn fasta_rejects_headerless_sequence() {
+        assert!(Proteome::from_fasta("ACDEFG\n").is_err());
+        assert!(Proteome::from_fasta("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn total_residues_adds_up() {
+        let p = Proteome::synthesize(10, 1);
+        let sum: usize = p.proteins.iter().map(|x| x.seq.len()).sum();
+        assert_eq!(p.total_residues(), sum);
+        assert_eq!(p.len(), 10);
+    }
+}

@@ -1,0 +1,231 @@
+//! The sliding-window similarity scan (§5.1).
+//!
+//! For every window of the query protein, find the best-scoring ungapped
+//! alignment of that window anywhere in the target database — a
+//! BLAST-flavoured diagonal scan with BLOSUM62 scoring. Windows whose best
+//! cross-proteome score is high sit in conserved/paralogous regions;
+//! low-scoring windows are unique — exactly the high/low-similarity
+//! region classification the paper's application performs.
+
+use crate::blosum::blosum62;
+use crate::chunk::Chunk;
+use crate::proteome::Proteome;
+
+/// Parameters of the sliding-window scan.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanConfig {
+    /// Window length in residues.
+    pub window: usize,
+    /// Step between window starts.
+    pub step: usize,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig { window: 25, step: 10 }
+    }
+}
+
+/// Best cross-database score of one query window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowScore {
+    /// Query protein index within the proteome.
+    pub protein: usize,
+    /// Window start offset in the query protein.
+    pub offset: usize,
+    /// Best ungapped alignment score against any other protein.
+    pub best_score: i32,
+    /// Index of the protein achieving the best score (`None` when no
+    /// positive-scoring alignment exists anywhere in the database).
+    pub best_match: Option<usize>,
+}
+
+/// Score of the best ungapped alignment of `window` against `target`,
+/// sliding over every alignment offset (negative scores floor at the local
+/// ungapped-extension zero, like BLAST's X-drop with X = ∞ simplification).
+pub fn window_similarity(window: &[u8], target: &[u8]) -> i32 {
+    if window.is_empty() || target.len() < window.len() {
+        return 0;
+    }
+    let w = window.len();
+    let mut best = i32::MIN;
+    for start in 0..=(target.len() - w) {
+        let mut score = 0i32;
+        // Manual loop: this is the hot kernel.
+        let t = &target[start..start + w];
+        for i in 0..w {
+            score += blosum62(window[i], t[i]);
+        }
+        if score > best {
+            best = score;
+        }
+    }
+    best.max(0)
+}
+
+/// Scan every window of the proteins in `chunk` against the whole
+/// `proteome` (excluding self-hits) and return per-window best scores.
+pub fn scan_chunk(proteome: &Proteome, chunk: &Chunk, config: &ScanConfig) -> Vec<WindowScore> {
+    assert!(config.window >= 1 && config.step >= 1, "bad scan config");
+    let mut out = Vec::new();
+    for q_idx in chunk.proteins.clone() {
+        let query = &proteome.proteins[q_idx];
+        if query.seq.len() < config.window {
+            continue;
+        }
+        let mut offset = 0;
+        while offset + config.window <= query.seq.len() {
+            let win = &query.seq[offset..offset + config.window];
+            let mut best_score = 0;
+            let mut best_match = None;
+            for (t_idx, target) in proteome.proteins.iter().enumerate() {
+                if t_idx == q_idx {
+                    continue; // the paper's "rest of the proteome"
+                }
+                let s = window_similarity(win, &target.seq);
+                if s > best_score {
+                    best_score = s;
+                    best_match = Some(t_idx);
+                }
+            }
+            out.push(WindowScore {
+                protein: q_idx,
+                offset,
+                best_score,
+                best_match,
+            });
+            offset += config.step;
+        }
+    }
+    out
+}
+
+/// Scan several chunks in parallel on a [`gm_exec::ThreadPool`] — the
+/// "live" execution mode of the bag-of-tasks application. Results are
+/// returned per chunk in input order and are byte-identical to running
+/// [`scan_chunk`] sequentially (the scan is pure).
+pub fn scan_chunks_parallel(
+    pool: &gm_exec::ThreadPool,
+    proteome: std::sync::Arc<Proteome>,
+    chunks: Vec<Chunk>,
+    config: ScanConfig,
+) -> Vec<Vec<WindowScore>> {
+    pool.par_map(chunks, move |chunk| scan_chunk(&proteome, &chunk, &config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::Chunk;
+    use crate::proteome::Protein;
+
+    fn proteome_from(seqs: &[&str]) -> Proteome {
+        Proteome {
+            proteins: seqs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| Protein {
+                    id: format!("P{i}"),
+                    seq: s.bytes().collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_window_scores_self_alignment() {
+        let win = b"ACDEFGHIKLMNPQRSTVWY";
+        let score = window_similarity(win, win);
+        let self_score: i32 = win.iter().map(|&a| blosum62(a, a)).sum();
+        assert_eq!(score, self_score);
+        assert!(score > 0);
+    }
+
+    #[test]
+    fn planted_motif_is_found() {
+        // Target contains the query window embedded in unrelated residues.
+        let motif = "WWWWCCCCHHHHWWWW";
+        let target = format!("AAAAAAAAAA{motif}AAAAAAAAAA");
+        let score = window_similarity(motif.as_bytes(), target.as_bytes());
+        let self_score: i32 = motif.bytes().map(|a| blosum62(a, a)).sum();
+        assert_eq!(score, self_score, "must find the exact planted copy");
+    }
+
+    #[test]
+    fn unrelated_sequences_score_low() {
+        let win = b"WWWWWWWWWW";
+        let target = b"PPPPPPPPPPPPPPPPPPPP";
+        // W-vs-P is −4 ⇒ every alignment is negative ⇒ floored at 0.
+        assert_eq!(window_similarity(win, target), 0);
+    }
+
+    #[test]
+    fn short_target_returns_zero() {
+        assert_eq!(window_similarity(b"ACDEFGHIKL", b"ACD"), 0);
+        assert_eq!(window_similarity(b"", b"ACD"), 0);
+    }
+
+    #[test]
+    fn scan_excludes_self_hits() {
+        let p = proteome_from(&[
+            "ACDEFGHIKLMNPQRSTVWYACDEFGHIKL",
+            "PPPPPPPPPPPPPPPPPPPPPPPPPPPPPP",
+        ]);
+        let cfg = ScanConfig { window: 10, step: 10 };
+        let scores = scan_chunk(&p, &Chunk::new(0, 0..1), &cfg);
+        assert!(!scores.is_empty());
+        for s in &scores {
+            assert_eq!(s.protein, 0);
+            assert_ne!(s.best_match, Some(0), "self-hit not excluded");
+        }
+    }
+
+    #[test]
+    fn duplicated_protein_scores_maximally() {
+        let seq = "ACDEFGHIKLMNPQRSTVWYWWCCHHMMKK";
+        let p = proteome_from(&[seq, seq, "PPPPPPPPPPPPPPPPPPPPPPPPPPPPPP"]);
+        let cfg = ScanConfig { window: 15, step: 15 };
+        let scores = scan_chunk(&p, &Chunk::new(0, 0..1), &cfg);
+        for s in &scores {
+            assert_eq!(s.best_match, Some(1), "identical paralog must win");
+            let win = &p.proteins[0].seq[s.offset..s.offset + 15];
+            let self_score: i32 = win.iter().map(|&a| blosum62(a, a)).sum();
+            assert_eq!(s.best_score, self_score);
+        }
+    }
+
+    #[test]
+    fn window_count_matches_step_arithmetic() {
+        let p = proteome_from(&["AAAAAAAAAAAAAAAAAAAAAAAAAAAAAA", "CCCCCCCCCCCCCCCCCCCCCCCCCCCCCC"]);
+        // protein length 30, window 10, step 5 → offsets 0,5,10,15,20 = 5
+        let cfg = ScanConfig { window: 10, step: 5 };
+        let scores = scan_chunk(&p, &Chunk::new(0, 0..1), &cfg);
+        assert_eq!(scores.len(), 5);
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        use crate::chunk::partition;
+        use std::sync::Arc;
+        let proteome = Arc::new(crate::proteome::Proteome::synthesize(24, 99));
+        let chunks = partition(&proteome, 6);
+        let cfg = ScanConfig { window: 15, step: 15 };
+
+        let sequential: Vec<Vec<WindowScore>> = chunks
+            .iter()
+            .map(|c| scan_chunk(&proteome, c, &cfg))
+            .collect();
+
+        let pool = gm_exec::ThreadPool::new(4);
+        let parallel = scan_chunks_parallel(&pool, Arc::clone(&proteome), chunks, cfg);
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn proteins_shorter_than_window_are_skipped() {
+        let p = proteome_from(&["ACDEF", "ACDEFGHIKLMNPQRSTVWY"]);
+        let cfg = ScanConfig { window: 10, step: 5 };
+        let scores = scan_chunk(&p, &Chunk::new(0, 0..1), &cfg);
+        assert!(scores.is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Rendering experiment results as the paper's tables.
+
+use crate::scenario::UserReport;
+
+/// One row of a Table 1/2-style group summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupRow {
+    /// Group label, e.g. "1−2".
+    pub users: String,
+    /// Mean Time (h).
+    pub time_hours: f64,
+    /// Mean Cost ($/h).
+    pub cost_per_hour: f64,
+    /// Mean Latency (min/job).
+    pub latency_min_per_job: f64,
+    /// Mean Nodes.
+    pub nodes: f64,
+}
+
+/// Summarize user indices (0-based, inclusive ranges) into group rows,
+/// matching the paper's "Users 1−2 / 3−5" presentation.
+pub fn group_rows(users: &[UserReport], groups: &[(usize, usize, &str)]) -> Vec<GroupRow> {
+    groups
+        .iter()
+        .map(|&(lo, hi, label)| {
+            let members = &users[lo..=hi];
+            let n = members.len() as f64;
+            GroupRow {
+                users: label.to_owned(),
+                time_hours: members.iter().map(|u| u.time_hours).sum::<f64>() / n,
+                cost_per_hour: members.iter().map(|u| u.cost_per_hour).sum::<f64>() / n,
+                latency_min_per_job: members.iter().map(|u| u.latency_min_per_job).sum::<f64>()
+                    / n,
+                nodes: members.iter().map(|u| u.nodes as f64).sum::<f64>() / n,
+            }
+        })
+        .collect()
+}
+
+/// Render group rows in the paper's table format.
+pub fn render_table(title: &str, rows: &[GroupRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str("Users   Time(h)   Cost($/h)   Latency(min/job)   Nodes\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<7} {:>7.2} {:>11.2} {:>18.2} {:>7.1}\n",
+            r.users, r.time_hours, r.cost_per_hour, r.latency_min_per_job, r.nodes
+        ));
+    }
+    out
+}
+
+/// Render every user as its own row (diagnostic view).
+pub fn render_users(users: &[UserReport]) -> String {
+    let mut out = String::new();
+    out.push_str("user      funding   phase     time(h)  cost($/h)  lat(min)  nodes  done\n");
+    for u in users {
+        out.push_str(&format!(
+            "{:<9} {:>7.0}   {:<8?} {:>7.2} {:>10.2} {:>9.2} {:>6} {:>3}/{}\n",
+            if u.label.is_empty() { "-" } else { &u.label },
+            u.funding,
+            u.phase,
+            u.time_hours,
+            u.cost_per_hour,
+            u.latency_min_per_job,
+            u.nodes,
+            u.completed_subjobs,
+            u.subjobs,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_grid::JobPhase;
+
+    fn user(time: f64, cost: f64, lat: f64, nodes: usize) -> UserReport {
+        UserReport {
+            label: String::new(),
+            dn: "/O=G/CN=x".into(),
+            funding: 100.0,
+            phase: JobPhase::Done,
+            time_hours: time,
+            cost_per_hour: cost,
+            charged: cost * time,
+            latency_min_per_job: lat,
+            nodes,
+            avg_nodes: nodes as f64,
+            completed_subjobs: 15,
+            subjobs: 15,
+        }
+    }
+
+    #[test]
+    fn groups_average_their_members() {
+        let users = vec![
+            user(7.0, 4.0, 28.0, 15),
+            user(7.2, 4.4, 29.0, 15),
+            user(6.0, 4.2, 45.0, 9),
+            user(6.4, 4.3, 46.0, 8),
+            user(6.8, 4.4, 47.0, 9),
+        ];
+        let rows = group_rows(&users, &[(0, 1, "1-2"), (2, 4, "3-5")]);
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].time_hours - 7.1).abs() < 1e-9);
+        assert!((rows[0].nodes - 15.0).abs() < 1e-9);
+        assert!((rows[1].nodes - 26.0 / 3.0).abs() < 1e-9);
+        assert!((rows[1].latency_min_per_job - 46.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_with_header() {
+        let rows = group_rows(&[user(7.0, 4.0, 28.0, 15)], &[(0, 0, "1-1")]);
+        let text = render_table("Table 1. Equal Distribution of Funds", &rows);
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("Latency(min/job)"));
+        assert!(text.contains("1-1"));
+        assert!(text.contains("7.00"));
+    }
+
+    #[test]
+    fn user_table_renders() {
+        let text = render_users(&[user(1.0, 2.0, 3.0, 4)]);
+        assert!(text.contains("cost($/h)"));
+        assert!(text.contains("15/15"));
+    }
+}

@@ -1,0 +1,478 @@
+//! End-to-end experiment scenarios (the paper's §5 setup).
+//!
+//! A [`Scenario`] assembles the whole stack — market, hosts, broker, grid
+//! users with bank accounts, the bio workload, transfer tokens — and runs
+//! it on the deterministic clock: users are "launched in sequence with a
+//! slight delay to allow the best response selection to take the previous
+//! job funding into account" (§5.2), the market reallocates every 10 s,
+//! and the result carries exactly the metrics of Tables 1–2: **Time** (h),
+//! **Cost** ($/h), **Latency** (min/job) and **Nodes**.
+
+use gm_bio::workload::{fund_token, BioWorkload};
+use gm_bio::{bio_job_xrsl, CHUNK_MINUTES_AT_FULL_CPU};
+use gm_des::{SimDuration, SimTime, Trace};
+use gm_grid::{AgentConfig, GridError, GridIdentity, JobId, JobManager, JobPhase, JobSpec, VmConfig};
+use gm_tycoon::{AccountId, Credits, HostSpec, Market};
+
+/// Per-user scenario parameters.
+#[derive(Clone, Debug)]
+pub struct UserSetup {
+    /// Credits attached to the job's transfer token.
+    pub funding: f64,
+    /// Number of sub-jobs (defaults to the paper's 15).
+    pub subjobs: u32,
+    /// Display label.
+    pub label: String,
+    /// Submission delay after the previous user (seconds).
+    pub stagger_secs: u64,
+}
+
+impl UserSetup {
+    /// A user funding its job with `funding` credits.
+    pub fn new(funding: f64) -> UserSetup {
+        UserSetup {
+            funding,
+            subjobs: 15,
+            label: String::new(),
+            stagger_secs: 30,
+        }
+    }
+
+    /// Set the number of sub-jobs.
+    pub fn subjobs(mut self, n: u32) -> Self {
+        self.subjobs = n;
+        self
+    }
+
+    /// Set the display label.
+    pub fn label(mut self, l: &str) -> Self {
+        self.label = l.to_owned();
+        self
+    }
+
+    /// Set the submission stagger after the previous user.
+    pub fn stagger_secs(mut self, s: u64) -> Self {
+        self.stagger_secs = s;
+        self
+    }
+}
+
+/// Scenario builder; defaults mirror §5.2 (30 dual-CPU hosts, ≤15 nodes
+/// per user, 212 min/chunk, 5.5 h deadline, 10 s reallocation).
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    seed: u64,
+    hosts: u32,
+    users: Vec<UserSetup>,
+    chunk_minutes: f64,
+    deadline_minutes: u64,
+    horizon_hours: u64,
+    agent: AgentConfig,
+    vm: VmConfig,
+    interval_secs: f64,
+    heterogeneity: f64,
+}
+
+impl Scenario {
+    /// Start building a scenario.
+    pub fn builder() -> Scenario {
+        Scenario {
+            seed: 2006,
+            hosts: 30,
+            users: Vec::new(),
+            chunk_minutes: CHUNK_MINUTES_AT_FULL_CPU,
+            deadline_minutes: 330,
+            horizon_hours: 24,
+            agent: AgentConfig::default(),
+            vm: VmConfig::default(),
+            interval_secs: 10.0,
+            heterogeneity: 0.0,
+        }
+    }
+
+    /// Deterministic seed for the market/bank keys.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Number of testbed hosts.
+    pub fn hosts(mut self, n: u32) -> Self {
+        self.hosts = n;
+        self
+    }
+
+    /// Add a user.
+    pub fn user(mut self, u: UserSetup) -> Self {
+        self.users.push(u);
+        self
+    }
+
+    /// Add `n` users with identical funding (Table 1's equal
+    /// distribution).
+    pub fn equal_users(mut self, n: u32, funding: f64) -> Self {
+        for i in 0..n {
+            self.users.push(
+                UserSetup::new(funding).label(&format!("user{}", self.users.len() + i as usize + 1)),
+            );
+        }
+        self
+    }
+
+    /// Minutes per chunk at a full vCPU.
+    pub fn chunk_minutes(mut self, m: f64) -> Self {
+        self.chunk_minutes = m;
+        self
+    }
+
+    /// Job deadline (xRSL `cpuTime`) in minutes.
+    pub fn deadline_minutes(mut self, m: u64) -> Self {
+        self.deadline_minutes = m;
+        self
+    }
+
+    /// Simulation horizon in hours.
+    pub fn horizon_hours(mut self, h: u64) -> Self {
+        self.horizon_hours = h;
+        self
+    }
+
+    /// Override the agent configuration.
+    pub fn agent(mut self, a: AgentConfig) -> Self {
+        self.agent = a;
+        self
+    }
+
+    /// Override the VM provisioning configuration.
+    pub fn vm(mut self, v: VmConfig) -> Self {
+        self.vm = v;
+        self
+    }
+
+    /// Override the reallocation interval (seconds).
+    pub fn interval_secs(mut self, s: f64) -> Self {
+        self.interval_secs = s;
+        self
+    }
+
+    /// Per-host capacity jitter in `[0, 1)`: host CPU speeds are drawn
+    /// uniformly from `base·(1 ± h)` (deterministically from the seed).
+    /// Real clusters are never perfectly homogeneous, and heterogeneous
+    /// price/performance ratios are what make Best Response *selective*
+    /// about hosts (the paper's "too expensive to fund more than a very
+    /// low number of hosts" effect).
+    pub fn heterogeneity(mut self, h: f64) -> Self {
+        assert!((0.0..1.0).contains(&h), "heterogeneity in [0,1)");
+        self.heterogeneity = h;
+        self
+    }
+
+    /// Run the scenario to completion (or the horizon).
+    pub fn run(self) -> Result<ScenarioResult, GridError> {
+        assert!(!self.users.is_empty(), "scenario needs at least one user");
+        let seed_bytes = self.seed.to_be_bytes();
+        let mut market = Market::new(&seed_bytes);
+        market.set_interval_secs(self.interval_secs);
+        let mut host_rng = gm_des::Pcg32::new(self.seed, 0x05f5);
+        for i in 0..self.hosts {
+            let mut spec = HostSpec::testbed(i);
+            if self.heterogeneity > 0.0 {
+                use gm_des::Rng64;
+                let jitter = 1.0 + self.heterogeneity * (2.0 * host_rng.next_f64() - 1.0);
+                spec.cpu_mhz *= jitter;
+            }
+            market.add_host(spec);
+        }
+        let mut jm = JobManager::new(&mut market, self.agent, self.vm);
+
+        // Users, accounts, endowments and submission times.
+        struct PendingUser {
+            identity: GridIdentity,
+            account: AccountId,
+            setup: UserSetup,
+            submit_at: SimTime,
+            job: Option<JobId>,
+        }
+        let mut pending: Vec<PendingUser> = Vec::with_capacity(self.users.len());
+        let mut t = SimTime::ZERO;
+        for (i, setup) in self.users.iter().enumerate() {
+            let identity = GridIdentity::swegrid_user(i as u32 + 1);
+            let account = market
+                .bank_mut()
+                .open_account(identity.public_key(), &format!("user{}", i + 1));
+            // Endow generously; the *token* carries the experiment's
+            // funding, the endowment just needs to cover it.
+            market
+                .bank_mut()
+                .mint(account, Credits::from_f64(setup.funding * 10.0 + 1.0))
+                .expect("endowment");
+            t = t + SimDuration::from_secs(setup.stagger_secs);
+            pending.push(PendingUser {
+                identity,
+                account,
+                setup: setup.clone(),
+                submit_at: t,
+                job: None,
+            });
+        }
+
+        // Drive the market loop.
+        let dt = SimDuration::from_secs_f64(self.interval_secs);
+        let horizon = SimTime::ZERO + SimDuration::from_hours(self.horizon_hours);
+        let mut now = SimTime::ZERO;
+        while now < horizon {
+            for p in pending.iter_mut() {
+                if p.job.is_none() && now >= p.submit_at {
+                    let workload = BioWorkload {
+                        subjobs: p.setup.subjobs,
+                        chunk_minutes: self.chunk_minutes,
+                        deadline_minutes: self.deadline_minutes,
+                    };
+                    let token = fund_token(
+                        market.bank_mut(),
+                        &p.identity,
+                        p.account,
+                        jm.broker_account(),
+                        Credits::from_f64(p.setup.funding),
+                    )
+                    .map_err(GridError::from)?;
+                    let text = bio_job_xrsl(
+                        if p.setup.label.is_empty() {
+                            "bio-scan"
+                        } else {
+                            &p.setup.label
+                        },
+                        &workload,
+                        &token,
+                    );
+                    let spec = JobSpec::parse(&text, workload.work_mhz_secs_per_subjob())?;
+                    p.job = Some(jm.submit(&mut market, now, &spec)?);
+                }
+            }
+            jm.step(&mut market, now);
+            now = now + dt;
+            if pending.iter().all(|p| p.job.is_some()) && jm.all_settled() {
+                break;
+            }
+        }
+
+        // Collect per-user reports.
+        let users = pending
+            .iter()
+            .map(|p| {
+                let job = jm.job(p.job.expect("submitted")).expect("job exists");
+                let makespan_h = job.makespan(now).as_hours_f64();
+                let charged = job.charged.as_f64();
+                let nodes = job.max_nodes();
+                let avg_nodes = job.avg_nodes();
+                UserReport {
+                    label: p.setup.label.clone(),
+                    dn: p.identity.dn().to_owned(),
+                    funding: p.setup.funding,
+                    phase: job.phase,
+                    time_hours: makespan_h,
+                    cost_per_hour: if makespan_h > 0.0 { charged / makespan_h } else { 0.0 },
+                    charged,
+                    latency_min_per_job: if avg_nodes > 0.0 {
+                        makespan_h * 60.0 / avg_nodes
+                    } else {
+                        0.0
+                    },
+                    nodes,
+                    avg_nodes,
+                    completed_subjobs: job.completed_subjobs(),
+                    subjobs: job.subjobs.len(),
+                }
+            })
+            .collect();
+
+        let monitor = gm_grid::monitor::render(&market, &jm, 15);
+        Ok(ScenarioResult {
+            users,
+            price_trace: market.price_trace().clone(),
+            finished_at: now,
+            monitor,
+            total_money: market.bank().total_money().as_f64(),
+            total_minted: market.bank().total_minted().as_f64(),
+        })
+    }
+}
+
+/// Per-user outcome with the paper's Table 1–2 metrics.
+#[derive(Clone, Debug)]
+pub struct UserReport {
+    /// Display label.
+    pub label: String,
+    /// Grid DN.
+    pub dn: String,
+    /// Token funding in credits.
+    pub funding: f64,
+    /// Final job phase.
+    pub phase: JobPhase,
+    /// **Time**: wall-clock hours to complete the task.
+    pub time_hours: f64,
+    /// **Cost**: credits spent per hour.
+    pub cost_per_hour: f64,
+    /// Total credits charged.
+    pub charged: f64,
+    /// **Latency**: minutes per job (makespan·60 / average nodes — the
+    /// paper's arithmetic, see `EXPERIMENTS.md`).
+    pub latency_min_per_job: f64,
+    /// **Nodes**: peak concurrent nodes.
+    pub nodes: usize,
+    /// Average concurrent nodes.
+    pub avg_nodes: f64,
+    /// Sub-jobs completed.
+    pub completed_subjobs: usize,
+    /// Sub-jobs total.
+    pub subjobs: usize,
+}
+
+/// The outcome of a scenario run.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// Per-user reports in submission order.
+    pub users: Vec<UserReport>,
+    /// Spot-price history of every host.
+    pub price_trace: Trace,
+    /// Simulated end time.
+    pub finished_at: SimTime,
+    /// ARC-monitor snapshot at the end of the run.
+    pub monitor: String,
+    /// Total credits in the bank at the end (conservation check).
+    pub total_money: f64,
+    /// Total credits ever minted.
+    pub total_minted: f64,
+}
+
+impl ScenarioResult {
+    /// Did every user's job finish?
+    pub fn all_done(&self) -> bool {
+        self.users.iter().all(|u| u.phase == JobPhase::Done)
+    }
+
+    /// Money conservation invariant (minted == sum of balances + escrows
+    /// returns to balances at settlement).
+    pub fn money_conserved(&self) -> bool {
+        (self.total_money - self.total_minted).abs() < 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scenario() -> Scenario {
+        Scenario::builder()
+            .seed(1)
+            .hosts(4)
+            .chunk_minutes(10.0)
+            .deadline_minutes(120)
+            .horizon_hours(6)
+    }
+
+    #[test]
+    fn single_user_completes() {
+        let r = small_scenario()
+            .user(UserSetup::new(50.0).subjobs(4).label("solo"))
+            .run()
+            .unwrap();
+        assert!(r.all_done());
+        assert!(r.money_conserved(), "{} vs {}", r.total_money, r.total_minted);
+        let u = &r.users[0];
+        assert_eq!(u.completed_subjobs, 4);
+        assert!(u.time_hours > 0.1 && u.time_hours < 2.0, "{}", u.time_hours);
+        assert!(u.nodes >= 1 && u.nodes <= 4);
+        assert!(u.charged > 0.0);
+    }
+
+    #[test]
+    fn result_is_deterministic() {
+        let run = || {
+            small_scenario()
+                .user(UserSetup::new(50.0).subjobs(4))
+                .user(UserSetup::new(100.0).subjobs(4))
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.finished_at, b.finished_at);
+        for (ua, ub) in a.users.iter().zip(&b.users) {
+            assert_eq!(ua.time_hours, ub.time_hours);
+            assert_eq!(ua.charged, ub.charged);
+            assert_eq!(ua.nodes, ub.nodes);
+        }
+    }
+
+    #[test]
+    fn five_equal_users_show_late_loser_pattern() {
+        // Table 1's qualitative shape: later users get fewer or equal
+        // nodes than the first users (prices have risen by the time they
+        // submit).
+        let r = small_scenario()
+            .hosts(6)
+            .equal_users(5, 60.0)
+            .run()
+            .unwrap();
+        assert!(r.all_done());
+        let first = r.users[0].avg_nodes;
+        let last = r.users[4].avg_nodes;
+        assert!(
+            last <= first + 0.5,
+            "late user got more nodes ({last:.2}) than early ({first:.2})"
+        );
+    }
+
+    #[test]
+    fn price_trace_covers_all_hosts() {
+        let r = small_scenario()
+            .user(UserSetup::new(50.0).subjobs(2))
+            .run()
+            .unwrap();
+        assert_eq!(r.price_trace.len(), 4, "one series per host");
+        for (_, series) in r.price_trace.iter() {
+            assert!(!series.is_empty());
+        }
+    }
+
+    #[test]
+    fn monitor_snapshot_renders() {
+        let r = small_scenario()
+            .user(UserSetup::new(50.0).subjobs(2))
+            .run()
+            .unwrap();
+        assert!(r.monitor.contains("Tycoon Grid Monitor"));
+        assert!(r.monitor.contains("FINISHED"));
+    }
+
+    #[test]
+    fn heterogeneous_hosts_still_complete_deterministically() {
+        let run = || {
+            small_scenario()
+                .heterogeneity(0.25)
+                .user(UserSetup::new(80.0).subjobs(3))
+                .user(UserSetup::new(200.0).subjobs(3))
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        assert!(a.all_done());
+        assert!(a.money_conserved());
+        let b = run();
+        assert_eq!(a.finished_at, b.finished_at, "jitter must be seeded");
+        // Host capacities really differ: spot prices per MHz diverge.
+        let first_prices: Vec<f64> = a
+            .price_trace
+            .iter()
+            .filter_map(|(_, s)| s.values().last().copied())
+            .collect();
+        assert!(first_prices.len() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn empty_scenario_rejected() {
+        let _ = Scenario::builder().run();
+    }
+}

@@ -1,0 +1,278 @@
+//! Arithmetic in the Mersenne prime field `GF(p)`, `p = 2¹²⁷ − 1`, and in
+//! the exponent ring `Z_{p−1}`.
+//!
+//! `p = 2¹²⁷ − 1` is the Mersenne prime M127, which makes modular reduction
+//! a fold: `2¹²⁷ ≡ 1 (mod p)`, so a 254-bit product reduces with two shifts
+//! and adds. Elements are `u128` values in `[0, p)`.
+
+/// The field modulus `p = 2¹²⁷ − 1` (Mersenne prime M127).
+pub const P: u128 = (1u128 << 127) - 1;
+
+/// Order of the full multiplicative group, `p − 1`.
+pub const GROUP_ORDER: u128 = P - 1;
+
+/// Generator used by the signature scheme. Schnorr verification holds for
+/// any group element (exponent arithmetic is done mod `p − 1`, a multiple
+/// of the element's order), so we simply pick a small non-trivial element.
+pub const G: u128 = 7;
+
+const MASK: u128 = P; // low 127 bits
+
+/// Fold a value into `[0, p)` using `2¹²⁷ ≡ 1 (mod p)`.
+#[inline]
+fn fold(mut x: u128) -> u128 {
+    // At most two folds are needed for inputs below 2^128.
+    x = (x >> 127) + (x & MASK);
+    x = (x >> 127) + (x & MASK);
+    if x >= P {
+        x - P
+    } else {
+        x
+    }
+}
+
+/// Addition mod `p`.
+#[inline]
+pub fn add(a: u128, b: u128) -> u128 {
+    debug_assert!(a < P && b < P);
+    // a + b < 2^128: a single fold suffices.
+    fold(a.wrapping_add(b))
+}
+
+/// Subtraction mod `p`.
+#[inline]
+pub fn sub(a: u128, b: u128) -> u128 {
+    debug_assert!(a < P && b < P);
+    if a >= b {
+        a - b
+    } else {
+        a + P - b
+    }
+}
+
+/// Multiplication mod `p` via 64-bit limb products and Mersenne folding.
+pub fn mul(a: u128, b: u128) -> u128 {
+    debug_assert!(a < P && b < P);
+    let (a1, a0) = ((a >> 64) as u64, a as u64);
+    let (b1, b0) = ((b >> 64) as u64, b as u64);
+
+    let p00 = (a0 as u128) * (b0 as u128); // < 2^128
+    let p01 = (a0 as u128) * (b1 as u128); // < 2^127
+    let p10 = (a1 as u128) * (b0 as u128); // < 2^127
+    let p11 = (a1 as u128) * (b1 as u128); // < 2^126
+
+    // cross = p01 + p10 < 2^128 — no overflow.
+    let cross = p01 + p10;
+
+    // total = p11·2^128 + cross·2^64 + p00.
+    // Using 2^127 ≡ 1: 2^128 ≡ 2, and cross·2^64 splits into
+    // (cross >> 63)·2^127 + (cross & (2^63−1))·2^64
+    //   ≡ (cross >> 63) + (cross_low63 << 64).
+    let term_hi = fold(p11) << 1; // p11·2 < 2^127: safe
+    let cross_hi = cross >> 63; // ≤ 2^65
+    let cross_lo = (cross & ((1u128 << 63) - 1)) << 64; // < 2^127
+    // Sum pairwise through `add` — a direct 4-term sum of <2^127 values
+    // could overflow u128.
+    add(add(fold(term_hi + cross_hi), fold(cross_lo)), fold(p00))
+}
+
+/// Exponentiation `base^exp mod p` by square-and-multiply.
+pub fn pow(mut base: u128, mut exp: u128) -> u128 {
+    debug_assert!(base < P);
+    let mut acc: u128 = 1;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul(acc, base);
+        }
+        base = mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Multiplication in the exponent ring `Z_{p−1}` (arbitrary modulus, so we
+/// use shift-and-add; only used at signing time).
+pub fn scalar_mul(a: u128, b: u128) -> u128 {
+    let m = GROUP_ORDER;
+    let (mut a, mut b) = (a % m, b % m);
+    let mut acc: u128 = 0;
+    while b > 0 {
+        if b & 1 == 1 {
+            acc = addmod(acc, a, m);
+        }
+        a = addmod(a, a, m);
+        b >>= 1;
+    }
+    acc
+}
+
+/// Addition in `Z_{p−1}`.
+pub fn scalar_add(a: u128, b: u128) -> u128 {
+    addmod(a % GROUP_ORDER, b % GROUP_ORDER, GROUP_ORDER)
+}
+
+/// Subtraction in `Z_{p−1}`.
+pub fn scalar_sub(a: u128, b: u128) -> u128 {
+    let (a, b) = (a % GROUP_ORDER, b % GROUP_ORDER);
+    if a >= b {
+        a - b
+    } else {
+        a + GROUP_ORDER - b
+    }
+}
+
+#[inline]
+fn addmod(a: u128, b: u128, m: u128) -> u128 {
+    debug_assert!(a < m && b < m);
+    // m < 2^127 so a + b < 2^128: no overflow.
+    let s = a + b;
+    if s >= m {
+        s - m
+    } else {
+        s
+    }
+}
+
+/// Interpret 16 big-endian bytes as a field element (reduced mod p).
+pub fn from_bytes(bytes: &[u8; 16]) -> u128 {
+    fold(u128::from_be_bytes(*bytes))
+}
+
+/// Serialize a field element as 16 big-endian bytes.
+pub fn to_bytes(x: u128) -> [u8; 16] {
+    debug_assert!(x < P || x < u128::MAX); // elements and scalars both fit
+    x.to_be_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_reduces_correctly() {
+        assert_eq!(fold(P), 0);
+        assert_eq!(fold(P + 1), 1);
+        assert_eq!(fold(0), 0);
+        assert_eq!(fold(u128::MAX), u128::MAX - 2 * P); // 2^128−1 = 2p+1 → 1
+        assert_eq!(fold(u128::MAX), 1);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = P - 5;
+        let b = 123456789u128;
+        let s = add(a, b);
+        assert_eq!(sub(s, b), a);
+        assert_eq!(sub(s, a), b);
+        assert_eq!(add(P - 1, 1), 0);
+    }
+
+    #[test]
+    fn mul_small_values() {
+        assert_eq!(mul(3, 4), 12);
+        assert_eq!(mul(0, 99), 0);
+        assert_eq!(mul(1, P - 1), P - 1);
+    }
+
+    #[test]
+    fn mul_wraparound_identities() {
+        // (p−1)² ≡ 1 (mod p) since p−1 ≡ −1.
+        assert_eq!(mul(P - 1, P - 1), 1);
+        // (p−2)·2 = 2p−4 ≡ p−4.
+        assert_eq!(mul(P - 2, 2), P - 4);
+    }
+
+    #[test]
+    fn mul_matches_naive_for_64bit_inputs() {
+        // For inputs < 2^63 the product fits u128 and we can check directly.
+        let cases = [
+            (0x1234_5678_9abc_def0u128, 0x0fed_cba9_8765_4321u128),
+            ((1u128 << 62) + 12345, (1u128 << 62) + 67890),
+            (999_999_999_999u128, 888_888_888_888u128),
+        ];
+        for (a, b) in cases {
+            assert_eq!(mul(a, b), (a * b) % P, "a={a:#x} b={b:#x}");
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative_spotcheck() {
+        let xs = [
+            P - 1,
+            P / 2,
+            0xdead_beef_dead_beef_dead_beef_dead_beefu128 % P,
+            12345,
+            (1u128 << 126) + 999,
+        ];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(mul(a, b), mul(b, a));
+                for &c in &xs {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributive_law_spotcheck() {
+        let a = P - 12345;
+        let b = (1u128 << 100) + 77;
+        let c = (1u128 << 120) + 3;
+        assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+    }
+
+    #[test]
+    fn pow_basics() {
+        assert_eq!(pow(2, 10), 1024);
+        assert_eq!(pow(5, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+        assert_eq!(pow(1, u128::MAX >> 1), 1);
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p−1) ≡ 1 for a ≠ 0.
+        for a in [2u128, 3, 7, 1234567, P - 2] {
+            assert_eq!(pow(a, GROUP_ORDER), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn pow_adds_exponents() {
+        let a = 987654321u128;
+        let x = 0xabcdefu128;
+        let y = 0x123456u128;
+        assert_eq!(mul(pow(a, x), pow(a, y)), pow(a, x + y));
+    }
+
+    #[test]
+    fn scalar_ring_ops() {
+        assert_eq!(scalar_add(GROUP_ORDER - 1, 2), 1);
+        assert_eq!(scalar_sub(1, 2), GROUP_ORDER - 1);
+        assert_eq!(scalar_mul(3, 5), 15);
+        // (m−1)² mod m = 1
+        assert_eq!(scalar_mul(GROUP_ORDER - 1, GROUP_ORDER - 1), 1);
+    }
+
+    #[test]
+    fn schnorr_core_identity() {
+        // g^s·y^e == g^k where s = k − e·x (mod p−1), y = g^x.
+        let x = 0x1111_2222_3333_4444_5555u128;
+        let k = 0x9999_8888_7777_6666u128;
+        let e = 0xabcd_ef01_2345u128;
+        let y = pow(G, x);
+        let s = scalar_sub(k, scalar_mul(e, x));
+        let lhs = mul(pow(G, s), pow(y, e));
+        let rhs = pow(G, k);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let x = (1u128 << 126) + 424242;
+        assert_eq!(from_bytes(&to_bytes(x)), x);
+        // Values ≥ p wrap on decode.
+        assert_eq!(from_bytes(&to_bytes(P)), 0);
+    }
+}

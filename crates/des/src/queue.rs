@@ -1,0 +1,258 @@
+//! Priority event queue with deterministic ordering and lazy cancellation.
+//!
+//! Events at equal timestamps fire in insertion order (FIFO), which keeps
+//! runs reproducible. Cancellation is *lazy*: a cancelled id is remembered
+//! and the entry is dropped when it reaches the head, making `cancel` O(1)
+//! amortized without tombstone traversal.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// Handle identifying a scheduled event; returned by `push`, accepted by
+/// `cancel`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw sequence number (also the global insertion order).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+struct Entry<T> {
+    time: SimTime,
+    id: EventId,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time (then lowest id)
+        // is popped first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered queue of events of type `T`.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Schedule `payload` at absolute time `time`; returns a cancellable id.
+    pub fn push(&mut self, time: SimTime, payload: T) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Entry { time, id, payload });
+        id
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (not yet fired or cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        // We cannot cheaply know whether the id already fired; track it and
+        // let `pop` discard. Guard against unbounded growth by only storing
+        // ids that could still be in the heap.
+        if self.cancelled.contains(&id) {
+            return false;
+        }
+        self.cancelled.insert(id);
+        true
+    }
+
+    /// Time of the next pending event, skipping cancelled entries.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, T)> {
+        self.skip_cancelled();
+        self.heap.pop().map(|e| (e.time, e.id, e.payload))
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.remove(&head.id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of entries in the heap (including not-yet-dropped cancelled
+    /// entries; an upper bound on pending events).
+    pub fn len_upper_bound(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no pending (non-cancelled) events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(5), "e5");
+        q.push(t(1), "e1");
+        q.push(t(3), "e3");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec!["e1", "e3", "e5"]);
+    }
+
+    #[test]
+    fn fifo_at_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        let b = q.push(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        let (_, id, p) = q.pop().unwrap();
+        assert_eq!(p, "b");
+        assert_eq!(id, b);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+    }
+
+    #[test]
+    fn is_empty_reflects_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), ());
+        assert!(!q.is_empty());
+        q.cancel(a);
+        assert!(q.is_empty());
+    }
+
+    proptest::proptest! {
+        /// Whatever the schedule order, pops come out sorted by (time,
+        /// insertion order) with cancelled ids absent.
+        #[test]
+        fn pops_are_sorted_and_respect_cancellation(
+            entries in proptest::collection::vec((0u64..100, proptest::bool::ANY), 1..60)
+        ) {
+            let mut q = EventQueue::new();
+            let mut ids = Vec::new();
+            for (secs, cancel) in &entries {
+                let id = q.push(t(*secs), *secs);
+                ids.push((id, *cancel));
+            }
+            let mut expected: Vec<(u64, u64)> = Vec::new();
+            for ((id, cancel), (secs, _)) in ids.iter().zip(&entries) {
+                if *cancel {
+                    q.cancel(*id);
+                } else {
+                    expected.push((*secs, id.raw()));
+                }
+            }
+            expected.sort();
+            let mut got = Vec::new();
+            while let Some((time, id, _)) = q.pop() {
+                got.push((time.as_micros() / 1_000_000, id.raw()));
+            }
+            proptest::prop_assert_eq!(got, expected);
+        }
+
+        /// `peek_time` always equals the time of the next `pop`.
+        #[test]
+        fn peek_matches_pop(times in proptest::collection::vec(0u64..50, 1..40)) {
+            let mut q = EventQueue::new();
+            for &s in &times {
+                q.push(t(s), ());
+            }
+            while let Some(peek) = q.peek_time() {
+                let (popped, _, _) = q.pop().expect("peek implies pop");
+                proptest::prop_assert_eq!(peek, popped);
+            }
+            proptest::prop_assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 10);
+        q.push(t(20), 20);
+        let (time, _, v) = q.pop().unwrap();
+        assert_eq!((time, v), (t(10), 10));
+        q.push(t(15), 15);
+        let (_, _, v) = q.pop().unwrap();
+        assert_eq!(v, 15);
+        let (_, _, v) = q.pop().unwrap();
+        assert_eq!(v, 20);
+    }
+}

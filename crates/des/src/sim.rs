@@ -1,0 +1,280 @@
+//! The simulation executor.
+//!
+//! A [`Sim<S>`] owns the clock and the event queue; the caller owns the
+//! world state `S`. Handlers are `FnOnce(&mut S, &mut Sim<S>)` — they are
+//! popped off the queue *before* being invoked, so they can freely schedule
+//! and cancel further events through the `&mut Sim<S>` they receive.
+//!
+//! ```
+//! use gm_des::{Sim, SimDuration, SimTime};
+//!
+//! let mut sim: Sim<u32> = Sim::new();
+//! let mut counter = 0u32;
+//! sim.schedule_in(SimDuration::from_secs(5), |c: &mut u32, sim| {
+//!     *c += 1;
+//!     sim.schedule_in(SimDuration::from_secs(5), |c: &mut u32, _| *c += 10);
+//! });
+//! sim.run(&mut counter);
+//! assert_eq!(counter, 11);
+//! assert_eq!(sim.now(), SimTime::from_secs(10));
+//! ```
+
+use std::ops::ControlFlow;
+
+use crate::queue::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled event handler.
+pub type Handler<S> = Box<dyn FnOnce(&mut S, &mut Sim<S>)>;
+
+/// Discrete-event simulator over world state `S`.
+pub struct Sim<S> {
+    queue: EventQueue<Handler<S>>,
+    now: SimTime,
+    fired: u64,
+}
+
+/// Alias kept for API clarity in signatures that only schedule/cancel.
+pub type Context<S> = Sim<S>;
+
+impl<S: 'static> Default for Sim<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: 'static> Sim<S> {
+    /// New simulator with the clock at zero.
+    pub fn new() -> Self {
+        Sim {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            fired: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events fired so far.
+    #[inline]
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Schedule a handler at absolute time `at`. Times in the past are
+    /// clamped to `now` (the event fires on the next step).
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut S, &mut Sim<S>) + 'static,
+    ) -> EventId {
+        let at = at.max(self.now);
+        self.queue.push(at, Box::new(f))
+    }
+
+    /// Schedule a handler `after` from now.
+    pub fn schedule_in(
+        &mut self,
+        after: SimDuration,
+        f: impl FnOnce(&mut S, &mut Sim<S>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + after, f)
+    }
+
+    /// Schedule a recurring handler starting at `first`, repeating every
+    /// `every` until the closure returns [`ControlFlow::Break`].
+    pub fn schedule_every(
+        &mut self,
+        first: SimTime,
+        every: SimDuration,
+        f: impl FnMut(&mut S, &mut Sim<S>) -> ControlFlow<()> + 'static,
+    ) -> EventId {
+        assert!(!every.is_zero(), "recurring event with zero period");
+        let cell = std::rc::Rc::new(std::cell::RefCell::new(f));
+        let handler = recurring_handler(cell, every);
+        self.schedule_at(first, handler)
+    }
+
+    /// Cancel a pending event. Returns `true` if it had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Fire the next event. Returns `false` if the queue is empty.
+    pub fn step(&mut self, state: &mut S) -> bool {
+        match self.queue.pop() {
+            Some((time, _, handler)) => {
+                debug_assert!(time >= self.now, "time went backwards");
+                self.now = time;
+                self.fired += 1;
+                handler(state, self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the queue is empty or the next event is after `until`;
+    /// the clock is left at `min(until, last event time)`… specifically,
+    /// events at exactly `until` DO fire. Returns the number of events fired.
+    pub fn run_until(&mut self, state: &mut S, until: SimTime) -> u64 {
+        let start = self.fired;
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step(state);
+        }
+        // Advance the clock to `until` so subsequent `schedule_in` calls are
+        // relative to the requested horizon.
+        if self.now < until {
+            self.now = until;
+        }
+        self.fired - start
+    }
+
+    /// Run until the queue drains. Returns the number of events fired.
+    pub fn run(&mut self, state: &mut S) -> u64 {
+        let start = self.fired;
+        while self.step(state) {}
+        self.fired - start
+    }
+}
+
+fn recurring_handler<S, F>(
+    f: std::rc::Rc<std::cell::RefCell<F>>,
+    every: SimDuration,
+) -> Handler<S>
+where
+    F: FnMut(&mut S, &mut Sim<S>) -> ControlFlow<()> + 'static,
+    S: 'static,
+{
+    Box::new(move |state: &mut S, sim: &mut Sim<S>| {
+        let flow = (f.borrow_mut())(state, sim);
+        if flow.is_continue() {
+            let next = sim.now() + every;
+            let h = recurring_handler(f.clone(), every);
+            sim.queue.push(next, h);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_order_and_clock_advances() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut log = Vec::new();
+        sim.schedule_at(SimTime::from_secs(3), |l: &mut Vec<u64>, s| {
+            l.push(s.now().as_micros())
+        });
+        sim.schedule_at(SimTime::from_secs(1), |l: &mut Vec<u64>, s| {
+            l.push(s.now().as_micros())
+        });
+        sim.run(&mut log);
+        assert_eq!(log, vec![1_000_000, 3_000_000]);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut n = 0;
+        sim.schedule_in(SimDuration::from_secs(1), |n: &mut u32, sim| {
+            *n += 1;
+            sim.schedule_in(SimDuration::from_secs(1), |n: &mut u32, _| *n += 1);
+        });
+        let fired = sim.run(&mut n);
+        assert_eq!(n, 2);
+        assert_eq!(fired, 2);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon_inclusive() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut log = Vec::new();
+        for s in 1..=10u64 {
+            sim.schedule_at(SimTime::from_secs(s), move |l: &mut Vec<u64>, _| l.push(s));
+        }
+        sim.run_until(&mut log, SimTime::from_secs(5));
+        assert_eq!(log, vec![1, 2, 3, 4, 5]);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        sim.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.run_until(&mut (), SimTime::from_secs(100));
+        assert_eq!(sim.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn cancellation_prevents_firing() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut n = 0;
+        let id = sim.schedule_in(SimDuration::from_secs(1), |n: &mut u32, _| *n += 1);
+        assert!(sim.cancel(id));
+        sim.run(&mut n);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn recurring_event_runs_until_break() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut n = 0;
+        sim.schedule_every(
+            SimTime::from_secs(10),
+            SimDuration::from_secs(10),
+            |n: &mut u32, _| {
+                *n += 1;
+                if *n >= 5 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
+        sim.run(&mut n);
+        assert_eq!(n, 5);
+        assert_eq!(sim.now(), SimTime::from_secs(50));
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        let mut sim: Sim<Vec<&'static str>> = Sim::new();
+        let mut log = Vec::new();
+        sim.schedule_at(SimTime::from_secs(5), |l: &mut Vec<&'static str>, sim| {
+            l.push("outer");
+            // schedule "in the past" — must fire at t=5, not panic
+            sim.schedule_at(SimTime::from_secs(1), |l: &mut Vec<&'static str>, _| {
+                l.push("clamped")
+            });
+        });
+        sim.run(&mut log);
+        assert_eq!(log, vec!["outer", "clamped"]);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero period")]
+    fn zero_period_recurring_panics() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.schedule_every(SimTime::ZERO, SimDuration::ZERO, |_, _| {
+            ControlFlow::Continue(())
+        });
+    }
+}

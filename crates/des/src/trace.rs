@@ -1,0 +1,197 @@
+//! Time-series recording.
+//!
+//! Experiments sample the spot price of every host each allocation interval
+//! (10 s in the paper) and feed the traces to the prediction models. A
+//! [`Series`] is a single `(time, value)` stream; a [`Trace`] is a keyed
+//! collection of series (one per host, per user, …).
+
+use std::collections::BTreeMap;
+
+use crate::time::SimTime;
+
+/// One sampled time series.
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl Series {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `value` at `time`. Times must be non-decreasing.
+    pub fn push(&mut self, time: SimTime, value: f64) {
+        debug_assert!(
+            self.times.last().map_or(true, |&t| t <= time),
+            "series time went backwards"
+        );
+        self.times.push(time);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no samples recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The sampled values in time order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The sample timestamps in time order.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// Iterate over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Values whose timestamps fall in the half-open window `[from, to)`.
+    pub fn window(&self, from: SimTime, to: SimTime) -> &[f64] {
+        let lo = self.times.partition_point(|&t| t < from);
+        let hi = self.times.partition_point(|&t| t < to);
+        &self.values[lo..hi]
+    }
+
+    /// Arithmetic mean of all values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Last recorded value.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        match (self.times.last(), self.values.last()) {
+            (Some(&t), Some(&v)) => Some((t, v)),
+            _ => None,
+        }
+    }
+}
+
+/// A keyed collection of [`Series`].
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    series: BTreeMap<String, Series>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `value` for `key` at `time`, creating the series on first use.
+    pub fn record(&mut self, key: &str, time: SimTime, value: f64) {
+        if let Some(s) = self.series.get_mut(key) {
+            s.push(time, value);
+        } else {
+            let mut s = Series::new();
+            s.push(time, value);
+            self.series.insert(key.to_owned(), s);
+        }
+    }
+
+    /// Get a series by key.
+    pub fn get(&self, key: &str) -> Option<&Series> {
+        self.series.get(key)
+    }
+
+    /// Iterate over `(key, series)` in key order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Series)> {
+        self.series.iter().map(|(k, s)| (k.as_str(), s))
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True if no series exist.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Render as CSV (`key,time_s,value` rows) for offline plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("key,time_s,value\n");
+        for (k, s) in self.iter() {
+            for (t, v) in s.iter() {
+                out.push_str(&format!("{k},{:.6},{v:.9}\n", t.as_secs_f64()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn series_records_and_windows() {
+        let mut s = Series::new();
+        for i in 0..10 {
+            s.push(t(i), i as f64);
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.window(t(3), t(6)), &[3.0, 4.0, 5.0]);
+        assert_eq!(s.window(t(0), t(100)).len(), 10);
+        assert_eq!(s.window(t(20), t(30)).len(), 0);
+        assert_eq!(s.mean(), Some(4.5));
+        assert_eq!(s.last(), Some((t(9), 9.0)));
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = Series::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.last(), None);
+    }
+
+    #[test]
+    fn trace_keys_are_deterministic() {
+        let mut tr = Trace::new();
+        tr.record("z", t(0), 1.0);
+        tr.record("a", t(0), 2.0);
+        tr.record("m", t(0), 3.0);
+        let keys: Vec<&str> = tr.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn trace_appends_to_existing_series() {
+        let mut tr = Trace::new();
+        tr.record("h0", t(0), 1.0);
+        tr.record("h0", t(10), 2.0);
+        assert_eq!(tr.get("h0").unwrap().values(), &[1.0, 2.0]);
+        assert_eq!(tr.len(), 1);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut tr = Trace::new();
+        tr.record("p", t(1), 0.5);
+        let csv = tr.to_csv();
+        assert!(csv.starts_with("key,time_s,value\n"));
+        assert!(csv.contains("p,1.000000,0.500000000"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # gm-exec — work-stealing thread pool
+//!
+//! The "live" execution substrate. Experiments run on the deterministic
+//! simulator, but the example binaries really execute the bioinformatics
+//! kernel (`gm-bio`), and that is a trivially parallel bag-of-tasks — the
+//! exact workload shape the paper targets. This crate provides the pool
+//! that runs it: a classic work-stealing design (per-worker
+//! `crossbeam::deque::Worker` + global `Injector`, LIFO locally, FIFO
+//! steals) in the style the Rayon guide describes.
+//!
+//! ```
+//! use gm_exec::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.par_map((0..100).collect::<Vec<u64>>(), |x| x * x);
+//! assert_eq!(squares[9], 81);
+//! ```
+
+pub mod pool;
+pub mod wait_group;
+
+pub use pool::ThreadPool;
+pub use wait_group::WaitGroup;

@@ -1,0 +1,348 @@
+//! Work-stealing thread pool.
+//!
+//! Layout: one `crossbeam::deque::Worker` per thread (LIFO for cache
+//! locality), a global `Injector` for external submissions, and each worker
+//! holding `Stealer`s for every sibling. Idle workers spin briefly, then
+//! park on a condition variable; submissions wake one sleeper.
+//!
+//! Panics inside tasks are caught per-task; `par_map` re-raises the first
+//! one after all tasks settle, so a poisoned run cannot deadlock `wait`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+
+use crate::wait_group::WaitGroup;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    shutdown: AtomicBool,
+    sleepers: Mutex<usize>,
+    wakeup: Condvar,
+    executed: AtomicUsize,
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "thread pool needs at least one thread");
+        let workers: Vec<Worker<Task>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<Task>> = workers.iter().map(Worker::stealer).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            sleepers: Mutex::new(0),
+            wakeup: Condvar::new(),
+            executed: AtomicUsize::new(0),
+        });
+
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(idx, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gm-exec-{idx}"))
+                    .spawn(move || worker_loop(idx, local, shared))
+                    .expect("failed to spawn pool thread")
+            })
+            .collect();
+
+        ThreadPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Pool sized to the number of available CPUs (min 1).
+    pub fn with_default_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total tasks executed so far (diagnostics).
+    pub fn tasks_executed(&self) -> usize {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Submit a task for asynchronous execution.
+    pub fn execute(&self, f: impl FnOnce() + Send + 'static) {
+        self.shared.injector.push(Box::new(f));
+        // Wake one sleeping worker, if any.
+        let sleepers = self.shared.sleepers.lock();
+        if *sleepers > 0 {
+            self.shared.wakeup.notify_one();
+        }
+    }
+
+    /// Map `f` over `items` in parallel, preserving order.
+    ///
+    /// Panics raised by `f` are propagated (after all tasks have settled).
+    pub fn par_map<T, U>(&self, items: Vec<T>, f: impl Fn(T) -> U + Send + Sync + 'static) -> Vec<U>
+    where
+        T: Send + 'static,
+        U: Send + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let f = Arc::new(f);
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<U>)>();
+        let wg = WaitGroup::new();
+        wg.add(n);
+
+        for (i, item) in items.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            let wg = wg.clone();
+            self.execute(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| f(item)));
+                // Receiver outlives all tasks (rx lives until fn end), but
+                // ignore send errors defensively if the caller panicked.
+                let _ = tx.send((i, out));
+                wg.done();
+            });
+        }
+        drop(tx);
+        wg.wait();
+
+        let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        for (i, res) in rx.iter() {
+            match res {
+                Ok(v) => slots[i] = Some(v),
+                Err(p) => {
+                    if panic_payload.is_none() {
+                        panic_payload = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("par_map slot unfilled"))
+            .collect()
+    }
+
+    /// Run `f` over `0..n` in parallel for side effects (e.g. filling
+    /// disjoint slices through interior mutability).
+    pub fn par_for_each_index(&self, n: usize, f: impl Fn(usize) + Send + Sync + 'static) {
+        let f = Arc::new(f);
+        let wg = WaitGroup::new();
+        wg.add(n);
+        for i in 0..n {
+            let f = Arc::clone(&f);
+            let wg = wg.clone();
+            self.execute(move || {
+                let _ = catch_unwind(AssertUnwindSafe(|| f(i)));
+                wg.done();
+            });
+        }
+        wg.wait();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.sleepers.lock();
+            self.shared.wakeup.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(index: usize, local: Worker<Task>, shared: Arc<Shared>) {
+    loop {
+        if let Some(task) = find_task(index, &local, &shared) {
+            let _ = catch_unwind(AssertUnwindSafe(task));
+            shared.executed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Nothing found: park until a submission arrives.
+        let mut sleepers = shared.sleepers.lock();
+        // Re-check under the lock to avoid a lost wakeup between the failed
+        // find_task and the park.
+        if !shared.injector.is_empty() || shared.shutdown.load(Ordering::SeqCst) {
+            continue;
+        }
+        *sleepers += 1;
+        shared.wakeup.wait(&mut sleepers);
+        *sleepers -= 1;
+    }
+}
+
+fn find_task(index: usize, local: &Worker<Task>, shared: &Shared) -> Option<Task> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    // Drain a batch from the injector into the local queue.
+    loop {
+        match shared.injector.steal_batch_and_pop(local) {
+            crossbeam::deque::Steal::Success(t) => return Some(t),
+            crossbeam::deque::Steal::Retry => continue,
+            crossbeam::deque::Steal::Empty => break,
+        }
+    }
+    // Steal from siblings.
+    for (i, stealer) in shared.stealers.iter().enumerate() {
+        if i == index {
+            continue;
+        }
+        loop {
+            match stealer.steal() {
+                crossbeam::deque::Steal::Success(t) => return Some(t),
+                crossbeam::deque::Steal::Retry => continue,
+                crossbeam::deque::Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_tasks() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        let wg = WaitGroup::new();
+        wg.add(1000);
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            let wg = wg.clone();
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+                wg.done();
+            });
+        }
+        wg.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let pool = ThreadPool::new(8);
+        let out = pool.par_map((0..500u64).collect(), |x| x * 2);
+        assert_eq!(out, (0..500u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_input() {
+        let pool = ThreadPool::new(2);
+        let out: Vec<u32> = pool.par_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_on_single_thread_pool() {
+        let pool = ThreadPool::new(1);
+        let out = pool.par_map(vec![3, 1, 4, 1, 5], |x| x + 1);
+        assert_eq!(out, vec![4, 2, 5, 2, 6]);
+    }
+
+    #[test]
+    fn work_is_distributed() {
+        // With enough slow tasks, more than one worker must participate.
+        let pool = ThreadPool::new(4);
+        let ids = Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let ids2 = Arc::clone(&ids);
+        pool.par_map((0..64).collect::<Vec<u32>>(), move |_| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            ids2.lock().insert(std::thread::current().id());
+        });
+        assert!(ids.lock().len() > 1, "only one worker ran tasks");
+    }
+
+    #[test]
+    fn panic_in_task_propagates_from_par_map() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(vec![1, 2, 3], |x| {
+                if x == 2 {
+                    panic!("boom");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err());
+        // Pool still usable afterwards.
+        let ok = pool.par_map(vec![1, 2, 3], |x| x * 10);
+        assert_eq!(ok, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn par_for_each_index_covers_range() {
+        let pool = ThreadPool::new(3);
+        let hits = Arc::new((0..100).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+        let hits2 = Arc::clone(&hits);
+        pool.par_for_each_index(100, move |i| {
+            hits2[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn drop_joins_cleanly() {
+        let pool = ThreadPool::new(4);
+        for _ in 0..100 {
+            pool.execute(|| {});
+        }
+        drop(pool); // must not hang or panic
+    }
+
+    #[test]
+    fn tasks_executed_counts() {
+        let pool = ThreadPool::new(2);
+        pool.par_map((0..50).collect::<Vec<u32>>(), |x| x);
+        assert!(pool.tasks_executed() >= 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        ThreadPool::new(0);
+    }
+}

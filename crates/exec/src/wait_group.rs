@@ -1,0 +1,100 @@
+//! A counting wait group (Go-style) built on `parking_lot`.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+struct Inner {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// Tracks a set of outstanding tasks; `wait` blocks until all clones have
+/// been dropped or `done` has been called once per `add`.
+#[derive(Clone)]
+pub struct WaitGroup {
+    inner: Arc<Inner>,
+}
+
+impl Default for WaitGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaitGroup {
+    /// New wait group with a count of zero.
+    pub fn new() -> Self {
+        WaitGroup {
+            inner: Arc::new(Inner {
+                count: Mutex::new(0),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Increment the outstanding-task count by `n`.
+    pub fn add(&self, n: usize) {
+        *self.inner.count.lock() += n;
+    }
+
+    /// Mark one task complete.
+    ///
+    /// # Panics
+    /// Panics if called more times than `add` accounted for.
+    pub fn done(&self) {
+        let mut c = self.inner.count.lock();
+        assert!(*c > 0, "WaitGroup::done without matching add");
+        *c -= 1;
+        if *c == 0 {
+            self.inner.cv.notify_all();
+        }
+    }
+
+    /// Block until the count reaches zero.
+    pub fn wait(&self) {
+        let mut c = self.inner.count.lock();
+        while *c > 0 {
+            self.inner.cv.wait(&mut c);
+        }
+    }
+
+    /// Current outstanding count (racy; for diagnostics only).
+    pub fn pending(&self) -> usize {
+        *self.inner.count.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn wait_returns_when_done() {
+        let wg = WaitGroup::new();
+        wg.add(3);
+        let wg2 = wg.clone();
+        let t = thread::spawn(move || {
+            for _ in 0..3 {
+                thread::sleep(Duration::from_millis(5));
+                wg2.done();
+            }
+        });
+        wg.wait();
+        assert_eq!(wg.pending(), 0);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_with_zero_count_is_immediate() {
+        WaitGroup::new().wait();
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching add")]
+    fn done_without_add_panics() {
+        WaitGroup::new().done();
+    }
+}

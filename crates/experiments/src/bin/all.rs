@@ -1,0 +1,14 @@
+//! Regenerate every table and figure. Pass `--paper` for full scale.
+fn main() {
+    let scale = gm_experiments::Scale::from_args();
+    println!("{}", gm_experiments::table1::run(scale).rendered);
+    println!("{}", gm_experiments::table2::run(scale).rendered);
+    println!("{}", gm_experiments::fig3::run(scale).rendered);
+    println!("{}", gm_experiments::fig4::run(scale).rendered);
+    println!("{}", gm_experiments::fig5::run(scale).rendered);
+    println!("{}", gm_experiments::fig6::run(scale).rendered);
+    println!("{}", gm_experiments::fig7::run(scale).rendered);
+    println!("{}", gm_experiments::ext_sweep::run(scale).rendered);
+    println!("{}", gm_experiments::ext_volatility::run(scale).rendered);
+    println!("{}", gm_experiments::ext_scaling::run(scale).rendered);
+}

@@ -1,0 +1,6 @@
+//! Regenerate the paper's fig6. Pass `--paper` for full-scale parameters.
+fn main() {
+    let scale = gm_experiments::Scale::from_args();
+    let result = gm_experiments::fig6::run(scale);
+    println!("{}", result.rendered);
+}

@@ -1,0 +1,6 @@
+//! Regenerate the paper's fig7. Pass `--paper` for full-scale parameters.
+fn main() {
+    let scale = gm_experiments::Scale::from_args();
+    let result = gm_experiments::fig7::run(scale);
+    println!("{}", result.rendered);
+}

@@ -1,0 +1,5 @@
+//! Extension experiment: weak scaling. `--paper` for full scale.
+fn main() {
+    let scale = gm_experiments::Scale::from_args();
+    println!("{}", gm_experiments::ext_scaling::run(scale).rendered);
+}

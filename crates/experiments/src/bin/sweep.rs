@@ -1,0 +1,5 @@
+//! Extension experiment: funding sweep. Pass `--paper` for full scale.
+fn main() {
+    let scale = gm_experiments::Scale::from_args();
+    println!("{}", gm_experiments::ext_sweep::run(scale).rendered);
+}

@@ -1,0 +1,6 @@
+//! Extension experiment: price predictability comparison. `--paper` for
+//! full scale.
+fn main() {
+    let scale = gm_experiments::Scale::from_args();
+    println!("{}", gm_experiments::ext_volatility::run(scale).rendered);
+}

@@ -1,0 +1,117 @@
+//! Extension experiment: cluster scaling.
+//!
+//! §3 closes with "we therefore believe that this model will scale well as
+//! the number of compute nodes and virtual machines on these compute nodes
+//! increase." We measure it: double the hosts *and* the offered load
+//! together (weak scaling) and check that per-user makespans stay flat
+//! while total delivered work doubles.
+
+use gridmarket::scenario::{Scenario, UserSetup};
+
+use crate::Scale;
+
+/// One scaling point.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    /// Number of hosts.
+    pub hosts: u32,
+    /// Number of users (scaled with hosts).
+    pub users: u32,
+    /// Worst per-user makespan (hours).
+    pub makespan_hours: f64,
+    /// Total sub-jobs completed.
+    pub completed: usize,
+    /// All jobs done?
+    pub all_done: bool,
+}
+
+/// Structured result.
+#[derive(Clone, Debug)]
+pub struct Scaling {
+    /// Points in increasing cluster size.
+    pub points: Vec<ScalePoint>,
+    /// Rendered report.
+    pub rendered: String,
+}
+
+/// Run the weak-scaling sweep.
+pub fn run(scale: Scale) -> Scaling {
+    let configs: Vec<(u32, u32)> = match scale {
+        // (hosts, users): load per host constant at 1 user per 2 hosts.
+        Scale::Paper => vec![(10, 5), (20, 10), (40, 20)],
+        Scale::Quick => vec![(4, 2), (8, 4), (16, 8)],
+    };
+    let (chunk_minutes, deadline, subjobs) = match scale {
+        Scale::Paper => (60.0, 240, 8u32),
+        Scale::Quick => (6.0, 60, 3u32),
+    };
+
+    let points: Vec<ScalePoint> = configs
+        .into_iter()
+        .map(|(hosts, users)| {
+            let mut s = Scenario::builder()
+                .seed(0x5CA1E)
+                .hosts(hosts)
+                .chunk_minutes(chunk_minutes)
+                .deadline_minutes(deadline)
+                .horizon_hours(12);
+            for i in 0..users {
+                s = s.user(
+                    UserSetup::new(100.0)
+                        .subjobs(subjobs)
+                        .label(&format!("u{i}")),
+                );
+            }
+            let r = s.run().expect("scaling scenario");
+            ScalePoint {
+                hosts,
+                users,
+                makespan_hours: r.users.iter().map(|u| u.time_hours).fold(0.0, f64::max),
+                completed: r.users.iter().map(|u| u.completed_subjobs).sum(),
+                all_done: r.all_done(),
+            }
+        })
+        .collect();
+
+    let mut rendered = String::from(
+        "Extension: weak scaling (load grows with the cluster; flat makespan = scales)\n",
+    );
+    rendered.push_str("hosts  users  makespan(h)  completed  all-done\n");
+    for p in &points {
+        rendered.push_str(&format!(
+            "{:>5} {:>6} {:>12.2} {:>10} {:>9}\n",
+            p.hosts, p.users, p.makespan_hours, p.completed, p.all_done
+        ));
+    }
+    Scaling { points, rendered }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_scaling_keeps_makespans_flat() {
+        let s = run(Scale::Quick);
+        assert_eq!(s.points.len(), 3);
+        for p in &s.points {
+            assert!(p.all_done, "{}-host point did not finish", p.hosts);
+        }
+        let base = s.points[0].makespan_hours;
+        for p in &s.points[1..] {
+            assert!(
+                p.makespan_hours < base * 1.5,
+                "makespan blew up at {} hosts: {:.2} vs {:.2} h",
+                p.hosts,
+                p.makespan_hours,
+                base
+            );
+        }
+    }
+
+    #[test]
+    fn completed_work_scales_with_cluster() {
+        let s = run(Scale::Quick);
+        assert!(s.points[2].completed >= s.points[0].completed * 3);
+    }
+}

@@ -1,0 +1,133 @@
+//! Extension experiment: funding sweep.
+//!
+//! Not a paper figure — an in-vivo check of the §4.2 story: Fig. 3 tells a
+//! user what to *expect* for a budget; this experiment measures what a
+//! budget actually *buys* when a job competes against a fixed background
+//! load. Completion time should fall (and hourly cost rise) monotonically
+//! with funding, saturating once the job owns ~full shares of its hosts.
+
+use gridmarket::scenario::{Scenario, UserSetup};
+use gridmarket::UserReport;
+
+use crate::Scale;
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The target user's token funding.
+    pub funding: f64,
+    /// The target user's outcome.
+    pub report: UserReport,
+}
+
+/// Structured result.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// Sweep points in increasing funding order.
+    pub points: Vec<SweepPoint>,
+    /// Rendered report.
+    pub rendered: String,
+}
+
+/// Funding levels swept.
+pub fn fundings(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Paper => vec![10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0],
+        Scale::Quick => vec![20.0, 100.0, 500.0],
+    }
+}
+
+/// Run the sweep: the target user (submitted last) vs four fixed
+/// 100-credit background users.
+pub fn run(scale: Scale) -> Sweep {
+    let points: Vec<SweepPoint> = fundings(scale)
+        .into_iter()
+        .map(|funding| {
+            let mut s = match scale {
+                Scale::Paper => Scenario::builder()
+                    .seed(0x5EEB)
+                    .hosts(30)
+                    .chunk_minutes(212.0)
+                    .deadline_minutes(330)
+                    .horizon_hours(48),
+                Scale::Quick => Scenario::builder()
+                    .seed(0x5EEB)
+                    .hosts(8)
+                    .chunk_minutes(8.0)
+                    .deadline_minutes(60)
+                    .horizon_hours(8),
+            };
+            let subjobs = crate::table1::subjobs(scale);
+            for i in 0..4 {
+                s = s.user(
+                    UserSetup::new(100.0)
+                        .subjobs(subjobs)
+                        .label(&format!("bg{}", i + 1)),
+                );
+            }
+            s = s.user(UserSetup::new(funding).subjobs(subjobs).label("target"));
+            let result = s.run().expect("sweep scenario");
+            SweepPoint {
+                funding,
+                report: result.users.last().expect("target user").clone(),
+            }
+        })
+        .collect();
+
+    let mut rendered = String::from("Extension: funding sweep (target user vs 4x100-credit background)\n");
+    rendered.push_str("funding   time(h)  cost($/h)  latency(min)  nodes  done\n");
+    for p in &points {
+        rendered.push_str(&format!(
+            "{:>7.0} {:>8.2} {:>10.2} {:>13.2} {:>6} {:>4}/{}\n",
+            p.funding,
+            p.report.time_hours,
+            p.report.cost_per_hour,
+            p.report.latency_min_per_job,
+            p.report.nodes,
+            p.report.completed_subjobs,
+            p.report.subjobs,
+        ));
+    }
+    Sweep { points, rendered }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_grid::JobPhase;
+
+    #[test]
+    fn more_funding_never_hurts_completion_time() {
+        let sweep = run(Scale::Quick);
+        assert_eq!(sweep.points.len(), 3);
+        let done: Vec<&SweepPoint> = sweep
+            .points
+            .iter()
+            .filter(|p| p.report.phase == JobPhase::Done)
+            .collect();
+        assert!(done.len() >= 2, "most sweep points should complete");
+        for w in done.windows(2) {
+            assert!(
+                w[1].report.time_hours <= w[0].report.time_hours * 1.15,
+                "funding {} slower than {}: {:.2} vs {:.2} h",
+                w[1].funding,
+                w[0].funding,
+                w[1].report.time_hours,
+                w[0].report.time_hours
+            );
+        }
+    }
+
+    #[test]
+    fn hourly_cost_rises_with_funding() {
+        let sweep = run(Scale::Quick);
+        let first = &sweep.points.first().unwrap().report;
+        let last = &sweep.points.last().unwrap().report;
+        assert!(
+            last.cost_per_hour >= first.cost_per_hour,
+            "{} vs {}",
+            last.cost_per_hour,
+            first.cost_per_hour
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Fig. 3 — Normal-distribution prediction with different guarantee
+//! levels (§5.4).
+//!
+//! "Depending on what guarantee of average performance the user wants,
+//! different curves may be followed to decide on how much to spend." The
+//! figure plots guaranteed CPU capacity (MHz) against budget ($/day) for
+//! 80 %, 90 % and 99 % guarantees, based on a one-day price window.
+
+use gm_predict::normal::{guarantee_curve, GuaranteeCurvePoint, NormalPriceModel};
+use gm_tycoon::HostId;
+
+use crate::pricegen::{host0_prices, PriceGenConfig};
+use crate::Scale;
+
+/// Structured result of the Fig. 3 experiment.
+#[derive(Clone, Debug)]
+pub struct Fig3 {
+    /// Budgets swept (credits/day).
+    pub budgets_per_day: Vec<f64>,
+    /// One curve per guarantee level: `(p, points)`.
+    pub curves: Vec<(f64, Vec<GuaranteeCurvePoint>)>,
+    /// Price-model inputs (μ, σ of the day window).
+    pub price_mean: f64,
+    /// Price standard deviation of the window.
+    pub price_std: f64,
+    /// Rendered report.
+    pub rendered: String,
+}
+
+/// The guarantee levels of the paper's figure.
+pub const GUARANTEES: [f64; 3] = [0.80, 0.90, 0.99];
+
+/// Run the experiment: derive the host price model from a generated
+/// market trace, then sweep budgets at each guarantee level.
+pub fn run(scale: Scale) -> Fig3 {
+    let (hours, n_budgets) = match scale {
+        Scale::Paper => (24.0, 40),
+        Scale::Quick => (3.0, 15),
+    };
+    let cfg = PriceGenConfig::new(hours, 0xF163);
+    let prices = host0_prices(&cfg);
+    assert!(!prices.is_empty());
+    let model = NormalPriceModel::from_prices(HostId(0), &prices, 2910.0);
+
+    // Sweep budgets up to the point where even the 99 % curve saturates.
+    let max_per_day = (model.mean + 3.0 * model.std_dev).max(1e-6) * 86_400.0 * 20.0;
+    let budgets_per_day: Vec<f64> = (1..=n_budgets)
+        .map(|i| max_per_day * i as f64 / n_budgets as f64)
+        .collect();
+
+    let curves: Vec<(f64, Vec<GuaranteeCurvePoint>)> = GUARANTEES
+        .iter()
+        .map(|&p| (p, guarantee_curve(&[model], &budgets_per_day, p)))
+        .collect();
+
+    let mut rendered = String::from(
+        "Fig 3. Normal distribution prediction with different guarantee levels\n",
+    );
+    rendered.push_str(&format!(
+        "host price window: mean {:.6} cr/s, std {:.6} cr/s\n",
+        model.mean, model.std_dev
+    ));
+    rendered.push_str("budget(cr/day)  cap@80%(MHz)  cap@90%(MHz)  cap@99%(MHz)\n");
+    for (i, b) in budgets_per_day.iter().enumerate() {
+        rendered.push_str(&format!(
+            "{:>13.2} {:>13.1} {:>13.1} {:>13.1}\n",
+            b, curves[0].1[i].capacity_mhz, curves[1].1[i].capacity_mhz, curves[2].1[i].capacity_mhz
+        ));
+    }
+
+    Fig3 {
+        budgets_per_day,
+        curves,
+        price_mean: model.mean,
+        price_std: model.std_dev,
+        rendered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_have_fig3_shape() {
+        let f = run(Scale::Quick);
+        assert_eq!(f.curves.len(), 3);
+        for (p, curve) in &f.curves {
+            // Monotone increasing in budget.
+            for w in curve.windows(2) {
+                assert!(
+                    w[1].capacity_mhz >= w[0].capacity_mhz - 1e-9,
+                    "p={p}: capacity decreased"
+                );
+            }
+            // Saturates below the host capacity.
+            assert!(curve.last().unwrap().capacity_mhz <= 2910.0);
+        }
+        // Ordering: higher guarantee ⇒ lower capacity at the same budget.
+        let last = f.budgets_per_day.len() / 2;
+        let c80 = f.curves[0].1[last].capacity_mhz;
+        let c90 = f.curves[1].1[last].capacity_mhz;
+        let c99 = f.curves[2].1[last].capacity_mhz;
+        assert!(c80 >= c90 && c90 >= c99, "{c80} {c90} {c99}");
+    }
+
+    #[test]
+    fn curves_flatten_out() {
+        // "There is a certain point where the curves flatten out."
+        let f = run(Scale::Quick);
+        let curve = &f.curves[1].1;
+        let n = curve.len();
+        let first_gain = curve[1].capacity_mhz - curve[0].capacity_mhz;
+        let last_gain = curve[n - 1].capacity_mhz - curve[n - 2].capacity_mhz;
+        assert!(
+            first_gain > last_gain,
+            "no diminishing returns: {first_gain} vs {last_gain}"
+        );
+    }
+
+    #[test]
+    fn rendered_contains_all_levels() {
+        let f = run(Scale::Quick);
+        assert!(f.rendered.contains("80%"));
+        assert!(f.rendered.contains("99%"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Fig. 4 — AR(6) prediction with a one-hour forecast and smoothing (§5.4).
+//!
+//! The paper: 40 hours of price history from the grid-job runs; the first
+//! 20 hours fit the model, the last 20 validate it. A cubic smoothing
+//! spline is applied first because of "sharp price drops when batch jobs
+//! completed". Reported: ε(AR(6), 1 h forecast) = 8.96 % vs ε(naive
+//! "price stays") = 9.44 % — the AR model wins by a modest margin.
+
+use gm_predict::ar::{epsilon, naive_epsilon, walk_forward, ArModel, MeanMode};
+
+use crate::pricegen::{host0_prices, PriceGenConfig};
+use crate::Scale;
+
+/// Structured result of the Fig. 4 experiment.
+#[derive(Clone, Debug)]
+pub struct Fig4 {
+    /// ε of the AR(6)+smoothing model.
+    pub eps_ar: f64,
+    /// ε of the naive benchmark.
+    pub eps_naive: f64,
+    /// Forecast horizon in samples.
+    pub horizon: usize,
+    /// A slice of (predicted, measured) pairs for plotting.
+    pub sample: Vec<(f64, f64)>,
+    /// Rendered report.
+    pub rendered: String,
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Fig4 {
+    let (hours, interval_secs, horizon) = match scale {
+        // 40 h at 60 s samples; 1 h forecast = 60 steps.
+        Scale::Paper => (40.0, 60.0, 60usize),
+        // 6 h at 60 s samples; 10 min forecast.
+        Scale::Quick => (6.0, 60.0, 10usize),
+    };
+    let mut cfg = PriceGenConfig::new(hours, 0xF164);
+    cfg.interval_secs = interval_secs;
+    let prices = host0_prices(&cfg);
+    assert!(prices.len() > 4 * horizon, "trace too short");
+
+    let split = prices.len() / 2;
+    let (train, validate) = prices.split_at(split);
+
+    // Smoothing penalty sized to the forecast horizon (the paper's cubic
+    // smoothing spline; we use the Whittaker discrete equivalent).
+    let lambda = gm_numeric::spline::lambda_for_window(horizon / 2 + 2);
+    // Local-mean anchoring (see `MeanMode::Local`): live market prices are
+    // non-stationary, so forecasts revert to the recent level rather than
+    // the 20-hour-old training mean.
+    let model = ArModel::fit(train, 6, lambda)
+        .expect("non-degenerate price series")
+        .with_mean_mode(MeanMode::Local(3 * horizon));
+
+    let (preds, meas) = walk_forward(&model, train, validate, horizon);
+    let eps_ar = epsilon(&preds, &meas);
+    let eps_naive = naive_epsilon(validate, horizon);
+
+    let sample: Vec<(f64, f64)> = preds
+        .iter()
+        .zip(&meas)
+        .step_by((preds.len() / 50).max(1))
+        .map(|(&p, &m)| (p, m))
+        .collect();
+
+    let mut rendered = String::from("Fig 4. AR(6) prediction, 1-hour forecast, with smoothing\n");
+    rendered.push_str(&format!(
+        "samples: {} train / {} validate, horizon {} steps\n",
+        train.len(),
+        validate.len(),
+        horizon
+    ));
+    rendered.push_str(&format!(
+        "epsilon AR(6)+smoothing: {:.2}%   epsilon naive: {:.2}%   (paper: 8.96% vs 9.44%)\n",
+        eps_ar * 100.0,
+        eps_naive * 100.0
+    ));
+    rendered.push_str("sample forecasts (predicted, measured):\n");
+    for (p, m) in sample.iter().take(10) {
+        rendered.push_str(&format!("  {p:.6}  {m:.6}\n"));
+    }
+
+    Fig4 {
+        eps_ar,
+        eps_naive,
+        horizon,
+        sample,
+        rendered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ar_model_is_competitive_with_naive() {
+        // The paper's margin is small (8.96 vs 9.44 %); we assert the AR
+        // model does not lose badly and both are in a sane range.
+        let f = run(Scale::Quick);
+        assert!(f.eps_ar.is_finite() && f.eps_naive.is_finite());
+        assert!(f.eps_ar > 0.0 && f.eps_naive > 0.0);
+        assert!(
+            f.eps_ar <= f.eps_naive * 1.15,
+            "AR ε {:.4} much worse than naive {:.4}",
+            f.eps_ar,
+            f.eps_naive
+        );
+    }
+
+    #[test]
+    fn rendered_reports_both_epsilons() {
+        let f = run(Scale::Quick);
+        assert!(f.rendered.contains("epsilon AR(6)"));
+        assert!(f.rendered.contains("naive"));
+        assert!(!f.sample.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Fig. 5 — Risk-free portfolio performance vs equal-share portfolio
+//! (§5.4).
+//!
+//! "We ran simulations where 10 hosts are picked either using the
+//! calculated risk free portfolio or equal shares. The aggregate
+//! performance over time is then measured. Individual mean host
+//! performance, performance variance, and variance of performance
+//! variances were all randomly generated with a normal distribution. The
+//! results … show that downside risk could be improved by using the risk
+//! free portfolio."
+
+use gm_des::Pcg32;
+use gm_numeric::samplers::{Normal, Sampler};
+use gm_predict::portfolio::{equal_share, min_variance_portfolio, ReturnStats};
+
+use crate::Scale;
+
+/// Structured result of the Fig. 5 experiment.
+#[derive(Clone, Debug)]
+pub struct Fig5 {
+    /// Aggregate performance over time with the risk-free portfolio.
+    pub risk_free: Vec<f64>,
+    /// Aggregate performance over time with equal shares.
+    pub equal: Vec<f64>,
+    /// Std deviation of the risk-free aggregate.
+    pub std_risk_free: f64,
+    /// Std deviation of the equal-share aggregate.
+    pub std_equal: f64,
+    /// 5th-percentile (downside) of each aggregate: (risk-free, equal).
+    pub downside: (f64, f64),
+    /// The portfolio weights used.
+    pub weights: Vec<f64>,
+    /// Rendered report.
+    pub rendered: String,
+}
+
+/// Per-host return parameters: mean performance, performance variance and
+/// variance of the variance — "all randomly generated with a normal
+/// distribution" (§5.4).
+struct HostParams {
+    mean: f64,
+    variance: f64,
+    var_of_var: f64,
+}
+
+fn draw_hosts(n_hosts: usize, rng: &mut Pcg32) -> Vec<HostParams> {
+    let mean_dist = Normal::new(5.0, 0.6);
+    let var_dist = Normal::new(0.5, 0.3);
+    let varvar_dist = Normal::new(0.1, 0.05);
+    (0..n_hosts)
+        .map(|_| HostParams {
+            mean: mean_dist.sample(rng),
+            variance: var_dist.sample(rng).abs().max(1e-3),
+            var_of_var: varvar_dist.sample(rng).abs(),
+        })
+        .collect()
+}
+
+/// Draw a return series of length `t` from fixed host parameters.
+fn host_returns(hosts: &[HostParams], t: usize, rng: &mut Pcg32) -> Vec<Vec<f64>> {
+    hosts
+        .iter()
+        .map(|h| {
+            let inst_var = Normal::new(h.variance, h.var_of_var.sqrt());
+            (0..t)
+                .map(|_| {
+                    let var_t = inst_var.sample(rng).abs().max(1e-4);
+                    Normal::new(h.mean, var_t.sqrt()).sample(rng)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Fig5 {
+    let (t_train, t_eval) = match scale {
+        Scale::Paper => (2000usize, 1000usize),
+        Scale::Quick => (500, 200),
+    };
+    let n_hosts = 10;
+    let mut rng = Pcg32::new(0xF165, 5);
+
+    // Fixed host population; training sample → portfolio weights.
+    let hosts = draw_hosts(n_hosts, &mut rng);
+    let train = host_returns(&hosts, t_train, &mut rng);
+    let stats = ReturnStats::estimate(&train);
+    let weights = min_variance_portfolio(&stats).expect("non-singular covariance");
+    let eq = equal_share(n_hosts);
+
+    // Fresh evaluation draws from the *same* hosts.
+    let eval = host_returns(&hosts, t_eval, &mut rng);
+    let aggregate = |w: &[f64]| -> Vec<f64> {
+        (0..t_eval)
+            .map(|t| (0..n_hosts).map(|h| w[h] * eval[h][t]).sum())
+            .collect()
+    };
+    let risk_free = aggregate(&weights);
+    let equal = aggregate(&eq);
+
+    let stddev = |xs: &[f64]| {
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+    };
+    let p5 = |xs: &[f64]| gm_numeric::stats::percentile(xs, 0.05).expect("nonempty");
+
+    let std_risk_free = stddev(&risk_free);
+    let std_equal = stddev(&equal);
+    let downside = (p5(&risk_free), p5(&equal));
+
+    let mut rendered =
+        String::from("Fig 5. Risk free portfolio performance vs. equal share portfolio\n");
+    rendered.push_str(&format!(
+        "aggregate std: risk-free {std_risk_free:.4}, equal {std_equal:.4}\n"
+    ));
+    rendered.push_str(&format!(
+        "downside (5th pct): risk-free {:.4}, equal {:.4}\n",
+        downside.0, downside.1
+    ));
+    rendered.push_str(&format!("weights: {:?}\n", weights.iter().map(|w| (w * 1000.0).round() / 1000.0).collect::<Vec<_>>()));
+    rendered.push_str("t, risk_free, equal\n");
+    for (i, (rf, eq)) in risk_free.iter().zip(&equal).enumerate().step_by(t_eval / 25) {
+        rendered.push_str(&format!("{i}, {rf:.4}, {eq:.4}\n"));
+    }
+
+    Fig5 {
+        risk_free,
+        equal,
+        std_risk_free,
+        std_equal,
+        downside,
+        weights,
+        rendered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn risk_free_portfolio_reduces_variance() {
+        let f = run(Scale::Quick);
+        assert!(
+            f.std_risk_free < f.std_equal,
+            "risk-free std {:.4} should beat equal {:.4}",
+            f.std_risk_free,
+            f.std_equal
+        );
+    }
+
+    #[test]
+    fn downside_risk_is_improved() {
+        // The paper: "downside risk could be improved by using the risk
+        // free portfolio" — the 5th percentile is higher relative to the
+        // mean spread. We compare coefficient-of-variation-adjusted
+        // downside: (mean − p5)/std must not be wildly worse, and the raw
+        // spread must shrink.
+        let f = run(Scale::Quick);
+        let mean_rf = f.risk_free.iter().sum::<f64>() / f.risk_free.len() as f64;
+        let mean_eq = f.equal.iter().sum::<f64>() / f.equal.len() as f64;
+        let gap_rf = mean_rf - f.downside.0;
+        let gap_eq = mean_eq - f.downside.1;
+        assert!(
+            gap_rf < gap_eq,
+            "risk-free downside gap {gap_rf:.4} should be smaller than equal {gap_eq:.4}"
+        );
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let f = run(Scale::Quick);
+        assert!((f.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(f.weights.len(), 10);
+    }
+
+    #[test]
+    fn series_have_equal_length() {
+        let f = run(Scale::Quick);
+        assert_eq!(f.risk_free.len(), f.equal.len());
+        assert!(!f.risk_free.is_empty());
+    }
+}

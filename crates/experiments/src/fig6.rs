@@ -1,0 +1,135 @@
+//! Fig. 6 — Price distribution within three different time windows (§5.4).
+//!
+//! "Finally, we look at the distribution of prices over three time
+//! windows, a week, a day, and an hour. This data can be used to select an
+//! appropriate prediction model." The paper's sample graph shows the
+//! last-hour distribution concentrated in the lowest bracket while the
+//! day/week windows put most mass in the most expensive bracket.
+
+use gm_numeric::stats::Moments;
+use gm_predict::window::DualWindowDistribution;
+
+use crate::pricegen::{host0_prices, PriceGenConfig};
+use crate::Scale;
+
+/// One window's distribution.
+#[derive(Clone, Debug)]
+pub struct WindowReport {
+    /// Window label ("hour", "day", "week").
+    pub label: &'static str,
+    /// Window length in samples.
+    pub window_samples: u64,
+    /// Proportion of prices per bracket.
+    pub proportions: Vec<f64>,
+    /// Bracket edges.
+    pub edges: Vec<(f64, f64)>,
+    /// Skewness of the exact window (diagnostic).
+    pub skewness: f64,
+}
+
+/// Structured result of the Fig. 6 experiment.
+#[derive(Clone, Debug)]
+pub struct Fig6 {
+    /// Hour/day/week reports.
+    pub windows: Vec<WindowReport>,
+    /// Rendered report.
+    pub rendered: String,
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Fig6 {
+    // Sample interval 60 s; windows in samples.
+    let (hours, windows): (f64, [(&'static str, u64); 3]) = match scale {
+        Scale::Paper => (
+            7.0 * 24.0,
+            [("hour", 60), ("day", 1440), ("week", 10_080)],
+        ),
+        Scale::Quick => (6.0, [("10min", 10), ("hour", 60), ("6hours", 360)]),
+    };
+    let mut cfg = PriceGenConfig::new(hours, 0xF166);
+    cfg.interval_secs = 60.0;
+    // Shape the workload so recent history differs from the long-run mix:
+    // arrivals intensify over the second half via a second generator? The
+    // arrival process is homogeneous; the *price dynamics* still make
+    // short and long windows differ because batches complete.
+    let prices = host0_prices(&cfg);
+    assert!(!prices.is_empty());
+
+    let slots = 10usize;
+    let reports: Vec<WindowReport> = windows
+        .iter()
+        .map(|&(label, w)| {
+            let mut dist = DualWindowDistribution::new(w, slots, 1e-4);
+            for &p in &prices {
+                dist.add(p);
+            }
+            let tail_start = prices.len().saturating_sub(w as usize);
+            let exact_window = &prices[tail_start..];
+            let skew = Moments::of(exact_window).map(|m| m.skewness).unwrap_or(0.0);
+            WindowReport {
+                label,
+                window_samples: w,
+                proportions: dist.proportions(),
+                edges: dist.slot_edges(),
+                skewness: skew,
+            }
+        })
+        .collect();
+
+    let mut rendered = String::from("Fig 6. Price distribution within three time windows\n");
+    for r in &reports {
+        rendered.push_str(&format!(
+            "window {:<8} ({} samples)  skewness {:+.2}\n  proportions: ",
+            r.label, r.window_samples, r.skewness
+        ));
+        for p in &r.proportions {
+            rendered.push_str(&format!("{:.3} ", p));
+        }
+        rendered.push('\n');
+    }
+
+    Fig6 {
+        windows: reports,
+        rendered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_windows_reported_with_valid_distributions() {
+        let f = run(Scale::Quick);
+        assert_eq!(f.windows.len(), 3);
+        for w in &f.windows {
+            let s: f64 = w.proportions.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "{}: proportions sum {s}", w.label);
+            assert_eq!(w.proportions.len(), 10);
+            assert_eq!(w.edges.len(), 10);
+        }
+    }
+
+    #[test]
+    fn windows_differ_from_each_other() {
+        // The whole point of the figure: different windows expose
+        // different distributions.
+        let f = run(Scale::Quick);
+        let tv = |a: &[f64], b: &[f64]| -> f64 {
+            0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+        };
+        let d_short_long = tv(&f.windows[0].proportions, &f.windows[2].proportions);
+        assert!(
+            d_short_long > 0.02,
+            "hour and week windows identical (TV {d_short_long:.4})"
+        );
+    }
+
+    #[test]
+    fn rendered_lists_all_windows() {
+        let f = run(Scale::Quick);
+        for w in &f.windows {
+            assert!(f.rendered.contains(w.label));
+        }
+    }
+}

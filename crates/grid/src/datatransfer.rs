@@ -1,0 +1,166 @@
+//! Data staging over the grid network.
+//!
+//! SweGrid sites are "interconnected by the 10GB/s GigaSunet network"
+//! (§3); ARC stages job input/output through gsiftp URLs listed in the
+//! xRSL `inputFiles`/`outputFiles` attributes. This module models the
+//! transfer time of those stages: per-transfer setup latency (GSI
+//! handshake + gridftp session) plus bytes over a configured bandwidth,
+//! optionally different for intra-site (LAN) and cross-site (WAN) moves.
+
+use gm_des::SimDuration;
+
+/// Network model for staging.
+#[derive(Clone, Copy, Debug)]
+pub struct TransferModel {
+    /// Cross-site bandwidth in bits/second (GigaSunet backbone).
+    pub wan_bps: f64,
+    /// Intra-site bandwidth in bits/second.
+    pub lan_bps: f64,
+    /// Fixed per-transfer setup cost (GSI handshake, session setup).
+    pub setup: SimDuration,
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        TransferModel {
+            // The paper's "10GB/s GigaSunet" reads as 10 Gbit/s backbone.
+            wan_bps: 10e9,
+            lan_bps: 1e9,
+            setup: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Where a file comes from / goes to, relative to the executing site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Locality {
+    /// Same site (cluster storage element).
+    Local,
+    /// Another grid site over the backbone.
+    Remote,
+}
+
+/// One file to stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StagedFile {
+    /// Logical name (xRSL first list element).
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Source/destination locality.
+    pub locality: Locality,
+}
+
+impl StagedFile {
+    /// A remote file (the common case for xRSL gsiftp URLs).
+    pub fn remote(name: &str, bytes: u64) -> StagedFile {
+        StagedFile {
+            name: name.to_owned(),
+            bytes,
+            locality: Locality::Remote,
+        }
+    }
+
+    /// A site-local file.
+    pub fn local(name: &str, bytes: u64) -> StagedFile {
+        StagedFile {
+            name: name.to_owned(),
+            bytes,
+            locality: Locality::Local,
+        }
+    }
+}
+
+impl TransferModel {
+    /// Time to move one file.
+    pub fn transfer_time(&self, file: &StagedFile) -> SimDuration {
+        let bps = match file.locality {
+            Locality::Local => self.lan_bps,
+            Locality::Remote => self.wan_bps,
+        };
+        assert!(bps > 0.0, "zero bandwidth");
+        let secs = file.bytes as f64 * 8.0 / bps;
+        self.setup + SimDuration::from_secs_f64(secs)
+    }
+
+    /// Time to stage a set of files *sequentially* (ARC stages one file at
+    /// a time per job).
+    pub fn stage_time(&self, files: &[StagedFile]) -> SimDuration {
+        files
+            .iter()
+            .map(|f| self.transfer_time(f))
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// Guess locality from a URL: gsiftp/http/ftp → remote, plain paths
+    /// and `file:` → local.
+    pub fn locality_of_url(url: &str) -> Locality {
+        let lower = url.to_ascii_lowercase();
+        if lower.starts_with("gsiftp://")
+            || lower.starts_with("http://")
+            || lower.starts_with("https://")
+            || lower.starts_with("ftp://")
+            || lower.starts_with("srm://")
+        {
+            Locality::Remote
+        } else {
+            Locality::Local
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_setup_plus_bytes_over_bandwidth() {
+        let m = TransferModel::default();
+        // 10 GB over 10 Gbit/s = 8 s, + 2 s setup.
+        let f = StagedFile::remote("db.fasta", 10_000_000_000);
+        let t = m.transfer_time(&f);
+        assert!((t.as_secs_f64() - 10.0).abs() < 0.01, "{t:?}");
+    }
+
+    #[test]
+    fn local_files_use_lan_bandwidth() {
+        let m = TransferModel::default();
+        let remote = m.transfer_time(&StagedFile::remote("x", 1_000_000_000));
+        let local = m.transfer_time(&StagedFile::local("x", 1_000_000_000));
+        // 1 Gbit LAN is 10× slower than the backbone here.
+        assert!(local > remote);
+    }
+
+    #[test]
+    fn stage_time_sums_sequentially() {
+        let m = TransferModel::default();
+        let files = vec![
+            StagedFile::remote("a", 1_000_000_000),
+            StagedFile::remote("b", 1_000_000_000),
+        ];
+        let each = m.transfer_time(&files[0]);
+        assert_eq!(m.stage_time(&files), each + each);
+        assert_eq!(m.stage_time(&[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_byte_file_costs_only_setup() {
+        let m = TransferModel::default();
+        let t = m.transfer_time(&StagedFile::remote("touch", 0));
+        assert_eq!(t, m.setup);
+    }
+
+    #[test]
+    fn url_locality_heuristics() {
+        assert_eq!(
+            TransferModel::locality_of_url("gsiftp://se.biotech.kth.se/db.fasta"),
+            Locality::Remote
+        );
+        assert_eq!(
+            TransferModel::locality_of_url("https://example.org/x"),
+            Locality::Remote
+        );
+        assert_eq!(TransferModel::locality_of_url("/scratch/db.fasta"), Locality::Local);
+        assert_eq!(TransferModel::locality_of_url("file:///x"), Locality::Local);
+    }
+}

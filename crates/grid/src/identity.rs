@@ -1,0 +1,119 @@
+//! Grid identities: X.509-style Distinguished Names bound to key pairs.
+//!
+//! "In academic Grid networks it is important to identify all users
+//! securely because a user's identity, and membership in virtual
+//! organizations, can automatically give access to shared resources" (§1).
+//! Our simulation-grade PKI (see `gm-crypto`) keeps the shape: every user
+//! has a DN and a key pair; services authenticate peers by verifying
+//! signatures against known public keys.
+
+use gm_crypto::{Keypair, PublicKey, Signature};
+
+/// A grid user identity: DN + signing keys.
+#[derive(Clone)]
+pub struct GridIdentity {
+    dn: String,
+    keys: Keypair,
+}
+
+impl GridIdentity {
+    /// Create an identity deterministically from its DN (the DN seeds the
+    /// key pair, which keeps experiments reproducible).
+    pub fn from_dn(dn: &str) -> GridIdentity {
+        assert!(is_valid_dn(dn), "malformed DN: {dn}");
+        GridIdentity {
+            dn: dn.to_owned(),
+            keys: Keypair::from_seed(dn.as_bytes()),
+        }
+    }
+
+    /// A SweGrid-style user DN, e.g.
+    /// `/O=Grid/O=NorduGrid/OU=biotech.kth.se/CN=user3`.
+    pub fn swegrid_user(n: u32) -> GridIdentity {
+        Self::from_dn(&format!(
+            "/O=Grid/O=NorduGrid/OU=biotech.kth.se/CN=user{n}"
+        ))
+    }
+
+    /// The distinguished name.
+    pub fn dn(&self) -> &str {
+        &self.dn
+    }
+
+    /// The public verification key.
+    pub fn public_key(&self) -> PublicKey {
+        self.keys.public
+    }
+
+    /// Sign arbitrary bytes with this identity's key.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        self.keys.sign(message)
+    }
+}
+
+impl std::fmt::Debug for GridIdentity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GridIdentity({})", self.dn)
+    }
+}
+
+/// Minimal DN shape check: non-empty slash-separated `key=value` parts.
+pub fn is_valid_dn(dn: &str) -> bool {
+    if !dn.starts_with('/') {
+        return false;
+    }
+    let parts: Vec<&str> = dn[1..].split('/').collect();
+    !parts.is_empty()
+        && parts.iter().all(|p| {
+            let mut kv = p.splitn(2, '=');
+            match (kv.next(), kv.next()) {
+                (Some(k), Some(v)) => !k.is_empty() && !v.is_empty(),
+                _ => false,
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dn_validation() {
+        assert!(is_valid_dn("/O=Grid/CN=alice"));
+        assert!(is_valid_dn("/O=Grid/O=NorduGrid/OU=kth.se/CN=user1"));
+        assert!(!is_valid_dn("O=Grid/CN=alice"), "must start with /");
+        assert!(!is_valid_dn("/O=Grid/CN="), "empty value");
+        assert!(!is_valid_dn("/O=Grid/alice"), "missing =");
+        assert!(!is_valid_dn(""));
+    }
+
+    #[test]
+    fn identity_is_deterministic_per_dn() {
+        let a = GridIdentity::from_dn("/O=Grid/CN=alice");
+        let b = GridIdentity::from_dn("/O=Grid/CN=alice");
+        let c = GridIdentity::from_dn("/O=Grid/CN=carol");
+        assert_eq!(a.public_key(), b.public_key());
+        assert_ne!(a.public_key(), c.public_key());
+    }
+
+    #[test]
+    fn signatures_verify_under_own_key_only() {
+        let a = GridIdentity::from_dn("/O=Grid/CN=alice");
+        let b = GridIdentity::from_dn("/O=Grid/CN=bob");
+        let sig = a.sign(b"pay 100");
+        assert!(a.public_key().verify(b"pay 100", &sig));
+        assert!(!b.public_key().verify(b"pay 100", &sig));
+    }
+
+    #[test]
+    fn swegrid_dn_shape() {
+        let u = GridIdentity::swegrid_user(3);
+        assert_eq!(u.dn(), "/O=Grid/O=NorduGrid/OU=biotech.kth.se/CN=user3");
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed DN")]
+    fn malformed_dn_panics() {
+        GridIdentity::from_dn("not-a-dn");
+    }
+}

@@ -1,0 +1,39 @@
+//! # gm-grid — the NorduGrid/ARC-style grid layer over Tycoon
+//!
+//! Implements the paper's Section 3: the integration of a grid
+//! meta-scheduler with the Tycoon market, "fully transparent to the
+//! end-users".
+//!
+//! * [`xrsl`] — parser/printer for the xRSL job-description subset the
+//!   paper maps onto the market (`cpuTime` → deadline, transfer token →
+//!   budget, `count` → #VMs).
+//! * [`identity`] — Grid DNs bound to (simulation-grade) key pairs.
+//! * [`token`] — transfer tokens: bank receipts bound to DNs with
+//!   double-spend prevention (§3.1).
+//! * [`vm`] — the virtualized execution layer (creation latency, runtime-
+//!   environment installation, per-(host,user) VM reuse).
+//! * [`manager`] — the scheduling agent: token redemption, funded
+//!   sub-accounts, Best Response bid placement, stage-in/out, boosting,
+//!   refunds.
+//! * [`monitor`] — a text-mode ARC Grid Monitor (Fig. 2).
+//! * [`datatransfer`] — gsiftp staging over the GigaSunet-style network
+//!   model (file sizes → stage-in/out durations).
+//! * [`metascheduler`] — replicated, partitioned scheduling agents with
+//!   ARC-style cheapest-partition matchmaking (§3's scaling model).
+
+pub mod datatransfer;
+pub mod identity;
+pub mod manager;
+pub mod metascheduler;
+pub mod monitor;
+pub mod token;
+pub mod vm;
+pub mod xrsl;
+
+pub use datatransfer::{Locality, StagedFile, TransferModel};
+pub use identity::GridIdentity;
+pub use manager::{AgentConfig, GridError, Job, JobId, JobKind, JobManager, JobPhase, JobSpec, SubJob};
+pub use metascheduler::{MetaScheduler, RoutedJob};
+pub use token::{TokenError, TokenRegistry, TransferToken};
+pub use vm::{Vm, VmConfig, VmId, VmManager, VmState};
+pub use xrsl::{ParseError, Value, Xrsl};

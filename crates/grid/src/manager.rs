@@ -1,0 +1,1421 @@
+//! The ARC-facing job manager with the Tycoon scheduler plugin (§3).
+//!
+//! This is the "scheduling agent" of Fig. 1: it verifies transfer tokens,
+//! opens funded sub-accounts, runs Best Response to place bids, provisions
+//! VMs, handles stage-in/execution/monitoring/boosting/stage-out, and
+//! refunds unspent balances — "Tycoon only charges for resources actually
+//! used not bid for".
+//!
+//! The manager is driven in two phases around each market allocation
+//! interval:
+//!
+//! * [`JobManager::pre_tick`] — agent actions: (re)distribute bid rates to
+//!   spend the remaining budget by the deadline, top up per-interval
+//!   escrows, start queued sub-jobs on freed hosts, finalize staged-out
+//!   sub-jobs and completed jobs.
+//! * `market.tick(now)` — the auctioneers allocate and charge.
+//! * [`JobManager::post_tick`] — account the allocations into sub-job
+//!   progress and detect completions.
+
+use std::collections::BTreeMap;
+
+use gm_des::{SimDuration, SimTime};
+use gm_tycoon::{
+    best_response, AccountId, BidHandle, Credits, HostId, Market, UserId,
+};
+
+use crate::datatransfer::{StagedFile, TransferModel};
+use crate::identity::GridIdentity;
+use crate::token::{TokenError, TokenRegistry, TransferToken};
+use crate::vm::{VmConfig, VmManager};
+use crate::xrsl::{parse_duration_secs, ParseError, Xrsl};
+
+/// Identifier of a grid job.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId(pub u64);
+
+/// Lifecycle phase of a grid job.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobPhase {
+    /// Sub-jobs are executing (or staging).
+    Running,
+    /// All sub-jobs finished; unspent funds refunded.
+    Done,
+    /// Funds exhausted before completion.
+    Stalled,
+    /// Killed by the user; unspent funds refunded.
+    Cancelled,
+}
+
+/// What kind of workload a job is.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum JobKind {
+    /// A bag-of-tasks batch job: sub-jobs complete when their work is done
+    /// (the paper's §5 bioinformatics application).
+    Batch,
+    /// A continuous service (web server, database — §2.2: "more important
+    /// for service-oriented applications"): instances run until the
+    /// contract deadline; QoS = fraction of intervals delivering at least
+    /// `min_mhz` per instance.
+    Service {
+        /// Capacity floor per instance for an interval to count as met.
+        min_mhz: f64,
+    },
+}
+
+/// Errors from job submission and control.
+#[derive(Debug)]
+pub enum GridError {
+    /// Transfer token rejected.
+    Token(TokenError),
+    /// Underlying market/bank failure.
+    Market(gm_tycoon::MarketError),
+    /// xRSL could not be parsed.
+    Xrsl(ParseError),
+    /// A required xRSL attribute is missing or malformed.
+    BadDescription(String),
+    /// Unknown job id.
+    NoSuchJob(JobId),
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::Token(e) => write!(f, "token rejected: {e}"),
+            GridError::Market(e) => write!(f, "market error: {e}"),
+            GridError::Xrsl(e) => write!(f, "{e}"),
+            GridError::BadDescription(m) => write!(f, "bad job description: {m}"),
+            GridError::NoSuchJob(id) => write!(f, "no such job {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+impl From<TokenError> for GridError {
+    fn from(e: TokenError) -> Self {
+        GridError::Token(e)
+    }
+}
+impl From<gm_tycoon::MarketError> for GridError {
+    fn from(e: gm_tycoon::MarketError) -> Self {
+        GridError::Market(e)
+    }
+}
+impl From<gm_tycoon::BankError> for GridError {
+    fn from(e: gm_tycoon::BankError) -> Self {
+        GridError::Market(gm_tycoon::MarketError::Bank(e))
+    }
+}
+impl From<ParseError> for GridError {
+    fn from(e: ParseError) -> Self {
+        GridError::Xrsl(e)
+    }
+}
+
+/// Tuning knobs of the scheduling agent.
+#[derive(Clone, Copy, Debug)]
+pub struct AgentConfig {
+    /// Hard cap on concurrent nodes per job (the experiments use 15).
+    pub max_nodes: usize,
+    /// Stage-in duration per sub-job.
+    pub stage_in: SimDuration,
+    /// Stage-out duration per sub-job.
+    pub stage_out: SimDuration,
+    /// Re-balance bid rates across a job's hosts every interval.
+    pub rebid: bool,
+    /// Network model used to convert staged-file sizes into stage-in/out
+    /// durations (added to the fixed `stage_in`/`stage_out` costs).
+    pub transfer: TransferModel,
+    /// Cap each bid rate at `max_share_premium × (others' bids)`: bidding
+    /// 9× the rest of the market already buys a 90 % share, so anything
+    /// beyond is waste (the paper makes the same diminishing-returns
+    /// observation about Fig. 3: "it would not make sense for the user to
+    /// spend more than roughly $60/day"). Unspent budget stays in the
+    /// sub-account and is refunded.
+    pub max_share_premium: f64,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            max_nodes: 15,
+            stage_in: SimDuration::from_secs(30),
+            stage_out: SimDuration::from_secs(15),
+            rebid: true,
+            transfer: TransferModel::default(),
+            max_share_premium: 9.0,
+        }
+    }
+}
+
+/// One unit of a bag-of-tasks job (one proteome chunk, §5.2).
+#[derive(Clone, Debug)]
+pub struct SubJob {
+    /// Position within the job.
+    pub index: u32,
+    /// Work to do, in MHz·seconds.
+    pub work_total: f64,
+    /// Work completed so far, in MHz·seconds.
+    pub work_done: f64,
+    /// Host currently executing this sub-job.
+    pub host: Option<HostId>,
+    /// When execution (incl. staging) can begin computing.
+    pub compute_ready: Option<SimTime>,
+    /// Set when compute finished; sub-job completes after stage-out.
+    pub stage_out_until: Option<SimTime>,
+    /// Completion time.
+    pub finished_at: Option<SimTime>,
+    /// When the sub-job was first assigned to a host.
+    pub started_at: Option<SimTime>,
+}
+
+impl SubJob {
+    fn is_finished(&self) -> bool {
+        self.finished_at.is_some()
+    }
+    fn is_computing(&self) -> bool {
+        self.host.is_some() && self.finished_at.is_none() && self.stage_out_until.is_none()
+    }
+}
+
+/// A per-host execution slot a job holds: one bid + one VM running one
+/// sub-job at a time.
+#[derive(Clone, Debug)]
+struct Slot {
+    host: HostId,
+    bid: Option<BidHandle>,
+    rate: f64,
+    subjob: Option<usize>,
+}
+
+/// A grid job under management.
+pub struct Job {
+    /// Identifier.
+    pub id: JobId,
+    /// Market user this job bids as.
+    pub user: UserId,
+    /// Submitting identity's DN (from the token binding).
+    pub dn: String,
+    /// The job name from xRSL.
+    pub name: String,
+    /// Funded sub-account paying for the job.
+    pub sub_account: AccountId,
+    /// Account refunded at completion (the token payer).
+    pub refund_account: AccountId,
+    /// Deadline (submission + cpuTime).
+    pub deadline: SimTime,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Completion time (Done or Stalled).
+    pub finished_at: Option<SimTime>,
+    /// Current phase.
+    pub phase: JobPhase,
+    /// The sub-jobs.
+    pub subjobs: Vec<SubJob>,
+    /// Total credits charged by hosts for this job.
+    pub charged: Credits,
+    /// Runtime environments the VMs need.
+    pub envs: Vec<String>,
+    slots: Vec<Slot>,
+    /// Concurrency bookkeeping: (samples, sum, max).
+    nodes_stat: (u64, f64, usize),
+    initial_funding: Credits,
+    /// Per-sub-job stage-in duration (fixed cost + data transfer).
+    stage_in: SimDuration,
+    /// Per-sub-job stage-out duration (fixed cost + data transfer).
+    stage_out: SimDuration,
+    /// Workload kind (batch vs continuous service).
+    pub kind: JobKind,
+    /// Service QoS counters: (instance-intervals meeting the floor,
+    /// instance-intervals observed). Always (0, 0) for batch jobs.
+    qos: (u64, u64),
+}
+
+impl Job {
+    /// Average concurrent nodes over the job's lifetime.
+    pub fn avg_nodes(&self) -> f64 {
+        if self.nodes_stat.0 == 0 {
+            0.0
+        } else {
+            self.nodes_stat.1 / self.nodes_stat.0 as f64
+        }
+    }
+
+    /// Maximum concurrent nodes observed.
+    pub fn max_nodes(&self) -> usize {
+        self.nodes_stat.2
+    }
+
+    /// Makespan so far (or final, when finished).
+    pub fn makespan(&self, now: SimTime) -> SimDuration {
+        self.finished_at.unwrap_or(now).since(self.submitted_at)
+    }
+
+    /// Funding attached at submission (excluding boosts).
+    pub fn initial_funding(&self) -> Credits {
+        self.initial_funding
+    }
+
+    /// Completed sub-jobs.
+    pub fn completed_subjobs(&self) -> usize {
+        self.subjobs.iter().filter(|s| s.is_finished()).count()
+    }
+
+    /// Service QoS: fraction of instance-intervals that met the capacity
+    /// floor (`None` for batch jobs or before any observation).
+    pub fn service_qos(&self) -> Option<f64> {
+        match self.kind {
+            JobKind::Batch => None,
+            JobKind::Service { .. } => {
+                if self.qos.1 == 0 {
+                    None
+                } else {
+                    Some(self.qos.0 as f64 / self.qos.1 as f64)
+                }
+            }
+        }
+    }
+
+    /// Raw service QoS counters `(instance-intervals met, observed)` —
+    /// useful for windowed QoS deltas. `(0, 0)` for batch jobs.
+    pub fn qos_counts(&self) -> (u64, u64) {
+        self.qos
+    }
+
+    /// The NorduGrid/ARC state string a grid monitor would display for
+    /// this job (ACCEPTED → PREPARING → INLRMS:R → FINISHING → FINISHED,
+    /// FAILED on stall).
+    pub fn arc_state(&self, now: SimTime) -> &'static str {
+        match self.phase {
+            JobPhase::Done => "FINISHED",
+            JobPhase::Stalled => "FAILED",
+            JobPhase::Cancelled => "KILLED",
+            JobPhase::Running => {
+                let any_started = self.subjobs.iter().any(|s| s.started_at.is_some());
+                if !any_started {
+                    return "ACCEPTED";
+                }
+                let any_computing = self.subjobs.iter().any(|s| {
+                    s.started_at.is_some()
+                        && s.stage_out_until.is_none()
+                        && s.compute_ready.is_some_and(|r| r <= now)
+                });
+                if any_computing {
+                    return "INLRMS:R";
+                }
+                let any_preparing = self
+                    .subjobs
+                    .iter()
+                    .any(|s| s.compute_ready.is_some_and(|r| r > now));
+                if any_preparing {
+                    "PREPARING"
+                } else {
+                    "FINISHING"
+                }
+            }
+        }
+    }
+}
+
+/// A submission: the xRSL text plus the work calibration the runtime
+/// environment implies (MHz·seconds per sub-job — the proteome chunk cost
+/// in the paper's experiments), and optionally the sizes of the files to
+/// stage (xRSL carries URLs, not sizes).
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The job description.
+    pub xrsl: Xrsl,
+    /// CPU work per sub-job in MHz·seconds.
+    pub work_mhz_secs_per_subjob: f64,
+    /// Input files staged in before each sub-job computes.
+    pub input_files: Vec<StagedFile>,
+    /// Output files staged out after each sub-job computes.
+    pub output_files: Vec<StagedFile>,
+}
+
+impl JobSpec {
+    /// Parse a spec from xRSL text (no staged data).
+    pub fn parse(text: &str, work_mhz_secs_per_subjob: f64) -> Result<JobSpec, GridError> {
+        Ok(JobSpec {
+            xrsl: Xrsl::parse(text)?,
+            work_mhz_secs_per_subjob,
+            input_files: Vec::new(),
+            output_files: Vec::new(),
+        })
+    }
+
+    /// Attach input files to stage in (builder style).
+    pub fn with_input_files(mut self, files: Vec<StagedFile>) -> JobSpec {
+        self.input_files = files;
+        self
+    }
+
+    /// Attach output files to stage out (builder style).
+    pub fn with_output_files(mut self, files: Vec<StagedFile>) -> JobSpec {
+        self.output_files = files;
+        self
+    }
+}
+
+/// How many reallocation intervals of escrow a bid keeps in front of it.
+/// One interval would be charged away entirely at each tick, leaving the
+/// bid invisible to other agents' quotes between ticks; three keeps bids
+/// continuously live while bounding the money parked at hosts.
+const ESCROW_INTERVALS: f64 = 3.0;
+
+/// Best Response bids with the per-host rate cap applied (see
+/// [`AgentConfig::max_share_premium`]).
+fn capped_bids(
+    quotes: &[gm_tycoon::HostQuote],
+    budget_rate: f64,
+    max_hosts: usize,
+    premium: f64,
+) -> Vec<(HostId, f64)> {
+    best_response(quotes, budget_rate, max_hosts)
+        .into_iter()
+        .map(|(host, rate)| {
+            let q = quotes
+                .iter()
+                .find(|q| q.host == host)
+                .map(|q| q.others_rate)
+                .unwrap_or(f64::INFINITY);
+            (host, rate.min(q * premium))
+        })
+        .collect()
+}
+
+/// The job manager / Tycoon ARC plugin.
+pub struct JobManager {
+    broker: GridIdentity,
+    broker_account: AccountId,
+    registry: TokenRegistry,
+    vms: VmManager,
+    jobs: BTreeMap<JobId, Job>,
+    users: BTreeMap<String, UserId>,
+    next_job: u64,
+    next_user: u32,
+    config: AgentConfig,
+    /// Hosts this agent replica is partitioned onto (`None` = all hosts,
+    /// the single-agent deployment). See §3: "the agent itself can be
+    /// replicated and partitioned to pick up a different set of compute
+    /// nodes."
+    partition: Option<Vec<HostId>>,
+}
+
+impl JobManager {
+    /// Create the manager, opening the broker's bank account in `market`.
+    pub fn new(market: &mut Market, config: AgentConfig, vm_config: VmConfig) -> JobManager {
+        let broker = GridIdentity::from_dn("/O=Grid/O=Tycoon/CN=resource-broker");
+        let broker_account = market
+            .bank_mut()
+            .open_account(broker.public_key(), "resource-broker");
+        JobManager {
+            broker,
+            broker_account,
+            registry: TokenRegistry::new(),
+            vms: VmManager::new(vm_config),
+            jobs: BTreeMap::new(),
+            users: BTreeMap::new(),
+            next_job: 0,
+            next_user: 1,
+            config,
+            partition: None,
+        }
+    }
+
+    /// Restrict this agent replica to a partition of the hosts (§3
+    /// replication model). Replaces any previous partition.
+    pub fn set_partition(&mut self, hosts: Vec<HostId>) {
+        assert!(!hosts.is_empty(), "empty partition");
+        self.partition = Some(hosts);
+    }
+
+    /// The hosts this replica schedules onto within `market`.
+    pub fn eligible_hosts(&self, market: &Market) -> Vec<HostId> {
+        match &self.partition {
+            Some(p) => p.clone(),
+            None => market.host_ids(),
+        }
+    }
+
+    /// The broker's bank account (transfer tokens must pay into it).
+    pub fn broker_account(&self) -> AccountId {
+        self.broker_account
+    }
+
+    /// The VM manager (read access for monitoring).
+    pub fn vms(&self) -> &VmManager {
+        &self.vms
+    }
+
+    /// The token double-spend registry (read access).
+    pub fn registry(&self) -> &TokenRegistry {
+        &self.registry
+    }
+
+    /// All jobs in id order.
+    pub fn jobs(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.values()
+    }
+
+    /// Look up one job.
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    /// Market user id bound to a DN (created on first submission).
+    pub fn user_of_dn(&self, dn: &str) -> Option<UserId> {
+        self.users.get(dn).copied()
+    }
+
+    fn user_for_dn(&mut self, dn: &str) -> UserId {
+        if let Some(&u) = self.users.get(dn) {
+            return u;
+        }
+        let u = UserId(self.next_user);
+        self.next_user += 1;
+        self.users.insert(dn.to_owned(), u);
+        u
+    }
+
+    /// Submit a job: verify its transfer token, open the funded
+    /// sub-account, run Best Response and place the initial bids.
+    pub fn submit(
+        &mut self,
+        market: &mut Market,
+        now: SimTime,
+        spec: &JobSpec,
+    ) -> Result<JobId, GridError> {
+        let xrsl = &spec.xrsl;
+        let token_hex = xrsl
+            .get_str("transfertoken")
+            .ok_or_else(|| GridError::BadDescription("missing transferToken".into()))?;
+        let token = TransferToken::from_hex(token_hex)
+            .ok_or_else(|| GridError::BadDescription("malformed transferToken".into()))?;
+
+        // Security: bank signature, broker account, payer key, DN binding,
+        // then the double-spend registry.
+        token.verify(market.bank(), self.broker_account)?;
+        self.registry.consume(&token)?;
+
+        let count: u32 = xrsl
+            .get_str("count")
+            .unwrap_or("1")
+            .parse()
+            .map_err(|_| GridError::BadDescription("count must be an integer".into()))?;
+        if count == 0 {
+            return Err(GridError::BadDescription("count must be >= 1".into()));
+        }
+        let deadline_secs = xrsl
+            .get_str("cputime")
+            .or_else(|| xrsl.get_str("walltime"))
+            .and_then(parse_duration_secs)
+            .ok_or_else(|| GridError::BadDescription("missing/invalid cpuTime".into()))?;
+        if !(spec.work_mhz_secs_per_subjob > 0.0) {
+            return Err(GridError::BadDescription("non-positive work per sub-job".into()));
+        }
+        let kind = match xrsl.get_str("jobtype").map(str::to_ascii_lowercase).as_deref() {
+            None | Some("batch") => JobKind::Batch,
+            Some("service") => {
+                let min_mhz = xrsl
+                    .get_str("serviceminmhz")
+                    .map(|v| {
+                        v.parse::<f64>().map_err(|_| {
+                            GridError::BadDescription("serviceMinMhz must be a number".into())
+                        })
+                    })
+                    .transpose()?
+                    .unwrap_or(0.0);
+                JobKind::Service { min_mhz }
+            }
+            Some(other) => {
+                return Err(GridError::BadDescription(format!(
+                    "unknown jobType '{other}'"
+                )))
+            }
+        };
+        let name = xrsl.get_str("jobname").unwrap_or("unnamed").to_owned();
+        let envs: Vec<String> = xrsl
+            .get_all("runtimeenvironment")
+            .iter()
+            .filter_map(|vals| vals.first().and_then(|v| v.as_str()).map(str::to_owned))
+            .collect();
+
+        // Funded sub-account per §3.1.
+        let (sub_account, _receipt) = market.bank_mut().open_sub_account(
+            self.broker_account,
+            self.broker.public_key(),
+            &format!("job:{name}"),
+            token.amount(),
+        )?;
+
+        let user = self.user_for_dn(&token.dn);
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+
+        let per_subjob_work = match kind {
+            JobKind::Batch => spec.work_mhz_secs_per_subjob,
+            // Service instances never "finish" by doing work.
+            JobKind::Service { .. } => f64::INFINITY,
+        };
+        let subjobs: Vec<SubJob> = (0..count)
+            .map(|index| SubJob {
+                index,
+                work_total: per_subjob_work,
+                work_done: 0.0,
+                host: None,
+                compute_ready: None,
+                stage_out_until: None,
+                finished_at: None,
+                started_at: None,
+            })
+            .collect();
+
+        let stage_in = self.config.stage_in + self.config.transfer.stage_time(&spec.input_files);
+        let stage_out = self.config.stage_out + self.config.transfer.stage_time(&spec.output_files);
+        let mut job = Job {
+            id,
+            user,
+            dn: token.dn.clone(),
+            name,
+            sub_account,
+            refund_account: token.receipt.from,
+            deadline: now + SimDuration::from_secs(deadline_secs),
+            submitted_at: now,
+            finished_at: None,
+            phase: JobPhase::Running,
+            subjobs,
+            charged: Credits::ZERO,
+            envs,
+            slots: Vec::new(),
+            nodes_stat: (0, 0.0, 0),
+            initial_funding: token.amount(),
+            stage_in,
+            stage_out,
+            kind,
+            qos: (0, 0),
+        };
+
+        self.place_initial_bids(market, now, &mut job)?;
+        self.jobs.insert(id, job);
+        Ok(id)
+    }
+
+    /// Boost a running job with additional funding (§3: "jobs that have
+    /// been submitted may be boosted with additional funding to complete
+    /// sooner").
+    pub fn boost(
+        &mut self,
+        market: &mut Market,
+        job_id: JobId,
+        token: &TransferToken,
+    ) -> Result<(), GridError> {
+        token.verify(market.bank(), self.broker_account)?;
+        self.registry.consume(token)?;
+        let job = self
+            .jobs
+            .get_mut(&job_id)
+            .ok_or(GridError::NoSuchJob(job_id))?;
+        market
+            .bank_mut()
+            .transfer(self.broker_account, job.sub_account, token.amount())?;
+        if job.phase == JobPhase::Stalled {
+            job.phase = JobPhase::Running;
+            job.finished_at = None;
+        }
+        Ok(())
+    }
+
+    fn place_initial_bids(
+        &mut self,
+        market: &mut Market,
+        now: SimTime,
+        job: &mut Job,
+    ) -> Result<(), GridError> {
+        let budget = market.bank().balance(job.sub_account)?;
+        let horizon = job.deadline.since(now).as_secs_f64().max(market.interval_secs());
+        let rate = budget.as_f64() / horizon;
+        let max_hosts = self.config.max_nodes.min(job.subjobs.len());
+
+        let host_ids = self.eligible_hosts(market);
+        let quotes = market.quotes_for(job.user, &host_ids);
+        let bids = capped_bids(&quotes, rate, max_hosts, self.config.max_share_premium);
+
+        let interval = market.interval_secs();
+        for (host, host_rate) in bids {
+            // Escrow a few intervals per bid; pre_tick keeps topping up.
+            let escrow = Credits::from_f64(host_rate * interval * ESCROW_INTERVALS)
+                .min(market.bank().balance(job.sub_account)?);
+            if !escrow.is_positive() {
+                continue;
+            }
+            let bid = market.place_funded_bid(job.user, job.sub_account, host, host_rate, escrow)?;
+            job.slots.push(Slot {
+                host,
+                bid: Some(bid),
+                rate: host_rate,
+                subjob: None,
+            });
+        }
+        // Assign sub-jobs to slots.
+        for slot_idx in 0..job.slots.len() {
+            Self::start_next_subjob(&mut self.vms, job, slot_idx, now);
+        }
+        Ok(())
+    }
+
+    /// Start the next pending sub-job on slot `slot_idx`, if any.
+    fn start_next_subjob(
+        vms: &mut VmManager,
+        job: &mut Job,
+        slot_idx: usize,
+        now: SimTime,
+    ) -> bool {
+        let next = job
+            .subjobs
+            .iter()
+            .position(|s| s.host.is_none() && !s.is_finished());
+        let Some(sj_idx) = next else {
+            return false;
+        };
+        let host = job.slots[slot_idx].host;
+        let ready = vms.acquire(host, job.user, &job.envs, now);
+        let compute_ready = ready.max(now) + job.stage_in;
+        let sj = &mut job.subjobs[sj_idx];
+        sj.host = Some(host);
+        sj.compute_ready = Some(compute_ready);
+        sj.started_at = Some(now);
+        job.slots[slot_idx].subjob = Some(sj_idx);
+        true
+    }
+
+    /// Agent phase before the market allocates: finalize staged-out
+    /// sub-jobs, rebalance rates, top up escrows, fill freed slots.
+    pub fn pre_tick(&mut self, market: &mut Market, now: SimTime) {
+        let interval = market.interval_secs();
+        let job_ids: Vec<JobId> = self.jobs.keys().copied().collect();
+        for id in job_ids {
+            let mut job = self.jobs.remove(&id).expect("job exists");
+            if job.phase == JobPhase::Running {
+                self.finalize_staged_out(market, &mut job, now);
+                if job.phase == JobPhase::Running {
+                    self.rebalance(market, &mut job, now, interval);
+                    // Concurrency sample for the Nodes metric.
+                    let active = job.slots.iter().filter(|s| s.subjob.is_some()).count();
+                    job.nodes_stat.0 += 1;
+                    job.nodes_stat.1 += active as f64;
+                    job.nodes_stat.2 = job.nodes_stat.2.max(active);
+                }
+            }
+            self.jobs.insert(id, job);
+        }
+    }
+
+    fn finalize_staged_out(&mut self, market: &mut Market, job: &mut Job, now: SimTime) {
+        // Service contracts end at the deadline: every instance completes.
+        if matches!(job.kind, JobKind::Service { .. }) && now >= job.deadline {
+            for sj in job.subjobs.iter_mut() {
+                if sj.finished_at.is_none() {
+                    sj.finished_at = Some(job.deadline);
+                }
+            }
+        }
+        // Complete sub-jobs whose stage-out finished.
+        for sj in job.subjobs.iter_mut() {
+            if let Some(until) = sj.stage_out_until {
+                if sj.finished_at.is_none() && now >= until {
+                    sj.finished_at = Some(until);
+                }
+            }
+        }
+        // Free slots of finished sub-jobs; start queued work or release.
+        for slot_idx in 0..job.slots.len() {
+            let Some(sj_idx) = job.slots[slot_idx].subjob else {
+                continue;
+            };
+            if job.subjobs[sj_idx].is_finished() {
+                job.slots[slot_idx].subjob = None;
+                if !Self::start_next_subjob(&mut self.vms, job, slot_idx, now) {
+                    // No pending work: cancel the bid, refund escrow.
+                    if let Some(bid) = job.slots[slot_idx].bid.take() {
+                        let host = job.slots[slot_idx].host;
+                        let _ = market.cancel_bid(host, bid, job.sub_account);
+                    }
+                }
+            }
+        }
+        // Job completion: every sub-job finished.
+        if job.subjobs.iter().all(|s| s.is_finished()) {
+            for slot in &mut job.slots {
+                if let Some(bid) = slot.bid.take() {
+                    let _ = market.cancel_bid(slot.host, bid, job.sub_account);
+                }
+            }
+            let balance = market.bank().balance(job.sub_account).unwrap_or(Credits::ZERO);
+            if balance.is_positive() {
+                let _ = market
+                    .bank_mut()
+                    .transfer(job.sub_account, job.refund_account, balance);
+            }
+            job.phase = JobPhase::Done;
+            job.finished_at = Some(
+                job.subjobs
+                    .iter()
+                    .filter_map(|s| s.finished_at)
+                    .max()
+                    .unwrap_or(now),
+            );
+        }
+    }
+
+    fn rebalance(&mut self, market: &mut Market, job: &mut Job, now: SimTime, interval: f64) {
+        let balance = match market.bank().balance(job.sub_account) {
+            Ok(b) => b,
+            Err(_) => return,
+        };
+        // Escrows still at hosts count as spendable.
+        let escrowed: f64 = job
+            .slots
+            .iter()
+            .filter_map(|s| {
+                s.bid
+                    .and_then(|b| market.auctioneer(s.host).and_then(|a| a.escrow(b)))
+            })
+            .map(|c| c.as_f64())
+            .sum();
+        let funds = balance.as_f64() + escrowed;
+        if funds <= 0.0 {
+            let busy = job.slots.iter().any(|s| s.subjob.is_some());
+            if busy {
+                job.phase = JobPhase::Stalled;
+                job.finished_at = Some(now);
+            }
+            return;
+        }
+        let horizon = job.deadline.since(now).as_secs_f64().max(interval);
+        let total_rate = funds / horizon;
+
+        let active_hosts: Vec<HostId> = job
+            .slots
+            .iter()
+            .filter(|s| s.subjob.is_some() || s.bid.is_some())
+            .map(|s| s.host)
+            .collect();
+        if active_hosts.is_empty() {
+            return;
+        }
+
+        if self.config.rebid {
+            let quotes = market.quotes_for(job.user, &active_hosts);
+            let new_bids = capped_bids(&quotes, total_rate, usize::MAX, self.config.max_share_premium);
+            for (host, rate) in new_bids {
+                if let Some(slot) = job.slots.iter_mut().find(|s| s.host == host) {
+                    slot.rate = rate;
+                    if let Some(bid) = slot.bid {
+                        let _ = market.update_bid_rate(host, bid, rate);
+                    }
+                }
+            }
+        }
+
+        // Top up each live bid to its escrow depth; re-place bids that
+        // exhausted earlier.
+        for slot in &mut job.slots {
+            if slot.subjob.is_none() && slot.bid.is_none() {
+                continue;
+            }
+            let needed = Credits::from_f64(slot.rate * interval * ESCROW_INTERVALS);
+            match slot.bid {
+                Some(bid) => {
+                    let have = market
+                        .auctioneer(slot.host)
+                        .and_then(|a| a.escrow(bid))
+                        .unwrap_or(Credits::ZERO);
+                    if have < needed {
+                        let want = needed - have;
+                        let available = market
+                            .bank()
+                            .balance(job.sub_account)
+                            .unwrap_or(Credits::ZERO);
+                        let top = want.min(available);
+                        if top.is_positive() {
+                            let _ = market.top_up_bid(slot.host, bid, job.sub_account, top);
+                        }
+                    }
+                }
+                None => {
+                    // Bid exhausted previously; re-place if funds remain.
+                    let available = market
+                        .bank()
+                        .balance(job.sub_account)
+                        .unwrap_or(Credits::ZERO);
+                    let escrow = needed.min(available);
+                    if escrow.is_positive() && slot.rate > 0.0 {
+                        if let Ok(b) = market.place_funded_bid(
+                            job.user,
+                            job.sub_account,
+                            slot.host,
+                            slot.rate,
+                            escrow,
+                        ) {
+                            slot.bid = Some(b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Account the market's allocations into sub-job progress. `now` is the
+    /// tick start; allocations cover `[now, now + interval)`.
+    pub fn post_tick(
+        &mut self,
+        market: &Market,
+        now: SimTime,
+        allocations: &[(HostId, Vec<gm_tycoon::Allocation>)],
+    ) {
+        let interval = market.interval_secs();
+        let by_host: BTreeMap<HostId, &Vec<gm_tycoon::Allocation>> =
+            allocations.iter().map(|(h, a)| (*h, a)).collect();
+
+        for job in self.jobs.values_mut() {
+            if job.phase != JobPhase::Running {
+                continue;
+            }
+            for slot in &mut job.slots {
+                let Some(bid) = slot.bid else { continue };
+                let Some(allocs) = by_host.get(&slot.host) else {
+                    continue;
+                };
+                let Some(alloc) = allocs.iter().find(|a| a.handle == bid) else {
+                    continue;
+                };
+                job.charged += alloc.charged;
+                if alloc.exhausted {
+                    slot.bid = None;
+                }
+                let Some(sj_idx) = slot.subjob else { continue };
+                let kind = job.kind;
+                let sj = &mut job.subjobs[sj_idx];
+                if !sj.is_computing() {
+                    continue;
+                }
+                let ready = sj.compute_ready.expect("assigned subjob has ready time");
+                let tick_end = now + SimDuration::from_secs_f64(interval);
+                if ready >= tick_end {
+                    continue; // still provisioning/staging
+                }
+                if let JobKind::Service { min_mhz } = kind {
+                    job.qos.1 += 1;
+                    if alloc.capacity_mhz >= min_mhz {
+                        job.qos.0 += 1;
+                    }
+                }
+                let effective_start = ready.max(now);
+                let dt = tick_end.since(effective_start).as_secs_f64();
+                let remaining = sj.work_total - sj.work_done;
+                let progress = alloc.capacity_mhz * dt;
+                if progress >= remaining && alloc.capacity_mhz > 0.0 {
+                    // Completed mid-interval.
+                    let t_done =
+                        effective_start + SimDuration::from_secs_f64(remaining / alloc.capacity_mhz);
+                    sj.work_done = sj.work_total;
+                    sj.stage_out_until = Some(t_done + job.stage_out);
+                } else {
+                    sj.work_done += progress;
+                }
+            }
+        }
+    }
+
+    /// Kill a job (ARC `arckill`): cancel its bids, refund all unspent
+    /// funds to the payer, mark it `Cancelled`.
+    pub fn cancel_job(
+        &mut self,
+        market: &mut Market,
+        job_id: JobId,
+        now: SimTime,
+    ) -> Result<Credits, GridError> {
+        let job = self
+            .jobs
+            .get_mut(&job_id)
+            .ok_or(GridError::NoSuchJob(job_id))?;
+        if job.phase == JobPhase::Done || job.phase == JobPhase::Cancelled {
+            return Ok(Credits::ZERO);
+        }
+        for slot in &mut job.slots {
+            if let Some(bid) = slot.bid.take() {
+                let _ = market.cancel_bid(slot.host, bid, job.sub_account);
+            }
+            slot.subjob = None;
+        }
+        let balance = market.bank().balance(job.sub_account).unwrap_or(Credits::ZERO);
+        if balance.is_positive() {
+            market
+                .bank_mut()
+                .transfer(job.sub_account, job.refund_account, balance)?;
+        }
+        job.phase = JobPhase::Cancelled;
+        job.finished_at = Some(now);
+        Ok(balance)
+    }
+
+    /// Convenience driver: run `pre_tick`, the market tick and `post_tick`
+    /// for one interval starting at `now`.
+    pub fn step(&mut self, market: &mut Market, now: SimTime) {
+        self.pre_tick(market, now);
+        let allocations = market.tick(now);
+        self.post_tick(market, now, &allocations);
+    }
+
+    /// True when no job is in the `Running` phase.
+    pub fn all_settled(&self) -> bool {
+        self.jobs.values().all(|j| j.phase != JobPhase::Running)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_tycoon::HostSpec;
+
+    const CHUNK_MHZ_SECS: f64 = 2910.0 * 600.0; // 10 CPU-minutes at full vCPU
+
+    struct World {
+        market: Market,
+        jm: JobManager,
+        user: GridIdentity,
+        user_acct: AccountId,
+    }
+
+    fn world(hosts: u32, endowment: i64) -> World {
+        let mut market = Market::new(b"grid-test");
+        for i in 0..hosts {
+            market.add_host(HostSpec::testbed(i));
+        }
+        let jm = JobManager::new(&mut market, AgentConfig::default(), VmConfig::default());
+        let user = GridIdentity::swegrid_user(1);
+        let user_acct = market.bank_mut().open_account(user.public_key(), "user1");
+        market
+            .bank_mut()
+            .mint(user_acct, Credits::from_whole(endowment))
+            .unwrap();
+        World {
+            market,
+            jm,
+            user,
+            user_acct,
+        }
+    }
+
+    fn make_spec(w: &mut World, amount: i64, count: u32, cputime_min: u64) -> JobSpec {
+        let receipt = w
+            .market
+            .bank_mut()
+            .transfer(w.user_acct, w.jm.broker_account(), Credits::from_whole(amount))
+            .unwrap();
+        let token = TransferToken::create(&w.user, receipt, w.user.dn());
+        let text = format!(
+            "&(executable=\"blast.sh\")(jobName=\"t\")(count={count})(cpuTime=\"{cputime_min}\")(runTimeEnvironment=\"BLAST\")(transferToken=\"{}\")",
+            token.to_hex()
+        );
+        JobSpec::parse(&text, CHUNK_MHZ_SECS).unwrap()
+    }
+
+    fn run_until_settled(w: &mut World, max_hours: u64) -> SimTime {
+        let mut now = SimTime::ZERO;
+        let dt = SimDuration::from_secs(10);
+        let horizon = SimTime::ZERO + SimDuration::from_hours(max_hours);
+        while now < horizon {
+            w.jm.step(&mut w.market, now);
+            now = now + dt;
+            if w.jm.all_settled() {
+                break;
+            }
+        }
+        now
+    }
+
+    #[test]
+    fn submit_runs_and_completes_single_subjob() {
+        let mut w = world(4, 1000);
+        let spec = make_spec(&mut w, 100, 1, 60);
+        let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+        run_until_settled(&mut w, 4);
+        let job = w.jm.job(id).unwrap();
+        assert_eq!(job.phase, JobPhase::Done);
+        assert_eq!(job.completed_subjobs(), 1);
+        // 10 min of work plus VM (90s) and staging (45s) overheads.
+        let mk = job.makespan(SimTime::ZERO).as_minutes_f64();
+        assert!(mk > 10.0 && mk < 20.0, "makespan {mk} min");
+        assert!(job.charged.is_positive());
+    }
+
+    #[test]
+    fn refund_returns_unspent_funds() {
+        let mut w = world(4, 1000);
+        let spec = make_spec(&mut w, 500, 1, 60);
+        let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+        run_until_settled(&mut w, 4);
+        let job = w.jm.job(id).unwrap();
+        let user_balance = w.market.bank().balance(w.user_acct).unwrap();
+        // endowment 1000 − 500 paid + refund (500 − charged)
+        let expected = Credits::from_whole(1000) - job.charged;
+        assert_eq!(user_balance, expected);
+        // Sub-account is empty after refund.
+        assert_eq!(
+            w.market.bank().balance(job.sub_account).unwrap(),
+            Credits::ZERO
+        );
+        // Money is conserved globally.
+        assert_eq!(w.market.bank().total_money(), Credits::from_whole(1000));
+    }
+
+    #[test]
+    fn multi_subjob_job_uses_multiple_hosts() {
+        let mut w = world(8, 1000);
+        let spec = make_spec(&mut w, 200, 6, 120);
+        let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+        run_until_settled(&mut w, 6);
+        let job = w.jm.job(id).unwrap();
+        assert_eq!(job.phase, JobPhase::Done);
+        assert_eq!(job.completed_subjobs(), 6);
+        assert!(job.max_nodes() >= 2, "nodes {}", job.max_nodes());
+        assert!(job.max_nodes() <= 6);
+    }
+
+    #[test]
+    fn count_capped_by_max_nodes() {
+        let mut w = world(30, 10_000);
+        let spec = make_spec(&mut w, 2000, 40, 600);
+        let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+        // Step a little, then inspect concurrency.
+        for k in 0..30u64 {
+            w.jm.step(&mut w.market, SimTime::from_secs(10 * k));
+        }
+        let job = w.jm.job(id).unwrap();
+        assert!(job.max_nodes() <= 15, "cap violated: {}", job.max_nodes());
+    }
+
+    #[test]
+    fn cancel_job_refunds_and_frees_hosts() {
+        let mut w = world(2, 1000);
+        let spec = make_spec(&mut w, 200, 2, 600);
+        let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+        // Run a few intervals, then kill.
+        let mut now = SimTime::ZERO;
+        for _ in 0..5 {
+            w.jm.step(&mut w.market, now);
+            now = now + SimDuration::from_secs(10);
+        }
+        let refund = w.jm.cancel_job(&mut w.market, id, now).unwrap();
+        assert!(refund.is_positive());
+        let job = w.jm.job(id).unwrap();
+        assert_eq!(job.phase, JobPhase::Cancelled);
+        assert_eq!(job.arc_state(now), "KILLED");
+        // Hosts carry no bids anymore.
+        for h in w.market.host_ids() {
+            assert_eq!(w.market.auctioneer(h).unwrap().live_bids(), 0);
+        }
+        // User got everything back except what was charged.
+        let balance = w.market.bank().balance(w.user_acct).unwrap();
+        assert_eq!(balance, Credits::from_whole(1000) - job.charged);
+        assert_eq!(w.market.bank().total_money(), Credits::from_whole(1000));
+        // Idempotent.
+        assert_eq!(
+            w.jm.cancel_job(&mut w.market, id, now).unwrap(),
+            Credits::ZERO
+        );
+    }
+
+    #[test]
+    fn service_job_runs_to_contract_end_with_qos() {
+        let mut w = world(2, 1000);
+        let receipt = w
+            .market
+            .bank_mut()
+            .transfer(w.user_acct, w.jm.broker_account(), Credits::from_whole(300))
+            .unwrap();
+        let token = TransferToken::create(&w.user, receipt, w.user.dn());
+        // 20-minute service contract, 2 instances, 2000 MHz floor.
+        let text = format!(
+            "&(executable=\"httpd\")(jobType=\"service\")(serviceMinMhz=\"2000\")(count=2)(cpuTime=\"20\")(transferToken=\"{}\")",
+            token.to_hex()
+        );
+        let spec = JobSpec::parse(&text, 1.0).unwrap();
+        let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+        run_until_settled(&mut w, 2);
+        let job = w.jm.job(id).unwrap();
+        assert_eq!(job.phase, JobPhase::Done);
+        assert!(matches!(job.kind, JobKind::Service { .. }));
+        // Contract ends at the 20-minute deadline (give or take staging).
+        let mk = job.makespan(SimTime::ZERO).as_minutes_f64();
+        assert!((mk - 20.0).abs() < 1.5, "service makespan {mk} min");
+        // Alone on the cluster: QoS should be essentially perfect.
+        let qos = job.service_qos().expect("service QoS");
+        assert!(qos > 0.95, "lone service QoS {qos}");
+    }
+
+    #[test]
+    fn service_qos_degrades_under_contention() {
+        // One host; the service wants a full vCPU (2910 MHz floor) but a
+        // heavily funded batch job moves in and takes shares.
+        let mut w = world(1, 100_000);
+        let receipt = w
+            .market
+            .bank_mut()
+            .transfer(w.user_acct, w.jm.broker_account(), Credits::from_whole(10))
+            .unwrap();
+        let token = TransferToken::create(&w.user, receipt, w.user.dn());
+        let text = format!(
+            "&(executable=\"httpd\")(jobType=\"service\")(serviceMinMhz=\"2900\")(count=2)(cpuTime=\"30\")(transferToken=\"{}\")",
+            token.to_hex()
+        );
+        let spec = JobSpec::parse(&text, 1.0).unwrap();
+        let service = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+
+        // Competing batch users with far more money (distinct DNs).
+        for k in 0..2 {
+            let rival = GridIdentity::swegrid_user(50 + k);
+            let racct = w
+                .market
+                .bank_mut()
+                .open_account(rival.public_key(), "rival");
+            w.market
+                .bank_mut()
+                .mint(racct, Credits::from_whole(100_000))
+                .unwrap();
+            let receipt = w
+                .market
+                .bank_mut()
+                .transfer(racct, w.jm.broker_account(), Credits::from_whole(10_000))
+                .unwrap();
+            let rtoken = TransferToken::create(&rival, receipt, rival.dn());
+            let rtext = format!(
+                "&(executable=\"x\")(count=2)(cpuTime=\"30\")(transferToken=\"{}\")",
+                rtoken.to_hex()
+            );
+            let rspec = JobSpec::parse(&rtext, 2910.0 * 1800.0).unwrap();
+            w.jm.submit(&mut w.market, SimTime::ZERO, &rspec).unwrap();
+        }
+        run_until_settled(&mut w, 2);
+        let job = w.jm.job(service).unwrap();
+        let qos = job.service_qos().expect("qos measured");
+        assert!(
+            qos < 0.9,
+            "heavily outbid service should miss its floor sometimes: {qos}"
+        );
+    }
+
+    #[test]
+    fn unknown_job_type_rejected() {
+        let mut w = world(1, 100);
+        let receipt = w
+            .market
+            .bank_mut()
+            .transfer(w.user_acct, w.jm.broker_account(), Credits::from_whole(10))
+            .unwrap();
+        let token = TransferToken::create(&w.user, receipt, w.user.dn());
+        let text = format!(
+            "&(executable=\"x\")(jobType=\"interactive\")(count=1)(cpuTime=\"10\")(transferToken=\"{}\")",
+            token.to_hex()
+        );
+        let spec = JobSpec::parse(&text, 100.0).unwrap();
+        let err = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap_err();
+        assert!(matches!(err, GridError::BadDescription(_)));
+    }
+
+    #[test]
+    fn staged_data_delays_compute_and_completion() {
+        use crate::datatransfer::StagedFile;
+        let mut w = world(2, 1000);
+        // Two identical jobs, one with a 75 GB stage-in (60 s over the
+        // 10 Gbit backbone + setup).
+        let spec_plain = make_spec(&mut w, 100, 1, 120);
+        let spec_heavy = {
+            let receipt = w
+                .market
+                .bank_mut()
+                .transfer(w.user_acct, w.jm.broker_account(), Credits::from_whole(100))
+                .unwrap();
+            let token = TransferToken::create(&w.user, receipt, w.user.dn());
+            let text = format!(
+                "&(executable=\"x\")(count=1)(cpuTime=\"120\")(transferToken=\"{}\")",
+                token.to_hex()
+            );
+            JobSpec::parse(&text, CHUNK_MHZ_SECS)
+                .unwrap()
+                .with_input_files(vec![StagedFile::remote("proteome.fasta", 75_000_000_000)])
+        };
+        let id_plain = w.jm.submit(&mut w.market, SimTime::ZERO, &spec_plain).unwrap();
+        let id_heavy = w.jm.submit(&mut w.market, SimTime::ZERO, &spec_heavy).unwrap();
+        run_until_settled(&mut w, 6);
+        let plain = w.jm.job(id_plain).unwrap();
+        let heavy = w.jm.job(id_heavy).unwrap();
+        assert_eq!(plain.phase, JobPhase::Done);
+        assert_eq!(heavy.phase, JobPhase::Done);
+        let gap = heavy.finished_at.unwrap().since(plain.finished_at.unwrap());
+        assert!(
+            gap.as_secs_f64() >= 50.0,
+            "75 GB stage-in should cost ~60 s, gap was {gap:?}"
+        );
+    }
+
+    #[test]
+    fn double_spend_token_rejected() {
+        let mut w = world(2, 1000);
+        let spec = make_spec(&mut w, 100, 1, 60);
+        w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+        let err = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap_err();
+        assert!(matches!(err, GridError::Token(TokenError::AlreadySpent(_))));
+    }
+
+    #[test]
+    fn missing_token_rejected() {
+        let mut w = world(2, 1000);
+        let spec = JobSpec::parse("&(executable=\"x\")(count=1)(cpuTime=\"60\")", 1000.0).unwrap();
+        let err = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap_err();
+        assert!(matches!(err, GridError::BadDescription(_)));
+    }
+
+    #[test]
+    fn underfunded_job_stalls() {
+        let mut w = world(2, 1000);
+        // Tiny budget, long chunk: funds exhaust well before completion.
+        let receipt = w
+            .market
+            .bank_mut()
+            .transfer(
+                w.user_acct,
+                w.jm.broker_account(),
+                Credits::from_f64(0.000_2),
+            )
+            .unwrap();
+        let token = TransferToken::create(&w.user, receipt, w.user.dn());
+        let text = format!(
+            "&(executable=\"x\")(count=1)(cpuTime=\"1\")(transferToken=\"{}\")",
+            token.to_hex()
+        );
+        let spec = JobSpec::parse(&text, 2910.0 * 36_000.0).unwrap();
+        let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+        run_until_settled(&mut w, 2);
+        assert_eq!(w.jm.job(id).unwrap().phase, JobPhase::Stalled);
+    }
+
+    #[test]
+    fn boost_revives_a_stalled_job() {
+        let mut w = world(2, 1000);
+        let receipt = w
+            .market
+            .bank_mut()
+            .transfer(w.user_acct, w.jm.broker_account(), Credits::from_f64(0.001))
+            .unwrap();
+        let token = TransferToken::create(&w.user, receipt, w.user.dn());
+        let text = format!(
+            "&(executable=\"x\")(count=1)(cpuTime=\"30\")(transferToken=\"{}\")",
+            token.to_hex()
+        );
+        let spec = JobSpec::parse(&text, CHUNK_MHZ_SECS).unwrap();
+        let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+        let t = run_until_settled(&mut w, 1);
+        assert_eq!(w.jm.job(id).unwrap().phase, JobPhase::Stalled);
+
+        // Boost with real money.
+        let receipt = w
+            .market
+            .bank_mut()
+            .transfer(w.user_acct, w.jm.broker_account(), Credits::from_whole(100))
+            .unwrap();
+        let boost_token = TransferToken::create(&w.user, receipt, w.user.dn());
+        w.jm.boost(&mut w.market, id, &boost_token).unwrap();
+        assert_eq!(w.jm.job(id).unwrap().phase, JobPhase::Running);
+
+        let mut now = t;
+        for _ in 0..2000 {
+            w.jm.step(&mut w.market, now);
+            now = now + SimDuration::from_secs(10);
+            if w.jm.all_settled() {
+                break;
+            }
+        }
+        assert_eq!(w.jm.job(id).unwrap().phase, JobPhase::Done);
+    }
+
+    #[test]
+    fn two_competing_jobs_share_hosts() {
+        let mut w = world(2, 10_000);
+        let user2 = GridIdentity::swegrid_user(2);
+        let acct2 = w.market.bank_mut().open_account(user2.public_key(), "user2");
+        w.market
+            .bank_mut()
+            .mint(acct2, Credits::from_whole(1000))
+            .unwrap();
+
+        let spec1 = make_spec(&mut w, 300, 2, 120);
+        let receipt2 = w
+            .market
+            .bank_mut()
+            .transfer(acct2, w.jm.broker_account(), Credits::from_whole(300))
+            .unwrap();
+        let token2 = TransferToken::create(&user2, receipt2, user2.dn());
+        let text2 = format!(
+            "&(executable=\"x\")(count=2)(cpuTime=\"120\")(transferToken=\"{}\")",
+            token2.to_hex()
+        );
+        let spec2 = JobSpec::parse(&text2, CHUNK_MHZ_SECS).unwrap();
+
+        let id1 = w.jm.submit(&mut w.market, SimTime::ZERO, &spec1).unwrap();
+        let id2 = w.jm.submit(&mut w.market, SimTime::ZERO, &spec2).unwrap();
+        run_until_settled(&mut w, 6);
+        assert_eq!(w.jm.job(id1).unwrap().phase, JobPhase::Done);
+        assert_eq!(w.jm.job(id2).unwrap().phase, JobPhase::Done);
+        // Two users, two hosts: both users bid on both hosts, so distinct
+        // market users must exist.
+        assert_ne!(w.jm.job(id1).unwrap().user, w.jm.job(id2).unwrap().user);
+    }
+
+    #[test]
+    fn higher_funding_finishes_faster_under_contention() {
+        let mut w = world(4, 100_000);
+        let rich_user = GridIdentity::swegrid_user(7);
+        let rich_acct = w
+            .market
+            .bank_mut()
+            .open_account(rich_user.public_key(), "rich");
+        w.market
+            .bank_mut()
+            .mint(rich_acct, Credits::from_whole(10_000))
+            .unwrap();
+
+        // Poor job: 10 credits; rich job: 1000 credits. Same shape.
+        let spec_poor = make_spec(&mut w, 10, 4, 600);
+        let receipt = w
+            .market
+            .bank_mut()
+            .transfer(rich_acct, w.jm.broker_account(), Credits::from_whole(1000))
+            .unwrap();
+        let token = TransferToken::create(&rich_user, receipt, rich_user.dn());
+        let text = format!(
+            "&(executable=\"x\")(count=4)(cpuTime=\"600\")(transferToken=\"{}\")",
+            token.to_hex()
+        );
+        let spec_rich = JobSpec::parse(&text, CHUNK_MHZ_SECS).unwrap();
+
+        let id_poor = w.jm.submit(&mut w.market, SimTime::ZERO, &spec_poor).unwrap();
+        let id_rich = w.jm.submit(&mut w.market, SimTime::ZERO, &spec_rich).unwrap();
+        run_until_settled(&mut w, 12);
+
+        let poor = w.jm.job(id_poor).unwrap();
+        let rich = w.jm.job(id_rich).unwrap();
+        assert_eq!(rich.phase, JobPhase::Done);
+        if poor.phase == JobPhase::Done {
+            let t_poor = poor.finished_at.unwrap();
+            let t_rich = rich.finished_at.unwrap();
+            assert!(
+                t_rich <= t_poor,
+                "rich {t_rich:?} should finish no later than poor {t_poor:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Replicated scheduling agents with ARC-style matchmaking.
+//!
+//! §3: "the agent itself can be replicated and partitioned to pick up a
+//! different set of compute nodes. The ARC meta-scheduler could then be
+//! used to load balance and do job to cluster matchmaking between the
+//! replicas. We therefore believe that this model will scale well as the
+//! number of compute nodes … increase."
+//!
+//! [`MetaScheduler`] owns N [`JobManager`] replicas, each pinned to a host
+//! partition, and routes every submission to the replica whose partition
+//! currently quotes the *cheapest average price per deliverable MHz* —
+//! ARC's "job to cluster matchmaking" expressed in market terms.
+
+use gm_des::SimTime;
+use gm_tycoon::{HostId, Market};
+
+use crate::manager::{AgentConfig, GridError, Job, JobId, JobManager, JobSpec};
+use crate::vm::VmConfig;
+
+/// A job's location after meta-scheduling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoutedJob {
+    /// Which replica took the job.
+    pub replica: usize,
+    /// The job id within that replica.
+    pub job: JobId,
+}
+
+/// N replicated scheduling agents over disjoint host partitions.
+pub struct MetaScheduler {
+    replicas: Vec<JobManager>,
+}
+
+impl MetaScheduler {
+    /// Create `n_replicas` agents over `market`, partitioning its hosts
+    /// round-robin.
+    ///
+    /// # Panics
+    /// Panics if there are fewer hosts than replicas or `n_replicas == 0`.
+    pub fn new(
+        market: &mut Market,
+        n_replicas: usize,
+        agent: AgentConfig,
+        vm: VmConfig,
+    ) -> MetaScheduler {
+        assert!(n_replicas >= 1, "need at least one replica");
+        let hosts = market.host_ids();
+        assert!(
+            hosts.len() >= n_replicas,
+            "fewer hosts ({}) than replicas ({n_replicas})",
+            hosts.len()
+        );
+        let mut partitions: Vec<Vec<HostId>> = vec![Vec::new(); n_replicas];
+        for (i, h) in hosts.into_iter().enumerate() {
+            partitions[i % n_replicas].push(h);
+        }
+        let replicas = partitions
+            .into_iter()
+            .map(|p| {
+                let mut jm = JobManager::new(market, agent, vm);
+                jm.set_partition(p);
+                jm
+            })
+            .collect();
+        MetaScheduler { replicas }
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Access one replica.
+    pub fn replica(&self, idx: usize) -> &JobManager {
+        &self.replicas[idx]
+    }
+
+    /// Matchmaking score of a replica: mean spot price per deliverable MHz
+    /// over its partition (lower = more attractive).
+    pub fn partition_price(&self, market: &Market, replica: usize) -> f64 {
+        let hosts = self.replicas[replica].eligible_hosts(market);
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for h in hosts {
+            if let Some(a) = market.auctioneer(h) {
+                total += a.price_per_mhz();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            f64::INFINITY
+        } else {
+            total / n as f64
+        }
+    }
+
+    /// Route a submission to the cheapest partition and submit it there.
+    pub fn submit(
+        &mut self,
+        market: &mut Market,
+        now: SimTime,
+        spec: &JobSpec,
+    ) -> Result<RoutedJob, GridError> {
+        let best = (0..self.replicas.len())
+            .min_by(|&a, &b| {
+                self.partition_price(market, a)
+                    .partial_cmp(&self.partition_price(market, b))
+                    .expect("finite prices")
+            })
+            .expect("at least one replica");
+        let job = self.replicas[best].submit(market, now, spec)?;
+        Ok(RoutedJob { replica: best, job })
+    }
+
+    /// Drive every replica through one allocation interval. The market
+    /// ticks once; each replica accounts its own jobs.
+    pub fn step(&mut self, market: &mut Market, now: SimTime) {
+        for r in self.replicas.iter_mut() {
+            r.pre_tick(market, now);
+        }
+        let allocations = market.tick(now);
+        for r in self.replicas.iter_mut() {
+            r.post_tick(market, now, &allocations);
+        }
+    }
+
+    /// All jobs across replicas as `(replica, job)` pairs.
+    pub fn jobs(&self) -> impl Iterator<Item = (usize, &Job)> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .flat_map(|(i, r)| r.jobs().map(move |j| (i, j)))
+    }
+
+    /// Look up a routed job.
+    pub fn job(&self, routed: RoutedJob) -> Option<&Job> {
+        self.replicas.get(routed.replica)?.job(routed.job)
+    }
+
+    /// True when every job on every replica has settled.
+    pub fn all_settled(&self) -> bool {
+        self.replicas.iter().all(JobManager::all_settled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::GridIdentity;
+    use crate::token::TransferToken;
+    use gm_des::SimDuration;
+    use gm_tycoon::{AccountId, Credits, HostSpec};
+
+    struct World {
+        market: Market,
+        ms: MetaScheduler,
+        user: GridIdentity,
+        acct: AccountId,
+    }
+
+    fn world(hosts: u32, replicas: usize) -> World {
+        let mut market = Market::new(b"meta");
+        for i in 0..hosts {
+            market.add_host(HostSpec::testbed(i));
+        }
+        let ms = MetaScheduler::new(&mut market, replicas, AgentConfig::default(), VmConfig::default());
+        let user = GridIdentity::swegrid_user(1);
+        let acct = market.bank_mut().open_account(user.public_key(), "u");
+        market.bank_mut().mint(acct, Credits::from_whole(100_000)).unwrap();
+        World { market, ms, user, acct }
+    }
+
+    fn spec_for(w: &mut World, replica_broker: usize, amount: i64, count: u32) -> JobSpec {
+        let broker = w.ms.replica(replica_broker).broker_account();
+        let receipt = w
+            .market
+            .bank_mut()
+            .transfer(w.acct, broker, Credits::from_whole(amount))
+            .unwrap();
+        let token = TransferToken::create(&w.user, receipt, w.user.dn());
+        let text = format!(
+            "&(executable=\"x\")(count={count})(cpuTime=\"60\")(transferToken=\"{}\")",
+            token.to_hex()
+        );
+        JobSpec::parse(&text, 2910.0 * 300.0).unwrap()
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_cover_all_hosts() {
+        let w = world(7, 3);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..3 {
+            for h in w.ms.replica(i).eligible_hosts(&w.market) {
+                assert!(seen.insert(h), "host {h} in two partitions");
+            }
+        }
+        assert_eq!(seen.len(), 7);
+    }
+
+    /// Jobs bid only inside their replica's partition.
+    #[test]
+    fn routed_jobs_respect_partitions() {
+        let mut w = world(6, 2);
+        // Token pays replica 0's broker; but routing may pick either —
+        // make a token for each replica's broker so submission verifies.
+        // (Routing happens first; craft tokens after knowing the route in
+        // real flows. Here: submit directly per replica to check bids.)
+        let spec = spec_for(&mut w, 0, 100, 3);
+        let job = w.ms.replicas[0]
+            .submit(&mut w.market, SimTime::ZERO, &spec)
+            .unwrap();
+        let _ = job;
+        let partition: std::collections::BTreeSet<HostId> = w.ms.replica(0)
+            .eligible_hosts(&w.market)
+            .into_iter()
+            .collect();
+        for h in w.market.host_ids() {
+            let busy = w.market.auctioneer(h).unwrap().live_bids() > 0;
+            if busy {
+                assert!(partition.contains(&h), "bid outside partition on {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn matchmaking_routes_to_cheapest_partition() {
+        let mut w = world(4, 2);
+        // Load partition 0 (hosts 0, 2) with a job so its price rises.
+        let spec0 = spec_for(&mut w, 0, 500, 2);
+        w.ms.replicas[0]
+            .submit(&mut w.market, SimTime::ZERO, &spec0)
+            .unwrap();
+        for k in 0..3u64 {
+            w.ms.step(&mut w.market, SimTime::from_secs(10 * k));
+        }
+        let p0 = w.ms.partition_price(&w.market, 0);
+        let p1 = w.ms.partition_price(&w.market, 1);
+        assert!(p0 > p1, "loaded partition should be pricier: {p0} vs {p1}");
+
+        // A new routed submission must land on replica 1.
+        let spec1 = spec_for(&mut w, 1, 100, 1);
+        let routed = w.ms.submit(&mut w.market, SimTime::from_secs(40), &spec1).unwrap();
+        assert_eq!(routed.replica, 1);
+        assert!(w.ms.job(routed).is_some());
+    }
+
+    #[test]
+    fn jobs_complete_across_replicas() {
+        let mut w = world(4, 2);
+        let s0 = spec_for(&mut w, 0, 200, 2);
+        let s1 = spec_for(&mut w, 1, 200, 2);
+        w.ms.replicas[0].submit(&mut w.market, SimTime::ZERO, &s0).unwrap();
+        w.ms.replicas[1].submit(&mut w.market, SimTime::ZERO, &s1).unwrap();
+        let mut now = SimTime::ZERO;
+        for _ in 0..2000 {
+            w.ms.step(&mut w.market, now);
+            now = now + SimDuration::from_secs(10);
+            if w.ms.all_settled() {
+                break;
+            }
+        }
+        assert!(w.ms.all_settled());
+        let done = w
+            .ms
+            .jobs()
+            .filter(|(_, j)| j.phase == crate::manager::JobPhase::Done)
+            .count();
+        assert_eq!(done, 2);
+        // Money conservation across the whole multi-replica system.
+        assert_eq!(w.market.bank().total_money(), Credits::from_whole(100_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer hosts")]
+    fn more_replicas_than_hosts_rejected() {
+        let mut market = Market::new(b"meta2");
+        market.add_host(HostSpec::testbed(0));
+        MetaScheduler::new(&mut market, 2, AgentConfig::default(), VmConfig::default());
+    }
+}

@@ -1,0 +1,85 @@
+//! A text-mode equivalent of the ARC Grid Monitor (paper Fig. 2).
+//!
+//! The real monitor shows the Tycoon cluster "as any other ARC cluster …
+//! with the only difference being that the cluster is virtualized and thus
+//! reports number of virtual CPUs as opposed to physical compute node
+//! CPUs" (§3). This module renders the same information as a table.
+
+use gm_tycoon::Market;
+
+use crate::manager::JobManager;
+
+/// Render the cluster status table.
+pub fn render(market: &Market, jm: &JobManager, vms_per_host_cap: u32) -> String {
+    render_at(market, jm, vms_per_host_cap, gm_des::SimTime::MAX)
+}
+
+/// Render the cluster status table with ARC job states as of `now`.
+pub fn render_at(
+    market: &Market,
+    jm: &JobManager,
+    vms_per_host_cap: u32,
+    now: gm_des::SimTime,
+) -> String {
+    let mut out = String::new();
+    out.push_str("=== Tycoon Grid Monitor =========================================\n");
+    let physical = market.host_ids().len();
+    let virtual_now = jm.vms().live_vms();
+    let virtual_max = physical as u64 * vms_per_host_cap as u64;
+    out.push_str(&format!(
+        "cluster: tycoon-virtual  physical nodes: {physical}  virtual CPUs: {virtual_now} (max {virtual_max})\n"
+    ));
+    out.push_str("----------------------------------------------------------------\n");
+    out.push_str("host       cpus  vCPUs  spot($/s)   price($/s/MHz)  income\n");
+    for id in market.host_ids() {
+        let a = market.auctioneer(id).expect("listed host");
+        out.push_str(&format!(
+            "{id}    {:>4}  {:>5}  {:>9.6}   {:>13.9}  {}\n",
+            a.spec().cpus,
+            jm.vms().vms_on_host(id),
+            a.spot_price(),
+            a.price_per_mhz(),
+            a.earned(),
+        ));
+    }
+    out.push_str("----------------------------------------------------------------\n");
+    out.push_str("job    user      state      done/total  nodes  charged\n");
+    for job in jm.jobs() {
+        let phase = job.arc_state(now);
+        out.push_str(&format!(
+            "{:>5}  {:<8}  {:<9}  {:>4}/{:<5}  {:>5}  {}\n",
+            job.id.0,
+            format!("{}", job.user),
+            phase,
+            job.completed_subjobs(),
+            job.subjobs.len(),
+            job.max_nodes(),
+            job.charged,
+        ));
+    }
+    out.push_str("================================================================\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::AgentConfig;
+    use crate::vm::VmConfig;
+    use gm_tycoon::HostSpec;
+
+    #[test]
+    fn renders_hosts_and_header() {
+        let mut market = Market::new(b"mon");
+        for i in 0..3 {
+            market.add_host(HostSpec::testbed(i));
+        }
+        let jm = JobManager::new(&mut market, AgentConfig::default(), VmConfig::default());
+        let text = render(&market, &jm, 15);
+        assert!(text.contains("physical nodes: 3"));
+        assert!(text.contains("max 45"));
+        assert!(text.contains("host000"));
+        assert!(text.contains("host002"));
+        assert!(text.contains("Tycoon Grid Monitor"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Virtual machine lifecycle management.
+//!
+//! Tycoon virtualizes hosts (Xen in the paper, §2.2): each (host, user)
+//! pair gets at most one VM — the experiment setup restricts "one virtual
+//! machine per user per physical machine" (§5.2). VM creation costs time
+//! (boot + yum-installing the xRSL `runTimeEnvironment`s, §3), and "a user
+//! may reuse the same virtual machine between jobs submitted on the same
+//! physical host" to avoid paying that cost twice.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gm_des::{SimDuration, SimTime};
+use gm_tycoon::{HostId, UserId};
+
+/// Identifier of a virtual machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VmId(pub u64);
+
+/// Timing parameters of VM provisioning.
+#[derive(Clone, Copy, Debug)]
+pub struct VmConfig {
+    /// Time to create and boot a fresh VM.
+    pub create_latency: SimDuration,
+    /// Additional time to install one runtime environment (yum).
+    pub env_install_latency: SimDuration,
+    /// Time to wake a hibernated VM (≪ `create_latency`; §3 suggests "a
+    /// virtual machine purging or hibernation model … with the penalty of
+    /// more overhead to setup a job on a virtual machine").
+    pub resume_latency: SimDuration,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            create_latency: SimDuration::from_secs(60),
+            env_install_latency: SimDuration::from_secs(30),
+            resume_latency: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// Lifecycle state of a VM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmState {
+    /// Booted (or booting) and usable once `ready_at` passes.
+    Active,
+    /// Suspended to disk; does not count against the virtual-CPU
+    /// capacity of the cluster and must be resumed before use.
+    Hibernated,
+}
+
+/// A provisioned virtual machine.
+#[derive(Clone, Debug)]
+pub struct Vm {
+    /// Unique id.
+    pub id: VmId,
+    /// Physical host it runs on.
+    pub host: HostId,
+    /// Owning market user.
+    pub user: UserId,
+    /// When provisioning started.
+    pub created_at: SimTime,
+    /// When the VM (including env installs) becomes usable.
+    pub ready_at: SimTime,
+    /// Installed runtime environments.
+    pub envs: BTreeSet<String>,
+    /// Number of jobs that have used this VM (reuse counter).
+    pub jobs_served: u32,
+    /// Lifecycle state.
+    pub state: VmState,
+    /// Last time the VM was acquired (for idle purging/hibernation).
+    pub last_used: SimTime,
+}
+
+/// Manages all VMs in the virtual cluster.
+pub struct VmManager {
+    config: VmConfig,
+    vms: BTreeMap<(HostId, UserId), Vm>,
+    next_id: u64,
+    total_created: u64,
+}
+
+impl VmManager {
+    /// New manager with the given provisioning config.
+    pub fn new(config: VmConfig) -> VmManager {
+        VmManager {
+            config,
+            vms: BTreeMap::new(),
+            next_id: 0,
+            total_created: 0,
+        }
+    }
+
+    /// Acquire a VM for `(host, user)` with the required `envs`,
+    /// creating or upgrading as needed. Returns the time the VM will be
+    /// ready (new creations and env installs push it into the future).
+    pub fn acquire(
+        &mut self,
+        host: HostId,
+        user: UserId,
+        envs: &[String],
+        now: SimTime,
+    ) -> SimTime {
+        match self.vms.get_mut(&(host, user)) {
+            Some(vm) => {
+                // Resume first if hibernated.
+                if vm.state == VmState::Hibernated {
+                    vm.state = VmState::Active;
+                    vm.ready_at = now + self.config.resume_latency;
+                }
+                // Reuse; install any missing environments.
+                let missing: Vec<&String> = envs.iter().filter(|e| !vm.envs.contains(*e)).collect();
+                if !missing.is_empty() {
+                    let extra = self.config.env_install_latency * missing.len() as u64;
+                    let base = vm.ready_at.max(now);
+                    vm.ready_at = base + extra;
+                    for e in missing {
+                        vm.envs.insert(e.clone());
+                    }
+                }
+                vm.jobs_served += 1;
+                vm.last_used = now;
+                vm.ready_at
+            }
+            None => {
+                let ready_at = now
+                    + self.config.create_latency
+                    + self.config.env_install_latency * envs.len() as u64;
+                let vm = Vm {
+                    id: VmId(self.next_id),
+                    host,
+                    user,
+                    created_at: now,
+                    ready_at,
+                    envs: envs.iter().cloned().collect(),
+                    jobs_served: 1,
+                    state: VmState::Active,
+                    last_used: now,
+                };
+                self.next_id += 1;
+                self.total_created += 1;
+                self.vms.insert((host, user), vm);
+                ready_at
+            }
+        }
+    }
+
+    /// Look up the VM of a (host, user) pair.
+    pub fn get(&self, host: HostId, user: UserId) -> Option<&Vm> {
+        self.vms.get(&(host, user))
+    }
+
+    /// Destroy the VM of a (host, user) pair ("purging"). Returns `true`
+    /// if one existed.
+    pub fn purge(&mut self, host: HostId, user: UserId) -> bool {
+        self.vms.remove(&(host, user)).is_some()
+    }
+
+    /// Current number of live (non-hibernated) VMs (= virtual CPUs
+    /// advertised by the ARC monitor, Fig. 2).
+    pub fn live_vms(&self) -> usize {
+        self.vms
+            .values()
+            .filter(|v| v.state == VmState::Active)
+            .count()
+    }
+
+    /// Hibernate every active VM idle since before `now − max_idle`.
+    /// Returns how many were hibernated. Hibernated VMs stop counting
+    /// against the virtual-CPU capacity; the next `acquire` pays
+    /// `resume_latency` instead of a full boot.
+    pub fn hibernate_idle(&mut self, now: SimTime, max_idle: SimDuration) -> usize {
+        let mut n = 0;
+        for vm in self.vms.values_mut() {
+            if vm.state == VmState::Active
+                && now.since(vm.last_used) > max_idle
+                && vm.ready_at <= now
+            {
+                vm.state = VmState::Hibernated;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Destroy every VM (any state) idle since before `now − max_idle`.
+    /// Returns how many were purged.
+    pub fn purge_idle(&mut self, now: SimTime, max_idle: SimDuration) -> usize {
+        let before = self.vms.len();
+        self.vms
+            .retain(|_, vm| !(now.since(vm.last_used) > max_idle && vm.ready_at <= now));
+        before - self.vms.len()
+    }
+
+    /// Live VMs on one host.
+    pub fn vms_on_host(&self, host: HostId) -> usize {
+        self.vms
+            .iter()
+            .filter(|((h, _), v)| *h == host && v.state == VmState::Active)
+            .count()
+    }
+
+    /// Total VMs ever created (reuse keeps this low).
+    pub fn total_created(&self) -> u64 {
+        self.total_created
+    }
+
+    /// Iterate over all live VMs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vm> {
+        self.vms.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> VmManager {
+        VmManager::new(VmConfig::default())
+    }
+
+    fn envs(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn creation_takes_boot_plus_env_time() {
+        let mut m = mgr();
+        let t0 = SimTime::from_secs(100);
+        let ready = m.acquire(HostId(0), UserId(1), &envs(&["BLAST"]), t0);
+        assert_eq!(ready, t0 + SimDuration::from_secs(90)); // 60 boot + 30 env
+        assert_eq!(m.live_vms(), 1);
+        assert_eq!(m.total_created(), 1);
+    }
+
+    #[test]
+    fn reuse_is_instant_when_envs_match() {
+        let mut m = mgr();
+        let t0 = SimTime::from_secs(0);
+        m.acquire(HostId(0), UserId(1), &envs(&["BLAST"]), t0);
+        let t1 = SimTime::from_secs(1000);
+        let ready = m.acquire(HostId(0), UserId(1), &envs(&["BLAST"]), t1);
+        assert_eq!(ready, SimTime::from_secs(90), "already ready in the past");
+        assert!(ready < t1);
+        assert_eq!(m.total_created(), 1, "no new VM created");
+        assert_eq!(m.get(HostId(0), UserId(1)).unwrap().jobs_served, 2);
+    }
+
+    #[test]
+    fn reuse_with_new_env_installs_it() {
+        let mut m = mgr();
+        m.acquire(HostId(0), UserId(1), &envs(&["BLAST"]), SimTime::ZERO);
+        let t1 = SimTime::from_secs(500);
+        let ready = m.acquire(HostId(0), UserId(1), &envs(&["BLAST", "R"]), t1);
+        assert_eq!(ready, t1 + SimDuration::from_secs(30));
+        let vm = m.get(HostId(0), UserId(1)).unwrap();
+        assert!(vm.envs.contains("R") && vm.envs.contains("BLAST"));
+    }
+
+    #[test]
+    fn distinct_users_get_distinct_vms_on_same_host() {
+        let mut m = mgr();
+        m.acquire(HostId(0), UserId(1), &[], SimTime::ZERO);
+        m.acquire(HostId(0), UserId(2), &[], SimTime::ZERO);
+        assert_eq!(m.live_vms(), 2);
+        assert_eq!(m.vms_on_host(HostId(0)), 2);
+        assert_eq!(m.vms_on_host(HostId(1)), 0);
+        assert_ne!(
+            m.get(HostId(0), UserId(1)).unwrap().id,
+            m.get(HostId(0), UserId(2)).unwrap().id
+        );
+    }
+
+    #[test]
+    fn purge_removes_vm_and_next_acquire_recreates() {
+        let mut m = mgr();
+        m.acquire(HostId(0), UserId(1), &[], SimTime::ZERO);
+        assert!(m.purge(HostId(0), UserId(1)));
+        assert!(!m.purge(HostId(0), UserId(1)));
+        assert_eq!(m.live_vms(), 0);
+        let t1 = SimTime::from_secs(100);
+        let ready = m.acquire(HostId(0), UserId(1), &[], t1);
+        assert_eq!(ready, t1 + SimDuration::from_secs(60));
+        assert_eq!(m.total_created(), 2);
+    }
+
+    #[test]
+    fn hibernation_and_resume() {
+        let mut m = mgr();
+        m.acquire(HostId(0), UserId(1), &[], SimTime::ZERO);
+        assert_eq!(m.live_vms(), 1);
+        // Not idle long enough: nothing happens.
+        assert_eq!(
+            m.hibernate_idle(SimTime::from_secs(100), SimDuration::from_secs(600)),
+            0
+        );
+        // Idle past the threshold: hibernated and no longer "live".
+        assert_eq!(
+            m.hibernate_idle(SimTime::from_secs(1000), SimDuration::from_secs(600)),
+            1
+        );
+        assert_eq!(m.live_vms(), 0);
+        assert_eq!(m.vms_on_host(HostId(0)), 0);
+        assert_eq!(m.get(HostId(0), UserId(1)).unwrap().state, VmState::Hibernated);
+
+        // Resume costs resume_latency (10 s), not a full boot (60 s).
+        let t = SimTime::from_secs(2000);
+        let ready = m.acquire(HostId(0), UserId(1), &[], t);
+        assert_eq!(ready, t + SimDuration::from_secs(10));
+        assert_eq!(m.live_vms(), 1);
+        assert_eq!(m.total_created(), 1, "resume is not a re-create");
+    }
+
+    #[test]
+    fn purge_idle_removes_stale_vms() {
+        let mut m = mgr();
+        m.acquire(HostId(0), UserId(1), &[], SimTime::ZERO);
+        m.acquire(HostId(1), UserId(1), &[], SimTime::from_secs(5000));
+        let purged = m.purge_idle(SimTime::from_secs(6000), SimDuration::from_secs(3000));
+        assert_eq!(purged, 1, "only the stale VM goes");
+        assert!(m.get(HostId(0), UserId(1)).is_none());
+        assert!(m.get(HostId(1), UserId(1)).is_some());
+        // Recreating the purged VM pays the full boot again.
+        let t = SimTime::from_secs(7000);
+        let ready = m.acquire(HostId(0), UserId(1), &[], t);
+        assert_eq!(ready, t + SimDuration::from_secs(60));
+        assert_eq!(m.total_created(), 3);
+    }
+
+    #[test]
+    fn no_env_vm_boots_in_base_latency() {
+        let mut m = mgr();
+        let ready = m.acquire(HostId(3), UserId(9), &[], SimTime::ZERO);
+        assert_eq!(ready, SimTime::from_secs(60));
+    }
+}

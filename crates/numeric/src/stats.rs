@@ -1,0 +1,483 @@
+//! Running, windowed and descriptive statistics.
+//!
+//! Three flavours, each matching a use in the paper:
+//!
+//! * [`RunningStats`] — numerically stable online mean/variance/skewness/
+//!   kurtosis (Welford / Pébay update formulas). This is the "stateless"
+//!   representation of §4.2: only running sums are kept, no data points.
+//! * [`SmoothedMoments`] — the paper's §4.5 moving-window moments:
+//!   exponentially smoothed raw moments `µ_{i,p} = α·µ_{i−1,p} + (1−α)·x_i^p`
+//!   with `α = 1 − 1/n` for window size `n`, and the skewness/kurtosis
+//!   formulas given in the paper.
+//! * [`Moments`] — one-shot descriptive statistics of a slice.
+
+/// Numerically stable online statistics (count, mean, variance, skewness,
+/// excess kurtosis, min, max) with O(1) state.
+#[derive(Clone, Debug, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation (Pébay's one-pass update).
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (denominator `n`).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Unbiased sample variance (denominator `n − 1`).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sample skewness `m3 / m2^{3/2}` (0 for degenerate inputs).
+    pub fn skewness(&self) -> f64 {
+        if self.n == 0 || self.m2 <= 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        n.sqrt() * self.m3 / self.m2.powf(1.5)
+    }
+
+    /// Excess kurtosis `m4·n/m2² − 3` (0 for degenerate inputs).
+    pub fn kurtosis(&self) -> f64 {
+        if self.n == 0 || self.m2 <= 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        n * self.m4 / (self.m2 * self.m2) - 3.0
+    }
+
+    /// Minimum seen (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum seen (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let d2 = delta * delta;
+        let d3 = d2 * delta;
+        let d4 = d2 * d2;
+
+        let m2 = self.m2 + other.m2 + d2 * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + d3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + d4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * d2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+
+        self.mean = (na * self.mean + nb * other.mean) / n;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The paper's §4.5 moving-window smoothed moments.
+///
+/// Keeps the first four *raw* moments about zero under exponential smoothing
+/// with `α = 1 − 1/n` (`n` = window size in snapshots) and derives mean,
+/// standard deviation, skewness γ₁ and kurtosis γ₂ exactly per the formulas
+/// in the paper. Window size 1 ignores history, as the paper notes.
+#[derive(Clone, Debug)]
+pub struct SmoothedMoments {
+    window: usize,
+    alpha: f64,
+    /// Raw moments µ_p = E[x^p], p = 1..=4. `None` until the first sample.
+    m: Option<[f64; 4]>,
+    samples: u64,
+}
+
+impl SmoothedMoments {
+    /// New smoother for a window of `n` snapshots.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must be >= 1");
+        SmoothedMoments {
+            window,
+            alpha: 1.0 - 1.0 / window as f64,
+            m: None,
+            samples: 0,
+        }
+    }
+
+    /// Window size in snapshots.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of samples pushed so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Push a price snapshot.
+    pub fn push(&mut self, x: f64) {
+        self.samples += 1;
+        let powers = [x, x * x, x * x * x, x * x * x * x];
+        match &mut self.m {
+            // µ_{0,p} = x_0^p
+            None => self.m = Some(powers),
+            Some(m) => {
+                for p in 0..4 {
+                    m[p] = self.alpha * m[p] + (1.0 - self.alpha) * powers[p];
+                }
+            }
+        }
+    }
+
+    /// Smoothed mean (`None` before any sample).
+    pub fn mean(&self) -> Option<f64> {
+        self.m.map(|m| m[0])
+    }
+
+    /// Smoothed standard deviation `σ = sqrt(µ₂ − µ₁²)`.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.m.map(|m| (m[1] - m[0] * m[0]).max(0.0).sqrt())
+    }
+
+    /// Smoothed skewness `γ₁ = (µ₃ − 3µ₁µ₂ + 2µ₁³)/σ³` (`None` before any
+    /// sample; 0 for a degenerate σ).
+    pub fn skewness(&self) -> Option<f64> {
+        self.m.map(|m| {
+            let sigma = (m[1] - m[0] * m[0]).max(0.0).sqrt();
+            if sigma <= 1e-300 {
+                0.0
+            } else {
+                (m[2] - 3.0 * m[0] * m[1] + 2.0 * m[0] * m[0] * m[0]) / (sigma * sigma * sigma)
+            }
+        })
+    }
+
+    /// Smoothed excess kurtosis
+    /// `γ₂ = (µ₄ − 4µ₃µ₁ + 6µ₂µ₁² − 3µ₁⁴)/σ⁴ − 3`.
+    pub fn kurtosis(&self) -> Option<f64> {
+        self.m.map(|m| {
+            let var = (m[1] - m[0] * m[0]).max(0.0);
+            if var <= 1e-300 {
+                0.0
+            } else {
+                (m[3] - 4.0 * m[2] * m[0] + 6.0 * m[1] * m[0] * m[0]
+                    - 3.0 * m[0] * m[0] * m[0] * m[0])
+                    / (var * var)
+                    - 3.0
+            }
+        })
+    }
+}
+
+/// One-shot descriptive statistics over a slice.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Moments {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Sample skewness.
+    pub skewness: f64,
+    /// Excess kurtosis.
+    pub kurtosis: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Moments {
+    /// Compute descriptive statistics of `xs`. Returns `None` when empty.
+    pub fn of(xs: &[f64]) -> Option<Moments> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut rs = RunningStats::new();
+        for &x in xs {
+            rs.push(x);
+        }
+        Some(Moments {
+            count: xs.len(),
+            mean: rs.mean(),
+            variance: rs.variance(),
+            std_dev: rs.std_dev(),
+            skewness: rs.skewness(),
+            kurtosis: rs.kurtosis(),
+            min: rs.min(),
+            max: rs.max(),
+        })
+    }
+}
+
+/// Linearly interpolated percentile (`q` in `[0, 1]`) of unsorted data.
+/// Returns `None` when empty.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "percentile q out of [0,1]");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_matches_direct_for_simple_input() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 8);
+        assert!((rs.mean() - 5.0).abs() < 1e-12);
+        assert!((rs.variance() - 4.0).abs() < 1e-12);
+        assert!((rs.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(rs.min(), 2.0);
+        assert_eq!(rs.max(), 9.0);
+    }
+
+    #[test]
+    fn skewness_sign_and_symmetry() {
+        let mut sym = RunningStats::new();
+        for x in [-2.0, -1.0, 0.0, 1.0, 2.0] {
+            sym.push(x);
+        }
+        assert!(sym.skewness().abs() < 1e-12);
+
+        let mut right = RunningStats::new();
+        for x in [1.0, 1.0, 1.0, 1.0, 10.0] {
+            right.push(x);
+        }
+        assert!(right.skewness() > 1.0, "right-skewed data must be positive");
+    }
+
+    #[test]
+    fn kurtosis_of_uniformish_is_negative() {
+        let mut rs = RunningStats::new();
+        for i in 0..1000 {
+            rs.push(i as f64);
+        }
+        // Discrete uniform has excess kurtosis ≈ −1.2
+        assert!((rs.kurtosis() + 1.2).abs() < 0.01, "{}", rs.kurtosis());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| ((i * 31) % 17) as f64).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert!((a.skewness() - whole.skewness()).abs() < 1e-9);
+        assert!((a.kurtosis() - whole.kurtosis()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a.clone();
+        a.merge(&RunningStats::new());
+        assert_eq!(a.mean(), before.mean());
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty.mean(), before.mean());
+        assert_eq!(empty.count(), 2);
+    }
+
+    #[test]
+    fn smoothed_window1_tracks_last_sample() {
+        // α = 0: previous moments ignored, as the paper notes.
+        let mut sm = SmoothedMoments::new(1);
+        sm.push(10.0);
+        sm.push(3.0);
+        assert_eq!(sm.mean(), Some(3.0));
+        assert_eq!(sm.std_dev(), Some(0.0));
+    }
+
+    #[test]
+    fn smoothed_constant_stream() {
+        let mut sm = SmoothedMoments::new(20);
+        for _ in 0..100 {
+            sm.push(5.0);
+        }
+        assert!((sm.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!(sm.std_dev().unwrap() < 1e-9);
+        assert_eq!(sm.skewness(), Some(0.0));
+        assert_eq!(sm.kurtosis(), Some(0.0));
+    }
+
+    #[test]
+    fn smoothed_mean_converges_to_stream_mean() {
+        // Alternate 0/10: long-run smoothed mean ≈ 5.
+        let mut sm = SmoothedMoments::new(50);
+        for i in 0..5_000 {
+            sm.push(if i % 2 == 0 { 0.0 } else { 10.0 });
+        }
+        assert!((sm.mean().unwrap() - 5.0).abs() < 0.3, "{:?}", sm.mean());
+        assert!((sm.std_dev().unwrap() - 5.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn smoothed_reacts_faster_with_small_windows() {
+        let mut fast = SmoothedMoments::new(5);
+        let mut slow = SmoothedMoments::new(500);
+        for _ in 0..100 {
+            fast.push(1.0);
+            slow.push(1.0);
+        }
+        for _ in 0..20 {
+            fast.push(10.0);
+            slow.push(10.0);
+        }
+        assert!(fast.mean().unwrap() > slow.mean().unwrap());
+    }
+
+    #[test]
+    fn smoothed_skew_detects_spikes() {
+        // Mostly-low with occasional large spikes → positive (right) skew.
+        let mut sm = SmoothedMoments::new(100);
+        for i in 0..1_000 {
+            sm.push(if i % 25 == 0 { 50.0 } else { 1.0 });
+        }
+        assert!(sm.skewness().unwrap() > 1.0);
+        assert!(sm.kurtosis().unwrap() > 1.0, "spiky data is leptokurtic");
+    }
+
+    #[test]
+    fn moments_of_slice() {
+        let m = Moments::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.count, 4);
+        assert!((m.mean - 2.5).abs() < 1e-12);
+        assert!((m.variance - 1.25).abs() < 1e-12);
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.max, 4.0);
+        assert!(Moments::of(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 1.0), Some(5.0));
+        assert_eq!(percentile(&xs, 0.5), Some(3.0));
+        assert_eq!(percentile(&xs, 0.25), Some(2.0));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be >= 1")]
+    fn zero_window_rejected() {
+        SmoothedMoments::new(0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # gm-predict — price and performance prediction suite
+//!
+//! The paper's Section 4: tools that tell a grid user *how much to spend*
+//! to hit a deadline, or what performance to expect for a budget.
+//!
+//! * [`normal`] — the lightweight stateless model (§4.2): assume spot
+//!   prices are normal, combine `Φ⁻¹` guarantees with Best Response to map
+//!   budgets ↔ capacity at 80/90/99 % confidence (Fig. 3).
+//! * [`ar`] — AR(k) time-series forecasting (§4.3): Yule-Walker via
+//!   Levinson-Durbin, optional smoothing-spline pre-filter, and the paper's
+//!   ε validation metric (Fig. 4).
+//! * [`portfolio`] — Markowitz mean-variance selection (§4.4): covariance
+//!   estimation, minimum-variance ("risk-free") portfolio, efficient
+//!   frontier (Fig. 5).
+//! * [`slots`] — the auctioneer's self-adjusting slot table recording the
+//!   proportion of prices per price bracket (§4.1, Fig. 6).
+//! * [`window`] — the dual-distribution moving-window approximation with
+//!   lag-proportional merging (§4.5, Fig. 6–7).
+//! * [`var`] — Value-at-Risk performance floors ("minimal performance V
+//!   with probability P", the Chun et al. framing discussed in §4.4).
+//! * [`reservation`] — §7 future work implemented: reservation pricing,
+//!   deadline SLAs and swing options on top of the normal model.
+
+pub mod ar;
+pub mod normal;
+pub mod portfolio;
+pub mod reservation;
+pub mod slots;
+pub mod var;
+pub mod window;
+
+pub use ar::{naive_epsilon, ArModel, MeanMode};
+pub use normal::NormalPriceModel;
+pub use portfolio::{efficient_frontier, min_variance_portfolio, FrontierPoint, ReturnStats};
+pub use reservation::{price_reservation, sla_quote, SlaQuote, SwingOption};
+pub use slots::SlotTable;
+pub use var::{performance_floor, Guarantee};
+pub use window::DualWindowDistribution;

@@ -1,0 +1,312 @@
+//! Lightweight single-host stateless price prediction (§4.2).
+//!
+//! Model: the spot price `y` of a host is an outcome of `Y ∈ N(μ, σ²)`
+//! (Eq. 3). The probability that the host costs at most `y` is
+//! `Φ((y−μ)/σ)` (Eq. 4), so the price to expect with guarantee `p` is
+//! `y ≤ μ + σ·Φ⁻¹(p)` (Eq. 5). Combining with the Best Response bid `x`
+//! gives the guaranteed utility of Eq. 6:
+//!
+//! `U_i(X, p) ≥ Σ_j w_j · x_j / (x_j + μ_j + σ_j·Φ⁻¹(p))`
+//!
+//! "Stateless": only the running mean and standard deviation of the price
+//! need to be tracked — no samples are stored.
+
+use gm_numeric::norm_quantile;
+use gm_numeric::stats::RunningStats;
+use gm_tycoon::{best_response, HostId, HostQuote};
+
+/// Per-host normal price model (the running `μ`, `σ` of the spot price, in
+/// credits/second) plus the host's deliverable capacity used as the Best
+/// Response weight.
+#[derive(Clone, Copy, Debug)]
+pub struct NormalPriceModel {
+    /// Which host this models.
+    pub host: HostId,
+    /// Mean spot price (credits/s).
+    pub mean: f64,
+    /// Spot price standard deviation (credits/s).
+    pub std_dev: f64,
+    /// Deliverable vCPU capacity in MHz (the `w` weight).
+    pub capacity_mhz: f64,
+}
+
+impl NormalPriceModel {
+    /// Build from accumulated price statistics.
+    pub fn from_stats(host: HostId, stats: &RunningStats, capacity_mhz: f64) -> Self {
+        NormalPriceModel {
+            host,
+            mean: stats.mean(),
+            std_dev: stats.std_dev(),
+            capacity_mhz,
+        }
+    }
+
+    /// Build from a raw window of price samples.
+    ///
+    /// # Panics
+    /// Panics if `prices` is empty.
+    pub fn from_prices(host: HostId, prices: &[f64], capacity_mhz: f64) -> Self {
+        assert!(!prices.is_empty(), "empty price window");
+        let mut rs = RunningStats::new();
+        for &p in prices {
+            rs.push(p);
+        }
+        Self::from_stats(host, &rs, capacity_mhz)
+    }
+
+    /// The price bound `μ + σ·Φ⁻¹(p)` not exceeded with probability `p`
+    /// (Eq. 5), floored at a tiny positive value so downstream share math
+    /// stays well-defined.
+    pub fn price_quantile(&self, p: f64) -> f64 {
+        (self.mean + self.std_dev * norm_quantile(p)).max(1e-12)
+    }
+
+    /// Expected vCPU capacity (MHz) if we bid at rate `x` against the
+    /// pessimistic price at guarantee `p`: `w·x/(x + y_p)`.
+    pub fn capacity_at_bid(&self, x: f64, p: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let y = self.price_quantile(p);
+        self.capacity_mhz * x / (x + y)
+    }
+
+    /// Smallest bid rate that achieves `target_mhz` with guarantee `p`,
+    /// or `None` if the target exceeds the host's capacity.
+    ///
+    /// From `w·x/(x+y) = c`: `x = c·y/(w−c)`.
+    pub fn bid_for_capacity(&self, target_mhz: f64, p: f64) -> Option<f64> {
+        if target_mhz <= 0.0 {
+            return Some(0.0);
+        }
+        if target_mhz >= self.capacity_mhz {
+            return None;
+        }
+        let y = self.price_quantile(p);
+        Some(target_mhz * y / (self.capacity_mhz - target_mhz))
+    }
+}
+
+/// Guaranteed utility across multiple hosts (Eq. 6): distribute
+/// `budget_rate` with Best Response against the pessimistic prices at
+/// guarantee `p`, then evaluate `Σ w·x/(x + y_p)` in MHz.
+pub fn guaranteed_capacity(models: &[NormalPriceModel], budget_rate: f64, p: f64) -> f64 {
+    if models.is_empty() || budget_rate <= 0.0 {
+        return 0.0;
+    }
+    let quotes: Vec<HostQuote> = models
+        .iter()
+        .map(|m| HostQuote {
+            host: m.host,
+            weight: m.capacity_mhz,
+            others_rate: m.price_quantile(p),
+        })
+        .collect();
+    let bids = best_response(&quotes, budget_rate, usize::MAX);
+    bids.iter()
+        .map(|(host, x)| {
+            let m = models.iter().find(|m| m.host == *host).expect("model");
+            m.capacity_at_bid(*x, p)
+        })
+        .sum()
+}
+
+/// Smallest total budget rate achieving `target_mhz` across `models` with
+/// guarantee `p`, found by bisection on the monotone `guaranteed_capacity`.
+/// Returns `None` when the target exceeds total capacity.
+pub fn budget_for_capacity(
+    models: &[NormalPriceModel],
+    target_mhz: f64,
+    p: f64,
+) -> Option<f64> {
+    let total: f64 = models.iter().map(|m| m.capacity_mhz).sum();
+    if target_mhz >= total {
+        return None;
+    }
+    if target_mhz <= 0.0 {
+        return Some(0.0);
+    }
+    // Bracket the answer.
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    while guaranteed_capacity(models, hi, p) < target_mhz {
+        hi *= 2.0;
+        if hi > 1e12 {
+            return None;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if guaranteed_capacity(models, mid, p) < target_mhz {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// A point on a Fig.-3-style guarantee curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GuaranteeCurvePoint {
+    /// Budget in credits/day.
+    pub budget_per_day: f64,
+    /// Guaranteed capacity in MHz.
+    pub capacity_mhz: f64,
+}
+
+/// Generate the Fig. 3 curve: guaranteed capacity as a function of budget
+/// (credits/day) for guarantee level `p`.
+pub fn guarantee_curve(
+    models: &[NormalPriceModel],
+    budgets_per_day: &[f64],
+    p: f64,
+) -> Vec<GuaranteeCurvePoint> {
+    budgets_per_day
+        .iter()
+        .map(|&b| GuaranteeCurvePoint {
+            budget_per_day: b,
+            capacity_mhz: guaranteed_capacity(models, b / 86_400.0, p),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(mean: f64, sd: f64, cap: f64) -> NormalPriceModel {
+        NormalPriceModel {
+            host: HostId(0),
+            mean,
+            std_dev: sd,
+            capacity_mhz: cap,
+        }
+    }
+
+    #[test]
+    fn price_quantile_orders_with_guarantee() {
+        let m = model(1.0, 0.2, 3000.0);
+        let p80 = m.price_quantile(0.80);
+        let p90 = m.price_quantile(0.90);
+        let p99 = m.price_quantile(0.99);
+        assert!(p80 < p90 && p90 < p99, "{p80} {p90} {p99}");
+        // Median = mean for a normal.
+        assert!((m.price_quantile(0.5) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_variance_price_is_deterministic() {
+        let m = model(2.0, 0.0, 3000.0);
+        assert!((m.price_quantile(0.99) - 2.0).abs() < 1e-12);
+        assert!((m.price_quantile(0.01) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_grows_with_bid_and_saturates() {
+        let m = model(0.5, 0.1, 2910.0);
+        let c_small = m.capacity_at_bid(0.01, 0.9);
+        let c_big = m.capacity_at_bid(10.0, 0.9);
+        let c_huge = m.capacity_at_bid(1e6, 0.9);
+        assert!(c_small < c_big && c_big < c_huge);
+        assert!(c_huge <= 2910.0 && c_huge > 2905.0);
+        assert_eq!(m.capacity_at_bid(0.0, 0.9), 0.0);
+    }
+
+    #[test]
+    fn higher_guarantee_needs_more_budget_for_same_capacity() {
+        // The Fig. 3 ordering: the 99 % curve lies below the 80 % curve.
+        let m = model(0.5, 0.2, 2910.0);
+        let c80 = m.capacity_at_bid(1.0, 0.80);
+        let c99 = m.capacity_at_bid(1.0, 0.99);
+        assert!(c80 > c99);
+    }
+
+    #[test]
+    fn bid_for_capacity_inverts_capacity_at_bid() {
+        let m = model(0.5, 0.2, 2910.0);
+        for target in [100.0, 1000.0, 2000.0, 2800.0] {
+            let x = m.bid_for_capacity(target, 0.9).unwrap();
+            let c = m.capacity_at_bid(x, 0.9);
+            assert!((c - target).abs() < 1e-6, "target {target}: got {c}");
+        }
+        assert!(m.bid_for_capacity(2910.0, 0.9).is_none());
+        assert!(m.bid_for_capacity(5000.0, 0.9).is_none());
+        assert_eq!(m.bid_for_capacity(0.0, 0.9), Some(0.0));
+    }
+
+    #[test]
+    fn from_prices_computes_stats() {
+        let m = NormalPriceModel::from_prices(HostId(1), &[1.0, 2.0, 3.0], 1000.0);
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert!((m.std_dev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_host_capacity_beats_single_host() {
+        let models = vec![
+            model(0.5, 0.1, 2910.0),
+            NormalPriceModel {
+                host: HostId(1),
+                mean: 0.5,
+                std_dev: 0.1,
+                capacity_mhz: 2910.0,
+            },
+        ];
+        let both = guaranteed_capacity(&models, 2.0, 0.9);
+        let one = guaranteed_capacity(&models[..1], 2.0, 0.9);
+        assert!(both > one, "{both} vs {one}");
+    }
+
+    #[test]
+    fn guaranteed_capacity_monotone_in_budget() {
+        let models = vec![model(0.5, 0.2, 2910.0)];
+        let mut last = 0.0;
+        for b in [0.01, 0.1, 0.5, 1.0, 5.0, 50.0] {
+            let c = guaranteed_capacity(&models, b, 0.9);
+            assert!(c >= last, "capacity decreased at budget {b}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn budget_for_capacity_bisection() {
+        let models = vec![
+            model(0.5, 0.2, 2910.0),
+            NormalPriceModel {
+                host: HostId(1),
+                mean: 0.8,
+                std_dev: 0.3,
+                capacity_mhz: 2910.0,
+            },
+        ];
+        let target = 3000.0;
+        let budget = budget_for_capacity(&models, target, 0.9).unwrap();
+        let achieved = guaranteed_capacity(&models, budget, 0.9);
+        assert!((achieved - target).abs() < 1.0, "achieved {achieved}");
+        assert!(budget_for_capacity(&models, 6000.0, 0.9).is_none());
+        assert_eq!(budget_for_capacity(&models, 0.0, 0.9), Some(0.0));
+    }
+
+    #[test]
+    fn guarantee_curve_shape_matches_fig3() {
+        // Concave increasing, with the flattening the paper describes
+        // ("a certain point where the curves flatten out").
+        let models = vec![model(2.0 / 86_400.0 * 20.0, 1.0 / 86_400.0 * 20.0, 2910.0)];
+        let budgets: Vec<f64> = (1..=20).map(|i| i as f64 * 5.0).collect();
+        let curve = guarantee_curve(&models, &budgets, 0.9);
+        // increasing
+        for w in curve.windows(2) {
+            assert!(w[1].capacity_mhz >= w[0].capacity_mhz);
+        }
+        // diminishing returns: first increment bigger than last
+        let first_gain = curve[1].capacity_mhz - curve[0].capacity_mhz;
+        let last_gain = curve[19].capacity_mhz - curve[18].capacity_mhz;
+        assert!(first_gain > last_gain * 2.0, "{first_gain} vs {last_gain}");
+    }
+
+    #[test]
+    fn empty_models_yield_zero() {
+        assert_eq!(guaranteed_capacity(&[], 1.0, 0.9), 0.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Reservation / SLA pricing on top of the prediction infrastructure.
+//!
+//! The paper's future work (§7): "studying how higher-level reservation
+//! mechanisms, such as Service Level Agreements, Future Markets, Insurance
+//! Systems, and Swing Options can be built on top of the prediction
+//! infrastructure presented here to provide more user-oriented QoS
+//! guarantees." This module implements the simplest members of that
+//! family using the §4.2 normal model:
+//!
+//! * [`price_reservation`] — a fixed-capacity reservation for a horizon:
+//!   the bid rate that holds the capacity at guarantee level `p`, times
+//!   the duration (the "insurance premium" is the `σ·Φ⁻¹(p)` term baked
+//!   into the pessimistic price).
+//! * [`SlaQuote`] — a deadline SLA for a bag-of-tasks job: capacity needed
+//!   to finish `work` by `deadline`, the reservation priced accordingly,
+//!   and the refundable penalty the provider would owe on breach.
+//! * [`SwingOption`] — a baseline reservation plus the *right* (not
+//!   obligation) to surge to a higher capacity for a bounded number of
+//!   intervals (Clearwater & Huberman's swing options, cited in §4.1).
+
+use crate::normal::NormalPriceModel;
+
+/// Price a fixed-capacity reservation: credits required to hold
+/// `capacity_mhz` for `duration_secs` at guarantee `p` on `model`'s host.
+/// `None` if the capacity exceeds what the host can deliver.
+pub fn price_reservation(
+    model: &NormalPriceModel,
+    capacity_mhz: f64,
+    duration_secs: f64,
+    p: f64,
+) -> Option<f64> {
+    assert!(duration_secs >= 0.0, "negative duration");
+    let rate = model.bid_for_capacity(capacity_mhz, p)?;
+    Some(rate * duration_secs)
+}
+
+/// A provider's quote for a deadline SLA.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlaQuote {
+    /// Capacity that must be held (MHz).
+    pub capacity_mhz: f64,
+    /// Total price of the reservation (credits).
+    pub price: f64,
+    /// Guarantee level the price was computed at.
+    pub guarantee: f64,
+    /// Credits refunded if the provider misses the deadline anyway
+    /// (priced so the provider's expected loss stays below its premium).
+    pub breach_penalty: f64,
+}
+
+/// Quote an SLA: finish `work_mhz_secs` of compute within `deadline_secs`
+/// with probability `p`. `None` when no single-host capacity suffices.
+pub fn sla_quote(
+    model: &NormalPriceModel,
+    work_mhz_secs: f64,
+    deadline_secs: f64,
+    p: f64,
+) -> Option<SlaQuote> {
+    assert!(work_mhz_secs > 0.0 && deadline_secs > 0.0, "bad SLA inputs");
+    let capacity_mhz = work_mhz_secs / deadline_secs;
+    let price = price_reservation(model, capacity_mhz, deadline_secs, p)?;
+    // The premium above the median-price cost funds the breach penalty:
+    // with breach probability (1−p), a penalty of premium/(1−p) keeps the
+    // provider's expected payout ≤ the premium collected.
+    let median_price = price_reservation(model, capacity_mhz, deadline_secs, 0.5)
+        .unwrap_or(price);
+    let premium = (price - median_price).max(0.0);
+    let breach_penalty = if p < 1.0 { premium / (1.0 - p) } else { premium };
+    Some(SlaQuote {
+        capacity_mhz,
+        price,
+        guarantee: p,
+        breach_penalty,
+    })
+}
+
+/// A swing option: a baseline reservation plus the right to surge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SwingOption {
+    /// Always-on reserved capacity (MHz).
+    pub baseline_mhz: f64,
+    /// Capacity while surging (MHz).
+    pub surge_mhz: f64,
+    /// Maximum number of surge intervals that may be exercised.
+    pub max_surge_intervals: u32,
+    /// Length of one interval (seconds).
+    pub interval_secs: f64,
+    /// Upfront price: baseline reservation + surge-right premium.
+    pub price: f64,
+    /// Additional price paid per exercised surge interval (the strike).
+    pub strike_per_interval: f64,
+}
+
+/// Price a swing option over `total_intervals` of `interval_secs`.
+///
+/// The baseline is a plain reservation at guarantee `p`. The surge right
+/// is priced like an option: the strike is the *median* cost of the extra
+/// capacity, and the upfront premium charges the `p`-quantile/median
+/// spread for the maximum exercisable intervals — the provider is covered
+/// even if every surge lands on expensive moments.
+pub fn price_swing_option(
+    model: &NormalPriceModel,
+    baseline_mhz: f64,
+    surge_mhz: f64,
+    total_intervals: u32,
+    max_surge_intervals: u32,
+    interval_secs: f64,
+    p: f64,
+) -> Option<SwingOption> {
+    assert!(surge_mhz >= baseline_mhz, "surge below baseline");
+    assert!(
+        max_surge_intervals <= total_intervals,
+        "more surges than intervals"
+    );
+    let total_secs = total_intervals as f64 * interval_secs;
+    let base_price = price_reservation(model, baseline_mhz, total_secs, p)?;
+
+    let base_rate_p = model.bid_for_capacity(baseline_mhz, p)?;
+    let surge_rate_p = model.bid_for_capacity(surge_mhz, p)?;
+    let base_rate_med = model.bid_for_capacity(baseline_mhz, 0.5)?;
+    let surge_rate_med = model.bid_for_capacity(surge_mhz, 0.5)?;
+
+    let extra_med = (surge_rate_med - base_rate_med).max(0.0) * interval_secs;
+    let extra_p = (surge_rate_p - base_rate_p).max(0.0) * interval_secs;
+    let premium = (extra_p - extra_med).max(0.0) * max_surge_intervals as f64;
+
+    Some(SwingOption {
+        baseline_mhz,
+        surge_mhz,
+        max_surge_intervals,
+        interval_secs,
+        price: base_price + premium,
+        strike_per_interval: extra_med,
+    })
+}
+
+impl SwingOption {
+    /// Total cost if `exercised` surge intervals are used.
+    ///
+    /// # Panics
+    /// Panics if `exercised > max_surge_intervals`.
+    pub fn total_cost(&self, exercised: u32) -> f64 {
+        assert!(
+            exercised <= self.max_surge_intervals,
+            "exercising more surges than contracted"
+        );
+        self.price + self.strike_per_interval * exercised as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_tycoon::HostId;
+
+    fn model() -> NormalPriceModel {
+        NormalPriceModel {
+            host: HostId(0),
+            mean: 0.01,
+            std_dev: 0.004,
+            capacity_mhz: 2910.0,
+        }
+    }
+
+    #[test]
+    fn reservation_price_scales_linearly_with_duration() {
+        let m = model();
+        let one_hour = price_reservation(&m, 1000.0, 3600.0, 0.9).unwrap();
+        let two_hours = price_reservation(&m, 1000.0, 7200.0, 0.9).unwrap();
+        assert!((two_hours - 2.0 * one_hour).abs() < 1e-9);
+        assert!(one_hour > 0.0);
+    }
+
+    #[test]
+    fn higher_guarantee_costs_more() {
+        let m = model();
+        let p80 = price_reservation(&m, 1500.0, 3600.0, 0.8).unwrap();
+        let p99 = price_reservation(&m, 1500.0, 3600.0, 0.99).unwrap();
+        assert!(p99 > p80, "{p99} vs {p80}");
+    }
+
+    #[test]
+    fn impossible_capacity_is_unpriceable() {
+        let m = model();
+        assert!(price_reservation(&m, 3000.0, 3600.0, 0.9).is_none());
+        assert_eq!(price_reservation(&m, 0.0, 3600.0, 0.9), Some(0.0));
+    }
+
+    #[test]
+    fn sla_quote_covers_the_work() {
+        let m = model();
+        // 1 CPU-hour of 2910 MHz work, 2 h deadline → 1455 MHz needed.
+        let work = 2910.0 * 3600.0;
+        let q = sla_quote(&m, work, 7200.0, 0.95).unwrap();
+        assert!((q.capacity_mhz - 1455.0).abs() < 1e-9);
+        assert!(q.price > 0.0);
+        assert!(q.breach_penalty >= 0.0);
+        // Provider solvency: expected payout ≤ collected premium.
+        let premium = q.price - price_reservation(&m, q.capacity_mhz, 7200.0, 0.5).unwrap();
+        assert!(q.breach_penalty * (1.0 - q.guarantee) <= premium + 1e-9);
+    }
+
+    #[test]
+    fn sla_unachievable_deadline_rejected() {
+        let m = model();
+        // Work needs more than the host's full capacity.
+        let work = 2910.0 * 3600.0 * 3.0;
+        assert!(sla_quote(&m, work, 3600.0, 0.9).is_none());
+    }
+
+    #[test]
+    fn swing_option_price_structure() {
+        let m = model();
+        let opt = price_swing_option(&m, 500.0, 2000.0, 360, 60, 10.0, 0.9).unwrap();
+        // Upfront ≥ plain baseline reservation.
+        let base = price_reservation(&m, 500.0, 3600.0, 0.9).unwrap();
+        assert!(opt.price >= base);
+        assert!(opt.strike_per_interval > 0.0);
+        // Exercising costs extra, linearly.
+        let none = opt.total_cost(0);
+        let all = opt.total_cost(60);
+        assert!((all - none - 60.0 * opt.strike_per_interval).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swing_with_no_surge_right_is_a_plain_reservation() {
+        let m = model();
+        let opt = price_swing_option(&m, 800.0, 800.0, 100, 0, 10.0, 0.9).unwrap();
+        let base = price_reservation(&m, 800.0, 1000.0, 0.9).unwrap();
+        assert!((opt.price - base).abs() < 1e-9);
+        assert_eq!(opt.total_cost(0), opt.price);
+    }
+
+    #[test]
+    #[should_panic(expected = "exercising more surges")]
+    fn over_exercise_panics() {
+        let m = model();
+        let opt = price_swing_option(&m, 500.0, 1000.0, 100, 10, 10.0, 0.9).unwrap();
+        opt.total_cost(11);
+    }
+
+    #[test]
+    #[should_panic(expected = "surge below baseline")]
+    fn inverted_swing_rejected() {
+        let m = model();
+        let _ = price_swing_option(&m, 1000.0, 500.0, 100, 10, 10.0, 0.9);
+    }
+}

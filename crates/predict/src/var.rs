@@ -1,0 +1,134 @@
+//! Value-at-Risk style performance guarantees.
+//!
+//! §4.4 discusses Chun, Buonadonna & Ng's computational risk management:
+//! guarantees of the form "within a given time horizon, the minimal
+//! performance will be a value V with a probability P". This module
+//! provides both the empirical and the parametric (normal) versions of
+//! that statement, plus conditional VaR (expected shortfall) for
+//! risk-averse budget planning.
+
+use gm_numeric::norm_quantile;
+use gm_numeric::stats::percentile;
+
+/// Empirical performance floor: the value `V` such that performance stays
+/// **at or above** `V` with probability `p` (the `(1−p)` quantile of the
+/// sample). Returns `None` on empty input.
+///
+/// # Panics
+/// Panics unless `p ∈ (0, 1)`.
+pub fn performance_floor(samples: &[f64], p: f64) -> Option<f64> {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0,1)");
+    percentile(samples, 1.0 - p)
+}
+
+/// Parametric (normal) performance floor: `μ + σ·Φ⁻¹(1−p)`.
+///
+/// # Panics
+/// Panics unless `p ∈ (0, 1)` and `std_dev ≥ 0`.
+pub fn parametric_floor(mean: f64, std_dev: f64, p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0,1)");
+    assert!(std_dev >= 0.0, "negative std dev");
+    mean + std_dev * norm_quantile(1.0 - p)
+}
+
+/// Conditional VaR (expected shortfall): the mean of the worst `(1−p)`
+/// tail — what performance to expect *when* the floor is breached.
+/// Returns `None` on empty input.
+///
+/// # Panics
+/// Panics unless `p ∈ (0, 1)`.
+pub fn conditional_floor(samples: &[f64], p: f64) -> Option<f64> {
+    let floor = performance_floor(samples, p)?;
+    let tail: Vec<f64> = samples.iter().copied().filter(|&x| x <= floor).collect();
+    if tail.is_empty() {
+        return Some(floor);
+    }
+    Some(tail.iter().sum::<f64>() / tail.len() as f64)
+}
+
+/// A packaged guarantee statement for reporting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Guarantee {
+    /// Probability the floor holds.
+    pub probability: f64,
+    /// The guaranteed minimal performance.
+    pub floor: f64,
+    /// Expected performance when the guarantee is breached.
+    pub shortfall: f64,
+}
+
+/// Build a [`Guarantee`] from observed performance samples.
+pub fn guarantee_from_samples(samples: &[f64], p: f64) -> Option<Guarantee> {
+    Some(Guarantee {
+        probability: p,
+        floor: performance_floor(samples, p)?,
+        shortfall: conditional_floor(samples, p)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_des::Pcg32;
+    use gm_numeric::samplers::{Normal, Sampler};
+
+    #[test]
+    fn empirical_floor_on_known_sample() {
+        // 100 values 1..=100: with p = 0.9 the floor is the 10th pct ≈ 10.9.
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let floor = performance_floor(&xs, 0.9).unwrap();
+        assert!((floor - 10.9).abs() < 0.11, "{floor}");
+        // Higher confidence ⇒ lower floor.
+        let f99 = performance_floor(&xs, 0.99).unwrap();
+        assert!(f99 < floor);
+    }
+
+    #[test]
+    fn parametric_floor_matches_empirical_for_normal_data() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let d = Normal::new(100.0, 15.0);
+        let xs = d.sample_n(&mut rng, 200_000);
+        let emp = performance_floor(&xs, 0.9).unwrap();
+        let par = parametric_floor(100.0, 15.0, 0.9);
+        assert!((emp - par).abs() < 0.5, "empirical {emp} vs parametric {par}");
+    }
+
+    #[test]
+    fn parametric_floor_known_value() {
+        // Φ⁻¹(0.1) ≈ −1.2816 → floor = 100 − 1.2816·10 ≈ 87.18.
+        let f = parametric_floor(100.0, 10.0, 0.9);
+        assert!((f - 87.184).abs() < 0.01, "{f}");
+        // Zero variance → floor is the mean at any confidence.
+        assert_eq!(parametric_floor(50.0, 0.0, 0.99), 50.0);
+    }
+
+    #[test]
+    fn shortfall_is_below_floor() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let g = guarantee_from_samples(&xs, 0.9).unwrap();
+        assert!(g.shortfall <= g.floor);
+        assert!(g.shortfall >= 1.0);
+        assert_eq!(g.probability, 0.9);
+    }
+
+    #[test]
+    fn empty_samples_yield_none() {
+        assert!(performance_floor(&[], 0.9).is_none());
+        assert!(conditional_floor(&[], 0.9).is_none());
+        assert!(guarantee_from_samples(&[], 0.9).is_none());
+    }
+
+    #[test]
+    fn degenerate_constant_sample() {
+        let xs = vec![7.0; 50];
+        let g = guarantee_from_samples(&xs, 0.95).unwrap();
+        assert_eq!(g.floor, 7.0);
+        assert_eq!(g.shortfall, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in (0,1)")]
+    fn bad_probability_rejected() {
+        performance_floor(&[1.0], 1.0);
+    }
+}

@@ -1,0 +1,415 @@
+//! The per-host Auctioneer.
+//!
+//! "Auctioneers … run on each host and manage the market used to allocate
+//! resources on that host" (§2.2). The market is a continuous bid-based
+//! proportional-share auction: each user maintains a bid *rate* (credits
+//! per second) backed by escrowed funds; every allocation interval (10 s by
+//! default) the auctioneer
+//!
+//! 1. computes each active bid's share `x_i / (Σ x + reserve)`,
+//! 2. converts shares into deliverable vCPU capacity (capped at one
+//!    physical CPU per VM, matching the experiment setup in §5.2),
+//! 3. charges each bid `rate × interval` against its escrow (pay-for-use:
+//!    cancelling refunds the remaining escrow),
+//! 4. publishes the spot price `y_j = Σ x_ij` (Eq. 1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::host::HostSpec;
+use crate::money::Credits;
+use crate::pricestats::PriceStats;
+
+/// Identifier of a market user (one per funded grid identity).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(pub u32);
+
+impl fmt::Debug for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user{}", self.0)
+    }
+}
+
+/// Handle to a live bid on one host's market.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BidHandle(pub u64);
+
+#[derive(Clone, Debug)]
+struct Bid {
+    user: UserId,
+    /// Bid rate in credits/second.
+    rate: f64,
+    /// Remaining escrowed funds backing this bid.
+    escrow: Credits,
+}
+
+/// The outcome of one allocation interval for one bid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Allocation {
+    /// The bidding user.
+    pub user: UserId,
+    /// The bid this allocation belongs to.
+    pub handle: BidHandle,
+    /// Proportional share of the host in `[0, 1]`.
+    pub share: f64,
+    /// Deliverable vCPU capacity in MHz for this interval.
+    pub capacity_mhz: f64,
+    /// Credits charged against the escrow this interval.
+    pub charged: Credits,
+    /// True if the escrow ran dry and the bid was deactivated.
+    pub exhausted: bool,
+}
+
+/// Per-host continuous auction market.
+pub struct Auctioneer {
+    spec: HostSpec,
+    bids: BTreeMap<BidHandle, Bid>,
+    next_handle: u64,
+    /// Credits collected from charges (host income).
+    earned: Credits,
+    /// Moving-window price statistics (§4.1), updated every interval.
+    stats: PriceStats,
+}
+
+impl Auctioneer {
+    /// New auctioneer for `spec`.
+    ///
+    /// # Panics
+    /// Panics if the spec fails validation.
+    pub fn new(spec: HostSpec) -> Auctioneer {
+        spec.validate().expect("invalid host spec");
+        Auctioneer {
+            spec,
+            bids: BTreeMap::new(),
+            next_handle: 0,
+            earned: Credits::ZERO,
+            stats: PriceStats::standard(),
+        }
+    }
+
+    /// The auctioneer's moving-window price statistics (§4.1).
+    pub fn price_stats(&self) -> &PriceStats {
+        &self.stats
+    }
+
+    /// The host this market allocates.
+    pub fn spec(&self) -> &HostSpec {
+        &self.spec
+    }
+
+    /// Place a bid: `rate` credits/second backed by `escrow`.
+    ///
+    /// # Panics
+    /// Panics on non-positive rate or escrow (callers validate user input).
+    pub fn place_bid(&mut self, user: UserId, rate: f64, escrow: Credits) -> BidHandle {
+        assert!(rate > 0.0 && rate.is_finite(), "bid rate must be positive");
+        assert!(escrow.is_positive(), "escrow must be positive");
+        let handle = BidHandle(self.next_handle);
+        self.next_handle += 1;
+        self.bids.insert(handle, Bid { user, rate, escrow });
+        handle
+    }
+
+    /// Cancel a bid, returning the unspent escrow (pay-for-use refund).
+    /// Returns `None` for unknown/already-cancelled handles.
+    pub fn cancel_bid(&mut self, handle: BidHandle) -> Option<Credits> {
+        self.bids.remove(&handle).map(|b| b.escrow)
+    }
+
+    /// Add funds to a live bid ("performance boosting" in §3).
+    pub fn top_up(&mut self, handle: BidHandle, extra: Credits) -> bool {
+        assert!(extra.is_positive(), "top-up must be positive");
+        match self.bids.get_mut(&handle) {
+            Some(b) => {
+                b.escrow += extra;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Change the rate of a live bid (re-bidding).
+    pub fn update_rate(&mut self, handle: BidHandle, rate: f64) -> bool {
+        assert!(rate > 0.0 && rate.is_finite(), "bid rate must be positive");
+        match self.bids.get_mut(&handle) {
+            Some(b) => {
+                b.rate = rate;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sum of all live bid rates (the `Σ x_ij` part of the spot price).
+    pub fn total_bid_rate(&self) -> f64 {
+        self.bids.values().map(|b| b.rate).sum()
+    }
+
+    /// The spot price `y_j`: total bid rates plus the owner's reserve.
+    pub fn spot_price(&self) -> f64 {
+        self.total_bid_rate() + self.spec.reserve_rate
+    }
+
+    /// Spot price normalized per MHz of deliverable capacity — the
+    /// "price ($/s per CPU cycles/s)" unit of Fig. 5–6.
+    pub fn price_per_mhz(&self) -> f64 {
+        self.spot_price() / self.spec.effective_capacity_mhz()
+    }
+
+    /// Total of *other* users' bid rates plus reserve, as seen by `user`
+    /// (the `q_j` input to Best Response).
+    pub fn others_rate(&self, user: UserId) -> f64 {
+        self.bids
+            .values()
+            .filter(|b| b.user != user)
+            .map(|b| b.rate)
+            .sum::<f64>()
+            + self.spec.reserve_rate
+    }
+
+    /// Remaining escrow of a bid.
+    pub fn escrow(&self, handle: BidHandle) -> Option<Credits> {
+        self.bids.get(&handle).map(|b| b.escrow)
+    }
+
+    /// Number of live bids.
+    pub fn live_bids(&self) -> usize {
+        self.bids.len()
+    }
+
+    /// Distinct users with live bids (= virtual machines on this host).
+    pub fn active_users(&self) -> usize {
+        let mut users: Vec<UserId> = self.bids.values().map(|b| b.user).collect();
+        users.sort_unstable();
+        users.dedup();
+        users.len()
+    }
+
+    /// Credits earned by the host so far.
+    pub fn earned(&self) -> Credits {
+        self.earned
+    }
+
+    /// Run one allocation interval of `dt_secs` seconds: compute shares,
+    /// charge escrows, deactivate exhausted bids. Returns one [`Allocation`]
+    /// per live bid (in deterministic handle order).
+    pub fn allocate(&mut self, dt_secs: f64) -> Vec<Allocation> {
+        assert!(dt_secs > 0.0 && dt_secs.is_finite());
+        let denom = self.spot_price();
+        self.stats.observe(denom);
+        let mut out = Vec::with_capacity(self.bids.len());
+        let mut exhausted_handles = Vec::new();
+
+        for (&handle, bid) in self.bids.iter_mut() {
+            let share = bid.rate / denom;
+            // One VM cannot exceed one physical CPU (§5.2): a share of the
+            // whole host translates to `share × cpus` of a single CPU,
+            // capped at 1.
+            let cpu_fraction = (share * self.spec.cpus as f64).min(1.0);
+            let capacity_mhz = cpu_fraction * self.spec.vcpu_capacity_mhz();
+
+            let due = Credits::from_f64(bid.rate * dt_secs);
+            let charged = due.min(bid.escrow);
+            bid.escrow -= charged;
+            self.earned += charged;
+            let exhausted = !bid.escrow.is_positive();
+            if exhausted {
+                exhausted_handles.push(handle);
+            }
+            out.push(Allocation {
+                user: bid.user,
+                handle,
+                share,
+                capacity_mhz,
+                charged,
+                exhausted,
+            });
+        }
+        for h in exhausted_handles {
+            self.bids.remove(&h);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostSpec;
+
+    fn auctioneer() -> Auctioneer {
+        Auctioneer::new(HostSpec::testbed(0))
+    }
+
+    #[test]
+    fn single_bidder_gets_full_vcpu() {
+        let mut a = auctioneer();
+        a.place_bid(UserId(1), 0.01, Credits::from_whole(10));
+        let allocs = a.allocate(10.0);
+        assert_eq!(allocs.len(), 1);
+        // share ≈ 1 (tiny reserve), capped at one CPU on a dual-CPU host.
+        assert!(allocs[0].share > 0.99);
+        assert!((allocs[0].capacity_mhz - 2910.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_equal_bidders_on_dual_cpu_both_get_full_cpus() {
+        // The paper: "there may thus not be competition for a CPU on a
+        // machine even though there are multiple users running there".
+        let mut a = auctioneer();
+        a.place_bid(UserId(1), 0.01, Credits::from_whole(10));
+        a.place_bid(UserId(2), 0.01, Credits::from_whole(10));
+        let allocs = a.allocate(10.0);
+        for al in &allocs {
+            assert!((al.share - 0.5).abs() < 0.01);
+            assert!((al.capacity_mhz - 2910.0).abs() < 30.0, "{}", al.capacity_mhz);
+        }
+    }
+
+    #[test]
+    fn four_equal_bidders_share_proportionally() {
+        let mut a = auctioneer();
+        for u in 0..4 {
+            a.place_bid(UserId(u), 0.01, Credits::from_whole(10));
+        }
+        let allocs = a.allocate(10.0);
+        for al in &allocs {
+            assert!((al.share - 0.25).abs() < 0.01);
+            // 0.25 × 2 CPUs = 0.5 CPU each
+            assert!((al.capacity_mhz - 0.5 * 2910.0).abs() < 30.0);
+        }
+    }
+
+    #[test]
+    fn shares_follow_bid_ratio() {
+        let mut a = auctioneer();
+        a.place_bid(UserId(1), 0.03, Credits::from_whole(10));
+        a.place_bid(UserId(2), 0.01, Credits::from_whole(10));
+        let allocs = a.allocate(10.0);
+        let s1 = allocs.iter().find(|x| x.user == UserId(1)).unwrap().share;
+        let s2 = allocs.iter().find(|x| x.user == UserId(2)).unwrap().share;
+        assert!((s1 / s2 - 3.0).abs() < 0.01, "ratio {}", s1 / s2);
+    }
+
+    #[test]
+    fn charging_decrements_escrow_and_accrues_income() {
+        let mut a = auctioneer();
+        let h = a.place_bid(UserId(1), 0.5, Credits::from_whole(10));
+        let allocs = a.allocate(10.0);
+        assert_eq!(allocs[0].charged, Credits::from_whole(5));
+        assert_eq!(a.escrow(h).unwrap(), Credits::from_whole(5));
+        assert_eq!(a.earned(), Credits::from_whole(5));
+    }
+
+    #[test]
+    fn exhausted_bid_is_removed_and_charged_only_remaining() {
+        let mut a = auctioneer();
+        let h = a.place_bid(UserId(1), 1.0, Credits::from_whole(3));
+        let allocs = a.allocate(10.0); // due 10, only 3 available
+        assert_eq!(allocs[0].charged, Credits::from_whole(3));
+        assert!(allocs[0].exhausted);
+        assert_eq!(a.live_bids(), 0);
+        assert!(a.escrow(h).is_none());
+        assert_eq!(a.earned(), Credits::from_whole(3));
+    }
+
+    #[test]
+    fn cancel_refunds_unspent_escrow() {
+        let mut a = auctioneer();
+        let h = a.place_bid(UserId(1), 0.1, Credits::from_whole(10));
+        a.allocate(10.0); // charges 1
+        let refund = a.cancel_bid(h).unwrap();
+        assert_eq!(refund, Credits::from_whole(9));
+        assert!(a.cancel_bid(h).is_none(), "double cancel");
+        assert_eq!(a.live_bids(), 0);
+    }
+
+    #[test]
+    fn top_up_extends_bid_life() {
+        let mut a = auctioneer();
+        let h = a.place_bid(UserId(1), 1.0, Credits::from_whole(30));
+        a.allocate(10.0); // charges 10, leaves 20
+        assert!(a.top_up(h, Credits::from_whole(5)));
+        assert_eq!(a.escrow(h).unwrap(), Credits::from_whole(25));
+        assert!(!a.top_up(BidHandle(99), Credits::from_whole(1)));
+    }
+
+    #[test]
+    fn update_rate_changes_shares() {
+        let mut a = auctioneer();
+        let h1 = a.place_bid(UserId(1), 0.01, Credits::from_whole(100));
+        a.place_bid(UserId(2), 0.01, Credits::from_whole(100));
+        assert!(a.update_rate(h1, 0.02));
+        let allocs = a.allocate(1.0);
+        let s1 = allocs.iter().find(|x| x.user == UserId(1)).unwrap().share;
+        assert!((s1 - 2.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn spot_price_is_sum_of_rates_plus_reserve() {
+        let mut a = auctioneer();
+        assert!((a.spot_price() - 1e-5).abs() < 1e-12, "idle price = reserve");
+        a.place_bid(UserId(1), 0.25, Credits::from_whole(1));
+        a.place_bid(UserId(2), 0.75, Credits::from_whole(1));
+        assert!((a.spot_price() - 1.00001).abs() < 1e-9);
+        assert!((a.total_bid_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn others_rate_excludes_own_bids() {
+        let mut a = auctioneer();
+        a.place_bid(UserId(1), 0.3, Credits::from_whole(1));
+        a.place_bid(UserId(2), 0.7, Credits::from_whole(1));
+        assert!((a.others_rate(UserId(1)) - (0.7 + 1e-5)).abs() < 1e-9);
+        assert!((a.others_rate(UserId(3)) - (1.0 + 1e-5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn active_users_counts_distinct() {
+        let mut a = auctioneer();
+        a.place_bid(UserId(1), 0.1, Credits::from_whole(1));
+        a.place_bid(UserId(1), 0.1, Credits::from_whole(1));
+        a.place_bid(UserId(2), 0.1, Credits::from_whole(1));
+        assert_eq!(a.active_users(), 2);
+        assert_eq!(a.live_bids(), 3);
+    }
+
+    #[test]
+    fn money_conservation_within_auctioneer() {
+        let mut a = auctioneer();
+        let deposits = Credits::from_whole(30);
+        let h1 = a.place_bid(UserId(1), 0.7, Credits::from_whole(10));
+        let h2 = a.place_bid(UserId(2), 0.2, Credits::from_whole(20));
+        for _ in 0..7 {
+            a.allocate(10.0);
+        }
+        let escrows = a.escrow(h1).unwrap_or(Credits::ZERO) + a.escrow(h2).unwrap_or(Credits::ZERO);
+        assert_eq!(escrows + a.earned(), deposits);
+    }
+
+    #[test]
+    fn price_per_mhz_unit() {
+        let mut a = auctioneer();
+        a.place_bid(UserId(1), 0.582, Credits::from_whole(10));
+        // effective capacity = 5820 MHz → ≈ 1e-4 credits/s per MHz
+        assert!((a.price_per_mhz() - 1e-4).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "escrow must be positive")]
+    fn zero_escrow_rejected() {
+        auctioneer().place_bid(UserId(1), 0.1, Credits::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        auctioneer().place_bid(UserId(1), 0.0, Credits::from_whole(1));
+    }
+}

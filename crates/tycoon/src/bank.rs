@@ -1,0 +1,414 @@
+//! The Tycoon Bank.
+//!
+//! "The Bank … maintains information on users like their credit balance and
+//! public keys" (§2.2). It is the only component that can move money:
+//! transfers produce bank-signed [`Receipt`]s that the grid layer turns
+//! into transfer tokens (§3.1), and funded *sub-accounts* implement the
+//! broker-side flow ("a new sub-account to the broker account is created
+//! and the money verified is transferred into this account").
+//!
+//! Money conservation is an invariant: apart from explicit `mint` (the
+//! simulation's endowment faucet), the sum over all accounts is constant —
+//! tested here and property-tested in the integration suite.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use gm_crypto::{Keypair, PublicKey, Signature};
+
+use crate::money::Credits;
+
+/// Identifier of a bank account.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AccountId(pub u64);
+
+impl fmt::Debug for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "acct{}", self.0)
+    }
+}
+
+impl fmt::Display for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "acct{}", self.0)
+    }
+}
+
+/// Errors from bank operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BankError {
+    /// The referenced account does not exist.
+    NoSuchAccount(AccountId),
+    /// The source account balance is smaller than the transfer amount.
+    InsufficientFunds {
+        /// Account that was short.
+        account: AccountId,
+        /// Balance at the time of the attempt.
+        balance: Credits,
+        /// Amount requested.
+        requested: Credits,
+    },
+    /// Transfer amounts must be strictly positive.
+    NonPositiveAmount(Credits),
+}
+
+impl fmt::Display for BankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BankError::NoSuchAccount(a) => write!(f, "no such account {a}"),
+            BankError::InsufficientFunds {
+                account,
+                balance,
+                requested,
+            } => write!(
+                f,
+                "insufficient funds in {account}: balance {balance}, requested {requested}"
+            ),
+            BankError::NonPositiveAmount(c) => write!(f, "non-positive amount {c}"),
+        }
+    }
+}
+
+impl std::error::Error for BankError {}
+
+#[derive(Clone, Debug)]
+struct Account {
+    owner: PublicKey,
+    balance: Credits,
+    parent: Option<AccountId>,
+    label: String,
+}
+
+/// A bank-signed proof that a transfer happened.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Receipt {
+    /// Monotone unique transfer identifier.
+    pub transfer_id: u64,
+    /// Debited account.
+    pub from: AccountId,
+    /// Credited account.
+    pub to: AccountId,
+    /// Amount moved.
+    pub amount: Credits,
+    /// Bank signature over [`Receipt::message_bytes`].
+    pub signature: Signature,
+}
+
+impl Receipt {
+    /// Canonical byte encoding of the receipt body (what the bank signs).
+    pub fn message_bytes(transfer_id: u64, from: AccountId, to: AccountId, amount: Credits) -> Vec<u8> {
+        let mut m = Vec::with_capacity(8 + 8 + 8 + 8 + 16);
+        m.extend_from_slice(b"tycoon-receipt-v1");
+        m.extend_from_slice(&transfer_id.to_be_bytes());
+        m.extend_from_slice(&from.0.to_be_bytes());
+        m.extend_from_slice(&to.0.to_be_bytes());
+        m.extend_from_slice(&amount.as_micros().to_be_bytes());
+        m
+    }
+
+    /// The bytes this receipt's signature covers.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        Self::message_bytes(self.transfer_id, self.from, self.to, self.amount)
+    }
+}
+
+/// The central bank service.
+pub struct Bank {
+    keypair: Keypair,
+    accounts: HashMap<AccountId, Account>,
+    next_account: u64,
+    next_transfer: u64,
+    minted: Credits,
+}
+
+impl Bank {
+    /// New bank with a signing key derived from `seed`.
+    pub fn new(seed: &[u8]) -> Bank {
+        Bank {
+            keypair: Keypair::from_seed(seed),
+            accounts: HashMap::new(),
+            next_account: 0,
+            next_transfer: 0,
+            minted: Credits::ZERO,
+        }
+    }
+
+    /// The bank's receipt-verification key.
+    pub fn public_key(&self) -> PublicKey {
+        self.keypair.public
+    }
+
+    /// Open a top-level account owned by `owner`.
+    pub fn open_account(&mut self, owner: PublicKey, label: &str) -> AccountId {
+        self.insert_account(owner, label, None)
+    }
+
+    /// Open a sub-account of `parent` (same or delegated owner) and move
+    /// `fund` into it from the parent.
+    pub fn open_sub_account(
+        &mut self,
+        parent: AccountId,
+        owner: PublicKey,
+        label: &str,
+        fund: Credits,
+    ) -> Result<(AccountId, Receipt), BankError> {
+        if !self.accounts.contains_key(&parent) {
+            return Err(BankError::NoSuchAccount(parent));
+        }
+        let sub = self.insert_account(owner, label, Some(parent));
+        let receipt = self.transfer(parent, sub, fund)?;
+        Ok((sub, receipt))
+    }
+
+    fn insert_account(&mut self, owner: PublicKey, label: &str, parent: Option<AccountId>) -> AccountId {
+        let id = AccountId(self.next_account);
+        self.next_account += 1;
+        self.accounts.insert(
+            id,
+            Account {
+                owner,
+                balance: Credits::ZERO,
+                parent,
+                label: label.to_owned(),
+            },
+        );
+        id
+    }
+
+    /// Simulation-only endowment faucet: create new money in `to`.
+    pub fn mint(&mut self, to: AccountId, amount: Credits) -> Result<(), BankError> {
+        if !amount.is_positive() {
+            return Err(BankError::NonPositiveAmount(amount));
+        }
+        let acct = self
+            .accounts
+            .get_mut(&to)
+            .ok_or(BankError::NoSuchAccount(to))?;
+        acct.balance += amount;
+        self.minted += amount;
+        Ok(())
+    }
+
+    /// Balance of an account.
+    pub fn balance(&self, id: AccountId) -> Result<Credits, BankError> {
+        self.accounts
+            .get(&id)
+            .map(|a| a.balance)
+            .ok_or(BankError::NoSuchAccount(id))
+    }
+
+    /// Owner key of an account.
+    pub fn owner(&self, id: AccountId) -> Result<PublicKey, BankError> {
+        self.accounts
+            .get(&id)
+            .map(|a| a.owner)
+            .ok_or(BankError::NoSuchAccount(id))
+    }
+
+    /// Parent of a sub-account (None for top-level accounts).
+    pub fn parent(&self, id: AccountId) -> Result<Option<AccountId>, BankError> {
+        self.accounts
+            .get(&id)
+            .map(|a| a.parent)
+            .ok_or(BankError::NoSuchAccount(id))
+    }
+
+    /// Human label of an account.
+    pub fn label(&self, id: AccountId) -> Result<&str, BankError> {
+        self.accounts
+            .get(&id)
+            .map(|a| a.label.as_str())
+            .ok_or(BankError::NoSuchAccount(id))
+    }
+
+    /// Move `amount` from `from` to `to`, returning a signed receipt.
+    pub fn transfer(
+        &mut self,
+        from: AccountId,
+        to: AccountId,
+        amount: Credits,
+    ) -> Result<Receipt, BankError> {
+        if !amount.is_positive() {
+            return Err(BankError::NonPositiveAmount(amount));
+        }
+        if !self.accounts.contains_key(&to) {
+            return Err(BankError::NoSuchAccount(to));
+        }
+        {
+            let src = self
+                .accounts
+                .get(&from)
+                .ok_or(BankError::NoSuchAccount(from))?;
+            if src.balance < amount {
+                return Err(BankError::InsufficientFunds {
+                    account: from,
+                    balance: src.balance,
+                    requested: amount,
+                });
+            }
+        }
+        self.accounts.get_mut(&from).expect("checked").balance -= amount;
+        self.accounts.get_mut(&to).expect("checked").balance += amount;
+
+        let transfer_id = self.next_transfer;
+        self.next_transfer += 1;
+        let msg = Receipt::message_bytes(transfer_id, from, to, amount);
+        let signature = self.keypair.sign(&msg);
+        Ok(Receipt {
+            transfer_id,
+            from,
+            to,
+            amount,
+            signature,
+        })
+    }
+
+    /// Verify that a receipt was signed by this bank and is internally
+    /// consistent.
+    pub fn verify_receipt(&self, r: &Receipt) -> bool {
+        self.keypair.public.verify(&r.signed_bytes(), &r.signature)
+    }
+
+    /// Sum of all balances (should always equal total minted money).
+    pub fn total_money(&self) -> Credits {
+        self.accounts.values().map(|a| a.balance).sum()
+    }
+
+    /// Total money ever created by `mint`.
+    pub fn total_minted(&self) -> Credits {
+        self.minted
+    }
+
+    /// Number of accounts (diagnostics).
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Bank, AccountId, AccountId) {
+        let mut bank = Bank::new(b"test-bank");
+        let alice = Keypair::from_seed(b"alice").public;
+        let bob = Keypair::from_seed(b"bob").public;
+        let a = bank.open_account(alice, "alice");
+        let b = bank.open_account(bob, "bob");
+        bank.mint(a, Credits::from_whole(1000)).unwrap();
+        (bank, a, b)
+    }
+
+    #[test]
+    fn transfer_moves_money_and_signs() {
+        let (mut bank, a, b) = setup();
+        let r = bank.transfer(a, b, Credits::from_whole(250)).unwrap();
+        assert_eq!(bank.balance(a).unwrap(), Credits::from_whole(750));
+        assert_eq!(bank.balance(b).unwrap(), Credits::from_whole(250));
+        assert!(bank.verify_receipt(&r));
+        assert_eq!(r.amount, Credits::from_whole(250));
+    }
+
+    #[test]
+    fn insufficient_funds_rejected() {
+        let (mut bank, a, b) = setup();
+        let err = bank.transfer(a, b, Credits::from_whole(2000)).unwrap_err();
+        match err {
+            BankError::InsufficientFunds { account, .. } => assert_eq!(account, a),
+            other => panic!("wrong error {other:?}"),
+        }
+        // No partial effects.
+        assert_eq!(bank.balance(a).unwrap(), Credits::from_whole(1000));
+        assert_eq!(bank.balance(b).unwrap(), Credits::ZERO);
+    }
+
+    #[test]
+    fn zero_and_negative_transfers_rejected() {
+        let (mut bank, a, b) = setup();
+        assert!(matches!(
+            bank.transfer(a, b, Credits::ZERO),
+            Err(BankError::NonPositiveAmount(_))
+        ));
+        assert!(matches!(
+            bank.transfer(a, b, Credits::from_whole(-5)),
+            Err(BankError::NonPositiveAmount(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_accounts_rejected() {
+        let (mut bank, a, _) = setup();
+        let ghost = AccountId(999);
+        assert!(matches!(
+            bank.transfer(a, ghost, Credits::from_whole(1)),
+            Err(BankError::NoSuchAccount(_))
+        ));
+        assert!(matches!(
+            bank.transfer(ghost, a, Credits::from_whole(1)),
+            Err(BankError::NoSuchAccount(_))
+        ));
+        assert!(bank.balance(ghost).is_err());
+    }
+
+    #[test]
+    fn money_is_conserved() {
+        let (mut bank, a, b) = setup();
+        for i in 1..=10 {
+            bank.transfer(a, b, Credits::from_whole(i)).unwrap();
+        }
+        assert_eq!(bank.total_money(), Credits::from_whole(1000));
+        assert_eq!(bank.total_money(), bank.total_minted());
+    }
+
+    #[test]
+    fn receipt_ids_are_unique_and_monotone() {
+        let (mut bank, a, b) = setup();
+        let r1 = bank.transfer(a, b, Credits::from_whole(1)).unwrap();
+        let r2 = bank.transfer(a, b, Credits::from_whole(1)).unwrap();
+        assert!(r2.transfer_id > r1.transfer_id);
+    }
+
+    #[test]
+    fn tampered_receipt_fails_verification() {
+        let (mut bank, a, b) = setup();
+        let mut r = bank.transfer(a, b, Credits::from_whole(10)).unwrap();
+        r.amount = Credits::from_whole(10_000);
+        assert!(!bank.verify_receipt(&r));
+    }
+
+    #[test]
+    fn foreign_bank_receipt_fails() {
+        let (mut bank, a, b) = setup();
+        let r = bank.transfer(a, b, Credits::from_whole(10)).unwrap();
+        let other = Bank::new(b"other-bank");
+        assert!(!other.verify_receipt(&r));
+    }
+
+    #[test]
+    fn sub_accounts_fund_from_parent() {
+        let (mut bank, a, _) = setup();
+        let broker_owner = bank.owner(a).unwrap();
+        let (sub, receipt) = bank
+            .open_sub_account(a, broker_owner, "job-42", Credits::from_whole(100))
+            .unwrap();
+        assert_eq!(bank.balance(sub).unwrap(), Credits::from_whole(100));
+        assert_eq!(bank.balance(a).unwrap(), Credits::from_whole(900));
+        assert_eq!(bank.parent(sub).unwrap(), Some(a));
+        assert!(bank.verify_receipt(&receipt));
+        assert_eq!(bank.label(sub).unwrap(), "job-42");
+    }
+
+    #[test]
+    fn sub_account_with_insufficient_parent_funds_fails() {
+        let (mut bank, a, _) = setup();
+        let owner = bank.owner(a).unwrap();
+        let res = bank.open_sub_account(a, owner, "big", Credits::from_whole(5000));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn mint_requires_positive_amount() {
+        let (mut bank, a, _) = setup();
+        assert!(bank.mint(a, Credits::ZERO).is_err());
+    }
+}

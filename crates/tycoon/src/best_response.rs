@@ -1,0 +1,352 @@
+//! The Best Response bid optimizer (Feldman, Lai & Zhang, EC'05).
+//!
+//! Solves the user's optimization problem from the paper's Eq. (1)–(2):
+//!
+//! maximize `U_i = Σ_j w_ij · x_ij / (x_ij + q_j)` subject to
+//! `Σ_j x_ij = X_i`, `x_ij ≥ 0`,
+//!
+//! where `w_ij` is the user's preference for host j (we use deliverable
+//! capacity), `q_j` the total of *other* users' bids on host j (plus the
+//! host's reserve), and `X_i` the budget. The optimum has the closed-form
+//! water-filling structure: rank hosts by `w_j/q_j`, take the largest
+//! prefix S for which the bids
+//!
+//! `x_j = √(w_j·q_j)·(X + Σ_S q) / (Σ_S √(w·q)) − q_j`
+//!
+//! are all positive.
+
+use crate::host::HostId;
+
+/// Market information about one candidate host, as seen by one user.
+#[derive(Clone, Copy, Debug)]
+pub struct HostQuote {
+    /// Which host.
+    pub host: HostId,
+    /// The user's preference weight `w_ij` (e.g. deliverable MHz).
+    pub weight: f64,
+    /// Sum of other users' bid rates plus the reserve rate, `q_j > 0`.
+    pub others_rate: f64,
+}
+
+/// The utility `Σ w_j·x_j/(x_j+q_j)` of a bid vector against `quotes`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn utility(bids: &[f64], quotes: &[HostQuote]) -> f64 {
+    assert_eq!(bids.len(), quotes.len(), "bid/quote length mismatch");
+    bids.iter()
+        .zip(quotes)
+        .map(|(&x, q)| {
+            if x <= 0.0 {
+                0.0
+            } else {
+                q.weight * x / (x + q.others_rate)
+            }
+        })
+        .sum()
+}
+
+/// Compute the optimal bid distribution for `budget_rate` over `quotes`.
+///
+/// Returns `(host, bid_rate)` pairs for every host that receives a positive
+/// bid (hosts outside the optimal support are omitted). The returned bids
+/// sum to `budget_rate` (within rounding). Returns an empty vector when the
+/// budget is non-positive or no host has positive weight.
+///
+/// `max_hosts` caps the support size (the paper's experiments cap each task
+/// at 15 nodes); pass `usize::MAX` for no cap.
+///
+/// # Panics
+/// Panics if any quote has `others_rate <= 0` (include the host reserve) or
+/// a non-finite field.
+pub fn best_response(
+    quotes: &[HostQuote],
+    budget_rate: f64,
+    max_hosts: usize,
+) -> Vec<(HostId, f64)> {
+    if budget_rate <= 0.0 || quotes.is_empty() || max_hosts == 0 {
+        return Vec::new();
+    }
+    for q in quotes {
+        assert!(
+            q.others_rate > 0.0 && q.others_rate.is_finite(),
+            "{:?}: others_rate must be positive and finite (include the reserve)",
+            q.host
+        );
+        assert!(q.weight.is_finite() && q.weight >= 0.0, "{:?}: bad weight", q.host);
+    }
+
+    // Rank by marginal value at zero bid: dU/dx|₀ = w/q.
+    let mut order: Vec<usize> = (0..quotes.len()).filter(|&i| quotes[i].weight > 0.0).collect();
+    if order.is_empty() {
+        return Vec::new();
+    }
+    order.sort_by(|&a, &b| {
+        let ra = quotes[a].weight / quotes[a].others_rate;
+        let rb = quotes[b].weight / quotes[b].others_rate;
+        rb.partial_cmp(&ra)
+            .expect("non-finite ratio")
+            .then(quotes[a].host.0.cmp(&quotes[b].host.0))
+    });
+    order.truncate(max_hosts);
+
+    // Find the largest prefix with all-positive bids. The positivity
+    // constraint binds at the *last* (lowest-ratio) member first, so it is
+    // enough to check that member for each prefix size.
+    let mut best_m = 0usize;
+    let mut q_sum = 0.0;
+    let mut w_sum = 0.0;
+    let mut best_factors = (0.0, 0.0);
+    for (m, &idx) in order.iter().enumerate() {
+        let q = quotes[idx].others_rate;
+        let w = quotes[idx].weight;
+        q_sum += q;
+        w_sum += (w * q).sqrt();
+        let c = (budget_rate + q_sum) / w_sum;
+        let x_last = (w * q).sqrt() * c - q;
+        if x_last > 0.0 {
+            best_m = m + 1;
+            best_factors = (q_sum, w_sum);
+        }
+        // Once positivity fails it can recover for larger prefixes only if
+        // ratios were tied; continue scanning to be safe (n is small).
+    }
+    if best_m == 0 {
+        // Budget too small relative to prices to profitably bid anywhere
+        // except the single best host; bid everything there.
+        let first = order[0];
+        return vec![(quotes[first].host, budget_rate)];
+    }
+
+    let (q_sum, w_sum) = best_factors;
+    let c = (budget_rate + q_sum) / w_sum;
+    let mut out = Vec::with_capacity(best_m);
+    for &idx in &order[..best_m] {
+        let q = quotes[idx].others_rate;
+        let w = quotes[idx].weight;
+        let x = (w * q).sqrt() * c - q;
+        debug_assert!(x > 0.0);
+        out.push((quotes[idx].host, x));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quote(id: u32, weight: f64, others: f64) -> HostQuote {
+        HostQuote {
+            host: HostId(id),
+            weight,
+            others_rate: others,
+        }
+    }
+
+    fn total(bids: &[(HostId, f64)]) -> f64 {
+        bids.iter().map(|(_, x)| x).sum()
+    }
+
+    #[test]
+    fn single_host_gets_whole_budget() {
+        let quotes = [quote(0, 1000.0, 0.5)];
+        let bids = best_response(&quotes, 3.0, usize::MAX);
+        assert_eq!(bids.len(), 1);
+        assert!((bids[0].1 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_hosts_split_evenly() {
+        let quotes: Vec<HostQuote> = (0..5).map(|i| quote(i, 100.0, 1.0)).collect();
+        let bids = best_response(&quotes, 10.0, usize::MAX);
+        assert_eq!(bids.len(), 5);
+        for (_, x) in &bids {
+            assert!((x - 2.0).abs() < 1e-9, "bid {x}");
+        }
+        assert!((total(&bids) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_constraint_holds() {
+        let quotes = [
+            quote(0, 500.0, 0.2),
+            quote(1, 800.0, 1.5),
+            quote(2, 300.0, 0.1),
+            quote(3, 1000.0, 3.0),
+        ];
+        for budget in [0.01, 0.5, 2.0, 100.0] {
+            let bids = best_response(&quotes, budget, usize::MAX);
+            assert!(
+                (total(&bids) - budget).abs() < 1e-9 * budget.max(1.0),
+                "budget {budget}: got {}",
+                total(&bids)
+            );
+        }
+    }
+
+    #[test]
+    fn small_budget_concentrates_on_best_ratio_host() {
+        // Host 2 has the best w/q ratio by far.
+        let quotes = [
+            quote(0, 100.0, 10.0),
+            quote(1, 100.0, 10.0),
+            quote(2, 100.0, 0.001),
+        ];
+        let bids = best_response(&quotes, 0.001, usize::MAX);
+        assert_eq!(bids.len(), 1);
+        assert_eq!(bids[0].0, HostId(2));
+    }
+
+    #[test]
+    fn large_budget_spreads_over_all_hosts() {
+        let quotes = [
+            quote(0, 100.0, 1.0),
+            quote(1, 120.0, 2.0),
+            quote(2, 80.0, 0.5),
+        ];
+        let bids = best_response(&quotes, 1000.0, usize::MAX);
+        assert_eq!(bids.len(), 3);
+    }
+
+    #[test]
+    fn max_hosts_cap_respected() {
+        let quotes: Vec<HostQuote> = (0..30).map(|i| quote(i, 100.0, 1.0)).collect();
+        let bids = best_response(&quotes, 100.0, 15);
+        assert_eq!(bids.len(), 15);
+        assert!((total(&bids) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_returns_empty() {
+        let quotes = [quote(0, 100.0, 1.0)];
+        assert!(best_response(&quotes, 0.0, usize::MAX).is_empty());
+        assert!(best_response(&quotes, -1.0, usize::MAX).is_empty());
+        assert!(best_response(&[], 1.0, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn zero_weight_hosts_excluded() {
+        let quotes = [quote(0, 0.0, 1.0), quote(1, 100.0, 1.0)];
+        let bids = best_response(&quotes, 5.0, usize::MAX);
+        assert_eq!(bids.len(), 1);
+        assert_eq!(bids[0].0, HostId(1));
+    }
+
+    #[test]
+    fn all_zero_weights_returns_empty() {
+        let quotes = [quote(0, 0.0, 1.0), quote(1, 0.0, 2.0)];
+        assert!(best_response(&quotes, 5.0, usize::MAX).is_empty());
+    }
+
+    /// KKT check: at the optimum, marginal utilities w·q/(x+q)² are equal
+    /// across all funded hosts and no unfunded host has a higher marginal
+    /// value at zero.
+    #[test]
+    fn kkt_conditions_hold()  {
+        let quotes = [
+            quote(0, 500.0, 0.2),
+            quote(1, 800.0, 1.5),
+            quote(2, 300.0, 0.1),
+            quote(3, 1000.0, 3.0),
+            quote(4, 50.0, 5.0),
+        ];
+        let budget = 4.0;
+        let bids = best_response(&quotes, budget, usize::MAX);
+        let funded: std::collections::HashMap<u32, f64> =
+            bids.iter().map(|(h, x)| (h.0, *x)).collect();
+
+        let marginals: Vec<f64> = quotes
+            .iter()
+            .filter_map(|q| {
+                funded.get(&q.host.0).map(|&x| {
+                    q.weight * q.others_rate / ((x + q.others_rate) * (x + q.others_rate))
+                })
+            })
+            .collect();
+        let lambda = marginals[0];
+        for m in &marginals {
+            assert!((m - lambda).abs() / lambda < 1e-6, "unequal marginals");
+        }
+        for q in &quotes {
+            if !funded.contains_key(&q.host.0) {
+                let marginal_at_zero = q.weight / q.others_rate;
+                assert!(
+                    marginal_at_zero <= lambda * (1.0 + 1e-9),
+                    "unfunded host {:?} has higher marginal value",
+                    q.host
+                );
+            }
+        }
+    }
+
+    /// Direct optimality: random feasible perturbations never improve U.
+    #[test]
+    fn perturbations_do_not_improve_utility() {
+        use gm_des::{Pcg32, Rng64};
+        let quotes = [
+            quote(0, 500.0, 0.2),
+            quote(1, 800.0, 1.5),
+            quote(2, 300.0, 0.1),
+        ];
+        let budget = 2.0;
+        let bids = best_response(&quotes, budget, usize::MAX);
+        let mut x = vec![0.0; quotes.len()];
+        for (h, b) in &bids {
+            let i = quotes.iter().position(|q| q.host == *h).unwrap();
+            x[i] = *b;
+        }
+        let u_star = utility(&x, &quotes);
+
+        let mut rng = Pcg32::seed_from_u64(1);
+        for _ in 0..500 {
+            // Move mass epsilon from one host to another, stay feasible.
+            let i = rng.next_bounded(3) as usize;
+            let j = rng.next_bounded(3) as usize;
+            if i == j {
+                continue;
+            }
+            let eps = (x[i] * rng.next_f64()).min(0.05);
+            if eps <= 0.0 {
+                continue;
+            }
+            let mut y = x.clone();
+            y[i] -= eps;
+            y[j] += eps;
+            let u = utility(&y, &quotes);
+            assert!(
+                u <= u_star + 1e-9,
+                "perturbation improved utility: {u} > {u_star}"
+            );
+        }
+    }
+
+    #[test]
+    fn utility_of_zero_bids_is_zero() {
+        let quotes = [quote(0, 100.0, 1.0)];
+        assert_eq!(utility(&[0.0], &quotes), 0.0);
+    }
+
+    #[test]
+    fn utility_saturates_toward_weight() {
+        let quotes = [quote(0, 100.0, 1.0)];
+        let u = utility(&[1e9], &quotes);
+        assert!(u > 99.9 && u <= 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "others_rate must be positive")]
+    fn zero_price_rejected() {
+        best_response(&[quote(0, 1.0, 0.0)], 1.0, usize::MAX);
+    }
+
+    #[test]
+    fn deterministic_output_order() {
+        let quotes: Vec<HostQuote> = (0..10).map(|i| quote(i, 100.0, 1.0)).collect();
+        let a = best_response(&quotes, 5.0, usize::MAX);
+        let b = best_response(&quotes, 5.0, usize::MAX);
+        assert_eq!(
+            a.iter().map(|(h, _)| h.0).collect::<Vec<_>>(),
+            b.iter().map(|(h, _)| h.0).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Host specifications.
+//!
+//! The paper's testbed: 30 physical dual-processor machines, virtualized
+//! with Xen (1–5 % overhead), each hosting up to one VM per user.
+
+use std::fmt;
+
+/// Identifier of a physical host in the Tycoon network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+impl fmt::Debug for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{:03}", self.0)
+    }
+}
+
+/// Static description of a host contributing resources to the market.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostSpec {
+    /// Host identifier.
+    pub id: HostId,
+    /// Number of physical CPUs (the testbed machines were dual-CPU).
+    pub cpus: u32,
+    /// Per-CPU capacity in MHz.
+    pub cpu_mhz: f64,
+    /// Fractional capacity lost to virtualization (Xen: 0.01–0.05).
+    pub virtualization_overhead: f64,
+    /// Owner's reserve bid rate in credits/second — the minimum "price
+    /// floor" on the host market, preventing free-riding on idle hosts.
+    pub reserve_rate: f64,
+}
+
+impl HostSpec {
+    /// A host modeled on the paper's testbed nodes: dual CPU, ~3 GHz,
+    /// 3 % virtualization overhead, tiny reserve.
+    pub fn testbed(id: u32) -> HostSpec {
+        HostSpec {
+            id: HostId(id),
+            cpus: 2,
+            cpu_mhz: 3000.0,
+            virtualization_overhead: 0.03,
+            reserve_rate: 1e-5,
+        }
+    }
+
+    /// Total deliverable capacity in MHz after virtualization overhead.
+    pub fn effective_capacity_mhz(&self) -> f64 {
+        self.cpus as f64 * self.cpu_mhz * (1.0 - self.virtualization_overhead)
+    }
+
+    /// Capacity of a single virtual CPU in MHz (one VM never exceeds one
+    /// physical CPU, per the experiment setup in §5.2).
+    pub fn vcpu_capacity_mhz(&self) -> f64 {
+        self.cpu_mhz * (1.0 - self.virtualization_overhead)
+    }
+
+    /// Validate invariants; used by the builder in `gridmarket`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cpus == 0 {
+            return Err(format!("{}: zero CPUs", self.id));
+        }
+        if !(self.cpu_mhz > 0.0) {
+            return Err(format!("{}: non-positive capacity", self.id));
+        }
+        if !(0.0..1.0).contains(&self.virtualization_overhead) {
+            return Err(format!("{}: overhead outside [0,1)", self.id));
+        }
+        if !(self.reserve_rate > 0.0) {
+            return Err(format!("{}: reserve rate must be positive", self.id));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_host_shape() {
+        let h = HostSpec::testbed(3);
+        assert_eq!(h.id, HostId(3));
+        assert_eq!(h.cpus, 2);
+        assert!(h.validate().is_ok());
+        assert!((h.effective_capacity_mhz() - 5820.0).abs() < 1e-9);
+        assert!((h.vcpu_capacity_mhz() - 2910.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut h = HostSpec::testbed(0);
+        h.cpus = 0;
+        assert!(h.validate().is_err());
+
+        let mut h = HostSpec::testbed(0);
+        h.cpu_mhz = 0.0;
+        assert!(h.validate().is_err());
+
+        let mut h = HostSpec::testbed(0);
+        h.virtualization_overhead = 1.0;
+        assert!(h.validate().is_err());
+
+        let mut h = HostSpec::testbed(0);
+        h.reserve_rate = 0.0;
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", HostId(7)), "host007");
+        assert_eq!(format!("{:?}", HostId(7)), "host7");
+    }
+}

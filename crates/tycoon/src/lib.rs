@@ -1,0 +1,42 @@
+//! # gm-tycoon — the Tycoon market-based resource allocation system
+//!
+//! Reimplementation of the market substrate the paper builds on (§2.2):
+//! decentralized, continuous, bid-based proportional-share markets, one per
+//! host, with a central bank and a service location service.
+//!
+//! * [`money`] — exact fixed-point credits (micro-dollar accounting).
+//! * [`bank`] — user accounts, signed transfer receipts, sub-accounts
+//!   (the Bank component of Fig. 1).
+//! * [`host`] — host specifications (CPUs, per-CPU capacity, virtualization
+//!   overhead à la Xen's 1–5 %).
+//! * [`auction`] — the per-host Auctioneer: continuous bids, spot price
+//!   `y_j = Σ x_ij` (Eq. 1), proportional-share allocation at a 10 s
+//!   reallocation interval, pay-for-use charging with refunds.
+//! * [`best_response()`] — the Feldman–Lai–Zhang Best Response optimizer
+//!   that distributes a budget across hosts (Eq. 1–2).
+//! * [`sls`] — the Service Location Service host registry.
+//! * [`market`] — glue that drives all auctioneers one allocation interval
+//!   at a time and records price history.
+//! * [`service`] — the same market behind message-passing service
+//!   boundaries (bank thread + one auctioneer thread per host), matching
+//!   the paper's deployment as networked services.
+
+pub mod auction;
+pub mod bank;
+pub mod best_response;
+pub mod host;
+pub mod market;
+pub mod money;
+pub mod pricestats;
+pub mod service;
+pub mod sls;
+
+pub use auction::{Allocation, Auctioneer, BidHandle, UserId};
+pub use bank::{AccountId, Bank, BankError, Receipt};
+pub use best_response::{best_response, utility, HostQuote};
+pub use host::{HostId, HostSpec};
+pub use market::{Market, MarketError, DEFAULT_INTERVAL_SECS};
+pub use money::Credits;
+pub use pricestats::PriceStats;
+pub use service::{AuctioneerClient, BankClient, BankService, LiveMarket};
+pub use sls::Sls;

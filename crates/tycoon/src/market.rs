@@ -1,0 +1,401 @@
+//! The assembled Tycoon market: bank + SLS + one auctioneer per host.
+//!
+//! `Market` is the facade the grid layer talks to. It keeps the bank's
+//! books consistent with the auctioneers' escrows: placing a bid moves
+//! money from the payer's bank account into the host's bank account, and
+//! cancelling refunds the unspent escrow back — so total money is conserved
+//! at every step (tested below and property-tested in the workspace
+//! integration suite).
+
+use gm_des::{SimTime, Trace};
+
+use crate::auction::{Allocation, Auctioneer, BidHandle, UserId};
+use crate::bank::{AccountId, Bank, BankError};
+use crate::best_response::HostQuote;
+use crate::host::{HostId, HostSpec};
+use crate::money::Credits;
+use crate::sls::Sls;
+
+struct HostEntry {
+    auctioneer: Auctioneer,
+    /// The host's bank account: escrows live here while bids run; charges
+    /// stay here as host income.
+    account: AccountId,
+}
+
+/// A complete single-site Tycoon market.
+pub struct Market {
+    bank: Bank,
+    sls: Sls,
+    hosts: std::collections::BTreeMap<HostId, HostEntry>,
+    price_trace: Trace,
+    interval_secs: f64,
+}
+
+/// The paper's default reallocation interval (10 seconds, §2.2).
+pub const DEFAULT_INTERVAL_SECS: f64 = 10.0;
+
+impl Market {
+    /// New market with a bank seeded from `seed`.
+    pub fn new(seed: &[u8]) -> Market {
+        Market {
+            bank: Bank::new(seed),
+            sls: Sls::new(),
+            hosts: std::collections::BTreeMap::new(),
+            price_trace: Trace::new(),
+            interval_secs: DEFAULT_INTERVAL_SECS,
+        }
+    }
+
+    /// Override the reallocation interval (seconds).
+    ///
+    /// # Panics
+    /// Panics unless positive and finite.
+    pub fn set_interval_secs(&mut self, secs: f64) {
+        assert!(secs > 0.0 && secs.is_finite());
+        self.interval_secs = secs;
+    }
+
+    /// The reallocation interval in seconds.
+    pub fn interval_secs(&self) -> f64 {
+        self.interval_secs
+    }
+
+    /// Immutable access to the bank.
+    pub fn bank(&self) -> &Bank {
+        &self.bank
+    }
+
+    /// Mutable access to the bank (account setup, endowments).
+    pub fn bank_mut(&mut self) -> &mut Bank {
+        &mut self.bank
+    }
+
+    /// The service location service.
+    pub fn sls(&self) -> &Sls {
+        &self.sls
+    }
+
+    /// Add a host to the market; returns its bank account id.
+    ///
+    /// # Panics
+    /// Panics on duplicate host ids or invalid specs.
+    pub fn add_host(&mut self, spec: HostSpec) -> AccountId {
+        assert!(
+            !self.hosts.contains_key(&spec.id),
+            "duplicate host {:?}",
+            spec.id
+        );
+        let account = self
+            .bank
+            .open_account(self.bank.public_key(), &format!("{}", spec.id));
+        self.sls.register(spec.clone());
+        self.hosts.insert(
+            spec.id,
+            HostEntry {
+                auctioneer: Auctioneer::new(spec),
+                account,
+            },
+        );
+        account
+    }
+
+    /// All host ids in deterministic order.
+    pub fn host_ids(&self) -> Vec<HostId> {
+        self.hosts.keys().copied().collect()
+    }
+
+    /// Auctioneer of a host.
+    pub fn auctioneer(&self, id: HostId) -> Option<&Auctioneer> {
+        self.hosts.get(&id).map(|e| &e.auctioneer)
+    }
+
+    /// The host's bank account.
+    pub fn host_account(&self, id: HostId) -> Option<AccountId> {
+        self.hosts.get(&id).map(|e| e.account)
+    }
+
+    /// Build Best Response quotes for `user` over `hosts`, weighting each
+    /// host by its deliverable vCPU capacity.
+    pub fn quotes_for(&self, user: UserId, hosts: &[HostId]) -> Vec<HostQuote> {
+        hosts
+            .iter()
+            .filter_map(|id| {
+                self.hosts.get(id).map(|e| HostQuote {
+                    host: *id,
+                    weight: e.auctioneer.spec().vcpu_capacity_mhz(),
+                    others_rate: e.auctioneer.others_rate(user),
+                })
+            })
+            .collect()
+    }
+
+    /// Place a funded bid: debit `escrow` from `payer` into the host
+    /// account and register the bid with the host's auctioneer.
+    pub fn place_funded_bid(
+        &mut self,
+        user: UserId,
+        payer: AccountId,
+        host: HostId,
+        rate: f64,
+        escrow: Credits,
+    ) -> Result<BidHandle, MarketError> {
+        let entry = self.hosts.get_mut(&host).ok_or(MarketError::NoSuchHost(host))?;
+        self.bank.transfer(payer, entry.account, escrow)?;
+        Ok(entry.auctioneer.place_bid(user, rate, escrow))
+    }
+
+    /// Cancel a bid and refund the unspent escrow from the host account to
+    /// `refund_to`. Returns the refunded amount.
+    pub fn cancel_bid(
+        &mut self,
+        host: HostId,
+        handle: BidHandle,
+        refund_to: AccountId,
+    ) -> Result<Credits, MarketError> {
+        let entry = self.hosts.get_mut(&host).ok_or(MarketError::NoSuchHost(host))?;
+        let refund = entry
+            .auctioneer
+            .cancel_bid(handle)
+            .ok_or(MarketError::NoSuchBid(host, handle))?;
+        if refund.is_positive() {
+            self.bank.transfer(entry.account, refund_to, refund)?;
+        }
+        Ok(refund)
+    }
+
+    /// Boost a live bid with extra funds from `payer`.
+    pub fn top_up_bid(
+        &mut self,
+        host: HostId,
+        handle: BidHandle,
+        payer: AccountId,
+        extra: Credits,
+    ) -> Result<(), MarketError> {
+        let entry = self.hosts.get_mut(&host).ok_or(MarketError::NoSuchHost(host))?;
+        if entry.auctioneer.escrow(handle).is_none() {
+            return Err(MarketError::NoSuchBid(host, handle));
+        }
+        self.bank.transfer(payer, entry.account, extra)?;
+        let ok = entry.auctioneer.top_up(handle, extra);
+        debug_assert!(ok);
+        Ok(())
+    }
+
+    /// Re-bid: change the rate of a live bid.
+    pub fn update_bid_rate(
+        &mut self,
+        host: HostId,
+        handle: BidHandle,
+        rate: f64,
+    ) -> Result<(), MarketError> {
+        let entry = self.hosts.get_mut(&host).ok_or(MarketError::NoSuchHost(host))?;
+        if entry.auctioneer.update_rate(handle, rate) {
+            Ok(())
+        } else {
+            Err(MarketError::NoSuchBid(host, handle))
+        }
+    }
+
+    /// Run one allocation interval on every host, recording spot prices
+    /// into the price trace. Returns per-host allocations.
+    pub fn tick(&mut self, now: SimTime) -> Vec<(HostId, Vec<Allocation>)> {
+        let dt = self.interval_secs;
+        let mut out = Vec::with_capacity(self.hosts.len());
+        for (&id, entry) in self.hosts.iter_mut() {
+            self.price_trace
+                .record(&format!("{id}"), now, entry.auctioneer.spot_price());
+            let allocations = entry.auctioneer.allocate(dt);
+            out.push((id, allocations));
+        }
+        out
+    }
+
+    /// Spot prices of all hosts (deterministic order).
+    pub fn spot_prices(&self) -> Vec<(HostId, f64)> {
+        self.hosts
+            .iter()
+            .map(|(&id, e)| (id, e.auctioneer.spot_price()))
+            .collect()
+    }
+
+    /// The recorded spot-price history.
+    pub fn price_trace(&self) -> &Trace {
+        &self.price_trace
+    }
+
+    /// Income earned by a host so far.
+    pub fn host_income(&self, id: HostId) -> Option<Credits> {
+        self.hosts.get(&id).map(|e| e.auctioneer.earned())
+    }
+}
+
+/// Errors from market operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarketError {
+    /// Unknown host.
+    NoSuchHost(HostId),
+    /// Unknown or expired bid handle.
+    NoSuchBid(HostId, BidHandle),
+    /// A bank operation failed.
+    Bank(BankError),
+}
+
+impl From<BankError> for MarketError {
+    fn from(e: BankError) -> Self {
+        MarketError::Bank(e)
+    }
+}
+
+impl std::fmt::Display for MarketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarketError::NoSuchHost(h) => write!(f, "no such host {h}"),
+            MarketError::NoSuchBid(h, b) => write!(f, "no such bid {b:?} on {h}"),
+            MarketError::Bank(e) => write!(f, "bank error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_crypto::Keypair;
+
+    fn market_with_user(hosts: u32, endowment: i64) -> (Market, AccountId) {
+        let mut m = Market::new(b"market-test");
+        for i in 0..hosts {
+            m.add_host(HostSpec::testbed(i));
+        }
+        let user_key = Keypair::from_seed(b"user").public;
+        let acct = m.bank_mut().open_account(user_key, "user");
+        m.bank_mut()
+            .mint(acct, Credits::from_whole(endowment))
+            .unwrap();
+        (m, acct)
+    }
+
+    #[test]
+    fn placing_a_bid_moves_escrow_to_host_account() {
+        let (mut m, acct) = market_with_user(1, 100);
+        let host = HostId(0);
+        m.place_funded_bid(UserId(1), acct, host, 0.1, Credits::from_whole(40))
+            .unwrap();
+        assert_eq!(m.bank().balance(acct).unwrap(), Credits::from_whole(60));
+        let host_acct = m.host_account(host).unwrap();
+        assert_eq!(m.bank().balance(host_acct).unwrap(), Credits::from_whole(40));
+    }
+
+    #[test]
+    fn insufficient_funds_fail_without_side_effects() {
+        let (mut m, acct) = market_with_user(1, 10);
+        let err = m
+            .place_funded_bid(UserId(1), acct, HostId(0), 0.1, Credits::from_whole(40))
+            .unwrap_err();
+        assert!(matches!(err, MarketError::Bank(BankError::InsufficientFunds { .. })));
+        assert_eq!(m.auctioneer(HostId(0)).unwrap().live_bids(), 0);
+        assert_eq!(m.bank().balance(acct).unwrap(), Credits::from_whole(10));
+    }
+
+    #[test]
+    fn unknown_host_rejected() {
+        let (mut m, acct) = market_with_user(1, 10);
+        let err = m
+            .place_funded_bid(UserId(1), acct, HostId(7), 0.1, Credits::from_whole(1))
+            .unwrap_err();
+        assert_eq!(err, MarketError::NoSuchHost(HostId(7)));
+    }
+
+    #[test]
+    fn cancel_refunds_to_payer() {
+        let (mut m, acct) = market_with_user(1, 100);
+        let h = m
+            .place_funded_bid(UserId(1), acct, HostId(0), 1.0, Credits::from_whole(50))
+            .unwrap();
+        m.tick(SimTime::from_secs(10)); // charges 10
+        let refund = m.cancel_bid(HostId(0), h, acct).unwrap();
+        assert_eq!(refund, Credits::from_whole(40));
+        assert_eq!(m.bank().balance(acct).unwrap(), Credits::from_whole(90));
+        // Host keeps its earnings.
+        assert_eq!(m.host_income(HostId(0)).unwrap(), Credits::from_whole(10));
+    }
+
+    #[test]
+    fn money_is_conserved_through_market_activity() {
+        let (mut m, acct) = market_with_user(3, 1000);
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let h = m
+                .place_funded_bid(UserId(1), acct, HostId(i), 0.5, Credits::from_whole(100))
+                .unwrap();
+            handles.push((HostId(i), h));
+        }
+        for k in 0..5 {
+            m.tick(SimTime::from_secs(10 * (k + 1)));
+        }
+        let (host, handle) = handles[0];
+        m.cancel_bid(host, handle, acct).unwrap();
+        assert_eq!(m.bank().total_money(), Credits::from_whole(1000));
+    }
+
+    #[test]
+    fn tick_records_price_history_per_host() {
+        let (mut m, acct) = market_with_user(2, 100);
+        m.place_funded_bid(UserId(1), acct, HostId(0), 0.25, Credits::from_whole(10))
+            .unwrap();
+        m.tick(SimTime::from_secs(10));
+        m.tick(SimTime::from_secs(20));
+        let trace = m.price_trace();
+        let s0 = trace.get("host000").unwrap();
+        assert_eq!(s0.len(), 2);
+        assert!((s0.values()[0] - 0.25001).abs() < 1e-6);
+        let s1 = trace.get("host001").unwrap();
+        assert!((s1.values()[0] - 1e-5).abs() < 1e-12, "idle host at reserve");
+    }
+
+    #[test]
+    fn quotes_reflect_other_users_bids() {
+        let (mut m, acct) = market_with_user(2, 100);
+        m.place_funded_bid(UserId(1), acct, HostId(0), 0.5, Credits::from_whole(10))
+            .unwrap();
+        let quotes = m.quotes_for(UserId(2), &m.host_ids());
+        assert_eq!(quotes.len(), 2);
+        let q0 = quotes.iter().find(|q| q.host == HostId(0)).unwrap();
+        assert!((q0.others_rate - (0.5 + 1e-5)).abs() < 1e-9);
+        let q1 = quotes.iter().find(|q| q.host == HostId(1)).unwrap();
+        assert!((q1.others_rate - 1e-5).abs() < 1e-12);
+        // Own bids are not "others".
+        let own = m.quotes_for(UserId(1), &[HostId(0)]);
+        assert!((own[0].others_rate - 1e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_up_moves_money_and_extends_escrow() {
+        let (mut m, acct) = market_with_user(1, 100);
+        let h = m
+            .place_funded_bid(UserId(1), acct, HostId(0), 1.0, Credits::from_whole(10))
+            .unwrap();
+        m.top_up_bid(HostId(0), h, acct, Credits::from_whole(20)).unwrap();
+        assert_eq!(
+            m.auctioneer(HostId(0)).unwrap().escrow(h).unwrap(),
+            Credits::from_whole(30)
+        );
+        assert_eq!(m.bank().balance(acct).unwrap(), Credits::from_whole(70));
+        assert_eq!(m.bank().total_money(), Credits::from_whole(100));
+    }
+
+    #[test]
+    fn exhausted_bids_leave_income_with_host() {
+        let (mut m, acct) = market_with_user(1, 10);
+        m.place_funded_bid(UserId(1), acct, HostId(0), 1.0, Credits::from_whole(10))
+            .unwrap();
+        for k in 1..=3 {
+            m.tick(SimTime::from_secs(10 * k));
+        }
+        assert_eq!(m.auctioneer(HostId(0)).unwrap().live_bids(), 0);
+        assert_eq!(m.host_income(HostId(0)).unwrap(), Credits::from_whole(10));
+        assert_eq!(m.bank().total_money(), Credits::from_whole(10));
+    }
+}

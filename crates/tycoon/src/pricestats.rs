@@ -1,0 +1,204 @@
+//! Auctioneer-side price statistics.
+//!
+//! §4.1: "Our goal is to provide both a concise representation of
+//! historical prices on the Auctioneer and efficient client-side
+//! algorithms to analyze this data. … In addition to the instantaneous
+//! demand, we also track the average, variation, distribution symmetry,
+//! and peak behavior of the price … presenting and scoping the statistics
+//! in moving, customizable time windows."
+//!
+//! [`PriceStats`] is that representation: exponentially smoothed moments
+//! (mean, σ, skewness γ₁, kurtosis γ₂ — `gm_numeric::SmoothedMoments`,
+//! the paper's §4.5 update rule) per configurable window, plus the
+//! all-time running sums that the "stateless" §4.2 model needs. State is
+//! O(#windows), never O(#samples).
+
+use gm_numeric::stats::{RunningStats, SmoothedMoments};
+
+/// One tracked window.
+#[derive(Clone, Debug)]
+pub struct WindowStats {
+    /// Label, e.g. "hour".
+    pub label: &'static str,
+    /// Window length in snapshots.
+    pub snapshots: usize,
+    /// The smoothed moments.
+    pub moments: SmoothedMoments,
+}
+
+/// Moving-window price statistics kept by an auctioneer.
+#[derive(Clone, Debug)]
+pub struct PriceStats {
+    windows: Vec<WindowStats>,
+    all_time: RunningStats,
+    last: Option<f64>,
+}
+
+impl PriceStats {
+    /// Windows sized for the paper's 10-second reallocation interval:
+    /// hour (360), day (8 640) and week (60 480) snapshots.
+    pub fn standard() -> PriceStats {
+        Self::with_windows(&[("hour", 360), ("day", 8_640), ("week", 60_480)])
+    }
+
+    /// Custom windows: `(label, snapshots)` pairs.
+    ///
+    /// # Panics
+    /// Panics on an empty list or zero-length window.
+    pub fn with_windows(windows: &[(&'static str, usize)]) -> PriceStats {
+        assert!(!windows.is_empty(), "need at least one window");
+        PriceStats {
+            windows: windows
+                .iter()
+                .map(|&(label, n)| WindowStats {
+                    label,
+                    snapshots: n,
+                    moments: SmoothedMoments::new(n),
+                })
+                .collect(),
+            all_time: RunningStats::new(),
+            last: None,
+        }
+    }
+
+    /// Record one spot-price snapshot.
+    pub fn observe(&mut self, price: f64) {
+        debug_assert!(price.is_finite() && price >= 0.0);
+        for w in &mut self.windows {
+            w.moments.push(price);
+        }
+        self.all_time.push(price);
+        self.last = Some(price);
+    }
+
+    /// The most recent snapshot.
+    pub fn last(&self) -> Option<f64> {
+        self.last
+    }
+
+    /// Number of snapshots observed.
+    pub fn count(&self) -> u64 {
+        self.all_time.count()
+    }
+
+    /// All-time running statistics (the §4.2 "stateless" sums).
+    pub fn all_time(&self) -> &RunningStats {
+        &self.all_time
+    }
+
+    /// Moments of a window by label.
+    pub fn window(&self, label: &str) -> Option<&SmoothedMoments> {
+        self.windows
+            .iter()
+            .find(|w| w.label == label)
+            .map(|w| &w.moments)
+    }
+
+    /// All tracked windows.
+    pub fn windows(&self) -> &[WindowStats] {
+        &self.windows
+    }
+
+    /// `(mean, std)` of a window — the normal-model inputs — or the
+    /// all-time values when the label is unknown.
+    pub fn normal_params(&self, label: &str) -> (f64, f64) {
+        match self.window(label) {
+            Some(m) => (m.mean().unwrap_or(0.0), m.std_dev().unwrap_or(0.0)),
+            None => (self.all_time.mean(), self.all_time.std_dev()),
+        }
+    }
+
+    /// Render a one-line summary per window (for the monitor).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for w in &self.windows {
+            out.push_str(&format!(
+                "{}: mean {:.6} std {:.6} skew {:+.2} kurt {:+.2}\n",
+                w.label,
+                w.moments.mean().unwrap_or(0.0),
+                w.moments.std_dev().unwrap_or(0.0),
+                w.moments.skewness().unwrap_or(0.0),
+                w.moments.kurtosis().unwrap_or(0.0),
+            ));
+        }
+        out
+    }
+}
+
+impl Default for PriceStats {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_windows_exist() {
+        let s = PriceStats::standard();
+        assert!(s.window("hour").is_some());
+        assert!(s.window("day").is_some());
+        assert!(s.window("week").is_some());
+        assert!(s.window("year").is_none());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.last(), None);
+    }
+
+    #[test]
+    fn observe_updates_all_windows() {
+        let mut s = PriceStats::with_windows(&[("short", 5), ("long", 500)]);
+        for i in 0..100 {
+            s.observe(1.0 + (i % 10) as f64);
+        }
+        assert_eq!(s.count(), 100);
+        assert!(s.last().is_some());
+        let (m_short, sd_short) = s.normal_params("short");
+        let (m_long, sd_long) = s.normal_params("long");
+        assert!(m_short > 0.0 && m_long > 0.0);
+        assert!(sd_short >= 0.0 && sd_long >= 0.0);
+        // All-time mean of 1..=10 cycle is 5.5.
+        assert!((s.all_time().mean() - 5.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn short_window_tracks_regime_change_faster() {
+        let mut s = PriceStats::with_windows(&[("short", 5), ("long", 1000)]);
+        for _ in 0..500 {
+            s.observe(1.0);
+        }
+        for _ in 0..20 {
+            s.observe(10.0);
+        }
+        let (m_short, _) = s.normal_params("short");
+        let (m_long, _) = s.normal_params("long");
+        assert!(m_short > 9.0, "short window should have caught up: {m_short}");
+        assert!(m_long < 3.0, "long window should lag: {m_long}");
+    }
+
+    #[test]
+    fn unknown_label_falls_back_to_all_time() {
+        let mut s = PriceStats::standard();
+        s.observe(2.0);
+        s.observe(4.0);
+        let (m, _) = s.normal_params("nope");
+        assert!((m - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_renders_each_window() {
+        let mut s = PriceStats::standard();
+        s.observe(1.0);
+        let text = s.summary();
+        assert!(text.contains("hour:"));
+        assert!(text.contains("week:"));
+        assert!(text.contains("mean"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn empty_windows_rejected() {
+        PriceStats::with_windows(&[]);
+    }
+}

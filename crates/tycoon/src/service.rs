@@ -1,0 +1,581 @@
+//! The "live" service runtime: Tycoon as a set of concurrent services.
+//!
+//! The paper's deployment runs the Bank, the Service Location Service and
+//! one Auctioneer per host as *networked services*. The experiments in
+//! this repository use the deterministic in-process [`crate::Market`], but
+//! the same market code also runs behind message-passing service
+//! boundaries: each service is a thread owning its state, clients talk to
+//! it through typed request/reply channels (crossbeam), and the
+//! allocation tick is a scatter-gather across all auctioneer services.
+//!
+//! `DESIGN.md` §7: the integration test suite checks that a [`LiveMarket`]
+//! and a plain [`crate::Market`] driven with the same schedule produce
+//! identical allocations — the service boundary adds concurrency, not
+//! behaviour.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use gm_crypto::PublicKey;
+
+use crate::auction::{Allocation, Auctioneer, BidHandle, UserId};
+use crate::bank::{AccountId, Bank, BankError, Receipt};
+use crate::host::{HostId, HostSpec};
+use crate::money::Credits;
+
+// ---------------------------------------------------------------- bank
+
+enum BankRequest {
+    OpenAccount {
+        owner: PublicKey,
+        label: String,
+        reply: Sender<AccountId>,
+    },
+    Mint {
+        to: AccountId,
+        amount: Credits,
+        reply: Sender<Result<(), BankError>>,
+    },
+    Transfer {
+        from: AccountId,
+        to: AccountId,
+        amount: Credits,
+        reply: Sender<Result<Receipt, BankError>>,
+    },
+    Balance {
+        id: AccountId,
+        reply: Sender<Result<Credits, BankError>>,
+    },
+    VerifyReceipt {
+        receipt: Receipt,
+        reply: Sender<bool>,
+    },
+    TotalMoney {
+        reply: Sender<Credits>,
+    },
+    Shutdown,
+}
+
+/// Handle to a running bank service; cheap to clone and `Send`.
+#[derive(Clone)]
+pub struct BankClient {
+    tx: Sender<BankRequest>,
+}
+
+/// The bank service thread.
+pub struct BankService {
+    handle: Option<JoinHandle<Bank>>,
+    tx: Sender<BankRequest>,
+}
+
+impl BankService {
+    /// Spawn the service, taking ownership of `bank`.
+    pub fn spawn(mut bank: Bank) -> BankService {
+        let (tx, rx) = unbounded::<BankRequest>();
+        let handle = std::thread::Builder::new()
+            .name("tycoon-bank".into())
+            .spawn(move || {
+                while let Ok(req) = rx.recv() {
+                    match req {
+                        BankRequest::OpenAccount { owner, label, reply } => {
+                            let _ = reply.send(bank.open_account(owner, &label));
+                        }
+                        BankRequest::Mint { to, amount, reply } => {
+                            let _ = reply.send(bank.mint(to, amount));
+                        }
+                        BankRequest::Transfer {
+                            from,
+                            to,
+                            amount,
+                            reply,
+                        } => {
+                            let _ = reply.send(bank.transfer(from, to, amount));
+                        }
+                        BankRequest::Balance { id, reply } => {
+                            let _ = reply.send(bank.balance(id));
+                        }
+                        BankRequest::VerifyReceipt { receipt, reply } => {
+                            let _ = reply.send(bank.verify_receipt(&receipt));
+                        }
+                        BankRequest::TotalMoney { reply } => {
+                            let _ = reply.send(bank.total_money());
+                        }
+                        BankRequest::Shutdown => break,
+                    }
+                }
+                bank
+            })
+            .expect("spawn bank service");
+        BankService {
+            handle: Some(handle),
+            tx,
+        }
+    }
+
+    /// A client handle for this service.
+    pub fn client(&self) -> BankClient {
+        BankClient {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Stop the service and recover the bank state.
+    pub fn shutdown(mut self) -> Bank {
+        let _ = self.tx.send(BankRequest::Shutdown);
+        self.handle
+            .take()
+            .expect("not yet shut down")
+            .join()
+            .expect("bank service panicked")
+    }
+}
+
+impl Drop for BankService {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = self.tx.send(BankRequest::Shutdown);
+            let _ = h.join();
+        }
+    }
+}
+
+impl BankClient {
+    fn call<T>(&self, make: impl FnOnce(Sender<T>) -> BankRequest) -> T {
+        let (reply, rx) = bounded(1);
+        self.tx.send(make(reply)).expect("bank service gone");
+        rx.recv().expect("bank service dropped reply")
+    }
+
+    /// Open an account (see [`Bank::open_account`]).
+    pub fn open_account(&self, owner: PublicKey, label: &str) -> AccountId {
+        self.call(|reply| BankRequest::OpenAccount {
+            owner,
+            label: label.to_owned(),
+            reply,
+        })
+    }
+
+    /// Mint simulation money (see [`Bank::mint`]).
+    pub fn mint(&self, to: AccountId, amount: Credits) -> Result<(), BankError> {
+        self.call(|reply| BankRequest::Mint { to, amount, reply })
+    }
+
+    /// Transfer money (see [`Bank::transfer`]).
+    pub fn transfer(
+        &self,
+        from: AccountId,
+        to: AccountId,
+        amount: Credits,
+    ) -> Result<Receipt, BankError> {
+        self.call(|reply| BankRequest::Transfer {
+            from,
+            to,
+            amount,
+            reply,
+        })
+    }
+
+    /// Account balance (see [`Bank::balance`]).
+    pub fn balance(&self, id: AccountId) -> Result<Credits, BankError> {
+        self.call(|reply| BankRequest::Balance { id, reply })
+    }
+
+    /// Verify a receipt signature (see [`Bank::verify_receipt`]).
+    pub fn verify_receipt(&self, receipt: &Receipt) -> bool {
+        self.call(|reply| BankRequest::VerifyReceipt {
+            receipt: receipt.clone(),
+            reply,
+        })
+    }
+
+    /// Total credits across accounts (see [`Bank::total_money`]).
+    pub fn total_money(&self) -> Credits {
+        self.call(|reply| BankRequest::TotalMoney { reply })
+    }
+}
+
+// ---------------------------------------------------------- auctioneer
+
+enum AuctionRequest {
+    PlaceBid {
+        user: UserId,
+        rate: f64,
+        escrow: Credits,
+        reply: Sender<BidHandle>,
+    },
+    CancelBid {
+        handle: BidHandle,
+        reply: Sender<Option<Credits>>,
+    },
+    TopUp {
+        handle: BidHandle,
+        extra: Credits,
+        reply: Sender<bool>,
+    },
+    UpdateRate {
+        handle: BidHandle,
+        rate: f64,
+        reply: Sender<bool>,
+    },
+    Quote {
+        user: UserId,
+        reply: Sender<(f64, f64)>, // (spot price, others' rate)
+    },
+    Allocate {
+        dt_secs: f64,
+        reply: Sender<Vec<Allocation>>,
+    },
+    Earned {
+        reply: Sender<Credits>,
+    },
+    Shutdown,
+}
+
+/// Handle to one host's auctioneer service.
+#[derive(Clone)]
+pub struct AuctioneerClient {
+    host: HostId,
+    tx: Sender<AuctionRequest>,
+}
+
+struct AuctioneerService {
+    handle: Option<JoinHandle<Auctioneer>>,
+    tx: Sender<AuctionRequest>,
+}
+
+impl AuctioneerService {
+    fn spawn(spec: HostSpec) -> AuctioneerService {
+        let (tx, rx) = unbounded::<AuctionRequest>();
+        let name = format!("tycoon-{}", spec.id);
+        let handle = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || {
+                let mut auctioneer = Auctioneer::new(spec);
+                while let Ok(req) = rx.recv() {
+                    match req {
+                        AuctionRequest::PlaceBid {
+                            user,
+                            rate,
+                            escrow,
+                            reply,
+                        } => {
+                            let _ = reply.send(auctioneer.place_bid(user, rate, escrow));
+                        }
+                        AuctionRequest::CancelBid { handle, reply } => {
+                            let _ = reply.send(auctioneer.cancel_bid(handle));
+                        }
+                        AuctionRequest::TopUp {
+                            handle,
+                            extra,
+                            reply,
+                        } => {
+                            let _ = reply.send(auctioneer.top_up(handle, extra));
+                        }
+                        AuctionRequest::UpdateRate { handle, rate, reply } => {
+                            let _ = reply.send(auctioneer.update_rate(handle, rate));
+                        }
+                        AuctionRequest::Quote { user, reply } => {
+                            let _ = reply
+                                .send((auctioneer.spot_price(), auctioneer.others_rate(user)));
+                        }
+                        AuctionRequest::Allocate { dt_secs, reply } => {
+                            let _ = reply.send(auctioneer.allocate(dt_secs));
+                        }
+                        AuctionRequest::Earned { reply } => {
+                            let _ = reply.send(auctioneer.earned());
+                        }
+                        AuctionRequest::Shutdown => break,
+                    }
+                }
+                auctioneer
+            })
+            .expect("spawn auctioneer service");
+        AuctioneerService {
+            handle: Some(handle),
+            tx,
+        }
+    }
+}
+
+impl AuctioneerClient {
+    fn call<T>(&self, make: impl FnOnce(Sender<T>) -> AuctionRequest) -> T {
+        let (reply, rx) = bounded(1);
+        self.tx.send(make(reply)).expect("auctioneer service gone");
+        rx.recv().expect("auctioneer dropped reply")
+    }
+
+    /// The host this client talks to.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Place a bid (see [`Auctioneer::place_bid`]).
+    pub fn place_bid(&self, user: UserId, rate: f64, escrow: Credits) -> BidHandle {
+        self.call(|reply| AuctionRequest::PlaceBid {
+            user,
+            rate,
+            escrow,
+            reply,
+        })
+    }
+
+    /// Cancel a bid, refunding the remaining escrow.
+    pub fn cancel_bid(&self, handle: BidHandle) -> Option<Credits> {
+        self.call(|reply| AuctionRequest::CancelBid { handle, reply })
+    }
+
+    /// Add escrow to a live bid.
+    pub fn top_up(&self, handle: BidHandle, extra: Credits) -> bool {
+        self.call(|reply| AuctionRequest::TopUp {
+            handle,
+            extra,
+            reply,
+        })
+    }
+
+    /// Change a live bid's rate.
+    pub fn update_rate(&self, handle: BidHandle, rate: f64) -> bool {
+        self.call(|reply| AuctionRequest::UpdateRate { handle, rate, reply })
+    }
+
+    /// `(spot price, others' rate for user)` in one round trip.
+    pub fn quote(&self, user: UserId) -> (f64, f64) {
+        self.call(|reply| AuctionRequest::Quote { user, reply })
+    }
+
+    /// Run one allocation interval.
+    pub fn allocate(&self, dt_secs: f64) -> Vec<Allocation> {
+        self.call(|reply| AuctionRequest::Allocate { dt_secs, reply })
+    }
+
+    /// Host income so far.
+    pub fn earned(&self) -> Credits {
+        self.call(|reply| AuctionRequest::Earned { reply })
+    }
+}
+
+// ------------------------------------------------------------- market
+
+/// A market whose bank and auctioneers run as concurrent services.
+pub struct LiveMarket {
+    bank: BankService,
+    auctioneers: Vec<(HostId, AuctioneerService)>,
+}
+
+impl LiveMarket {
+    /// Spawn a live market: one bank service and one auctioneer service
+    /// per host.
+    pub fn spawn(seed: &[u8], hosts: Vec<HostSpec>) -> LiveMarket {
+        let bank = BankService::spawn(Bank::new(seed));
+        let auctioneers = hosts
+            .into_iter()
+            .map(|spec| (spec.id, AuctioneerService::spawn(spec)))
+            .collect();
+        LiveMarket { bank, auctioneers }
+    }
+
+    /// A bank client.
+    pub fn bank(&self) -> BankClient {
+        self.bank.client()
+    }
+
+    /// A client for one host's auctioneer.
+    pub fn auctioneer(&self, host: HostId) -> Option<AuctioneerClient> {
+        self.auctioneers
+            .iter()
+            .find(|(id, _)| *id == host)
+            .map(|(id, svc)| AuctioneerClient {
+                host: *id,
+                tx: svc.tx.clone(),
+            })
+    }
+
+    /// All hosts.
+    pub fn host_ids(&self) -> Vec<HostId> {
+        self.auctioneers.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Scatter-gather allocation tick: every auctioneer allocates
+    /// concurrently; results return in deterministic host order.
+    pub fn tick(&self, dt_secs: f64) -> Vec<(HostId, Vec<Allocation>)> {
+        // Scatter.
+        let pending: Vec<(HostId, crossbeam::channel::Receiver<Vec<Allocation>>)> = self
+            .auctioneers
+            .iter()
+            .map(|(id, svc)| {
+                let (reply, rx) = bounded(1);
+                svc.tx
+                    .send(AuctionRequest::Allocate { dt_secs, reply })
+                    .expect("auctioneer service gone");
+                (*id, rx)
+            })
+            .collect();
+        // Gather in host order.
+        pending
+            .into_iter()
+            .map(|(id, rx)| (id, rx.recv().expect("allocation reply")))
+            .collect()
+    }
+
+    /// Shut all services down, recovering the bank for inspection.
+    pub fn shutdown(mut self) -> Bank {
+        for (_, svc) in self.auctioneers.iter_mut() {
+            let _ = svc.tx.send(AuctionRequest::Shutdown);
+        }
+        for (_, svc) in self.auctioneers.iter_mut() {
+            if let Some(h) = svc.handle.take() {
+                let _ = h.join();
+            }
+        }
+        self.bank.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_crypto::Keypair;
+
+    fn specs(n: u32) -> Vec<HostSpec> {
+        (0..n).map(HostSpec::testbed).collect()
+    }
+
+    #[test]
+    fn bank_service_round_trips() {
+        let live = LiveMarket::spawn(b"svc", specs(1));
+        let bank = live.bank();
+        let key = Keypair::from_seed(b"svc-user").public;
+        let a = bank.open_account(key, "a");
+        let b = bank.open_account(key, "b");
+        bank.mint(a, Credits::from_whole(100)).unwrap();
+        let receipt = bank.transfer(a, b, Credits::from_whole(30)).unwrap();
+        assert!(bank.verify_receipt(&receipt));
+        assert_eq!(bank.balance(a).unwrap(), Credits::from_whole(70));
+        assert_eq!(bank.balance(b).unwrap(), Credits::from_whole(30));
+        assert_eq!(bank.total_money(), Credits::from_whole(100));
+        let recovered = live.shutdown();
+        assert_eq!(recovered.total_money(), Credits::from_whole(100));
+    }
+
+    #[test]
+    fn auctioneer_service_allocates_like_local() {
+        let live = LiveMarket::spawn(b"svc2", specs(1));
+        let client = live.auctioneer(HostId(0)).unwrap();
+        let h1 = client.place_bid(UserId(1), 0.3, Credits::from_whole(100));
+        let _h2 = client.place_bid(UserId(2), 0.1, Credits::from_whole(100));
+
+        // Mirror locally.
+        let mut local = Auctioneer::new(HostSpec::testbed(0));
+        let l1 = local.place_bid(UserId(1), 0.3, Credits::from_whole(100));
+        let _l2 = local.place_bid(UserId(2), 0.1, Credits::from_whole(100));
+
+        let (spot, others) = client.quote(UserId(1));
+        assert_eq!(spot, local.spot_price());
+        assert_eq!(others, local.others_rate(UserId(1)));
+
+        let remote = client.allocate(10.0);
+        let here = local.allocate(10.0);
+        assert_eq!(remote, here, "service boundary changed allocation");
+
+        assert!(client.top_up(h1, Credits::from_whole(5)));
+        assert!(local.top_up(l1, Credits::from_whole(5)));
+        assert!(client.update_rate(h1, 0.5));
+        assert!(local.update_rate(l1, 0.5));
+        assert_eq!(client.allocate(10.0), local.allocate(10.0));
+        assert_eq!(client.earned(), local.earned());
+
+        assert_eq!(
+            client.cancel_bid(h1),
+            local.cancel_bid(l1),
+            "refunds differ"
+        );
+        live.shutdown();
+    }
+
+    #[test]
+    fn scatter_gather_tick_covers_all_hosts() {
+        let live = LiveMarket::spawn(b"svc3", specs(4));
+        for id in live.host_ids() {
+            let c = live.auctioneer(id).unwrap();
+            c.place_bid(UserId(1), 0.1, Credits::from_whole(10));
+        }
+        let results = live.tick(10.0);
+        assert_eq!(results.len(), 4);
+        for (_, allocs) in &results {
+            assert_eq!(allocs.len(), 1);
+            assert!(allocs[0].share > 0.99);
+        }
+        live.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_do_not_corrupt_state() {
+        let live = LiveMarket::spawn(b"svc4", specs(1));
+        let client = live.auctioneer(HostId(0)).unwrap();
+        let bank = live.bank();
+        let key = Keypair::from_seed(b"conc").public;
+        let acct = bank.open_account(key, "conc");
+        bank.mint(acct, Credits::from_whole(1_000_000)).unwrap();
+
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let c = client.clone();
+                std::thread::spawn(move || {
+                    let mut handles = Vec::new();
+                    for k in 0..50 {
+                        let h = c.place_bid(
+                            UserId(i),
+                            0.01 + k as f64 * 1e-4,
+                            Credits::from_whole(1),
+                        );
+                        handles.push(h);
+                    }
+                    // Cancel half.
+                    let mut refunded = Credits::ZERO;
+                    for h in handles.iter().step_by(2) {
+                        if let Some(r) = c.cancel_bid(*h) {
+                            refunded += r;
+                        }
+                    }
+                    refunded
+                })
+            })
+            .collect();
+        let refunded: Credits = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        // 8 threads × 50 bids × 1 credit deposited; half cancelled before
+        // any allocation → exactly half refunded.
+        assert_eq!(refunded, Credits::from_whole(8 * 25));
+        let allocs = client.allocate(10.0);
+        assert_eq!(allocs.len(), 8 * 25, "remaining bids");
+        live.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_on_drop() {
+        let live = LiveMarket::spawn(b"svc5", specs(2));
+        drop(live); // must not hang
+    }
+
+    #[test]
+    fn live_market_conserves_money_through_bid_lifecycle() {
+        let live = LiveMarket::spawn(b"svc6", specs(2));
+        let bank = live.bank();
+        let key = Keypair::from_seed(b"lm").public;
+        let user_acct = bank.open_account(key, "user");
+        let host_acct = bank.open_account(key, "host0-escrow");
+        bank.mint(user_acct, Credits::from_whole(100)).unwrap();
+
+        // Manual funded-bid flow against the service API.
+        let c = live.auctioneer(HostId(0)).unwrap();
+        bank.transfer(user_acct, host_acct, Credits::from_whole(40))
+            .unwrap();
+        let bid = c.place_bid(UserId(1), 1.0, Credits::from_whole(40));
+        live.tick(10.0); // charges 10
+        let refund = c.cancel_bid(bid).unwrap();
+        assert_eq!(refund, Credits::from_whole(30));
+        bank.transfer(host_acct, user_acct, refund).unwrap();
+        assert_eq!(bank.total_money(), Credits::from_whole(100));
+        assert_eq!(c.earned(), Credits::from_whole(10));
+        live.shutdown();
+    }
+}

@@ -1,0 +1,131 @@
+//! Service Location Service.
+//!
+//! "The Service Location Service … maintains information on available
+//! resources" (§2.2). A deliberately small registry: hosts advertise their
+//! specs; agents query for candidates matching capacity requirements.
+
+use std::collections::BTreeMap;
+
+use crate::host::{HostId, HostSpec};
+
+/// Registry of advertised hosts.
+#[derive(Default)]
+pub struct Sls {
+    hosts: BTreeMap<HostId, HostSpec>,
+}
+
+impl Sls {
+    /// Empty registry.
+    pub fn new() -> Sls {
+        Sls::default()
+    }
+
+    /// Advertise (or re-advertise) a host.
+    pub fn register(&mut self, spec: HostSpec) {
+        self.hosts.insert(spec.id, spec);
+    }
+
+    /// Remove a host from the registry. Returns `true` if it was present.
+    pub fn deregister(&mut self, id: HostId) -> bool {
+        self.hosts.remove(&id).is_some()
+    }
+
+    /// Look up one host.
+    pub fn get(&self, id: HostId) -> Option<&HostSpec> {
+        self.hosts.get(&id)
+    }
+
+    /// All advertised hosts in deterministic id order.
+    pub fn all(&self) -> impl Iterator<Item = &HostSpec> {
+        self.hosts.values()
+    }
+
+    /// All host ids in deterministic order.
+    pub fn host_ids(&self) -> Vec<HostId> {
+        self.hosts.keys().copied().collect()
+    }
+
+    /// Hosts whose single-vCPU capacity is at least `min_mhz`.
+    pub fn with_min_vcpu_mhz(&self, min_mhz: f64) -> Vec<HostId> {
+        self.hosts
+            .values()
+            .filter(|s| s.vcpu_capacity_mhz() >= min_mhz)
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Number of advertised hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True when no hosts are advertised.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Total virtual CPUs advertisable (hosts × the paper's ~15 VM/host
+    /// multiplexing bound; §3 reports 40 physical → 600 virtual).
+    pub fn max_virtual_cpus(&self, vms_per_host: u32) -> u64 {
+        self.hosts.len() as u64 * vms_per_host as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_query() {
+        let mut sls = Sls::new();
+        for i in 0..5 {
+            sls.register(HostSpec::testbed(i));
+        }
+        assert_eq!(sls.len(), 5);
+        assert!(sls.get(HostId(3)).is_some());
+        assert!(sls.get(HostId(9)).is_none());
+        assert_eq!(sls.host_ids(), (0..5).map(HostId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reregister_updates() {
+        let mut sls = Sls::new();
+        sls.register(HostSpec::testbed(0));
+        let mut faster = HostSpec::testbed(0);
+        faster.cpu_mhz = 4000.0;
+        sls.register(faster);
+        assert_eq!(sls.len(), 1);
+        assert_eq!(sls.get(HostId(0)).unwrap().cpu_mhz, 4000.0);
+    }
+
+    #[test]
+    fn deregister() {
+        let mut sls = Sls::new();
+        sls.register(HostSpec::testbed(0));
+        assert!(sls.deregister(HostId(0)));
+        assert!(!sls.deregister(HostId(0)));
+        assert!(sls.is_empty());
+    }
+
+    #[test]
+    fn capacity_filter() {
+        let mut sls = Sls::new();
+        sls.register(HostSpec::testbed(0)); // 2910 MHz vCPU
+        let mut slow = HostSpec::testbed(1);
+        slow.cpu_mhz = 1000.0;
+        sls.register(slow); // 970 MHz vCPU
+        assert_eq!(sls.with_min_vcpu_mhz(2000.0), vec![HostId(0)]);
+        assert_eq!(sls.with_min_vcpu_mhz(100.0).len(), 2);
+        assert!(sls.with_min_vcpu_mhz(10_000.0).is_empty());
+    }
+
+    #[test]
+    fn virtual_cpu_math_matches_paper() {
+        // 40 physical hosts × 15 VMs = 600 virtual CPUs (§3).
+        let mut sls = Sls::new();
+        for i in 0..40 {
+            sls.register(HostSpec::testbed(i));
+        }
+        assert_eq!(sls.max_virtual_cpus(15), 600);
+    }
+}

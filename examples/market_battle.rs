@@ -1,0 +1,122 @@
+//! Scheduler shoot-out: the Tycoon grid market against the baselines the
+//! paper discusses (§2.1, §6) — FIFO batch queue, equal share,
+//! G-commerce commodity market and winner-takes-all auctions — on the
+//! same bag-of-tasks workload.
+//!
+//! ```sh
+//! cargo run --release --example market_battle
+//! ```
+
+use gridmarket::baselines::{
+    jain_fairness, FifoBatchQueue, GCommerceMarket, JobRequest, Placement, ShareScheduler,
+    WinnerTakesAllMarket,
+};
+use gridmarket::des::SimTime;
+use gridmarket::scenario::{Scenario, UserSetup};
+use gridmarket::tycoon::{HostSpec, UserId};
+
+fn main() {
+    let hosts: Vec<HostSpec> = (0..6).map(HostSpec::testbed).collect();
+    // Five jobs: two modest, three well-funded, mirroring Table 2.
+    let fundings = [100.0, 100.0, 500.0, 500.0, 500.0];
+    let jobs: Vec<JobRequest> = fundings
+        .iter()
+        .enumerate()
+        .map(|(i, &budget)| JobRequest {
+            id: i as u32,
+            user: UserId(i as u32 + 1),
+            subjobs: 4,
+            work_per_subjob: 12.0 * 60.0 * 2910.0, // 12 min at a full vCPU
+            arrival: SimTime::from_secs(30 * (i as u64 + 1)),
+            budget,
+            deadline_secs: 5400.0,
+        })
+        .collect();
+    let horizon = SimTime::from_secs(8 * 3600);
+
+    println!("scheduler          makespan(h)  unfinished  fairness(J)  price CoV");
+
+    let fifo = FifoBatchQueue::default().run(&hosts, &jobs, horizon);
+    report("fifo-batch", &fifo);
+
+    let share = ShareScheduler::default().run(&hosts, &jobs, horizon);
+    report("equal-share", &share);
+
+    let rr = ShareScheduler {
+        interval_secs: 10.0,
+        placement: Placement::RoundRobin,
+    }
+    .run(&hosts, &jobs, horizon);
+    report("round-robin", &rr);
+
+    let gc = GCommerceMarket::default().run(&hosts, &jobs, horizon);
+    report("g-commerce", &gc);
+
+    let wta = WinnerTakesAllMarket::default().run(&hosts, &jobs, horizon);
+    report("winner-takes-all", &wta);
+
+    // The Tycoon grid market on the same shape.
+    let mut scenario = Scenario::builder()
+        .seed(7)
+        .hosts(6)
+        .chunk_minutes(12.0)
+        .deadline_minutes(90)
+        .horizon_hours(8);
+    for (i, &f) in fundings.iter().enumerate() {
+        scenario = scenario.user(UserSetup::new(f).subjobs(4).label(&format!("user{}", i + 1)));
+    }
+    let tycoon = scenario.run().expect("tycoon scenario");
+    let makespan = tycoon
+        .users
+        .iter()
+        .map(|u| u.time_hours)
+        .fold(0.0f64, f64::max);
+    let unfinished = tycoon
+        .users
+        .iter()
+        .filter(|u| u.completed_subjobs < u.subjobs)
+        .count();
+    let work_done: Vec<f64> = tycoon
+        .users
+        .iter()
+        .map(|u| u.completed_subjobs as f64)
+        .collect();
+    // Price CoV across host 0's history.
+    let cov = tycoon
+        .price_trace
+        .get("host000")
+        .map(|s| {
+            let xs = s.values();
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+            v.sqrt() / m
+        })
+        .unwrap_or(f64::NAN);
+    println!(
+        "{:<18} {:>11.2} {:>11} {:>12.3} {:>10.2}",
+        "tycoon-market",
+        makespan,
+        unfinished,
+        jain_fairness(&work_done),
+        cov
+    );
+    println!("\n(fairness = Jain index over per-user completed work; CoV = price coefficient of variation)");
+}
+
+fn report(name: &str, r: &gridmarket::baselines::RunResult) {
+    let makespan = r.batch_makespan_secs() / 3600.0;
+    let unfinished = r.outcomes.iter().filter(|o| o.finished_at.is_none()).count();
+    let done: Vec<f64> = r
+        .outcomes
+        .iter()
+        .map(|o| if o.finished_at.is_some() { 1.0 } else { 0.0 })
+        .collect();
+    let cov = r
+        .price_volatility()
+        .map(|c| format!("{c:>10.2}"))
+        .unwrap_or_else(|| format!("{:>10}", "-"));
+    println!(
+        "{name:<18} {makespan:>11.2} {unfinished:>11} {:>12.3} {cov}",
+        jain_fairness(&done)
+    );
+}

@@ -1,0 +1,129 @@
+//! Statistical multiplexing of service and batch workloads (§2.2): "This
+//! is more important for service-oriented applications like web servers
+//! and databases than the typical Grid applications … Sharing the same
+//! infrastructure across these different types of applications allows
+//! better statistical multiplexing."
+//!
+//! A web service holds two instances with a capacity floor while batch
+//! jobs come and go; when heavy batch funding degrades the service's QoS,
+//! the operator boosts the service contract (§3) and QoS recovers.
+//!
+//! ```sh
+//! cargo run --release --example mixed_workload
+//! ```
+
+use gridmarket::des::{SimDuration, SimTime};
+use gridmarket::grid::{
+    AgentConfig, GridIdentity, JobManager, JobSpec, TransferToken, VmConfig,
+};
+use gridmarket::tycoon::{Credits, HostSpec, Market};
+
+fn main() {
+    let mut market = Market::new(b"mixed");
+    for i in 0..2 {
+        market.add_host(HostSpec::testbed(i));
+    }
+    let mut jm = JobManager::new(&mut market, AgentConfig::default(), VmConfig::default());
+
+    // The service operator.
+    let operator = GridIdentity::from_dn("/O=Grid/O=WebCo/CN=operator");
+    let op_acct = market.bank_mut().open_account(operator.public_key(), "operator");
+    market.bank_mut().mint(op_acct, Credits::from_whole(10_000)).unwrap();
+
+    // A batch power-user.
+    let cruncher = GridIdentity::swegrid_user(42);
+    let cr_acct = market.bank_mut().open_account(cruncher.public_key(), "cruncher");
+    market.bank_mut().mint(cr_acct, Credits::from_whole(100_000)).unwrap();
+
+    // 60-minute web-service contract: 2 instances, 2500 MHz floor each.
+    let receipt = market
+        .bank_mut()
+        .transfer(op_acct, jm.broker_account(), Credits::from_whole(50))
+        .unwrap();
+    let token = TransferToken::create(&operator, receipt, operator.dn());
+    let svc_xrsl = format!(
+        "&(executable=\"httpd\")(jobName=\"webshop\")(jobType=\"service\")(serviceMinMhz=\"2500\")(count=2)(cpuTime=\"60\")(transferToken=\"{}\")",
+        token.to_hex()
+    );
+    let svc = jm
+        .submit(&mut market, SimTime::ZERO, &JobSpec::parse(&svc_xrsl, 1.0).unwrap())
+        .expect("service accepted");
+    println!("t=0     web service up: 2 instances, 2500 MHz floor, 60 min contract");
+
+    let dt = SimDuration::from_secs(10);
+    let mut now = SimTime::ZERO;
+    let qos_at = |jm: &JobManager| {
+        jm.job(svc).and_then(|j| j.service_qos()).unwrap_or(1.0)
+    };
+
+    // Quiet phase: 10 minutes alone.
+    for _ in 0..60 {
+        jm.step(&mut market, now);
+        now = now + dt;
+    }
+    println!("t=10min quiet cluster      service QoS so far: {:>5.1}%", qos_at(&jm) * 100.0);
+
+    // Batch storm: a heavily funded crunching job arrives.
+    let receipt = market
+        .bank_mut()
+        .transfer(cr_acct, jm.broker_account(), Credits::from_whole(2_000))
+        .unwrap();
+    let btoken = TransferToken::create(&cruncher, receipt, cruncher.dn());
+    let batch_xrsl = format!(
+        "&(executable=\"crunch\")(jobName=\"mc-sim\")(count=4)(cpuTime=\"60\")(transferToken=\"{}\")",
+        btoken.to_hex()
+    );
+    let batch = jm
+        .submit(&mut market, now, &JobSpec::parse(&batch_xrsl, 2910.0 * 600.0).unwrap())
+        .expect("batch accepted");
+    println!("t=10min batch storm: 4 sub-jobs funded with 2,000 credits arrive");
+
+    for _ in 0..60 {
+        jm.step(&mut market, now);
+        now = now + dt;
+    }
+    let qos_mid = qos_at(&jm);
+    let counts_at_boost = jm.job(svc).unwrap().qos_counts();
+    println!("t=20min under contention   service QoS so far: {:>5.1}%", qos_mid * 100.0);
+
+    // Boost the service (§3: "jobs … may be boosted with additional
+    // funding").
+    let receipt = market
+        .bank_mut()
+        .transfer(op_acct, jm.broker_account(), Credits::from_whole(5_000))
+        .unwrap();
+    let boost = TransferToken::create(&operator, receipt, operator.dn());
+    jm.boost(&mut market, svc, &boost).expect("boost accepted");
+    println!("t=20min operator boosts the service with 5,000 credits");
+
+    for _ in 0..246 {
+        jm.step(&mut market, now);
+        now = now + dt;
+        if jm.all_settled() {
+            break;
+        }
+    }
+    let svc_job = jm.job(svc).unwrap();
+    let batch_job = jm.job(batch).unwrap();
+    let (met_end, total_end) = svc_job.qos_counts();
+    let post_boost_qos = if total_end > counts_at_boost.1 {
+        (met_end - counts_at_boost.0) as f64 / (total_end - counts_at_boost.1) as f64
+    } else {
+        1.0
+    };
+    println!(
+        "t=40min post-boost window  service QoS: {:>5.1}% (recovered)",
+        post_boost_qos * 100.0
+    );
+    println!(
+        "t=end   service {} with QoS {:>5.1}% (spent {});  batch {} ({} of {} sub-jobs, spent {})",
+        svc_job.arc_state(now),
+        svc_job.service_qos().unwrap_or(1.0) * 100.0,
+        svc_job.charged,
+        batch_job.arc_state(now),
+        batch_job.completed_subjobs(),
+        batch_job.subjobs.len(),
+        batch_job.charged,
+    );
+    println!("\n{}", gridmarket::grid::monitor::render_at(&market, &jm, 15, now));
+}

@@ -1,0 +1,109 @@
+//! The price-prediction toolbox from the user's point of view (§4):
+//! "how much money should be spent on funding a job with a specific set
+//! of requirements?"
+//!
+//! ```sh
+//! cargo run --release --example price_advisor
+//! ```
+//!
+//! Generates a market price history, then demonstrates all three
+//! §4 models: normal-distribution budget guarantees, AR(6) forecasting
+//! with spline smoothing, and Markowitz portfolio selection.
+
+use gm_experiments::pricegen::{generate, PriceGenConfig};
+use gridmarket::numeric::spline::lambda_for_window;
+use gridmarket::predict::ar::ArModel;
+use gridmarket::predict::normal::{budget_for_capacity, NormalPriceModel};
+use gridmarket::predict::portfolio::{min_variance_portfolio, ReturnStats};
+use gridmarket::predict::reservation::{price_swing_option, sla_quote};
+use gridmarket::predict::var::guarantee_from_samples;
+use gridmarket::tycoon::HostId;
+
+fn main() {
+    // 6 hours of market history at 30 s snapshots.
+    let cfg = PriceGenConfig::new(6.0, 77);
+    let trace = generate(&cfg);
+    println!("collected {} host price series from the market\n", trace.len());
+
+    // --- 1. Stateless normal model: budget advice (Fig. 3 logic).
+    let host0 = trace.get("host000").expect("host series");
+    let model = NormalPriceModel::from_prices(HostId(0), host0.values(), 2910.0);
+    println!("host000 price: mean {:.6} cr/s, std {:.6} cr/s", model.mean, model.std_dev);
+    for target_mhz in [1000.0, 1600.0, 2500.0] {
+        for p in [0.8, 0.9, 0.99] {
+            match budget_for_capacity(&[model], target_mhz, p) {
+                Some(rate) => println!(
+                    "  want >= {target_mhz:.0} MHz with {:.0}% guarantee -> spend {:.2} cr/day",
+                    p * 100.0,
+                    rate * 86_400.0
+                ),
+                None => println!(
+                    "  want >= {target_mhz:.0} MHz with {:.0}% guarantee -> unachievable on this host",
+                    p * 100.0
+                ),
+            }
+        }
+    }
+
+    // --- 2. AR(6) forecast of the next half hour (Fig. 4 logic).
+    let prices = host0.values();
+    let lambda = lambda_for_window(10);
+    match ArModel::fit(prices, 6, lambda) {
+        Some(ar) => {
+            let horizon = 60; // 30 min at 30 s samples
+            let path = ar.forecast_path(prices, horizon);
+            println!(
+                "\nAR(6) forecast: now {:.6} -> +10min {:.6} -> +30min {:.6} (coeffs {:?})",
+                prices.last().unwrap(),
+                path[horizon / 3 - 1],
+                path[horizon - 1],
+                ar.coeffs().iter().map(|c| (c * 100.0).round() / 100.0).collect::<Vec<_>>()
+            );
+        }
+        None => println!("\nAR model degenerate (flat prices)"),
+    }
+
+    // --- 3. Portfolio selection across hosts (Fig. 5 logic): returns =
+    // capacity delivered per credit (inverse price).
+    let returns: Vec<Vec<f64>> = trace
+        .iter()
+        .map(|(_, s)| s.values().iter().map(|p| 1.0 / p.max(1e-6)).collect())
+        .collect();
+    let stats = ReturnStats::estimate(&returns);
+    match min_variance_portfolio(&stats) {
+        Some(weights) => {
+            println!("\nminimum-variance (\"risk-free\") portfolio across hosts:");
+            for (i, w) in weights.iter().enumerate() {
+                if w.abs() > 0.01 {
+                    println!("  host{i:03}: {:>6.1}%", w * 100.0);
+                }
+            }
+        }
+        None => println!("\ncovariance singular — portfolio undefined"),
+    }
+
+    // --- 4. Value-at-Risk performance floor (the Chun et al. framing
+    // discussed in §4.4): minimal delivered MHz-per-credit with prob P.
+    if let Some(g) = guarantee_from_samples(&returns[0], 0.95) {
+        println!(
+            "\nVaR guarantee for host000 returns: with 95% probability performance stays\n  above {:.1} MHz/credit (expected shortfall when breached: {:.1})",
+            g.floor, g.shortfall
+        );
+    }
+
+    // --- 5. §7 future work: reservations, SLAs and swing options priced
+    // off the same normal model.
+    let work = 2910.0 * 3600.0; // one vCPU-hour of compute
+    if let Some(q) = sla_quote(&model, work, 2.0 * 3600.0, 0.95) {
+        println!(
+            "\nSLA quote: finish 1 vCPU-hour within 2h at 95% -> hold {:.0} MHz for {:.2} credits\n  (breach penalty: {:.2} credits)",
+            q.capacity_mhz, q.price, q.breach_penalty
+        );
+    }
+    if let Some(opt) = price_swing_option(&model, 500.0, 2000.0, 360, 60, 10.0, 0.9) {
+        println!(
+            "swing option: 500 MHz baseline + right to surge to 2000 MHz for 60 of 360\n  intervals -> upfront {:.2} credits, strike {:.4} credits/surge-interval",
+            opt.price, opt.strike_per_interval
+        );
+    }
+}

@@ -1,0 +1,2 @@
+//! Umbrella library for the gridmarket suite: re-exports the facade crate.
+pub use gridmarket::*;

@@ -1,0 +1,133 @@
+//! Cross-crate prediction pipeline: market trace → §4 models.
+
+use gm_experiments::pricegen::{generate, PriceGenConfig};
+use gridmarket::numeric::stats::{RunningStats, SmoothedMoments};
+use gridmarket::predict::ar::{epsilon, naive_epsilon, walk_forward, ArModel, MeanMode};
+use gridmarket::predict::normal::{guaranteed_capacity, NormalPriceModel};
+use gridmarket::predict::portfolio::{min_variance_portfolio, ReturnStats};
+use gridmarket::predict::DualWindowDistribution;
+use gridmarket::tycoon::HostId;
+
+fn trace_prices() -> Vec<Vec<f64>> {
+    let cfg = PriceGenConfig::new(3.0, 4242);
+    let trace = generate(&cfg);
+    trace.iter().map(|(_, s)| s.values().to_vec()).collect()
+}
+
+#[test]
+fn normal_model_guarantees_are_consistent_on_market_data() {
+    let prices = trace_prices();
+    let models: Vec<NormalPriceModel> = prices
+        .iter()
+        .enumerate()
+        .map(|(i, p)| NormalPriceModel::from_prices(HostId(i as u32), p, 2910.0))
+        .collect();
+
+    // Monotone in budget and guarantee on real market data.
+    let budgets = [0.0005, 0.005, 0.05, 0.5];
+    let mut last = 0.0;
+    for b in budgets {
+        let c = guaranteed_capacity(&models, b, 0.9);
+        assert!(c >= last - 1e-9, "capacity not monotone at {b}");
+        last = c;
+    }
+    let c80 = guaranteed_capacity(&models, 0.05, 0.8);
+    let c99 = guaranteed_capacity(&models, 0.05, 0.99);
+    assert!(c80 >= c99);
+    // Never exceeds total capacity.
+    assert!(last <= 2910.0 * models.len() as f64);
+}
+
+#[test]
+fn ar_pipeline_beats_or_matches_naive_on_market_trace() {
+    let prices = &trace_prices()[0];
+    let split = prices.len() / 2;
+    let (train, validate) = prices.split_at(split);
+    let horizon = 10;
+
+    // Model selection on a held-out tail of the training interval, the
+    // way a real forecaster would pick the smoothing penalty.
+    let dev_split = train.len() * 3 / 4;
+    let (fit, dev) = train.split_at(dev_split);
+    let lambdas = [0.0, 10.0, gridmarket::numeric::spline::lambda_for_window(6)];
+    let best = lambdas
+        .iter()
+        .filter_map(|&l| {
+            let m = ArModel::fit(fit, 6, l)?.with_mean_mode(MeanMode::Local(30));
+            let (p, me) = walk_forward(&m, fit, dev, horizon);
+            if p.is_empty() {
+                return None;
+            }
+            Some((l, epsilon(&p, &me)))
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+
+    if let Some((lambda, _)) = best {
+        let model = ArModel::fit(train, 6, lambda)
+            .expect("refit")
+            .with_mean_mode(MeanMode::Local(30));
+        let (preds, meas) = walk_forward(&model, train, validate, horizon);
+        let e_ar = epsilon(&preds, &meas);
+        let e_naive = naive_epsilon(validate, horizon);
+        assert!(e_ar.is_finite() && e_naive.is_finite());
+        assert!(
+            e_ar < e_naive * 1.25,
+            "AR ε {e_ar:.4} (λ={lambda}) should be near naive {e_naive:.4}"
+        );
+    }
+}
+
+#[test]
+fn portfolio_on_market_returns_is_valid() {
+    let prices = trace_prices();
+    let returns: Vec<Vec<f64>> = prices
+        .iter()
+        .map(|s| s.iter().map(|p| 1.0 / p.max(1e-6)).collect())
+        .collect();
+    let stats = ReturnStats::estimate(&returns);
+    if let Some(w) = min_variance_portfolio(&stats) {
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        // Its variance really is minimal vs equal share.
+        let eq = vec![1.0 / w.len() as f64; w.len()];
+        assert!(stats.variance_of(&w) <= stats.variance_of(&eq) + 1e-9);
+    }
+}
+
+#[test]
+fn windowed_stats_track_market_trace() {
+    let prices = &trace_prices()[0];
+    // Smoothed moments over a short window react to recent load.
+    let mut short = SmoothedMoments::new(10);
+    let mut long = SmoothedMoments::new(1000);
+    let mut exact = RunningStats::new();
+    for &p in prices {
+        short.push(p);
+        long.push(p);
+        exact.push(p);
+    }
+    // Long-window smoothed mean approximates the exact mean.
+    let sm = long.mean().unwrap();
+    let em = exact.mean();
+    assert!(
+        (sm - em).abs() < em.abs() * 0.8 + 1e-6,
+        "long window {sm} vs exact {em}"
+    );
+    // Short window tracks the last samples more closely than the long one.
+    let tail_mean: f64 = prices[prices.len() - 10..].iter().sum::<f64>() / 10.0;
+    assert!((short.mean().unwrap() - tail_mean).abs() <= (long.mean().unwrap() - tail_mean).abs() + 1e-6);
+
+    // The dual-window distribution remains a distribution throughout.
+    let mut dw = DualWindowDistribution::new(60, 8, 1e-4);
+    for &p in prices {
+        dw.add(p);
+        let s: f64 = dw.proportions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9 || s == 0.0);
+    }
+}
+
+#[test]
+fn price_models_are_deterministic_across_runs() {
+    let a = trace_prices();
+    let b = trace_prices();
+    assert_eq!(a, b, "trace generation must be deterministic");
+}
