@@ -28,7 +28,7 @@ impl JobRequest {
         if self.subjobs == 0 {
             return Err(format!("job {}: zero subjobs", self.id));
         }
-        if !(self.work_per_subjob > 0.0) {
+        if self.work_per_subjob.is_nan() || self.work_per_subjob <= 0.0 {
             return Err(format!("job {}: non-positive work", self.id));
         }
         Ok(())

@@ -44,7 +44,7 @@ impl FifoBatchQueue {
         let slots_total: usize = hosts.iter().map(|h| h.cpus as usize).sum();
         let vcpu_mhz: Vec<f64> = hosts
             .iter()
-            .flat_map(|h| std::iter::repeat(h.vcpu_capacity_mhz()).take(h.cpus as usize))
+            .flat_map(|h| std::iter::repeat_n(h.vcpu_capacity_mhz(), h.cpus as usize))
             .collect();
         assert!(slots_total > 0, "no slots");
 

@@ -2,11 +2,9 @@
 //! times a scenario variant and prints its outcome metrics once, so the
 //! quality impact is recorded next to the timing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use gm_bench::bench_scenario;
+use gm_bench::{bench_scenario, Harness};
 
 use gm_predict::ar::{epsilon, naive_epsilon, walk_forward, ArModel, MeanMode};
-use std::hint::black_box;
 
 fn summarize(tag: &str, r: &gridmarket::ScenarioResult) {
     let makespan = r.users.iter().map(|u| u.time_hours).fold(0.0f64, f64::max);
@@ -17,30 +15,24 @@ fn summarize(tag: &str, r: &gridmarket::ScenarioResult) {
     );
 }
 
-fn ablate_rebidding(c: &mut Criterion) {
+fn ablate_rebidding(h: &Harness) {
     summarize("rebid=on ", &bench_scenario(true, 9.0));
     summarize("rebid=off", &bench_scenario(false, 9.0));
-    let mut g = c.benchmark_group("ablation_rebid");
-    g.sample_size(10);
-    g.bench_function("rebid_on", |b| b.iter(|| black_box(bench_scenario(true, 9.0))));
-    g.bench_function("rebid_off", |b| b.iter(|| black_box(bench_scenario(false, 9.0))));
-    g.finish();
+    h.bench("ablation_rebid/on", || bench_scenario(true, 9.0));
+    h.bench("ablation_rebid/off", || bench_scenario(false, 9.0));
 }
 
-fn ablate_premium_cap(c: &mut Criterion) {
+fn ablate_premium_cap(h: &Harness) {
     summarize("premium=3   ", &bench_scenario(true, 3.0));
     summarize("premium=9   ", &bench_scenario(true, 9.0));
     summarize("premium=off ", &bench_scenario(true, f64::INFINITY));
-    let mut g = c.benchmark_group("ablation_premium");
-    g.sample_size(10);
-    g.bench_function("premium_3", |b| b.iter(|| black_box(bench_scenario(true, 3.0))));
-    g.bench_function("premium_uncapped", |b| {
-        b.iter(|| black_box(bench_scenario(true, f64::INFINITY)))
+    h.bench("ablation_premium/3", || bench_scenario(true, 3.0));
+    h.bench("ablation_premium/uncapped", || {
+        bench_scenario(true, f64::INFINITY)
     });
-    g.finish();
 }
 
-fn ablate_ar_smoothing(c: &mut Criterion) {
+fn ablate_ar_smoothing(h: &Harness) {
     let cfg = gm_experiments::pricegen::PriceGenConfig::new(3.0, 0xAB1);
     let prices = gm_experiments::pricegen::host0_prices(&cfg);
     let split = prices.len() / 2;
@@ -59,18 +51,15 @@ fn ablate_ar_smoothing(c: &mut Criterion) {
     }
     let model_raw = ArModel::fit(train, 6, 0.0).unwrap();
     let model_smooth = ArModel::fit(train, 6, 81.0).unwrap();
-    let mut g = c.benchmark_group("ablation_ar_smoothing");
-    g.sample_size(10);
-    g.bench_function("walk_forward_raw", |b| {
-        b.iter(|| black_box(walk_forward(&model_raw, train, validate, horizon)))
+    h.bench("ablation_ar/walk_forward_raw", || {
+        walk_forward(&model_raw, train, validate, horizon)
     });
-    g.bench_function("walk_forward_smoothed", |b| {
-        b.iter(|| black_box(walk_forward(&model_smooth, train, validate, horizon)))
+    h.bench("ablation_ar/walk_forward_smoothed", || {
+        walk_forward(&model_smooth, train, validate, horizon)
     });
-    g.finish();
 }
 
-fn ablate_interval(c: &mut Criterion) {
+fn ablate_interval(h: &Harness) {
     use gridmarket::scenario::{Scenario, UserSetup};
     let run = |interval: f64| {
         Scenario::builder()
@@ -88,20 +77,19 @@ fn ablate_interval(c: &mut Criterion) {
     for interval in [10.0, 60.0] {
         let r = run(interval);
         let makespan = r.users.iter().map(|u| u.time_hours).fold(0.0f64, f64::max);
-        eprintln!("[ablation] interval={interval}s: makespan {makespan:.2} h, all done {}", r.all_done());
+        eprintln!(
+            "[ablation] interval={interval}s: makespan {makespan:.2} h, all done {}",
+            r.all_done()
+        );
     }
-    let mut g = c.benchmark_group("ablation_interval");
-    g.sample_size(10);
-    g.bench_function("interval_10s", |b| b.iter(|| black_box(run(10.0))));
-    g.bench_function("interval_60s", |b| b.iter(|| black_box(run(60.0))));
-    g.finish();
+    h.bench("ablation_interval/10s", || run(10.0));
+    h.bench("ablation_interval/60s", || run(60.0));
 }
 
-criterion_group!(
-    benches,
-    ablate_rebidding,
-    ablate_premium_cap,
-    ablate_ar_smoothing,
-    ablate_interval
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::new().samples(10);
+    ablate_rebidding(&h);
+    ablate_premium_cap(&h);
+    ablate_ar_smoothing(&h);
+    ablate_interval(&h);
+}

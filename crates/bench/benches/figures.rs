@@ -1,36 +1,20 @@
-//! Regenerate the paper's Fig. 3–7 (quick scale) under Criterion timing,
-//! printing each figure's reproduced numbers once to stderr.
+//! Regenerate the paper's Fig. 3–7 (quick scale) under timing, printing
+//! each figure's reproduced numbers once to stderr.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gm_bench::Harness;
 use gm_experiments::{fig3, fig4, fig5, fig6, fig7, Scale};
-use std::hint::black_box;
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
     eprintln!("\n{}", fig3::run(Scale::Quick).rendered);
     eprintln!("{}", fig4::run(Scale::Quick).rendered);
     eprintln!("{}", fig5::run(Scale::Quick).rendered);
     eprintln!("{}", fig6::run(Scale::Quick).rendered);
     eprintln!("{}", fig7::run(Scale::Quick).rendered);
 
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.bench_function("fig3_guarantee_curves", |b| {
-        b.iter(|| black_box(fig3::run(Scale::Quick)))
-    });
-    group.bench_function("fig4_ar_forecast", |b| {
-        b.iter(|| black_box(fig4::run(Scale::Quick)))
-    });
-    group.bench_function("fig5_portfolio", |b| {
-        b.iter(|| black_box(fig5::run(Scale::Quick)))
-    });
-    group.bench_function("fig6_price_windows", |b| {
-        b.iter(|| black_box(fig6::run(Scale::Quick)))
-    });
-    group.bench_function("fig7_window_approximation", |b| {
-        b.iter(|| black_box(fig7::run(Scale::Quick)))
-    });
-    group.finish();
+    let h = Harness::new().samples(10);
+    h.bench("fig3_guarantee_curves", || fig3::run(Scale::Quick));
+    h.bench("fig4_ar_forecast", || fig4::run(Scale::Quick));
+    h.bench("fig5_portfolio", || fig5::run(Scale::Quick));
+    h.bench("fig6_price_windows", || fig6::run(Scale::Quick));
+    h.bench("fig7_window_approximation", || fig7::run(Scale::Quick));
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -1,28 +1,18 @@
-//! Regenerate the paper's Table 1 and Table 2 (quick scale) under
-//! Criterion timing. The group rows are printed once to stderr so
-//! `bench_output.txt` captures the reproduced numbers alongside timings.
+//! Regenerate the paper's Table 1 and Table 2 (quick scale) under timing.
+//! The group rows are printed once to stderr so `bench_output.txt`
+//! captures the reproduced numbers alongside timings.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gm_bench::Harness;
 use gm_experiments::{table1, table2, Scale};
-use std::hint::black_box;
 
-fn bench_tables(c: &mut Criterion) {
+fn main() {
     // Print the reproduced tables once.
     let t1 = table1::run(Scale::Quick);
     eprintln!("\n{}", t1.rendered);
     let t2 = table2::run(Scale::Quick);
     eprintln!("{}", t2.rendered);
 
-    let mut group = c.benchmark_group("tables");
-    group.sample_size(10);
-    group.bench_function("table1_equal_funding", |b| {
-        b.iter(|| black_box(table1::run(Scale::Quick)))
-    });
-    group.bench_function("table2_two_point_funding", |b| {
-        b.iter(|| black_box(table2::run(Scale::Quick)))
-    });
-    group.finish();
+    let h = Harness::new().samples(10);
+    h.bench("table1_equal_funding", || table1::run(Scale::Quick));
+    h.bench("table2_two_point_funding", || table2::run(Scale::Quick));
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

@@ -10,9 +10,12 @@
 
 use gm_bio::workload::{fund_token, BioWorkload};
 use gm_bio::{bio_job_xrsl, CHUNK_MINUTES_AT_FULL_CPU};
-use gm_des::{SimDuration, SimTime, Trace};
-use gm_grid::{AgentConfig, GridError, GridIdentity, JobId, JobManager, JobPhase, JobSpec, VmConfig};
-use gm_tycoon::{AccountId, Credits, HostSpec, Market};
+use gm_des::{FaultKind, FaultPlan, SimDuration, SimTime, Trace};
+use gm_grid::{
+    AgentConfig, FaultCounters, GridError, GridIdentity, JobId, JobManager, JobPhase, JobSpec,
+    VmConfig,
+};
+use gm_tycoon::{AccountId, Credits, HostId, HostSpec, Market};
 
 /// Per-user scenario parameters.
 #[derive(Clone, Debug)]
@@ -71,6 +74,7 @@ pub struct Scenario {
     vm: VmConfig,
     interval_secs: f64,
     heterogeneity: f64,
+    faults: FaultPlan,
 }
 
 impl Scenario {
@@ -87,6 +91,7 @@ impl Scenario {
             vm: VmConfig::default(),
             interval_secs: 10.0,
             heterogeneity: 0.0,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -111,10 +116,9 @@ impl Scenario {
     /// Add `n` users with identical funding (Table 1's equal
     /// distribution).
     pub fn equal_users(mut self, n: u32, funding: f64) -> Self {
-        for i in 0..n {
-            self.users.push(
-                UserSetup::new(funding).label(&format!("user{}", self.users.len() + i as usize + 1)),
-            );
+        for _ in 0..n {
+            self.users
+                .push(UserSetup::new(funding).label(&format!("user{}", self.users.len() + 1)));
         }
         self
     }
@@ -167,6 +171,15 @@ impl Scenario {
         self
     }
 
+    /// Inject a fault schedule (see `gm_des::FaultPlan` and DESIGN.md §8).
+    /// Fault targets are interpreted modulo the host count; message
+    /// delay/drop events are no-ops in the deterministic simulation (they
+    /// only have meaning for the live service runtime).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Run the scenario to completion (or the horizon).
     pub fn run(self) -> Result<ScenarioResult, GridError> {
         assert!(!self.users.is_empty(), "scenario needs at least one user");
@@ -206,7 +219,7 @@ impl Scenario {
                 .bank_mut()
                 .mint(account, Credits::from_f64(setup.funding * 10.0 + 1.0))
                 .expect("endowment");
-            t = t + SimDuration::from_secs(setup.stagger_secs);
+            t += SimDuration::from_secs(setup.stagger_secs);
             pending.push(PendingUser {
                 identity,
                 account,
@@ -220,7 +233,34 @@ impl Scenario {
         let dt = SimDuration::from_secs_f64(self.interval_secs);
         let horizon = SimTime::ZERO + SimDuration::from_hours(self.horizon_hours);
         let mut now = SimTime::ZERO;
+        let mut fault_plan = self.faults.clone();
+        let mut faults_injected = 0usize;
         while now < horizon {
+            // Deliver scheduled faults at the interval boundary, before
+            // the agents act on the interval.
+            for ev in fault_plan.take_due(now) {
+                faults_injected += 1;
+                let host = HostId(ev.target % self.hosts.max(1));
+                match ev.kind {
+                    FaultKind::HostCrash => {
+                        if market.crash_host(host).is_ok() {
+                            jm.handle_host_crash(host, now);
+                        }
+                    }
+                    FaultKind::HostRecover => {
+                        let _ = market.recover_host(host);
+                    }
+                    FaultKind::VmFailure => {
+                        let _ = jm.handle_vm_failure_any(host, now);
+                    }
+                    FaultKind::BankOutage => market.set_bank_online(false),
+                    FaultKind::BankRestore => market.set_bank_online(true),
+                    // Only meaningful for the live service runtime; the
+                    // deterministic simulation has no messages to lose
+                    // (DESIGN.md §8).
+                    FaultKind::MessageDelay | FaultKind::MessageDrop => {}
+                }
+            }
             for p in pending.iter_mut() {
                 if p.job.is_none() && now >= p.submit_at {
                     let workload = BioWorkload {
@@ -250,8 +290,11 @@ impl Scenario {
                 }
             }
             jm.step(&mut market, now);
-            now = now + dt;
-            if pending.iter().all(|p| p.job.is_some()) && jm.all_settled() {
+            now += dt;
+            if pending.iter().all(|p| p.job.is_some())
+                && jm.all_settled()
+                && fault_plan.is_exhausted()
+            {
                 break;
             }
         }
@@ -294,6 +337,10 @@ impl Scenario {
             monitor,
             total_money: market.bank().total_money().as_f64(),
             total_minted: market.bank().total_minted().as_f64(),
+            faults_injected,
+            fault_counters: jm.fault_counters(),
+            crashed_hosts_at_end: market.crashed_host_ids().len(),
+            recovery_invariant_ok: jm.recovery_invariant_ok(),
         })
     }
 }
@@ -343,6 +390,16 @@ pub struct ScenarioResult {
     pub total_money: f64,
     /// Total credits ever minted.
     pub total_minted: f64,
+    /// Fault events delivered from the schedule.
+    pub faults_injected: usize,
+    /// The job manager's fault-recovery counters.
+    pub fault_counters: FaultCounters,
+    /// Hosts still offline when the run ended.
+    pub crashed_hosts_at_end: usize,
+    /// Fault-recovery bookkeeping invariant (see
+    /// [`gm_grid::JobManager::recovery_invariant_ok`]): no sub-job was
+    /// both completed and re-dispatched.
+    pub recovery_invariant_ok: bool,
 }
 
 impl ScenarioResult {
@@ -474,5 +531,38 @@ mod tests {
     #[should_panic(expected = "at least one user")]
     fn empty_scenario_rejected() {
         let _ = Scenario::builder().run();
+    }
+
+    #[test]
+    fn faulty_scenario_completes_conserves_and_is_deterministic() {
+        let run = || {
+            let mut plan = FaultPlan::new();
+            plan.host_crash(SimTime::from_secs(300), 0)
+                .host_recover(SimTime::from_secs(2_400), 0)
+                .vm_failure(SimTime::from_secs(500), 1)
+                .bank_outage(SimTime::from_secs(700), SimTime::from_secs(900));
+            small_scenario()
+                .user(UserSetup::new(60.0).subjobs(4))
+                .user(UserSetup::new(120.0).subjobs(4))
+                .faults(plan)
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        assert!(a.all_done(), "jobs must finish despite the faults");
+        assert!(a.money_conserved(), "{} vs {}", a.total_money, a.total_minted);
+        // crash + recover + vm failure + outage start/end.
+        assert_eq!(a.faults_injected, 5);
+        assert_eq!(a.fault_counters.host_crashes, 1);
+        assert_eq!(a.crashed_hosts_at_end, 0);
+        // Byte-identical metrics on a re-run with the same plan.
+        let b = run();
+        assert_eq!(a.finished_at, b.finished_at);
+        assert_eq!(a.fault_counters, b.fault_counters);
+        for (ua, ub) in a.users.iter().zip(&b.users) {
+            assert_eq!(ua.time_hours, ub.time_hours);
+            assert_eq!(ua.charged, ub.charged);
+            assert_eq!(ua.nodes, ub.nodes);
+        }
     }
 }

@@ -1,0 +1,206 @@
+//! Minimal seeded property-testing harness.
+//!
+//! The workspace builds in offline environments, so it cannot rely on an
+//! external property-testing crate. This module provides the small subset
+//! the test suites need: a [`Gen`] that derives arbitrary values from the
+//! kernel's own [`SplitMix64`] stream, and a [`check`] driver that runs a
+//! property over many deterministically-seeded cases and reports the
+//! failing case seed so any counterexample can be replayed exactly.
+//!
+//! ```
+//! use gm_des::check::{check, Gen};
+//!
+//! check("addition_commutes", 64, |g: &mut Gen| {
+//!     let a = g.u64_in(0, 1 << 30);
+//!     let b = g.u64_in(0, 1 << 30);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rng::{Rng64, SplitMix64};
+
+/// Deterministic generator of arbitrary test inputs.
+pub struct Gen {
+    rng: SplitMix64,
+}
+
+impl Gen {
+    /// Generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `u64` in the inclusive range `[lo, hi]`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "u64_in: empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.rng.next_u64();
+        }
+        lo + self.rng.next_bounded(span + 1)
+    }
+
+    /// Uniform `usize` in the inclusive range `[lo, hi]`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `i64` in the inclusive range `[lo, hi]`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "i64_in: empty range");
+        let span = (hi as i128 - lo as i128) as u128;
+        if span >= u64::MAX as u128 {
+            return self.rng.next_u64() as i64;
+        }
+        (lo as i128 + self.rng.next_bounded(span as u64 + 1) as i128) as i64
+    }
+
+    /// Uniform `f64` in the half-open range `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "f64_in: empty range");
+        lo + self.rng.next_f64() * (hi - lo)
+    }
+
+    /// Fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `num / den`.
+    pub fn ratio(&mut self, num: u32, den: u32) -> bool {
+        assert!(den > 0 && num <= den, "ratio: bad probability");
+        self.rng.next_bounded(den as u64) < num as u64
+    }
+
+    /// Pick a uniformly random element of `xs`.
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choose: empty slice");
+        &xs[self.usize_in(0, xs.len() - 1)]
+    }
+
+    /// Vector of `len ∈ [lo, hi]` elements drawn by `f`.
+    pub fn vec_with<T>(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_in(lo, hi);
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// Byte string of `len ∈ [lo, hi]`.
+    pub fn bytes(&mut self, lo: usize, hi: usize) -> Vec<u8> {
+        self.vec_with(lo, hi, |g| g.u64_in(0, 255) as u8)
+    }
+
+    /// Printable-ASCII string of `len ∈ [lo, hi]`.
+    pub fn ascii_string(&mut self, lo: usize, hi: usize) -> String {
+        self.vec_with(lo, hi, |g| g.u64_in(0x20, 0x7e) as u8 as char)
+            .into_iter()
+            .collect()
+    }
+
+    /// Access to the underlying RNG for structured generation.
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+}
+
+/// 64-bit FNV-1a, used to derive a stable per-property base seed.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Seed of case `case` of property `name` (exposed so a failing case can be
+/// replayed in isolation with [`Gen::new`]).
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    fnv1a(name) ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1))
+}
+
+/// Run `prop` across `cases` deterministically-seeded cases.
+///
+/// On failure, the case index and seed are printed before the panic is
+/// re-raised, so the counterexample replays with `Gen::new(seed)`.
+pub fn check(name: &str, cases: u32, mut prop: impl FnMut(&mut Gen)) {
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let mut g = Gen::new(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| prop(&mut g))) {
+            eprintln!(
+                "property '{name}' failed at case {case}/{cases} \
+                 (replay with Gen::new({seed:#018x}))"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Gen::new(7);
+        let mut b = Gen::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut g = Gen::new(42);
+        for _ in 0..1000 {
+            let v = g.u64_in(10, 20);
+            assert!((10..=20).contains(&v));
+            let f = g.f64_in(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = g.i64_in(-5, 5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn check_runs_all_cases() {
+        let mut n = 0;
+        check("counting", 17, |_| n += 1);
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn check_propagates_failures() {
+        check("failing", 4, |g| {
+            let v = g.u64_in(0, 10);
+            assert!(v > 100, "deliberate");
+        });
+    }
+
+    #[test]
+    fn case_seeds_differ() {
+        let a = case_seed("p", 0);
+        let b = case_seed("p", 1);
+        let c = case_seed("q", 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,329 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] is a time-sorted schedule of [`FaultEvent`]s — host
+//! crashes and recoveries, VM failures, message delays/drops, and bank
+//! unavailability windows. Plans are either built explicitly (fixed times,
+//! for regression scenarios) or generated from a seed with
+//! [`FaultPlan::generate`], so chaos runs are byte-reproducible: the same
+//! seed always yields the same schedule, and the consumers downstream
+//! (market, grid, scenario driver) are themselves deterministic.
+//!
+//! The kernel crate knows nothing about hosts or banks; targets are plain
+//! `u32` indices that the layer applying the plan maps onto its own IDs.
+
+use crate::rng::{Rng64, SplitMix64};
+use crate::time::{SimDuration, SimTime};
+
+/// The kind of a scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// A host fails abruptly: its bids are evicted, its VMs die, and any
+    /// subjob running on it is interrupted.
+    HostCrash,
+    /// A previously crashed host rejoins the market (empty, no VMs).
+    HostRecover,
+    /// A single VM on an otherwise healthy host dies.
+    VmFailure,
+    /// A service message is delayed by `target` microseconds (live runtime).
+    MessageDelay,
+    /// A service message is dropped outright (live runtime).
+    MessageDrop,
+    /// The bank becomes unreachable; money movement fails until the paired
+    /// [`FaultKind::BankRestore`].
+    BankOutage,
+    /// The bank comes back online.
+    BankRestore,
+}
+
+/// One scheduled fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulation time at which the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+    /// Target index: host index for host/VM faults, delay in microseconds
+    /// for `MessageDelay`, unused (0) for bank faults.
+    pub target: u32,
+}
+
+/// Parameters for seeded fault-schedule generation.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultGenConfig {
+    /// Number of hosts fault targets are drawn from (indices `0..hosts`).
+    pub hosts: u32,
+    /// Faults are scheduled strictly before this time.
+    pub horizon: SimTime,
+    /// Number of host crash events (each paired with a recovery).
+    pub crashes: u32,
+    /// Mean downtime between a crash and its recovery; actual downtimes are
+    /// jittered uniformly in `[0.5, 1.5] ×` this value.
+    pub mean_downtime: SimDuration,
+    /// Number of standalone VM failures.
+    pub vm_failures: u32,
+    /// Number of bank unavailability windows.
+    pub bank_outages: u32,
+    /// Length of each bank outage window.
+    pub outage_len: SimDuration,
+}
+
+impl Default for FaultGenConfig {
+    fn default() -> Self {
+        FaultGenConfig {
+            hosts: 4,
+            horizon: SimTime::from_secs(4 * 3600),
+            crashes: 2,
+            mean_downtime: SimDuration::from_minutes(30),
+            vm_failures: 2,
+            bank_outages: 1,
+            outage_len: SimDuration::from_minutes(5),
+        }
+    }
+}
+
+/// A deterministic, time-sorted schedule of fault events.
+///
+/// Events are consumed in order via [`FaultPlan::take_due`]; the cursor
+/// never rewinds, so a driver polling once per interval sees every event
+/// exactly once.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// Empty plan (no faults — chaos runs degenerate to normal runs).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Generate a random but fully seed-determined plan.
+    ///
+    /// Per-host crash/recovery windows never overlap: a host that is down
+    /// cannot crash again until after it has recovered. Draws that cannot
+    /// be placed without overlap after a bounded number of retries are
+    /// dropped (the plan then simply contains fewer crashes).
+    pub fn generate(seed: u64, cfg: FaultGenConfig) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::new();
+        if cfg.horizon == SimTime::ZERO {
+            return plan;
+        }
+        let horizon_us = cfg.horizon.as_micros();
+
+        // Host crash + recovery pairs, non-overlapping per host.
+        let mut busy: Vec<Vec<(u64, u64)>> = vec![Vec::new(); cfg.hosts as usize];
+        for _ in 0..cfg.crashes {
+            if cfg.hosts == 0 {
+                break;
+            }
+            for _attempt in 0..16 {
+                let host = rng.next_bounded(cfg.hosts as u64) as u32;
+                let at = rng.next_bounded(horizon_us);
+                let jitter = 0.5 + rng.next_f64();
+                let down = cfg.mean_downtime.mul_f64(jitter).as_micros().max(1);
+                let until = at.saturating_add(down);
+                let lanes = &mut busy[host as usize];
+                if lanes.iter().all(|&(s, e)| until < s || at > e) {
+                    lanes.push((at, until));
+                    plan.push(SimTime::from_micros(at), FaultKind::HostCrash, host);
+                    if until < horizon_us {
+                        plan.push(SimTime::from_micros(until), FaultKind::HostRecover, host);
+                    }
+                    break;
+                }
+            }
+        }
+
+        // Standalone VM failures on any host.
+        for _ in 0..cfg.vm_failures {
+            if cfg.hosts == 0 {
+                break;
+            }
+            let host = rng.next_bounded(cfg.hosts as u64) as u32;
+            let at = rng.next_bounded(horizon_us);
+            plan.push(SimTime::from_micros(at), FaultKind::VmFailure, host);
+        }
+
+        // Bank outage windows.
+        for _ in 0..cfg.bank_outages {
+            let at = rng.next_bounded(horizon_us);
+            let until = at.saturating_add(cfg.outage_len.as_micros().max(1));
+            plan.push(SimTime::from_micros(at), FaultKind::BankOutage, 0);
+            if until < horizon_us {
+                plan.push(SimTime::from_micros(until), FaultKind::BankRestore, 0);
+            }
+        }
+
+        plan.normalize();
+        plan
+    }
+
+    /// Append an event (kept unsorted until the next query; queries sort
+    /// lazily via [`FaultPlan::normalize`]).
+    pub fn push(&mut self, at: SimTime, kind: FaultKind, target: u32) -> &mut Self {
+        assert_eq!(self.cursor, 0, "cannot extend a plan already being consumed");
+        self.events.push(FaultEvent { at, kind, target });
+        self
+    }
+
+    /// Schedule a host crash at `at`.
+    pub fn host_crash(&mut self, at: SimTime, host: u32) -> &mut Self {
+        self.push(at, FaultKind::HostCrash, host)
+    }
+
+    /// Schedule a host recovery at `at`.
+    pub fn host_recover(&mut self, at: SimTime, host: u32) -> &mut Self {
+        self.push(at, FaultKind::HostRecover, host)
+    }
+
+    /// Schedule a single-VM failure at `at`.
+    pub fn vm_failure(&mut self, at: SimTime, host: u32) -> &mut Self {
+        self.push(at, FaultKind::VmFailure, host)
+    }
+
+    /// Schedule a bank outage over `[from, until)`.
+    pub fn bank_outage(&mut self, from: SimTime, until: SimTime) -> &mut Self {
+        self.push(from, FaultKind::BankOutage, 0);
+        self.push(until, FaultKind::BankRestore, 0)
+    }
+
+    /// Sort events by `(time, kind, target)`. Called automatically by
+    /// [`FaultPlan::generate`] and [`FaultPlan::take_due`].
+    pub fn normalize(&mut self) {
+        self.events.sort_by_key(|e| (e.at, e.kind, e.target));
+    }
+
+    /// All scheduled events in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// True if every event has been consumed (or none were scheduled).
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consume and return every not-yet-consumed event with `at <= now`.
+    pub fn take_due(&mut self, now: SimTime) -> Vec<FaultEvent> {
+        if self.cursor == 0 {
+            self.normalize();
+        }
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].at <= now {
+            self.cursor += 1;
+        }
+        self.events[start..self.cursor].to_vec()
+    }
+
+    /// Rewind the consumption cursor so the plan can be replayed.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let cfg = FaultGenConfig::default();
+        let a = FaultPlan::generate(0xfeed, cfg);
+        let b = FaultPlan::generate(0xfeed, cfg);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(0xbeef, cfg);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn generated_events_are_sorted_and_in_horizon() {
+        let cfg = FaultGenConfig {
+            hosts: 8,
+            crashes: 10,
+            vm_failures: 10,
+            bank_outages: 3,
+            ..FaultGenConfig::default()
+        };
+        let plan = FaultPlan::generate(7, cfg);
+        let evs = plan.events();
+        assert!(!evs.is_empty());
+        for w in evs.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for e in evs {
+            assert!(e.at < cfg.horizon);
+            match e.kind {
+                FaultKind::HostCrash | FaultKind::HostRecover | FaultKind::VmFailure => {
+                    assert!(e.target < cfg.hosts)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn crash_windows_do_not_overlap_per_host() {
+        let cfg = FaultGenConfig {
+            hosts: 2,
+            crashes: 12,
+            mean_downtime: SimDuration::from_minutes(60),
+            ..FaultGenConfig::default()
+        };
+        let plan = FaultPlan::generate(99, cfg);
+        // Replaying crash/recover events per host must alternate: a host
+        // that is down never crashes again before recovering.
+        let mut down = [false; 2];
+        for e in plan.events() {
+            match e.kind {
+                FaultKind::HostCrash => {
+                    assert!(!down[e.target as usize], "host {} crashed twice", e.target);
+                    down[e.target as usize] = true;
+                }
+                FaultKind::HostRecover => {
+                    assert!(down[e.target as usize]);
+                    down[e.target as usize] = false;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn take_due_consumes_in_order_exactly_once() {
+        let mut plan = FaultPlan::new();
+        plan.host_crash(SimTime::from_secs(50), 1)
+            .vm_failure(SimTime::from_secs(10), 0)
+            .bank_outage(SimTime::from_secs(20), SimTime::from_secs(30));
+
+        let first = plan.take_due(SimTime::from_secs(25));
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].kind, FaultKind::VmFailure);
+        assert_eq!(first[1].kind, FaultKind::BankOutage);
+
+        let second = plan.take_due(SimTime::from_secs(25));
+        assert!(second.is_empty(), "same poll must not re-deliver");
+
+        let third = plan.take_due(SimTime::from_secs(100));
+        assert_eq!(third.len(), 2);
+        assert_eq!(third[0].kind, FaultKind::BankRestore);
+        assert_eq!(third[1].kind, FaultKind::HostCrash);
+        assert!(plan.is_exhausted());
+
+        plan.reset();
+        assert_eq!(plan.remaining(), 4);
+    }
+
+    #[test]
+    fn empty_plan_is_quiet() {
+        let mut plan = FaultPlan::new();
+        assert!(plan.take_due(SimTime::MAX).is_empty());
+        assert!(plan.is_exhausted());
+    }
+}

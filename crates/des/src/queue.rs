@@ -198,13 +198,12 @@ mod tests {
         assert!(q.is_empty());
     }
 
-    proptest::proptest! {
-        /// Whatever the schedule order, pops come out sorted by (time,
-        /// insertion order) with cancelled ids absent.
-        #[test]
-        fn pops_are_sorted_and_respect_cancellation(
-            entries in proptest::collection::vec((0u64..100, proptest::bool::ANY), 1..60)
-        ) {
+    /// Whatever the schedule order, pops come out sorted by (time,
+    /// insertion order) with cancelled ids absent.
+    #[test]
+    fn pops_are_sorted_and_respect_cancellation() {
+        crate::check::check("pops_are_sorted_and_respect_cancellation", 256, |g| {
+            let entries = g.vec_with(1, 59, |g| (g.u64_in(0, 99), g.bool()));
             let mut q = EventQueue::new();
             let mut ids = Vec::new();
             for (secs, cancel) in &entries {
@@ -224,22 +223,25 @@ mod tests {
             while let Some((time, id, _)) = q.pop() {
                 got.push((time.as_micros() / 1_000_000, id.raw()));
             }
-            proptest::prop_assert_eq!(got, expected);
-        }
+            assert_eq!(got, expected);
+        });
+    }
 
-        /// `peek_time` always equals the time of the next `pop`.
-        #[test]
-        fn peek_matches_pop(times in proptest::collection::vec(0u64..50, 1..40)) {
+    /// `peek_time` always equals the time of the next `pop`.
+    #[test]
+    fn peek_matches_pop() {
+        crate::check::check("peek_matches_pop", 256, |g| {
+            let times = g.vec_with(1, 39, |g| g.u64_in(0, 49));
             let mut q = EventQueue::new();
             for &s in &times {
                 q.push(t(s), ());
             }
             while let Some(peek) = q.peek_time() {
                 let (popped, _, _) = q.pop().expect("peek implies pop");
-                proptest::prop_assert_eq!(peek, popped);
+                assert_eq!(peek, popped);
             }
-            proptest::prop_assert!(q.is_empty());
-        }
+            assert!(q.is_empty());
+        });
     }
 
     #[test]

@@ -136,7 +136,7 @@ impl Pcg32 {
 
     /// Create from a single seed (stream 0), convenient for tests.
     pub fn seed_from_u64(seed: u64) -> Self {
-        Pcg32::new(seed, 0xA02B_DBF7_BB3C_0A7)
+        Pcg32::new(seed, 0x0A02_BDBF_7BB3_C0A7)
     }
 
     #[inline]

@@ -25,7 +25,7 @@ impl Series {
     /// Record `value` at `time`. Times must be non-decreasing.
     pub fn push(&mut self, time: SimTime, value: f64) {
         debug_assert!(
-            self.times.last().map_or(true, |&t| t <= time),
+            self.times.last().is_none_or(|&t| t <= time),
             "series time went backwards"
         );
         self.times.push(time);

@@ -1,12 +1,12 @@
-//! # gm-exec — work-stealing thread pool
+//! # gm-exec — thread pool
 //!
 //! The "live" execution substrate. Experiments run on the deterministic
 //! simulator, but the example binaries really execute the bioinformatics
 //! kernel (`gm-bio`), and that is a trivially parallel bag-of-tasks — the
 //! exact workload shape the paper targets. This crate provides the pool
-//! that runs it: a classic work-stealing design (per-worker
-//! `crossbeam::deque::Worker` + global `Injector`, LIFO locally, FIFO
-//! steals) in the style the Rayon guide describes.
+//! that runs it: a fixed set of workers draining a shared FIFO run queue,
+//! built entirely on `std::sync` so the workspace carries no external
+//! runtime dependencies.
 //!
 //! ```
 //! use gm_exec::ThreadPool;

@@ -1,36 +1,36 @@
-//! Work-stealing thread pool.
+//! Shared-queue thread pool.
 //!
-//! Layout: one `crossbeam::deque::Worker` per thread (LIFO for cache
-//! locality), a global `Injector` for external submissions, and each worker
-//! holding `Stealer`s for every sibling. Idle workers spin briefly, then
-//! park on a condition variable; submissions wake one sleeper.
+//! Layout: a single global `Mutex<VecDeque>` run queue with a condition
+//! variable for parking idle workers. The bag-of-tasks workloads this crate
+//! serves (bioinformatics chunk sweeps, scenario fan-out) submit coarse
+//! tasks, so a contended global queue is not the bottleneck; the trade-off
+//! buys dependency-free portability (std-only primitives).
 //!
 //! Panics inside tasks are caught per-task; `par_map` re-raises the first
 //! one after all tasks settle, so a poisoned run cannot deadlock `wait`.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-
-use crossbeam::deque::{Injector, Stealer, Worker};
-use parking_lot::{Condvar, Mutex};
 
 use crate::wait_group::WaitGroup;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+struct Queue {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
 struct Shared {
-    injector: Injector<Task>,
-    stealers: Vec<Stealer<Task>>,
-    shutdown: AtomicBool,
-    sleepers: Mutex<usize>,
+    queue: Mutex<Queue>,
     wakeup: Condvar,
     executed: AtomicUsize,
 }
 
-/// A fixed-size work-stealing thread pool.
+/// A fixed-size thread pool over a shared run queue.
 pub struct ThreadPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
@@ -44,25 +44,21 @@ impl ThreadPool {
     /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "thread pool needs at least one thread");
-        let workers: Vec<Worker<Task>> = (0..threads).map(|_| Worker::new_lifo()).collect();
-        let stealers: Vec<Stealer<Task>> = workers.iter().map(Worker::stealer).collect();
         let shared = Arc::new(Shared {
-            injector: Injector::new(),
-            stealers,
-            shutdown: AtomicBool::new(false),
-            sleepers: Mutex::new(0),
+            queue: Mutex::new(Queue {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
             wakeup: Condvar::new(),
             executed: AtomicUsize::new(0),
         });
 
-        let handles = workers
-            .into_iter()
-            .enumerate()
-            .map(|(idx, local)| {
+        let handles = (0..threads)
+            .map(|idx| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("gm-exec-{idx}"))
-                    .spawn(move || worker_loop(idx, local, shared))
+                    .spawn(move || worker_loop(shared))
                     .expect("failed to spawn pool thread")
             })
             .collect();
@@ -94,12 +90,10 @@ impl ThreadPool {
 
     /// Submit a task for asynchronous execution.
     pub fn execute(&self, f: impl FnOnce() + Send + 'static) {
-        self.shared.injector.push(Box::new(f));
-        // Wake one sleeping worker, if any.
-        let sleepers = self.shared.sleepers.lock();
-        if *sleepers > 0 {
-            self.shared.wakeup.notify_one();
-        }
+        let mut q = self.shared.queue.lock().unwrap();
+        q.tasks.push_back(Box::new(f));
+        drop(q);
+        self.shared.wakeup.notify_one();
     }
 
     /// Map `f` over `items` in parallel, preserving order.
@@ -175,66 +169,34 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
         {
-            let _guard = self.shared.sleepers.lock();
-            self.shared.wakeup.notify_all();
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
         }
+        self.shared.wakeup.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-fn worker_loop(index: usize, local: Worker<Task>, shared: Arc<Shared>) {
+fn worker_loop(shared: Arc<Shared>) {
     loop {
-        if let Some(task) = find_task(index, &local, &shared) {
-            let _ = catch_unwind(AssertUnwindSafe(task));
-            shared.executed.fetch_add(1, Ordering::Relaxed);
-            continue;
-        }
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        // Nothing found: park until a submission arrives.
-        let mut sleepers = shared.sleepers.lock();
-        // Re-check under the lock to avoid a lost wakeup between the failed
-        // find_task and the park.
-        if !shared.injector.is_empty() || shared.shutdown.load(Ordering::SeqCst) {
-            continue;
-        }
-        *sleepers += 1;
-        shared.wakeup.wait(&mut sleepers);
-        *sleepers -= 1;
-    }
-}
-
-fn find_task(index: usize, local: &Worker<Task>, shared: &Shared) -> Option<Task> {
-    if let Some(t) = local.pop() {
-        return Some(t);
-    }
-    // Drain a batch from the injector into the local queue.
-    loop {
-        match shared.injector.steal_batch_and_pop(local) {
-            crossbeam::deque::Steal::Success(t) => return Some(t),
-            crossbeam::deque::Steal::Retry => continue,
-            crossbeam::deque::Steal::Empty => break,
-        }
-    }
-    // Steal from siblings.
-    for (i, stealer) in shared.stealers.iter().enumerate() {
-        if i == index {
-            continue;
-        }
-        loop {
-            match stealer.steal() {
-                crossbeam::deque::Steal::Success(t) => return Some(t),
-                crossbeam::deque::Steal::Retry => continue,
-                crossbeam::deque::Steal::Empty => break,
+        let task = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(t) = q.tasks.pop_front() {
+                    break t;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.wakeup.wait(q).unwrap();
             }
-        }
+        };
+        let _ = catch_unwind(AssertUnwindSafe(task));
+        shared.executed.fetch_add(1, Ordering::Relaxed);
     }
-    None
 }
 
 #[cfg(test)]
@@ -289,9 +251,9 @@ mod tests {
         let ids2 = Arc::clone(&ids);
         pool.par_map((0..64).collect::<Vec<u32>>(), move |_| {
             std::thread::sleep(std::time::Duration::from_millis(2));
-            ids2.lock().insert(std::thread::current().id());
+            ids2.lock().unwrap().insert(std::thread::current().id());
         });
-        assert!(ids.lock().len() > 1, "only one worker ran tasks");
+        assert!(ids.lock().unwrap().len() > 1, "only one worker ran tasks");
     }
 
     #[test]

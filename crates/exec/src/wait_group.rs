@@ -1,8 +1,6 @@
-//! A counting wait group (Go-style) built on `parking_lot`.
+//! A counting wait group (Go-style) built on `std::sync` primitives.
 
-use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 struct Inner {
     count: Mutex<usize>,
@@ -35,7 +33,7 @@ impl WaitGroup {
 
     /// Increment the outstanding-task count by `n`.
     pub fn add(&self, n: usize) {
-        *self.inner.count.lock() += n;
+        *self.inner.count.lock().unwrap() += n;
     }
 
     /// Mark one task complete.
@@ -43,7 +41,7 @@ impl WaitGroup {
     /// # Panics
     /// Panics if called more times than `add` accounted for.
     pub fn done(&self) {
-        let mut c = self.inner.count.lock();
+        let mut c = self.inner.count.lock().unwrap();
         assert!(*c > 0, "WaitGroup::done without matching add");
         *c -= 1;
         if *c == 0 {
@@ -53,15 +51,15 @@ impl WaitGroup {
 
     /// Block until the count reaches zero.
     pub fn wait(&self) {
-        let mut c = self.inner.count.lock();
+        let mut c = self.inner.count.lock().unwrap();
         while *c > 0 {
-            self.inner.cv.wait(&mut c);
+            c = self.inner.cv.wait(c).unwrap();
         }
     }
 
     /// Current outstanding count (racy; for diagnostics only).
     pub fn pending(&self) -> usize {
-        *self.inner.count.lock()
+        *self.inner.count.lock().unwrap()
     }
 }
 

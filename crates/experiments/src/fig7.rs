@@ -38,6 +38,9 @@ pub struct Fig7 {
     pub rendered: String,
 }
 
+/// A boxed sampler drawing one value from a price distribution.
+type BoxedSampler = Box<dyn Fn(&mut Pcg32) -> f64>;
+
 /// Run the experiment.
 pub fn run(scale: Scale) -> Fig7 {
     let (window, slots) = match scale {
@@ -46,7 +49,7 @@ pub fn run(scale: Scale) -> Fig7 {
     };
     let mut rng = Pcg32::new(0xF167, 7);
 
-    let cases: Vec<(&'static str, Box<dyn Fn(&mut Pcg32) -> f64>)> = vec![
+    let cases: Vec<(&'static str, BoxedSampler)> = vec![
         ("Norm(0.5,0.15)", {
             let d = Normal::new(0.5, 0.15);
             Box::new(move |r: &mut Pcg32| d.sample(r).max(0.0))

@@ -125,7 +125,7 @@ pub fn generate(cfg: &PriceGenConfig) -> Trace {
             }
         }
         jm.step(&mut market, now);
-        now = now + dt;
+        now += dt;
     }
     market.price_trace().clone()
 }

@@ -32,7 +32,10 @@ pub mod xrsl;
 
 pub use datatransfer::{Locality, StagedFile, TransferModel};
 pub use identity::GridIdentity;
-pub use manager::{AgentConfig, GridError, Job, JobId, JobKind, JobManager, JobPhase, JobSpec, SubJob};
+pub use manager::{
+    AgentConfig, FaultCounters, GridError, Job, JobId, JobKind, JobManager, JobPhase, JobSpec,
+    RetryPolicy, SubJob,
+};
 pub use metascheduler::{MetaScheduler, RoutedJob};
 pub use token::{TokenError, TokenRegistry, TransferToken};
 pub use vm::{Vm, VmConfig, VmId, VmManager, VmState};

@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 
 use gm_des::{SimDuration, SimTime};
 use gm_tycoon::{
-    best_response, AccountId, BidHandle, Credits, HostId, Market, UserId,
+    best_response, AccountId, BidHandle, Credits, HostId, Market, MarketError, UserId,
 };
 
 use crate::datatransfer::{StagedFile, TransferModel};
@@ -113,6 +113,59 @@ impl From<ParseError> for GridError {
     }
 }
 
+/// Capped-retry / exponential-backoff policy for re-dispatching subjobs
+/// interrupted by host or VM failures.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Consecutive failed re-dispatch rounds a job tolerates before it is
+    /// marked `Stalled` (a boost revives it, like fund exhaustion).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each consecutive failure.
+    pub backoff_base: SimDuration,
+    /// Upper bound on the backoff delay.
+    pub backoff_cap: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            backoff_base: SimDuration::from_secs(10),
+            backoff_cap: SimDuration::from_minutes(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay after `failures` consecutive failed rounds
+    /// (`failures >= 1`): `base × 2^(failures−1)`, capped.
+    pub fn delay_after(&self, failures: u32) -> SimDuration {
+        let exp = failures.saturating_sub(1).min(32);
+        let us = self
+            .backoff_base
+            .as_micros()
+            .saturating_mul(1u64 << exp);
+        SimDuration::from_micros(us.min(self.backoff_cap.as_micros()))
+    }
+}
+
+/// Cumulative fault-handling counters of a [`JobManager`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Host crashes handled.
+    pub host_crashes: u64,
+    /// Single-VM failures handled.
+    pub vm_failures: u64,
+    /// Subjobs interrupted mid-run and returned to the pending queue.
+    pub subjobs_interrupted: u64,
+    /// Interrupted subjobs successfully re-dispatched onto a host.
+    pub redispatched: u64,
+    /// Re-dispatch rounds that could not place every pending subjob.
+    pub redispatch_rounds_failed: u64,
+    /// Jobs stalled after exhausting the retry budget.
+    pub jobs_stalled_by_faults: u64,
+}
+
 /// Tuning knobs of the scheduling agent.
 #[derive(Clone, Copy, Debug)]
 pub struct AgentConfig {
@@ -134,6 +187,8 @@ pub struct AgentConfig {
     /// spend more than roughly $60/day"). Unspent budget stays in the
     /// sub-account and is refunded.
     pub max_share_premium: f64,
+    /// Re-dispatch policy for failure recovery.
+    pub retry: RetryPolicy,
 }
 
 impl Default for AgentConfig {
@@ -145,6 +200,7 @@ impl Default for AgentConfig {
             rebid: true,
             transfer: TransferModel::default(),
             max_share_premium: 9.0,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -168,6 +224,14 @@ pub struct SubJob {
     pub finished_at: Option<SimTime>,
     /// When the sub-job was first assigned to a host.
     pub started_at: Option<SimTime>,
+    /// Times this sub-job was assigned to a host (1 for a fault-free run).
+    pub dispatches: u32,
+    /// Times this sub-job was interrupted by a failure and re-queued.
+    /// Invariant: a finished sub-job has `dispatches == requeues + 1` —
+    /// every interruption was re-dispatched exactly once and completion
+    /// happened on the final dispatch (a sub-job is never both completed
+    /// and re-dispatched).
+    pub requeues: u32,
 }
 
 impl SubJob {
@@ -230,6 +294,14 @@ pub struct Job {
     /// Service QoS counters: (instance-intervals meeting the floor,
     /// instance-intervals observed). Always (0, 0) for batch jobs.
     qos: (u64, u64),
+    /// Set by the fault handlers: sub-jobs were interrupted (or initial
+    /// placement failed) and the re-dispatch machinery should run.
+    needs_redispatch: bool,
+    /// Consecutive re-dispatch rounds in which the job could make no
+    /// progress at all (nothing running, nothing placeable).
+    retry_failures: u32,
+    /// Earliest time of the next re-dispatch attempt (exponential backoff).
+    retry_after: Option<SimTime>,
 }
 
 impl Job {
@@ -396,6 +468,7 @@ pub struct JobManager {
     next_job: u64,
     next_user: u32,
     config: AgentConfig,
+    faults: FaultCounters,
     /// Hosts this agent replica is partitioned onto (`None` = all hosts,
     /// the single-agent deployment). See §3: "the agent itself can be
     /// replicated and partitioned to pick up a different set of compute
@@ -420,8 +493,28 @@ impl JobManager {
             next_job: 0,
             next_user: 1,
             config,
+            faults: FaultCounters::default(),
             partition: None,
         }
+    }
+
+    /// Cumulative fault-handling counters.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+    }
+
+    /// Check the fault-recovery bookkeeping invariant across every job: a
+    /// finished sub-job has `dispatches == requeues + 1` (it is never both
+    /// completed and re-dispatched), and an unfinished sub-job is either
+    /// waiting (`dispatches == requeues`) or assigned (`requeues + 1`).
+    pub fn recovery_invariant_ok(&self) -> bool {
+        self.jobs.values().flat_map(|j| &j.subjobs).all(|sj| {
+            if sj.finished_at.is_some() {
+                sj.dispatches == sj.requeues + 1
+            } else {
+                sj.dispatches == sj.requeues || sj.dispatches == sj.requeues + 1
+            }
+        })
     }
 
     /// Restrict this agent replica to a partition of the hosts (§3
@@ -512,7 +605,7 @@ impl JobManager {
             .or_else(|| xrsl.get_str("walltime"))
             .and_then(parse_duration_secs)
             .ok_or_else(|| GridError::BadDescription("missing/invalid cpuTime".into()))?;
-        if !(spec.work_mhz_secs_per_subjob > 0.0) {
+        if spec.work_mhz_secs_per_subjob.is_nan() || spec.work_mhz_secs_per_subjob <= 0.0 {
             return Err(GridError::BadDescription("non-positive work per sub-job".into()));
         }
         let kind = match xrsl.get_str("jobtype").map(str::to_ascii_lowercase).as_deref() {
@@ -569,6 +662,8 @@ impl JobManager {
                 stage_out_until: None,
                 finished_at: None,
                 started_at: None,
+                dispatches: 0,
+                requeues: 0,
             })
             .collect();
 
@@ -595,6 +690,9 @@ impl JobManager {
             stage_out,
             kind,
             qos: (0, 0),
+            needs_redispatch: false,
+            retry_failures: 0,
+            retry_after: None,
         };
 
         self.place_initial_bids(market, now, &mut job)?;
@@ -623,6 +721,11 @@ impl JobManager {
         if job.phase == JobPhase::Stalled {
             job.phase = JobPhase::Running;
             job.finished_at = None;
+            // Revived jobs get a fresh retry budget and an immediate
+            // re-dispatch round for any sub-jobs left pending.
+            job.needs_redispatch = true;
+            job.retry_failures = 0;
+            job.retry_after = None;
         }
         Ok(())
     }
@@ -650,7 +753,15 @@ impl JobManager {
             if !escrow.is_positive() {
                 continue;
             }
-            let bid = market.place_funded_bid(job.user, job.sub_account, host, host_rate, escrow)?;
+            let Ok(bid) =
+                market.place_funded_bid(job.user, job.sub_account, host, host_rate, escrow)
+            else {
+                // Bank outage (or a host lost between quote and bid):
+                // recover through the re-dispatch path instead of failing
+                // the whole submission with the token already consumed.
+                job.needs_redispatch = true;
+                continue;
+            };
             job.slots.push(Slot {
                 host,
                 bid: Some(bid),
@@ -660,7 +771,10 @@ impl JobManager {
         }
         // Assign sub-jobs to slots.
         for slot_idx in 0..job.slots.len() {
-            Self::start_next_subjob(&mut self.vms, job, slot_idx, now);
+            Self::start_next_subjob(&mut self.vms, &mut self.faults, job, slot_idx, now);
+        }
+        if job.slots.is_empty() {
+            job.needs_redispatch = true;
         }
         Ok(())
     }
@@ -668,6 +782,7 @@ impl JobManager {
     /// Start the next pending sub-job on slot `slot_idx`, if any.
     fn start_next_subjob(
         vms: &mut VmManager,
+        faults: &mut FaultCounters,
         job: &mut Job,
         slot_idx: usize,
         now: SimTime,
@@ -683,9 +798,17 @@ impl JobManager {
         let ready = vms.acquire(host, job.user, &job.envs, now);
         let compute_ready = ready.max(now) + job.stage_in;
         let sj = &mut job.subjobs[sj_idx];
+        debug_assert!(!sj.is_finished(), "finished sub-job must never be dispatched");
+        if sj.dispatches > 0 {
+            // Only fault-requeued sub-jobs are ever dispatched twice.
+            faults.redispatched += 1;
+        }
+        sj.dispatches += 1;
         sj.host = Some(host);
         sj.compute_ready = Some(compute_ready);
-        sj.started_at = Some(now);
+        if sj.started_at.is_none() {
+            sj.started_at = Some(now);
+        }
         job.slots[slot_idx].subjob = Some(sj_idx);
         true
     }
@@ -699,6 +822,9 @@ impl JobManager {
             let mut job = self.jobs.remove(&id).expect("job exists");
             if job.phase == JobPhase::Running {
                 self.finalize_staged_out(market, &mut job, now);
+                if job.phase == JobPhase::Running {
+                    self.redispatch(market, &mut job, now);
+                }
                 if job.phase == JobPhase::Running {
                     self.rebalance(market, &mut job, now, interval);
                     // Concurrency sample for the Nodes metric.
@@ -736,21 +862,38 @@ impl JobManager {
             };
             if job.subjobs[sj_idx].is_finished() {
                 job.slots[slot_idx].subjob = None;
-                if !Self::start_next_subjob(&mut self.vms, job, slot_idx, now) {
+                if !Self::start_next_subjob(&mut self.vms, &mut self.faults, job, slot_idx, now) {
                     // No pending work: cancel the bid, refund escrow.
+                    // During a bank outage the refund cannot move, so keep
+                    // the handle and retry next interval — no lost funds.
                     if let Some(bid) = job.slots[slot_idx].bid.take() {
                         let host = job.slots[slot_idx].host;
-                        let _ = market.cancel_bid(host, bid, job.sub_account);
+                        if let Err(MarketError::BankUnavailable) =
+                            market.cancel_bid(host, bid, job.sub_account)
+                        {
+                            job.slots[slot_idx].bid = Some(bid);
+                        }
                     }
                 }
             }
         }
-        // Job completion: every sub-job finished.
+        // Job completion: every sub-job finished. All escrows must be
+        // recoverable first; a bank outage defers completion to a later
+        // interval rather than stranding escrow at the hosts.
         if job.subjobs.iter().all(|s| s.is_finished()) {
+            let mut escrows_clear = true;
             for slot in &mut job.slots {
                 if let Some(bid) = slot.bid.take() {
-                    let _ = market.cancel_bid(slot.host, bid, job.sub_account);
+                    if let Err(MarketError::BankUnavailable) =
+                        market.cancel_bid(slot.host, bid, job.sub_account)
+                    {
+                        slot.bid = Some(bid);
+                        escrows_clear = false;
+                    }
                 }
+            }
+            if !escrows_clear {
+                return;
             }
             let balance = market.bank().balance(job.sub_account).unwrap_or(Credits::ZERO);
             if balance.is_positive() {
@@ -767,6 +910,201 @@ impl JobManager {
                     .unwrap_or(now),
             );
         }
+    }
+
+    /// One failure-recovery round for `job`: fill idle slots from the
+    /// pending queue, then open new slots on surviving hosts for sub-jobs
+    /// a fault sent back to the queue. Rounds are gated by the job's
+    /// exponential backoff; after [`RetryPolicy::max_retries`] consecutive
+    /// rounds with no progress possible at all the job is stalled (a boost
+    /// revives it, like fund exhaustion).
+    fn redispatch(&mut self, market: &mut Market, job: &mut Job, now: SimTime) {
+        if !job.needs_redispatch {
+            return;
+        }
+        if job.retry_after.is_some_and(|t| now < t) {
+            return;
+        }
+        fn pending(job: &Job) -> usize {
+            job.subjobs
+                .iter()
+                .filter(|s| s.host.is_none() && !s.is_finished())
+                .count()
+        }
+        if pending(job) == 0 {
+            job.needs_redispatch = false;
+            job.retry_failures = 0;
+            job.retry_after = None;
+            return;
+        }
+        // Fill slots that idled before the fault hit (their bids were
+        // cancelled; rebalance re-places bids for occupied slots).
+        for slot_idx in 0..job.slots.len() {
+            if job.slots[slot_idx].subjob.is_none() {
+                Self::start_next_subjob(&mut self.vms, &mut self.faults, job, slot_idx, now);
+            }
+        }
+        // Open new slots on surviving hosts for what is left.
+        let left = pending(job);
+        let room = self.config.max_nodes.saturating_sub(job.slots.len());
+        if left > 0 && room > 0 {
+            let taken: Vec<HostId> = job.slots.iter().map(|s| s.host).collect();
+            let candidates: Vec<HostId> = self
+                .eligible_hosts(market)
+                .into_iter()
+                .filter(|h| market.is_host_online(*h) && !taken.contains(h))
+                .collect();
+            let balance = market.bank().balance(job.sub_account).unwrap_or(Credits::ZERO);
+            if !candidates.is_empty() && balance.is_positive() {
+                // Deadline-aware re-plan: spread the remaining budget
+                // (crash refunds flowed back here) over the remaining time.
+                let horizon = job.deadline.since(now).as_secs_f64().max(market.interval_secs());
+                let rate = balance.as_f64() / horizon;
+                let quotes = market.quotes_for(job.user, &candidates);
+                let bids =
+                    capped_bids(&quotes, rate, left.min(room), self.config.max_share_premium);
+                let interval = market.interval_secs();
+                for (host, host_rate) in bids {
+                    let escrow = Credits::from_f64(host_rate * interval * ESCROW_INTERVALS)
+                        .min(market.bank().balance(job.sub_account).unwrap_or(Credits::ZERO));
+                    if !escrow.is_positive() {
+                        continue;
+                    }
+                    let Ok(bid) = market.place_funded_bid(
+                        job.user,
+                        job.sub_account,
+                        host,
+                        host_rate,
+                        escrow,
+                    ) else {
+                        continue;
+                    };
+                    job.slots.push(Slot {
+                        host,
+                        bid: Some(bid),
+                        rate: host_rate,
+                        subjob: None,
+                    });
+                    let slot_idx = job.slots.len() - 1;
+                    Self::start_next_subjob(&mut self.vms, &mut self.faults, job, slot_idx, now);
+                }
+            }
+        }
+        if job.slots.iter().any(|s| s.subjob.is_some()) {
+            // Progress is possible again; remaining pending sub-jobs are
+            // absorbed as slots free up (the normal path), but keep trying
+            // to widen onto new hosts while any are queued.
+            job.retry_failures = 0;
+            job.retry_after = None;
+            job.needs_redispatch = pending(job) > 0;
+        } else {
+            self.faults.redispatch_rounds_failed += 1;
+            job.retry_failures += 1;
+            if job.retry_failures > self.config.retry.max_retries {
+                self.faults.jobs_stalled_by_faults += 1;
+                job.phase = JobPhase::Stalled;
+                job.finished_at = Some(now);
+                job.retry_after = None;
+            } else {
+                job.retry_after = Some(now + self.config.retry.delay_after(job.retry_failures));
+            }
+        }
+    }
+
+    /// React to a host crash. Call **after** [`Market::crash_host`], which
+    /// evicts the host's bids and refunds their escrows to the paying
+    /// sub-accounts. This cleans up the manager's side of the failure:
+    /// kills the VMs, drops the host's slots, and re-queues interrupted
+    /// sub-jobs — keeping their completed work but discarding any
+    /// unfinished stage-out (outputs on the crashed host are lost) — for
+    /// re-dispatch onto surviving hosts at the next `pre_tick`. Returns
+    /// the number of sub-jobs interrupted.
+    pub fn handle_host_crash(&mut self, host: HostId, _now: SimTime) -> usize {
+        self.faults.host_crashes += 1;
+        self.vms.fail_host(host);
+        let mut interrupted = 0usize;
+        for job in self.jobs.values_mut() {
+            let mut hit = false;
+            for slot in &mut job.slots {
+                if slot.host != host {
+                    continue;
+                }
+                hit = true;
+                // The market evicted the bid and refunded its escrow when
+                // the host crashed; only the handle is left to forget.
+                slot.bid = None;
+                if let Some(sj_idx) = slot.subjob.take() {
+                    let sj = &mut job.subjobs[sj_idx];
+                    debug_assert!(!sj.is_finished(), "finished sub-job still held a slot");
+                    if !sj.is_finished() {
+                        sj.host = None;
+                        sj.compute_ready = None;
+                        sj.stage_out_until = None;
+                        sj.requeues += 1;
+                        interrupted += 1;
+                    }
+                }
+            }
+            job.slots.retain(|s| s.host != host);
+            if hit && job.phase == JobPhase::Running {
+                job.needs_redispatch = true;
+                job.retry_after = None;
+            }
+        }
+        self.faults.subjobs_interrupted += interrupted as u64;
+        interrupted
+    }
+
+    /// React to a single-VM failure on a live host: the sub-job running in
+    /// `user`'s VM there is interrupted and re-queued, and the slot — whose
+    /// bid is still valid — immediately restarts a pending sub-job in a
+    /// fresh VM (full boot + stage-in). Returns `true` when a VM was
+    /// actually killed.
+    pub fn handle_vm_failure(&mut self, host: HostId, user: UserId, now: SimTime) -> bool {
+        if !self.vms.fail_vm(host, user) {
+            return false;
+        }
+        self.faults.vm_failures += 1;
+        for job in self.jobs.values_mut() {
+            if job.user != user {
+                continue;
+            }
+            for slot_idx in 0..job.slots.len() {
+                if job.slots[slot_idx].host != host {
+                    continue;
+                }
+                let Some(sj_idx) = job.slots[slot_idx].subjob.take() else {
+                    continue;
+                };
+                let sj = &mut job.subjobs[sj_idx];
+                if sj.is_finished() {
+                    job.slots[slot_idx].subjob = Some(sj_idx);
+                    continue;
+                }
+                sj.host = None;
+                sj.compute_ready = None;
+                sj.stage_out_until = None;
+                sj.requeues += 1;
+                self.faults.subjobs_interrupted += 1;
+                Self::start_next_subjob(&mut self.vms, &mut self.faults, job, slot_idx, now);
+            }
+        }
+        true
+    }
+
+    /// Fault-injection convenience when a schedule names only a host: fail
+    /// the VM of the first (lowest job id) sub-job assigned on `host`.
+    /// Returns the affected user, or `None` when nothing ran there.
+    pub fn handle_vm_failure_any(&mut self, host: HostId, now: SimTime) -> Option<UserId> {
+        let user = self
+            .jobs
+            .values()
+            .find(|j| {
+                j.phase == JobPhase::Running
+                    && j.slots.iter().any(|s| s.host == host && s.subjob.is_some())
+            })
+            .map(|j| j.user)?;
+        self.handle_vm_failure(host, user, now).then_some(user)
     }
 
     fn rebalance(&mut self, market: &mut Market, job: &mut Job, now: SimTime, interval: f64) {
@@ -944,6 +1282,11 @@ impl JobManager {
         if job.phase == JobPhase::Done || job.phase == JobPhase::Cancelled {
             return Ok(Credits::ZERO);
         }
+        // A kill both cancels bids and refunds; during a bank outage
+        // neither can settle, so refuse rather than half-cancel.
+        if !market.bank_is_online() {
+            return Err(GridError::Market(MarketError::BankUnavailable));
+        }
         for slot in &mut job.slots {
             if let Some(bid) = slot.bid.take() {
                 let _ = market.cancel_bid(slot.host, bid, job.sub_account);
@@ -1029,7 +1372,7 @@ mod tests {
         let horizon = SimTime::ZERO + SimDuration::from_hours(max_hours);
         while now < horizon {
             w.jm.step(&mut w.market, now);
-            now = now + dt;
+            now += dt;
             if w.jm.all_settled() {
                 break;
             }
@@ -1107,7 +1450,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         for _ in 0..5 {
             w.jm.step(&mut w.market, now);
-            now = now + SimDuration::from_secs(10);
+            now += SimDuration::from_secs(10);
         }
         let refund = w.jm.cancel_job(&mut w.market, id, now).unwrap();
         assert!(refund.is_positive());
@@ -1334,7 +1677,7 @@ mod tests {
         let mut now = t;
         for _ in 0..2000 {
             w.jm.step(&mut w.market, now);
-            now = now + SimDuration::from_secs(10);
+            now += SimDuration::from_secs(10);
             if w.jm.all_settled() {
                 break;
             }
@@ -1417,5 +1760,193 @@ mod tests {
                 "rich {t_rich:?} should finish no later than poor {t_poor:?}"
             );
         }
+    }
+
+    #[test]
+    fn host_crash_requeues_and_completes_on_survivors() {
+        let mut w = world(4, 10_000);
+        let spec = make_spec(&mut w, 2_000, 8, 600);
+        let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+        let minted = w.market.bank().total_money();
+
+        // Run five minutes, then crash host 0 for good.
+        let mut now = SimTime::ZERO;
+        let dt = SimDuration::from_secs(10);
+        for _ in 0..30 {
+            w.jm.step(&mut w.market, now);
+            now += dt;
+        }
+        let report = w.market.crash_host(HostId(0)).unwrap();
+        let interrupted = w.jm.handle_host_crash(HostId(0), now);
+        assert!(!report.evicted.is_empty(), "a bid was live on host 0");
+        assert_eq!(interrupted, 1, "one sub-job was computing on host 0");
+
+        while now < SimTime::ZERO + SimDuration::from_hours(12) {
+            w.jm.step(&mut w.market, now);
+            now += dt;
+            if w.jm.all_settled() {
+                break;
+            }
+        }
+        let job = w.jm.job(id).unwrap();
+        assert_eq!(job.phase, JobPhase::Done);
+        for sj in &job.subjobs {
+            assert!(sj.is_finished());
+            // Every interruption was re-dispatched exactly once and the
+            // sub-job completed on its final dispatch.
+            assert_eq!(sj.dispatches, sj.requeues + 1, "subjob {}", sj.index);
+            if sj.requeues > 0 {
+                assert_ne!(sj.host, Some(HostId(0)), "re-dispatched onto a survivor");
+            }
+        }
+        let fc = w.jm.fault_counters();
+        assert_eq!(fc.host_crashes, 1);
+        assert_eq!(fc.subjobs_interrupted, 1);
+        assert_eq!(fc.redispatched, 1);
+        // Crash refunds + completion refund: not a credit lost or minted.
+        assert_eq!(w.market.bank().total_money(), minted);
+        assert_eq!(
+            w.market.bank().balance(job.sub_account).unwrap(),
+            Credits::ZERO
+        );
+    }
+
+    #[test]
+    fn vm_failure_restarts_subjob_in_place() {
+        let mut w = world(2, 10_000);
+        let spec = make_spec(&mut w, 1_000, 2, 600);
+        let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+        let minted = w.market.bank().total_money();
+
+        let mut now = SimTime::ZERO;
+        let dt = SimDuration::from_secs(10);
+        for _ in 0..30 {
+            w.jm.step(&mut w.market, now);
+            now += dt;
+        }
+        let user = w.jm.job(id).unwrap().user;
+        assert!(w.jm.handle_vm_failure(HostId(0), user, now));
+
+        while now < SimTime::ZERO + SimDuration::from_hours(12) {
+            w.jm.step(&mut w.market, now);
+            now += dt;
+            if w.jm.all_settled() {
+                break;
+            }
+        }
+        let job = w.jm.job(id).unwrap();
+        assert_eq!(job.phase, JobPhase::Done);
+        let restarted: Vec<_> = job.subjobs.iter().filter(|s| s.requeues > 0).collect();
+        assert_eq!(restarted.len(), 1);
+        assert_eq!(restarted[0].dispatches, 2);
+        // The bid survived the VM failure, so the restart stayed local.
+        assert_eq!(restarted[0].host, Some(HostId(0)));
+        let fc = w.jm.fault_counters();
+        assert_eq!(fc.vm_failures, 1);
+        assert_eq!(fc.host_crashes, 0);
+        assert_eq!(w.market.bank().total_money(), minted);
+    }
+
+    #[test]
+    fn bank_outage_defers_completion_without_losing_refunds() {
+        let mut w = world(2, 1_000);
+        let spec = make_spec(&mut w, 500, 1, 60);
+        let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+
+        // Take the bank down mid-run; the job computes and stages out but
+        // cannot settle (escrow cancel + refund need the bank).
+        let mut now = SimTime::ZERO;
+        let dt = SimDuration::from_secs(10);
+        for k in 0.. {
+            if k == 30 {
+                w.market.set_bank_online(false);
+            }
+            w.jm.step(&mut w.market, now);
+            now += dt;
+            if w.jm.all_settled() || k > 720 {
+                break;
+            }
+        }
+        assert_eq!(w.jm.job(id).unwrap().phase, JobPhase::Running);
+        // Killing the job during the outage is refused, not half-done.
+        assert!(matches!(
+            w.jm.cancel_job(&mut w.market, id, now),
+            Err(GridError::Market(MarketError::BankUnavailable))
+        ));
+
+        // Bank comes back: bids are re-funded, compute resumes, the job
+        // settles.
+        w.market.set_bank_online(true);
+        for _ in 0..720 {
+            w.jm.step(&mut w.market, now);
+            now += dt;
+            if w.jm.all_settled() {
+                break;
+            }
+        }
+        let job = w.jm.job(id).unwrap();
+        assert_eq!(job.phase, JobPhase::Done);
+        let balance = w.market.bank().balance(w.user_acct).unwrap();
+        assert_eq!(balance, Credits::from_whole(1000) - job.charged);
+        assert_eq!(w.market.bank().total_money(), Credits::from_whole(1000));
+    }
+
+    #[test]
+    fn all_hosts_down_stalls_after_retry_budget_then_recovery_revives() {
+        let mut w = world(2, 10_000);
+        let spec = make_spec(&mut w, 1_000, 2, 6_000);
+        let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+        let minted = w.market.bank().total_money();
+
+        let mut now = SimTime::ZERO;
+        let dt = SimDuration::from_secs(10);
+        for _ in 0..12 {
+            w.jm.step(&mut w.market, now);
+            now += dt;
+        }
+        // Lose the whole cluster.
+        for h in [HostId(0), HostId(1)] {
+            w.market.crash_host(h).unwrap();
+            w.jm.handle_host_crash(h, now);
+        }
+        // With nothing to run on, the retry budget (~30 min of backoff)
+        // eventually stalls the job.
+        for _ in 0..360 {
+            w.jm.step(&mut w.market, now);
+            now += dt;
+            if w.jm.all_settled() {
+                break;
+            }
+        }
+        assert_eq!(w.jm.job(id).unwrap().phase, JobPhase::Stalled);
+        assert!(w.jm.fault_counters().jobs_stalled_by_faults >= 1);
+        // All escrow was refunded at crash time: conservation holds and
+        // the sub-account still owns its unspent budget.
+        assert_eq!(w.market.bank().total_money(), minted);
+
+        // Hosts come back; a boost revives and the job completes.
+        for h in [HostId(0), HostId(1)] {
+            w.market.recover_host(h).unwrap();
+        }
+        let receipt = w
+            .market
+            .bank_mut()
+            .transfer(w.user_acct, w.jm.broker_account(), Credits::from_whole(100))
+            .unwrap();
+        let boost_token = TransferToken::create(&w.user, receipt, w.user.dn());
+        w.jm.boost(&mut w.market, id, &boost_token).unwrap();
+        while now < SimTime::ZERO + SimDuration::from_hours(24) {
+            w.jm.step(&mut w.market, now);
+            now += dt;
+            if w.jm.all_settled() {
+                break;
+            }
+        }
+        let job = w.jm.job(id).unwrap();
+        assert_eq!(job.phase, JobPhase::Done);
+        for sj in &job.subjobs {
+            assert_eq!(sj.dispatches, sj.requeues + 1, "subjob {}", sj.index);
+        }
+        assert_eq!(w.market.bank().total_money(), minted);
     }
 }

@@ -254,7 +254,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         for _ in 0..2000 {
             w.ms.step(&mut w.market, now);
-            now = now + SimDuration::from_secs(10);
+            now += SimDuration::from_secs(10);
             if w.ms.all_settled() {
                 break;
             }

@@ -78,6 +78,7 @@ pub struct VmManager {
     vms: BTreeMap<(HostId, UserId), Vm>,
     next_id: u64,
     total_created: u64,
+    total_failed: u64,
 }
 
 impl VmManager {
@@ -88,6 +89,7 @@ impl VmManager {
             vms: BTreeMap::new(),
             next_id: 0,
             total_created: 0,
+            total_failed: 0,
         }
     }
 
@@ -190,6 +192,39 @@ impl VmManager {
         self.vms
             .retain(|_, vm| !(now.since(vm.last_used) > max_idle && vm.ready_at <= now));
         before - self.vms.len()
+    }
+
+    /// Kill every VM on a crashed host (any state). Returns the owning
+    /// users of the destroyed VMs in deterministic order — the job layer
+    /// uses this to find the subjobs that just lost their machine. The
+    /// next `acquire` on the host pays a full boot again.
+    pub fn fail_host(&mut self, host: HostId) -> Vec<UserId> {
+        let users: Vec<UserId> = self
+            .vms
+            .keys()
+            .filter(|(h, _)| *h == host)
+            .map(|(_, u)| *u)
+            .collect();
+        for u in &users {
+            self.vms.remove(&(host, *u));
+        }
+        self.total_failed += users.len() as u64;
+        users
+    }
+
+    /// Kill a single VM (fault injection: VM-level failure while the host
+    /// stays up). Returns `true` if one existed.
+    pub fn fail_vm(&mut self, host: HostId, user: UserId) -> bool {
+        let existed = self.vms.remove(&(host, user)).is_some();
+        if existed {
+            self.total_failed += 1;
+        }
+        existed
+    }
+
+    /// Total VMs destroyed by injected failures (host crashes included).
+    pub fn total_failed(&self) -> u64 {
+        self.total_failed
     }
 
     /// Live VMs on one host.
@@ -325,6 +360,34 @@ mod tests {
         let ready = m.acquire(HostId(0), UserId(1), &[], t);
         assert_eq!(ready, t + SimDuration::from_secs(60));
         assert_eq!(m.total_created(), 3);
+    }
+
+    #[test]
+    fn fail_host_kills_every_vm_on_it() {
+        let mut m = mgr();
+        m.acquire(HostId(0), UserId(1), &[], SimTime::ZERO);
+        m.acquire(HostId(0), UserId(2), &[], SimTime::ZERO);
+        m.acquire(HostId(1), UserId(1), &[], SimTime::ZERO);
+        let victims = m.fail_host(HostId(0));
+        assert_eq!(victims, vec![UserId(1), UserId(2)]);
+        assert_eq!(m.vms_on_host(HostId(0)), 0);
+        assert_eq!(m.vms_on_host(HostId(1)), 1);
+        assert_eq!(m.total_failed(), 2);
+        // Recreation after the crash pays a full boot.
+        let t = SimTime::from_secs(100);
+        let ready = m.acquire(HostId(0), UserId(1), &[], t);
+        assert_eq!(ready, t + SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn fail_vm_kills_only_that_vm() {
+        let mut m = mgr();
+        m.acquire(HostId(0), UserId(1), &[], SimTime::ZERO);
+        m.acquire(HostId(0), UserId(2), &[], SimTime::ZERO);
+        assert!(m.fail_vm(HostId(0), UserId(1)));
+        assert!(!m.fail_vm(HostId(0), UserId(1)), "already dead");
+        assert_eq!(m.live_vms(), 1);
+        assert_eq!(m.total_failed(), 1);
     }
 
     #[test]

@@ -75,13 +75,13 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "mul_vec dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, out_r) in out.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            out[r] = acc;
+            *out_r = acc;
         }
         out
     }
@@ -267,8 +267,8 @@ impl Lu {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut acc = b[self.perm[i]];
-            for j in 0..i {
-                acc -= self.lu[i * n + j] * y[j];
+            for (j, yj) in y.iter().enumerate().take(i) {
+                acc -= self.lu[i * n + j] * yj;
             }
             y[i] = acc;
         }
@@ -276,8 +276,8 @@ impl Lu {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[i * n + j] * x[j];
+            for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                acc -= self.lu[i * n + j] * xj;
             }
             x[i] = acc / self.lu[i * n + i];
         }

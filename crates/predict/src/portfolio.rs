@@ -39,8 +39,8 @@ impl ReturnStats {
         for i in 0..n {
             for j in i..n {
                 let mut acc = 0.0;
-                for k in 0..t {
-                    acc += (returns[i][k] - mean[i]) * (returns[j][k] - mean[j]);
+                for (ri, rj) in returns[i].iter().zip(&returns[j]) {
+                    acc += (ri - mean[i]) * (rj - mean[j]);
                 }
                 let c = acc / (t - 1) as f64;
                 cov[(i, j)] = c;

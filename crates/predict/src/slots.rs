@@ -21,7 +21,7 @@ impl SlotTable {
     /// # Panics
     /// Panics unless `slots` is even and ≥ 2 and `initial_range > 0`.
     pub fn new(slots: usize, initial_range: f64) -> SlotTable {
-        assert!(slots >= 2 && slots % 2 == 0, "slots must be even and >= 2");
+        assert!(slots >= 2 && slots.is_multiple_of(2), "slots must be even and >= 2");
         assert!(initial_range > 0.0 && initial_range.is_finite());
         SlotTable {
             counts: vec![0; slots],

@@ -60,11 +60,11 @@ impl DualWindowDistribution {
         let n = self.window_n;
         // Table 1 restarts at snapshots 0, 2n, 4n, …; table 2 at n, 3n, ….
         // (Before its first start, table 2 simply has not begun filling.)
-        if self.seen % (2 * n) == 0 {
+        if self.seen.is_multiple_of(2 * n) {
             self.tables[0].clear();
             self.counts[0] = 0;
         }
-        if self.seen >= n && (self.seen - n) % (2 * n) == 0 {
+        if self.seen >= n && (self.seen - n).is_multiple_of(2 * n) {
             self.tables[1].clear();
             self.counts[1] = 0;
         }
@@ -186,7 +186,8 @@ mod tests {
         let slots = 16;
         let mut rng = Pcg32::seed_from_u64(20060704);
 
-        let cases: Vec<(&str, Box<dyn Fn(&mut Pcg32) -> f64>)> = vec![
+        type BoxedSampler = Box<dyn Fn(&mut Pcg32) -> f64>;
+        let cases: Vec<(&str, BoxedSampler)> = vec![
             ("norm", {
                 let s = Normal::new(0.5, 0.15);
                 Box::new(move |r: &mut Pcg32| s.sample(r).max(0.0))

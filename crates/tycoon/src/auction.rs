@@ -122,6 +122,20 @@ impl Auctioneer {
         self.bids.remove(&handle).map(|b| b.escrow)
     }
 
+    /// Evict every live bid at once, returning `(handle, user, remaining
+    /// escrow)` in deterministic handle order.
+    ///
+    /// This is the host-crash path: the auctioneer's state is wiped (as if
+    /// the host lost power mid-interval) and the market refunds each
+    /// returned escrow to its payer so no money is stranded on the dead
+    /// host.
+    pub fn evict_all(&mut self) -> Vec<(BidHandle, UserId, Credits)> {
+        std::mem::take(&mut self.bids)
+            .into_iter()
+            .map(|(handle, bid)| (handle, bid.user, bid.escrow))
+            .collect()
+    }
+
     /// Add funds to a live bid ("performance boosting" in §3).
     pub fn top_up(&mut self, handle: BidHandle, extra: Credits) -> bool {
         assert!(extra.is_positive(), "top-up must be positive");

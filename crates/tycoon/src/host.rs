@@ -66,13 +66,13 @@ impl HostSpec {
         if self.cpus == 0 {
             return Err(format!("{}: zero CPUs", self.id));
         }
-        if !(self.cpu_mhz > 0.0) {
+        if self.cpu_mhz.is_nan() || self.cpu_mhz <= 0.0 {
             return Err(format!("{}: non-positive capacity", self.id));
         }
         if !(0.0..1.0).contains(&self.virtualization_overhead) {
             return Err(format!("{}: overhead outside [0,1)", self.id));
         }
-        if !(self.reserve_rate > 0.0) {
+        if self.reserve_rate.is_nan() || self.reserve_rate <= 0.0 {
             return Err(format!("{}: reserve rate must be positive", self.id));
         }
         Ok(())

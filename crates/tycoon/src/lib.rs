@@ -35,8 +35,8 @@ pub use auction::{Allocation, Auctioneer, BidHandle, UserId};
 pub use bank::{AccountId, Bank, BankError, Receipt};
 pub use best_response::{best_response, utility, HostQuote};
 pub use host::{HostId, HostSpec};
-pub use market::{Market, MarketError, DEFAULT_INTERVAL_SECS};
+pub use market::{CrashReport, Market, MarketError, DEFAULT_INTERVAL_SECS};
 pub use money::Credits;
 pub use pricestats::PriceStats;
-pub use service::{AuctioneerClient, BankClient, BankService, LiveMarket};
+pub use service::{AuctioneerClient, BankClient, BankService, LiveMarket, ServiceError};
 pub use sls::Sls;

@@ -28,8 +28,27 @@ pub struct Market {
     bank: Bank,
     sls: Sls,
     hosts: std::collections::BTreeMap<HostId, HostEntry>,
+    /// Hosts currently crashed: they keep their bank account (income
+    /// already earned stays theirs) but take no bids and skip ticks.
+    crashed: std::collections::BTreeSet<HostId>,
+    /// Payer account of each live funded bid, so a host crash can refund
+    /// evicted escrows to their owners.
+    payers: std::collections::BTreeMap<(HostId, BidHandle), AccountId>,
+    /// When `false`, every money-moving operation fails with
+    /// [`MarketError::BankUnavailable`] (fault injection: bank outage).
+    bank_online: bool,
     price_trace: Trace,
     interval_secs: f64,
+}
+
+/// What a host crash did to the market: each evicted bid with the escrow
+/// refunded to its payer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashReport {
+    /// The crashed host.
+    pub host: HostId,
+    /// `(bid, owning user, escrow refunded)` for every evicted bid.
+    pub evicted: Vec<(BidHandle, UserId, Credits)>,
 }
 
 /// The paper's default reallocation interval (10 seconds, §2.2).
@@ -42,6 +61,9 @@ impl Market {
             bank: Bank::new(seed),
             sls: Sls::new(),
             hosts: std::collections::BTreeMap::new(),
+            crashed: std::collections::BTreeSet::new(),
+            payers: std::collections::BTreeMap::new(),
+            bank_online: true,
             price_trace: Trace::new(),
             interval_secs: DEFAULT_INTERVAL_SECS,
         }
@@ -116,10 +138,11 @@ impl Market {
     }
 
     /// Build Best Response quotes for `user` over `hosts`, weighting each
-    /// host by its deliverable vCPU capacity.
+    /// host by its deliverable vCPU capacity. Crashed hosts yield no quote.
     pub fn quotes_for(&self, user: UserId, hosts: &[HostId]) -> Vec<HostQuote> {
         hosts
             .iter()
+            .filter(|id| !self.crashed.contains(id))
             .filter_map(|id| {
                 self.hosts.get(id).map(|e| HostQuote {
                     host: *id,
@@ -140,9 +163,17 @@ impl Market {
         rate: f64,
         escrow: Credits,
     ) -> Result<BidHandle, MarketError> {
+        if self.crashed.contains(&host) {
+            return Err(MarketError::HostOffline(host));
+        }
+        if !self.bank_online {
+            return Err(MarketError::BankUnavailable);
+        }
         let entry = self.hosts.get_mut(&host).ok_or(MarketError::NoSuchHost(host))?;
         self.bank.transfer(payer, entry.account, escrow)?;
-        Ok(entry.auctioneer.place_bid(user, rate, escrow))
+        let handle = entry.auctioneer.place_bid(user, rate, escrow);
+        self.payers.insert((host, handle), payer);
+        Ok(handle)
     }
 
     /// Cancel a bid and refund the unspent escrow from the host account to
@@ -153,11 +184,15 @@ impl Market {
         handle: BidHandle,
         refund_to: AccountId,
     ) -> Result<Credits, MarketError> {
+        if !self.bank_online {
+            return Err(MarketError::BankUnavailable);
+        }
         let entry = self.hosts.get_mut(&host).ok_or(MarketError::NoSuchHost(host))?;
         let refund = entry
             .auctioneer
             .cancel_bid(handle)
             .ok_or(MarketError::NoSuchBid(host, handle))?;
+        self.payers.remove(&(host, handle));
         if refund.is_positive() {
             self.bank.transfer(entry.account, refund_to, refund)?;
         }
@@ -172,6 +207,12 @@ impl Market {
         payer: AccountId,
         extra: Credits,
     ) -> Result<(), MarketError> {
+        if self.crashed.contains(&host) {
+            return Err(MarketError::HostOffline(host));
+        }
+        if !self.bank_online {
+            return Err(MarketError::BankUnavailable);
+        }
         let entry = self.hosts.get_mut(&host).ok_or(MarketError::NoSuchHost(host))?;
         if entry.auctioneer.escrow(handle).is_none() {
             return Err(MarketError::NoSuchBid(host, handle));
@@ -197,17 +238,25 @@ impl Market {
         }
     }
 
-    /// Run one allocation interval on every host, recording spot prices
-    /// into the price trace. Returns per-host allocations.
+    /// Run one allocation interval on every online host, recording spot
+    /// prices into the price trace. Returns per-host allocations; crashed
+    /// hosts are omitted entirely (no price sample, no allocation).
     pub fn tick(&mut self, now: SimTime) -> Vec<(HostId, Vec<Allocation>)> {
         let dt = self.interval_secs;
         let mut out = Vec::with_capacity(self.hosts.len());
         for (&id, entry) in self.hosts.iter_mut() {
+            if self.crashed.contains(&id) {
+                continue;
+            }
             self.price_trace
                 .record(&format!("{id}"), now, entry.auctioneer.spot_price());
             let allocations = entry.auctioneer.allocate(dt);
             out.push((id, allocations));
         }
+        // Drop payer records of bids the allocation pass exhausted.
+        let hosts = &self.hosts;
+        self.payers
+            .retain(|(h, b), _| hosts.get(h).is_some_and(|e| e.auctioneer.escrow(*b).is_some()));
         out
     }
 
@@ -228,6 +277,81 @@ impl Market {
     pub fn host_income(&self, id: HostId) -> Option<Credits> {
         self.hosts.get(&id).map(|e| e.auctioneer.earned())
     }
+
+    // ------------------------------------------------ failure semantics
+
+    /// Crash a host: every live bid on it is evicted and its remaining
+    /// escrow refunded from the host account back to the payer recorded
+    /// when the bid was placed. The host keeps income it already earned
+    /// and stays registered (so it can [`Market::recover_host`] later),
+    /// but takes no further bids and is skipped by [`Market::tick`].
+    ///
+    /// Crash settlement is an internal book transfer and deliberately
+    /// ignores a concurrent bank outage — the books stay conserved no
+    /// matter which faults coincide.
+    pub fn crash_host(&mut self, id: HostId) -> Result<CrashReport, MarketError> {
+        if self.crashed.contains(&id) {
+            return Err(MarketError::HostOffline(id));
+        }
+        let entry = self.hosts.get_mut(&id).ok_or(MarketError::NoSuchHost(id))?;
+        let account = entry.account;
+        let evicted = entry.auctioneer.evict_all();
+        for (handle, _user, escrow) in &evicted {
+            if let Some(payer) = self.payers.remove(&(id, *handle)) {
+                if escrow.is_positive() {
+                    self.bank
+                        .transfer(account, payer, *escrow)
+                        .expect("crash refund cannot fail: escrow is backed by host account");
+                }
+            }
+            // A bid without a recorded payer (placed around the market,
+            // e.g. directly on the auctioneer in tests) leaves its escrow
+            // in the host account: money is conserved either way.
+        }
+        self.crashed.insert(id);
+        Ok(CrashReport { host: id, evicted })
+    }
+
+    /// Bring a crashed host back online, empty (no bids, no residue of the
+    /// crash). No-op `Ok` if the host exists but was never crashed.
+    pub fn recover_host(&mut self, id: HostId) -> Result<(), MarketError> {
+        if !self.hosts.contains_key(&id) {
+            return Err(MarketError::NoSuchHost(id));
+        }
+        self.crashed.remove(&id);
+        Ok(())
+    }
+
+    /// Whether a host is currently online (unknown hosts are offline).
+    pub fn is_host_online(&self, id: HostId) -> bool {
+        self.hosts.contains_key(&id) && !self.crashed.contains(&id)
+    }
+
+    /// Ids of all online hosts, deterministic order.
+    pub fn online_host_ids(&self) -> Vec<HostId> {
+        self.hosts
+            .keys()
+            .filter(|id| !self.crashed.contains(id))
+            .copied()
+            .collect()
+    }
+
+    /// Ids of all crashed hosts, deterministic order.
+    pub fn crashed_host_ids(&self) -> Vec<HostId> {
+        self.crashed.iter().copied().collect()
+    }
+
+    /// Fault injection: make the bank unreachable (`false`) or reachable
+    /// (`true`). While unreachable, money-moving market operations fail
+    /// with [`MarketError::BankUnavailable`].
+    pub fn set_bank_online(&mut self, online: bool) {
+        self.bank_online = online;
+    }
+
+    /// Whether the bank is currently reachable.
+    pub fn bank_is_online(&self) -> bool {
+        self.bank_online
+    }
 }
 
 /// Errors from market operations.
@@ -239,6 +363,10 @@ pub enum MarketError {
     NoSuchBid(HostId, BidHandle),
     /// A bank operation failed.
     Bank(BankError),
+    /// The host is crashed and cannot take the operation.
+    HostOffline(HostId),
+    /// The bank is in an injected outage window; retry after it lifts.
+    BankUnavailable,
 }
 
 impl From<BankError> for MarketError {
@@ -253,6 +381,8 @@ impl std::fmt::Display for MarketError {
             MarketError::NoSuchHost(h) => write!(f, "no such host {h}"),
             MarketError::NoSuchBid(h, b) => write!(f, "no such bid {b:?} on {h}"),
             MarketError::Bank(e) => write!(f, "bank error: {e}"),
+            MarketError::HostOffline(h) => write!(f, "host {h} is offline"),
+            MarketError::BankUnavailable => write!(f, "bank is unavailable"),
         }
     }
 }
@@ -383,6 +513,89 @@ mod tests {
             Credits::from_whole(30)
         );
         assert_eq!(m.bank().balance(acct).unwrap(), Credits::from_whole(70));
+        assert_eq!(m.bank().total_money(), Credits::from_whole(100));
+    }
+
+    #[test]
+    fn crash_evicts_bids_and_refunds_payers() {
+        let (mut m, acct) = market_with_user(2, 100);
+        let h = m
+            .place_funded_bid(UserId(1), acct, HostId(0), 1.0, Credits::from_whole(50))
+            .unwrap();
+        m.tick(SimTime::from_secs(10)); // charges 10 on host 0
+
+        let report = m.crash_host(HostId(0)).unwrap();
+        assert_eq!(report.evicted, vec![(h, UserId(1), Credits::from_whole(40))]);
+        // Unspent escrow came back; host keeps what it earned.
+        assert_eq!(m.bank().balance(acct).unwrap(), Credits::from_whole(90));
+        let host_acct = m.host_account(HostId(0)).unwrap();
+        assert_eq!(m.bank().balance(host_acct).unwrap(), Credits::from_whole(10));
+        assert_eq!(m.bank().total_money(), Credits::from_whole(100));
+
+        // Crashed host takes no bids, gives no quotes, skips ticks.
+        assert!(!m.is_host_online(HostId(0)));
+        assert_eq!(m.online_host_ids(), vec![HostId(1)]);
+        assert_eq!(m.crashed_host_ids(), vec![HostId(0)]);
+        assert_eq!(
+            m.place_funded_bid(UserId(1), acct, HostId(0), 1.0, Credits::from_whole(1)),
+            Err(MarketError::HostOffline(HostId(0)))
+        );
+        assert_eq!(m.quotes_for(UserId(2), &m.host_ids()).len(), 1);
+        let ticked: Vec<HostId> = m
+            .tick(SimTime::from_secs(20))
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(ticked, vec![HostId(1)]);
+
+        // Double crash is an error; recovery brings the host back empty.
+        assert_eq!(
+            m.crash_host(HostId(0)),
+            Err(MarketError::HostOffline(HostId(0)))
+        );
+        m.recover_host(HostId(0)).unwrap();
+        assert!(m.is_host_online(HostId(0)));
+        assert_eq!(m.auctioneer(HostId(0)).unwrap().live_bids(), 0);
+        m.place_funded_bid(UserId(1), acct, HostId(0), 1.0, Credits::from_whole(5))
+            .unwrap();
+        assert_eq!(m.bank().total_money(), Credits::from_whole(100));
+    }
+
+    #[test]
+    fn bank_outage_blocks_money_movement_until_restore() {
+        let (mut m, acct) = market_with_user(1, 100);
+        let h = m
+            .place_funded_bid(UserId(1), acct, HostId(0), 1.0, Credits::from_whole(30))
+            .unwrap();
+        m.set_bank_online(false);
+        assert!(!m.bank_is_online());
+        assert_eq!(
+            m.place_funded_bid(UserId(1), acct, HostId(0), 1.0, Credits::from_whole(10)),
+            Err(MarketError::BankUnavailable)
+        );
+        assert_eq!(
+            m.top_up_bid(HostId(0), h, acct, Credits::from_whole(10)),
+            Err(MarketError::BankUnavailable)
+        );
+        assert_eq!(m.cancel_bid(HostId(0), h, acct), Err(MarketError::BankUnavailable));
+        // The failed cancel left the bid live; ticks keep running.
+        assert_eq!(m.auctioneer(HostId(0)).unwrap().live_bids(), 1);
+        m.tick(SimTime::from_secs(10));
+        m.set_bank_online(true);
+        let refund = m.cancel_bid(HostId(0), h, acct).unwrap();
+        assert_eq!(refund, Credits::from_whole(20));
+        assert_eq!(m.bank().total_money(), Credits::from_whole(100));
+    }
+
+    #[test]
+    fn crash_during_bank_outage_still_refunds_and_conserves() {
+        let (mut m, acct) = market_with_user(1, 100);
+        m.place_funded_bid(UserId(1), acct, HostId(0), 1.0, Credits::from_whole(40))
+            .unwrap();
+        m.set_bank_online(false);
+        let report = m.crash_host(HostId(0)).unwrap();
+        assert_eq!(report.evicted.len(), 1);
+        assert_eq!(m.bank().balance(acct).unwrap(), Credits::from_whole(100));
         assert_eq!(m.bank().total_money(), Credits::from_whole(100));
     }
 

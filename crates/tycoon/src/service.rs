@@ -5,23 +5,82 @@
 //! this repository use the deterministic in-process [`crate::Market`], but
 //! the same market code also runs behind message-passing service
 //! boundaries: each service is a thread owning its state, clients talk to
-//! it through typed request/reply channels (crossbeam), and the
+//! it through typed request/reply channels (`std::sync::mpsc`), and the
 //! allocation tick is a scatter-gather across all auctioneer services.
+//!
+//! Failure semantics (`DESIGN.md` §8): every client call is fallible. A
+//! request is sent, the reply awaited with `recv_timeout`, and on timeout
+//! re-sent a bounded number of times before surfacing
+//! [`ServiceError::Timeout`]; a service whose thread has exited yields
+//! [`ServiceError::Disconnected`] instead of a panic, including on the
+//! shutdown path (a client outliving its service gets an error). Transfers
+//! are idempotent: each logical transfer carries a client-chosen request
+//! id and the bank service replays the recorded outcome for a retried id,
+//! so a retry after a lost reply cannot double-debit. The scatter-gather
+//! tick degrades gracefully — a dead auctioneer is skipped and its host
+//! reported crashed rather than deadlocking the tick.
 //!
 //! `DESIGN.md` §7: the integration test suite checks that a [`LiveMarket`]
 //! and a plain [`crate::Market`] driven with the same schedule produce
 //! identical allocations — the service boundary adds concurrency, not
 //! behaviour.
 
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Sender};
 use gm_crypto::PublicKey;
 
 use crate::auction::{Allocation, Auctioneer, BidHandle, UserId};
 use crate::bank::{AccountId, Bank, BankError, Receipt};
 use crate::host::{HostId, HostSpec};
 use crate::money::Credits;
+
+/// Default per-request reply deadline. Healthy in-process services reply
+/// in microseconds; the deadline only fires when a service is wedged.
+pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Default number of re-sends after a timed-out reply before giving up.
+pub const DEFAULT_CALL_RETRIES: u32 = 3;
+
+/// Default deadline for one auctioneer's reply inside the scatter-gather
+/// tick before the host is declared crashed.
+pub const DEFAULT_TICK_TIMEOUT: Duration = Duration::from_secs(2);
+
+// ------------------------------------------------------------- errors
+
+/// Why a live-service request failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No reply arrived within the deadline, even after bounded retries.
+    Timeout,
+    /// The service thread has exited (shut down, killed, or panicked).
+    Disconnected,
+    /// The service is healthy but the bank rejected the operation.
+    Rejected(BankError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Timeout => write!(f, "service did not reply within the deadline"),
+            ServiceError::Disconnected => write!(f, "service is no longer running"),
+            ServiceError::Rejected(e) => write!(f, "request rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<BankError> for ServiceError {
+    fn from(e: BankError) -> Self {
+        ServiceError::Rejected(e)
+    }
+}
 
 // ---------------------------------------------------------------- bank
 
@@ -37,6 +96,7 @@ enum BankRequest {
         reply: Sender<Result<(), BankError>>,
     },
     Transfer {
+        request_id: u64,
         from: AccountId,
         to: AccountId,
         amount: Credits,
@@ -53,6 +113,9 @@ enum BankRequest {
     TotalMoney {
         reply: Sender<Credits>,
     },
+    /// Fault injection: silently drop the reply to the next request, as if
+    /// the network lost it. The request itself is still executed.
+    InjectDropNextReply,
     Shutdown,
 }
 
@@ -60,55 +123,86 @@ enum BankRequest {
 #[derive(Clone)]
 pub struct BankClient {
     tx: Sender<BankRequest>,
+    timeout: Duration,
+    retries: u32,
+    next_request: Arc<AtomicU64>,
 }
 
 /// The bank service thread.
 pub struct BankService {
     handle: Option<JoinHandle<Bank>>,
     tx: Sender<BankRequest>,
+    next_request: Arc<AtomicU64>,
+}
+
+/// Runs bank requests against owned state, deduplicating transfers by
+/// request id so a retried transfer replays its recorded outcome.
+fn bank_service_loop(
+    mut bank: Bank,
+    rx: std::sync::mpsc::Receiver<BankRequest>,
+) -> Bank {
+    let mut completed: HashMap<u64, Result<Receipt, BankError>> = HashMap::new();
+    let mut drop_next_reply = false;
+    while let Ok(req) = rx.recv() {
+        // Consume the drop-next flag: the request executes, the reply is
+        // discarded (the sender side sees a timeout, not an error).
+        let lose_reply = std::mem::take(&mut drop_next_reply);
+        macro_rules! respond {
+            ($reply:expr, $value:expr) => {{
+                let v = $value;
+                if !lose_reply {
+                    let _ = $reply.send(v);
+                }
+            }};
+        }
+        match req {
+            BankRequest::OpenAccount { owner, label, reply } => {
+                respond!(reply, bank.open_account(owner, &label));
+            }
+            BankRequest::Mint { to, amount, reply } => {
+                respond!(reply, bank.mint(to, amount));
+            }
+            BankRequest::Transfer {
+                request_id,
+                from,
+                to,
+                amount,
+                reply,
+            } => {
+                let outcome = completed
+                    .entry(request_id)
+                    .or_insert_with(|| bank.transfer(from, to, amount))
+                    .clone();
+                respond!(reply, outcome);
+            }
+            BankRequest::Balance { id, reply } => {
+                respond!(reply, bank.balance(id));
+            }
+            BankRequest::VerifyReceipt { receipt, reply } => {
+                respond!(reply, bank.verify_receipt(&receipt));
+            }
+            BankRequest::TotalMoney { reply } => {
+                respond!(reply, bank.total_money());
+            }
+            BankRequest::InjectDropNextReply => drop_next_reply = true,
+            BankRequest::Shutdown => break,
+        }
+    }
+    bank
 }
 
 impl BankService {
     /// Spawn the service, taking ownership of `bank`.
-    pub fn spawn(mut bank: Bank) -> BankService {
-        let (tx, rx) = unbounded::<BankRequest>();
+    pub fn spawn(bank: Bank) -> BankService {
+        let (tx, rx) = channel::<BankRequest>();
         let handle = std::thread::Builder::new()
             .name("tycoon-bank".into())
-            .spawn(move || {
-                while let Ok(req) = rx.recv() {
-                    match req {
-                        BankRequest::OpenAccount { owner, label, reply } => {
-                            let _ = reply.send(bank.open_account(owner, &label));
-                        }
-                        BankRequest::Mint { to, amount, reply } => {
-                            let _ = reply.send(bank.mint(to, amount));
-                        }
-                        BankRequest::Transfer {
-                            from,
-                            to,
-                            amount,
-                            reply,
-                        } => {
-                            let _ = reply.send(bank.transfer(from, to, amount));
-                        }
-                        BankRequest::Balance { id, reply } => {
-                            let _ = reply.send(bank.balance(id));
-                        }
-                        BankRequest::VerifyReceipt { receipt, reply } => {
-                            let _ = reply.send(bank.verify_receipt(&receipt));
-                        }
-                        BankRequest::TotalMoney { reply } => {
-                            let _ = reply.send(bank.total_money());
-                        }
-                        BankRequest::Shutdown => break,
-                    }
-                }
-                bank
-            })
+            .spawn(move || bank_service_loop(bank, rx))
             .expect("spawn bank service");
         BankService {
             handle: Some(handle),
             tx,
+            next_request: Arc::new(AtomicU64::new(1)),
         }
     }
 
@@ -116,6 +210,9 @@ impl BankService {
     pub fn client(&self) -> BankClient {
         BankClient {
             tx: self.tx.clone(),
+            timeout: DEFAULT_CALL_TIMEOUT,
+            retries: DEFAULT_CALL_RETRIES,
+            next_request: Arc::clone(&self.next_request),
         }
     }
 
@@ -139,15 +236,50 @@ impl Drop for BankService {
     }
 }
 
+/// Send `make(reply)` over `tx` and await the reply with a deadline,
+/// re-sending up to `retries` times when no reply arrives.
+///
+/// A reply channel closed without an answer counts as a lost reply (the
+/// service dropped it, or died with the request queued) and is retried
+/// like a timeout: if the service really is gone, the re-send itself fails
+/// and surfaces [`ServiceError::Disconnected`]. Only a dead request
+/// channel is proof of disconnection.
+fn call_with_retry<T, R>(
+    tx: &Sender<R>,
+    timeout: Duration,
+    retries: u32,
+    mut make: impl FnMut(Sender<T>) -> R,
+) -> Result<T, ServiceError> {
+    let mut attempt = 0;
+    loop {
+        let (reply, rx) = channel();
+        tx.send(make(reply)).map_err(|_| ServiceError::Disconnected)?;
+        match rx.recv_timeout(timeout) {
+            Ok(v) => return Ok(v),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                attempt += 1;
+                if attempt > retries {
+                    return Err(ServiceError::Timeout);
+                }
+            }
+        }
+    }
+}
+
 impl BankClient {
-    fn call<T>(&self, make: impl FnOnce(Sender<T>) -> BankRequest) -> T {
-        let (reply, rx) = bounded(1);
-        self.tx.send(make(reply)).expect("bank service gone");
-        rx.recv().expect("bank service dropped reply")
+    fn call<T>(&self, make: impl FnMut(Sender<T>) -> BankRequest) -> Result<T, ServiceError> {
+        call_with_retry(&self.tx, self.timeout, self.retries, make)
+    }
+
+    /// Replace the reply deadline and retry budget (mainly for tests).
+    pub fn with_deadline(mut self, timeout: Duration, retries: u32) -> Self {
+        self.timeout = timeout;
+        self.retries = retries;
+        self
     }
 
     /// Open an account (see [`Bank::open_account`]).
-    pub fn open_account(&self, owner: PublicKey, label: &str) -> AccountId {
+    pub fn open_account(&self, owner: PublicKey, label: &str) -> Result<AccountId, ServiceError> {
         self.call(|reply| BankRequest::OpenAccount {
             owner,
             label: label.to_owned(),
@@ -156,32 +288,54 @@ impl BankClient {
     }
 
     /// Mint simulation money (see [`Bank::mint`]).
-    pub fn mint(&self, to: AccountId, amount: Credits) -> Result<(), BankError> {
-        self.call(|reply| BankRequest::Mint { to, amount, reply })
+    pub fn mint(&self, to: AccountId, amount: Credits) -> Result<(), ServiceError> {
+        self.call(|reply| BankRequest::Mint { to, amount, reply })?
+            .map_err(ServiceError::from)
     }
 
     /// Transfer money (see [`Bank::transfer`]).
+    ///
+    /// Idempotent across retries: the request id is chosen once per call,
+    /// so a re-send after a lost reply replays the recorded outcome
+    /// instead of debiting twice.
     pub fn transfer(
         &self,
         from: AccountId,
         to: AccountId,
         amount: Credits,
-    ) -> Result<Receipt, BankError> {
+    ) -> Result<Receipt, ServiceError> {
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        self.transfer_with_id(request_id, from, to, amount)
+    }
+
+    /// [`BankClient::transfer`] with an explicit request id — the replay
+    /// key for idempotency. Two calls with the same id execute the
+    /// transfer once and return the same outcome.
+    pub fn transfer_with_id(
+        &self,
+        request_id: u64,
+        from: AccountId,
+        to: AccountId,
+        amount: Credits,
+    ) -> Result<Receipt, ServiceError> {
         self.call(|reply| BankRequest::Transfer {
+            request_id,
             from,
             to,
             amount,
             reply,
-        })
+        })?
+        .map_err(ServiceError::from)
     }
 
     /// Account balance (see [`Bank::balance`]).
-    pub fn balance(&self, id: AccountId) -> Result<Credits, BankError> {
-        self.call(|reply| BankRequest::Balance { id, reply })
+    pub fn balance(&self, id: AccountId) -> Result<Credits, ServiceError> {
+        self.call(|reply| BankRequest::Balance { id, reply })?
+            .map_err(ServiceError::from)
     }
 
     /// Verify a receipt signature (see [`Bank::verify_receipt`]).
-    pub fn verify_receipt(&self, receipt: &Receipt) -> bool {
+    pub fn verify_receipt(&self, receipt: &Receipt) -> Result<bool, ServiceError> {
         self.call(|reply| BankRequest::VerifyReceipt {
             receipt: receipt.clone(),
             reply,
@@ -189,8 +343,17 @@ impl BankClient {
     }
 
     /// Total credits across accounts (see [`Bank::total_money`]).
-    pub fn total_money(&self) -> Credits {
+    pub fn total_money(&self) -> Result<Credits, ServiceError> {
         self.call(|reply| BankRequest::TotalMoney { reply })
+    }
+
+    /// Fault injection: make the service lose the reply to its next
+    /// request (the request still executes). Used to exercise the
+    /// timeout/retry and idempotent-replay paths in tests.
+    pub fn inject_drop_next_reply(&self) -> Result<(), ServiceError> {
+        self.tx
+            .send(BankRequest::InjectDropNextReply)
+            .map_err(|_| ServiceError::Disconnected)
     }
 }
 
@@ -236,6 +399,8 @@ enum AuctionRequest {
 pub struct AuctioneerClient {
     host: HostId,
     tx: Sender<AuctionRequest>,
+    timeout: Duration,
+    retries: u32,
 }
 
 struct AuctioneerService {
@@ -245,7 +410,7 @@ struct AuctioneerService {
 
 impl AuctioneerService {
     fn spawn(spec: HostSpec) -> AuctioneerService {
-        let (tx, rx) = unbounded::<AuctionRequest>();
+        let (tx, rx) = channel::<AuctionRequest>();
         let name = format!("tycoon-{}", spec.id);
         let handle = std::thread::Builder::new()
             .name(name)
@@ -298,10 +463,15 @@ impl AuctioneerService {
 }
 
 impl AuctioneerClient {
-    fn call<T>(&self, make: impl FnOnce(Sender<T>) -> AuctionRequest) -> T {
-        let (reply, rx) = bounded(1);
-        self.tx.send(make(reply)).expect("auctioneer service gone");
-        rx.recv().expect("auctioneer dropped reply")
+    fn call<T>(&self, make: impl FnMut(Sender<T>) -> AuctionRequest) -> Result<T, ServiceError> {
+        call_with_retry(&self.tx, self.timeout, self.retries, make)
+    }
+
+    /// Replace the reply deadline and retry budget (mainly for tests).
+    pub fn with_deadline(mut self, timeout: Duration, retries: u32) -> Self {
+        self.timeout = timeout;
+        self.retries = retries;
+        self
     }
 
     /// The host this client talks to.
@@ -310,7 +480,12 @@ impl AuctioneerClient {
     }
 
     /// Place a bid (see [`Auctioneer::place_bid`]).
-    pub fn place_bid(&self, user: UserId, rate: f64, escrow: Credits) -> BidHandle {
+    pub fn place_bid(
+        &self,
+        user: UserId,
+        rate: f64,
+        escrow: Credits,
+    ) -> Result<BidHandle, ServiceError> {
         self.call(|reply| AuctionRequest::PlaceBid {
             user,
             rate,
@@ -320,12 +495,12 @@ impl AuctioneerClient {
     }
 
     /// Cancel a bid, refunding the remaining escrow.
-    pub fn cancel_bid(&self, handle: BidHandle) -> Option<Credits> {
+    pub fn cancel_bid(&self, handle: BidHandle) -> Result<Option<Credits>, ServiceError> {
         self.call(|reply| AuctionRequest::CancelBid { handle, reply })
     }
 
     /// Add escrow to a live bid.
-    pub fn top_up(&self, handle: BidHandle, extra: Credits) -> bool {
+    pub fn top_up(&self, handle: BidHandle, extra: Credits) -> Result<bool, ServiceError> {
         self.call(|reply| AuctionRequest::TopUp {
             handle,
             extra,
@@ -334,22 +509,22 @@ impl AuctioneerClient {
     }
 
     /// Change a live bid's rate.
-    pub fn update_rate(&self, handle: BidHandle, rate: f64) -> bool {
+    pub fn update_rate(&self, handle: BidHandle, rate: f64) -> Result<bool, ServiceError> {
         self.call(|reply| AuctionRequest::UpdateRate { handle, rate, reply })
     }
 
     /// `(spot price, others' rate for user)` in one round trip.
-    pub fn quote(&self, user: UserId) -> (f64, f64) {
+    pub fn quote(&self, user: UserId) -> Result<(f64, f64), ServiceError> {
         self.call(|reply| AuctionRequest::Quote { user, reply })
     }
 
     /// Run one allocation interval.
-    pub fn allocate(&self, dt_secs: f64) -> Vec<Allocation> {
+    pub fn allocate(&self, dt_secs: f64) -> Result<Vec<Allocation>, ServiceError> {
         self.call(|reply| AuctionRequest::Allocate { dt_secs, reply })
     }
 
     /// Host income so far.
-    pub fn earned(&self) -> Credits {
+    pub fn earned(&self) -> Result<Credits, ServiceError> {
         self.call(|reply| AuctionRequest::Earned { reply })
     }
 }
@@ -360,6 +535,10 @@ impl AuctioneerClient {
 pub struct LiveMarket {
     bank: BankService,
     auctioneers: Vec<(HostId, AuctioneerService)>,
+    /// Hosts whose auctioneer has been observed (or made) dead. Guarded by
+    /// a mutex so the shared `tick` path can record deaths through `&self`.
+    dead: Mutex<BTreeSet<HostId>>,
+    tick_timeout: Duration,
 }
 
 impl LiveMarket {
@@ -371,7 +550,12 @@ impl LiveMarket {
             .into_iter()
             .map(|spec| (spec.id, AuctioneerService::spawn(spec)))
             .collect();
-        LiveMarket { bank, auctioneers }
+        LiveMarket {
+            bank,
+            auctioneers,
+            dead: Mutex::new(BTreeSet::new()),
+            tick_timeout: DEFAULT_TICK_TIMEOUT,
+        }
     }
 
     /// A bank client.
@@ -379,7 +563,9 @@ impl LiveMarket {
         self.bank.client()
     }
 
-    /// A client for one host's auctioneer.
+    /// A client for one host's auctioneer. Clients for a dead host are
+    /// still handed out; their calls fail with
+    /// [`ServiceError::Disconnected`].
     pub fn auctioneer(&self, host: HostId) -> Option<AuctioneerClient> {
         self.auctioneers
             .iter()
@@ -387,34 +573,76 @@ impl LiveMarket {
             .map(|(id, svc)| AuctioneerClient {
                 host: *id,
                 tx: svc.tx.clone(),
+                timeout: DEFAULT_CALL_TIMEOUT,
+                retries: DEFAULT_CALL_RETRIES,
             })
     }
 
-    /// All hosts.
+    /// All hosts the market was spawned with (alive or dead).
     pub fn host_ids(&self) -> Vec<HostId> {
         self.auctioneers.iter().map(|(id, _)| *id).collect()
     }
 
-    /// Scatter-gather allocation tick: every auctioneer allocates
+    /// Hosts currently known dead (killed, or detected during a tick).
+    pub fn dead_hosts(&self) -> Vec<HostId> {
+        self.dead.lock().unwrap().iter().copied().collect()
+    }
+
+    /// Fault injection: crash one auctioneer service. The thread is
+    /// stopped and joined; subsequent client calls fail with
+    /// [`ServiceError::Disconnected`] and [`LiveMarket::tick`] skips the
+    /// host. Returns `false` for an unknown host.
+    pub fn kill_auctioneer(&mut self, host: HostId) -> bool {
+        let Some((_, svc)) = self.auctioneers.iter_mut().find(|(id, _)| *id == host) else {
+            return false;
+        };
+        let _ = svc.tx.send(AuctionRequest::Shutdown);
+        if let Some(h) = svc.handle.take() {
+            let _ = h.join();
+        }
+        self.dead.lock().unwrap().insert(host);
+        true
+    }
+
+    /// Scatter-gather allocation tick: every live auctioneer allocates
     /// concurrently; results return in deterministic host order.
+    ///
+    /// Degrades gracefully: an auctioneer that cannot be reached, or whose
+    /// reply does not arrive within the tick deadline, is recorded in
+    /// [`LiveMarket::dead_hosts`] and omitted from the result — the tick
+    /// never deadlocks on a dead host.
     pub fn tick(&self, dt_secs: f64) -> Vec<(HostId, Vec<Allocation>)> {
-        // Scatter.
-        let pending: Vec<(HostId, crossbeam::channel::Receiver<Vec<Allocation>>)> = self
-            .auctioneers
-            .iter()
-            .map(|(id, svc)| {
-                let (reply, rx) = bounded(1);
-                svc.tx
-                    .send(AuctionRequest::Allocate { dt_secs, reply })
-                    .expect("auctioneer service gone");
-                (*id, rx)
-            })
-            .collect();
-        // Gather in host order.
-        pending
-            .into_iter()
-            .map(|(id, rx)| (id, rx.recv().expect("allocation reply")))
-            .collect()
+        let mut newly_dead = Vec::new();
+        // Scatter to every host not already known dead.
+        let pending: Vec<(HostId, std::sync::mpsc::Receiver<Vec<Allocation>>)> = {
+            let dead = self.dead.lock().unwrap();
+            self.auctioneers
+                .iter()
+                .filter(|(id, _)| !dead.contains(id))
+                .filter_map(|(id, svc)| {
+                    let (reply, rx) = channel();
+                    match svc.tx.send(AuctionRequest::Allocate { dt_secs, reply }) {
+                        Ok(()) => Some((*id, rx)),
+                        Err(_) => {
+                            newly_dead.push(*id);
+                            None
+                        }
+                    }
+                })
+                .collect()
+        };
+        // Gather in host order, skipping hosts that died mid-tick.
+        let mut out = Vec::with_capacity(pending.len());
+        for (id, rx) in pending {
+            match rx.recv_timeout(self.tick_timeout) {
+                Ok(allocs) => out.push((id, allocs)),
+                Err(_) => newly_dead.push(id),
+            }
+        }
+        if !newly_dead.is_empty() {
+            self.dead.lock().unwrap().extend(newly_dead);
+        }
+        out
     }
 
     /// Shut all services down, recovering the bank for inspection.
@@ -445,14 +673,14 @@ mod tests {
         let live = LiveMarket::spawn(b"svc", specs(1));
         let bank = live.bank();
         let key = Keypair::from_seed(b"svc-user").public;
-        let a = bank.open_account(key, "a");
-        let b = bank.open_account(key, "b");
+        let a = bank.open_account(key, "a").unwrap();
+        let b = bank.open_account(key, "b").unwrap();
         bank.mint(a, Credits::from_whole(100)).unwrap();
         let receipt = bank.transfer(a, b, Credits::from_whole(30)).unwrap();
-        assert!(bank.verify_receipt(&receipt));
+        assert!(bank.verify_receipt(&receipt).unwrap());
         assert_eq!(bank.balance(a).unwrap(), Credits::from_whole(70));
         assert_eq!(bank.balance(b).unwrap(), Credits::from_whole(30));
-        assert_eq!(bank.total_money(), Credits::from_whole(100));
+        assert_eq!(bank.total_money().unwrap(), Credits::from_whole(100));
         let recovered = live.shutdown();
         assert_eq!(recovered.total_money(), Credits::from_whole(100));
     }
@@ -461,31 +689,35 @@ mod tests {
     fn auctioneer_service_allocates_like_local() {
         let live = LiveMarket::spawn(b"svc2", specs(1));
         let client = live.auctioneer(HostId(0)).unwrap();
-        let h1 = client.place_bid(UserId(1), 0.3, Credits::from_whole(100));
-        let _h2 = client.place_bid(UserId(2), 0.1, Credits::from_whole(100));
+        let h1 = client
+            .place_bid(UserId(1), 0.3, Credits::from_whole(100))
+            .unwrap();
+        let _h2 = client
+            .place_bid(UserId(2), 0.1, Credits::from_whole(100))
+            .unwrap();
 
         // Mirror locally.
         let mut local = Auctioneer::new(HostSpec::testbed(0));
         let l1 = local.place_bid(UserId(1), 0.3, Credits::from_whole(100));
         let _l2 = local.place_bid(UserId(2), 0.1, Credits::from_whole(100));
 
-        let (spot, others) = client.quote(UserId(1));
+        let (spot, others) = client.quote(UserId(1)).unwrap();
         assert_eq!(spot, local.spot_price());
         assert_eq!(others, local.others_rate(UserId(1)));
 
-        let remote = client.allocate(10.0);
+        let remote = client.allocate(10.0).unwrap();
         let here = local.allocate(10.0);
         assert_eq!(remote, here, "service boundary changed allocation");
 
-        assert!(client.top_up(h1, Credits::from_whole(5)));
+        assert!(client.top_up(h1, Credits::from_whole(5)).unwrap());
         assert!(local.top_up(l1, Credits::from_whole(5)));
-        assert!(client.update_rate(h1, 0.5));
+        assert!(client.update_rate(h1, 0.5).unwrap());
         assert!(local.update_rate(l1, 0.5));
-        assert_eq!(client.allocate(10.0), local.allocate(10.0));
-        assert_eq!(client.earned(), local.earned());
+        assert_eq!(client.allocate(10.0).unwrap(), local.allocate(10.0));
+        assert_eq!(client.earned().unwrap(), local.earned());
 
         assert_eq!(
-            client.cancel_bid(h1),
+            client.cancel_bid(h1).unwrap(),
             local.cancel_bid(l1),
             "refunds differ"
         );
@@ -497,7 +729,7 @@ mod tests {
         let live = LiveMarket::spawn(b"svc3", specs(4));
         for id in live.host_ids() {
             let c = live.auctioneer(id).unwrap();
-            c.place_bid(UserId(1), 0.1, Credits::from_whole(10));
+            c.place_bid(UserId(1), 0.1, Credits::from_whole(10)).unwrap();
         }
         let results = live.tick(10.0);
         assert_eq!(results.len(), 4);
@@ -514,7 +746,7 @@ mod tests {
         let client = live.auctioneer(HostId(0)).unwrap();
         let bank = live.bank();
         let key = Keypair::from_seed(b"conc").public;
-        let acct = bank.open_account(key, "conc");
+        let acct = bank.open_account(key, "conc").unwrap();
         bank.mint(acct, Credits::from_whole(1_000_000)).unwrap();
 
         let threads: Vec<_> = (0..8)
@@ -523,17 +755,19 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut handles = Vec::new();
                     for k in 0..50 {
-                        let h = c.place_bid(
-                            UserId(i),
-                            0.01 + k as f64 * 1e-4,
-                            Credits::from_whole(1),
-                        );
+                        let h = c
+                            .place_bid(
+                                UserId(i),
+                                0.01 + k as f64 * 1e-4,
+                                Credits::from_whole(1),
+                            )
+                            .unwrap();
                         handles.push(h);
                     }
                     // Cancel half.
                     let mut refunded = Credits::ZERO;
                     for h in handles.iter().step_by(2) {
-                        if let Some(r) = c.cancel_bid(*h) {
+                        if let Some(r) = c.cancel_bid(*h).unwrap() {
                             refunded += r;
                         }
                     }
@@ -545,7 +779,7 @@ mod tests {
         // 8 threads × 50 bids × 1 credit deposited; half cancelled before
         // any allocation → exactly half refunded.
         assert_eq!(refunded, Credits::from_whole(8 * 25));
-        let allocs = client.allocate(10.0);
+        let allocs = client.allocate(10.0).unwrap();
         assert_eq!(allocs.len(), 8 * 25, "remaining bids");
         live.shutdown();
     }
@@ -561,21 +795,93 @@ mod tests {
         let live = LiveMarket::spawn(b"svc6", specs(2));
         let bank = live.bank();
         let key = Keypair::from_seed(b"lm").public;
-        let user_acct = bank.open_account(key, "user");
-        let host_acct = bank.open_account(key, "host0-escrow");
+        let user_acct = bank.open_account(key, "user").unwrap();
+        let host_acct = bank.open_account(key, "host0-escrow").unwrap();
         bank.mint(user_acct, Credits::from_whole(100)).unwrap();
 
         // Manual funded-bid flow against the service API.
         let c = live.auctioneer(HostId(0)).unwrap();
         bank.transfer(user_acct, host_acct, Credits::from_whole(40))
             .unwrap();
-        let bid = c.place_bid(UserId(1), 1.0, Credits::from_whole(40));
+        let bid = c.place_bid(UserId(1), 1.0, Credits::from_whole(40)).unwrap();
         live.tick(10.0); // charges 10
-        let refund = c.cancel_bid(bid).unwrap();
+        let refund = c.cancel_bid(bid).unwrap().unwrap();
         assert_eq!(refund, Credits::from_whole(30));
         bank.transfer(host_acct, user_acct, refund).unwrap();
-        assert_eq!(bank.total_money(), Credits::from_whole(100));
-        assert_eq!(c.earned(), Credits::from_whole(10));
+        assert_eq!(bank.total_money().unwrap(), Credits::from_whole(100));
+        assert_eq!(c.earned().unwrap(), Credits::from_whole(10));
+        live.shutdown();
+    }
+
+    #[test]
+    fn client_outliving_service_gets_error_not_panic() {
+        let live = LiveMarket::spawn(b"svc7", specs(1));
+        let bank = live.bank();
+        let auc = live.auctioneer(HostId(0)).unwrap();
+        let key = Keypair::from_seed(b"late").public;
+        let acct = bank.open_account(key, "late").unwrap();
+        live.shutdown();
+
+        assert_eq!(bank.balance(acct), Err(ServiceError::Disconnected));
+        assert_eq!(
+            bank.transfer(acct, acct, Credits::from_whole(1)),
+            Err(ServiceError::Disconnected)
+        );
+        assert_eq!(
+            auc.place_bid(UserId(1), 0.1, Credits::from_whole(1)),
+            Err(ServiceError::Disconnected)
+        );
+        assert_eq!(auc.earned(), Err(ServiceError::Disconnected));
+    }
+
+    #[test]
+    fn retried_transfer_after_lost_reply_does_not_double_debit() {
+        let live = LiveMarket::spawn(b"svc8", specs(1));
+        // Short deadline so the lost reply turns into a quick retry.
+        let bank = live.bank().with_deadline(Duration::from_millis(50), 3);
+        let key = Keypair::from_seed(b"idem").public;
+        let a = bank.open_account(key, "a").unwrap();
+        let b = bank.open_account(key, "b").unwrap();
+        bank.mint(a, Credits::from_whole(100)).unwrap();
+
+        // The service executes the transfer but "the network" loses the
+        // reply; the client times out and re-sends the same request id.
+        bank.inject_drop_next_reply().unwrap();
+        let receipt = bank.transfer(a, b, Credits::from_whole(30)).unwrap();
+        assert!(bank.verify_receipt(&receipt).unwrap());
+
+        // Debited exactly once despite two executions of the request.
+        assert_eq!(bank.balance(a).unwrap(), Credits::from_whole(70));
+        assert_eq!(bank.balance(b).unwrap(), Credits::from_whole(30));
+
+        // An explicit replay of the same id (ids are handed out from a
+        // shared counter starting at 1, and the lost-reply transfer was
+        // the only id-consuming call) returns the same receipt and still
+        // moves no additional money.
+        let replay = bank.transfer_with_id(1, a, b, Credits::from_whole(30)).unwrap();
+        assert_eq!(replay, receipt);
+        assert_eq!(bank.balance(a).unwrap(), Credits::from_whole(70));
+        live.shutdown();
+    }
+
+    #[test]
+    fn dead_auctioneer_is_skipped_not_deadlocked() {
+        let mut live = LiveMarket::spawn(b"svc9", specs(3));
+        for id in live.host_ids() {
+            let c = live.auctioneer(id).unwrap();
+            c.place_bid(UserId(1), 0.1, Credits::from_whole(100)).unwrap();
+        }
+        assert!(live.kill_auctioneer(HostId(1)));
+        assert!(!live.kill_auctioneer(HostId(9)), "unknown host");
+
+        let results = live.tick(10.0);
+        let hosts: Vec<HostId> = results.iter().map(|(h, _)| *h).collect();
+        assert_eq!(hosts, vec![HostId(0), HostId(2)], "dead host skipped");
+        assert_eq!(live.dead_hosts(), vec![HostId(1)]);
+
+        // Clients for the dead host error rather than hang.
+        let c = live.auctioneer(HostId(1)).unwrap();
+        assert_eq!(c.allocate(10.0), Err(ServiceError::Disconnected));
         live.shutdown();
     }
 }

@@ -22,7 +22,9 @@ fn main() {
             let bank = bank.clone();
             std::thread::spawn(move || {
                 let key = gm_crypto::Keypair::from_seed(format!("agent{uid}").as_bytes()).public;
-                let acct = bank.open_account(key, &format!("agent{uid}"));
+                let acct = bank
+                    .open_account(key, &format!("agent{uid}"))
+                    .expect("bank reachable");
                 bank.mint(acct, Credits::from_whole(1000)).unwrap();
                 let mut handles = Vec::new();
                 for host in market.host_ids() {
@@ -31,7 +33,9 @@ fn main() {
                     let rate = 0.01 * uid as f64;
                     let escrow = Credits::from_whole(50);
                     // Move the escrow through the bank first (funded bid).
-                    let h = client.place_bid(UserId(uid), rate, escrow);
+                    let h = client
+                        .place_bid(UserId(uid), rate, escrow)
+                        .expect("auctioneer reachable");
                     handles.push((host, h));
                 }
                 (uid, acct, handles)
@@ -56,14 +60,19 @@ fn main() {
 
     // Shares should reflect the 1:2:3 rate ratio on every host.
     let c = market.auctioneer(HostId(0)).unwrap();
-    let (spot, _) = c.quote(UserId(1));
+    let (spot, _) = c.quote(UserId(1)).expect("quote");
     println!("\nhost000 spot price: {spot:.4} credits/s (= 0.01+0.02+0.03 + reserve)");
 
     // Cancel everything and show refunds.
     let mut total_refund = Credits::ZERO;
     for (_, _, handles) in &placed {
         for (host, h) in handles {
-            if let Some(r) = market.auctioneer(*host).unwrap().cancel_bid(*h) {
+            if let Some(r) = market
+                .auctioneer(*host)
+                .unwrap()
+                .cancel_bid(*h)
+                .expect("cancel_bid")
+            {
                 total_refund += r;
             }
         }

@@ -59,7 +59,7 @@ fn main() {
     // Quiet phase: 10 minutes alone.
     for _ in 0..60 {
         jm.step(&mut market, now);
-        now = now + dt;
+        now += dt;
     }
     println!("t=10min quiet cluster      service QoS so far: {:>5.1}%", qos_at(&jm) * 100.0);
 
@@ -80,7 +80,7 @@ fn main() {
 
     for _ in 0..60 {
         jm.step(&mut market, now);
-        now = now + dt;
+        now += dt;
     }
     let qos_mid = qos_at(&jm);
     let counts_at_boost = jm.job(svc).unwrap().qos_counts();
@@ -98,7 +98,7 @@ fn main() {
 
     for _ in 0..246 {
         jm.step(&mut market, now);
-        now = now + dt;
+        now += dt;
         if jm.all_settled() {
             break;
         }

@@ -1,0 +1,29 @@
+# Task runner for the gridmarket reproduction. Each recipe is plain
+# shell, so the commands also work copy-pasted without `just`.
+
+# Tier-1 verification: build, tests, and lint-as-error.
+verify:
+    cargo build --release
+    cargo test -q
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Fast feedback loop.
+test:
+    cargo test -q
+
+# Chaos suite: the fault-injection tests plus the chaos demo replayed
+# under three fixed seeds (each run checks money conservation and
+# same-seed byte-identical metrics internally).
+chaos:
+    cargo test -q --test chaos
+    cargo run --release --example chaos_run -- 2006
+    cargo run --release --example chaos_run -- 42
+    cargo run --release --example chaos_run -- 31337
+
+# Regenerate the paper's tables and figures (quick scale).
+experiments:
+    cargo run --release --example quickstart
+
+# Timing benchmarks (in-repo harness; also prints quality metrics).
+bench:
+    cargo bench --workspace

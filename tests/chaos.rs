@@ -1,0 +1,182 @@
+//! Chaos suite (`DESIGN.md` §8): the market, grid and bank under injected
+//! faults. Three angles:
+//!
+//! 1. A Table-1-style workload with fixed-time host crashes — every job
+//!    completes on the survivors, money is conserved, and the metrics are
+//!    byte-identical across same-seed runs.
+//! 2. A property over *random* fault schedules — whatever the schedule,
+//!    money is conserved and no sub-job is ever both completed and
+//!    re-dispatched.
+//! 3. The transfer-token replay defence end to end: an idempotent bank
+//!    transfer whose first reply is lost still mints exactly one receipt,
+//!    and redeeming the resulting token twice fails.
+
+use gm_grid::{GridIdentity, TokenError, TokenRegistry, TransferToken};
+use gridmarket::des::check::{check, Gen};
+use gridmarket::des::{FaultGenConfig, FaultPlan, SimDuration, SimTime};
+use gridmarket::scenario::{Scenario, ScenarioResult};
+use gridmarket::tycoon::{Credits, HostSpec, LiveMarket};
+
+/// The Table-1 workload (equal funding) over 6 hosts with two hosts
+/// crashing at fixed times mid-run; one recovers, one stays down.
+fn table1_with_crashes(seed: u64) -> ScenarioResult {
+    let mut plan = FaultPlan::new();
+    plan.host_crash(SimTime::from_secs(20 * 60), 0)
+        .host_recover(SimTime::from_secs(80 * 60), 0)
+        .host_crash(SimTime::from_secs(35 * 60), 3);
+    Scenario::builder()
+        .seed(seed)
+        .hosts(6)
+        .chunk_minutes(15.0)
+        .deadline_minutes(240)
+        .horizon_hours(12)
+        .equal_users(4, 120.0)
+        .faults(plan)
+        .run()
+        .expect("chaos scenario runs")
+}
+
+/// Everything a regression cares about, rendered to one comparable string.
+fn fingerprint(r: &ScenarioResult) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for u in &r.users {
+        writeln!(
+            s,
+            "{} {:?} {:.9} {:.9} {:.9} {} {} {}/{}",
+            u.label,
+            u.phase,
+            u.time_hours,
+            u.charged,
+            u.avg_nodes,
+            u.nodes,
+            u.latency_min_per_job,
+            u.completed_subjobs,
+            u.subjobs
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "{:?} {:?} {} {:.9} {:.9}",
+        r.finished_at, r.fault_counters, r.faults_injected, r.total_money, r.total_minted
+    )
+    .unwrap();
+    s
+}
+
+#[test]
+fn fixed_host_crashes_complete_on_survivors_and_replay_identically() {
+    let r = table1_with_crashes(2006);
+
+    // The faults actually bit: both crashes interrupted running work.
+    assert_eq!(r.fault_counters.host_crashes, 2);
+    assert!(
+        r.fault_counters.subjobs_interrupted > 0,
+        "crashes at 20/35 min must interrupt running sub-jobs"
+    );
+    assert_eq!(
+        r.fault_counters.subjobs_interrupted, r.fault_counters.redispatched,
+        "every interrupted sub-job is re-dispatched exactly once"
+    );
+    assert_eq!(r.crashed_hosts_at_end, 1, "host 3 never recovers");
+
+    // ... and yet every job completed, on the surviving hosts.
+    assert!(r.all_done(), "jobs must finish on survivors: {:?}", r.users);
+    assert!(
+        r.money_conserved(),
+        "minted {} vs held {}",
+        r.total_minted,
+        r.total_money
+    );
+    assert!(r.recovery_invariant_ok);
+
+    // Determinism: a second run with the same seed is byte-identical.
+    let again = table1_with_crashes(2006);
+    assert_eq!(fingerprint(&r), fingerprint(&again));
+}
+
+#[test]
+fn random_fault_schedules_conserve_money_and_never_double_complete() {
+    check("chaos_schedule", 6, |g: &mut Gen| {
+        let cfg = FaultGenConfig {
+            hosts: 4,
+            horizon: SimTime::from_secs(3 * 3600),
+            crashes: g.usize_in(0, 3) as u32,
+            mean_downtime: SimDuration::from_minutes(g.usize_in(5, 40) as u64),
+            vm_failures: g.usize_in(0, 3) as u32,
+            bank_outages: g.usize_in(0, 1) as u32,
+            outage_len: SimDuration::from_minutes(g.usize_in(2, 10) as u64),
+        };
+        let plan = FaultPlan::generate(g.u64(), cfg);
+        let r = Scenario::builder()
+            .seed(g.u64())
+            .hosts(4)
+            .chunk_minutes(10.0)
+            .deadline_minutes(120)
+            .horizon_hours(8)
+            .equal_users(2, 100.0)
+            .faults(plan)
+            .run()
+            .expect("chaos scenario runs");
+
+        // Faults may stall a job (that is reported honestly), but they can
+        // never create, destroy, or double-spend money ...
+        assert!(
+            r.money_conserved(),
+            "minted {} vs held {} under fault schedule",
+            r.total_minted,
+            r.total_money
+        );
+        // ... and a sub-job is never both completed and re-dispatched.
+        assert!(r.recovery_invariant_ok);
+        // Honest reporting: a Done job really did all its sub-jobs.
+        for u in &r.users {
+            if u.phase == gridmarket::grid::JobPhase::Done {
+                assert_eq!(u.completed_subjobs, u.subjobs);
+            }
+        }
+    });
+}
+
+#[test]
+fn replayed_transfer_token_is_rejected_even_with_lost_reply() {
+    // A live bank whose reply to the first transfer attempt is lost: the
+    // client times out, retries with the SAME request id, and the bank
+    // replays the recorded outcome instead of debiting twice.
+    let live = LiveMarket::spawn(b"replay", vec![HostSpec::testbed(0)]);
+    let bank = live.bank();
+    let user = GridIdentity::swegrid_user(1);
+    let payer = bank.open_account(user.public_key(), "payer").unwrap();
+    let broker = bank.open_account(user.public_key(), "broker").unwrap();
+    bank.mint(payer, Credits::from_whole(100)).unwrap();
+
+    bank.inject_drop_next_reply().unwrap();
+    let receipt = bank
+        .transfer_with_id(77, payer, broker, Credits::from_whole(40))
+        .expect("retry after lost reply succeeds");
+
+    // Exactly one debit despite the retry.
+    assert_eq!(bank.balance(payer).unwrap(), Credits::from_whole(60));
+    assert_eq!(bank.balance(broker).unwrap(), Credits::from_whole(40));
+
+    // A deliberate re-send of the same request id is idempotent: same
+    // receipt, no second debit.
+    let replayed = bank
+        .transfer_with_id(77, payer, broker, Credits::from_whole(40))
+        .expect("replay returns the recorded outcome");
+    assert_eq!(receipt, replayed, "replay must return the original receipt");
+    assert_eq!(bank.balance(payer).unwrap(), Credits::from_whole(60));
+
+    // The token minted from that receipt redeems once — a second
+    // presentation (replay attack) is rejected.
+    let bank_state = live.shutdown();
+    let token = TransferToken::create(&user, receipt, user.dn());
+    let mut registry = TokenRegistry::new();
+    assert!(token.verify(&bank_state, broker).is_ok());
+    registry.consume(&token).expect("first redemption succeeds");
+    match registry.consume(&token) {
+        Err(TokenError::AlreadySpent(id)) => assert_eq!(id, token.transfer_id()),
+        other => panic!("second redemption must fail AlreadySpent, got {other:?}"),
+    }
+}

@@ -41,7 +41,7 @@ fn token_lifecycle_to_settlement() {
     let mut now = SimTime::ZERO;
     for _ in 0..2000 {
         jm.step(&mut market, now);
-        now = now + SimDuration::from_secs(10);
+        now += SimDuration::from_secs(10);
         if jm.all_settled() {
             break;
         }
@@ -166,7 +166,7 @@ fn vm_reuse_between_sequential_jobs() {
     submit(&mut jm, &mut market, now);
     for _ in 0..200 {
         jm.step(&mut market, now);
-        now = now + SimDuration::from_secs(10);
+        now += SimDuration::from_secs(10);
         if jm.all_settled() {
             break;
         }
@@ -177,7 +177,7 @@ fn vm_reuse_between_sequential_jobs() {
     submit(&mut jm, &mut market, now);
     for _ in 0..200 {
         jm.step(&mut market, now);
-        now = now + SimDuration::from_secs(10);
+        now += SimDuration::from_secs(10);
         if jm.all_settled() {
             break;
         }

@@ -1,10 +1,14 @@
 //! The service boundary adds concurrency, not behaviour: a [`LiveMarket`]
 //! (threads + channels) and the in-process auctioneers produce identical
-//! results for identical schedules (`DESIGN.md` §7).
+//! results for identical schedules (`DESIGN.md` §7), and when an
+//! auctioneer service dies the live market degrades exactly like the
+//! deterministic [`Market`] with the same host crashed (`DESIGN.md` §8).
 
+use gridmarket::des::SimTime;
 use gridmarket::tycoon::{
-    Auctioneer, Credits, HostId, HostSpec, LiveMarket, UserId,
+    Auctioneer, Credits, HostId, HostSpec, LiveMarket, Market, UserId,
 };
+use std::time::Duration;
 
 /// A deterministic schedule of market operations.
 #[derive(Clone, Copy)]
@@ -82,24 +86,26 @@ fn live_and_local_markets_are_equivalent() {
     for op in schedule() {
         match op {
             Op::Place { user, host, rate, escrow } => {
-                let h = clients[host as usize].place_bid(
-                    UserId(user),
-                    rate,
-                    Credits::from_whole(escrow),
-                );
+                let h = clients[host as usize]
+                    .place_bid(UserId(user), rate, Credits::from_whole(escrow))
+                    .expect("live place_bid");
                 live_handles.push((host, h));
             }
             Op::Cancel { idx } => {
                 let (host, h) = live_handles[idx];
-                let _ = clients[host as usize].cancel_bid(h);
+                let _ = clients[host as usize].cancel_bid(h).expect("live cancel");
             }
             Op::TopUp { idx, extra } => {
                 let (host, h) = live_handles[idx];
-                let _ = clients[host as usize].top_up(h, Credits::from_whole(extra));
+                let _ = clients[host as usize]
+                    .top_up(h, Credits::from_whole(extra))
+                    .expect("live top_up");
             }
             Op::Rate { idx, rate } => {
                 let (host, h) = live_handles[idx];
-                let _ = clients[host as usize].update_rate(h, rate);
+                let _ = clients[host as usize]
+                    .update_rate(h, rate)
+                    .expect("live update_rate");
             }
             Op::Tick => {
                 for (_, allocs) in live.tick(10.0) {
@@ -118,9 +124,68 @@ fn live_and_local_markets_are_equivalent() {
     // Income matches host by host.
     let local_earned: Vec<Credits> = local.iter().map(|a| a.earned()).collect();
     let live_earned: Vec<Credits> = (0..2)
-        .map(|i| live.auctioneer(HostId(i)).unwrap().earned())
+        .map(|i| live.auctioneer(HostId(i)).unwrap().earned().expect("earned"))
         .collect();
     assert_eq!(local_earned, live_earned);
+    live.shutdown();
+}
+
+#[test]
+fn dead_auctioneer_degrades_like_a_crashed_host() {
+    let hosts: Vec<HostSpec> = (0..2).map(HostSpec::testbed).collect();
+
+    // --- live market: bids on both hosts, then host 1's service dies.
+    let mut live = LiveMarket::spawn(b"degrade", hosts.clone());
+    let c0 = live.auctioneer(HostId(0)).unwrap();
+    let c1 = live.auctioneer(HostId(1)).unwrap();
+    c0.place_bid(UserId(1), 0.02, Credits::from_whole(40)).unwrap();
+    c0.place_bid(UserId(2), 0.06, Credits::from_whole(40)).unwrap();
+    c1.place_bid(UserId(1), 0.03, Credits::from_whole(40)).unwrap();
+    assert!(live.kill_auctioneer(HostId(1)));
+
+    // Calls against the dead host fail fast with a typed error.
+    assert!(c1.quote(UserId(1)).is_err(), "dead host must error, not hang");
+
+    // The scatter-gather tick degrades: the dead host is skipped, not
+    // waited on, and is reported via `dead_hosts`.
+    let t0 = std::time::Instant::now();
+    let live_allocs = live.tick(10.0);
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "tick must not hang on a dead auctioneer"
+    );
+    assert_eq!(live.dead_hosts(), vec![HostId(1)]);
+
+    // --- deterministic market: same bids, same host crashed.
+    let mut market = Market::new(b"degrade");
+    for spec in hosts {
+        market.add_host(spec);
+    }
+    market.set_interval_secs(10.0);
+    let key = gm_crypto::Keypair::from_seed(b"degrade-user").public;
+    let u1 = market.bank_mut().open_account(key, "u1");
+    let u2 = market.bank_mut().open_account(key, "u2");
+    market.bank_mut().mint(u1, Credits::from_whole(1000)).unwrap();
+    market.bank_mut().mint(u2, Credits::from_whole(1000)).unwrap();
+    market
+        .place_funded_bid(UserId(1), u1, HostId(0), 0.02, Credits::from_whole(40))
+        .unwrap();
+    market
+        .place_funded_bid(UserId(2), u2, HostId(0), 0.06, Credits::from_whole(40))
+        .unwrap();
+    market
+        .place_funded_bid(UserId(1), u1, HostId(1), 0.03, Credits::from_whole(40))
+        .unwrap();
+    market.crash_host(HostId(1)).unwrap();
+    let det_allocs = market.tick(SimTime::from_secs(10));
+
+    // Both sides report exactly the surviving host's allocations.
+    assert_eq!(
+        live_allocs, det_allocs,
+        "degraded live tick diverged from the crashed deterministic market"
+    );
+    assert_eq!(live_allocs.len(), 1);
+    assert_eq!(live_allocs[0].0, HostId(0));
     live.shutdown();
 }
 
@@ -135,13 +200,15 @@ fn live_market_survives_many_concurrent_agents() {
                 for round in 0..20 {
                     for host in live.host_ids() {
                         let c = live.auctioneer(host).unwrap();
-                        let h = c.place_bid(
-                            UserId(uid),
-                            0.001 + round as f64 * 1e-4,
-                            Credits::from_whole(1),
-                        );
+                        let h = c
+                            .place_bid(
+                                UserId(uid),
+                                0.001 + round as f64 * 1e-4,
+                                Credits::from_whole(1),
+                            )
+                            .expect("stress place_bid");
                         if round % 2 == 0 {
-                            c.cancel_bid(h);
+                            let _ = c.cancel_bid(h).expect("stress cancel");
                         }
                     }
                 }
@@ -160,8 +227,8 @@ fn live_market_survives_many_concurrent_agents() {
     // this is a race-freedom smoke test under real concurrency).
     for host in live.host_ids() {
         let c = live.auctioneer(host).unwrap();
-        assert!(c.earned() >= Credits::ZERO);
-        let allocs = c.allocate(1.0);
+        assert!(c.earned().expect("earned") >= Credits::ZERO);
+        let allocs = c.allocate(1.0).expect("allocate");
         for a in &allocs {
             assert!(a.share >= 0.0 && a.share <= 1.0);
         }

@@ -1,7 +1,8 @@
-//! Property-based tests (proptest) over the core invariants.
+//! Property-based tests over the core invariants, on the in-repo
+//! `gm_des::check` harness (seeded, deterministic, replayable: a failure
+//! prints the exact `Gen::new(seed)` to reproduce the case).
 
-use proptest::prelude::*;
-
+use gridmarket::des::check::{check, Gen};
 use gridmarket::des::{Pcg32, Rng64, SimTime};
 use gridmarket::numeric::{levinson_durbin, smoothing_spline, Histogram, Matrix};
 use gridmarket::predict::SlotTable;
@@ -9,14 +10,24 @@ use gridmarket::tycoon::{
     best_response, utility, Bank, Credits, HostId, HostQuote, HostSpec, Market, UserId,
 };
 
-proptest! {
-    /// Bank transfers never create or destroy money, regardless of the
-    /// operation sequence.
-    #[test]
-    fn bank_conserves_money(ops in proptest::collection::vec((0u8..4, 0usize..4, 0usize..4, 1i64..500), 1..60)) {
+/// Bank transfers never create or destroy money, regardless of the
+/// operation sequence.
+#[test]
+fn bank_conserves_money() {
+    check("bank_conserves_money", 192, |g| {
+        let ops = g.vec_with(1, 60, |g| {
+            (
+                g.u64_in(0, 3) as u8,
+                g.usize_in(0, 3),
+                g.usize_in(0, 3),
+                g.i64_in(1, 499),
+            )
+        });
         let mut bank = Bank::new(b"prop");
         let keys = gm_crypto::Keypair::from_seed(b"owner");
-        let accounts: Vec<_> = (0..4).map(|i| bank.open_account(keys.public, &format!("a{i}"))).collect();
+        let accounts: Vec<_> = (0..4)
+            .map(|i| bank.open_account(keys.public, &format!("a{i}")))
+            .collect();
         let mut minted = Credits::ZERO;
         for a in &accounts {
             bank.mint(*a, Credits::from_whole(1000)).unwrap();
@@ -25,32 +36,43 @@ proptest! {
         for (op, from, to, amount) in ops {
             let amount = Credits::from_whole(amount);
             match op {
-                0..=2 => { let _ = bank.transfer(accounts[from], accounts[to], amount); }
-                _ => { let _ = bank.open_sub_account(accounts[from], keys.public, "sub", amount); }
+                0..=2 => {
+                    let _ = bank.transfer(accounts[from], accounts[to], amount);
+                }
+                _ => {
+                    let _ = bank.open_sub_account(accounts[from], keys.public, "sub", amount);
+                }
             }
         }
-        prop_assert_eq!(bank.total_money(), minted);
-    }
+        assert_eq!(bank.total_money(), minted);
+    });
+}
 
-    /// Best Response output always satisfies the budget constraint and is
-    /// never beaten by random feasible alternatives.
-    #[test]
-    fn best_response_is_feasible_and_unbeaten(
-        weights in proptest::collection::vec(1.0f64..5000.0, 1..8),
-        prices in proptest::collection::vec(1e-6f64..10.0, 1..8),
-        budget in 1e-3f64..100.0,
-        seed in 0u64..1000,
-    ) {
-        let n = weights.len().min(prices.len());
-        let quotes: Vec<HostQuote> = (0..n).map(|i| HostQuote {
-            host: HostId(i as u32),
-            weight: weights[i],
-            others_rate: prices[i],
-        }).collect();
+/// Best Response output always satisfies the budget constraint and is
+/// never beaten by random feasible alternatives.
+#[test]
+fn best_response_is_feasible_and_unbeaten() {
+    check("best_response_is_feasible_and_unbeaten", 192, |g| {
+        let n = g.usize_in(1, 7);
+        let quotes: Vec<HostQuote> = (0..n)
+            .map(|i| HostQuote {
+                host: HostId(i as u32),
+                weight: g.f64_in(1.0, 5000.0),
+                others_rate: g.f64_in(1e-6, 10.0),
+            })
+            .collect();
+        let budget = g.f64_in(1e-3, 100.0);
+        let seed = g.u64_in(0, 999);
+
         let bids = best_response(&quotes, budget, usize::MAX);
         let total: f64 = bids.iter().map(|(_, x)| x).sum();
-        prop_assert!((total - budget).abs() < 1e-6 * budget.max(1.0), "budget violated: {} vs {}", total, budget);
-        for (_, x) in &bids { prop_assert!(*x > 0.0); }
+        assert!(
+            (total - budget).abs() < 1e-6 * budget.max(1.0),
+            "budget violated: {total} vs {budget}"
+        );
+        for (_, x) in &bids {
+            assert!(*x > 0.0);
+        }
 
         // Compare against random simplex points.
         let mut x_star = vec![0.0; n];
@@ -62,20 +84,29 @@ proptest! {
         for _ in 0..30 {
             let mut alt: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
             let s: f64 = alt.iter().sum();
-            if s <= 0.0 { continue; }
-            for a in alt.iter_mut() { *a *= budget / s; }
+            if s <= 0.0 {
+                continue;
+            }
+            for a in alt.iter_mut() {
+                *a *= budget / s;
+            }
             let u_alt = utility(&alt, &quotes);
-            prop_assert!(u_alt <= u_star + 1e-7 * u_star.abs().max(1.0),
-                "random bid beats best response: {} > {}", u_alt, u_star);
+            assert!(
+                u_alt <= u_star + 1e-7 * u_star.abs().max(1.0),
+                "random bid beats best response: {u_alt} > {u_star}"
+            );
         }
-    }
+    });
+}
 
-    /// The proportional-share auctioneer conserves escrow + income exactly.
-    #[test]
-    fn auctioneer_conserves_credits(
-        bids in proptest::collection::vec((1u32..5, 1e-4f64..2.0, 1i64..100), 1..10),
-        intervals in 1usize..20,
-    ) {
+/// The proportional-share auctioneer conserves escrow + income exactly.
+#[test]
+fn auctioneer_conserves_credits() {
+    check("auctioneer_conserves_credits", 256, |g| {
+        let bids = g.vec_with(1, 10, |g| {
+            (g.u64_in(1, 4) as u32, g.f64_in(1e-4, 2.0), g.i64_in(1, 99))
+        });
+        let intervals = g.usize_in(1, 19);
         let mut a = gridmarket::tycoon::Auctioneer::new(HostSpec::testbed(0));
         let mut deposited = Credits::ZERO;
         let mut handles = Vec::new();
@@ -86,53 +117,69 @@ proptest! {
         }
         for _ in 0..intervals {
             for alloc in a.allocate(10.0) {
-                prop_assert!(alloc.share >= 0.0 && alloc.share <= 1.0);
-                prop_assert!(alloc.capacity_mhz >= 0.0);
+                assert!(alloc.share >= 0.0 && alloc.share <= 1.0);
+                assert!(alloc.capacity_mhz >= 0.0);
             }
         }
         let remaining: Credits = handles.iter().filter_map(|h| a.escrow(*h)).sum();
-        prop_assert_eq!(remaining + a.earned(), deposited);
-    }
+        assert_eq!(remaining + a.earned(), deposited);
+    });
+}
 
-    /// Shares on a host always sum to ≤ 1 and are proportional to rates.
-    #[test]
-    fn shares_sum_to_at_most_one(
-        rates in proptest::collection::vec(1e-4f64..5.0, 1..12),
-    ) {
+/// Shares on a host always sum to ≤ 1 and are proportional to rates.
+#[test]
+fn shares_sum_to_at_most_one() {
+    check("shares_sum_to_at_most_one", 256, |g| {
+        let rates = g.vec_with(1, 12, |g| g.f64_in(1e-4, 5.0));
         let mut a = gridmarket::tycoon::Auctioneer::new(HostSpec::testbed(0));
         for (i, r) in rates.iter().enumerate() {
             a.place_bid(UserId(i as u32), *r, Credits::from_whole(1000));
         }
         let allocs = a.allocate(10.0);
         let total: f64 = allocs.iter().map(|x| x.share).sum();
-        prop_assert!(total <= 1.0 + 1e-9, "shares sum {}", total);
+        assert!(total <= 1.0 + 1e-9, "shares sum {total}");
         // Proportionality: share_i / share_j == rate_i / rate_j.
         if allocs.len() >= 2 {
             let r0 = allocs[0].share / rates[0];
             for (k, al) in allocs.iter().enumerate() {
-                prop_assert!((al.share / rates[k] - r0).abs() < 1e-9);
+                assert!((al.share / rates[k] - r0).abs() < 1e-9);
             }
         }
-    }
+    });
+}
 
-    /// Market-level invariant: placing/cancelling funded bids keeps the
-    /// bank books balanced.
-    #[test]
-    fn market_bid_lifecycle_conserves(
-        actions in proptest::collection::vec((0u8..3, 0u32..3, 1e-3f64..1.0, 1i64..50), 1..30),
-    ) {
+/// Market-level invariant: placing/cancelling funded bids keeps the bank
+/// books balanced.
+#[test]
+fn market_bid_lifecycle_conserves() {
+    check("market_bid_lifecycle_conserves", 192, |g| {
+        let actions = g.vec_with(1, 30, |g| {
+            (
+                g.u64_in(0, 2) as u8,
+                g.u64_in(0, 2) as u32,
+                g.f64_in(1e-3, 1.0),
+                g.i64_in(1, 49),
+            )
+        });
         let mut market = Market::new(b"propmkt");
-        for i in 0..3 { market.add_host(HostSpec::testbed(i)); }
+        for i in 0..3 {
+            market.add_host(HostSpec::testbed(i));
+        }
         let key = gm_crypto::Keypair::from_seed(b"u").public;
         let acct = market.bank_mut().open_account(key, "payer");
-        market.bank_mut().mint(acct, Credits::from_whole(100_000)).unwrap();
+        market
+            .bank_mut()
+            .mint(acct, Credits::from_whole(100_000))
+            .unwrap();
         let mut live: Vec<(HostId, gridmarket::tycoon::BidHandle)> = Vec::new();
         let mut now = 0u64;
         for (op, host, rate, escrow) in actions {
             let host = HostId(host);
             match op {
                 0 => {
-                    if let Ok(h) = market.place_funded_bid(UserId(1), acct, host, rate, Credits::from_whole(escrow)) {
+                    if let Ok(h) =
+                        market.place_funded_bid(UserId(1), acct, host, rate, Credits::from_whole(escrow))
+                    {
                         live.push((host, h));
                     }
                 }
@@ -144,79 +191,117 @@ proptest! {
                 _ => {
                     now += 10;
                     market.tick(SimTime::from_secs(now));
-                    live.retain(|(h, b)| market.auctioneer(*h).is_some_and(|a| a.escrow(*b).is_some()));
+                    live.retain(|(h, b)| {
+                        market.auctioneer(*h).is_some_and(|a| a.escrow(*b).is_some())
+                    });
                 }
             }
-            prop_assert_eq!(market.bank().total_money(), Credits::from_whole(100_000));
+            assert_eq!(market.bank().total_money(), Credits::from_whole(100_000));
         }
-    }
+    });
+}
 
-    /// SHA-256 streaming equals one-shot for arbitrary chunkings.
-    #[test]
-    fn sha256_streaming_equivalence(data in proptest::collection::vec(any::<u8>(), 0..2000), cut in 0usize..2000) {
+/// SHA-256 streaming equals one-shot for arbitrary chunkings.
+#[test]
+fn sha256_streaming_equivalence() {
+    check("sha256_streaming_equivalence", 256, |g| {
+        let data = g.bytes(0, 2000);
+        let cut = g.usize_in(0, data.len());
         let one = gm_crypto::sha256(&data);
-        let cut = cut.min(data.len());
         let mut h = gm_crypto::Sha256::new();
         h.update(&data[..cut]);
         h.update(&data[cut..]);
-        prop_assert_eq!(h.finalize(), one);
-    }
+        assert_eq!(h.finalize(), one);
+    });
+}
 
-    /// Signature round trip for arbitrary messages/seeds; cross-key
-    /// verification always fails.
-    #[test]
-    fn signatures_verify_only_with_right_key(msg in proptest::collection::vec(any::<u8>(), 0..256), s1 in any::<u64>(), s2 in any::<u64>()) {
-        prop_assume!(s1 != s2);
+/// Signature round trip for arbitrary messages/seeds; cross-key
+/// verification always fails.
+#[test]
+fn signatures_verify_only_with_right_key() {
+    check("signatures_verify_only_with_right_key", 128, |g| {
+        let msg = g.bytes(0, 256);
+        let s1 = g.u64();
+        let s2 = g.u64();
+        if s1 == s2 {
+            return;
+        }
         let k1 = gm_crypto::Keypair::from_seed(&s1.to_be_bytes());
         let k2 = gm_crypto::Keypair::from_seed(&s2.to_be_bytes());
         let sig = k1.sign(&msg);
-        prop_assert!(k1.public.verify(&msg, &sig));
-        prop_assert!(!k2.public.verify(&msg, &sig));
-    }
+        assert!(k1.public.verify(&msg, &sig));
+        assert!(!k2.public.verify(&msg, &sig));
+    });
+}
 
-    /// Field arithmetic: (a·b)·c == a·(b·c) and a·(b+c) == a·b + a·c.
-    #[test]
-    fn field_ring_axioms(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+/// Field arithmetic: (a·b)·c == a·(b·c) and a·(b+c) == a·b + a·c.
+#[test]
+fn field_ring_axioms() {
+    check("field_ring_axioms", 256, |g| {
         use gm_crypto::field;
-        let (a, b, c) = (a % field::P, b % field::P, c % field::P);
-        prop_assert_eq!(field::mul(field::mul(a, b), c), field::mul(a, field::mul(b, c)));
-        prop_assert_eq!(field::mul(a, field::add(b, c)), field::add(field::mul(a, b), field::mul(a, c)));
-        prop_assert_eq!(field::mul(a, 1), a);
-        prop_assert_eq!(field::add(a, field::sub(b, a)), b % field::P);
-    }
+        let wide = |g: &mut Gen| ((g.u64() as u128) << 64 | g.u64() as u128) % field::P;
+        let (a, b, c) = (wide(g), wide(g), wide(g));
+        assert_eq!(
+            field::mul(field::mul(a, b), c),
+            field::mul(a, field::mul(b, c))
+        );
+        assert_eq!(
+            field::mul(a, field::add(b, c)),
+            field::add(field::mul(a, b), field::mul(a, c))
+        );
+        assert_eq!(field::mul(a, 1), a);
+        assert_eq!(field::add(a, field::sub(b, a)), b % field::P);
+    });
+}
 
-    /// Slot tables never lose samples through range doublings.
-    #[test]
-    fn slot_table_preserves_counts(prices in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+/// Slot tables never lose samples through range doublings.
+#[test]
+fn slot_table_preserves_counts() {
+    check("slot_table_preserves_counts", 256, |g| {
+        let prices = g.vec_with(1, 200, |g| g.f64_in(0.0, 1e6));
         let mut t = SlotTable::new(8, 0.5);
-        for &p in &prices { t.add(p); }
-        prop_assert_eq!(t.total(), prices.len() as u64);
+        for &p in &prices {
+            t.add(p);
+        }
+        assert_eq!(t.total(), prices.len() as u64);
         let counted: u64 = t.counts().iter().sum();
-        prop_assert_eq!(counted, prices.len() as u64);
+        assert_eq!(counted, prices.len() as u64);
         let s: f64 = t.proportions().iter().sum();
-        prop_assert!((s - 1.0).abs() < 1e-9);
-    }
+        assert!((s - 1.0).abs() < 1e-9);
+    });
+}
 
-    /// Histogram proportions always form a distribution.
-    #[test]
-    fn histogram_is_distribution(xs in proptest::collection::vec(-100.0f64..100.0, 1..200), bins in 1usize..32) {
+/// Histogram proportions always form a distribution.
+#[test]
+fn histogram_is_distribution() {
+    check("histogram_is_distribution", 256, |g| {
+        let xs = g.vec_with(1, 200, |g| g.f64_in(-100.0, 100.0));
+        let bins = g.usize_in(1, 31);
         let h = Histogram::from_samples(-50.0, 50.0, bins, &xs);
-        prop_assert_eq!(h.total(), xs.len() as u64);
+        assert_eq!(h.total(), xs.len() as u64);
         let s: f64 = h.proportions().iter().sum();
-        prop_assert!((s - 1.0).abs() < 1e-9);
-    }
+        assert!((s - 1.0).abs() < 1e-9);
+    });
+}
 
-    /// Levinson-Durbin agrees with a dense LU solve of the same Toeplitz
-    /// system on positive-definite inputs (biased autocovariances of a
-    /// random series are always PSD).
-    #[test]
-    fn levinson_matches_dense_solve(seed in any::<u64>(), order in 1usize..6) {
+/// Levinson-Durbin agrees with a dense LU solve of the same Toeplitz
+/// system on positive-definite inputs (biased autocovariances of a random
+/// series are always PSD).
+#[test]
+fn levinson_matches_dense_solve() {
+    check("levinson_matches_dense_solve", 128, |g| {
+        let seed = g.u64();
+        let order = g.usize_in(1, 5);
         let mut rng = Pcg32::seed_from_u64(seed);
         let series: Vec<f64> = (0..200).map(|_| rng.next_f64() * 10.0).collect();
         let r = gridmarket::numeric::toeplitz::autocorrelations_biased(&series, order);
-        prop_assume!(r[0] > 1e-9);
+        if r[0] <= 1e-9 {
+            return;
+        }
         if let Some((a, e)) = levinson_durbin(&r) {
-            prop_assume!(e > 1e-9); // skip clamped/degenerate recursions
+            if e <= 1e-9 {
+                return; // skip clamped/degenerate recursions
+            }
             let k = order;
             let mut m = Matrix::zeros(k, k);
             for i in 0..k {
@@ -224,36 +309,67 @@ proptest! {
                     m[(i, j)] = r[(i as isize - j as isize).unsigned_abs()];
                 }
             }
-            if let Some(x) = m.solve(&r[1..].to_vec()) {
+            if let Some(x) = m.solve(&r[1..]) {
                 for (ai, xi) in a.iter().zip(&x) {
-                    prop_assert!((ai - xi).abs() < 1e-6, "{} vs {}", ai, xi);
+                    assert!((ai - xi).abs() < 1e-6, "{ai} vs {xi}");
                 }
             }
         }
-    }
+    });
+}
 
-    /// The smoothing spline is a smoother: it never increases total
-    /// roughness, and λ=0 is the identity.
-    #[test]
-    fn spline_never_roughens(ys in proptest::collection::vec(-10.0f64..10.0, 3..100), lambda in 0.0f64..1e4) {
+/// The smoothing spline is a smoother: it never increases total roughness,
+/// and λ=0 is the identity.
+#[test]
+fn spline_never_roughens() {
+    check("spline_never_roughens", 192, |g| {
+        let ys = g.vec_with(3, 100, |g| g.f64_in(-10.0, 10.0));
+        let lambda = g.f64_in(0.0, 1e4);
         let rough = |v: &[f64]| -> f64 {
-            v.windows(3).map(|w| { let d = w[0] - 2.0*w[1] + w[2]; d*d }).sum()
+            v.windows(3)
+                .map(|w| {
+                    let d = w[0] - 2.0 * w[1] + w[2];
+                    d * d
+                })
+                .sum()
         };
         let z = smoothing_spline(&ys, lambda);
-        prop_assert_eq!(z.len(), ys.len());
-        prop_assert!(rough(&z) <= rough(&ys) + 1e-9);
+        assert_eq!(z.len(), ys.len());
+        assert!(rough(&z) <= rough(&ys) + 1e-9);
         let id = smoothing_spline(&ys, 0.0);
-        prop_assert_eq!(id, ys);
-    }
+        assert_eq!(id, ys);
+    });
+}
 
-
-    /// xRSL built from arbitrary attribute/value strings round-trips
-    /// through the printer and parser.
-    #[test]
-    fn xrsl_round_trips(attrs in proptest::collection::vec(
-        ("[a-zA-Z][a-zA-Z0-9_]{0,15}", "[ -~&&[^\"\\\\]]{0,40}"), 1..10))
-    {
+/// xRSL built from arbitrary attribute/value strings round-trips through
+/// the printer and parser.
+#[test]
+fn xrsl_round_trips() {
+    check("xrsl_round_trips", 192, |g| {
         use gridmarket::grid::Xrsl;
+        let ident = |g: &mut Gen| -> String {
+            const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+            const TAIL: &[u8] =
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+            let mut s = String::new();
+            s.push(*g.choose(HEAD) as char);
+            for _ in 0..g.usize_in(0, 15) {
+                s.push(*g.choose(TAIL) as char);
+            }
+            s
+        };
+        // Printable ASCII minus '"' and '\'.
+        let value = |g: &mut Gen| -> String {
+            g.vec_with(0, 40, |g| loop {
+                let c = g.u64_in(0x20, 0x7e) as u8 as char;
+                if c != '"' && c != '\\' {
+                    return c;
+                }
+            })
+            .into_iter()
+            .collect()
+        };
+        let attrs = g.vec_with(1, 10, |g| (ident(g), value(g)));
         // set_str replaces earlier values: dedupe on lowercased name,
         // keeping the last write (names are case-insensitive in xRSL).
         let mut unique: std::collections::BTreeMap<String, String> = Default::default();
@@ -267,15 +383,19 @@ proptest! {
         let text = x.to_text();
         let back = Xrsl::parse(&text).expect("printer output must parse");
         for (name, value) in &unique {
-            prop_assert_eq!(back.get_str(name), Some(value.as_str()));
+            assert_eq!(back.get_str(name), Some(value.as_str()));
         }
-    }
+    });
+}
 
-    /// Transfer tokens round-trip hex encoding for arbitrary amounts and
-    /// DN-ish strings, and still verify afterwards.
-    #[test]
-    fn token_hex_round_trips(amount in 1i64..1_000_000, user_n in 1u32..1000) {
+/// Transfer tokens round-trip hex encoding for arbitrary amounts and
+/// DN-ish strings, and still verify afterwards.
+#[test]
+fn token_hex_round_trips() {
+    check("token_hex_round_trips", 96, |g| {
         use gridmarket::grid::{GridIdentity, TransferToken};
+        let amount = g.i64_in(1, 999_999);
+        let user_n = g.u64_in(1, 999) as u32;
         let mut bank = Bank::new(b"prop-token");
         let user = GridIdentity::swegrid_user(user_n);
         let broker = GridIdentity::from_dn("/O=Grid/CN=broker");
@@ -285,34 +405,36 @@ proptest! {
         let receipt = bank.transfer(ua, ba, Credits::from_whole(amount)).unwrap();
         let token = TransferToken::create(&user, receipt, user.dn());
         let back = TransferToken::from_hex(&token.to_hex()).expect("decode");
-        prop_assert_eq!(&back, &token);
-        prop_assert!(back.verify(&bank, ba).is_ok());
-    }
+        assert_eq!(&back, &token);
+        assert!(back.verify(&bank, ba).is_ok());
+    });
+}
 
-    /// The dual-window distribution is always a probability distribution
-    /// once samples exist, for arbitrary window sizes and price streams.
-    #[test]
-    fn dual_window_stays_normalized(
-        window in 1u64..50,
-        prices in proptest::collection::vec(0.0f64..1e5, 1..300),
-    ) {
+/// The dual-window distribution is always a probability distribution once
+/// samples exist, for arbitrary window sizes and price streams.
+#[test]
+fn dual_window_stays_normalized() {
+    check("dual_window_stays_normalized", 128, |g| {
         use gridmarket::predict::DualWindowDistribution;
+        let window = g.u64_in(1, 49);
+        let prices = g.vec_with(1, 300, |g| g.f64_in(0.0, 1e5));
         let mut d = DualWindowDistribution::new(window, 8, 0.5);
         for &p in &prices {
             d.add(p);
             let s: f64 = d.proportions().iter().sum();
-            prop_assert!((s - 1.0).abs() < 1e-9, "sum {}", s);
+            assert!((s - 1.0).abs() < 1e-9, "sum {s}");
         }
-    }
+    });
+}
 
-    /// Moving smoothed moments never produce NaN and the smoothed mean
-    /// stays within the observed range.
-    #[test]
-    fn smoothed_moments_stay_bounded(
-        window in 1usize..100,
-        xs in proptest::collection::vec(0.0f64..1e6, 1..200),
-    ) {
+/// Moving smoothed moments never produce NaN and the smoothed mean stays
+/// within the observed range.
+#[test]
+fn smoothed_moments_stay_bounded() {
+    check("smoothed_moments_stay_bounded", 192, |g| {
         use gridmarket::numeric::stats::SmoothedMoments;
+        let window = g.usize_in(1, 99);
+        let xs = g.vec_with(1, 200, |g| g.f64_in(0.0, 1e6));
         let mut sm = SmoothedMoments::new(window);
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for &x in &xs {
@@ -320,16 +442,19 @@ proptest! {
             lo = lo.min(x);
             hi = hi.max(x);
             let m = sm.mean().unwrap();
-            prop_assert!(m.is_finite());
-            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9, "mean {} outside [{}, {}]", m, lo, hi);
-            prop_assert!(sm.std_dev().unwrap().is_finite());
+            assert!(m.is_finite());
+            assert!(m >= lo - 1e-9 && m <= hi + 1e-9, "mean {m} outside [{lo}, {hi}]");
+            assert!(sm.std_dev().unwrap().is_finite());
         }
-    }
+    });
+}
 
-    /// Credits float round trip is exact at micro precision.
-    #[test]
-    fn credits_round_trip(micros in -1_000_000_000_000i64..1_000_000_000_000) {
+/// Credits float round trip is exact at micro precision.
+#[test]
+fn credits_round_trip() {
+    check("credits_round_trip", 256, |g| {
+        let micros = g.i64_in(-1_000_000_000_000, 1_000_000_000_000);
         let c = Credits::from_micros(micros);
-        prop_assert_eq!(Credits::from_f64(c.as_f64()).as_micros(), micros);
-    }
+        assert_eq!(Credits::from_f64(c.as_f64()).as_micros(), micros);
+    });
 }
