@@ -34,6 +34,7 @@
 //! * [`gm_bio`] — the bioinformatics workload ([`bio`]).
 //! * [`gm_baselines`] — FIFO/equal-share/G-commerce/WTA baselines
 //!   ([`baselines`]).
+//! * [`gm_telemetry`] — deterministic metrics + tracing ([`telemetry`]).
 //! * [`gm_des`] / [`gm_numeric`] — simulation kernel and numerics.
 
 pub mod report;
@@ -48,4 +49,5 @@ pub use gm_des as des;
 pub use gm_grid as grid;
 pub use gm_numeric as numeric;
 pub use gm_predict as predict;
+pub use gm_telemetry as telemetry;
 pub use gm_tycoon as tycoon;

@@ -8,6 +8,8 @@
 //! and the result carries exactly the metrics of Tables 1–2: **Time** (h),
 //! **Cost** ($/h), **Latency** (min/job) and **Nodes**.
 
+use std::sync::Arc;
+
 use gm_bio::workload::{fund_token, BioWorkload};
 use gm_bio::{bio_job_xrsl, CHUNK_MINUTES_AT_FULL_CPU};
 use gm_des::{FaultKind, FaultPlan, SimDuration, SimTime, Trace};
@@ -15,7 +17,12 @@ use gm_grid::{
     AgentConfig, FaultCounters, GridError, GridIdentity, JobId, JobManager, JobPhase, JobSpec,
     VmConfig,
 };
+use gm_telemetry::{metrics_jsonl, trace_jsonl, Clock, ManualClock, MetricsSnapshot, Registry, Tracer};
 use gm_tycoon::{AccountId, Credits, HostId, HostSpec, Market};
+
+/// Capacity of the scenario's fault-event trace ring. Fault plans are
+/// hand-written schedules, so this is far more than any run produces.
+const TRACE_CAPACITY: usize = 4096;
 
 /// Per-user scenario parameters.
 #[derive(Clone, Debug)]
@@ -183,9 +190,18 @@ impl Scenario {
     /// Run the scenario to completion (or the horizon).
     pub fn run(self) -> Result<ScenarioResult, GridError> {
         assert!(!self.users.is_empty(), "scenario needs at least one user");
+        // Telemetry rides the simulation clock: `sim_clock` is advanced in
+        // lockstep with `now`, so the same seed yields a byte-identical
+        // JSONL export (DESIGN.md §9).
+        let registry = Registry::new();
+        let sim_clock = ManualClock::new();
+        let clock: Arc<dyn Clock> = Arc::new(sim_clock.clone());
+        let tracer = Tracer::new(TRACE_CAPACITY, Arc::clone(&clock));
+        let faults_injected_counter = registry.counter("faults.injected");
         let seed_bytes = self.seed.to_be_bytes();
         let mut market = Market::new(&seed_bytes);
         market.set_interval_secs(self.interval_secs);
+        market.attach_telemetry(&registry, Arc::clone(&clock));
         let mut host_rng = gm_des::Pcg32::new(self.seed, 0x05f5);
         for i in 0..self.hosts {
             let mut spec = HostSpec::testbed(i);
@@ -196,7 +212,7 @@ impl Scenario {
             }
             market.add_host(spec);
         }
-        let mut jm = JobManager::new(&mut market, self.agent, self.vm);
+        let mut jm = JobManager::with_registry(&mut market, self.agent, self.vm, &registry);
 
         // Users, accounts, endowments and submission times.
         struct PendingUser {
@@ -236,25 +252,37 @@ impl Scenario {
         let mut fault_plan = self.faults.clone();
         let mut faults_injected = 0usize;
         while now < horizon {
+            sim_clock.set_micros(now.as_micros());
             // Deliver scheduled faults at the interval boundary, before
             // the agents act on the interval.
             for ev in fault_plan.take_due(now) {
                 faults_injected += 1;
+                faults_injected_counter.inc();
                 let host = HostId(ev.target % self.hosts.max(1));
+                let host_field = [("host", host.0.to_string())];
                 match ev.kind {
                     FaultKind::HostCrash => {
+                        tracer.event_with("fault.host_crash", &host_field);
                         if market.crash_host(host).is_ok() {
                             jm.handle_host_crash(host, now);
                         }
                     }
                     FaultKind::HostRecover => {
+                        tracer.event_with("fault.host_recover", &host_field);
                         let _ = market.recover_host(host);
                     }
                     FaultKind::VmFailure => {
+                        tracer.event_with("fault.vm_fail", &host_field);
                         let _ = jm.handle_vm_failure_any(host, now);
                     }
-                    FaultKind::BankOutage => market.set_bank_online(false),
-                    FaultKind::BankRestore => market.set_bank_online(true),
+                    FaultKind::BankOutage => {
+                        tracer.event("fault.bank_outage");
+                        market.set_bank_online(false);
+                    }
+                    FaultKind::BankRestore => {
+                        tracer.event("fault.bank_restore");
+                        market.set_bank_online(true);
+                    }
                     // Only meaningful for the live service runtime; the
                     // deterministic simulation has no messages to lose
                     // (DESIGN.md §8).
@@ -330,6 +358,9 @@ impl Scenario {
             .collect();
 
         let monitor = gm_grid::monitor::render(&market, &jm, 15);
+        sim_clock.set_micros(now.as_micros());
+        let metrics = registry.snapshot();
+        let telemetry_jsonl = format!("{}{}", metrics_jsonl(&metrics), trace_jsonl(&tracer));
         Ok(ScenarioResult {
             users,
             price_trace: market.price_trace().clone(),
@@ -341,6 +372,8 @@ impl Scenario {
             fault_counters: jm.fault_counters(),
             crashed_hosts_at_end: market.crashed_host_ids().len(),
             recovery_invariant_ok: jm.recovery_invariant_ok(),
+            metrics,
+            telemetry_jsonl,
         })
     }
 }
@@ -400,6 +433,13 @@ pub struct ScenarioResult {
     /// [`gm_grid::JobManager::recovery_invariant_ok`]): no sub-job was
     /// both completed and re-dispatched.
     pub recovery_invariant_ok: bool,
+    /// Final metrics snapshot (market, grid and fault counters, tick and
+    /// latency histograms) — see DESIGN.md §9 for the naming scheme.
+    pub metrics: MetricsSnapshot,
+    /// Complete telemetry export: one JSON object per line, metrics first
+    /// then the fault-event trace. Byte-identical across runs with the
+    /// same seed and fault plan.
+    pub telemetry_jsonl: String,
 }
 
 impl ScenarioResult {
@@ -555,10 +595,24 @@ mod tests {
         assert_eq!(a.faults_injected, 5);
         assert_eq!(a.fault_counters.host_crashes, 1);
         assert_eq!(a.crashed_hosts_at_end, 0);
+        // The telemetry sees the same world: derived counters agree and
+        // the fault-event trace carries the schedule.
+        assert_eq!(a.metrics.counters["faults.injected"], 5);
+        assert_eq!(a.metrics.counters["grid.host_crashes"], 1);
+        assert_eq!(a.metrics.counters["grid.vm_failures"], 1);
+        assert_eq!(a.metrics.counters["market.bank_outages"], 1);
+        assert!(a.metrics.counters["market.ticks"] > 0);
+        assert!(a.metrics.histograms["grid.subjob_latency_us"].count >= 8);
+        assert!(a.telemetry_jsonl.contains("\"fault.host_crash\""));
+        assert!(a.telemetry_jsonl.contains("\"fault.bank_restore\""));
         // Byte-identical metrics on a re-run with the same plan.
         let b = run();
         assert_eq!(a.finished_at, b.finished_at);
         assert_eq!(a.fault_counters, b.fault_counters);
+        assert_eq!(
+            a.telemetry_jsonl, b.telemetry_jsonl,
+            "same seed must give a byte-identical telemetry export"
+        );
         for (ua, ub) in a.users.iter().zip(&b.users) {
             assert_eq!(ua.time_hours, ub.time_hours);
             assert_eq!(ua.charged, ub.charged);

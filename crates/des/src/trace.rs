@@ -6,8 +6,32 @@
 //! collection of series (one per host, per user, …).
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use crate::time::SimTime;
+
+/// A sample was offered with a timestamp earlier than the last recorded
+/// one. Accepting it would silently corrupt every window query (they
+/// binary-search on sorted times), so [`Series::try_push`] refuses it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeWentBackwards {
+    /// Timestamp of the newest sample already in the series.
+    pub last: SimTime,
+    /// The earlier timestamp that was refused.
+    pub attempted: SimTime,
+}
+
+impl fmt::Display for TimeWentBackwards {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "series time went backwards: last sample at {:?}, new sample at {:?}",
+            self.last, self.attempted
+        )
+    }
+}
+
+impl std::error::Error for TimeWentBackwards {}
 
 /// One sampled time series.
 #[derive(Clone, Debug, Default)]
@@ -22,14 +46,36 @@ impl Series {
         Self::default()
     }
 
-    /// Record `value` at `time`. Times must be non-decreasing.
-    pub fn push(&mut self, time: SimTime, value: f64) {
-        debug_assert!(
-            self.times.last().is_none_or(|&t| t <= time),
-            "series time went backwards"
-        );
+    /// Record `value` at `time`, refusing out-of-order timestamps.
+    ///
+    /// On `Err` the series is unchanged. Equal timestamps are accepted
+    /// (two samples in the same allocation interval).
+    pub fn try_push(&mut self, time: SimTime, value: f64) -> Result<(), TimeWentBackwards> {
+        if let Some(&last) = self.times.last() {
+            if time < last {
+                return Err(TimeWentBackwards {
+                    last,
+                    attempted: time,
+                });
+            }
+        }
         self.times.push(time);
         self.values.push(value);
+        Ok(())
+    }
+
+    /// Record `value` at `time`. Times must be non-decreasing.
+    ///
+    /// # Panics
+    /// Panics (in every build profile — this used to be a `debug_assert`)
+    /// if `time` is earlier than the last recorded sample; a series with
+    /// unsorted times would return wrong answers from [`Series::window`]
+    /// without any further diagnostic. Callers that cannot guarantee
+    /// ordering should use [`Series::try_push`].
+    pub fn push(&mut self, time: SimTime, value: f64) {
+        if let Err(e) = self.try_push(time, value) {
+            panic!("{e}");
+        }
     }
 
     /// Number of samples.
@@ -184,6 +230,37 @@ mod tests {
         tr.record("h0", t(10), 2.0);
         assert_eq!(tr.get("h0").unwrap().values(), &[1.0, 2.0]);
         assert_eq!(tr.len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_push_is_refused_and_leaves_series_intact() {
+        let mut s = Series::new();
+        s.push(t(10), 1.0);
+        s.push(t(10), 1.5); // equal timestamps are fine
+        let err = s.try_push(t(5), 2.0).unwrap_err();
+        assert_eq!(
+            err,
+            TimeWentBackwards {
+                last: t(10),
+                attempted: t(5)
+            }
+        );
+        assert!(err.to_string().contains("went backwards"));
+        // The rejected sample must not have been half-applied.
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.values(), &[1.0, 1.5]);
+        assert_eq!(s.last(), Some((t(10), 1.5)));
+        // The series still accepts in-order samples afterwards.
+        s.try_push(t(11), 3.0).unwrap();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn push_panics_on_backwards_time_in_release_too() {
+        let mut s = Series::new();
+        s.push(t(10), 1.0);
+        s.push(t(9), 2.0);
     }
 
     #[test]

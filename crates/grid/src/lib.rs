@@ -20,12 +20,16 @@
 //!   model (file sizes → stage-in/out durations).
 //! * [`metascheduler`] — replicated, partitioned scheduling agents with
 //!   ARC-style cheapest-partition matchmaking (§3's scaling model).
+//! * [`telemetry`] — `gm_telemetry` instrument handles for the manager's
+//!   dispatch/requeue/token hot paths; the fault-recovery counters are
+//!   derived from these.
 
 pub mod datatransfer;
 pub mod identity;
 pub mod manager;
 pub mod metascheduler;
 pub mod monitor;
+pub mod telemetry;
 pub mod token;
 pub mod vm;
 pub mod xrsl;
@@ -37,6 +41,7 @@ pub use manager::{
     RetryPolicy, SubJob,
 };
 pub use metascheduler::{MetaScheduler, RoutedJob};
+pub use telemetry::GridInstruments;
 pub use token::{TokenError, TokenRegistry, TransferToken};
 pub use vm::{Vm, VmConfig, VmId, VmManager, VmState};
 pub use xrsl::{ParseError, Value, Xrsl};

@@ -26,6 +26,7 @@ use gm_tycoon::{
 
 use crate::datatransfer::{StagedFile, TransferModel};
 use crate::identity::GridIdentity;
+use crate::telemetry::GridInstruments;
 use crate::token::{TokenError, TokenRegistry, TransferToken};
 use crate::vm::{VmConfig, VmManager};
 use crate::xrsl::{parse_duration_secs, ParseError, Xrsl};
@@ -149,7 +150,10 @@ impl RetryPolicy {
     }
 }
 
-/// Cumulative fault-handling counters of a [`JobManager`].
+/// Cumulative fault-handling counters of a [`JobManager`] — a readout
+/// derived from the manager's [`GridInstruments`] telemetry counters
+/// (there is no separate bookkeeping; see
+/// [`JobManager::fault_counters`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FaultCounters {
     /// Host crashes handled.
@@ -468,7 +472,7 @@ pub struct JobManager {
     next_job: u64,
     next_user: u32,
     config: AgentConfig,
-    faults: FaultCounters,
+    telemetry: GridInstruments,
     /// Hosts this agent replica is partitioned onto (`None` = all hosts,
     /// the single-agent deployment). See §3: "the agent itself can be
     /// replicated and partitioned to pick up a different set of compute
@@ -478,7 +482,21 @@ pub struct JobManager {
 
 impl JobManager {
     /// Create the manager, opening the broker's bank account in `market`.
+    /// Telemetry records into a private registry; use
+    /// [`JobManager::with_registry`] to export `grid.*` metrics.
     pub fn new(market: &mut Market, config: AgentConfig, vm_config: VmConfig) -> JobManager {
+        Self::with_registry(market, config, vm_config, &gm_telemetry::Registry::new())
+    }
+
+    /// Like [`JobManager::new`], but recording `grid.*` metrics (dispatch,
+    /// requeue, retry, token and sub-job latency instrumentation) into the
+    /// shared `telemetry_registry`.
+    pub fn with_registry(
+        market: &mut Market,
+        config: AgentConfig,
+        vm_config: VmConfig,
+        telemetry_registry: &gm_telemetry::Registry,
+    ) -> JobManager {
         let broker = GridIdentity::from_dn("/O=Grid/O=Tycoon/CN=resource-broker");
         let broker_account = market
             .bank_mut()
@@ -493,14 +511,27 @@ impl JobManager {
             next_job: 0,
             next_user: 1,
             config,
-            faults: FaultCounters::default(),
+            telemetry: GridInstruments::new(telemetry_registry),
             partition: None,
         }
     }
 
-    /// Cumulative fault-handling counters.
+    /// Cumulative fault-handling counters, derived from the manager's
+    /// telemetry counters.
     pub fn fault_counters(&self) -> FaultCounters {
-        self.faults
+        FaultCounters {
+            host_crashes: self.telemetry.host_crashes.get(),
+            vm_failures: self.telemetry.vm_failures.get(),
+            subjobs_interrupted: self.telemetry.requeues.get(),
+            redispatched: self.telemetry.redispatches.get(),
+            redispatch_rounds_failed: self.telemetry.retry_rounds_failed.get(),
+            jobs_stalled_by_faults: self.telemetry.jobs_stalled.get(),
+        }
+    }
+
+    /// The manager's telemetry instruments (read access).
+    pub fn instruments(&self) -> &GridInstruments {
+        &self.telemetry
     }
 
     /// Check the fault-recovery bookkeeping invariant across every job: a
@@ -562,6 +593,29 @@ impl JobManager {
         self.users.get(dn).copied()
     }
 
+    /// Verify-and-consume a transfer token, counting the outcome
+    /// (`grid.tokens_accepted` / `grid.tokens_rejected` /
+    /// `grid.token_double_spends`).
+    fn redeem_token(
+        &mut self,
+        market: &Market,
+        token: &TransferToken,
+    ) -> Result<(), GridError> {
+        if let Err(e) = token.verify(market.bank(), self.broker_account) {
+            self.telemetry.tokens_rejected.inc();
+            return Err(e.into());
+        }
+        if let Err(e) = self.registry.consume(token) {
+            self.telemetry.tokens_rejected.inc();
+            if matches!(e, TokenError::AlreadySpent(_)) {
+                self.telemetry.token_double_spends.inc();
+            }
+            return Err(e.into());
+        }
+        self.telemetry.tokens_accepted.inc();
+        Ok(())
+    }
+
     fn user_for_dn(&mut self, dn: &str) -> UserId {
         if let Some(&u) = self.users.get(dn) {
             return u;
@@ -589,8 +643,7 @@ impl JobManager {
 
         // Security: bank signature, broker account, payer key, DN binding,
         // then the double-spend registry.
-        token.verify(market.bank(), self.broker_account)?;
-        self.registry.consume(&token)?;
+        self.redeem_token(market, &token)?;
 
         let count: u32 = xrsl
             .get_str("count")
@@ -709,8 +762,7 @@ impl JobManager {
         job_id: JobId,
         token: &TransferToken,
     ) -> Result<(), GridError> {
-        token.verify(market.bank(), self.broker_account)?;
-        self.registry.consume(token)?;
+        self.redeem_token(market, token)?;
         let job = self
             .jobs
             .get_mut(&job_id)
@@ -771,7 +823,7 @@ impl JobManager {
         }
         // Assign sub-jobs to slots.
         for slot_idx in 0..job.slots.len() {
-            Self::start_next_subjob(&mut self.vms, &mut self.faults, job, slot_idx, now);
+            Self::start_next_subjob(&mut self.vms, &self.telemetry, job, slot_idx, now);
         }
         if job.slots.is_empty() {
             job.needs_redispatch = true;
@@ -782,7 +834,7 @@ impl JobManager {
     /// Start the next pending sub-job on slot `slot_idx`, if any.
     fn start_next_subjob(
         vms: &mut VmManager,
-        faults: &mut FaultCounters,
+        telemetry: &GridInstruments,
         job: &mut Job,
         slot_idx: usize,
         now: SimTime,
@@ -799,9 +851,10 @@ impl JobManager {
         let compute_ready = ready.max(now) + job.stage_in;
         let sj = &mut job.subjobs[sj_idx];
         debug_assert!(!sj.is_finished(), "finished sub-job must never be dispatched");
+        telemetry.dispatches.inc();
         if sj.dispatches > 0 {
             // Only fault-requeued sub-jobs are ever dispatched twice.
-            faults.redispatched += 1;
+            telemetry.redispatches.inc();
         }
         sj.dispatches += 1;
         sj.host = Some(host);
@@ -839,11 +892,15 @@ impl JobManager {
     }
 
     fn finalize_staged_out(&mut self, market: &mut Market, job: &mut Job, now: SimTime) {
+        let submitted = job.submitted_at;
         // Service contracts end at the deadline: every instance completes.
         if matches!(job.kind, JobKind::Service { .. }) && now >= job.deadline {
             for sj in job.subjobs.iter_mut() {
                 if sj.finished_at.is_none() {
                     sj.finished_at = Some(job.deadline);
+                    self.telemetry
+                        .subjob_latency_us
+                        .record_micros(job.deadline.since(submitted).as_micros());
                 }
             }
         }
@@ -852,6 +909,9 @@ impl JobManager {
             if let Some(until) = sj.stage_out_until {
                 if sj.finished_at.is_none() && now >= until {
                     sj.finished_at = Some(until);
+                    self.telemetry
+                        .subjob_latency_us
+                        .record_micros(until.since(submitted).as_micros());
                 }
             }
         }
@@ -862,7 +922,7 @@ impl JobManager {
             };
             if job.subjobs[sj_idx].is_finished() {
                 job.slots[slot_idx].subjob = None;
-                if !Self::start_next_subjob(&mut self.vms, &mut self.faults, job, slot_idx, now) {
+                if !Self::start_next_subjob(&mut self.vms, &self.telemetry, job, slot_idx, now) {
                     // No pending work: cancel the bid, refund escrow.
                     // During a bank outage the refund cannot move, so keep
                     // the handle and retry next interval — no lost funds.
@@ -941,7 +1001,7 @@ impl JobManager {
         // cancelled; rebalance re-places bids for occupied slots).
         for slot_idx in 0..job.slots.len() {
             if job.slots[slot_idx].subjob.is_none() {
-                Self::start_next_subjob(&mut self.vms, &mut self.faults, job, slot_idx, now);
+                Self::start_next_subjob(&mut self.vms, &self.telemetry, job, slot_idx, now);
             }
         }
         // Open new slots on surviving hosts for what is left.
@@ -986,7 +1046,7 @@ impl JobManager {
                         subjob: None,
                     });
                     let slot_idx = job.slots.len() - 1;
-                    Self::start_next_subjob(&mut self.vms, &mut self.faults, job, slot_idx, now);
+                    Self::start_next_subjob(&mut self.vms, &self.telemetry, job, slot_idx, now);
                 }
             }
         }
@@ -998,14 +1058,15 @@ impl JobManager {
             job.retry_after = None;
             job.needs_redispatch = pending(job) > 0;
         } else {
-            self.faults.redispatch_rounds_failed += 1;
+            self.telemetry.retry_rounds_failed.inc();
             job.retry_failures += 1;
             if job.retry_failures > self.config.retry.max_retries {
-                self.faults.jobs_stalled_by_faults += 1;
+                self.telemetry.jobs_stalled.inc();
                 job.phase = JobPhase::Stalled;
                 job.finished_at = Some(now);
                 job.retry_after = None;
             } else {
+                self.telemetry.backoffs.inc();
                 job.retry_after = Some(now + self.config.retry.delay_after(job.retry_failures));
             }
         }
@@ -1020,7 +1081,7 @@ impl JobManager {
     /// re-dispatch onto surviving hosts at the next `pre_tick`. Returns
     /// the number of sub-jobs interrupted.
     pub fn handle_host_crash(&mut self, host: HostId, _now: SimTime) -> usize {
-        self.faults.host_crashes += 1;
+        self.telemetry.host_crashes.inc();
         self.vms.fail_host(host);
         let mut interrupted = 0usize;
         for job in self.jobs.values_mut() {
@@ -1051,7 +1112,7 @@ impl JobManager {
                 job.retry_after = None;
             }
         }
-        self.faults.subjobs_interrupted += interrupted as u64;
+        self.telemetry.requeues.add(interrupted as u64);
         interrupted
     }
 
@@ -1064,7 +1125,7 @@ impl JobManager {
         if !self.vms.fail_vm(host, user) {
             return false;
         }
-        self.faults.vm_failures += 1;
+        self.telemetry.vm_failures.inc();
         for job in self.jobs.values_mut() {
             if job.user != user {
                 continue;
@@ -1085,8 +1146,8 @@ impl JobManager {
                 sj.compute_ready = None;
                 sj.stage_out_until = None;
                 sj.requeues += 1;
-                self.faults.subjobs_interrupted += 1;
-                Self::start_next_subjob(&mut self.vms, &mut self.faults, job, slot_idx, now);
+                self.telemetry.requeues.inc();
+                Self::start_next_subjob(&mut self.vms, &self.telemetry, job, slot_idx, now);
             }
         }
         true

@@ -1,0 +1,84 @@
+//! Grid-side telemetry: pre-created instrument handles for the
+//! [`crate::JobManager`] hot paths.
+//!
+//! The manager always carries a [`GridInstruments`]; constructed with
+//! [`crate::JobManager::new`] it records into a private registry (near-zero
+//! cost, nothing is exported), while [`crate::JobManager::with_registry`]
+//! shares the scenario-wide registry so chaos runs and live deployments can
+//! export the numbers. The `ScenarioResult` recovery counters are *derived*
+//! from these counters — there is no second, hand-threaded bookkeeping.
+//!
+//! Metric names (`DESIGN.md` §9):
+//!
+//! | name                        | kind      | meaning                                    |
+//! |-----------------------------|-----------|--------------------------------------------|
+//! | `grid.dispatches`           | counter   | sub-job dispatches onto a host             |
+//! | `grid.redispatches`         | counter   | dispatches of previously-interrupted work  |
+//! | `grid.requeues`             | counter   | sub-jobs interrupted and re-queued         |
+//! | `grid.host_crashes`         | counter   | host crashes handled                       |
+//! | `grid.vm_failures`          | counter   | single-VM failures handled                 |
+//! | `grid.retry_rounds_failed`  | counter   | re-dispatch rounds making no progress      |
+//! | `grid.backoffs`             | counter   | exponential-backoff delays scheduled       |
+//! | `grid.jobs_stalled`         | counter   | jobs stalled after the retry budget        |
+//! | `grid.tokens_accepted`      | counter   | transfer tokens verified and consumed      |
+//! | `grid.tokens_rejected`      | counter   | tokens refused (any reason)                |
+//! | `grid.token_double_spends`  | counter   | tokens refused as already redeemed         |
+//! | `grid.subjob_latency_us`    | histogram | submit-to-finish latency per sub-job       |
+
+use gm_telemetry::{Counter, Histogram, Registry};
+
+/// Instrument handles for one [`crate::JobManager`].
+pub struct GridInstruments {
+    /// `grid.dispatches`
+    pub dispatches: Counter,
+    /// `grid.redispatches`
+    pub redispatches: Counter,
+    /// `grid.requeues`
+    pub requeues: Counter,
+    /// `grid.host_crashes`
+    pub host_crashes: Counter,
+    /// `grid.vm_failures`
+    pub vm_failures: Counter,
+    /// `grid.retry_rounds_failed`
+    pub retry_rounds_failed: Counter,
+    /// `grid.backoffs`
+    pub backoffs: Counter,
+    /// `grid.jobs_stalled`
+    pub jobs_stalled: Counter,
+    /// `grid.tokens_accepted`
+    pub tokens_accepted: Counter,
+    /// `grid.tokens_rejected`
+    pub tokens_rejected: Counter,
+    /// `grid.token_double_spends`
+    pub token_double_spends: Counter,
+    /// `grid.subjob_latency_us`
+    pub subjob_latency_us: Histogram,
+}
+
+impl GridInstruments {
+    /// Resolve every grid instrument against `registry`.
+    pub fn new(registry: &Registry) -> GridInstruments {
+        GridInstruments {
+            dispatches: registry.counter("grid.dispatches"),
+            redispatches: registry.counter("grid.redispatches"),
+            requeues: registry.counter("grid.requeues"),
+            host_crashes: registry.counter("grid.host_crashes"),
+            vm_failures: registry.counter("grid.vm_failures"),
+            retry_rounds_failed: registry.counter("grid.retry_rounds_failed"),
+            backoffs: registry.counter("grid.backoffs"),
+            jobs_stalled: registry.counter("grid.jobs_stalled"),
+            tokens_accepted: registry.counter("grid.tokens_accepted"),
+            tokens_rejected: registry.counter("grid.tokens_rejected"),
+            token_double_spends: registry.counter("grid.token_double_spends"),
+            subjob_latency_us: registry.histogram("grid.subjob_latency_us"),
+        }
+    }
+}
+
+impl Default for GridInstruments {
+    /// Instruments backed by a fresh private registry: recording works,
+    /// nothing is exported.
+    fn default() -> GridInstruments {
+        GridInstruments::new(&Registry::new())
+    }
+}

@@ -1,0 +1,105 @@
+//! Telemetry for the prediction suite: per-model error tracking.
+//!
+//! Every forecasting model in this crate can be evaluated against realized
+//! prices; the [`PredictionTracker`] folds those comparisons into the
+//! shared `gm_telemetry` registry so a scenario export shows how each
+//! model is doing *alongside* the market and grid metrics it feeds:
+//!
+//! * `predict.error.<model>` — histogram of absolute prediction errors
+//!   `|predicted − actual|`, one histogram per model name.
+//! * `predict.epsilon.<model>` — gauge holding the latest ε validation
+//!   score (the paper's Fig. 4 metric, see [`crate::ar::epsilon`]).
+//! * `predict.samples` — counter of recorded prediction/actual pairs.
+
+use std::collections::BTreeMap;
+
+use gm_telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// Records prediction errors per model into a [`Registry`].
+pub struct PredictionTracker {
+    registry: Registry,
+    errors: BTreeMap<String, Histogram>,
+    epsilons: BTreeMap<String, Gauge>,
+    samples: Counter,
+}
+
+impl PredictionTracker {
+    /// A tracker recording into `registry`.
+    pub fn new(registry: &Registry) -> PredictionTracker {
+        PredictionTracker {
+            registry: registry.clone(),
+            errors: BTreeMap::new(),
+            epsilons: BTreeMap::new(),
+            samples: registry.counter("predict.samples"),
+        }
+    }
+
+    /// Record one prediction/actual pair for `model`: the absolute error
+    /// goes into `predict.error.<model>`.
+    pub fn record(&mut self, model: &str, predicted: f64, actual: f64) {
+        self.error_histogram(model).record((predicted - actual).abs());
+        self.samples.inc();
+    }
+
+    /// Record an aligned batch of predictions and measurements (e.g. the
+    /// output of [`crate::ar::walk_forward`]).
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn record_batch(&mut self, model: &str, predictions: &[f64], measurements: &[f64]) {
+        assert_eq!(predictions.len(), measurements.len(), "length mismatch");
+        for (&p, &m) in predictions.iter().zip(measurements) {
+            self.record(model, p, m);
+        }
+    }
+
+    /// Publish an ε validation score for `model` on the
+    /// `predict.epsilon.<model>` gauge.
+    pub fn set_epsilon(&mut self, model: &str, eps: f64) {
+        let registry = &self.registry;
+        self.epsilons
+            .entry(model.to_owned())
+            .or_insert_with(|| registry.gauge(&format!("predict.epsilon.{model}")))
+            .set(eps);
+    }
+
+    fn error_histogram(&mut self, model: &str) -> &Histogram {
+        let registry = &self.registry;
+        self.errors
+            .entry(model.to_owned())
+            .or_insert_with(|| registry.histogram(&format!("predict.error.{model}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_land_in_per_model_histograms() {
+        let registry = Registry::new();
+        let mut t = PredictionTracker::new(&registry);
+        t.record("ar16", 1.0, 1.5);
+        t.record("ar16", 2.0, 1.0);
+        t.record("naive", 3.0, 3.0);
+        t.set_epsilon("ar16", 0.12);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["predict.error.ar16"].count, 2);
+        assert_eq!(snap.histograms["predict.error.ar16"].max, 1.0);
+        assert_eq!(snap.histograms["predict.error.naive"].count, 1);
+        assert_eq!(snap.gauges["predict.epsilon.ar16"], 0.12);
+        assert_eq!(snap.counters["predict.samples"], 3);
+    }
+
+    #[test]
+    fn batches_must_align() {
+        let registry = Registry::new();
+        let mut t = PredictionTracker::new(&registry);
+        t.record_batch("m", &[1.0, 2.0], &[1.0, 3.0]);
+        assert_eq!(
+            registry.snapshot().histograms["predict.error.m"].count,
+            2
+        );
+    }
+}

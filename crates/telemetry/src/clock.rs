@@ -1,0 +1,118 @@
+//! Injectable time sources.
+//!
+//! Every timestamp the telemetry layer records flows through a [`Clock`],
+//! so the same instrumentation serves two regimes:
+//!
+//! * **Deterministic (DES) runs** use a [`ManualClock`] that the scenario
+//!   driver advances in lock-step with the simulation — telemetry exports
+//!   are then byte-identical for the same seed (`DESIGN.md` §9).
+//! * **Live service runs** use a [`WallClock`], trading reproducibility for
+//!   real latencies.
+//!
+//! Clocks report microseconds since an arbitrary origin as a `u64`, the
+//! same convention as `gm_des::SimTime::as_micros` — conversion between the
+//! two is a plain integer copy, with no dependency edge in either
+//! direction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic microsecond clock.
+pub trait Clock: Send + Sync {
+    /// Microseconds since the clock's origin.
+    fn now_micros(&self) -> u64;
+}
+
+/// Real time: microseconds since the clock was created.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock with its origin at "now".
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// Externally driven time: holds whatever the owner last set, typically the
+/// current `SimTime` of a deterministic run. Cloning shares the underlying
+/// cell, so one handle can stay with the driver while copies are injected
+/// into tracers and instruments.
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A manual clock starting at zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Set the current time (microseconds since the origin).
+    ///
+    /// The clock does not enforce monotonicity; drivers advance it from an
+    /// already-monotonic simulation clock.
+    pub fn set_micros(&self, us: u64) {
+        self.micros.store(us, Ordering::Relaxed);
+    }
+
+    /// Advance the current time by `us` microseconds.
+    pub fn advance_micros(&self, us: u64) {
+        self.micros.fetch_add(us, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_reports_what_was_set() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_micros(), 0);
+        c.set_micros(42);
+        assert_eq!(c.now_micros(), 42);
+        c.advance_micros(8);
+        assert_eq!(c.now_micros(), 50);
+    }
+
+    #[test]
+    fn manual_clock_clones_share_the_cell() {
+        let a = ManualClock::new();
+        let b = a.clone();
+        a.set_micros(7);
+        assert_eq!(b.now_micros(), 7);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let t0 = c.now_micros();
+        let t1 = c.now_micros();
+        assert!(t1 >= t0);
+    }
+}

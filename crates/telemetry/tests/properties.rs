@@ -1,0 +1,123 @@
+//! Property tests for the telemetry primitives, driven by the in-repo
+//! `gm_des::check` harness (no external property-testing dependency).
+
+use std::sync::Arc;
+
+use gm_des::check::{check, Gen};
+use gm_telemetry::{HistData, ManualClock, Tracer};
+
+/// Draw a sample spanning the awkward corners of the positive `f64` range:
+/// zero, subnormals, huge magnitudes and ordinary values.
+fn arbitrary_sample(g: &mut Gen) -> f64 {
+    match g.u64_in(0, 9) {
+        0 => 0.0,
+        1 => f64::from_bits(g.u64_in(1, 0xf_ffff_ffff_ffff)), // subnormal
+        // Huge but small enough that a few hundred of them cannot
+        // overflow a shard's running sum to infinity.
+        2 => f64::MAX / (1024.0 + g.f64_in(0.0, 7.0)),
+        3 => f64::MIN_POSITIVE * (1.0 + g.f64_in(0.0, 7.0)),  // tiny normal
+        _ => g.f64_in(0.0, 1e9),
+    }
+}
+
+#[test]
+fn quantiles_are_bracketed_and_close_to_exact() {
+    check("hist_quantiles", 200, |g| {
+        let samples = g.vec_with(1, 200, arbitrary_sample);
+        let mut h = HistData::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.5, 0.9, 0.99] {
+            let approx = h.quantile(q).expect("non-empty");
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            assert!(
+                approx >= sorted[0] && approx <= sorted[sorted.len() - 1],
+                "q{q}: {approx} outside [{}, {}]",
+                sorted[0],
+                sorted[sorted.len() - 1]
+            );
+            // Log-bucket guarantee: ≤ 12.5 % relative error against the
+            // exact order statistic for normal floats. Zero and subnormals
+            // share 8 wide linear buckets, so there the guarantee weakens
+            // to "the answer is also at or below the subnormal threshold".
+            if exact >= f64::MIN_POSITIVE {
+                let rel = (approx - exact).abs() / exact;
+                assert!(rel <= 0.125, "q{q}: approx {approx} vs exact {exact}");
+            } else {
+                assert!(approx <= f64::MIN_POSITIVE, "q{q}: {approx} vs {exact}");
+            }
+        }
+        assert_eq!(h.quantile(1.0), Some(sorted[sorted.len() - 1]));
+    });
+}
+
+#[test]
+fn shard_merge_is_associative_and_commutative() {
+    check("hist_merge_assoc", 200, |g| {
+        let shards: Vec<HistData> = (0..3)
+            .map(|_| {
+                let mut h = HistData::new();
+                for s in g.vec_with(0, 50, arbitrary_sample) {
+                    h.record(s);
+                }
+                // Sprinkle invalid samples to check those counters merge too.
+                for _ in 0..g.u64_in(0, 3) {
+                    h.record(f64::NAN);
+                }
+                h
+            })
+            .collect();
+        let (a, b, c) = (&shards[0], &shards[1], &shards[2]);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(b);
+        left.merge(c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        // c ⊕ b ⊕ a
+        let mut rev = c.clone();
+        rev.merge(b);
+        rev.merge(a);
+
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.invalid(), rev.invalid());
+        assert_eq!(left.summary().p50, right.summary().p50);
+        assert_eq!(left.summary().p99, rev.summary().p99);
+        assert_eq!(left.summary().min, rev.summary().min);
+        assert_eq!(left.summary().max, right.summary().max);
+        // Sums differ only by float re-association noise.
+        let scale = left.summary().sum.abs().max(1.0);
+        assert!((left.summary().sum - right.summary().sum).abs() / scale < 1e-9);
+    });
+}
+
+#[test]
+fn ring_buffer_overflow_counts_every_drop() {
+    check("ring_drop_count", 200, |g| {
+        let cap = g.usize_in(0, 32);
+        let pushes = g.usize_in(0, 200);
+        let clock = ManualClock::new();
+        let t = Tracer::new(cap, Arc::new(clock.clone()));
+        for i in 0..pushes {
+            clock.set_micros(i as u64);
+            t.event(&format!("e{i}"));
+        }
+        let kept = t.events();
+        assert_eq!(kept.len(), pushes.min(cap));
+        assert_eq!(t.dropped() as usize, pushes.saturating_sub(cap));
+        // Retained events are the newest, in order.
+        for (k, ev) in kept.iter().enumerate() {
+            let expect = pushes - kept.len() + k;
+            assert_eq!(ev.name, format!("e{expect}"));
+            assert_eq!(ev.at_micros, expect as u64);
+        }
+    });
+}

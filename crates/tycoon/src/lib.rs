@@ -20,6 +20,9 @@
 //! * [`service`] — the same market behind message-passing service
 //!   boundaries (bank thread + one auctioneer thread per host), matching
 //!   the paper's deployment as networked services.
+//! * [`telemetry`] — pre-resolved `gm_telemetry` instrument handles for
+//!   the market hot path (tick duration, spot gauges, bid/refund/outage
+//!   counters).
 
 pub mod auction;
 pub mod bank;
@@ -30,6 +33,7 @@ pub mod money;
 pub mod pricestats;
 pub mod service;
 pub mod sls;
+pub mod telemetry;
 
 pub use auction::{Allocation, Auctioneer, BidHandle, UserId};
 pub use bank::{AccountId, Bank, BankError, Receipt};
@@ -40,3 +44,4 @@ pub use money::Credits;
 pub use pricestats::PriceStats;
 pub use service::{AuctioneerClient, BankClient, BankService, LiveMarket, ServiceError};
 pub use sls::Sls;
+pub use telemetry::{MarketInstruments, ServiceInstruments};

@@ -7,7 +7,10 @@
 //! at every step (tested below and property-tested in the workspace
 //! integration suite).
 
+use std::sync::Arc;
+
 use gm_des::{SimTime, Trace};
+use gm_telemetry::{Clock, Registry};
 
 use crate::auction::{Allocation, Auctioneer, BidHandle, UserId};
 use crate::bank::{AccountId, Bank, BankError};
@@ -15,6 +18,7 @@ use crate::best_response::HostQuote;
 use crate::host::{HostId, HostSpec};
 use crate::money::Credits;
 use crate::sls::Sls;
+use crate::telemetry::MarketInstruments;
 
 struct HostEntry {
     auctioneer: Auctioneer,
@@ -39,6 +43,9 @@ pub struct Market {
     bank_online: bool,
     price_trace: Trace,
     interval_secs: f64,
+    /// Optional instrumentation; `None` keeps the uninstrumented market
+    /// entirely free of telemetry work.
+    telemetry: Option<MarketInstruments>,
 }
 
 /// What a host crash did to the market: each evicted bid with the escrow
@@ -66,7 +73,16 @@ impl Market {
             bank_online: true,
             price_trace: Trace::new(),
             interval_secs: DEFAULT_INTERVAL_SECS,
+            telemetry: None,
         }
+    }
+
+    /// Attach telemetry: every subsequent market operation records into
+    /// `registry` (`market.*` metrics), with tick durations stamped by
+    /// `clock`. Pass a `ManualClock` driven by the simulation for
+    /// byte-reproducible DES exports, or a `WallClock` for live timing.
+    pub fn attach_telemetry(&mut self, registry: &Registry, clock: Arc<dyn Clock>) {
+        self.telemetry = Some(MarketInstruments::new(registry, clock));
     }
 
     /// Override the reallocation interval (seconds).
@@ -163,6 +179,32 @@ impl Market {
         rate: f64,
         escrow: Credits,
     ) -> Result<BidHandle, MarketError> {
+        let result = self.place_funded_bid_inner(user, payer, host, rate, escrow);
+        if let Some(t) = &self.telemetry {
+            match &result {
+                Ok(_) => {
+                    t.bids_placed.inc();
+                    t.bank_transfers.inc();
+                }
+                Err(e) => {
+                    t.bids_rejected.inc();
+                    if matches!(e, MarketError::BankUnavailable) {
+                        t.bank_unavailable.inc();
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    fn place_funded_bid_inner(
+        &mut self,
+        user: UserId,
+        payer: AccountId,
+        host: HostId,
+        rate: f64,
+        escrow: Credits,
+    ) -> Result<BidHandle, MarketError> {
         if self.crashed.contains(&host) {
             return Err(MarketError::HostOffline(host));
         }
@@ -185,6 +227,9 @@ impl Market {
         refund_to: AccountId,
     ) -> Result<Credits, MarketError> {
         if !self.bank_online {
+            if let Some(t) = &self.telemetry {
+                t.bank_unavailable.inc();
+            }
             return Err(MarketError::BankUnavailable);
         }
         let entry = self.hosts.get_mut(&host).ok_or(MarketError::NoSuchHost(host))?;
@@ -195,6 +240,12 @@ impl Market {
         self.payers.remove(&(host, handle));
         if refund.is_positive() {
             self.bank.transfer(entry.account, refund_to, refund)?;
+        }
+        if let Some(t) = &self.telemetry {
+            t.refunds.inc();
+            if refund.is_positive() {
+                t.bank_transfers.inc();
+            }
         }
         Ok(refund)
     }
@@ -211,6 +262,9 @@ impl Market {
             return Err(MarketError::HostOffline(host));
         }
         if !self.bank_online {
+            if let Some(t) = &self.telemetry {
+                t.bank_unavailable.inc();
+            }
             return Err(MarketError::BankUnavailable);
         }
         let entry = self.hosts.get_mut(&host).ok_or(MarketError::NoSuchHost(host))?;
@@ -220,6 +274,9 @@ impl Market {
         self.bank.transfer(payer, entry.account, extra)?;
         let ok = entry.auctioneer.top_up(handle, extra);
         debug_assert!(ok);
+        if let Some(t) = &self.telemetry {
+            t.bank_transfers.inc();
+        }
         Ok(())
     }
 
@@ -242,14 +299,18 @@ impl Market {
     /// prices into the price trace. Returns per-host allocations; crashed
     /// hosts are omitted entirely (no price sample, no allocation).
     pub fn tick(&mut self, now: SimTime) -> Vec<(HostId, Vec<Allocation>)> {
+        let started_micros = self.telemetry.as_ref().map(|t| t.now_micros());
         let dt = self.interval_secs;
         let mut out = Vec::with_capacity(self.hosts.len());
         for (&id, entry) in self.hosts.iter_mut() {
             if self.crashed.contains(&id) {
                 continue;
             }
-            self.price_trace
-                .record(&format!("{id}"), now, entry.auctioneer.spot_price());
+            let spot = entry.auctioneer.spot_price();
+            self.price_trace.record(&format!("{id}"), now, spot);
+            if let Some(t) = self.telemetry.as_mut() {
+                t.set_spot(id, spot);
+            }
             let allocations = entry.auctioneer.allocate(dt);
             out.push((id, allocations));
         }
@@ -257,6 +318,10 @@ impl Market {
         let hosts = &self.hosts;
         self.payers
             .retain(|(h, b), _| hosts.get(h).is_some_and(|e| e.auctioneer.escrow(*b).is_some()));
+        if let (Some(t), Some(start)) = (&self.telemetry, started_micros) {
+            t.ticks.inc();
+            t.tick_us.record_micros(t.now_micros().saturating_sub(start));
+        }
         out
     }
 
@@ -296,12 +361,19 @@ impl Market {
         let entry = self.hosts.get_mut(&id).ok_or(MarketError::NoSuchHost(id))?;
         let account = entry.account;
         let evicted = entry.auctioneer.evict_all();
+        if let Some(t) = &self.telemetry {
+            t.evictions.add(evicted.len() as u64);
+        }
         for (handle, _user, escrow) in &evicted {
             if let Some(payer) = self.payers.remove(&(id, *handle)) {
                 if escrow.is_positive() {
                     self.bank
                         .transfer(account, payer, *escrow)
                         .expect("crash refund cannot fail: escrow is backed by host account");
+                    if let Some(t) = &self.telemetry {
+                        t.refunds.inc();
+                        t.bank_transfers.inc();
+                    }
                 }
             }
             // A bid without a recorded payer (placed around the market,
@@ -345,6 +417,11 @@ impl Market {
     /// (`true`). While unreachable, money-moving market operations fail
     /// with [`MarketError::BankUnavailable`].
     pub fn set_bank_online(&mut self, online: bool) {
+        if !online && self.bank_online {
+            if let Some(t) = &self.telemetry {
+                t.bank_outages.inc();
+            }
+        }
         self.bank_online = online;
     }
 
@@ -597,6 +674,44 @@ mod tests {
         assert_eq!(report.evicted.len(), 1);
         assert_eq!(m.bank().balance(acct).unwrap(), Credits::from_whole(100));
         assert_eq!(m.bank().total_money(), Credits::from_whole(100));
+    }
+
+    #[test]
+    fn telemetry_counts_market_activity() {
+        use gm_telemetry::{ManualClock, Registry};
+        let registry = Registry::new();
+        let clock = ManualClock::new();
+        let (mut m, acct) = market_with_user(2, 100);
+        m.attach_telemetry(&registry, std::sync::Arc::new(clock.clone()));
+
+        let h = m
+            .place_funded_bid(UserId(1), acct, HostId(0), 1.0, Credits::from_whole(30))
+            .unwrap();
+        m.place_funded_bid(UserId(1), acct, HostId(1), 0.5, Credits::from_whole(20))
+            .unwrap();
+        assert!(m
+            .place_funded_bid(UserId(1), acct, HostId(7), 1.0, Credits::from_whole(1))
+            .is_err());
+        clock.set_micros(100);
+        m.tick(SimTime::from_secs(10));
+        m.cancel_bid(HostId(0), h, acct).unwrap();
+        m.crash_host(HostId(1)).unwrap();
+        m.set_bank_online(false);
+        assert_eq!(
+            m.place_funded_bid(UserId(1), acct, HostId(0), 1.0, Credits::from_whole(1)),
+            Err(MarketError::BankUnavailable)
+        );
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["market.ticks"], 1);
+        assert_eq!(snap.counters["market.bids_placed"], 2);
+        assert_eq!(snap.counters["market.bids_rejected"], 2);
+        assert_eq!(snap.counters["market.evictions"], 1);
+        assert_eq!(snap.counters["market.refunds"], 2, "cancel + crash refund");
+        assert_eq!(snap.counters["market.bank_unavailable"], 1);
+        assert_eq!(snap.counters["market.bank_outages"], 1);
+        assert_eq!(snap.histograms["market.tick_us"].count, 1);
+        assert!(snap.gauges.contains_key("market.spot.host000"));
     }
 
     #[test]

@@ -39,6 +39,7 @@ use crate::auction::{Allocation, Auctioneer, BidHandle, UserId};
 use crate::bank::{AccountId, Bank, BankError, Receipt};
 use crate::host::{HostId, HostSpec};
 use crate::money::Credits;
+use crate::telemetry::ServiceInstruments;
 
 /// Default per-request reply deadline. Healthy in-process services reply
 /// in microseconds; the deadline only fires when a service is wedged.
@@ -126,6 +127,7 @@ pub struct BankClient {
     timeout: Duration,
     retries: u32,
     next_request: Arc<AtomicU64>,
+    telemetry: Option<ServiceInstruments>,
 }
 
 /// The bank service thread.
@@ -213,6 +215,7 @@ impl BankService {
             timeout: DEFAULT_CALL_TIMEOUT,
             retries: DEFAULT_CALL_RETRIES,
             next_request: Arc::clone(&self.next_request),
+            telemetry: None,
         }
     }
 
@@ -248,18 +251,36 @@ fn call_with_retry<T, R>(
     tx: &Sender<R>,
     timeout: Duration,
     retries: u32,
+    telemetry: Option<&ServiceInstruments>,
     mut make: impl FnMut(Sender<T>) -> R,
 ) -> Result<T, ServiceError> {
+    let started_micros = telemetry.map(|t| t.now_micros());
     let mut attempt = 0;
     loop {
         let (reply, rx) = channel();
-        tx.send(make(reply)).map_err(|_| ServiceError::Disconnected)?;
+        if tx.send(make(reply)).is_err() {
+            if let Some(t) = telemetry {
+                t.disconnects.inc();
+            }
+            return Err(ServiceError::Disconnected);
+        }
         match rx.recv_timeout(timeout) {
-            Ok(v) => return Ok(v),
+            Ok(v) => {
+                if let (Some(t), Some(start)) = (telemetry, started_micros) {
+                    t.request_us.record_micros(t.now_micros().saturating_sub(start));
+                }
+                return Ok(v);
+            }
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
                 attempt += 1;
                 if attempt > retries {
+                    if let Some(t) = telemetry {
+                        t.timeouts.inc();
+                    }
                     return Err(ServiceError::Timeout);
+                }
+                if let Some(t) = telemetry {
+                    t.retries.inc();
                 }
             }
         }
@@ -268,13 +289,26 @@ fn call_with_retry<T, R>(
 
 impl BankClient {
     fn call<T>(&self, make: impl FnMut(Sender<T>) -> BankRequest) -> Result<T, ServiceError> {
-        call_with_retry(&self.tx, self.timeout, self.retries, make)
+        call_with_retry(
+            &self.tx,
+            self.timeout,
+            self.retries,
+            self.telemetry.as_ref(),
+            make,
+        )
     }
 
     /// Replace the reply deadline and retry budget (mainly for tests).
     pub fn with_deadline(mut self, timeout: Duration, retries: u32) -> Self {
         self.timeout = timeout;
         self.retries = retries;
+        self
+    }
+
+    /// Record request latency, timeout, retry and disconnect telemetry on
+    /// every call made through this client.
+    pub fn with_telemetry(mut self, instruments: ServiceInstruments) -> Self {
+        self.telemetry = Some(instruments);
         self
     }
 
@@ -401,6 +435,7 @@ pub struct AuctioneerClient {
     tx: Sender<AuctionRequest>,
     timeout: Duration,
     retries: u32,
+    telemetry: Option<ServiceInstruments>,
 }
 
 struct AuctioneerService {
@@ -464,13 +499,26 @@ impl AuctioneerService {
 
 impl AuctioneerClient {
     fn call<T>(&self, make: impl FnMut(Sender<T>) -> AuctionRequest) -> Result<T, ServiceError> {
-        call_with_retry(&self.tx, self.timeout, self.retries, make)
+        call_with_retry(
+            &self.tx,
+            self.timeout,
+            self.retries,
+            self.telemetry.as_ref(),
+            make,
+        )
     }
 
     /// Replace the reply deadline and retry budget (mainly for tests).
     pub fn with_deadline(mut self, timeout: Duration, retries: u32) -> Self {
         self.timeout = timeout;
         self.retries = retries;
+        self
+    }
+
+    /// Record request latency, timeout, retry and disconnect telemetry on
+    /// every call made through this client.
+    pub fn with_telemetry(mut self, instruments: ServiceInstruments) -> Self {
+        self.telemetry = Some(instruments);
         self
     }
 
@@ -539,6 +587,7 @@ pub struct LiveMarket {
     /// a mutex so the shared `tick` path can record deaths through `&self`.
     dead: Mutex<BTreeSet<HostId>>,
     tick_timeout: Duration,
+    telemetry: Option<ServiceInstruments>,
 }
 
 impl LiveMarket {
@@ -555,12 +604,25 @@ impl LiveMarket {
             auctioneers,
             dead: Mutex::new(BTreeSet::new()),
             tick_timeout: DEFAULT_TICK_TIMEOUT,
+            telemetry: None,
         }
+    }
+
+    /// Attach telemetry: every client subsequently handed out records
+    /// `service.*` metrics (request latency, timeouts, retries,
+    /// disconnects) through `instruments`. Clients obtained earlier are
+    /// unaffected.
+    pub fn attach_telemetry(&mut self, instruments: ServiceInstruments) {
+        self.telemetry = Some(instruments);
     }
 
     /// A bank client.
     pub fn bank(&self) -> BankClient {
-        self.bank.client()
+        let client = self.bank.client();
+        match &self.telemetry {
+            Some(t) => client.with_telemetry(t.clone()),
+            None => client,
+        }
     }
 
     /// A client for one host's auctioneer. Clients for a dead host are
@@ -575,6 +637,7 @@ impl LiveMarket {
                 tx: svc.tx.clone(),
                 timeout: DEFAULT_CALL_TIMEOUT,
                 retries: DEFAULT_CALL_RETRIES,
+                telemetry: self.telemetry.clone(),
             })
     }
 
@@ -861,6 +924,48 @@ mod tests {
         let replay = bank.transfer_with_id(1, a, b, Credits::from_whole(30)).unwrap();
         assert_eq!(replay, receipt);
         assert_eq!(bank.balance(a).unwrap(), Credits::from_whole(70));
+        live.shutdown();
+    }
+
+    #[test]
+    fn telemetry_observes_latency_retries_and_disconnects() {
+        use gm_telemetry::{Registry, WallClock};
+        let registry = Registry::new();
+        let instruments =
+            ServiceInstruments::new(&registry, Arc::new(WallClock::new()));
+        let mut live = LiveMarket::spawn(b"svc10", specs(2));
+        live.attach_telemetry(instruments);
+
+        let bank = live.bank().with_deadline(Duration::from_millis(50), 3);
+        let key = Keypair::from_seed(b"tele").public;
+        let acct = bank.open_account(key, "tele").unwrap();
+        bank.mint(acct, Credits::from_whole(10)).unwrap();
+
+        // A lost reply forces one retry before the call succeeds.
+        bank.inject_drop_next_reply().unwrap();
+        assert_eq!(bank.balance(acct).unwrap(), Credits::from_whole(10));
+
+        // A killed auctioneer surfaces as a disconnect.
+        let auc = live.auctioneer(HostId(1)).unwrap();
+        live.kill_auctioneer(HostId(1));
+        assert_eq!(auc.earned(), Err(ServiceError::Disconnected));
+
+        let snap = registry.snapshot();
+        assert!(snap.histograms["service.request_us"].count >= 3);
+        assert_eq!(snap.counters["service.retries"], 1);
+        assert_eq!(snap.counters["service.disconnects"], 1);
+        assert_eq!(snap.counters["service.timeouts"], 0);
+
+        // Per-thread shards merge into the same histogram.
+        let hot = live.bank().with_deadline(Duration::from_millis(50), 3);
+        let before = snap.histograms["service.request_us"].count;
+        let shard_client = BankClient {
+            telemetry: hot.telemetry.as_ref().map(|t| t.per_thread()),
+            ..hot
+        };
+        shard_client.total_money().unwrap();
+        let after = registry.snapshot().histograms["service.request_us"].count;
+        assert_eq!(after, before + 1);
         live.shutdown();
     }
 

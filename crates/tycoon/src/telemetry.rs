@@ -1,0 +1,151 @@
+//! Market-side telemetry: pre-created instrument handles.
+//!
+//! The market is on the hot path (one [`crate::market::Market::tick`] per
+//! allocation interval across every host), so instruments are resolved
+//! once at attach time and recording is a couple of relaxed atomic ops —
+//! the `BENCH_telemetry.json` microbench holds the overhead under 5 %.
+//!
+//! Metric names follow the `DESIGN.md` §9 scheme:
+//!
+//! | name                    | kind      | meaning                                  |
+//! |-------------------------|-----------|------------------------------------------|
+//! | `market.ticks`          | counter   | allocation intervals run                 |
+//! | `market.tick_us`        | histogram | wall/sim duration of one tick            |
+//! | `market.spot.<host>`    | gauge     | latest spot price of each host           |
+//! | `market.bids_placed`    | counter   | funded bids accepted                     |
+//! | `market.bids_rejected`  | counter   | funded bids refused (any error)          |
+//! | `market.evictions`      | counter   | bids evicted by host crashes             |
+//! | `market.refunds`        | counter   | escrow refunds (cancel + crash refunds)  |
+//! | `market.bank_transfers` | counter   | successful bank book transfers           |
+//! | `market.bank_unavailable` | counter | operations refused by an outage window   |
+//! | `market.bank_outages`   | counter   | outage windows opened                    |
+
+//!
+//! Live-service metrics (`crate::service`):
+//!
+//! | name                  | kind      | meaning                                |
+//! |-----------------------|-----------|----------------------------------------|
+//! | `service.request_us`  | histogram | client-observed request round trip     |
+//! | `service.timeouts`    | counter   | calls that exhausted their retries     |
+//! | `service.retries`     | counter   | re-sends after a lost/late reply       |
+//! | `service.disconnects` | counter   | calls that found the service dead      |
+
+use std::sync::Arc;
+
+use gm_telemetry::{Clock, Counter, Gauge, Histogram, Registry};
+
+use crate::host::HostId;
+
+/// Instrument handles for one [`crate::market::Market`].
+pub struct MarketInstruments {
+    registry: Registry,
+    clock: Arc<dyn Clock>,
+    // Dense cache indexed by `HostId.0`: `set_spot` runs for every host on
+    // every tick, and host ids are small sequential integers, so a Vec
+    // index keeps the per-tick cost inside the 5 % budget where a map
+    // lookup per host did not.
+    spot: Vec<Option<Gauge>>,
+    /// `market.ticks`
+    pub ticks: Counter,
+    /// `market.tick_us`
+    pub tick_us: Histogram,
+    /// `market.bids_placed`
+    pub bids_placed: Counter,
+    /// `market.bids_rejected`
+    pub bids_rejected: Counter,
+    /// `market.evictions`
+    pub evictions: Counter,
+    /// `market.refunds`
+    pub refunds: Counter,
+    /// `market.bank_transfers`
+    pub bank_transfers: Counter,
+    /// `market.bank_unavailable`
+    pub bank_unavailable: Counter,
+    /// `market.bank_outages`
+    pub bank_outages: Counter,
+}
+
+impl MarketInstruments {
+    /// Resolve every market instrument against `registry`, stamping tick
+    /// durations with `clock`.
+    pub fn new(registry: &Registry, clock: Arc<dyn Clock>) -> MarketInstruments {
+        MarketInstruments {
+            registry: registry.clone(),
+            clock,
+            spot: Vec::new(),
+            ticks: registry.counter("market.ticks"),
+            tick_us: registry.histogram("market.tick_us"),
+            bids_placed: registry.counter("market.bids_placed"),
+            bids_rejected: registry.counter("market.bids_rejected"),
+            evictions: registry.counter("market.evictions"),
+            refunds: registry.counter("market.refunds"),
+            bank_transfers: registry.counter("market.bank_transfers"),
+            bank_unavailable: registry.counter("market.bank_unavailable"),
+            bank_outages: registry.counter("market.bank_outages"),
+        }
+    }
+
+    /// Current time on the injected clock (microseconds).
+    pub fn now_micros(&self) -> u64 {
+        self.clock.now_micros()
+    }
+
+    /// Set the `market.spot.<host>` gauge, creating it on first use.
+    pub fn set_spot(&mut self, host: HostId, price: f64) {
+        let idx = host.0 as usize;
+        if idx >= self.spot.len() {
+            self.spot.resize(idx + 1, None);
+        }
+        self.spot[idx]
+            .get_or_insert_with(|| self.registry.gauge(&format!("market.spot.{host}")))
+            .set(price);
+    }
+}
+
+/// Instrument handles for the live-service client path
+/// ([`crate::service`]): request round-trip latency plus timeout, retry
+/// and disconnect counters. Cloning shares every instrument; a hot client
+/// thread can take a private latency shard via
+/// [`ServiceInstruments::per_thread`].
+#[derive(Clone)]
+pub struct ServiceInstruments {
+    registry: Registry,
+    clock: Arc<dyn Clock>,
+    /// `service.request_us`
+    pub request_us: Histogram,
+    /// `service.timeouts`
+    pub timeouts: Counter,
+    /// `service.retries`
+    pub retries: Counter,
+    /// `service.disconnects`
+    pub disconnects: Counter,
+}
+
+impl ServiceInstruments {
+    /// Resolve the live-service instruments against `registry`, stamping
+    /// request latencies with `clock` (a `WallClock` for real timing).
+    pub fn new(registry: &Registry, clock: Arc<dyn Clock>) -> ServiceInstruments {
+        ServiceInstruments {
+            registry: registry.clone(),
+            clock,
+            request_us: registry.histogram("service.request_us"),
+            timeouts: registry.counter("service.timeouts"),
+            retries: registry.counter("service.retries"),
+            disconnects: registry.counter("service.disconnects"),
+        }
+    }
+
+    /// Current time on the injected clock (microseconds).
+    pub fn now_micros(&self) -> u64 {
+        self.clock.now_micros()
+    }
+
+    /// A copy whose latency histogram records into a fresh per-thread
+    /// shard, so a hot client loop never contends on the shared shard's
+    /// lock. Counters stay shared (they are lock-free atomics).
+    pub fn per_thread(&self) -> ServiceInstruments {
+        let mut copy = self.clone();
+        copy.request_us = self.registry.histogram_shard("service.request_us");
+        copy
+    }
+}

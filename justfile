@@ -27,3 +27,8 @@ experiments:
 # Timing benchmarks (in-repo harness; also prints quality metrics).
 bench:
     cargo bench --workspace
+
+# Re-measure the telemetry overhead budget (DESIGN.md §9) and write the
+# result to BENCH_telemetry.json at the repo root.
+bench-save:
+    cargo bench -p gm-bench --bench telemetry -- --save

@@ -91,9 +91,14 @@ fn fixed_host_crashes_complete_on_survivors_and_replay_identically() {
     );
     assert!(r.recovery_invariant_ok);
 
-    // Determinism: a second run with the same seed is byte-identical.
+    // Determinism: a second run with the same seed is byte-identical —
+    // including the full telemetry export (counters, histograms, and the
+    // timestamped fault-event trace).
     let again = table1_with_crashes(2006);
     assert_eq!(fingerprint(&r), fingerprint(&again));
+    assert_eq!(r.telemetry_jsonl, again.telemetry_jsonl);
+    assert!(r.telemetry_jsonl.contains("\"fault.host_crash\""));
+    assert_eq!(r.metrics.counters["grid.host_crashes"], 2);
 }
 
 #[test]

@@ -74,6 +74,23 @@ fn ar_pipeline_beats_or_matches_naive_on_market_trace() {
             e_ar < e_naive * 1.25,
             "AR ε {e_ar:.4} (λ={lambda}) should be near naive {e_naive:.4}"
         );
+
+        // The telemetry view of the same evaluation: per-model error
+        // histograms and ε gauges in the shared registry (DESIGN.md §9).
+        let registry = gridmarket::telemetry::Registry::new();
+        let mut tracker = gridmarket::predict::PredictionTracker::new(&registry);
+        tracker.record_batch("ar6", &preds, &meas);
+        tracker.set_epsilon("ar6", e_ar);
+        tracker.set_epsilon("naive", e_naive);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.histograms["predict.error.ar6"].count,
+            preds.len() as u64
+        );
+        assert_eq!(snap.gauges["predict.epsilon.ar6"], e_ar);
+        assert_eq!(snap.counters["predict.samples"], preds.len() as u64);
+        let mean_err = snap.histograms["predict.error.ar6"].mean();
+        assert!(mean_err > 0.0 && mean_err.is_finite());
     }
 }
 
