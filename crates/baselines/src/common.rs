@@ -1,170 +1,39 @@
-//! Shared workload and outcome types for the baseline schedulers.
+//! Shared workload and outcome types — re-exported from `gm-core`.
+//!
+//! These types moved into [`gm_core::workload`] and
+//! [`gm_core::metrics`] so that the Tycoon market and the conventional
+//! baselines report through one type universe; the old
+//! `gm_baselines::common::*` paths keep working via these re-exports.
 
-use gm_des::SimTime;
-use gm_tycoon::UserId;
-
-/// A job as all baselines see it: a bag of equally-sized sub-jobs.
-#[derive(Clone, Debug)]
-pub struct JobRequest {
-    /// Job id (unique within a run).
-    pub id: u32,
-    /// Owning user.
-    pub user: UserId,
-    /// Number of sub-jobs.
-    pub subjobs: u32,
-    /// Work per sub-job in MHz·seconds.
-    pub work_per_subjob: f64,
-    /// Arrival time.
-    pub arrival: SimTime,
-    /// Budget in credits (market baselines only).
-    pub budget: f64,
-    /// Deadline in seconds from arrival (market baselines only).
-    pub deadline_secs: f64,
-}
-
-impl JobRequest {
-    /// Validate basic invariants.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.subjobs == 0 {
-            return Err(format!("job {}: zero subjobs", self.id));
-        }
-        if self.work_per_subjob.is_nan() || self.work_per_subjob <= 0.0 {
-            return Err(format!("job {}: non-positive work", self.id));
-        }
-        Ok(())
-    }
-}
-
-/// What happened to one job.
-#[derive(Clone, Debug)]
-pub struct JobOutcome {
-    /// Job id.
-    pub id: u32,
-    /// Owning user.
-    pub user: UserId,
-    /// Completion time (None = did not finish within the horizon).
-    pub finished_at: Option<SimTime>,
-    /// Makespan in seconds (up to the horizon if unfinished).
-    pub makespan_secs: f64,
-    /// Credits spent (market baselines; 0 otherwise).
-    pub cost: f64,
-    /// Peak concurrent sub-jobs.
-    pub max_nodes: usize,
-    /// Average concurrent sub-jobs over the job's active lifetime.
-    pub avg_nodes: f64,
-}
-
-/// Result of one baseline run.
-#[derive(Clone, Debug)]
-pub struct RunResult {
-    /// Per-job outcomes in job-id order.
-    pub outcomes: Vec<JobOutcome>,
-    /// Posted/spot price history (market baselines; empty otherwise).
-    pub price_history: Vec<(SimTime, f64)>,
-}
-
-impl RunResult {
-    /// All jobs finished?
-    pub fn all_finished(&self) -> bool {
-        self.outcomes.iter().all(|o| o.finished_at.is_some())
-    }
-
-    /// Makespan of the whole batch (max over finished jobs), seconds.
-    pub fn batch_makespan_secs(&self) -> f64 {
-        self.outcomes
-            .iter()
-            .map(|o| o.makespan_secs)
-            .fold(0.0, f64::max)
-    }
-
-    /// Coefficient of variation of the price history (the G-commerce
-    /// "price predictability" metric; lower = more predictable).
-    pub fn price_volatility(&self) -> Option<f64> {
-        if self.price_history.len() < 2 {
-            return None;
-        }
-        let xs: Vec<f64> = self.price_history.iter().map(|(_, p)| *p).collect();
-        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        if mean.abs() < 1e-300 {
-            return None;
-        }
-        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
-        Some(var.sqrt() / mean)
-    }
-}
-
-/// Jain's fairness index of a set of non-negative allocations:
-/// `(Σx)² / (n·Σx²)`; 1 = perfectly fair, 1/n = maximally unfair.
-pub fn jain_fairness(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 1.0;
-    }
-    let s: f64 = xs.iter().sum();
-    let s2: f64 = xs.iter().map(|x| x * x).sum();
-    if s2 <= 0.0 {
-        return 1.0;
-    }
-    s * s / (xs.len() as f64 * s2)
-}
+pub use gm_core::metrics::jain_fairness;
+pub use gm_core::workload::{JobOutcome, JobRequest, RunResult};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gm_des::SimTime;
+    use gm_tycoon::UserId;
 
+    /// The historical `baselines::common` paths must keep resolving to
+    /// the gm-core types (the detailed behaviour tests live in gm-core).
     #[test]
-    fn jain_index_extremes() {
-        assert!((jain_fairness(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
-        let unfair = jain_fairness(&[1.0, 0.0, 0.0, 0.0]);
-        assert!((unfair - 0.25).abs() < 1e-12);
-        assert_eq!(jain_fairness(&[]), 1.0);
-        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
-    }
-
-    #[test]
-    fn jain_index_monotone_in_imbalance() {
-        let a = jain_fairness(&[2.0, 2.0, 2.0]);
-        let b = jain_fairness(&[3.0, 2.0, 1.0]);
-        let c = jain_fairness(&[5.0, 0.5, 0.5]);
-        assert!(a > b && b > c);
-    }
-
-    #[test]
-    fn price_volatility() {
-        let flat = RunResult {
-            outcomes: vec![],
-            price_history: (0..10).map(|i| (SimTime::from_secs(i), 2.0)).collect(),
+    fn reexported_paths_still_work() {
+        assert!((jain_fairness(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let r = JobRequest {
+            id: 0,
+            user: UserId(1),
+            subjobs: 1,
+            work_per_subjob: 1.0,
+            arrival: SimTime::ZERO,
+            budget: 0.0,
+            deadline_secs: 0.0,
         };
-        assert!(flat.price_volatility().unwrap() < 1e-12);
-        let spiky = RunResult {
-            outcomes: vec![],
-            price_history: (0..10)
-                .map(|i| (SimTime::from_secs(i), if i % 2 == 0 { 1.0 } else { 3.0 }))
-                .collect(),
-        };
-        assert!(spiky.price_volatility().unwrap() > 0.4);
-        let empty = RunResult {
+        assert!(r.validate().is_ok());
+        let rr = RunResult {
             outcomes: vec![],
             price_history: vec![],
         };
-        assert!(empty.price_volatility().is_none());
-    }
-
-    #[test]
-    fn request_validation() {
-        let mut r = JobRequest {
-            id: 0,
-            user: UserId(1),
-            subjobs: 2,
-            work_per_subjob: 100.0,
-            arrival: SimTime::ZERO,
-            budget: 10.0,
-            deadline_secs: 100.0,
-        };
-        assert!(r.validate().is_ok());
-        r.subjobs = 0;
-        assert!(r.validate().is_err());
-        r.subjobs = 1;
-        r.work_per_subjob = 0.0;
-        assert!(r.validate().is_err());
+        assert!(rr.all_finished());
+        assert_eq!(rr.batch_makespan_secs(), 0.0);
     }
 }

@@ -3,13 +3,19 @@
 //! Each sub-job occupies one vCPU slot exclusively until it completes; the
 //! queue drains in arrival order. No budgets, no priorities — the
 //! "administrative means" strawman of §2.1.
+//!
+//! The scheduling rules live in [`FifoPolicy`] (an
+//! [`AllocationPolicy`]); the tick loop is `gm_core`'s shared
+//! [`PolicyDriver`], so FIFO runs under the exact same arrival stream and
+//! clock as every other policy.
 
-use gm_des::{SimDuration, SimTime};
-use gm_tycoon::HostSpec;
+use gm_core::policy::{AllocationPolicy, PolicyDriver, PolicyError, TickCtx};
+use gm_des::SimTime;
+use gm_tycoon::{HostSpec, UserId};
 
 use crate::common::{JobOutcome, JobRequest, RunResult};
 
-/// The batch-queue scheduler.
+/// The batch-queue scheduler (configuration + convenience runner).
 pub struct FifoBatchQueue {
     /// Allocation tick in seconds.
     pub interval_secs: f64,
@@ -21,141 +27,160 @@ impl Default for FifoBatchQueue {
     }
 }
 
+impl FifoBatchQueue {
+    /// The policy object to hand to a [`PolicyDriver`].
+    pub fn policy(&self) -> FifoPolicy {
+        FifoPolicy::default()
+    }
+
+    /// Run the workload to completion (or `horizon`) through the shared
+    /// driver.
+    pub fn run(&self, hosts: &[HostSpec], jobs: &[JobRequest], horizon: SimTime) -> RunResult {
+        let mut policy = self.policy();
+        PolicyDriver::new(hosts.to_vec(), self.interval_secs)
+            .horizon(horizon)
+            .run(&mut policy, jobs)
+            .expect("invalid job")
+    }
+}
+
 struct SubJobRun {
-    job: usize,
+    track: usize,
     remaining: f64,
 }
 
 struct JobTrack {
+    id: u32,
+    user: UserId,
+    arrival: SimTime,
     pending: u32,
     running: u32,
     finished: u32,
     total: u32,
-    started_nodes_samples: (u64, f64, usize),
+    nodes_stat: (u64, f64, usize),
     finished_at: Option<SimTime>,
 }
 
-impl FifoBatchQueue {
-    /// Run the workload to completion (or `horizon`).
-    pub fn run(&self, hosts: &[HostSpec], jobs: &[JobRequest], horizon: SimTime) -> RunResult {
-        for j in jobs {
-            j.validate().expect("invalid job");
+/// FIFO batch-queue scheduling as an [`AllocationPolicy`].
+#[derive(Default)]
+pub struct FifoPolicy {
+    /// One exclusive slot per vCPU, initialised from the first tick's
+    /// host view.
+    slots: Vec<Option<SubJobRun>>,
+    vcpu_mhz: Vec<f64>,
+    /// Admitted jobs in `(arrival, id)` order — the queue.
+    tracks: Vec<JobTrack>,
+    /// Per-track work per sub-job (all sub-jobs of a job are equal).
+    work: Vec<f64>,
+}
+
+impl AllocationPolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn begin_tick(&mut self, ctx: &TickCtx) {
+        if self.vcpu_mhz.is_empty() {
+            self.vcpu_mhz = ctx
+                .hosts
+                .iter()
+                .flat_map(|h| std::iter::repeat_n(h.vcpu_capacity_mhz(), h.cpus as usize))
+                .collect();
+            assert!(!self.vcpu_mhz.is_empty(), "no slots");
+            self.slots = self.vcpu_mhz.iter().map(|_| None).collect();
         }
-        let slots_total: usize = hosts.iter().map(|h| h.cpus as usize).sum();
-        let vcpu_mhz: Vec<f64> = hosts
-            .iter()
-            .flat_map(|h| std::iter::repeat_n(h.vcpu_capacity_mhz(), h.cpus as usize))
-            .collect();
-        assert!(slots_total > 0, "no slots");
+    }
 
-        let mut slots: Vec<Option<SubJobRun>> = (0..slots_total).map(|_| None).collect();
-        let mut track: Vec<JobTrack> = jobs
-            .iter()
-            .map(|j| JobTrack {
-                pending: j.subjobs,
-                running: 0,
-                finished: 0,
-                total: j.subjobs,
-                started_nodes_samples: (0, 0.0, 0),
-                finished_at: None,
-            })
-            .collect();
+    fn admit(&mut self, _ctx: &TickCtx, req: &JobRequest) -> Result<(), PolicyError> {
+        self.tracks.push(JobTrack {
+            id: req.id,
+            user: req.user,
+            arrival: req.arrival,
+            pending: req.subjobs,
+            running: 0,
+            finished: 0,
+            total: req.subjobs,
+            nodes_stat: (0, 0.0, 0),
+            finished_at: None,
+        });
+        // Remember per-subjob work on the queue itself: all subjobs of a
+        // request are equally sized, so the track index is enough.
+        self.work.push(req.work_per_subjob);
+        Ok(())
+    }
 
-        // Queue of (arrival, job_idx) in arrival order (stable by id).
-        let mut queue: Vec<usize> = (0..jobs.len()).collect();
-        queue.sort_by_key(|&i| (jobs[i].arrival, jobs[i].id));
-
-        let dt = SimDuration::from_secs_f64(self.interval_secs);
-        let mut now = SimTime::ZERO;
-        while now < horizon {
-            // Admit from the queue in FIFO order.
-            for &ji in &queue {
-                if jobs[ji].arrival > now {
-                    break;
-                }
-                while track[ji].pending > 0 {
-                    match slots.iter().position(Option::is_none) {
-                        Some(free) => {
-                            slots[free] = Some(SubJobRun {
-                                job: ji,
-                                remaining: jobs[ji].work_per_subjob,
-                            });
-                            track[ji].pending -= 1;
-                            track[ji].running += 1;
-                        }
-                        None => break,
+    fn place(&mut self, _ctx: &TickCtx) {
+        for ti in 0..self.tracks.len() {
+            while self.tracks[ti].pending > 0 {
+                match self.slots.iter().position(Option::is_none) {
+                    Some(free) => {
+                        self.slots[free] = Some(SubJobRun {
+                            track: ti,
+                            remaining: self.work[ti],
+                        });
+                        self.tracks[ti].pending -= 1;
+                        self.tracks[ti].running += 1;
                     }
+                    None => break,
                 }
             }
+        }
+    }
 
-            // Progress.
-            let mut any_running = false;
-            for (s_idx, slot) in slots.iter_mut().enumerate() {
-                if let Some(run) = slot {
-                    any_running = true;
-                    let cap = vcpu_mhz[s_idx];
-                    run.remaining -= cap * self.interval_secs;
-                    if run.remaining <= 0.0 {
-                        let ji = run.job;
-                        track[ji].running -= 1;
-                        track[ji].finished += 1;
-                        if track[ji].finished == track[ji].total {
-                            track[ji].finished_at = Some(now + dt);
-                        }
-                        *slot = None;
+    fn advance(&mut self, ctx: &TickCtx) {
+        let dt = ctx.interval();
+        for (s_idx, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(run) = slot {
+                let cap = self.vcpu_mhz[s_idx];
+                run.remaining -= cap * ctx.interval_secs;
+                if run.remaining <= 0.0 {
+                    let t = &mut self.tracks[run.track];
+                    t.running -= 1;
+                    t.finished += 1;
+                    if t.finished == t.total {
+                        t.finished_at = Some(ctx.now + dt);
                     }
+                    *slot = None;
                 }
-            }
-
-            // Concurrency sampling.
-            for t in track.iter_mut() {
-                if t.finished < t.total && (t.running > 0 || t.pending < t.total) {
-                    t.started_nodes_samples.0 += 1;
-                    t.started_nodes_samples.1 += t.running as f64;
-                    t.started_nodes_samples.2 = t.started_nodes_samples.2.max(t.running as usize);
-                }
-            }
-
-            now += dt;
-            let all_done = track.iter().all(|t| t.finished == t.total);
-            if all_done {
-                break;
-            }
-            if !any_running && track.iter().all(|t| t.pending == 0 || jobs.iter().all(|j| j.arrival > now)) && track.iter().all(|t| t.pending == t.total) {
-                // nothing admitted yet; fast-forward handled by loop anyway
             }
         }
+    }
 
-        let outcomes = jobs
+    fn settle(&mut self, _ctx: &TickCtx) {
+        for t in self.tracks.iter_mut() {
+            if t.finished < t.total && (t.running > 0 || t.pending < t.total) {
+                t.nodes_stat.0 += 1;
+                t.nodes_stat.1 += t.running as f64;
+                t.nodes_stat.2 = t.nodes_stat.2.max(t.running as usize);
+            }
+        }
+    }
+
+    fn price(&self, _ctx: &TickCtx) -> Option<f64> {
+        None
+    }
+
+    fn all_settled(&self) -> bool {
+        self.tracks.iter().all(|t| t.finished == t.total)
+    }
+
+    fn outcomes(&self, now: SimTime) -> Vec<JobOutcome> {
+        self.tracks
             .iter()
-            .enumerate()
-            .map(|(i, j)| {
-                let t = &track[i];
-                let makespan = t
-                    .finished_at
-                    .unwrap_or(now)
-                    .since(j.arrival)
-                    .as_secs_f64();
-                JobOutcome {
-                    id: j.id,
-                    user: j.user,
-                    finished_at: t.finished_at,
-                    makespan_secs: makespan,
-                    cost: 0.0,
-                    max_nodes: t.started_nodes_samples.2,
-                    avg_nodes: if t.started_nodes_samples.0 == 0 {
-                        0.0
-                    } else {
-                        t.started_nodes_samples.1 / t.started_nodes_samples.0 as f64
-                    },
-                }
+            .map(|t| JobOutcome {
+                id: t.id,
+                user: t.user,
+                finished_at: t.finished_at,
+                makespan_secs: t.finished_at.unwrap_or(now).since(t.arrival).as_secs_f64(),
+                cost: 0.0,
+                max_nodes: t.nodes_stat.2,
+                avg_nodes: if t.nodes_stat.0 == 0 {
+                    0.0
+                } else {
+                    t.nodes_stat.1 / t.nodes_stat.0 as f64
+                },
             })
-            .collect();
-
-        RunResult {
-            outcomes,
-            price_history: Vec::new(),
-        }
+            .collect()
     }
 }
 

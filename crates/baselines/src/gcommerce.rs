@@ -10,13 +10,19 @@
 //! multiplicative adjustment. Buyers purchase slots while their budget
 //! rate affords them. There is no preemption or proportional share — a
 //! slot is yours for the interval at the posted price.
+//!
+//! The market rules live in [`GCommercePolicy`]; the tick loop is
+//! `gm_core`'s shared [`PolicyDriver`]. The posted price is sampled at
+//! the *start* of each tick (pre-adjustment), matching the original
+//! G-commerce predictability analysis.
 
-use gm_des::{SimDuration, SimTime};
-use gm_tycoon::HostSpec;
+use gm_core::policy::{AllocationPolicy, PolicyDriver, PolicyError, TickCtx};
+use gm_des::SimTime;
+use gm_tycoon::{HostSpec, UserId};
 
 use crate::common::{JobOutcome, JobRequest, RunResult};
 
-/// The commodity-market scheduler.
+/// The commodity-market scheduler (configuration + convenience runner).
 pub struct GCommerceMarket {
     /// Allocation tick in seconds.
     pub interval_secs: f64,
@@ -39,7 +45,35 @@ impl Default for GCommerceMarket {
     }
 }
 
+impl GCommerceMarket {
+    /// The policy object to hand to a [`PolicyDriver`].
+    pub fn policy(&self) -> GCommercePolicy {
+        GCommercePolicy {
+            price: self.initial_price,
+            adjustment_gain: self.adjustment_gain,
+            min_price: self.min_price,
+            posted: self.initial_price,
+            demand: 0,
+            tracks: Vec::new(),
+        }
+    }
+
+    /// Run the workload until completion or `horizon` through the shared
+    /// driver.
+    pub fn run(&self, hosts: &[HostSpec], jobs: &[JobRequest], horizon: SimTime) -> RunResult {
+        let mut policy = self.policy();
+        PolicyDriver::new(hosts.to_vec(), self.interval_secs)
+            .horizon(horizon)
+            .run(&mut policy, jobs)
+            .expect("invalid job")
+    }
+}
+
 struct JobTrack {
+    id: u32,
+    user: UserId,
+    arrival: SimTime,
+    subjobs: u32,
     /// Remaining work of subjobs not currently holding a slot (paused
     /// subjobs keep their progress — checkpointed, not lost).
     queued: Vec<f64>,
@@ -52,167 +86,175 @@ struct JobTrack {
     nodes_stat: (u64, f64, usize),
 }
 
-impl GCommerceMarket {
-    /// Run the workload until completion or `horizon`.
-    pub fn run(&self, hosts: &[HostSpec], jobs: &[JobRequest], horizon: SimTime) -> RunResult {
-        for j in jobs {
-            j.validate().expect("invalid job");
-        }
-        let slots: usize = hosts.iter().map(|h| h.cpus as usize).sum();
-        let vcpu_mhz = hosts
+/// The G-commerce posted-price market as an [`AllocationPolicy`].
+pub struct GCommercePolicy {
+    price: f64,
+    adjustment_gain: f64,
+    min_price: f64,
+    /// Price as posted at the start of the current tick (what buyers saw
+    /// and what the price history records).
+    posted: f64,
+    /// Demand measured at the posted price this tick (drives adjustment).
+    demand: usize,
+    tracks: Vec<JobTrack>,
+}
+
+impl GCommercePolicy {
+    fn vcpu_mhz(ctx: &TickCtx) -> f64 {
+        ctx.hosts
             .first()
             .map(|h| h.vcpu_capacity_mhz())
-            .unwrap_or(2910.0);
+            .unwrap_or(2910.0)
+    }
+}
+
+impl AllocationPolicy for GCommercePolicy {
+    fn name(&self) -> &'static str {
+        "gcommerce"
+    }
+
+    fn admit(&mut self, _ctx: &TickCtx, req: &JobRequest) -> Result<(), PolicyError> {
+        self.tracks.push(JobTrack {
+            id: req.id,
+            user: req.user,
+            arrival: req.arrival,
+            subjobs: req.subjobs,
+            queued: vec![req.work_per_subjob; req.subjobs as usize],
+            running: Vec::new(),
+            finished: 0,
+            spent: 0.0,
+            budget_left: req.budget,
+            finished_at: None,
+            nodes_stat: (0, 0.0, 0),
+        });
+        Ok(())
+    }
+
+    fn place(&mut self, ctx: &TickCtx) {
+        let slots = ctx.total_slots();
         assert!(slots > 0);
+        let vcpu_mhz = Self::vcpu_mhz(ctx);
+        // The price buyers see this tick (recorded pre-adjustment).
+        self.posted = self.price;
+        let price = self.price;
 
-        let mut price = self.initial_price;
-        let mut track: Vec<JobTrack> = jobs
+        // Each buyer's willingness-to-pay per slot-interval: the budget
+        // spread over the remaining slot-intervals of work — paying more
+        // would bankrupt the job before completion.
+        let willing: Vec<f64> = self
+            .tracks
             .iter()
-            .map(|j| JobTrack {
-                queued: vec![j.work_per_subjob; j.subjobs as usize],
-                running: Vec::new(),
-                finished: 0,
-                spent: 0.0,
-                budget_left: j.budget,
-                finished_at: None,
-                nodes_stat: (0, 0.0, 0),
-            })
-            .collect();
-
-        let dt = SimDuration::from_secs_f64(self.interval_secs);
-        let mut now = SimTime::ZERO;
-        let mut price_history = Vec::new();
-
-        while now < horizon {
-            price_history.push((now, price));
-
-            // Each buyer's willingness-to-pay per slot-interval: the
-            // budget spread over the remaining slot-intervals of work —
-            // paying more would bankrupt the job before completion.
-            let willing: Vec<f64> = jobs
-                .iter()
-                .enumerate()
-                .map(|(ji, j)| {
-                    let t = &track[ji];
-                    let per_subjob = (j.work_per_subjob / (vcpu_mhz * self.interval_secs)).ceil();
-                    let slot_ints = |r: &f64| (r / (vcpu_mhz * self.interval_secs)).ceil();
-                    let total: f64 = t.running.iter().map(slot_ints).sum::<f64>()
-                        + t.queued.iter().map(slot_ints).sum::<f64>();
-                    let _ = per_subjob;
-                    if total <= 0.0 {
-                        0.0
-                    } else {
-                        t.budget_left / total
-                    }
-                })
-                .collect();
-
-            // Demand at the posted price: one slot per pending-or-running
-            // subjob, but only from buyers whose willingness covers it.
-            let mut demand = 0usize;
-            for (ji, j) in jobs.iter().enumerate() {
-                if j.arrival > now || price > willing[ji] {
-                    continue;
-                }
-                demand += track[ji].running.len() + track[ji].queued.len();
-            }
-
-            // Sell slots in job-id order (the posted-price market is
-            // first-come-first-served).
-            let mut sold = 0usize;
-            for (ji, j) in jobs.iter().enumerate() {
-                if j.arrival > now {
-                    continue;
-                }
-                let _ = j;
-                let t = &mut track[ji];
-                if price > willing[ji] || price > t.budget_left {
-                    // Priced out: release the slots, checkpoint progress.
-                    t.queued.append(&mut t.running);
-                    continue;
-                }
-                // Keep already-running subjobs first (pay per interval),
-                // then resume queued ones.
-                let mut affordable = (t.budget_left / price).floor() as usize;
-                let kept = t.running.len().min(slots - sold).min(affordable);
-                while t.running.len() > kept {
-                    let r = t.running.pop().expect("nonempty");
-                    t.queued.push(r);
-                }
-                sold += kept;
-                affordable -= kept;
-                while !t.queued.is_empty() && sold < slots && affordable > 0 {
-                    let r = t.queued.remove(0);
-                    t.running.push(r);
-                    sold += 1;
-                    affordable -= 1;
-                }
-                let cost = price * t.running.len() as f64;
-                t.budget_left -= cost;
-                t.spent += cost;
-            }
-
-            // Progress the purchased slots.
-            for (ji, j) in jobs.iter().enumerate() {
-                let t = &mut track[ji];
-                for r in t.running.iter_mut() {
-                    *r -= vcpu_mhz * self.interval_secs;
-                }
-                let before = t.running.len();
-                t.running.retain(|r| *r > 0.0);
-                let done = before - t.running.len();
-                t.finished += done as u32;
-                if t.finished == j.subjobs && t.finished_at.is_none() {
-                    t.finished_at = Some(now + dt);
-                }
-                if j.arrival <= now && t.finished < j.subjobs {
-                    let active = t.running.len();
-                    t.nodes_stat.0 += 1;
-                    t.nodes_stat.1 += active as f64;
-                    t.nodes_stat.2 = t.nodes_stat.2.max(active);
-                }
-            }
-
-            // Supply/demand price adjustment.
-            let imbalance = (demand as f64 - slots as f64) / slots as f64;
-            price *= 1.0 + self.adjustment_gain * imbalance.clamp(-1.0, 1.0);
-            price = price.max(self.min_price);
-
-            now += dt;
-            if track
-                .iter()
-                .zip(jobs)
-                .all(|(t, j)| t.finished == j.subjobs)
-            {
-                break;
-            }
-        }
-
-        let outcomes = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| {
-                let t = &track[i];
-                JobOutcome {
-                    id: j.id,
-                    user: j.user,
-                    finished_at: t.finished_at,
-                    makespan_secs: t.finished_at.unwrap_or(now).since(j.arrival).as_secs_f64(),
-                    cost: t.spent,
-                    max_nodes: t.nodes_stat.2,
-                    avg_nodes: if t.nodes_stat.0 == 0 {
-                        0.0
-                    } else {
-                        t.nodes_stat.1 / t.nodes_stat.0 as f64
-                    },
+            .map(|t| {
+                let slot_ints = |r: &f64| (r / (vcpu_mhz * ctx.interval_secs)).ceil();
+                let total: f64 = t.running.iter().map(slot_ints).sum::<f64>()
+                    + t.queued.iter().map(slot_ints).sum::<f64>();
+                if total <= 0.0 {
+                    0.0
+                } else {
+                    t.budget_left / total
                 }
             })
             .collect();
 
-        RunResult {
-            outcomes,
-            price_history,
+        // Demand at the posted price: one slot per pending-or-running
+        // subjob, but only from buyers whose willingness covers it.
+        self.demand = self
+            .tracks
+            .iter()
+            .zip(&willing)
+            .filter(|(_, w)| price <= **w)
+            .map(|(t, _)| t.running.len() + t.queued.len())
+            .sum();
+
+        // Sell slots in admission (= arrival, id) order: the posted-price
+        // market is first-come-first-served.
+        let mut sold = 0usize;
+        for (ti, t) in self.tracks.iter_mut().enumerate() {
+            if price > willing[ti] || price > t.budget_left {
+                // Priced out: release the slots, checkpoint progress.
+                t.queued.append(&mut t.running);
+                continue;
+            }
+            // Keep already-running subjobs first (pay per interval), then
+            // resume queued ones.
+            let mut affordable = (t.budget_left / price).floor() as usize;
+            let kept = t.running.len().min(slots - sold).min(affordable);
+            while t.running.len() > kept {
+                let r = t.running.pop().expect("nonempty");
+                t.queued.push(r);
+            }
+            sold += kept;
+            affordable -= kept;
+            while !t.queued.is_empty() && sold < slots && affordable > 0 {
+                let r = t.queued.remove(0);
+                t.running.push(r);
+                sold += 1;
+                affordable -= 1;
+            }
+            let cost = price * t.running.len() as f64;
+            t.budget_left -= cost;
+            t.spent += cost;
         }
+    }
+
+    fn advance(&mut self, ctx: &TickCtx) {
+        let vcpu_mhz = Self::vcpu_mhz(ctx);
+        let dt = ctx.interval();
+        for t in self.tracks.iter_mut() {
+            for r in t.running.iter_mut() {
+                *r -= vcpu_mhz * ctx.interval_secs;
+            }
+            let before = t.running.len();
+            t.running.retain(|r| *r > 0.0);
+            let done = before - t.running.len();
+            t.finished += done as u32;
+            if t.finished == t.subjobs && t.finished_at.is_none() {
+                t.finished_at = Some(ctx.now + dt);
+            }
+        }
+    }
+
+    fn settle(&mut self, ctx: &TickCtx) {
+        for t in self.tracks.iter_mut() {
+            if t.finished < t.subjobs {
+                let active = t.running.len();
+                t.nodes_stat.0 += 1;
+                t.nodes_stat.1 += active as f64;
+                t.nodes_stat.2 = t.nodes_stat.2.max(active);
+            }
+        }
+        // Supply/demand price adjustment for the next tick.
+        let slots = ctx.total_slots();
+        let imbalance = (self.demand as f64 - slots as f64) / slots as f64;
+        self.price *= 1.0 + self.adjustment_gain * imbalance.clamp(-1.0, 1.0);
+        self.price = self.price.max(self.min_price);
+    }
+
+    fn price(&self, _ctx: &TickCtx) -> Option<f64> {
+        Some(self.posted)
+    }
+
+    fn all_settled(&self) -> bool {
+        self.tracks.iter().all(|t| t.finished == t.subjobs)
+    }
+
+    fn outcomes(&self, now: SimTime) -> Vec<JobOutcome> {
+        self.tracks
+            .iter()
+            .map(|t| JobOutcome {
+                id: t.id,
+                user: t.user,
+                finished_at: t.finished_at,
+                makespan_secs: t.finished_at.unwrap_or(now).since(t.arrival).as_secs_f64(),
+                cost: t.spent,
+                max_nodes: t.nodes_stat.2,
+                avg_nodes: if t.nodes_stat.0 == 0 {
+                    0.0
+                } else {
+                    t.nodes_stat.1 / t.nodes_stat.0 as f64
+                },
+            })
+            .collect()
     }
 }
 

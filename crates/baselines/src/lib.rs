@@ -15,8 +15,16 @@
 //!   not proportional share, leading to reduced fairness", §6) or
 //!   second-price sealed-bid (Spawn, the paper's ancestor system).
 //!
-//! All baselines run over the same [`common`] workload/outcome types so
-//! the benches can compare them with the Tycoon grid market directly.
+//! Each baseline is an implementation of
+//! [`gm_core::policy::AllocationPolicy`] ([`FifoPolicy`], [`SharePolicy`],
+//! [`GCommercePolicy`], [`WtaPolicy`]); the simulation loop itself is
+//! `gm_core`'s single shared [`PolicyDriver`](gm_core::PolicyDriver), so
+//! every policy — including the Tycoon market via
+//! `gridmarket::policy::TycoonPolicy` — runs under identical arrival
+//! streams, fault plans, and clocks. The old `SchedulerX::run(...)`
+//! convenience methods remain as thin wrappers over that driver, and the
+//! [`common`] workload/outcome types are re-exports from
+//! [`gm_core::workload`].
 
 pub mod common;
 pub mod fifo;
@@ -25,7 +33,7 @@ pub mod share;
 pub mod wta;
 
 pub use common::{jain_fairness, JobOutcome, JobRequest, RunResult};
-pub use fifo::FifoBatchQueue;
-pub use gcommerce::GCommerceMarket;
-pub use share::{Placement, ShareScheduler};
-pub use wta::{Pricing, WinnerTakesAllMarket};
+pub use fifo::{FifoBatchQueue, FifoPolicy};
+pub use gcommerce::{GCommerceMarket, GCommercePolicy};
+pub use share::{Placement, SharePolicy, ShareScheduler};
+pub use wta::{Pricing, WinnerTakesAllMarket, WtaPolicy};

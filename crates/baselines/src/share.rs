@@ -3,9 +3,13 @@
 //! Every sub-job placed on a host time-shares it equally with the host's
 //! other residents — no budgets, no incentives, the egalitarian baseline.
 //! Placement is least-loaded or round-robin.
+//!
+//! The scheduling rules live in [`SharePolicy`]; the tick loop is
+//! `gm_core`'s shared [`PolicyDriver`].
 
-use gm_des::{SimDuration, SimTime};
-use gm_tycoon::HostSpec;
+use gm_core::policy::{AllocationPolicy, PolicyDriver, PolicyError, TickCtx};
+use gm_des::SimTime;
+use gm_tycoon::{HostSpec, UserId};
 
 use crate::common::{JobOutcome, JobRequest, RunResult};
 
@@ -18,7 +22,7 @@ pub enum Placement {
     RoundRobin,
 }
 
-/// The equal-share scheduler.
+/// The equal-share scheduler (configuration + convenience runner).
 pub struct ShareScheduler {
     /// Allocation tick in seconds.
     pub interval_secs: f64,
@@ -35,122 +39,188 @@ impl Default for ShareScheduler {
     }
 }
 
+impl ShareScheduler {
+    /// The policy object to hand to a [`PolicyDriver`].
+    pub fn policy(&self) -> SharePolicy {
+        SharePolicy::new(self.placement)
+    }
+
+    /// Run the workload to completion (or `horizon`) through the shared
+    /// driver.
+    pub fn run(&self, hosts: &[HostSpec], jobs: &[JobRequest], horizon: SimTime) -> RunResult {
+        let mut policy = self.policy();
+        PolicyDriver::new(hosts.to_vec(), self.interval_secs)
+            .horizon(horizon)
+            .run(&mut policy, jobs)
+            .expect("invalid job")
+    }
+}
+
 struct Resident {
-    job: usize,
+    track: usize,
     remaining: f64,
 }
 
-impl ShareScheduler {
-    /// Run the workload to completion (or `horizon`).
-    pub fn run(&self, hosts: &[HostSpec], jobs: &[JobRequest], horizon: SimTime) -> RunResult {
-        for j in jobs {
-            j.validate().expect("invalid job");
+struct JobTrack {
+    id: u32,
+    user: UserId,
+    arrival: SimTime,
+    subjobs: u32,
+    pending: u32,
+    finished: u32,
+    finished_at: Option<SimTime>,
+    nodes_stat: (u64, f64, usize),
+}
+
+/// Equal processor sharing as an [`AllocationPolicy`].
+pub struct SharePolicy {
+    placement: Placement,
+    /// Per-host resident sub-jobs (time-sharing: unbounded).
+    residents: Vec<Vec<Resident>>,
+    tracks: Vec<JobTrack>,
+    work: Vec<f64>,
+    rr_next: usize,
+}
+
+impl SharePolicy {
+    /// New policy with the given placement strategy.
+    pub fn new(placement: Placement) -> Self {
+        SharePolicy {
+            placement,
+            residents: Vec::new(),
+            tracks: Vec::new(),
+            work: Vec::new(),
+            rr_next: 0,
         }
-        assert!(!hosts.is_empty());
-        let mut residents: Vec<Vec<Resident>> = hosts.iter().map(|_| Vec::new()).collect();
-        let mut pending: Vec<u32> = jobs.iter().map(|j| j.subjobs).collect();
-        let mut finished: Vec<u32> = vec![0; jobs.len()];
-        let mut finished_at: Vec<Option<SimTime>> = vec![None; jobs.len()];
-        let mut nodes_stat: Vec<(u64, f64, usize)> = vec![(0, 0.0, 0); jobs.len()];
-        let mut rr_next = 0usize;
+    }
+}
 
-        let dt = SimDuration::from_secs_f64(self.interval_secs);
-        let mut now = SimTime::ZERO;
-        while now < horizon {
-            // Admit everything that has arrived (time sharing: no slots).
-            for (ji, j) in jobs.iter().enumerate() {
-                if j.arrival > now {
-                    continue;
-                }
-                while pending[ji] > 0 {
-                    let h = match self.placement {
-                        Placement::LeastLoaded => residents
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(i, r)| (r.len(), *i))
-                            .map(|(i, _)| i)
-                            .expect("hosts nonempty"),
-                        Placement::RoundRobin => {
-                            let h = rr_next % residents.len();
-                            rr_next += 1;
-                            h
-                        }
-                    };
-                    residents[h].push(Resident {
-                        job: ji,
-                        remaining: j.work_per_subjob,
-                    });
-                    pending[ji] -= 1;
-                }
-            }
+impl AllocationPolicy for SharePolicy {
+    fn name(&self) -> &'static str {
+        "share"
+    }
 
-            // Progress: equal share of the host among residents, each
-            // capped at one vCPU.
-            for (h_idx, host) in hosts.iter().enumerate() {
-                let n = residents[h_idx].len();
-                if n == 0 {
-                    continue;
-                }
-                let share = 1.0 / n as f64;
-                let cpu_fraction = (share * host.cpus as f64).min(1.0);
-                let cap = cpu_fraction * host.vcpu_capacity_mhz();
-                for r in residents[h_idx].iter_mut() {
-                    r.remaining -= cap * self.interval_secs;
-                }
-                residents[h_idx].retain(|r| {
-                    if r.remaining <= 0.0 {
-                        finished[r.job] += 1;
-                        if finished[r.job] == jobs[r.job].subjobs {
-                            finished_at[r.job] = Some(now + dt);
-                        }
-                        false
-                    } else {
-                        true
-                    }
-                });
-            }
+    fn begin_tick(&mut self, ctx: &TickCtx) {
+        if self.residents.is_empty() {
+            assert!(!ctx.hosts.is_empty());
+            self.residents = ctx.hosts.iter().map(|_| Vec::new()).collect();
+        }
+    }
 
-            // Concurrency samples.
-            for (ji, j) in jobs.iter().enumerate() {
-                if finished[ji] < j.subjobs && j.arrival <= now {
-                    let active: usize = residents
+    fn admit(&mut self, _ctx: &TickCtx, req: &JobRequest) -> Result<(), PolicyError> {
+        self.tracks.push(JobTrack {
+            id: req.id,
+            user: req.user,
+            arrival: req.arrival,
+            subjobs: req.subjobs,
+            pending: req.subjobs,
+            finished: 0,
+            finished_at: None,
+            nodes_stat: (0, 0.0, 0),
+        });
+        self.work.push(req.work_per_subjob);
+        Ok(())
+    }
+
+    fn place(&mut self, _ctx: &TickCtx) {
+        // Time sharing has no slot limit: everything admitted lands on a
+        // host immediately.
+        for ti in 0..self.tracks.len() {
+            while self.tracks[ti].pending > 0 {
+                let h = match self.placement {
+                    Placement::LeastLoaded => self
+                        .residents
                         .iter()
-                        .map(|r| r.iter().filter(|x| x.job == ji).count())
-                        .sum();
-                    nodes_stat[ji].0 += 1;
-                    nodes_stat[ji].1 += active as f64;
-                    nodes_stat[ji].2 = nodes_stat[ji].2.max(active);
-                }
-            }
-
-            now += dt;
-            if finished.iter().zip(jobs).all(|(f, j)| *f == j.subjobs) {
-                break;
+                        .enumerate()
+                        .min_by_key(|(i, r)| (r.len(), *i))
+                        .map(|(i, _)| i)
+                        .expect("hosts nonempty"),
+                    Placement::RoundRobin => {
+                        let h = self.rr_next % self.residents.len();
+                        self.rr_next += 1;
+                        h
+                    }
+                };
+                self.residents[h].push(Resident {
+                    track: ti,
+                    remaining: self.work[ti],
+                });
+                self.tracks[ti].pending -= 1;
             }
         }
+    }
 
-        let outcomes = jobs
+    fn advance(&mut self, ctx: &TickCtx) {
+        let dt = ctx.interval();
+        for (h_idx, host) in ctx.hosts.iter().enumerate() {
+            let n = self.residents[h_idx].len();
+            if n == 0 {
+                continue;
+            }
+            // Equal share of the host among residents, each capped at one
+            // vCPU.
+            let share = 1.0 / n as f64;
+            let cpu_fraction = (share * host.cpus as f64).min(1.0);
+            let cap = cpu_fraction * host.vcpu_capacity_mhz();
+            for r in self.residents[h_idx].iter_mut() {
+                r.remaining -= cap * ctx.interval_secs;
+            }
+            let tracks = &mut self.tracks;
+            self.residents[h_idx].retain(|r| {
+                if r.remaining <= 0.0 {
+                    let t = &mut tracks[r.track];
+                    t.finished += 1;
+                    if t.finished == t.subjobs {
+                        t.finished_at = Some(ctx.now + dt);
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+
+    fn settle(&mut self, _ctx: &TickCtx) {
+        for (ti, t) in self.tracks.iter_mut().enumerate() {
+            if t.finished < t.subjobs {
+                let active: usize = self
+                    .residents
+                    .iter()
+                    .map(|r| r.iter().filter(|x| x.track == ti).count())
+                    .sum();
+                t.nodes_stat.0 += 1;
+                t.nodes_stat.1 += active as f64;
+                t.nodes_stat.2 = t.nodes_stat.2.max(active);
+            }
+        }
+    }
+
+    fn price(&self, _ctx: &TickCtx) -> Option<f64> {
+        None
+    }
+
+    fn all_settled(&self) -> bool {
+        self.tracks.iter().all(|t| t.finished == t.subjobs)
+    }
+
+    fn outcomes(&self, now: SimTime) -> Vec<JobOutcome> {
+        self.tracks
             .iter()
-            .enumerate()
-            .map(|(i, j)| JobOutcome {
-                id: j.id,
-                user: j.user,
-                finished_at: finished_at[i],
-                makespan_secs: finished_at[i].unwrap_or(now).since(j.arrival).as_secs_f64(),
+            .map(|t| JobOutcome {
+                id: t.id,
+                user: t.user,
+                finished_at: t.finished_at,
+                makespan_secs: t.finished_at.unwrap_or(now).since(t.arrival).as_secs_f64(),
                 cost: 0.0,
-                max_nodes: nodes_stat[i].2,
-                avg_nodes: if nodes_stat[i].0 == 0 {
+                max_nodes: t.nodes_stat.2,
+                avg_nodes: if t.nodes_stat.0 == 0 {
                     0.0
                 } else {
-                    nodes_stat[i].1 / nodes_stat[i].0 as f64
+                    t.nodes_stat.1 / t.nodes_stat.0 as f64
                 },
             })
-            .collect();
-
-        RunResult {
-            outcomes,
-            price_history: Vec::new(),
-        }
+            .collect()
     }
 }
 

@@ -6,9 +6,14 @@
 //! each job bids its spending rate on the hosts it wants; on each host the
 //! single highest bidder takes the *whole* host for that interval and pays
 //! its bid.
+//!
+//! The auction rules live in [`WtaPolicy`]; the tick loop is `gm_core`'s
+//! shared [`PolicyDriver`]. A price sample (mean winning bid) is recorded
+//! only on ticks where at least one host cleared.
 
-use gm_des::{SimDuration, SimTime};
-use gm_tycoon::HostSpec;
+use gm_core::policy::{AllocationPolicy, PolicyDriver, PolicyError, TickCtx};
+use gm_des::SimTime;
+use gm_tycoon::{HostSpec, UserId};
 
 use crate::common::{JobOutcome, JobRequest, RunResult};
 
@@ -23,7 +28,7 @@ pub enum Pricing {
     SecondPrice,
 }
 
-/// The winner-takes-all market.
+/// The winner-takes-all market (configuration + convenience runner).
 pub struct WinnerTakesAllMarket {
     /// Allocation tick in seconds.
     pub interval_secs: f64,
@@ -48,173 +53,27 @@ impl WinnerTakesAllMarket {
             pricing: Pricing::SecondPrice,
         }
     }
-}
 
-struct JobTrack {
-    remaining: Vec<f64>,
-    budget_left: f64,
-    spent: f64,
-    finished_at: Option<SimTime>,
-    nodes_stat: (u64, f64, usize),
-    capacity_received: f64,
-}
+    /// The policy object to hand to a [`PolicyDriver`].
+    pub fn policy(&self) -> WtaPolicy {
+        WtaPolicy {
+            pricing: self.pricing,
+            tracks: Vec::new(),
+            winners: Vec::new(),
+            clearing: None,
+            active_now: Vec::new(),
+        }
+    }
 
-impl WinnerTakesAllMarket {
-    /// Run the workload until completion or `horizon`. Also returns the
-    /// per-user capacity received (for fairness analysis) via the
-    /// outcomes' `avg_nodes`/`cost` fields and the price history (winning
-    /// bids averaged across hosts).
+    /// Run the workload until completion or `horizon` through the shared
+    /// driver. Also returns the price history (winning bids averaged
+    /// across hosts).
     pub fn run(&self, hosts: &[HostSpec], jobs: &[JobRequest], horizon: SimTime) -> RunResult {
-        for j in jobs {
-            j.validate().expect("invalid job");
-        }
-        assert!(!hosts.is_empty());
-        let mut track: Vec<JobTrack> = jobs
-            .iter()
-            .map(|j| JobTrack {
-                remaining: vec![j.work_per_subjob; j.subjobs as usize],
-                budget_left: j.budget,
-                spent: 0.0,
-                finished_at: None,
-                nodes_stat: (0, 0.0, 0),
-                capacity_received: 0.0,
-            })
-            .collect();
-
-        let dt = SimDuration::from_secs_f64(self.interval_secs);
-        let mut now = SimTime::ZERO;
-        let mut price_history = Vec::new();
-
-        while now < horizon {
-            // Each unfinished job bids budget/deadline (its sustainable
-            // rate) per host, on as many hosts as it has unfinished
-            // subjobs.
-            struct Bid {
-                job: usize,
-                rate_per_host: f64,
-                hosts_wanted: usize,
-            }
-            let mut bids: Vec<Bid> = Vec::new();
-            for (ji, j) in jobs.iter().enumerate() {
-                if j.arrival > now || track[ji].finished_at.is_some() {
-                    continue;
-                }
-                let unfinished = track[ji].remaining.iter().filter(|r| **r > 0.0).count();
-                if unfinished == 0 || track[ji].budget_left <= 0.0 {
-                    continue;
-                }
-                let rate = (track[ji].budget_left / j.deadline_secs.max(self.interval_secs))
-                    * self.interval_secs;
-                bids.push(Bid {
-                    job: ji,
-                    rate_per_host: rate / unfinished as f64,
-                    hosts_wanted: unfinished,
-                });
-            }
-
-            // Hosts auction independently; bidders spread over hosts in
-            // host order until their wanted count is exhausted.
-            let mut winners: Vec<Option<(usize, f64)>> = vec![None; hosts.len()];
-            let mut assigned: Vec<usize> = vec![0; bids.len()];
-            for (h_idx, _) in hosts.iter().enumerate() {
-                let mut best: Option<(usize, f64)> = None;
-                let mut second: f64 = 0.0;
-                for (b_idx, b) in bids.iter().enumerate() {
-                    if assigned[b_idx] >= b.hosts_wanted {
-                        continue;
-                    }
-                    match best {
-                        None => best = Some((b_idx, b.rate_per_host)),
-                        Some((_, rate)) if b.rate_per_host > rate => {
-                            second = rate;
-                            best = Some((b_idx, b.rate_per_host));
-                        }
-                        Some((_, _)) => second = second.max(b.rate_per_host),
-                    }
-                }
-                if let Some((b_idx, rate)) = best {
-                    let charge = match self.pricing {
-                        Pricing::FirstPrice => rate,
-                        Pricing::SecondPrice => second,
-                    };
-                    winners[h_idx] = Some((bids[b_idx].job, charge));
-                    assigned[b_idx] += 1;
-                }
-            }
-
-            let winning: Vec<f64> = winners.iter().flatten().map(|(_, r)| *r).collect();
-            if !winning.is_empty() {
-                price_history
-                    .push((now, winning.iter().sum::<f64>() / winning.len() as f64));
-            }
-
-            // Winners get the whole host (all CPUs → one subjob per CPU).
-            let mut active_now = vec![0usize; jobs.len()];
-            for (h_idx, w) in winners.iter().enumerate() {
-                let Some((ji, rate)) = *w else { continue };
-                let t = &mut track[ji];
-                t.budget_left -= rate;
-                t.spent += rate;
-                let host = &hosts[h_idx];
-                let cap = host.vcpu_capacity_mhz() * self.interval_secs;
-                // One subjob per CPU of the won host.
-                let mut cpus = host.cpus as usize;
-                for r in t.remaining.iter_mut() {
-                    if cpus == 0 {
-                        break;
-                    }
-                    if *r > 0.0 {
-                        *r -= cap;
-                        t.capacity_received += cap;
-                        active_now[ji] += 1;
-                        cpus -= 1;
-                    }
-                }
-            }
-
-            for (ji, j) in jobs.iter().enumerate() {
-                let t = &mut track[ji];
-                if t.finished_at.is_none() && t.remaining.iter().all(|r| *r <= 0.0) {
-                    t.finished_at = Some(now + dt);
-                }
-                if j.arrival <= now && t.finished_at.is_none() {
-                    t.nodes_stat.0 += 1;
-                    t.nodes_stat.1 += active_now[ji] as f64;
-                    t.nodes_stat.2 = t.nodes_stat.2.max(active_now[ji]);
-                }
-            }
-
-            now += dt;
-            if track.iter().all(|t| t.finished_at.is_some()) {
-                break;
-            }
-        }
-
-        let outcomes = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| {
-                let t = &track[i];
-                JobOutcome {
-                    id: j.id,
-                    user: j.user,
-                    finished_at: t.finished_at,
-                    makespan_secs: t.finished_at.unwrap_or(now).since(j.arrival).as_secs_f64(),
-                    cost: t.spent,
-                    max_nodes: t.nodes_stat.2,
-                    avg_nodes: if t.nodes_stat.0 == 0 {
-                        0.0
-                    } else {
-                        t.nodes_stat.1 / t.nodes_stat.0 as f64
-                    },
-                }
-            })
-            .collect();
-
-        RunResult {
-            outcomes,
-            price_history,
-        }
+        let mut policy = self.policy();
+        PolicyDriver::new(hosts.to_vec(), self.interval_secs)
+            .horizon(horizon)
+            .run(&mut policy, jobs)
+            .expect("invalid job")
     }
 
     /// Capacity received per job (MHz·seconds) — input for fairness
@@ -234,6 +93,184 @@ impl WinnerTakesAllMarket {
             track[i] = o.avg_nodes * o.makespan_secs * vcpu;
         }
         track
+    }
+}
+
+struct JobTrack {
+    id: u32,
+    user: UserId,
+    arrival: SimTime,
+    deadline_secs: f64,
+    remaining: Vec<f64>,
+    budget_left: f64,
+    spent: f64,
+    finished_at: Option<SimTime>,
+    nodes_stat: (u64, f64, usize),
+}
+
+/// Per-host winner-takes-all auctions as an [`AllocationPolicy`].
+pub struct WtaPolicy {
+    pricing: Pricing,
+    tracks: Vec<JobTrack>,
+    /// This tick's auction results: per host, the winning track and the
+    /// charged rate (set in `place`, consumed in `advance`).
+    winners: Vec<Option<(usize, f64)>>,
+    /// Mean winning bid this tick, if any host cleared.
+    clearing: Option<f64>,
+    /// Per-track sub-jobs progressed this tick (for concurrency stats).
+    active_now: Vec<usize>,
+}
+
+impl AllocationPolicy for WtaPolicy {
+    fn name(&self) -> &'static str {
+        "wta"
+    }
+
+    fn admit(&mut self, _ctx: &TickCtx, req: &JobRequest) -> Result<(), PolicyError> {
+        self.tracks.push(JobTrack {
+            id: req.id,
+            user: req.user,
+            arrival: req.arrival,
+            deadline_secs: req.deadline_secs,
+            remaining: vec![req.work_per_subjob; req.subjobs as usize],
+            budget_left: req.budget,
+            spent: 0.0,
+            finished_at: None,
+            nodes_stat: (0, 0.0, 0),
+        });
+        Ok(())
+    }
+
+    fn place(&mut self, ctx: &TickCtx) {
+        assert!(!ctx.hosts.is_empty());
+        // Each unfinished job bids budget/deadline (its sustainable rate)
+        // per host, on as many hosts as it has unfinished subjobs.
+        struct Bid {
+            track: usize,
+            rate_per_host: f64,
+            hosts_wanted: usize,
+        }
+        let mut bids: Vec<Bid> = Vec::new();
+        for (ti, t) in self.tracks.iter().enumerate() {
+            if t.finished_at.is_some() {
+                continue;
+            }
+            let unfinished = t.remaining.iter().filter(|r| **r > 0.0).count();
+            if unfinished == 0 || t.budget_left <= 0.0 {
+                continue;
+            }
+            let rate =
+                (t.budget_left / t.deadline_secs.max(ctx.interval_secs)) * ctx.interval_secs;
+            bids.push(Bid {
+                track: ti,
+                rate_per_host: rate / unfinished as f64,
+                hosts_wanted: unfinished,
+            });
+        }
+
+        // Hosts auction independently; bidders spread over hosts in host
+        // order until their wanted count is exhausted.
+        self.winners = vec![None; ctx.hosts.len()];
+        let mut assigned: Vec<usize> = vec![0; bids.len()];
+        for h_idx in 0..ctx.hosts.len() {
+            let mut best: Option<(usize, f64)> = None;
+            let mut second: f64 = 0.0;
+            for (b_idx, b) in bids.iter().enumerate() {
+                if assigned[b_idx] >= b.hosts_wanted {
+                    continue;
+                }
+                match best {
+                    None => best = Some((b_idx, b.rate_per_host)),
+                    Some((_, rate)) if b.rate_per_host > rate => {
+                        second = rate;
+                        best = Some((b_idx, b.rate_per_host));
+                    }
+                    Some((_, _)) => second = second.max(b.rate_per_host),
+                }
+            }
+            if let Some((b_idx, rate)) = best {
+                let charge = match self.pricing {
+                    Pricing::FirstPrice => rate,
+                    Pricing::SecondPrice => second,
+                };
+                self.winners[h_idx] = Some((bids[b_idx].track, charge));
+                assigned[b_idx] += 1;
+            }
+        }
+
+        let winning: Vec<f64> = self.winners.iter().flatten().map(|(_, r)| *r).collect();
+        self.clearing = if winning.is_empty() {
+            None
+        } else {
+            Some(winning.iter().sum::<f64>() / winning.len() as f64)
+        };
+    }
+
+    fn advance(&mut self, ctx: &TickCtx) {
+        // Winners get the whole host (all CPUs → one subjob per CPU).
+        let mut active_now = vec![0usize; self.tracks.len()];
+        for (h_idx, w) in self.winners.iter().enumerate() {
+            let Some((ti, rate)) = *w else { continue };
+            let t = &mut self.tracks[ti];
+            t.budget_left -= rate;
+            t.spent += rate;
+            let host = &ctx.hosts[h_idx];
+            let cap = host.vcpu_capacity_mhz() * ctx.interval_secs;
+            let mut cpus = host.cpus as usize;
+            for r in t.remaining.iter_mut() {
+                if cpus == 0 {
+                    break;
+                }
+                if *r > 0.0 {
+                    *r -= cap;
+                    active_now[ti] += 1;
+                    cpus -= 1;
+                }
+            }
+        }
+        self.active_now = active_now;
+    }
+
+    fn settle(&mut self, ctx: &TickCtx) {
+        let dt = ctx.interval();
+        for (ti, t) in self.tracks.iter_mut().enumerate() {
+            if t.finished_at.is_none() && t.remaining.iter().all(|r| *r <= 0.0) {
+                t.finished_at = Some(ctx.now + dt);
+            }
+            if t.finished_at.is_none() {
+                let active = self.active_now.get(ti).copied().unwrap_or(0);
+                t.nodes_stat.0 += 1;
+                t.nodes_stat.1 += active as f64;
+                t.nodes_stat.2 = t.nodes_stat.2.max(active);
+            }
+        }
+    }
+
+    fn price(&self, _ctx: &TickCtx) -> Option<f64> {
+        self.clearing
+    }
+
+    fn all_settled(&self) -> bool {
+        self.tracks.iter().all(|t| t.finished_at.is_some())
+    }
+
+    fn outcomes(&self, now: SimTime) -> Vec<JobOutcome> {
+        self.tracks
+            .iter()
+            .map(|t| JobOutcome {
+                id: t.id,
+                user: t.user,
+                finished_at: t.finished_at,
+                makespan_secs: t.finished_at.unwrap_or(now).since(t.arrival).as_secs_f64(),
+                cost: t.spent,
+                max_nodes: t.nodes_stat.2,
+                avg_nodes: if t.nodes_stat.0 == 0 {
+                    0.0
+                } else {
+                    t.nodes_stat.1 / t.nodes_stat.0 as f64
+                },
+            })
+            .collect()
     }
 }
 

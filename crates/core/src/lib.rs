@@ -28,6 +28,9 @@
 //!
 //! The crates underneath (each re-exported here):
 //!
+//! * [`gm_core`] — the [`AllocationPolicy`] trait and the unified
+//!   [`PolicyDriver`] tick loop ([`sched`]); [`policy::TycoonPolicy`]
+//!   puts the whole market stack behind it.
 //! * [`gm_tycoon`] — bank, auctioneers, Best Response ([`tycoon`]).
 //! * [`gm_grid`] — xRSL, transfer tokens, VMs, job manager ([`grid`]).
 //! * [`gm_predict`] — §4's prediction models ([`predict`]).
@@ -37,13 +40,17 @@
 //! * [`gm_telemetry`] — deterministic metrics + tracing ([`telemetry`]).
 //! * [`gm_des`] / [`gm_numeric`] — simulation kernel and numerics.
 
+pub mod policy;
 pub mod report;
 pub mod scenario;
 
+pub use gm_core::{AllocationPolicy, PolicyDriver, PolicyError};
+pub use policy::{TycoonJobSetup, TycoonPolicy};
 pub use report::{group_rows, render_table, GroupRow};
 pub use scenario::{Scenario, ScenarioResult, UserReport, UserSetup};
 
 pub use gm_baselines as baselines;
+pub use gm_core as sched;
 pub use gm_bio as bio;
 pub use gm_des as des;
 pub use gm_grid as grid;

@@ -1,0 +1,278 @@
+//! The Tycoon market as an [`AllocationPolicy`] (the paper's allocator,
+//! §3, behind the same driver as the §6 baselines).
+//!
+//! [`TycoonPolicy`] adapts the full grid stack — `Market`, `JobManager`,
+//! transfer tokens, VMs — to the policy hooks of `gm_core`, so the
+//! [`PolicyDriver`](gm_core::PolicyDriver) can run it under exactly the
+//! same arrival stream and fault plan as FIFO, equal-share, G-commerce
+//! and winner-takes-all. [`Scenario`](crate::scenario::Scenario) routes
+//! through this adapter too: one tick loop serves the whole repo.
+//!
+//! Hook mapping (one driver tick ⇔ one market interval):
+//!
+//! | driver hook  | grid stack action                                   |
+//! |--------------|-----------------------------------------------------|
+//! | `begin_tick` | sync the telemetry `ManualClock` to sim time        |
+//! | `apply_fault`| crash/recover hosts, fail VMs, bank outage/restore  |
+//! | `admit`      | fund a transfer token, render xRSL, `JobManager::submit` |
+//! | `place`      | `JobManager::pre_tick` (bids, escrows, dispatch)    |
+//! | `advance`    | `Market::tick` + `JobManager::post_tick`            |
+//! | `settle`     | — (settlement happens inside `post_tick`)           |
+//! | `price`      | mean spot price across the host inventory           |
+
+use std::collections::BTreeMap;
+
+use gm_bio::workload::{bio_job_xrsl, fund_token, BioWorkload, REFERENCE_VCPU_MHZ};
+use gm_core::{AllocationPolicy, JobOutcome, JobRequest, PolicyError, TickCtx};
+use gm_des::{FaultEvent, FaultKind, SimTime};
+use gm_grid::{GridError, GridIdentity, JobId, JobManager, JobSpec};
+use gm_telemetry::{ManualClock, Tracer};
+use gm_tycoon::{AccountId, Credits, HostId, Market};
+
+/// A prepared Tycoon submission for one [`JobRequest`] id: the grid
+/// identity that signs the transfer token, its funded bank account, the
+/// xRSL job label, and the exact workload shape.
+///
+/// [`Scenario`](crate::scenario::Scenario) registers one per user via
+/// [`TycoonPolicy::prepare`]; requests without a prepared setup get an
+/// auto-generated identity and endowment so the policy also runs on raw
+/// `JobRequest` streams (the cross-policy comparison tests).
+pub struct TycoonJobSetup {
+    /// Grid identity whose DN the transfer token is bound to.
+    pub identity: GridIdentity,
+    /// The identity's bank account (already endowed).
+    pub account: AccountId,
+    /// xRSL `jobName`.
+    pub label: String,
+    /// Workload shape rendered into the xRSL.
+    pub workload: BioWorkload,
+}
+
+/// The Tycoon grid stack behind the [`AllocationPolicy`] hooks.
+pub struct TycoonPolicy {
+    market: Market,
+    jm: JobManager,
+    clock: Option<ManualClock>,
+    tracer: Option<Tracer>,
+    setups: BTreeMap<u32, TycoonJobSetup>,
+    jobs: BTreeMap<u32, JobId>,
+    last_error: Option<GridError>,
+}
+
+impl TycoonPolicy {
+    /// Wrap an assembled market and job manager. The market must already
+    /// hold the host inventory the driver is constructed with.
+    pub fn new(market: Market, jm: JobManager) -> TycoonPolicy {
+        TycoonPolicy {
+            market,
+            jm,
+            clock: None,
+            tracer: None,
+            setups: BTreeMap::new(),
+            jobs: BTreeMap::new(),
+            last_error: None,
+        }
+    }
+
+    /// Sync this `ManualClock` to sim time at every tick start, so
+    /// telemetry timestamps ride the simulation clock (DESIGN.md §9).
+    pub fn with_clock(mut self, clock: ManualClock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Record fault events (`fault.host_crash`, ...) into this tracer.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Register the prepared submission for request `id` (consumed at
+    /// admission).
+    pub fn prepare(&mut self, id: u32, setup: TycoonJobSetup) {
+        self.setups.insert(id, setup);
+    }
+
+    /// The wrapped market (read access).
+    pub fn market(&self) -> &Market {
+        &self.market
+    }
+
+    /// The wrapped job manager (read access).
+    pub fn job_manager(&self) -> &JobManager {
+        &self.jm
+    }
+
+    /// The grid job id a request was admitted as.
+    pub fn grid_job_id(&self, request_id: u32) -> Option<JobId> {
+        self.jobs.get(&request_id).copied()
+    }
+
+    /// Take the `GridError` behind the most recent admission rejection
+    /// (the driver surfaces it as a rendered [`PolicyError::Rejected`];
+    /// callers that need the typed error recover it here).
+    pub fn take_error(&mut self) -> Option<GridError> {
+        self.last_error.take()
+    }
+
+    /// Tear down into the market and job manager for report assembly.
+    pub fn into_parts(self) -> (Market, JobManager) {
+        (self.market, self.jm)
+    }
+
+    /// Identity, account and workload for a request nobody prepared:
+    /// deterministic per-id identity, endowment covering the budget.
+    fn auto_setup(&mut self, req: &JobRequest) -> TycoonJobSetup {
+        let identity = GridIdentity::swegrid_user(req.id + 1);
+        let account = self
+            .market
+            .bank_mut()
+            .open_account(identity.public_key(), &format!("user{}", req.id + 1));
+        self.market
+            .bank_mut()
+            .mint(account, Credits::from_f64(req.budget * 10.0 + 1.0))
+            .expect("endowment");
+        let workload = BioWorkload {
+            subjobs: req.subjobs,
+            chunk_minutes: req.work_per_subjob / (60.0 * REFERENCE_VCPU_MHZ),
+            deadline_minutes: ((req.deadline_secs / 60.0).ceil()).max(1.0) as u64,
+        };
+        TycoonJobSetup {
+            identity,
+            account,
+            label: format!("job{}", req.id),
+            workload,
+        }
+    }
+}
+
+impl AllocationPolicy for TycoonPolicy {
+    fn name(&self) -> &'static str {
+        "tycoon"
+    }
+
+    fn begin_tick(&mut self, ctx: &TickCtx) {
+        if let Some(clock) = &self.clock {
+            clock.set_micros(ctx.now.as_micros());
+        }
+    }
+
+    fn apply_fault(&mut self, ctx: &TickCtx, ev: &FaultEvent) {
+        // Fault targets are interpreted modulo the host count; message
+        // delay/drop only have meaning for the live service runtime.
+        let host = HostId(ev.target % (ctx.hosts.len() as u32).max(1));
+        let host_field = [("host", host.0.to_string())];
+        match ev.kind {
+            FaultKind::HostCrash => {
+                if let Some(t) = &self.tracer {
+                    t.event_with("fault.host_crash", &host_field);
+                }
+                if self.market.crash_host(host).is_ok() {
+                    self.jm.handle_host_crash(host, ctx.now);
+                }
+            }
+            FaultKind::HostRecover => {
+                if let Some(t) = &self.tracer {
+                    t.event_with("fault.host_recover", &host_field);
+                }
+                let _ = self.market.recover_host(host);
+            }
+            FaultKind::VmFailure => {
+                if let Some(t) = &self.tracer {
+                    t.event_with("fault.vm_fail", &host_field);
+                }
+                let _ = self.jm.handle_vm_failure_any(host, ctx.now);
+            }
+            FaultKind::BankOutage => {
+                if let Some(t) = &self.tracer {
+                    t.event("fault.bank_outage");
+                }
+                self.market.set_bank_online(false);
+            }
+            FaultKind::BankRestore => {
+                if let Some(t) = &self.tracer {
+                    t.event("fault.bank_restore");
+                }
+                self.market.set_bank_online(true);
+            }
+            FaultKind::MessageDelay | FaultKind::MessageDrop => {}
+        }
+    }
+
+    fn admit(&mut self, ctx: &TickCtx, req: &JobRequest) -> Result<(), PolicyError> {
+        let setup = match self.setups.remove(&req.id) {
+            Some(s) => s,
+            None => self.auto_setup(req),
+        };
+        let broker = self.jm.broker_account();
+        let submitted = (|| -> Result<JobId, GridError> {
+            let token = fund_token(
+                self.market.bank_mut(),
+                &setup.identity,
+                setup.account,
+                broker,
+                Credits::from_f64(req.budget),
+            )?;
+            let text = bio_job_xrsl(&setup.label, &setup.workload, &token);
+            let spec = JobSpec::parse(&text, setup.workload.work_mhz_secs_per_subjob())?;
+            self.jm.submit(&mut self.market, ctx.now, &spec)
+        })();
+        match submitted {
+            Ok(id) => {
+                self.jobs.insert(req.id, id);
+                Ok(())
+            }
+            Err(e) => {
+                let reason = e.to_string();
+                self.last_error = Some(e);
+                Err(PolicyError::Rejected {
+                    job: req.id,
+                    reason,
+                })
+            }
+        }
+    }
+
+    fn place(&mut self, ctx: &TickCtx) {
+        self.jm.pre_tick(&mut self.market, ctx.now);
+    }
+
+    fn advance(&mut self, ctx: &TickCtx) {
+        let allocations = self.market.tick(ctx.now);
+        self.jm.post_tick(&self.market, ctx.now, &allocations);
+    }
+
+    fn settle(&mut self, _ctx: &TickCtx) {
+        // Charging and refunds happen inside `post_tick` (`advance`).
+    }
+
+    fn price(&self, _ctx: &TickCtx) -> Option<f64> {
+        let prices = self.market.spot_prices();
+        if prices.is_empty() {
+            return None;
+        }
+        Some(prices.iter().map(|(_, p)| *p).sum::<f64>() / prices.len() as f64)
+    }
+
+    fn all_settled(&self) -> bool {
+        self.jm.all_settled()
+    }
+
+    fn outcomes(&self, now: SimTime) -> Vec<JobOutcome> {
+        self.jobs
+            .iter()
+            .filter_map(|(&rid, &jid)| {
+                let job = self.jm.job(jid)?;
+                Some(JobOutcome {
+                    id: rid,
+                    user: job.user,
+                    finished_at: job.finished_at,
+                    makespan_secs: job.makespan(now).as_secs_f64(),
+                    cost: job.charged.as_f64(),
+                    max_nodes: job.max_nodes(),
+                    avg_nodes: job.avg_nodes(),
+                })
+            })
+            .collect()
+    }
+}

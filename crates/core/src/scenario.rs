@@ -10,15 +10,17 @@
 
 use std::sync::Arc;
 
-use gm_bio::workload::{fund_token, BioWorkload};
-use gm_bio::{bio_job_xrsl, CHUNK_MINUTES_AT_FULL_CPU};
-use gm_des::{FaultKind, FaultPlan, SimDuration, SimTime, Trace};
+use gm_bio::workload::BioWorkload;
+use gm_bio::CHUNK_MINUTES_AT_FULL_CPU;
+use gm_core::{JobRequest, PolicyDriver};
+use gm_des::{FaultPlan, SimDuration, SimTime, Trace};
 use gm_grid::{
-    AgentConfig, FaultCounters, GridError, GridIdentity, JobId, JobManager, JobPhase, JobSpec,
-    VmConfig,
+    AgentConfig, FaultCounters, GridError, GridIdentity, JobId, JobManager, JobPhase, VmConfig,
 };
 use gm_telemetry::{metrics_jsonl, trace_jsonl, Clock, ManualClock, MetricsSnapshot, Registry, Tracer};
-use gm_tycoon::{AccountId, Credits, HostId, HostSpec, Market};
+use gm_tycoon::{Credits, HostSpec, Market, UserId};
+
+use crate::policy::{TycoonJobSetup, TycoonPolicy};
 
 /// Capacity of the scenario's fault-event trace ring. Fault plans are
 /// hand-written schedules, so this is far more than any run produces.
@@ -191,18 +193,19 @@ impl Scenario {
     pub fn run(self) -> Result<ScenarioResult, GridError> {
         assert!(!self.users.is_empty(), "scenario needs at least one user");
         // Telemetry rides the simulation clock: `sim_clock` is advanced in
-        // lockstep with `now`, so the same seed yields a byte-identical
-        // JSONL export (DESIGN.md §9).
+        // lockstep with the driver's `now` (via `TycoonPolicy::begin_tick`),
+        // so the same seed yields a byte-identical JSONL export
+        // (DESIGN.md §9).
         let registry = Registry::new();
         let sim_clock = ManualClock::new();
         let clock: Arc<dyn Clock> = Arc::new(sim_clock.clone());
         let tracer = Tracer::new(TRACE_CAPACITY, Arc::clone(&clock));
-        let faults_injected_counter = registry.counter("faults.injected");
         let seed_bytes = self.seed.to_be_bytes();
         let mut market = Market::new(&seed_bytes);
         market.set_interval_secs(self.interval_secs);
         market.attach_telemetry(&registry, Arc::clone(&clock));
         let mut host_rng = gm_des::Pcg32::new(self.seed, 0x05f5);
+        let mut host_specs = Vec::with_capacity(self.hosts as usize);
         for i in 0..self.hosts {
             let mut spec = HostSpec::testbed(i);
             if self.heterogeneity > 0.0 {
@@ -210,19 +213,21 @@ impl Scenario {
                 let jitter = 1.0 + self.heterogeneity * (2.0 * host_rng.next_f64() - 1.0);
                 spec.cpu_mhz *= jitter;
             }
-            market.add_host(spec);
+            market.add_host(spec.clone());
+            host_specs.push(spec);
         }
-        let mut jm = JobManager::with_registry(&mut market, self.agent, self.vm, &registry);
+        let jm = JobManager::with_registry(&mut market, self.agent, self.vm, &registry);
 
-        // Users, accounts, endowments and submission times.
-        struct PendingUser {
-            identity: GridIdentity,
-            account: AccountId,
-            setup: UserSetup,
-            submit_at: SimTime,
-            job: Option<JobId>,
+        // Users, accounts, endowments and submission times. The driver
+        // owns the arrival stream; the policy owns the funded identities.
+        struct UserMeta {
+            label: String,
+            dn: String,
+            funding: f64,
         }
-        let mut pending: Vec<PendingUser> = Vec::with_capacity(self.users.len());
+        let mut meta: Vec<UserMeta> = Vec::with_capacity(self.users.len());
+        let mut requests: Vec<JobRequest> = Vec::with_capacity(self.users.len());
+        let mut setups: Vec<TycoonJobSetup> = Vec::with_capacity(self.users.len());
         let mut t = SimTime::ZERO;
         for (i, setup) in self.users.iter().enumerate() {
             let identity = GridIdentity::swegrid_user(i as u32 + 1);
@@ -236,110 +241,78 @@ impl Scenario {
                 .mint(account, Credits::from_f64(setup.funding * 10.0 + 1.0))
                 .expect("endowment");
             t += SimDuration::from_secs(setup.stagger_secs);
-            pending.push(PendingUser {
+            let workload = BioWorkload {
+                subjobs: setup.subjobs,
+                chunk_minutes: self.chunk_minutes,
+                deadline_minutes: self.deadline_minutes,
+            };
+            requests.push(JobRequest {
+                id: i as u32,
+                user: UserId(i as u32 + 1),
+                subjobs: setup.subjobs,
+                work_per_subjob: workload.work_mhz_secs_per_subjob(),
+                arrival: t,
+                budget: setup.funding,
+                deadline_secs: self.deadline_minutes as f64 * 60.0,
+            });
+            meta.push(UserMeta {
+                label: setup.label.clone(),
+                dn: identity.dn().to_owned(),
+                funding: setup.funding,
+            });
+            let label = if setup.label.is_empty() {
+                "bio-scan".to_owned()
+            } else {
+                setup.label.clone()
+            };
+            setups.push(TycoonJobSetup {
                 identity,
                 account,
-                setup: setup.clone(),
-                submit_at: t,
-                job: None,
+                label,
+                workload,
             });
         }
 
-        // Drive the market loop.
-        let dt = SimDuration::from_secs_f64(self.interval_secs);
-        let horizon = SimTime::ZERO + SimDuration::from_hours(self.horizon_hours);
-        let mut now = SimTime::ZERO;
-        let mut fault_plan = self.faults.clone();
-        let mut faults_injected = 0usize;
-        while now < horizon {
-            sim_clock.set_micros(now.as_micros());
-            // Deliver scheduled faults at the interval boundary, before
-            // the agents act on the interval.
-            for ev in fault_plan.take_due(now) {
-                faults_injected += 1;
-                faults_injected_counter.inc();
-                let host = HostId(ev.target % self.hosts.max(1));
-                let host_field = [("host", host.0.to_string())];
-                match ev.kind {
-                    FaultKind::HostCrash => {
-                        tracer.event_with("fault.host_crash", &host_field);
-                        if market.crash_host(host).is_ok() {
-                            jm.handle_host_crash(host, now);
-                        }
-                    }
-                    FaultKind::HostRecover => {
-                        tracer.event_with("fault.host_recover", &host_field);
-                        let _ = market.recover_host(host);
-                    }
-                    FaultKind::VmFailure => {
-                        tracer.event_with("fault.vm_fail", &host_field);
-                        let _ = jm.handle_vm_failure_any(host, now);
-                    }
-                    FaultKind::BankOutage => {
-                        tracer.event("fault.bank_outage");
-                        market.set_bank_online(false);
-                    }
-                    FaultKind::BankRestore => {
-                        tracer.event("fault.bank_restore");
-                        market.set_bank_online(true);
-                    }
-                    // Only meaningful for the live service runtime; the
-                    // deterministic simulation has no messages to lose
-                    // (DESIGN.md §8).
-                    FaultKind::MessageDelay | FaultKind::MessageDrop => {}
-                }
-            }
-            for p in pending.iter_mut() {
-                if p.job.is_none() && now >= p.submit_at {
-                    let workload = BioWorkload {
-                        subjobs: p.setup.subjobs,
-                        chunk_minutes: self.chunk_minutes,
-                        deadline_minutes: self.deadline_minutes,
-                    };
-                    let token = fund_token(
-                        market.bank_mut(),
-                        &p.identity,
-                        p.account,
-                        jm.broker_account(),
-                        Credits::from_f64(p.setup.funding),
-                    )
-                    .map_err(GridError::from)?;
-                    let text = bio_job_xrsl(
-                        if p.setup.label.is_empty() {
-                            "bio-scan"
-                        } else {
-                            &p.setup.label
-                        },
-                        &workload,
-                        &token,
-                    );
-                    let spec = JobSpec::parse(&text, workload.work_mhz_secs_per_subjob())?;
-                    p.job = Some(jm.submit(&mut market, now, &spec)?);
-                }
-            }
-            jm.step(&mut market, now);
-            now += dt;
-            if pending.iter().all(|p| p.job.is_some())
-                && jm.all_settled()
-                && fault_plan.is_exhausted()
-            {
-                break;
-            }
+        // The unified driver runs the market exactly like every baseline:
+        // faults, then arrivals, then place/advance — tick for tick.
+        let mut policy = TycoonPolicy::new(market, jm)
+            .with_clock(sim_clock.clone())
+            .with_tracer(tracer.clone());
+        for (i, setup) in setups.into_iter().enumerate() {
+            policy.prepare(i as u32, setup);
         }
+        let mut driver = PolicyDriver::new(host_specs, self.interval_secs)
+            .horizon(SimTime::ZERO + SimDuration::from_hours(self.horizon_hours))
+            .faults(self.faults.clone())
+            .with_registry(&registry);
+        if let Err(e) = driver.run(&mut policy, &requests) {
+            // Submission failures carry a typed `GridError`; anything
+            // else (request validation) is a bad job description.
+            return Err(policy
+                .take_error()
+                .unwrap_or_else(|| GridError::BadDescription(e.to_string())));
+        }
+        let now = driver.stats().final_now;
+        let faults_injected = driver.stats().faults_injected;
+        let job_ids: Vec<JobId> = (0..requests.len() as u32)
+            .map(|i| policy.grid_job_id(i).expect("submitted"))
+            .collect();
+        let (market, jm) = policy.into_parts();
 
         // Collect per-user reports.
-        let users = pending
+        let users = meta
             .iter()
-            .map(|p| {
-                let job = jm.job(p.job.expect("submitted")).expect("job exists");
+            .zip(&job_ids)
+            .map(|(m, &jid)| {
+                let job = jm.job(jid).expect("job exists");
                 let makespan_h = job.makespan(now).as_hours_f64();
                 let charged = job.charged.as_f64();
                 let nodes = job.max_nodes();
                 let avg_nodes = job.avg_nodes();
                 UserReport {
-                    label: p.setup.label.clone(),
-                    dn: p.identity.dn().to_owned(),
-                    funding: p.setup.funding,
+                    label: m.label.clone(),
+                    dn: m.dn.clone(),
+                    funding: m.funding,
                     phase: job.phase,
                     time_hours: makespan_h,
                     cost_per_hour: if makespan_h > 0.0 { charged / makespan_h } else { 0.0 },

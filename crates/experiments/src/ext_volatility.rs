@@ -5,15 +5,18 @@
 //! rebuttal that the auctions simulated there were winner-takes-all, not
 //! proportional share. This experiment measures it on our
 //! implementations: the coefficient of variation of (a) Tycoon spot
-//! prices under an arrival-driven load, (b) a G-commerce posted price on
-//! an equivalent workload, and (c) winner-takes-all clearing prices.
+//! prices, (b) a G-commerce posted price, and (c) winner-takes-all
+//! clearing prices — all three markets running the *identical* job
+//! stream through the one shared `PolicyDriver`, so the only difference
+//! is the pricing mechanism itself.
 
 use gm_baselines::{GCommerceMarket, JobRequest, WinnerTakesAllMarket};
 use gm_des::SimTime;
+use gm_grid::{AgentConfig, JobManager, VmConfig};
 use gm_numeric::stats::Moments;
-use gm_tycoon::{HostSpec, UserId};
+use gm_tycoon::{HostSpec, Market, UserId};
+use gridmarket::{PolicyDriver, TycoonPolicy};
 
-use crate::pricegen::{host0_prices, PriceGenConfig};
 use crate::Scale;
 
 /// Structured result.
@@ -69,11 +72,7 @@ pub fn run(scale: Scale) -> Volatility {
         Scale::Quick => 3.0,
     };
 
-    // (a) Tycoon spot prices from the arrival-driven market.
-    let tycoon_prices = host0_prices(&PriceGenConfig::new(hours, 0xA11));
-    let tycoon_cov = cov(&tycoon_prices).unwrap_or(f64::NAN);
-
-    // (b)/(c) the same workload shape through the baselines.
+    // The shared inventory and arrival stream every market runs under.
     let hosts: Vec<HostSpec> = (0..10).map(HostSpec::testbed).collect();
     let jobs: Vec<JobRequest> = (0..12)
         .map(|i| JobRequest {
@@ -87,6 +86,26 @@ pub fn run(scale: Scale) -> Volatility {
         })
         .collect();
     let horizon = SimTime::from_secs((hours * 3600.0) as u64);
+
+    // (a) Tycoon spot prices (host 0) through the shared driver.
+    let mut market = Market::new(&0xA11u64.to_be_bytes());
+    market.set_interval_secs(10.0);
+    for h in &hosts {
+        market.add_host(h.clone());
+    }
+    let jm = JobManager::new(&mut market, AgentConfig::default(), VmConfig::default());
+    let mut ty = TycoonPolicy::new(market, jm);
+    PolicyDriver::new(hosts.clone(), 10.0)
+        .horizon(horizon)
+        .run(&mut ty, &jobs)
+        .expect("tycoon run");
+    let tycoon_prices: Vec<f64> = ty
+        .market()
+        .price_trace()
+        .get("host000")
+        .map(|s| s.values().to_vec())
+        .unwrap_or_default();
+    let tycoon_cov = cov(&tycoon_prices).unwrap_or(f64::NAN);
 
     let gc = GCommerceMarket::default().run(&hosts, &jobs, horizon);
     let gc_prices: Vec<f64> = gc.price_history.iter().map(|(_, p)| *p).collect();

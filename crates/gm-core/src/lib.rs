@@ -1,0 +1,31 @@
+//! # gm-core — the scheduler core
+//!
+//! One driver, many allocation policies. This crate is the seam between
+//! the simulation substrate (`gm-des` clocks and fault plans, `gm-tycoon`
+//! host capacity) and the allocators that compete in the paper's
+//! market-vs-baseline comparison:
+//!
+//! - [`workload`] — the policy-neutral job description
+//!   ([`JobRequest`]) and per-run report ([`RunResult`]) shared by every
+//!   scheduler, market or not.
+//! - [`metrics`] — the comparison metrics (Jain fairness index, price
+//!   volatility) used by policy reports and the experiments crate.
+//! - [`policy`] — the [`AllocationPolicy`] trait (admit / place /
+//!   advance / settle / price hooks over a shared host-capacity + clock
+//!   view) and the single [`PolicyDriver`] tick loop that replaces the
+//!   per-baseline `run()` loops: every policy sees *identical* arrival
+//!   streams, fault plans, and telemetry, so A/B results are
+//!   byte-reproducible.
+//!
+//! The crate deliberately depends only on `gm-des`, `gm-tycoon` (for
+//! `HostSpec`/`UserId`) and `gm-telemetry`; the grid stack plugs in from
+//! above via `gridmarket::policy::TycoonPolicy`.
+#![deny(clippy::too_many_lines)]
+
+pub mod metrics;
+pub mod policy;
+pub mod workload;
+
+pub use metrics::{jain_fairness, price_volatility};
+pub use policy::{AllocationPolicy, DriverStats, PolicyDriver, PolicyError, TickCtx};
+pub use workload::{JobOutcome, JobRequest, RunResult};

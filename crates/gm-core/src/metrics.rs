@@ -1,0 +1,62 @@
+//! Comparison metrics shared by all policy reports.
+
+/// Jain's fairness index of a set of non-negative allocations:
+/// `(Σx)² / (n·Σx²)`; 1 = perfectly fair, 1/n = maximally unfair.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let s: f64 = xs.iter().sum();
+    let s2: f64 = xs.iter().map(|x| x * x).sum();
+    if s2 <= 0.0 {
+        return 1.0;
+    }
+    s * s / (xs.len() as f64 * s2)
+}
+
+/// Coefficient of variation of a price series (the G-commerce "price
+/// predictability" metric; lower = more predictable). `None` when the
+/// series is too short or its mean is ~0.
+pub fn price_volatility(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if mean.abs() < 1e-300 {
+        return None;
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt() / mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_extremes() {
+        assert!((jain_fairness(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let unfair = jain_fairness(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((unfair - 0.25).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn jain_index_monotone_in_imbalance() {
+        let a = jain_fairness(&[2.0, 2.0, 2.0]);
+        let b = jain_fairness(&[3.0, 2.0, 1.0]);
+        let c = jain_fairness(&[5.0, 0.5, 0.5]);
+        assert!(a > b && b > c);
+    }
+
+    #[test]
+    fn volatility_edge_cases() {
+        assert!(price_volatility(&[]).is_none());
+        assert!(price_volatility(&[1.0]).is_none());
+        assert!(price_volatility(&[0.0, 0.0, 0.0]).is_none());
+        assert!(price_volatility(&[2.0; 10]).unwrap() < 1e-12);
+        let spiky: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { 3.0 }).collect();
+        assert!(price_volatility(&spiky).unwrap() > 0.4);
+    }
+}

@@ -1,0 +1,133 @@
+//! Policy-neutral workload and outcome types.
+//!
+//! These used to live in `gm_baselines::common`; they moved here so the
+//! Tycoon market and the conventional baselines report through one type
+//! universe (the `baselines::common` paths remain as re-exports).
+
+use gm_des::SimTime;
+use gm_tycoon::UserId;
+
+use crate::policy::PolicyError;
+
+/// A job as every policy sees it: a bag of equally-sized sub-jobs.
+#[derive(Clone, Debug)]
+pub struct JobRequest {
+    /// Job id (unique within a run).
+    pub id: u32,
+    /// Owning user.
+    pub user: UserId,
+    /// Number of sub-jobs.
+    pub subjobs: u32,
+    /// Work per sub-job in MHz·seconds.
+    pub work_per_subjob: f64,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Budget in credits (market policies only).
+    pub budget: f64,
+    /// Deadline in seconds from arrival (market policies only).
+    pub deadline_secs: f64,
+}
+
+impl JobRequest {
+    /// Validate basic invariants.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        if self.subjobs == 0 {
+            return Err(PolicyError::invalid(format!("job {}: zero subjobs", self.id)));
+        }
+        if self.work_per_subjob.is_nan() || self.work_per_subjob <= 0.0 {
+            return Err(PolicyError::invalid(format!(
+                "job {}: non-positive work",
+                self.id
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// What happened to one job.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Job id.
+    pub id: u32,
+    /// Owning user.
+    pub user: UserId,
+    /// Completion time (None = did not finish within the horizon).
+    pub finished_at: Option<SimTime>,
+    /// Makespan in seconds (up to the horizon if unfinished).
+    pub makespan_secs: f64,
+    /// Credits spent (market policies; 0 otherwise).
+    pub cost: f64,
+    /// Peak concurrent sub-jobs.
+    pub max_nodes: usize,
+    /// Average concurrent sub-jobs over the job's active lifetime.
+    pub avg_nodes: f64,
+}
+
+/// Result of one policy run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Per-job outcomes in submission order (one per [`JobRequest`]).
+    pub outcomes: Vec<JobOutcome>,
+    /// Posted/spot price history (market policies; empty otherwise).
+    pub price_history: Vec<(SimTime, f64)>,
+}
+
+impl RunResult {
+    /// All jobs finished?
+    pub fn all_finished(&self) -> bool {
+        self.outcomes.iter().all(|o| o.finished_at.is_some())
+    }
+
+    /// Makespan of the whole batch (max over finished jobs), seconds.
+    pub fn batch_makespan_secs(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.makespan_secs)
+            .fold(0.0, f64::max)
+    }
+
+    /// Coefficient of variation of the price history (the G-commerce
+    /// "price predictability" metric; lower = more predictable).
+    pub fn price_volatility(&self) -> Option<f64> {
+        let xs: Vec<f64> = self.price_history.iter().map(|(_, p)| *p).collect();
+        crate::metrics::price_volatility(&xs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn price_volatility_via_result() {
+        let flat = RunResult {
+            outcomes: vec![],
+            price_history: (0..10).map(|i| (SimTime::from_secs(i), 2.0)).collect(),
+        };
+        assert!(flat.price_volatility().unwrap() < 1e-12);
+        let empty = RunResult {
+            outcomes: vec![],
+            price_history: vec![],
+        };
+        assert!(empty.price_volatility().is_none());
+    }
+
+    #[test]
+    fn request_validation() {
+        let mut r = JobRequest {
+            id: 0,
+            user: UserId(1),
+            subjobs: 2,
+            work_per_subjob: 100.0,
+            arrival: SimTime::ZERO,
+            budget: 10.0,
+            deadline_secs: 100.0,
+        };
+        assert!(r.validate().is_ok());
+        r.subjobs = 0;
+        assert!(r.validate().is_err());
+        r.subjobs = 1;
+        r.work_per_subjob = 0.0;
+        assert!(r.validate().is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Money-facing duties of the agent: transfer-token redemption against
+//! the broker account, per-DN market users, allocation accounting
+//! (`post_tick`) and cancellation refunds.
+
+use std::collections::BTreeMap;
+
+use gm_des::{SimDuration, SimTime};
+use gm_tycoon::{Credits, HostId, Market, MarketError, UserId};
+
+use super::jobs::{GridError, JobId, JobKind, JobPhase};
+use super::JobManager;
+use crate::token::{TokenError, TransferToken};
+
+impl JobManager {
+    /// Verify-and-consume a transfer token, counting the outcome
+    /// (`grid.tokens_accepted` / `grid.tokens_rejected` /
+    /// `grid.token_double_spends`).
+    pub(super) fn redeem_token(
+        &mut self,
+        market: &Market,
+        token: &TransferToken,
+    ) -> Result<(), GridError> {
+        if let Err(e) = token.verify(market.bank(), self.broker_account) {
+            self.telemetry.tokens_rejected.inc();
+            return Err(e.into());
+        }
+        if let Err(e) = self.registry.consume(token) {
+            self.telemetry.tokens_rejected.inc();
+            if matches!(e, TokenError::AlreadySpent(_)) {
+                self.telemetry.token_double_spends.inc();
+            }
+            return Err(e.into());
+        }
+        self.telemetry.tokens_accepted.inc();
+        Ok(())
+    }
+
+    pub(super) fn user_for_dn(&mut self, dn: &str) -> UserId {
+        if let Some(&u) = self.users.get(dn) {
+            return u;
+        }
+        let u = UserId(self.next_user);
+        self.next_user += 1;
+        self.users.insert(dn.to_owned(), u);
+        u
+    }
+
+    /// Account the market's allocations into sub-job progress. `now` is the
+    /// tick start; allocations cover `[now, now + interval)`.
+    pub fn post_tick(
+        &mut self,
+        market: &Market,
+        now: SimTime,
+        allocations: &[(HostId, Vec<gm_tycoon::Allocation>)],
+    ) {
+        let interval = market.interval_secs();
+        let by_host: BTreeMap<HostId, &Vec<gm_tycoon::Allocation>> =
+            allocations.iter().map(|(h, a)| (*h, a)).collect();
+
+        for job in self.jobs.values_mut() {
+            if job.phase != JobPhase::Running {
+                continue;
+            }
+            for slot in &mut job.slots {
+                let Some(bid) = slot.bid else { continue };
+                let Some(allocs) = by_host.get(&slot.host) else {
+                    continue;
+                };
+                let Some(alloc) = allocs.iter().find(|a| a.handle == bid) else {
+                    continue;
+                };
+                job.charged += alloc.charged;
+                if alloc.exhausted {
+                    slot.bid = None;
+                }
+                let Some(sj_idx) = slot.subjob else { continue };
+                let kind = job.kind;
+                let sj = &mut job.subjobs[sj_idx];
+                if !sj.is_computing() {
+                    continue;
+                }
+                let ready = sj.compute_ready.expect("assigned subjob has ready time");
+                let tick_end = now + SimDuration::from_secs_f64(interval);
+                if ready >= tick_end {
+                    continue; // still provisioning/staging
+                }
+                if let JobKind::Service { min_mhz } = kind {
+                    job.qos.1 += 1;
+                    if alloc.capacity_mhz >= min_mhz {
+                        job.qos.0 += 1;
+                    }
+                }
+                let effective_start = ready.max(now);
+                let dt = tick_end.since(effective_start).as_secs_f64();
+                let remaining = sj.work_total - sj.work_done;
+                let progress = alloc.capacity_mhz * dt;
+                if progress >= remaining && alloc.capacity_mhz > 0.0 {
+                    // Completed mid-interval.
+                    let t_done =
+                        effective_start + SimDuration::from_secs_f64(remaining / alloc.capacity_mhz);
+                    sj.work_done = sj.work_total;
+                    sj.stage_out_until = Some(t_done + job.stage_out);
+                } else {
+                    sj.work_done += progress;
+                }
+            }
+        }
+    }
+
+    /// Kill a job (ARC `arckill`): cancel its bids, refund all unspent
+    /// funds to the payer, mark it `Cancelled`.
+    pub fn cancel_job(
+        &mut self,
+        market: &mut Market,
+        job_id: JobId,
+        now: SimTime,
+    ) -> Result<Credits, GridError> {
+        let job = self
+            .jobs
+            .get_mut(&job_id)
+            .ok_or(GridError::NoSuchJob(job_id))?;
+        if job.phase == JobPhase::Done || job.phase == JobPhase::Cancelled {
+            return Ok(Credits::ZERO);
+        }
+        // A kill both cancels bids and refunds; during a bank outage
+        // neither can settle, so refuse rather than half-cancel.
+        if !market.bank_is_online() {
+            return Err(GridError::Market(MarketError::BankUnavailable));
+        }
+        for slot in &mut job.slots {
+            if let Some(bid) = slot.bid.take() {
+                let _ = market.cancel_bid(slot.host, bid, job.sub_account);
+            }
+            slot.subjob = None;
+        }
+        let balance = market.bank().balance(job.sub_account).unwrap_or(Credits::ZERO);
+        if balance.is_positive() {
+            market
+                .bank_mut()
+                .transfer(job.sub_account, job.refund_account, balance)?;
+        }
+        job.phase = JobPhase::Cancelled;
+        job.finished_at = Some(now);
+        Ok(balance)
+    }
+}

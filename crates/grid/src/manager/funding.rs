@@ -1,0 +1,222 @@
+//! Budget/deadline funding plans: Best Response bid placement at
+//! submission, per-interval rate re-balancing and escrow top-ups, and
+//! mid-run boosts (§3: "jobs that have been submitted may be boosted with
+//! additional funding to complete sooner").
+
+use gm_des::SimTime;
+use gm_tycoon::{best_response, Credits, HostId, Market};
+
+use super::jobs::{GridError, Job, JobId, JobPhase, Slot};
+use super::JobManager;
+use crate::token::TransferToken;
+
+/// How many reallocation intervals of escrow a bid keeps in front of it.
+/// One interval would be charged away entirely at each tick, leaving the
+/// bid invisible to other agents' quotes between ticks; three keeps bids
+/// continuously live while bounding the money parked at hosts.
+pub(super) const ESCROW_INTERVALS: f64 = 3.0;
+
+/// Best Response bids with the per-host rate cap applied (see
+/// [`super::AgentConfig::max_share_premium`]).
+pub(super) fn capped_bids(
+    quotes: &[gm_tycoon::HostQuote],
+    budget_rate: f64,
+    max_hosts: usize,
+    premium: f64,
+) -> Vec<(HostId, f64)> {
+    best_response(quotes, budget_rate, max_hosts)
+        .into_iter()
+        .map(|(host, rate)| {
+            let q = quotes
+                .iter()
+                .find(|q| q.host == host)
+                .map(|q| q.others_rate)
+                .unwrap_or(f64::INFINITY);
+            (host, rate.min(q * premium))
+        })
+        .collect()
+}
+
+impl JobManager {
+    /// Boost a running job with additional funding (§3: "jobs that have
+    /// been submitted may be boosted with additional funding to complete
+    /// sooner").
+    pub fn boost(
+        &mut self,
+        market: &mut Market,
+        job_id: JobId,
+        token: &TransferToken,
+    ) -> Result<(), GridError> {
+        self.redeem_token(market, token)?;
+        let job = self
+            .jobs
+            .get_mut(&job_id)
+            .ok_or(GridError::NoSuchJob(job_id))?;
+        market
+            .bank_mut()
+            .transfer(self.broker_account, job.sub_account, token.amount())?;
+        if job.phase == JobPhase::Stalled {
+            job.phase = JobPhase::Running;
+            job.finished_at = None;
+            // Revived jobs get a fresh retry budget and an immediate
+            // re-dispatch round for any sub-jobs left pending.
+            job.needs_redispatch = true;
+            job.retry_failures = 0;
+            job.retry_after = None;
+        }
+        Ok(())
+    }
+
+    pub(super) fn place_initial_bids(
+        &mut self,
+        market: &mut Market,
+        now: SimTime,
+        job: &mut Job,
+    ) -> Result<(), GridError> {
+        let budget = market.bank().balance(job.sub_account)?;
+        let horizon = job.deadline.since(now).as_secs_f64().max(market.interval_secs());
+        let rate = budget.as_f64() / horizon;
+        let max_hosts = self.config.max_nodes.min(job.subjobs.len());
+
+        let host_ids = self.eligible_hosts(market);
+        let quotes = market.quotes_for(job.user, &host_ids);
+        let bids = capped_bids(&quotes, rate, max_hosts, self.config.max_share_premium);
+
+        let interval = market.interval_secs();
+        for (host, host_rate) in bids {
+            // Escrow a few intervals per bid; pre_tick keeps topping up.
+            let escrow = Credits::from_f64(host_rate * interval * ESCROW_INTERVALS)
+                .min(market.bank().balance(job.sub_account)?);
+            if !escrow.is_positive() {
+                continue;
+            }
+            let Ok(bid) =
+                market.place_funded_bid(job.user, job.sub_account, host, host_rate, escrow)
+            else {
+                // Bank outage (or a host lost between quote and bid):
+                // recover through the re-dispatch path instead of failing
+                // the whole submission with the token already consumed.
+                job.needs_redispatch = true;
+                continue;
+            };
+            job.slots.push(Slot {
+                host,
+                bid: Some(bid),
+                rate: host_rate,
+                subjob: None,
+            });
+        }
+        // Assign sub-jobs to slots.
+        for slot_idx in 0..job.slots.len() {
+            Self::start_next_subjob(&mut self.vms, &self.telemetry, job, slot_idx, now);
+        }
+        if job.slots.is_empty() {
+            job.needs_redispatch = true;
+        }
+        Ok(())
+    }
+
+    pub(super) fn rebalance(
+        &mut self,
+        market: &mut Market,
+        job: &mut Job,
+        now: SimTime,
+        interval: f64,
+    ) {
+        let balance = match market.bank().balance(job.sub_account) {
+            Ok(b) => b,
+            Err(_) => return,
+        };
+        // Escrows still at hosts count as spendable.
+        let escrowed: f64 = job
+            .slots
+            .iter()
+            .filter_map(|s| {
+                s.bid
+                    .and_then(|b| market.auctioneer(s.host).and_then(|a| a.escrow(b)))
+            })
+            .map(|c| c.as_f64())
+            .sum();
+        let funds = balance.as_f64() + escrowed;
+        if funds <= 0.0 {
+            let busy = job.slots.iter().any(|s| s.subjob.is_some());
+            if busy {
+                job.phase = JobPhase::Stalled;
+                job.finished_at = Some(now);
+            }
+            return;
+        }
+        let horizon = job.deadline.since(now).as_secs_f64().max(interval);
+        let total_rate = funds / horizon;
+
+        let active_hosts: Vec<HostId> = job
+            .slots
+            .iter()
+            .filter(|s| s.subjob.is_some() || s.bid.is_some())
+            .map(|s| s.host)
+            .collect();
+        if active_hosts.is_empty() {
+            return;
+        }
+
+        if self.config.rebid {
+            let quotes = market.quotes_for(job.user, &active_hosts);
+            let new_bids = capped_bids(&quotes, total_rate, usize::MAX, self.config.max_share_premium);
+            for (host, rate) in new_bids {
+                if let Some(slot) = job.slots.iter_mut().find(|s| s.host == host) {
+                    slot.rate = rate;
+                    if let Some(bid) = slot.bid {
+                        let _ = market.update_bid_rate(host, bid, rate);
+                    }
+                }
+            }
+        }
+
+        // Top up each live bid to its escrow depth; re-place bids that
+        // exhausted earlier.
+        for slot in &mut job.slots {
+            if slot.subjob.is_none() && slot.bid.is_none() {
+                continue;
+            }
+            let needed = Credits::from_f64(slot.rate * interval * ESCROW_INTERVALS);
+            match slot.bid {
+                Some(bid) => {
+                    let have = market
+                        .auctioneer(slot.host)
+                        .and_then(|a| a.escrow(bid))
+                        .unwrap_or(Credits::ZERO);
+                    if have < needed {
+                        let want = needed - have;
+                        let available = market
+                            .bank()
+                            .balance(job.sub_account)
+                            .unwrap_or(Credits::ZERO);
+                        let top = want.min(available);
+                        if top.is_positive() {
+                            let _ = market.top_up_bid(slot.host, bid, job.sub_account, top);
+                        }
+                    }
+                }
+                None => {
+                    // Bid exhausted previously; re-place if funds remain.
+                    let available = market
+                        .bank()
+                        .balance(job.sub_account)
+                        .unwrap_or(Credits::ZERO);
+                    let escrow = needed.min(available);
+                    if escrow.is_positive() && slot.rate > 0.0 {
+                        if let Ok(b) = market.place_funded_bid(
+                            job.user,
+                            job.sub_account,
+                            slot.host,
+                            slot.rate,
+                            escrow,
+                        ) {
+                            slot.bid = Some(b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Failure recovery: host-crash and VM-failure handling, the capped-retry
+//! exponential-backoff re-dispatch machinery, and the dispatch/requeue
+//! bookkeeping invariant.
+
+use gm_des::{SimDuration, SimTime};
+use gm_tycoon::{Credits, HostId, Market, UserId};
+
+use super::funding::{capped_bids, ESCROW_INTERVALS};
+use super::jobs::{Job, JobPhase, Slot};
+use super::JobManager;
+
+/// Capped-retry / exponential-backoff policy for re-dispatching subjobs
+/// interrupted by host or VM failures.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Consecutive failed re-dispatch rounds a job tolerates before it is
+    /// marked `Stalled` (a boost revives it, like fund exhaustion).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each consecutive failure.
+    pub backoff_base: SimDuration,
+    /// Upper bound on the backoff delay.
+    pub backoff_cap: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            backoff_base: SimDuration::from_secs(10),
+            backoff_cap: SimDuration::from_minutes(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay after `failures` consecutive failed rounds
+    /// (`failures >= 1`): `base × 2^(failures−1)`, capped at
+    /// [`RetryPolicy::backoff_cap`]. `failures == 0` is treated as the
+    /// first failure. Saturates instead of overflowing: the shift exponent
+    /// is clamped below the u64 width and the multiply saturates, so even
+    /// `u32::MAX` consecutive failures yield the cap, never a wrapped
+    /// (tiny) delay.
+    pub fn delay_after(&self, failures: u32) -> SimDuration {
+        let exp = failures.saturating_sub(1).min(63);
+        let factor = 1u64.checked_shl(exp).unwrap_or(u64::MAX);
+        let us = self.backoff_base.as_micros().saturating_mul(factor);
+        SimDuration::from_micros(us.min(self.backoff_cap.as_micros()))
+    }
+}
+
+impl JobManager {
+    /// Check the fault-recovery bookkeeping invariant across every job: a
+    /// finished sub-job has `dispatches == requeues + 1` (it is never both
+    /// completed and re-dispatched), and an unfinished sub-job is either
+    /// waiting (`dispatches == requeues`) or assigned (`requeues + 1`).
+    pub fn recovery_invariant_ok(&self) -> bool {
+        self.jobs.values().flat_map(|j| &j.subjobs).all(|sj| {
+            if sj.finished_at.is_some() {
+                sj.dispatches == sj.requeues + 1
+            } else {
+                sj.dispatches == sj.requeues || sj.dispatches == sj.requeues + 1
+            }
+        })
+    }
+
+    /// One failure-recovery round for `job`: fill idle slots from the
+    /// pending queue, then open new slots on surviving hosts for sub-jobs
+    /// a fault sent back to the queue. Rounds are gated by the job's
+    /// exponential backoff; after [`RetryPolicy::max_retries`] consecutive
+    /// rounds with no progress possible at all the job is stalled (a boost
+    /// revives it, like fund exhaustion).
+    pub(super) fn redispatch(&mut self, market: &mut Market, job: &mut Job, now: SimTime) {
+        if !job.needs_redispatch {
+            return;
+        }
+        if job.retry_after.is_some_and(|t| now < t) {
+            return;
+        }
+        fn pending(job: &Job) -> usize {
+            job.subjobs
+                .iter()
+                .filter(|s| s.host.is_none() && !s.is_finished())
+                .count()
+        }
+        if pending(job) == 0 {
+            job.needs_redispatch = false;
+            job.retry_failures = 0;
+            job.retry_after = None;
+            return;
+        }
+        // Fill slots that idled before the fault hit (their bids were
+        // cancelled; rebalance re-places bids for occupied slots).
+        for slot_idx in 0..job.slots.len() {
+            if job.slots[slot_idx].subjob.is_none() {
+                Self::start_next_subjob(&mut self.vms, &self.telemetry, job, slot_idx, now);
+            }
+        }
+        // Open new slots on surviving hosts for what is left.
+        let left = pending(job);
+        let room = self.config.max_nodes.saturating_sub(job.slots.len());
+        if left > 0 && room > 0 {
+            let taken: Vec<HostId> = job.slots.iter().map(|s| s.host).collect();
+            let candidates: Vec<HostId> = self
+                .eligible_hosts(market)
+                .into_iter()
+                .filter(|h| market.is_host_online(*h) && !taken.contains(h))
+                .collect();
+            let balance = market.bank().balance(job.sub_account).unwrap_or(Credits::ZERO);
+            if !candidates.is_empty() && balance.is_positive() {
+                // Deadline-aware re-plan: spread the remaining budget
+                // (crash refunds flowed back here) over the remaining time.
+                let horizon = job.deadline.since(now).as_secs_f64().max(market.interval_secs());
+                let rate = balance.as_f64() / horizon;
+                let quotes = market.quotes_for(job.user, &candidates);
+                let bids =
+                    capped_bids(&quotes, rate, left.min(room), self.config.max_share_premium);
+                let interval = market.interval_secs();
+                for (host, host_rate) in bids {
+                    let escrow = Credits::from_f64(host_rate * interval * ESCROW_INTERVALS)
+                        .min(market.bank().balance(job.sub_account).unwrap_or(Credits::ZERO));
+                    if !escrow.is_positive() {
+                        continue;
+                    }
+                    let Ok(bid) = market.place_funded_bid(
+                        job.user,
+                        job.sub_account,
+                        host,
+                        host_rate,
+                        escrow,
+                    ) else {
+                        continue;
+                    };
+                    job.slots.push(Slot {
+                        host,
+                        bid: Some(bid),
+                        rate: host_rate,
+                        subjob: None,
+                    });
+                    let slot_idx = job.slots.len() - 1;
+                    Self::start_next_subjob(&mut self.vms, &self.telemetry, job, slot_idx, now);
+                }
+            }
+        }
+        if job.slots.iter().any(|s| s.subjob.is_some()) {
+            // Progress is possible again; remaining pending sub-jobs are
+            // absorbed as slots free up (the normal path), but keep trying
+            // to widen onto new hosts while any are queued.
+            job.retry_failures = 0;
+            job.retry_after = None;
+            job.needs_redispatch = pending(job) > 0;
+        } else {
+            self.telemetry.retry_rounds_failed.inc();
+            job.retry_failures += 1;
+            if job.retry_failures > self.config.retry.max_retries {
+                self.telemetry.jobs_stalled.inc();
+                job.phase = JobPhase::Stalled;
+                job.finished_at = Some(now);
+                job.retry_after = None;
+            } else {
+                self.telemetry.backoffs.inc();
+                job.retry_after = Some(now + self.config.retry.delay_after(job.retry_failures));
+            }
+        }
+    }
+
+    /// React to a host crash. Call **after** [`Market::crash_host`], which
+    /// evicts the host's bids and refunds their escrows to the paying
+    /// sub-accounts. This cleans up the manager's side of the failure:
+    /// kills the VMs, drops the host's slots, and re-queues interrupted
+    /// sub-jobs — keeping their completed work but discarding any
+    /// unfinished stage-out (outputs on the crashed host are lost) — for
+    /// re-dispatch onto surviving hosts at the next `pre_tick`. Returns
+    /// the number of sub-jobs interrupted.
+    pub fn handle_host_crash(&mut self, host: HostId, _now: SimTime) -> usize {
+        self.telemetry.host_crashes.inc();
+        self.vms.fail_host(host);
+        let mut interrupted = 0usize;
+        for job in self.jobs.values_mut() {
+            let mut hit = false;
+            for slot in &mut job.slots {
+                if slot.host != host {
+                    continue;
+                }
+                hit = true;
+                // The market evicted the bid and refunded its escrow when
+                // the host crashed; only the handle is left to forget.
+                slot.bid = None;
+                if let Some(sj_idx) = slot.subjob.take() {
+                    let sj = &mut job.subjobs[sj_idx];
+                    debug_assert!(!sj.is_finished(), "finished sub-job still held a slot");
+                    if !sj.is_finished() {
+                        sj.host = None;
+                        sj.compute_ready = None;
+                        sj.stage_out_until = None;
+                        sj.requeues += 1;
+                        interrupted += 1;
+                    }
+                }
+            }
+            job.slots.retain(|s| s.host != host);
+            if hit && job.phase == JobPhase::Running {
+                job.needs_redispatch = true;
+                job.retry_after = None;
+            }
+        }
+        self.telemetry.requeues.add(interrupted as u64);
+        interrupted
+    }
+
+    /// React to a single-VM failure on a live host: the sub-job running in
+    /// `user`'s VM there is interrupted and re-queued, and the slot — whose
+    /// bid is still valid — immediately restarts a pending sub-job in a
+    /// fresh VM (full boot + stage-in). Returns `true` when a VM was
+    /// actually killed.
+    pub fn handle_vm_failure(&mut self, host: HostId, user: UserId, now: SimTime) -> bool {
+        if !self.vms.fail_vm(host, user) {
+            return false;
+        }
+        self.telemetry.vm_failures.inc();
+        for job in self.jobs.values_mut() {
+            if job.user != user {
+                continue;
+            }
+            for slot_idx in 0..job.slots.len() {
+                if job.slots[slot_idx].host != host {
+                    continue;
+                }
+                let Some(sj_idx) = job.slots[slot_idx].subjob.take() else {
+                    continue;
+                };
+                let sj = &mut job.subjobs[sj_idx];
+                if sj.is_finished() {
+                    job.slots[slot_idx].subjob = Some(sj_idx);
+                    continue;
+                }
+                sj.host = None;
+                sj.compute_ready = None;
+                sj.stage_out_until = None;
+                sj.requeues += 1;
+                self.telemetry.requeues.inc();
+                Self::start_next_subjob(&mut self.vms, &self.telemetry, job, slot_idx, now);
+            }
+        }
+        true
+    }
+
+    /// Fault-injection convenience when a schedule names only a host: fail
+    /// the VM of the first (lowest job id) sub-job assigned on `host`.
+    /// Returns the affected user, or `None` when nothing ran there.
+    pub fn handle_vm_failure_any(&mut self, host: HostId, now: SimTime) -> Option<UserId> {
+        let user = self
+            .jobs
+            .values()
+            .find(|j| {
+                j.phase == JobPhase::Running
+                    && j.slots.iter().any(|s| s.host == host && s.subjob.is_some())
+            })
+            .map(|j| j.user)?;
+        self.handle_vm_failure(host, user, now).then_some(user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_from_base_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay_after(1), SimDuration::from_secs(10));
+        assert_eq!(p.delay_after(2), SimDuration::from_secs(20));
+        assert_eq!(p.delay_after(3), SimDuration::from_secs(40));
+        assert_eq!(p.delay_after(6), SimDuration::from_secs(320));
+        // 10 × 2^6 = 640 s exceeds the 10-minute cap.
+        assert_eq!(p.delay_after(7), SimDuration::from_minutes(10));
+    }
+
+    #[test]
+    fn backoff_zero_failures_is_base() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay_after(0), p.delay_after(1));
+    }
+
+    #[test]
+    fn backoff_never_overflows_and_saturates_at_cap() {
+        let p = RetryPolicy::default();
+        let cap = p.backoff_cap;
+        // Regression: huge failure counts used to risk a wrapped shift
+        // producing a tiny delay. They must pin to the cap instead.
+        for failures in [8, 32, 33, 34, 63, 64, 65, 1_000, u32::MAX] {
+            assert_eq!(p.delay_after(failures), cap, "failures={failures}");
+        }
+    }
+
+    #[test]
+    fn backoff_is_monotone_nondecreasing() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            backoff_base: SimDuration::from_micros(3),
+            backoff_cap: SimDuration::from_hours(100_000),
+        };
+        let mut last = SimDuration::from_micros(0);
+        for failures in 0..200 {
+            let d = p.delay_after(failures);
+            assert!(d >= last, "delay shrank at failures={failures}");
+            last = d;
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Fault-recovery tests: host crashes, VM failures, bank outages, and the
+//! stall/revive path when the whole cluster disappears.
+
+use gm_des::{SimDuration, SimTime};
+use gm_tycoon::{Credits, HostId, MarketError};
+
+use super::testutil::{make_spec, world};
+use super::{GridError, JobPhase};
+use crate::token::TransferToken;
+
+#[test]
+fn host_crash_requeues_and_completes_on_survivors() {
+    let mut w = world(4, 10_000);
+    let spec = make_spec(&mut w, 2_000, 8, 600);
+    let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+    let minted = w.market.bank().total_money();
+
+    // Run five minutes, then crash host 0 for good.
+    let mut now = SimTime::ZERO;
+    let dt = SimDuration::from_secs(10);
+    for _ in 0..30 {
+        w.jm.step(&mut w.market, now);
+        now += dt;
+    }
+    let report = w.market.crash_host(HostId(0)).unwrap();
+    let interrupted = w.jm.handle_host_crash(HostId(0), now);
+    assert!(!report.evicted.is_empty(), "a bid was live on host 0");
+    assert_eq!(interrupted, 1, "one sub-job was computing on host 0");
+
+    while now < SimTime::ZERO + SimDuration::from_hours(12) {
+        w.jm.step(&mut w.market, now);
+        now += dt;
+        if w.jm.all_settled() {
+            break;
+        }
+    }
+    let job = w.jm.job(id).unwrap();
+    assert_eq!(job.phase, JobPhase::Done);
+    for sj in &job.subjobs {
+        assert!(sj.finished_at.is_some());
+        // Every interruption was re-dispatched exactly once and the
+        // sub-job completed on its final dispatch.
+        assert_eq!(sj.dispatches, sj.requeues + 1, "subjob {}", sj.index);
+        if sj.requeues > 0 {
+            assert_ne!(sj.host, Some(HostId(0)), "re-dispatched onto a survivor");
+        }
+    }
+    let fc = w.jm.fault_counters();
+    assert_eq!(fc.host_crashes, 1);
+    assert_eq!(fc.subjobs_interrupted, 1);
+    assert_eq!(fc.redispatched, 1);
+    // Crash refunds + completion refund: not a credit lost or minted.
+    assert_eq!(w.market.bank().total_money(), minted);
+    assert_eq!(
+        w.market.bank().balance(job.sub_account).unwrap(),
+        Credits::ZERO
+    );
+}
+
+#[test]
+fn vm_failure_restarts_subjob_in_place() {
+    let mut w = world(2, 10_000);
+    let spec = make_spec(&mut w, 1_000, 2, 600);
+    let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+    let minted = w.market.bank().total_money();
+
+    let mut now = SimTime::ZERO;
+    let dt = SimDuration::from_secs(10);
+    for _ in 0..30 {
+        w.jm.step(&mut w.market, now);
+        now += dt;
+    }
+    let user = w.jm.job(id).unwrap().user;
+    assert!(w.jm.handle_vm_failure(HostId(0), user, now));
+
+    while now < SimTime::ZERO + SimDuration::from_hours(12) {
+        w.jm.step(&mut w.market, now);
+        now += dt;
+        if w.jm.all_settled() {
+            break;
+        }
+    }
+    let job = w.jm.job(id).unwrap();
+    assert_eq!(job.phase, JobPhase::Done);
+    let restarted: Vec<_> = job.subjobs.iter().filter(|s| s.requeues > 0).collect();
+    assert_eq!(restarted.len(), 1);
+    assert_eq!(restarted[0].dispatches, 2);
+    // The bid survived the VM failure, so the restart stayed local.
+    assert_eq!(restarted[0].host, Some(HostId(0)));
+    let fc = w.jm.fault_counters();
+    assert_eq!(fc.vm_failures, 1);
+    assert_eq!(fc.host_crashes, 0);
+    assert_eq!(w.market.bank().total_money(), minted);
+}
+
+#[test]
+fn bank_outage_defers_completion_without_losing_refunds() {
+    let mut w = world(2, 1_000);
+    let spec = make_spec(&mut w, 500, 1, 60);
+    let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+
+    // Take the bank down mid-run; the job computes and stages out but
+    // cannot settle (escrow cancel + refund need the bank).
+    let mut now = SimTime::ZERO;
+    let dt = SimDuration::from_secs(10);
+    for k in 0.. {
+        if k == 30 {
+            w.market.set_bank_online(false);
+        }
+        w.jm.step(&mut w.market, now);
+        now += dt;
+        if w.jm.all_settled() || k > 720 {
+            break;
+        }
+    }
+    assert_eq!(w.jm.job(id).unwrap().phase, JobPhase::Running);
+    // Killing the job during the outage is refused, not half-done.
+    assert!(matches!(
+        w.jm.cancel_job(&mut w.market, id, now),
+        Err(GridError::Market(MarketError::BankUnavailable))
+    ));
+
+    // Bank comes back: bids are re-funded, compute resumes, the job
+    // settles.
+    w.market.set_bank_online(true);
+    for _ in 0..720 {
+        w.jm.step(&mut w.market, now);
+        now += dt;
+        if w.jm.all_settled() {
+            break;
+        }
+    }
+    let job = w.jm.job(id).unwrap();
+    assert_eq!(job.phase, JobPhase::Done);
+    let balance = w.market.bank().balance(w.user_acct).unwrap();
+    assert_eq!(balance, Credits::from_whole(1000) - job.charged);
+    assert_eq!(w.market.bank().total_money(), Credits::from_whole(1000));
+}
+
+#[test]
+fn all_hosts_down_stalls_after_retry_budget_then_recovery_revives() {
+    let mut w = world(2, 10_000);
+    let spec = make_spec(&mut w, 1_000, 2, 6_000);
+    let id = w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+    let minted = w.market.bank().total_money();
+
+    let mut now = SimTime::ZERO;
+    let dt = SimDuration::from_secs(10);
+    for _ in 0..12 {
+        w.jm.step(&mut w.market, now);
+        now += dt;
+    }
+    // Lose the whole cluster.
+    for h in [HostId(0), HostId(1)] {
+        w.market.crash_host(h).unwrap();
+        w.jm.handle_host_crash(h, now);
+    }
+    // With nothing to run on, the retry budget (~30 min of backoff)
+    // eventually stalls the job.
+    for _ in 0..360 {
+        w.jm.step(&mut w.market, now);
+        now += dt;
+        if w.jm.all_settled() {
+            break;
+        }
+    }
+    assert_eq!(w.jm.job(id).unwrap().phase, JobPhase::Stalled);
+    assert!(w.jm.fault_counters().jobs_stalled_by_faults >= 1);
+    // All escrow was refunded at crash time: conservation holds and
+    // the sub-account still owns its unspent budget.
+    assert_eq!(w.market.bank().total_money(), minted);
+
+    // Hosts come back; a boost revives and the job completes.
+    for h in [HostId(0), HostId(1)] {
+        w.market.recover_host(h).unwrap();
+    }
+    let receipt = w
+        .market
+        .bank_mut()
+        .transfer(w.user_acct, w.jm.broker_account(), Credits::from_whole(100))
+        .unwrap();
+    let boost_token = TransferToken::create(&w.user, receipt, w.user.dn());
+    w.jm.boost(&mut w.market, id, &boost_token).unwrap();
+    while now < SimTime::ZERO + SimDuration::from_hours(24) {
+        w.jm.step(&mut w.market, now);
+        now += dt;
+        if w.jm.all_settled() {
+            break;
+        }
+    }
+    let job = w.jm.job(id).unwrap();
+    assert_eq!(job.phase, JobPhase::Done);
+    for sj in &job.subjobs {
+        assert_eq!(sj.dispatches, sj.requeues + 1, "subjob {}", sj.index);
+    }
+    assert_eq!(w.market.bank().total_money(), minted);
+}

@@ -1,0 +1,67 @@
+//! Shared test harness for the manager test modules: a small market
+//! "world" with one funded user and helpers to mint token-funded specs.
+
+use gm_des::{SimDuration, SimTime};
+use gm_tycoon::{AccountId, Credits, HostSpec, Market};
+
+use super::{AgentConfig, JobManager, JobSpec};
+use crate::identity::GridIdentity;
+use crate::token::TransferToken;
+use crate::vm::VmConfig;
+
+pub(super) const CHUNK_MHZ_SECS: f64 = 2910.0 * 600.0; // 10 CPU-minutes at full vCPU
+
+pub(super) struct World {
+    pub(super) market: Market,
+    pub(super) jm: JobManager,
+    pub(super) user: GridIdentity,
+    pub(super) user_acct: AccountId,
+}
+
+pub(super) fn world(hosts: u32, endowment: i64) -> World {
+    let mut market = Market::new(b"grid-test");
+    for i in 0..hosts {
+        market.add_host(HostSpec::testbed(i));
+    }
+    let jm = JobManager::new(&mut market, AgentConfig::default(), VmConfig::default());
+    let user = GridIdentity::swegrid_user(1);
+    let user_acct = market.bank_mut().open_account(user.public_key(), "user1");
+    market
+        .bank_mut()
+        .mint(user_acct, Credits::from_whole(endowment))
+        .unwrap();
+    World {
+        market,
+        jm,
+        user,
+        user_acct,
+    }
+}
+
+pub(super) fn make_spec(w: &mut World, amount: i64, count: u32, cputime_min: u64) -> JobSpec {
+    let receipt = w
+        .market
+        .bank_mut()
+        .transfer(w.user_acct, w.jm.broker_account(), Credits::from_whole(amount))
+        .unwrap();
+    let token = TransferToken::create(&w.user, receipt, w.user.dn());
+    let text = format!(
+        "&(executable=\"blast.sh\")(jobName=\"t\")(count={count})(cpuTime=\"{cputime_min}\")(runTimeEnvironment=\"BLAST\")(transferToken=\"{}\")",
+        token.to_hex()
+    );
+    JobSpec::parse(&text, CHUNK_MHZ_SECS).unwrap()
+}
+
+pub(super) fn run_until_settled(w: &mut World, max_hours: u64) -> SimTime {
+    let mut now = SimTime::ZERO;
+    let dt = SimDuration::from_secs(10);
+    let horizon = SimTime::ZERO + SimDuration::from_hours(max_hours);
+    while now < horizon {
+        w.jm.step(&mut w.market, now);
+        now += dt;
+        if w.jm.all_settled() {
+            break;
+        }
+    }
+    now
+}

@@ -55,6 +55,26 @@ pub struct GridInstruments {
     pub subjob_latency_us: Histogram,
 }
 
+/// Cumulative fault-handling counters of a [`crate::JobManager`] — a
+/// readout derived from the manager's [`GridInstruments`] telemetry
+/// counters (there is no separate bookkeeping; see
+/// [`crate::JobManager::fault_counters`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Host crashes handled.
+    pub host_crashes: u64,
+    /// Single-VM failures handled.
+    pub vm_failures: u64,
+    /// Subjobs interrupted mid-run and returned to the pending queue.
+    pub subjobs_interrupted: u64,
+    /// Interrupted subjobs successfully re-dispatched onto a host.
+    pub redispatched: u64,
+    /// Re-dispatch rounds that could not place every pending subjob.
+    pub redispatch_rounds_failed: u64,
+    /// Jobs stalled after exhausting the retry budget.
+    pub jobs_stalled_by_faults: u64,
+}
+
 impl GridInstruments {
     /// Resolve every grid instrument against `registry`.
     pub fn new(registry: &Registry) -> GridInstruments {
@@ -71,6 +91,18 @@ impl GridInstruments {
             tokens_rejected: registry.counter("grid.tokens_rejected"),
             token_double_spends: registry.counter("grid.token_double_spends"),
             subjob_latency_us: registry.histogram("grid.subjob_latency_us"),
+        }
+    }
+
+    /// Snapshot the fault-recovery view of these instruments.
+    pub fn fault_counters(&self) -> FaultCounters {
+        FaultCounters {
+            host_crashes: self.host_crashes.get(),
+            vm_failures: self.vm_failures.get(),
+            subjobs_interrupted: self.requeues.get(),
+            redispatched: self.redispatches.get(),
+            redispatch_rounds_failed: self.retry_rounds_failed.get(),
+            jobs_stalled_by_faults: self.jobs_stalled.get(),
         }
     }
 }

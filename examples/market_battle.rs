@@ -1,7 +1,8 @@
 //! Scheduler shoot-out: the Tycoon grid market against the baselines the
 //! paper discusses (§2.1, §6) — FIFO batch queue, equal share,
 //! G-commerce commodity market and winner-takes-all auctions — on the
-//! same bag-of-tasks workload.
+//! same bag-of-tasks workload — all six rows produced by the one shared
+//! `PolicyDriver`, so the comparison is apples to apples by construction.
 //!
 //! ```sh
 //! cargo run --release --example market_battle
@@ -12,8 +13,9 @@ use gridmarket::baselines::{
     WinnerTakesAllMarket,
 };
 use gridmarket::des::SimTime;
-use gridmarket::scenario::{Scenario, UserSetup};
-use gridmarket::tycoon::{HostSpec, UserId};
+use gridmarket::grid::{AgentConfig, JobManager, VmConfig};
+use gridmarket::tycoon::{HostSpec, Market, UserId};
+use gridmarket::{PolicyDriver, TycoonPolicy};
 
 fn main() {
     let hosts: Vec<HostSpec> = (0..6).map(HostSpec::testbed).collect();
@@ -55,52 +57,22 @@ fn main() {
     let wta = WinnerTakesAllMarket::default().run(&hosts, &jobs, horizon);
     report("winner-takes-all", &wta);
 
-    // The Tycoon grid market on the same shape.
-    let mut scenario = Scenario::builder()
-        .seed(7)
-        .hosts(6)
-        .chunk_minutes(12.0)
-        .deadline_minutes(90)
-        .horizon_hours(8);
-    for (i, &f) in fundings.iter().enumerate() {
-        scenario = scenario.user(UserSetup::new(f).subjobs(4).label(&format!("user{}", i + 1)));
+    // The Tycoon grid market — the same jobs, hosts and driver as every
+    // baseline above.
+    let mut market = Market::new(&7u64.to_be_bytes());
+    market.set_interval_secs(10.0);
+    for h in &hosts {
+        market.add_host(h.clone());
     }
-    let tycoon = scenario.run().expect("tycoon scenario");
-    let makespan = tycoon
-        .users
-        .iter()
-        .map(|u| u.time_hours)
-        .fold(0.0f64, f64::max);
-    let unfinished = tycoon
-        .users
-        .iter()
-        .filter(|u| u.completed_subjobs < u.subjobs)
-        .count();
-    let work_done: Vec<f64> = tycoon
-        .users
-        .iter()
-        .map(|u| u.completed_subjobs as f64)
-        .collect();
-    // Price CoV across host 0's history.
-    let cov = tycoon
-        .price_trace
-        .get("host000")
-        .map(|s| {
-            let xs = s.values();
-            let m = xs.iter().sum::<f64>() / xs.len() as f64;
-            let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
-            v.sqrt() / m
-        })
-        .unwrap_or(f64::NAN);
-    println!(
-        "{:<18} {:>11.2} {:>11} {:>12.3} {:>10.2}",
-        "tycoon-market",
-        makespan,
-        unfinished,
-        jain_fairness(&work_done),
-        cov
-    );
-    println!("\n(fairness = Jain index over per-user completed work; CoV = price coefficient of variation)");
+    let jm = JobManager::new(&mut market, AgentConfig::default(), VmConfig::default());
+    let mut ty = TycoonPolicy::new(market, jm);
+    let tycoon = PolicyDriver::new(hosts.clone(), 10.0)
+        .horizon(horizon)
+        .run(&mut ty, &jobs)
+        .expect("tycoon run");
+    report("tycoon-market", &tycoon);
+
+    println!("\n(fairness = Jain index over finished jobs; CoV = price coefficient of variation)");
 }
 
 fn report(name: &str, r: &gridmarket::baselines::RunResult) {

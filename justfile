@@ -20,6 +20,13 @@ chaos:
     cargo run --release --example chaos_run -- 42
     cargo run --release --example chaos_run -- 31337
 
+# Policy matrix: run every allocator (Tycoon + all baselines) through the
+# shared PolicyDriver test suites, then gate the decomposed JobManager
+# modules against regrowing into a god-file (≤ 600 lines each).
+policy-matrix:
+    cargo test -q --test market_vs_baselines --test policy_driver
+    wc -l crates/grid/src/manager/*.rs | awk '$2 != "total" && $1 > 600 {print $2" has "$1" lines (limit 600)"; bad=1} END {exit bad+0}'
+
 # Regenerate the paper's tables and figures (quick scale).
 experiments:
     cargo run --release --example quickstart

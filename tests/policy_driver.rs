@@ -1,0 +1,203 @@
+//! Cross-policy properties of the unified scheduler core: every
+//! allocator runs under the same [`PolicyDriver`], so conservation
+//! invariants and regression pins can be asserted uniformly.
+
+use gridmarket::baselines::{
+    FifoBatchQueue, GCommerceMarket, JobRequest, ShareScheduler, WinnerTakesAllMarket,
+};
+use gridmarket::des::SimTime;
+use gridmarket::grid::{AgentConfig, JobManager, VmConfig};
+use gridmarket::sched::{AllocationPolicy, PolicyDriver, RunResult};
+use gridmarket::tycoon::{HostSpec, Market, UserId};
+use gridmarket::TycoonPolicy;
+
+fn hosts(n: u32) -> Vec<HostSpec> {
+    (0..n).map(HostSpec::testbed).collect()
+}
+
+/// Four 3-subjob jobs, 10 CPU-minutes per subjob, staggered arrivals,
+/// 2:1 budget split — the standard comparison workload.
+fn workload() -> Vec<JobRequest> {
+    (0..4)
+        .map(|i| JobRequest {
+            id: i,
+            user: UserId(i + 1),
+            subjobs: 3,
+            work_per_subjob: 10.0 * 60.0 * 2910.0,
+            arrival: SimTime::from_secs(30 * (i as u64 + 1)),
+            budget: if i < 2 { 100.0 } else { 400.0 },
+            deadline_secs: 3600.0,
+        })
+        .collect()
+}
+
+fn drive(
+    policy: &mut dyn AllocationPolicy,
+    hosts: &[HostSpec],
+    jobs: &[JobRequest],
+    horizon: SimTime,
+) -> RunResult {
+    PolicyDriver::new(hosts.to_vec(), 10.0)
+        .horizon(horizon)
+        .run(policy, jobs)
+        .expect("valid workload")
+}
+
+fn tycoon(seed: u64, hosts: &[HostSpec]) -> TycoonPolicy {
+    let mut market = Market::new(&seed.to_be_bytes());
+    market.set_interval_secs(10.0);
+    for h in hosts {
+        market.add_host(h.clone());
+    }
+    let jm = JobManager::new(&mut market, AgentConfig::default(), VmConfig::default());
+    TycoonPolicy::new(market, jm)
+}
+
+/// Work conservation under *every* policy: no allocator invents
+/// capacity. Each subjob needs 600 s at a full vCPU, so no job can beat
+/// that bound, and the total slot-seconds consumed must fit within the
+/// inventory's slot-seconds up to the last completion.
+#[test]
+fn no_policy_invents_capacity() {
+    let inventory = hosts(3);
+    let jobs = workload();
+    let horizon = SimTime::from_secs(6 * 3600);
+    let total_slots: f64 = inventory.iter().map(|h| h.cpus as f64).sum();
+    // 4 jobs × 3 subjobs × 600 s of full-vCPU work.
+    let total_slot_secs = 12.0 * 600.0;
+
+    let mut fifo = FifoBatchQueue::default().policy();
+    let mut share = ShareScheduler::default().policy();
+    let mut gc = GCommerceMarket::default().policy();
+    let mut wta = WinnerTakesAllMarket::default().policy();
+    let mut ty = tycoon(5, &inventory);
+    let policies: Vec<(&str, &mut dyn AllocationPolicy)> = vec![
+        ("fifo", &mut fifo),
+        ("share", &mut share),
+        ("gcommerce", &mut gc),
+        ("wta", &mut wta),
+        ("tycoon", &mut ty),
+    ];
+
+    for (name, policy) in policies {
+        let r = drive(policy, &inventory, &jobs, horizon);
+        assert!(r.all_finished(), "{name}: workload must complete");
+        for o in &r.outcomes {
+            assert!(
+                o.makespan_secs >= 600.0 - 1e-6,
+                "{name}: job {} finished in {:.0}s — faster than physics",
+                o.id,
+                o.makespan_secs
+            );
+        }
+        let last_done = r
+            .outcomes
+            .iter()
+            .filter_map(|o| o.finished_at)
+            .max()
+            .expect("all finished")
+            .since(SimTime::ZERO)
+            .as_secs_f64();
+        assert!(
+            total_slots * last_done >= total_slot_secs - 1e-6,
+            "{name}: {total_slot_secs} slot·s of work done in only {last_done:.0}s of wall clock"
+        );
+    }
+}
+
+/// Money conservation under the Tycoon policy: the bank's total holdings
+/// equal the total ever minted once the run settles — escrows unwind,
+/// charges move credits but never create or destroy them.
+#[test]
+fn tycoon_conserves_money_through_the_driver() {
+    let inventory = hosts(3);
+    let jobs = workload();
+    let mut ty = tycoon(5, &inventory);
+    let r = drive(&mut ty, &inventory, &jobs, SimTime::from_secs(6 * 3600));
+    assert!(r.all_finished());
+
+    let bank = ty.market().bank();
+    let money = bank.total_money().as_f64();
+    let minted = bank.total_minted().as_f64();
+    assert!(
+        (money - minted).abs() < 1e-6,
+        "money not conserved: {money} in accounts vs {minted} minted"
+    );
+    // Charges are real and bounded by the token funding.
+    for (o, j) in r.outcomes.iter().zip(&jobs) {
+        assert!(o.cost > 0.0);
+        assert!(o.cost <= j.budget + 1e-6, "job {} overspent its token", o.id);
+    }
+}
+
+/// Regression pin: FIFO through the shared driver reproduces the exact
+/// schedule of the dedicated pre-refactor `run()` loop. With 3 dual-CPU
+/// hosts (6 exclusive slots) and 12 600-second subjobs arriving in 3-job
+/// batches, the first two jobs run immediately and the last two queue
+/// behind them.
+#[test]
+fn fifo_schedule_is_unchanged_by_the_driver_port() {
+    let r = drive(
+        &mut FifoBatchQueue::default().policy(),
+        &hosts(3),
+        &workload(),
+        SimTime::from_secs(6 * 3600),
+    );
+    assert!(r.all_finished());
+    assert_eq!(r.batch_makespan_secs(), 1140.0);
+    let finished: Vec<u64> = r
+        .outcomes
+        .iter()
+        .map(|o| o.finished_at.unwrap().since(SimTime::ZERO).as_secs_f64() as u64)
+        .collect();
+    assert_eq!(finished, vec![630, 660, 1230, 1260]);
+    let makespans: Vec<f64> = r.outcomes.iter().map(|o| o.makespan_secs).collect();
+    assert_eq!(makespans, vec![600.0, 600.0, 1140.0, 1140.0]);
+    for o in &r.outcomes {
+        assert_eq!(o.max_nodes, 3, "every job ran all subjobs concurrently");
+        assert!((o.avg_nodes - 3.0).abs() < 1e-9);
+    }
+}
+
+/// The driver admits in `(arrival, id)` order and reruns are
+/// deterministic: identical outcomes tick for tick.
+#[test]
+fn driver_runs_are_deterministic() {
+    let run = || {
+        drive(
+            &mut ShareScheduler::default().policy(),
+            &hosts(2),
+            &workload(),
+            SimTime::from_secs(6 * 3600),
+        )
+    };
+    let a = run();
+    let b = run();
+    for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(oa.finished_at, ob.finished_at);
+        assert_eq!(oa.makespan_secs, ob.makespan_secs);
+        assert_eq!(oa.cost, ob.cost);
+    }
+}
+
+/// Jobs whose arrival lies past the horizon are reported as synthesized
+/// zero outcomes rather than dropped.
+#[test]
+fn late_arrivals_get_zero_outcomes() {
+    let mut jobs = workload();
+    jobs[3].arrival = SimTime::from_secs(10 * 3600); // past the horizon
+    let r = drive(
+        &mut FifoBatchQueue::default().policy(),
+        &hosts(3),
+        &jobs,
+        SimTime::from_secs(2 * 3600),
+    );
+    assert!(!r.all_finished());
+    let late = &r.outcomes[3];
+    assert_eq!(late.finished_at, None);
+    assert_eq!(late.cost, 0.0);
+    assert_eq!(late.max_nodes, 0);
+    for o in &r.outcomes[..3] {
+        assert!(o.finished_at.is_some(), "on-time jobs still complete");
+    }
+}
