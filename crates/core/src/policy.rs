@@ -13,11 +13,11 @@
 //! | driver hook  | grid stack action                                   |
 //! |--------------|-----------------------------------------------------|
 //! | `begin_tick` | sync the telemetry `ManualClock` to sim time        |
-//! | `apply_fault`| crash/recover hosts, fail VMs, bank outage/restore  |
+//! | `apply_fault`| crash/recover hosts, fail VMs, bank outage/restore/restart |
 //! | `admit`      | fund a transfer token, render xRSL, `JobManager::submit` |
 //! | `place`      | `JobManager::pre_tick` (bids, escrows, dispatch)    |
 //! | `advance`    | `Market::tick` + `JobManager::post_tick`            |
-//! | `settle`     | — (settlement happens inside `post_tick`)           |
+//! | `settle`     | hourly online conservation audit (`ledger.audits`)  |
 //! | `price`      | mean spot price across the host inventory           |
 
 use std::collections::BTreeMap;
@@ -57,7 +57,12 @@ pub struct TycoonPolicy {
     setups: BTreeMap<u32, TycoonJobSetup>,
     jobs: BTreeMap<u32, JobId>,
     last_error: Option<GridError>,
+    ticks: u64,
 }
+
+/// Ticks between online conservation audits in [`TycoonPolicy::settle`]
+/// (360 ten-second intervals = one sim hour).
+const AUDIT_EVERY_TICKS: u64 = 360;
 
 impl TycoonPolicy {
     /// Wrap an assembled market and job manager. The market must already
@@ -71,6 +76,7 @@ impl TycoonPolicy {
             setups: BTreeMap::new(),
             jobs: BTreeMap::new(),
             last_error: None,
+            ticks: 0,
         }
     }
 
@@ -195,6 +201,19 @@ impl AllocationPolicy for TycoonPolicy {
                 }
                 self.market.set_bank_online(true);
             }
+            FaultKind::BankRestart => {
+                if let Some(t) = &self.tracer {
+                    t.event("fault.bank_restart");
+                }
+                // Kill the bank and bring it back from its durable
+                // ledger (DESIGN.md §11); without an attached ledger
+                // this degrades to a bank-restore. The manager's
+                // in-memory double-spend registry is volatile, so it is
+                // rebuilt from the bank's journaled spent-token set.
+                if self.market.restart_bank().is_ok() {
+                    self.jm.restore_spent_tokens(&self.market);
+                }
+            }
             FaultKind::MessageDelay | FaultKind::MessageDrop => {}
         }
     }
@@ -244,6 +263,14 @@ impl AllocationPolicy for TycoonPolicy {
 
     fn settle(&mut self, _ctx: &TickCtx) {
         // Charging and refunds happen inside `post_tick` (`advance`).
+        // Every sim hour the online conservation auditor sweeps the
+        // books: Σbalances == minted, journal replays, signatures hold
+        // (`ledger.audits` / `ledger.audit_failures` count outcomes).
+        self.ticks += 1;
+        if self.ticks.is_multiple_of(AUDIT_EVERY_TICKS) {
+            let report = self.market.audit_ledger();
+            debug_assert!(report.ok(), "online conservation audit failed: {report:?}");
+        }
     }
 
     fn price(&self, _ctx: &TickCtx) -> Option<f64> {

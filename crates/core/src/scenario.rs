@@ -17,6 +17,7 @@ use gm_des::{FaultPlan, SimDuration, SimTime, Trace};
 use gm_grid::{
     AgentConfig, FaultCounters, GridError, GridIdentity, JobId, JobManager, JobPhase, VmConfig,
 };
+use gm_ledger::SharedJournal;
 use gm_telemetry::{metrics_jsonl, trace_jsonl, Clock, ManualClock, MetricsSnapshot, Registry, Tracer};
 use gm_tycoon::{Credits, HostSpec, Market, UserId};
 
@@ -84,6 +85,7 @@ pub struct Scenario {
     interval_secs: f64,
     heterogeneity: f64,
     faults: FaultPlan,
+    ledger: Option<SharedJournal>,
 }
 
 impl Scenario {
@@ -101,6 +103,7 @@ impl Scenario {
             interval_secs: 10.0,
             heterogeneity: 0.0,
             faults: FaultPlan::new(),
+            ledger: None,
         }
     }
 
@@ -189,6 +192,17 @@ impl Scenario {
         self
     }
 
+    /// Attach a durable bank ledger (WAL + snapshot). The bank journals
+    /// every monetary event into it, `FaultKind::BankRestart` events
+    /// recover the bank from it mid-run, and callers keep a handle to
+    /// crash-test arbitrary prefixes afterwards (DESIGN.md §11). When
+    /// not set, `run` attaches a fresh private journal so restarts work
+    /// in randomly generated fault schedules too.
+    pub fn ledger(mut self, journal: SharedJournal) -> Self {
+        self.ledger = Some(journal);
+        self
+    }
+
     /// Run the scenario to completion (or the horizon).
     pub fn run(self) -> Result<ScenarioResult, GridError> {
         assert!(!self.users.is_empty(), "scenario needs at least one user");
@@ -204,6 +218,7 @@ impl Scenario {
         let mut market = Market::new(&seed_bytes);
         market.set_interval_secs(self.interval_secs);
         market.attach_telemetry(&registry, Arc::clone(&clock));
+        market.attach_ledger(self.ledger.clone().unwrap_or_default());
         let mut host_rng = gm_des::Pcg32::new(self.seed, 0x05f5);
         let mut host_specs = Vec::with_capacity(self.hosts as usize);
         for i in 0..self.hosts {

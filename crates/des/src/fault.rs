@@ -33,6 +33,13 @@ pub enum FaultKind {
     BankOutage,
     /// The bank comes back online.
     BankRestore,
+    /// The bank process dies and is brought back from its durable journal
+    /// (snapshot + WAL replay). Unlike [`FaultKind::BankOutage`], the
+    /// in-memory bank state is discarded — only journaled state survives.
+    ///
+    /// Appended last so the `(at, kind, target)` sort order of plans that
+    /// never schedule restarts is unchanged.
+    BankRestart,
 }
 
 /// One scheduled fault event.
@@ -65,6 +72,8 @@ pub struct FaultGenConfig {
     pub bank_outages: u32,
     /// Length of each bank outage window.
     pub outage_len: SimDuration,
+    /// Number of bank restarts (kill + recover from the durable journal).
+    pub bank_restarts: u32,
 }
 
 impl Default for FaultGenConfig {
@@ -77,6 +86,7 @@ impl Default for FaultGenConfig {
             vm_failures: 2,
             bank_outages: 1,
             outage_len: SimDuration::from_minutes(5),
+            bank_restarts: 0,
         }
     }
 }
@@ -156,6 +166,13 @@ impl FaultPlan {
             }
         }
 
+        // Bank restarts (drawn last, so pre-restart seeds keep their
+        // schedules byte-identical).
+        for _ in 0..cfg.bank_restarts {
+            let at = rng.next_bounded(horizon_us);
+            plan.push(SimTime::from_micros(at), FaultKind::BankRestart, 0);
+        }
+
         plan.normalize();
         plan
     }
@@ -187,6 +204,11 @@ impl FaultPlan {
     pub fn bank_outage(&mut self, from: SimTime, until: SimTime) -> &mut Self {
         self.push(from, FaultKind::BankOutage, 0);
         self.push(until, FaultKind::BankRestore, 0)
+    }
+
+    /// Schedule a bank restart (kill + journal recovery) at `at`.
+    pub fn bank_restart(&mut self, at: SimTime) -> &mut Self {
+        self.push(at, FaultKind::BankRestart, 0)
     }
 
     /// Sort events by `(time, kind, target)`. Called automatically by
@@ -318,6 +340,47 @@ mod tests {
 
         plan.reset();
         assert_eq!(plan.remaining(), 4);
+    }
+
+    #[test]
+    fn bank_restarts_generate_in_horizon_without_disturbing_other_draws() {
+        let base = FaultGenConfig::default();
+        let with_restarts = FaultGenConfig {
+            bank_restarts: 3,
+            ..base
+        };
+        let a = FaultPlan::generate(0xabcd, base);
+        let b = FaultPlan::generate(0xabcd, with_restarts);
+        // Restart draws happen after every other stream: the non-restart
+        // prefix of the schedule is byte-identical for the same seed.
+        let non_restart: Vec<&FaultEvent> = b
+            .events()
+            .iter()
+            .filter(|e| e.kind != FaultKind::BankRestart)
+            .collect();
+        assert_eq!(non_restart.len(), a.events().len());
+        for (x, y) in non_restart.iter().zip(a.events()) {
+            assert_eq!(**x, *y);
+        }
+        let restarts: Vec<&FaultEvent> = b
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::BankRestart)
+            .collect();
+        assert_eq!(restarts.len(), 3);
+        for e in restarts {
+            assert!(e.at < with_restarts.horizon);
+            assert_eq!(e.target, 0);
+        }
+    }
+
+    #[test]
+    fn explicit_bank_restart_builder_schedules_event() {
+        let mut plan = FaultPlan::new();
+        plan.bank_restart(SimTime::from_secs(42));
+        let due = plan.take_due(SimTime::from_secs(60));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].kind, FaultKind::BankRestart);
     }
 
     #[test]

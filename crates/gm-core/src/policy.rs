@@ -110,7 +110,10 @@ pub trait AllocationPolicy {
     /// Deliver one scheduled fault event. The default ignores faults —
     /// the conventional baselines model an idealised failure-free
     /// cluster, which is itself a documented comparison bias in their
-    /// favour.
+    /// favour. Events flow through generically: `FaultKind::BankRestart`
+    /// (kill the economy's bank and recover it from its durable ledger,
+    /// DESIGN.md §11) reaches a market-backed policy through this same
+    /// hook with no driver-side special casing.
     fn apply_fault(&mut self, _ctx: &TickCtx, _ev: &FaultEvent) {}
 
     /// Admit a newly arrived job. Called in `(arrival, id)` order, at

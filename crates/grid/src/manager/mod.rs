@@ -189,6 +189,15 @@ impl JobManager {
         &self.registry
     }
 
+    /// Rebuild the double-spend registry from the bank's durable
+    /// spent-token set after a [`Market::restart_bank`]. The bank's set
+    /// is a superset of the in-memory registry (every consume is
+    /// journaled at submit), so wholesale replacement never forgets a
+    /// spend.
+    pub fn restore_spent_tokens(&mut self, market: &Market) {
+        self.registry.restore(market.bank().spent_token_ids());
+    }
+
     /// All jobs in id order.
     pub fn jobs(&self) -> impl Iterator<Item = &Job> {
         self.jobs.values()
@@ -217,6 +226,10 @@ impl JobManager {
         // Security: bank signature, broker account, payer key, DN binding,
         // then the double-spend registry.
         self.redeem_token(market, &token)?;
+
+        // Durability: journal the spend in the bank's ledger so a
+        // recovered bank still rejects this token (see DESIGN.md §11).
+        market.bank_mut().record_token_spend(token.transfer_id());
 
         let parsed = jobs::parse_submission(spec)?;
 

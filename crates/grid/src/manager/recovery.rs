@@ -2,7 +2,7 @@
 //! exponential-backoff re-dispatch machinery, and the dispatch/requeue
 //! bookkeeping invariant.
 
-use gm_des::{SimDuration, SimTime};
+use gm_des::{Rng64, SimDuration, SimTime, SplitMix64};
 use gm_tycoon::{Credits, HostId, Market, UserId};
 
 use super::funding::{capped_bids, ESCROW_INTERVALS};
@@ -20,6 +20,13 @@ pub struct RetryPolicy {
     pub backoff_base: SimDuration,
     /// Upper bound on the backoff delay.
     pub backoff_cap: SimDuration,
+    /// Relative jitter width in `[0, 1]`: each delay is scaled by a
+    /// deterministic factor in `[1 − jitter/2, 1 + jitter/2)` derived
+    /// from the job id and failure count, so a fleet of jobs knocked
+    /// back by the same bank restart does not thunder-herd the
+    /// recovered service on the same tick. `0.0` (the default)
+    /// reproduces the exact pre-jitter schedule.
+    pub jitter: f64,
 }
 
 impl Default for RetryPolicy {
@@ -28,6 +35,7 @@ impl Default for RetryPolicy {
             max_retries: 8,
             backoff_base: SimDuration::from_secs(10),
             backoff_cap: SimDuration::from_minutes(10),
+            jitter: 0.0,
         }
     }
 }
@@ -44,6 +52,25 @@ impl RetryPolicy {
         let exp = failures.saturating_sub(1).min(63);
         let factor = 1u64.checked_shl(exp).unwrap_or(u64::MAX);
         let us = self.backoff_base.as_micros().saturating_mul(factor);
+        SimDuration::from_micros(us.min(self.backoff_cap.as_micros()))
+    }
+
+    /// [`RetryPolicy::delay_after`] with deterministic per-caller jitter.
+    ///
+    /// `salt` identifies the retrying client (the job id here); the
+    /// jitter factor is a pure function of `(salt, failures)` via
+    /// SplitMix64, so same-seed runs stay byte-identical while distinct
+    /// jobs spread across `[1 − jitter/2, 1 + jitter/2)` of the base
+    /// delay. The result never exceeds [`RetryPolicy::backoff_cap`].
+    pub fn delay_for(&self, failures: u32, salt: u64) -> SimDuration {
+        let base = self.delay_after(failures);
+        if self.jitter <= 0.0 {
+            return base;
+        }
+        let mut rng = SplitMix64::new(salt ^ u64::from(failures).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let u = rng.next_f64();
+        let factor = 1.0 + self.jitter.min(1.0) * (u - 0.5);
+        let us = (base.as_micros() as f64 * factor).round() as u64;
         SimDuration::from_micros(us.min(self.backoff_cap.as_micros()))
     }
 }
@@ -158,7 +185,8 @@ impl JobManager {
                 job.retry_after = None;
             } else {
                 self.telemetry.backoffs.inc();
-                job.retry_after = Some(now + self.config.retry.delay_after(job.retry_failures));
+                job.retry_after =
+                    Some(now + self.config.retry.delay_for(job.retry_failures, job.id.0));
             }
         }
     }
@@ -298,6 +326,7 @@ mod tests {
             max_retries: 8,
             backoff_base: SimDuration::from_micros(3),
             backoff_cap: SimDuration::from_hours(100_000),
+            jitter: 0.0,
         };
         let mut last = SimDuration::from_micros(0);
         for failures in 0..200 {
@@ -305,5 +334,37 @@ mod tests {
             assert!(d >= last, "delay shrank at failures={failures}");
             last = d;
         }
+    }
+
+    #[test]
+    fn zero_jitter_reproduces_exact_schedule() {
+        let p = RetryPolicy::default();
+        for failures in 0..20 {
+            for salt in [0u64, 1, 17, u64::MAX] {
+                assert_eq!(p.delay_for(failures, salt), p.delay_after(failures));
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_spreads_salts() {
+        let p = RetryPolicy {
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        let mut distinct = std::collections::BTreeSet::new();
+        for salt in 0..32u64 {
+            let d = p.delay_for(3, salt);
+            // Deterministic: same (failures, salt) → same delay.
+            assert_eq!(d, p.delay_for(3, salt));
+            // Bounded: within ±jitter/2 of the base and under the cap.
+            let base = p.delay_after(3).as_micros() as f64;
+            let us = d.as_micros() as f64;
+            assert!(us >= base * 0.75 - 1.0 && us <= base * 1.25 + 1.0, "salt={salt}");
+            assert!(d <= p.backoff_cap);
+            distinct.insert(d.as_micros());
+        }
+        // Spread: the 32 salts must not all collapse onto one delay.
+        assert!(distinct.len() > 16, "only {} distinct delays", distinct.len());
     }
 }

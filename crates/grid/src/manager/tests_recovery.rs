@@ -195,3 +195,93 @@ fn all_hosts_down_stalls_after_retry_budget_then_recovery_revives() {
     }
     assert_eq!(w.market.bank().total_money(), minted);
 }
+
+// ---------------------------------------------------------------- PR 4:
+// durable spent-token set across a bank restart, and xRSL token
+// extraction hardening.
+
+#[test]
+fn spent_token_rejected_after_bank_restart_counter_incremented_once() {
+    use gm_ledger::SharedJournal;
+
+    let mut w = world(2, 10_000);
+    w.market.attach_ledger(SharedJournal::new());
+
+    // Mint a token and submit a job with it: the spend is journaled.
+    let receipt = w
+        .market
+        .bank_mut()
+        .transfer(w.user_acct, w.jm.broker_account(), Credits::from_whole(500))
+        .unwrap();
+    let token = TransferToken::create(&w.user, receipt, w.user.dn());
+    let text = format!(
+        "&(executable=\"blast.sh\")(jobName=\"t\")(count=2)(cpuTime=\"600\")(runTimeEnvironment=\"BLAST\")(transferToken=\"{}\")",
+        token.to_hex()
+    );
+    let spec =
+        crate::JobSpec::parse(&text, super::testutil::CHUNK_MHZ_SECS).unwrap();
+    w.jm.submit(&mut w.market, SimTime::ZERO, &spec).unwrap();
+    assert!(w.market.bank().is_token_spent(token.transfer_id()));
+
+    // Crash the bank and recover it from the ledger; rebuild the
+    // manager's in-memory registry from the durable spent set.
+    let report = w.market.restart_bank().unwrap();
+    assert!(report.records_replayed > 0 || report.snapshot_restored);
+    w.jm.restore_spent_tokens(&w.market);
+
+    // Replaying the same token after recovery is a double-spend.
+    let before = w.jm.instruments().token_double_spends.get();
+    let err = w
+        .jm
+        .submit(&mut w.market, SimTime::ZERO, &spec)
+        .unwrap_err();
+    assert!(
+        matches!(err, GridError::Token(crate::token::TokenError::AlreadySpent(id)) if id == token.transfer_id()),
+        "expected AlreadySpent, got {err:?}"
+    );
+    assert_eq!(
+        w.jm.instruments().token_double_spends.get(),
+        before + 1,
+        "double-spend counter must increment exactly once"
+    );
+}
+
+#[test]
+fn malformed_transfer_tokens_in_xrsl_never_panic() {
+    use gm_des::check::{check, Gen};
+    use gm_des::Rng64;
+
+    check("xrsl_token_extraction_hardening", 128, |g: &mut Gen| {
+        // Garbage hex-ish payloads: random bytes hex-encoded, randomly
+        // truncated to odd/even lengths, or plain alphanumeric noise.
+        let garbage = if g.bool() {
+            let bytes = g.bytes(0, 200);
+            let mut h: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+            h.truncate(g.usize_in(0, h.len().max(1)));
+            h
+        } else {
+            let len = g.usize_in(0, 64);
+            (0..len)
+                .map(|_| {
+                    let c = g.rng().next_bounded(36) as u8;
+                    if c < 10 { (b'0' + c) as char } else { (b'a' + c - 10) as char }
+                })
+                .collect()
+        };
+        let text = format!(
+            "&(executable=\"a.sh\")(jobName=\"t\")(count=1)(cpuTime=\"600\")(runTimeEnvironment=\"BLAST\")(transferToken=\"{garbage}\")"
+        );
+        // The spec itself parses; token extraction must fail cleanly.
+        let spec = crate::JobSpec::parse(&text, super::testutil::CHUNK_MHZ_SECS)
+            .expect("well-formed xRSL apart from the token");
+        let mut w = world(1, 1_000);
+        let err = w
+            .jm
+            .submit(&mut w.market, SimTime::ZERO, &spec)
+            .unwrap_err();
+        assert!(
+            matches!(err, GridError::BadDescription(_)),
+            "malformed token must be BadDescription, got {err:?}"
+        );
+    });
+}

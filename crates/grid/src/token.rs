@@ -220,6 +220,22 @@ impl TokenRegistry {
         self.spent.contains(&transfer_id)
     }
 
+    /// Replace the spent set wholesale from a durable source (the bank's
+    /// journaled spent-token ids after a `BankRestart`). The bank set is
+    /// maintained as a superset of this registry, so replacement never
+    /// forgets a locally recorded spend.
+    pub fn restore(&mut self, spent: impl IntoIterator<Item = u64>) {
+        self.spent = spent.into_iter().collect();
+    }
+
+    /// All redeemed transfer ids, sorted (diagnostics and durability
+    /// round-trip tests).
+    pub fn spent_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.spent.iter().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Number of redeemed tokens.
     pub fn len(&self) -> usize {
         self.spent.len()
@@ -390,5 +406,125 @@ mod tests {
         assert!(TransferToken::from_hex(&hex[..hex.len() - 2]).is_none(), "truncated");
         let padded = format!("{hex}00");
         assert!(TransferToken::from_hex(&padded).is_none(), "trailing bytes");
+    }
+
+    #[test]
+    fn registry_restore_round_trips_spent_ids() {
+        let mut w = world();
+        let t1 = make_token(&mut w, 10);
+        let t2 = make_token(&mut w, 20);
+        let mut reg = TokenRegistry::new();
+        reg.consume(&t1).unwrap();
+        reg.consume(&t2).unwrap();
+        let ids = reg.spent_ids();
+        assert_eq!(ids, {
+            let mut v = vec![t1.transfer_id(), t2.transfer_id()];
+            v.sort_unstable();
+            v
+        });
+        let mut restored = TokenRegistry::new();
+        restored.restore(ids.iter().copied());
+        assert_eq!(restored.spent_ids(), ids);
+        assert_eq!(
+            restored.consume(&t1),
+            Err(TokenError::AlreadySpent(t1.transfer_id())),
+            "restored registry still blocks double-spends"
+        );
+    }
+
+    // ---------------------------------------- malformed-input hardening
+    //
+    // Property tests (gm_des::check, seeded, replayable): from_hex must
+    // return None on every malformed input — truncated, non-hex,
+    // oversized, bit-flipped — and never panic; bit flips that still
+    // decode structurally must fail `verify`.
+
+    #[test]
+    fn prop_arbitrary_strings_never_panic_from_hex() {
+        use gm_des::check::{check, Gen};
+        check("token_from_hex_arbitrary_ascii", 256, |g: &mut Gen| {
+            let s = g.ascii_string(0, 300);
+            let _ = TransferToken::from_hex(&s); // must not panic
+        });
+    }
+
+    #[test]
+    fn prop_arbitrary_bytes_as_hex_never_panic() {
+        use gm_des::check::{check, Gen};
+        check("token_from_hex_arbitrary_bytes", 256, |g: &mut Gen| {
+            let bytes = g.bytes(0, 260);
+            let hex = hex_encode(&bytes);
+            if let Some(token) = TransferToken::from_hex(&hex) {
+                // Structurally valid by chance: must round-trip to the
+                // exact same canonical encoding.
+                assert_eq!(token.to_hex(), hex);
+            }
+        });
+    }
+
+    #[test]
+    fn prop_truncation_at_every_even_cut_returns_none() {
+        use gm_des::check::{check, Gen};
+        let mut w = world();
+        check("token_truncation_is_none", 32, |g: &mut Gen| {
+            let amount = g.i64_in(1, 500);
+            w.bank.mint(w.user_acct, Credits::from_whole(amount)).unwrap();
+            let t = make_token(&mut w, amount);
+            let hex = t.to_hex();
+            let cut = g.usize_in(0, hex.len() / 2 - 1) * 2;
+            assert!(
+                TransferToken::from_hex(&hex[..cut]).is_none(),
+                "truncated token parsed at cut {cut}"
+            );
+        });
+    }
+
+    #[test]
+    fn prop_flipped_bits_never_yield_a_verifying_token() {
+        use gm_des::check::{check, Gen};
+        let mut w = world();
+        let broker = w.broker_acct;
+        check("token_bitflip_rejected", 128, |g: &mut Gen| {
+            let amount = g.i64_in(1, 100);
+            w.bank.mint(w.user_acct, Credits::from_whole(amount)).unwrap();
+            let t = make_token(&mut w, amount);
+            let hex = t.to_hex();
+            let mut bytes = hex_decode(&hex).unwrap();
+            let idx = g.usize_in(0, bytes.len() - 1);
+            let bit = 1u8 << g.usize_in(0, 7);
+            bytes[idx] ^= bit;
+            let flipped = hex_encode(&bytes);
+            match TransferToken::from_hex(&flipped) {
+                // Structural damage: rejected outright.
+                None => {}
+                // Still parses: the cryptographic checks must catch it.
+                Some(parsed) => {
+                    assert_ne!(parsed, t, "flip changed nothing");
+                    assert!(
+                        parsed.verify(&w.bank, broker).is_err(),
+                        "bit-flipped token verified (byte {idx}, bit {bit:#x})"
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn prop_oversized_dn_length_returns_none() {
+        use gm_des::check::{check, Gen};
+        let mut w = world();
+        check("token_oversized_dn_len", 64, |g: &mut Gen| {
+            w.bank.mint(w.user_acct, Credits::from_whole(5)).unwrap();
+            let t = make_token(&mut w, 5);
+            let mut bytes = hex_decode(&t.to_hex()).unwrap();
+            // Overwrite the dn_len field (offset 112..116) with a length
+            // larger than the remaining payload.
+            let huge = (g.u64_in(bytes.len() as u64, u32::MAX as u64) & 0xffff_ffff) as u32;
+            bytes[112..116].copy_from_slice(&huge.to_be_bytes());
+            assert!(
+                TransferToken::from_hex(&hex_encode(&bytes)).is_none(),
+                "oversized dn_len {huge} parsed"
+            );
+        });
     }
 }

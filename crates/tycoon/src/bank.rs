@@ -11,12 +11,15 @@
 //! simulation's endowment faucet), the sum over all accounts is constant —
 //! tested here and property-tested in the integration suite.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
-use gm_crypto::{Keypair, PublicKey, Signature};
+use gm_crypto::{sha256, Keypair, PublicKey, Signature};
+use gm_ledger::SharedJournal;
 
+use crate::ledger::{BankEvent, BankSnapshot, RecoverError, RecoveryReport, SnapshotAccount};
 use crate::money::Credits;
+use crate::telemetry::LedgerInstruments;
 
 /// Identifier of a bank account.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -119,6 +122,15 @@ pub struct Bank {
     next_account: u64,
     next_transfer: u64,
     minted: Credits,
+    /// Redeemed transfer-token ids (durable double-spend set; a superset
+    /// of the grid's in-memory `TokenRegistry`).
+    spent_tokens: BTreeSet<u64>,
+    /// Write-ahead journal; `None` = volatile bank (pre-PR-4 behaviour).
+    journal: Option<SharedJournal>,
+    instruments: Option<LedgerInstruments>,
+    /// Auto-compact after this many journaled events (0 = never).
+    snapshot_every: u64,
+    events_since_snapshot: u64,
 }
 
 impl Bank {
@@ -130,7 +142,215 @@ impl Bank {
             next_account: 0,
             next_transfer: 0,
             minted: Credits::ZERO,
+            spent_tokens: BTreeSet::new(),
+            journal: None,
+            instruments: None,
+            snapshot_every: 0,
+            events_since_snapshot: 0,
         }
+    }
+
+    /// Attach a write-ahead journal. The current state is immediately
+    /// compacted into the journal's snapshot, so attaching doubles as a
+    /// checkpoint — in particular, re-attaching after [`Bank::recover`]
+    /// folds the replayed WAL away.
+    pub fn attach_ledger(&mut self, journal: SharedJournal) {
+        self.journal = Some(journal);
+        self.snapshot_now();
+    }
+
+    /// Attach `ledger.*` telemetry counters (appends/snapshots).
+    pub fn attach_ledger_telemetry(&mut self, instruments: LedgerInstruments) {
+        self.instruments = Some(instruments);
+    }
+
+    /// Auto-compact the journal after every `n` journaled events
+    /// (0 disables auto-compaction; default).
+    pub fn set_snapshot_every(&mut self, n: u64) {
+        self.snapshot_every = n;
+    }
+
+    /// Compact the journal to a snapshot of the current state now.
+    /// No-op without an attached journal.
+    pub fn snapshot_now(&mut self) {
+        if let Some(journal) = &self.journal {
+            journal.compact(&self.snapshot().encode());
+            self.events_since_snapshot = 0;
+            if let Some(ins) = &self.instruments {
+                ins.snapshots.inc();
+            }
+        }
+    }
+
+    /// Append one event to the journal (after the mutation succeeded —
+    /// single-threaded redo logging), honouring the compaction cadence.
+    fn journal_event(&mut self, ev: &BankEvent) {
+        if self.journal.is_none() {
+            return;
+        }
+        let payload = ev.encode();
+        if let Some(journal) = &self.journal {
+            journal.append(&payload);
+        }
+        if let Some(ins) = &self.instruments {
+            ins.appends.inc();
+        }
+        self.events_since_snapshot += 1;
+        if self.snapshot_every > 0 && self.events_since_snapshot >= self.snapshot_every {
+            self.snapshot_now();
+        }
+    }
+
+    /// The bank's complete durable state, canonically ordered.
+    pub fn snapshot(&self) -> BankSnapshot {
+        let mut accounts: Vec<SnapshotAccount> = self
+            .accounts
+            .iter()
+            .map(|(id, a)| SnapshotAccount {
+                id: id.0,
+                owner: a.owner,
+                balance: a.balance,
+                parent: a.parent.map(|p| p.0),
+                label: a.label.clone(),
+            })
+            .collect();
+        accounts.sort_by_key(|a| a.id);
+        BankSnapshot {
+            next_account: self.next_account,
+            next_transfer: self.next_transfer,
+            minted: self.minted,
+            accounts,
+            spent_tokens: self.spent_tokens.iter().copied().collect(),
+        }
+    }
+
+    /// SHA-256 of the canonical snapshot encoding: two banks with equal
+    /// durable state digest identically (used by the kill-point sweep to
+    /// assert byte-identical recovery).
+    pub fn state_digest(&self) -> [u8; 32] {
+        sha256(&self.snapshot().encode())
+    }
+
+    /// Rebuild a bank from `journal` (snapshot + WAL replay), re-deriving
+    /// the signing key from `seed`. Torn WAL tails are truncated; corrupt
+    /// records stop replay at the damage; every replayed transfer's
+    /// stored signature is re-verified against the derived key. The
+    /// returned bank has no journal attached — call
+    /// [`Bank::attach_ledger`] to resume journaling (which checkpoints).
+    pub fn recover(
+        seed: &[u8],
+        journal: &SharedJournal,
+    ) -> Result<(Bank, RecoveryReport), RecoverError> {
+        let replay = journal.replay().map_err(RecoverError::Journal)?;
+        let mut bank = Bank::new(seed);
+        let mut report = RecoveryReport {
+            snapshot_restored: false,
+            records_replayed: 0,
+            torn_tail_bytes: replay.torn_tail_bytes,
+            corrupt_records: replay.corrupt_records,
+        };
+        if let Some(snap_bytes) = &replay.snapshot {
+            let snap = BankSnapshot::decode(snap_bytes).ok_or(RecoverError::BadSnapshot)?;
+            bank.next_account = snap.next_account;
+            bank.next_transfer = snap.next_transfer;
+            bank.minted = snap.minted;
+            for a in snap.accounts {
+                bank.accounts.insert(
+                    AccountId(a.id),
+                    Account {
+                        owner: a.owner,
+                        balance: a.balance,
+                        parent: a.parent.map(AccountId),
+                        label: a.label,
+                    },
+                );
+            }
+            bank.spent_tokens = snap.spent_tokens.into_iter().collect();
+            report.snapshot_restored = true;
+        }
+        for (i, payload) in replay.records.iter().enumerate() {
+            let ev = BankEvent::decode(payload).ok_or(RecoverError::BadEvent(i))?;
+            bank.apply_replayed(ev, i)?;
+            report.records_replayed += 1;
+        }
+        Ok((bank, report))
+    }
+
+    /// Apply one replayed WAL event without journaling (redo path).
+    fn apply_replayed(&mut self, ev: BankEvent, index: usize) -> Result<(), RecoverError> {
+        match ev {
+            BankEvent::AccountOpen {
+                id,
+                owner,
+                parent,
+                label,
+            } => {
+                self.accounts.insert(
+                    AccountId(id),
+                    Account {
+                        owner,
+                        balance: Credits::ZERO,
+                        parent: parent.map(AccountId),
+                        label,
+                    },
+                );
+                self.next_account = self.next_account.max(id + 1);
+            }
+            BankEvent::Mint { to, amount } => {
+                let acct = self
+                    .accounts
+                    .get_mut(&AccountId(to))
+                    .ok_or(RecoverError::BadEvent(index))?;
+                acct.balance += amount;
+                self.minted += amount;
+            }
+            BankEvent::Transfer {
+                id,
+                from,
+                to,
+                amount,
+                signature,
+            } => {
+                let msg = Receipt::message_bytes(id, AccountId(from), AccountId(to), amount);
+                if !self.keypair.public.verify(&msg, &signature) {
+                    return Err(RecoverError::SignatureMismatch { transfer_id: id });
+                }
+                if !self.accounts.contains_key(&AccountId(from))
+                    || !self.accounts.contains_key(&AccountId(to))
+                {
+                    return Err(RecoverError::BadEvent(index));
+                }
+                self.accounts.get_mut(&AccountId(from)).expect("checked").balance -= amount;
+                self.accounts.get_mut(&AccountId(to)).expect("checked").balance += amount;
+                self.next_transfer = self.next_transfer.max(id + 1);
+            }
+            BankEvent::TokenSpend { transfer_id } => {
+                self.spent_tokens.insert(transfer_id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Record that a transfer token (by receipt transfer id) was
+    /// redeemed. Returns `false` if it was already spent. Durable: the
+    /// spend is journaled, so it survives a [`Bank::recover`].
+    pub fn record_token_spend(&mut self, transfer_id: u64) -> bool {
+        if !self.spent_tokens.insert(transfer_id) {
+            return false;
+        }
+        self.journal_event(&BankEvent::TokenSpend { transfer_id });
+        true
+    }
+
+    /// True if this transfer id was already redeemed as a token.
+    pub fn is_token_spent(&self, transfer_id: u64) -> bool {
+        self.spent_tokens.contains(&transfer_id)
+    }
+
+    /// All redeemed transfer-token ids, sorted (for restoring the grid's
+    /// in-memory registry after a bank restart).
+    pub fn spent_token_ids(&self) -> Vec<u64> {
+        self.spent_tokens.iter().copied().collect()
     }
 
     /// The bank's receipt-verification key.
@@ -172,6 +392,12 @@ impl Bank {
                 label: label.to_owned(),
             },
         );
+        self.journal_event(&BankEvent::AccountOpen {
+            id: id.0,
+            owner,
+            parent: parent.map(|p| p.0),
+            label: label.to_owned(),
+        });
         id
     }
 
@@ -186,6 +412,7 @@ impl Bank {
             .ok_or(BankError::NoSuchAccount(to))?;
         acct.balance += amount;
         self.minted += amount;
+        self.journal_event(&BankEvent::Mint { to: to.0, amount });
         Ok(())
     }
 
@@ -254,6 +481,13 @@ impl Bank {
         self.next_transfer += 1;
         let msg = Receipt::message_bytes(transfer_id, from, to, amount);
         let signature = self.keypair.sign(&msg);
+        self.journal_event(&BankEvent::Transfer {
+            id: transfer_id,
+            from: from.0,
+            to: to.0,
+            amount,
+            signature,
+        });
         Ok(Receipt {
             transfer_id,
             from,
@@ -410,5 +644,160 @@ mod tests {
     fn mint_requires_positive_amount() {
         let (mut bank, a, _) = setup();
         assert!(bank.mint(a, Credits::ZERO).is_err());
+    }
+
+    /// A journaled bank with some history across all event kinds.
+    fn journaled_setup() -> (Bank, SharedJournal, AccountId, AccountId) {
+        let mut bank = Bank::new(b"wal-bank");
+        let journal = SharedJournal::new();
+        bank.attach_ledger(journal.clone());
+        let alice = Keypair::from_seed(b"alice").public;
+        let bob = Keypair::from_seed(b"bob").public;
+        let a = bank.open_account(alice, "alice");
+        let b = bank.open_account(bob, "bob");
+        bank.mint(a, Credits::from_whole(1000)).unwrap();
+        let r = bank.transfer(a, b, Credits::from_whole(250)).unwrap();
+        bank.record_token_spend(r.transfer_id);
+        let _sub = bank
+            .open_sub_account(a, alice, "job-7", Credits::from_whole(40))
+            .unwrap();
+        (bank, journal, a, b)
+    }
+
+    #[test]
+    fn recover_restores_state_byte_identically() {
+        let (bank, journal, a, b) = journaled_setup();
+        let (recovered, report) = Bank::recover(b"wal-bank", &journal).unwrap();
+        assert_eq!(recovered.state_digest(), bank.state_digest());
+        assert_eq!(recovered.balance(a).unwrap(), bank.balance(a).unwrap());
+        assert_eq!(recovered.balance(b).unwrap(), bank.balance(b).unwrap());
+        assert_eq!(recovered.spent_token_ids(), bank.spent_token_ids());
+        assert_eq!(recovered.total_minted(), bank.total_minted());
+        assert_eq!(recovered.total_money(), recovered.total_minted());
+        assert!(report.snapshot_restored, "attach_ledger checkpointed");
+        assert_eq!(report.records_replayed, journal.record_count());
+        assert_eq!(report.torn_tail_bytes, 0);
+        // The recovered bank continues the id sequences, not restarts them.
+        let r1 = bank.snapshot();
+        let r2 = recovered.snapshot();
+        assert_eq!(r1.next_account, r2.next_account);
+        assert_eq!(r1.next_transfer, r2.next_transfer);
+    }
+
+    #[test]
+    fn recovered_bank_signs_identically_and_verifies_old_receipts() {
+        let mut bank = Bank::new(b"sig-bank");
+        let journal = SharedJournal::new();
+        bank.attach_ledger(journal.clone());
+        let alice = Keypair::from_seed(b"alice").public;
+        let a = bank.open_account(alice, "alice");
+        let b = bank.open_account(alice, "alice-2");
+        bank.mint(a, Credits::from_whole(10)).unwrap();
+        let receipt = bank.transfer(a, b, Credits::from_whole(3)).unwrap();
+        let (recovered, _) = Bank::recover(b"sig-bank", &journal).unwrap();
+        assert!(recovered.verify_receipt(&receipt), "old receipt survives");
+        assert_eq!(recovered.public_key(), bank.public_key());
+    }
+
+    #[test]
+    fn recover_with_wrong_seed_rejects_transfer_signatures() {
+        let (_bank, journal, _, _) = journaled_setup();
+        let err = match Bank::recover(b"not-the-seed", &journal) {
+            Err(e) => e,
+            Ok(_) => panic!("recovery with the wrong seed must fail"),
+        };
+        assert!(
+            matches!(err, RecoverError::SignatureMismatch { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn kill_point_sweep_every_record_boundary_recovers_conserved() {
+        let (bank, journal, _, _) = journaled_setup();
+        let disk = journal.to_journal();
+        let mut boundaries = vec![0usize];
+        boundaries.extend_from_slice(disk.record_ends());
+        for &cut in &boundaries {
+            let torn = SharedJournal::from_journal(disk.crash_at(cut));
+            let (recovered, report) =
+                Bank::recover(b"wal-bank", &torn).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+            assert_eq!(recovered.total_money(), recovered.total_minted(), "cut {cut}");
+            assert_eq!(report.torn_tail_bytes, 0, "cut {cut} is a boundary");
+            assert_eq!(report.corrupt_records, 0);
+        }
+        // Full-length recovery is byte-identical to the live bank.
+        let full = SharedJournal::from_journal(disk.crash_at(disk.wal_len()));
+        let (recovered, _) = Bank::recover(b"wal-bank", &full).unwrap();
+        assert_eq!(recovered.state_digest(), bank.state_digest());
+    }
+
+    #[test]
+    fn kill_point_sweep_mid_record_truncates_torn_tail() {
+        let (_bank, journal, _, _) = journaled_setup();
+        let disk = journal.to_journal();
+        // Every non-boundary byte offset: the torn tail is discarded and
+        // the longest clean prefix recovers with conservation intact.
+        let ends: std::collections::BTreeSet<usize> = disk.record_ends().iter().copied().collect();
+        for cut in 1..disk.wal_len() {
+            if ends.contains(&cut) {
+                continue;
+            }
+            let torn = SharedJournal::from_journal(disk.crash_at(cut));
+            let (recovered, report) =
+                Bank::recover(b"wal-bank", &torn).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+            assert!(report.torn_tail_bytes > 0, "cut {cut} tears a record");
+            assert_eq!(recovered.total_money(), recovered.total_minted(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn recovery_after_compaction_uses_snapshot_plus_tail() {
+        let (mut bank, journal, a, b) = journaled_setup();
+        bank.snapshot_now();
+        assert_eq!(journal.record_count(), 0, "compaction cleared the WAL");
+        bank.transfer(a, b, Credits::from_whole(5)).unwrap();
+        let (recovered, report) = Bank::recover(b"wal-bank", &journal).unwrap();
+        assert!(report.snapshot_restored);
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(recovered.state_digest(), bank.state_digest());
+    }
+
+    #[test]
+    fn auto_snapshot_cadence_compacts_the_wal() {
+        let mut bank = Bank::new(b"cadence");
+        let journal = SharedJournal::new();
+        bank.attach_ledger(journal.clone());
+        bank.set_snapshot_every(4);
+        let alice = Keypair::from_seed(b"alice").public;
+        let a = bank.open_account(alice, "a");
+        bank.mint(a, Credits::from_whole(100)).unwrap();
+        let b = bank.open_account(alice, "b");
+        for _ in 0..6 {
+            bank.transfer(a, b, Credits::from_whole(1)).unwrap();
+        }
+        // 9 events with a cadence of 4 → at least two compactions, so the
+        // WAL holds fewer events than were journaled.
+        assert!(journal.record_count() < 9, "WAL was compacted");
+        let (recovered, _) = Bank::recover(b"cadence", &journal).unwrap();
+        assert_eq!(recovered.state_digest(), bank.state_digest());
+    }
+
+    #[test]
+    fn token_spends_are_durable_and_idempotent() {
+        let (mut bank, journal, _, _) = journaled_setup();
+        assert!(!bank.record_token_spend(0), "already spent in setup");
+        assert!(bank.is_token_spent(0));
+        let (recovered, _) = Bank::recover(b"wal-bank", &journal).unwrap();
+        assert!(recovered.is_token_spent(0), "spend survives recovery");
+    }
+
+    #[test]
+    fn recover_empty_journal_yields_fresh_bank() {
+        let journal = SharedJournal::new();
+        let (bank, report) = Bank::recover(b"fresh", &journal).unwrap();
+        assert_eq!(bank.account_count(), 0);
+        assert!(!report.snapshot_restored);
+        assert_eq!(report.records_replayed, 0);
     }
 }

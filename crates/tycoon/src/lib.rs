@@ -28,6 +28,7 @@ pub mod auction;
 pub mod bank;
 pub mod best_response;
 pub mod host;
+pub mod ledger;
 pub mod market;
 pub mod money;
 pub mod pricestats;
@@ -39,9 +40,12 @@ pub use auction::{Allocation, Auctioneer, BidHandle, UserId};
 pub use bank::{AccountId, Bank, BankError, Receipt};
 pub use best_response::{best_response, utility, HostQuote};
 pub use host::{HostId, HostSpec};
+pub use ledger::{
+    AuditReport, BankEvent, BankSnapshot, ConservationAuditor, RecoverError, RecoveryReport,
+};
 pub use market::{CrashReport, Market, MarketError, DEFAULT_INTERVAL_SECS};
 pub use money::Credits;
 pub use pricestats::PriceStats;
 pub use service::{AuctioneerClient, BankClient, BankService, LiveMarket, ServiceError};
 pub use sls::Sls;
-pub use telemetry::{MarketInstruments, ServiceInstruments};
+pub use telemetry::{LedgerInstruments, MarketInstruments, ServiceInstruments};

@@ -10,15 +10,17 @@
 use std::sync::Arc;
 
 use gm_des::{SimTime, Trace};
+use gm_ledger::SharedJournal;
 use gm_telemetry::{Clock, Registry};
 
 use crate::auction::{Allocation, Auctioneer, BidHandle, UserId};
 use crate::bank::{AccountId, Bank, BankError};
 use crate::best_response::HostQuote;
 use crate::host::{HostId, HostSpec};
+use crate::ledger::{AuditReport, ConservationAuditor, RecoverError, RecoveryReport};
 use crate::money::Credits;
 use crate::sls::Sls;
-use crate::telemetry::MarketInstruments;
+use crate::telemetry::{LedgerInstruments, MarketInstruments};
 
 struct HostEntry {
     auctioneer: Auctioneer,
@@ -46,6 +48,13 @@ pub struct Market {
     /// Optional instrumentation; `None` keeps the uninstrumented market
     /// entirely free of telemetry work.
     telemetry: Option<MarketInstruments>,
+    /// The bank's key seed, kept so [`Market::restart_bank`] can re-derive
+    /// the signing key when recovering from the journal.
+    seed: Vec<u8>,
+    /// The bank's durable journal, when one is attached.
+    journal: Option<SharedJournal>,
+    /// `ledger.*` counters shared with the bank.
+    ledger_telemetry: Option<LedgerInstruments>,
 }
 
 /// What a host crash did to the market: each evicted bid with the escrow
@@ -74,6 +83,9 @@ impl Market {
             price_trace: Trace::new(),
             interval_secs: DEFAULT_INTERVAL_SECS,
             telemetry: None,
+            seed: seed.to_vec(),
+            journal: None,
+            ledger_telemetry: None,
         }
     }
 
@@ -81,8 +93,65 @@ impl Market {
     /// `registry` (`market.*` metrics), with tick durations stamped by
     /// `clock`. Pass a `ManualClock` driven by the simulation for
     /// byte-reproducible DES exports, or a `WallClock` for live timing.
+    /// Also resolves the `ledger.*` counters and hands them to the bank.
     pub fn attach_telemetry(&mut self, registry: &Registry, clock: Arc<dyn Clock>) {
         self.telemetry = Some(MarketInstruments::new(registry, clock));
+        let ledger = LedgerInstruments::new(registry);
+        self.bank.attach_ledger_telemetry(ledger.clone());
+        self.ledger_telemetry = Some(ledger);
+    }
+
+    /// Attach a durable journal to the bank (checkpointing the current
+    /// state into it) and remember it so [`Market::restart_bank`] can
+    /// recover from it after a `BankRestart` fault.
+    pub fn attach_ledger(&mut self, journal: SharedJournal) {
+        self.bank.attach_ledger(journal.clone());
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&SharedJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Fault injection: the bank process dies and comes back from disk.
+    /// With a journal attached, the in-memory bank is **discarded** and
+    /// rebuilt via [`Bank::recover`] (then re-attached, which
+    /// checkpoints), the conservation auditor runs, and the bank is
+    /// marked online. Without a journal there is no durable state to
+    /// recover from, so the restart degrades to an outage-restore (the
+    /// in-memory books survive — the volatile pre-ledger behaviour).
+    pub fn restart_bank(&mut self) -> Result<RecoveryReport, RecoverError> {
+        let Some(journal) = self.journal.clone() else {
+            self.bank_online = true;
+            return Ok(RecoveryReport::default());
+        };
+        let (mut bank, report) = Bank::recover(&self.seed, &journal)?;
+        if let Some(ins) = &self.ledger_telemetry {
+            bank.attach_ledger_telemetry(ins.clone());
+            ins.recoveries.inc();
+            ins.records_replayed.add(report.records_replayed as u64);
+            ins.torn_tail_bytes.add(report.torn_tail_bytes as u64);
+            ins.corrupt_records.add(report.corrupt_records as u64);
+        }
+        bank.attach_ledger(journal);
+        self.bank = bank;
+        self.bank_online = true;
+        self.audit_ledger();
+        Ok(report)
+    }
+
+    /// Run the online [`ConservationAuditor`] over the bank and its
+    /// journal, recording `ledger.audits` / `ledger.audit_failures`.
+    pub fn audit_ledger(&self) -> AuditReport {
+        let report = ConservationAuditor::default().audit(&self.bank, self.journal.as_ref());
+        if let Some(ins) = &self.ledger_telemetry {
+            ins.audits.inc();
+            if !report.ok() {
+                ins.audit_failures.inc();
+            }
+        }
+        report
     }
 
     /// Override the reallocation interval (seconds).
@@ -712,6 +781,57 @@ mod tests {
         assert_eq!(snap.counters["market.bank_outages"], 1);
         assert_eq!(snap.histograms["market.tick_us"].count, 1);
         assert!(snap.gauges.contains_key("market.spot.host000"));
+    }
+
+    #[test]
+    fn bank_restart_recovers_books_from_journal_and_audits() {
+        use gm_telemetry::{ManualClock, Registry};
+        let registry = Registry::new();
+        let (mut m, acct) = market_with_user(2, 100);
+        m.attach_telemetry(&registry, std::sync::Arc::new(ManualClock::new()));
+        m.attach_ledger(SharedJournal::new());
+        // Pre-restart activity: a bid moves escrow, a token spend is
+        // recorded, an outage is open when the restart lands.
+        let h = m
+            .place_funded_bid(UserId(1), acct, HostId(0), 1.0, Credits::from_whole(30))
+            .unwrap();
+        m.tick(SimTime::from_secs(10));
+        m.bank_mut().record_token_spend(999);
+        let digest_before = m.bank().state_digest();
+        m.set_bank_online(false);
+
+        let report = m.restart_bank().unwrap();
+        assert!(report.snapshot_restored);
+        assert!(m.bank_is_online(), "restart ends the outage");
+        assert_eq!(m.bank().state_digest(), digest_before, "byte-identical books");
+        assert!(m.bank().is_token_spent(999), "spent set survived");
+        assert_eq!(m.bank().total_money(), m.bank().total_minted());
+        // The live bid and its escrow are still consistent: cancel works.
+        let refund = m.cancel_bid(HostId(0), h, acct).unwrap();
+        assert_eq!(refund, Credits::from_whole(20));
+        assert_eq!(m.bank().total_money(), Credits::from_whole(100));
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["ledger.recoveries"], 1);
+        assert_eq!(snap.counters["ledger.audit_failures"], 0);
+        assert!(snap.counters["ledger.audits"] >= 1);
+        assert!(snap.counters["ledger.appends"] > 0);
+    }
+
+    #[test]
+    fn bank_restart_without_journal_degrades_to_outage_restore() {
+        let (mut m, acct) = market_with_user(1, 50);
+        m.set_bank_online(false);
+        let report = m.restart_bank().unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        assert!(m.bank_is_online());
+        assert_eq!(m.bank().balance(acct).unwrap(), Credits::from_whole(50));
+    }
+
+    #[test]
+    fn audit_ledger_flags_nonconserving_books() {
+        let (m, _) = market_with_user(1, 50);
+        assert!(m.audit_ledger().ok());
     }
 
     #[test]

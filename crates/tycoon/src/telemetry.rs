@@ -29,6 +29,19 @@
 //! | `service.timeouts`    | counter   | calls that exhausted their retries     |
 //! | `service.retries`     | counter   | re-sends after a lost/late reply       |
 //! | `service.disconnects` | counter   | calls that found the service dead      |
+//!
+//! Durable-ledger metrics (`crate::ledger`, `crate::bank`):
+//!
+//! | name                      | kind    | meaning                               |
+//! |---------------------------|---------|---------------------------------------|
+//! | `ledger.appends`          | counter | WAL records written                   |
+//! | `ledger.snapshots`        | counter | compactions (checkpoints) taken       |
+//! | `ledger.recoveries`       | counter | `Bank::recover` replays completed     |
+//! | `ledger.records_replayed` | counter | WAL events applied across recoveries  |
+//! | `ledger.torn_tail_bytes`  | counter | bytes truncated from torn WAL tails   |
+//! | `ledger.corrupt_records`  | counter | checksum-failing records that stopped replay |
+//! | `ledger.audits`           | counter | conservation-auditor passes run       |
+//! | `ledger.audit_failures`   | counter | passes where an invariant did not hold |
 
 use std::sync::Arc;
 
@@ -147,5 +160,44 @@ impl ServiceInstruments {
         let mut copy = self.clone();
         copy.request_us = self.registry.histogram_shard("service.request_us");
         copy
+    }
+}
+
+/// Instrument handles for the durable ledger ([`crate::bank::Bank`]'s
+/// journal plus recovery/audit paths). Cloning shares every counter, so
+/// the market and the bank can hold the same set.
+#[derive(Clone)]
+pub struct LedgerInstruments {
+    /// `ledger.appends`
+    pub appends: Counter,
+    /// `ledger.snapshots`
+    pub snapshots: Counter,
+    /// `ledger.recoveries`
+    pub recoveries: Counter,
+    /// `ledger.records_replayed`
+    pub records_replayed: Counter,
+    /// `ledger.torn_tail_bytes`
+    pub torn_tail_bytes: Counter,
+    /// `ledger.corrupt_records`
+    pub corrupt_records: Counter,
+    /// `ledger.audits`
+    pub audits: Counter,
+    /// `ledger.audit_failures`
+    pub audit_failures: Counter,
+}
+
+impl LedgerInstruments {
+    /// Resolve the ledger instruments against `registry`.
+    pub fn new(registry: &Registry) -> LedgerInstruments {
+        LedgerInstruments {
+            appends: registry.counter("ledger.appends"),
+            snapshots: registry.counter("ledger.snapshots"),
+            recoveries: registry.counter("ledger.recoveries"),
+            records_replayed: registry.counter("ledger.records_replayed"),
+            torn_tail_bytes: registry.counter("ledger.torn_tail_bytes"),
+            corrupt_records: registry.counter("ledger.corrupt_records"),
+            audits: registry.counter("ledger.audits"),
+            audit_failures: registry.counter("ledger.audit_failures"),
+        }
     }
 }

@@ -23,6 +23,7 @@ fn run(seed: u64) -> ScenarioResult {
             vm_failures: 3,
             bank_outages: 1,
             outage_len: SimDuration::from_minutes(5),
+            bank_restarts: 1,
         },
     );
     Scenario::builder()

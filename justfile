@@ -20,6 +20,14 @@ chaos:
     cargo run --release --example chaos_run -- 42
     cargo run --release --example chaos_run -- 31337
 
+# Crash matrix (DESIGN.md §11): the durable-ledger kill-point sweep —
+# crash the bank at every WAL record boundary of a fixed-seed run,
+# recover from disk, audit conservation/signatures/spent tokens — as a
+# test and as the release-mode sweep over three fixed seeds.
+crash-matrix:
+    cargo test -q --test ledger_recovery
+    cargo run --release --example crash_matrix -- 2006 7 42
+
 # Policy matrix: run every allocator (Tycoon + all baselines) through the
 # shared PolicyDriver test suites, then gate the decomposed JobManager
 # modules against regrowing into a god-file (≤ 600 lines each).

@@ -4,9 +4,11 @@
 //! 1. A Table-1-style workload with fixed-time host crashes — every job
 //!    completes on the survivors, money is conserved, and the metrics are
 //!    byte-identical across same-seed runs.
-//! 2. A property over *random* fault schedules — whatever the schedule,
-//!    money is conserved and no sub-job is ever both completed and
-//!    re-dispatched.
+//! 2. A property over *random* fault schedules — including mid-run bank
+//!    kill/recover (`BankRestart`) interleaved with host crashes and bank
+//!    outages — whatever the schedule, money is conserved and no sub-job
+//!    is ever both completed and re-dispatched. Failing cases print the
+//!    replay seed via `gm_des::check`.
 //! 3. The transfer-token replay defence end to end: an idempotent bank
 //!    transfer whose first reply is lost still mints exactly one receipt,
 //!    and redeeming the resulting token twice fails.
@@ -112,6 +114,7 @@ fn random_fault_schedules_conserve_money_and_never_double_complete() {
             vm_failures: g.usize_in(0, 3) as u32,
             bank_outages: g.usize_in(0, 1) as u32,
             outage_len: SimDuration::from_minutes(g.usize_in(2, 10) as u64),
+            bank_restarts: g.usize_in(0, 2) as u32,
         };
         let plan = FaultPlan::generate(g.u64(), cfg);
         let r = Scenario::builder()
@@ -184,4 +187,66 @@ fn replayed_transfer_token_is_rejected_even_with_lost_reply() {
         Err(TokenError::AlreadySpent(id)) => assert_eq!(id, token.transfer_id()),
         other => panic!("second redemption must fail AlreadySpent, got {other:?}"),
     }
+}
+
+#[test]
+fn jittered_backoff_keeps_same_seed_telemetry_byte_identical() {
+    // Satellite: the anti-thunder-herd jitter is a pure function of
+    // (job id, failure count), so two same-seed runs — crashes, retries,
+    // backoffs and all — export byte-identical telemetry.
+    use gridmarket::grid::AgentConfig;
+
+    fn run(seed: u64) -> ScenarioResult {
+        let mut agent = AgentConfig::default();
+        agent.retry.jitter = 0.5;
+        let mut plan = FaultPlan::new();
+        plan.host_crash(SimTime::from_secs(20 * 60), 0)
+            .host_recover(SimTime::from_secs(80 * 60), 0)
+            .host_crash(SimTime::from_secs(35 * 60), 2);
+        Scenario::builder()
+            .seed(seed)
+            .hosts(4)
+            .chunk_minutes(10.0)
+            .deadline_minutes(180)
+            .horizon_hours(10)
+            .equal_users(2, 100.0)
+            .agent(agent)
+            .faults(plan)
+            .run()
+            .expect("jittered chaos scenario runs")
+    }
+
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(a.telemetry_jsonl, b.telemetry_jsonl);
+    assert!(a.money_conserved());
+    assert!(a.recovery_invariant_ok);
+}
+
+#[test]
+fn bank_restart_mid_run_recovers_ledger_and_conserves_money() {
+    // A deterministic BankRestart in the middle of the Table-1 chaos
+    // scenario: the bank is killed and rebuilt from its WAL while jobs
+    // are running; the run completes and the books balance.
+    let mut plan = FaultPlan::new();
+    plan.host_crash(SimTime::from_secs(20 * 60), 0)
+        .host_recover(SimTime::from_secs(80 * 60), 0)
+        .bank_restart(SimTime::from_secs(50 * 60));
+    let r = Scenario::builder()
+        .seed(7)
+        .hosts(6)
+        .chunk_minutes(15.0)
+        .deadline_minutes(240)
+        .horizon_hours(12)
+        .equal_users(4, 120.0)
+        .faults(plan)
+        .run()
+        .expect("restart scenario runs");
+    assert!(r.all_done(), "jobs must survive a bank restart: {:?}", r.users);
+    assert!(r.money_conserved());
+    assert!(r.recovery_invariant_ok);
+    assert!(r.telemetry_jsonl.contains("\"fault.bank_restart\""));
+    assert_eq!(r.metrics.counters["ledger.recoveries"], 1);
+    assert_eq!(r.metrics.counters["ledger.audit_failures"], 0);
 }
