@@ -214,6 +214,21 @@ impl AllocationPolicy for TycoonPolicy {
                     self.jm.restore_spent_tokens(&self.market);
                 }
             }
+            FaultKind::LinkDown => {
+                if let Some(t) = &self.tracer {
+                    t.event("fault.link_down");
+                }
+                // Quotes become unreachable: the manager falls back to
+                // last-known/predicted prices and defers re-dispatch
+                // (DESIGN.md §12).
+                self.market.set_links_degraded(true);
+            }
+            FaultKind::LinkUp => {
+                if let Some(t) = &self.tracer {
+                    t.event("fault.link_up");
+                }
+                self.market.set_links_degraded(false);
+            }
             FaultKind::MessageDelay | FaultKind::MessageDrop => {}
         }
     }

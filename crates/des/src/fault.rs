@@ -40,6 +40,15 @@ pub enum FaultKind {
     /// Appended last so the `(at, kind, target)` sort order of plans that
     /// never schedule restarts is unchanged.
     BankRestart,
+    /// The service links degrade: quotes and transfers become lossy until
+    /// the paired [`FaultKind::LinkUp`], and consumers fall back to
+    /// degraded-mode pricing (`DESIGN.md` §12).
+    ///
+    /// Appended after [`FaultKind::BankRestart`] so existing plans keep
+    /// their `(at, kind, target)` sort order.
+    LinkDown,
+    /// The degraded service links recover.
+    LinkUp,
 }
 
 /// One scheduled fault event.
@@ -74,6 +83,10 @@ pub struct FaultGenConfig {
     pub outage_len: SimDuration,
     /// Number of bank restarts (kill + recover from the durable journal).
     pub bank_restarts: u32,
+    /// Number of degraded-link windows (each paired with a recovery).
+    pub link_outages: u32,
+    /// Length of each degraded-link window.
+    pub link_outage_len: SimDuration,
 }
 
 impl Default for FaultGenConfig {
@@ -87,6 +100,8 @@ impl Default for FaultGenConfig {
             bank_outages: 1,
             outage_len: SimDuration::from_minutes(5),
             bank_restarts: 0,
+            link_outages: 0,
+            link_outage_len: SimDuration::from_minutes(5),
         }
     }
 }
@@ -173,6 +188,17 @@ impl FaultPlan {
             plan.push(SimTime::from_micros(at), FaultKind::BankRestart, 0);
         }
 
+        // Degraded-link windows (drawn after every earlier stream, same
+        // seed-stability contract as bank restarts).
+        for _ in 0..cfg.link_outages {
+            let at = rng.next_bounded(horizon_us);
+            let until = at.saturating_add(cfg.link_outage_len.as_micros().max(1));
+            plan.push(SimTime::from_micros(at), FaultKind::LinkDown, 0);
+            if until < horizon_us {
+                plan.push(SimTime::from_micros(until), FaultKind::LinkUp, 0);
+            }
+        }
+
         plan.normalize();
         plan
     }
@@ -209,6 +235,12 @@ impl FaultPlan {
     /// Schedule a bank restart (kill + journal recovery) at `at`.
     pub fn bank_restart(&mut self, at: SimTime) -> &mut Self {
         self.push(at, FaultKind::BankRestart, 0)
+    }
+
+    /// Schedule a degraded-link window over `[from, until)`.
+    pub fn link_outage(&mut self, from: SimTime, until: SimTime) -> &mut Self {
+        self.push(from, FaultKind::LinkDown, 0);
+        self.push(until, FaultKind::LinkUp, 0)
     }
 
     /// Sort events by `(time, kind, target)`. Called automatically by
@@ -372,6 +404,51 @@ mod tests {
             assert!(e.at < with_restarts.horizon);
             assert_eq!(e.target, 0);
         }
+    }
+
+    #[test]
+    fn link_outages_generate_in_horizon_without_disturbing_other_draws() {
+        let base = FaultGenConfig {
+            bank_restarts: 2,
+            ..FaultGenConfig::default()
+        };
+        let with_links = FaultGenConfig {
+            link_outages: 3,
+            ..base
+        };
+        let a = FaultPlan::generate(0xabcd, base);
+        let b = FaultPlan::generate(0xabcd, with_links);
+        // Link draws happen after every other stream (bank restarts
+        // included): the non-link prefix is byte-identical per seed.
+        let is_link = |e: &&FaultEvent| {
+            matches!(e.kind, FaultKind::LinkDown | FaultKind::LinkUp)
+        };
+        let non_link: Vec<&FaultEvent> =
+            b.events().iter().filter(|e| !is_link(e)).collect();
+        assert_eq!(non_link.len(), a.events().len());
+        for (x, y) in non_link.iter().zip(a.events()) {
+            assert_eq!(**x, *y);
+        }
+        let downs = b
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::LinkDown)
+            .count();
+        assert_eq!(downs, 3);
+        for e in b.events().iter().filter(|e| is_link(e)) {
+            assert!(e.at < with_links.horizon);
+            assert_eq!(e.target, 0);
+        }
+    }
+
+    #[test]
+    fn explicit_link_outage_builder_pairs_down_and_up() {
+        let mut plan = FaultPlan::new();
+        plan.link_outage(SimTime::from_secs(10), SimTime::from_secs(20));
+        let due = plan.take_due(SimTime::from_secs(30));
+        assert_eq!(due.len(), 2);
+        assert_eq!(due[0].kind, FaultKind::LinkDown);
+        assert_eq!(due[1].kind, FaultKind::LinkUp);
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Degraded-mode pricing (`DESIGN.md` §12): when the links to the
+//! auctioneers are down — circuit breakers open, queues shedding — live
+//! quotes are unavailable, but a job's bids must not starve in the
+//! meantime. The manager keeps a [`DegradedPricer`] fed from every healthy
+//! quote batch; while degraded it synthesizes quotes from the last-known
+//! per-host prices, falling back to the predicted mean spot price of a
+//! [`DualWindowDistribution`] (the paper's §4.5 price predictor) for hosts
+//! never seen before the outage.
+//!
+//! Synthesized quotes only keep *existing* bids funded at plausible rates
+//! (rebalance / escrow top-ups). Expanding onto new hosts is deferred
+//! until the links recover — see [`super::JobManager::redispatch`] — so a
+//! stale price can never buy a slot the job did not already hold.
+
+use std::collections::BTreeMap;
+
+use gm_predict::DualWindowDistribution;
+use gm_tycoon::{HostId, HostQuote, Market, UserId};
+
+use super::JobManager;
+
+/// Snapshots of the moving window fed to the spot-price predictor. The
+/// window spans roughly one allocation hour at the default 10 s interval.
+const PRICE_WINDOW: u64 = 360;
+/// Slot count of the predictor's price distribution.
+const PRICE_SLOTS: usize = 16;
+/// Initial price bracket; the slot table doubles as needed.
+const PRICE_RANGE: f64 = 1.0;
+
+/// Last-known per-host quotes plus a predicted market-wide spot price.
+pub(super) struct DegradedPricer {
+    /// Most recent healthy `(weight, others_rate)` per host.
+    last: BTreeMap<HostId, (f64, f64)>,
+    /// Moving-window distribution over observed `others_rate` values.
+    dist: DualWindowDistribution,
+}
+
+impl DegradedPricer {
+    pub(super) fn new() -> DegradedPricer {
+        DegradedPricer {
+            last: BTreeMap::new(),
+            dist: DualWindowDistribution::new(PRICE_WINDOW, PRICE_SLOTS, PRICE_RANGE),
+        }
+    }
+
+    /// Record one healthy quote batch (called whenever live quotes arrive).
+    pub(super) fn observe(&mut self, quotes: &[HostQuote]) {
+        for q in quotes {
+            self.last.insert(q.host, (q.weight, q.others_rate));
+            self.dist.add(q.others_rate);
+        }
+    }
+
+    /// Predicted spot price: the mean of the price-distribution window,
+    /// or `None` before any observation.
+    pub(super) fn predicted_rate(&self) -> Option<f64> {
+        self.dist.mean()
+    }
+
+    /// Synthesize quotes for `hosts` from last-known prices, backfilling
+    /// unknown hosts with the predicted spot price and the median known
+    /// weight. Hosts with neither history nor a prediction are omitted —
+    /// the caller defers rather than bidding blind.
+    pub(super) fn synthesize(&self, hosts: &[HostId]) -> Vec<HostQuote> {
+        let fallback_rate = self.predicted_rate();
+        let fallback_weight = self.median_weight();
+        hosts
+            .iter()
+            .filter_map(|&host| {
+                if let Some(&(weight, others_rate)) = self.last.get(&host) {
+                    return Some(HostQuote { host, weight, others_rate });
+                }
+                match (fallback_weight, fallback_rate) {
+                    (Some(weight), Some(others_rate)) => Some(HostQuote {
+                        host,
+                        weight,
+                        // Quotes guarantee a positive rate; the predictor's
+                        // mean can hit 0 when every snapshot sat in slot 0.
+                        others_rate: others_rate.max(f64::EPSILON),
+                    }),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    fn median_weight(&self) -> Option<f64> {
+        if self.last.is_empty() {
+            return None;
+        }
+        let mut ws: Vec<f64> = self.last.values().map(|&(w, _)| w).collect();
+        ws.sort_by(f64::total_cmp);
+        Some(ws[ws.len() / 2])
+    }
+}
+
+impl JobManager {
+    /// Live quotes while the links are healthy — every batch also feeds
+    /// the degraded pricer — or synthesized last-known/predicted quotes
+    /// while [`Market::links_degraded`] (counted as `grid.degraded_quotes`).
+    pub(super) fn quotes_or_degraded(
+        &mut self,
+        market: &Market,
+        user: UserId,
+        hosts: &[HostId],
+    ) -> Vec<HostQuote> {
+        match market.try_quotes_for(user, hosts) {
+            Some(quotes) => {
+                self.degraded.observe(&quotes);
+                quotes
+            }
+            None => {
+                self.telemetry.degraded_quotes().inc();
+                self.degraded.synthesize(hosts)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(host: u32, weight: f64, rate: f64) -> HostQuote {
+        HostQuote {
+            host: HostId(host),
+            weight,
+            others_rate: rate,
+        }
+    }
+
+    #[test]
+    fn empty_pricer_synthesizes_nothing() {
+        let p = DegradedPricer::new();
+        assert!(p.synthesize(&[HostId(0), HostId(1)]).is_empty());
+        assert_eq!(p.predicted_rate(), None);
+    }
+
+    #[test]
+    fn known_hosts_reuse_last_quote_exactly() {
+        let mut p = DegradedPricer::new();
+        p.observe(&[q(0, 3000.0, 0.25), q(1, 2000.0, 0.75)]);
+        p.observe(&[q(0, 3000.0, 0.40)]);
+        let out = p.synthesize(&[HostId(0), HostId(1)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].others_rate, 0.40, "latest observation wins");
+        assert_eq!(out[1].others_rate, 0.75);
+        assert_eq!(out[0].weight, 3000.0);
+    }
+
+    #[test]
+    fn unknown_hosts_backfill_from_prediction() {
+        let mut p = DegradedPricer::new();
+        for _ in 0..20 {
+            p.observe(&[q(0, 3000.0, 0.5)]);
+        }
+        let out = p.synthesize(&[HostId(7)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].host, HostId(7));
+        assert_eq!(out[0].weight, 3000.0);
+        // Slot quantisation bounds the predictor's error to one slot.
+        assert!((out[0].others_rate - 0.5).abs() < PRICE_RANGE / PRICE_SLOTS as f64 + 1e-9);
+        assert!(out[0].others_rate > 0.0);
+    }
+}

@@ -79,7 +79,7 @@ impl JobManager {
         let max_hosts = self.config.max_nodes.min(job.subjobs.len());
 
         let host_ids = self.eligible_hosts(market);
-        let quotes = market.quotes_for(job.user, &host_ids);
+        let quotes = self.quotes_or_degraded(market, job.user, &host_ids);
         let bids = capped_bids(&quotes, rate, max_hosts, self.config.max_share_premium);
 
         let interval = market.interval_secs();
@@ -160,7 +160,7 @@ impl JobManager {
         }
 
         if self.config.rebid {
-            let quotes = market.quotes_for(job.user, &active_hosts);
+            let quotes = self.quotes_or_degraded(market, job.user, &active_hosts);
             let new_bids = capped_bids(&quotes, total_rate, usize::MAX, self.config.max_share_premium);
             for (host, rate) in new_bids {
                 if let Some(slot) = job.slots.iter_mut().find(|s| s.host == host) {

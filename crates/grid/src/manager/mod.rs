@@ -27,6 +27,7 @@
 #![deny(clippy::too_many_lines)]
 
 mod accounts;
+mod degraded;
 mod dispatch;
 mod funding;
 mod jobs;
@@ -105,6 +106,9 @@ pub struct JobManager {
     next_user: u32,
     config: AgentConfig,
     telemetry: GridInstruments,
+    /// Last-known / predicted prices used while the links are degraded
+    /// (`DESIGN.md` §12); fed from every healthy quote batch.
+    degraded: degraded::DegradedPricer,
     /// Hosts this agent replica is partitioned onto (`None` = all hosts,
     /// the single-agent deployment). See §3: "the agent itself can be
     /// replicated and partitioned to pick up a different set of compute
@@ -144,6 +148,7 @@ impl JobManager {
             next_user: 1,
             config,
             telemetry: GridInstruments::new(telemetry_registry),
+            degraded: degraded::DegradedPricer::new(),
             partition: None,
         }
     }

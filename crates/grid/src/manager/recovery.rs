@@ -100,6 +100,15 @@ impl JobManager {
         if !job.needs_redispatch {
             return;
         }
+        if market.links_degraded() {
+            // Expanding onto new hosts against stale or predicted prices
+            // could buy slots the job cannot afford; defer the round — it
+            // neither burns retry budget nor starts the backoff clock, so
+            // recovery resumes at full budget once the links return
+            // (`DESIGN.md` §12).
+            self.telemetry.deferred_dispatches().inc();
+            return;
+        }
         if job.retry_after.is_some_and(|t| now < t) {
             return;
         }

@@ -24,6 +24,17 @@
 //! | `grid.tokens_rejected`      | counter   | tokens refused (any reason)                |
 //! | `grid.token_double_spends`  | counter   | tokens refused as already redeemed         |
 //! | `grid.subjob_latency_us`    | histogram | submit-to-finish latency per sub-job       |
+//!
+//! Degraded-mode instruments (`DESIGN.md` §12) are registered **lazily**
+//! on first use so runs that never lose a link export exactly the same
+//! metric set as before the overload layer existed:
+//!
+//! | name                        | kind      | meaning                                    |
+//! |-----------------------------|-----------|--------------------------------------------|
+//! | `grid.degraded_quotes`      | counter   | quote batches synthesized from prediction  |
+//! | `grid.deferred_dispatches`  | counter   | re-dispatch rounds deferred while degraded |
+
+use std::sync::OnceLock;
 
 use gm_telemetry::{Counter, Histogram, Registry};
 
@@ -53,6 +64,13 @@ pub struct GridInstruments {
     pub token_double_spends: Counter,
     /// `grid.subjob_latency_us`
     pub subjob_latency_us: Histogram,
+    /// The backing registry, kept so degraded-mode instruments can be
+    /// resolved lazily (see module docs).
+    registry: Registry,
+    /// `grid.degraded_quotes`, lazily registered.
+    degraded_quotes: OnceLock<Counter>,
+    /// `grid.deferred_dispatches`, lazily registered.
+    deferred_dispatches: OnceLock<Counter>,
 }
 
 /// Cumulative fault-handling counters of a [`crate::JobManager`] — a
@@ -91,7 +109,23 @@ impl GridInstruments {
             tokens_rejected: registry.counter("grid.tokens_rejected"),
             token_double_spends: registry.counter("grid.token_double_spends"),
             subjob_latency_us: registry.histogram("grid.subjob_latency_us"),
+            registry: registry.clone(),
+            degraded_quotes: OnceLock::new(),
+            deferred_dispatches: OnceLock::new(),
         }
+    }
+
+    /// `grid.degraded_quotes` — registered on first degraded quote batch
+    /// so healthy runs export an unchanged metric set.
+    pub fn degraded_quotes(&self) -> &Counter {
+        self.degraded_quotes
+            .get_or_init(|| self.registry.counter("grid.degraded_quotes"))
+    }
+
+    /// `grid.deferred_dispatches` — registered on first deferred round.
+    pub fn deferred_dispatches(&self) -> &Counter {
+        self.deferred_dispatches
+            .get_or_init(|| self.registry.counter("grid.deferred_dispatches"))
     }
 
     /// Snapshot the fault-recovery view of these instruments.

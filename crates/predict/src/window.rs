@@ -98,6 +98,25 @@ impl DualWindowDistribution {
             .collect()
     }
 
+    /// Mean spot price of the merged window distribution (slot midpoints
+    /// weighted by their proportions), or `None` before any snapshot.
+    ///
+    /// This is the degraded-mode price source (`DESIGN.md` §12): when live
+    /// quotes are unreachable, consumers bid against this predicted price
+    /// instead of a stale or missing quote.
+    pub fn mean(&self) -> Option<f64> {
+        if self.seen == 0 {
+            return None;
+        }
+        let mean = self
+            .proportions()
+            .iter()
+            .zip(self.slot_edges())
+            .map(|(p, (lo, hi))| p * 0.5 * (lo + hi))
+            .sum();
+        Some(mean)
+    }
+
     /// The common slot edges of the merged distribution.
     pub fn slot_edges(&self) -> Vec<(f64, f64)> {
         let slots = self.tables[0].slots();
@@ -250,6 +269,18 @@ mod tests {
         d.add(0.9);
         let p = d.proportions();
         assert!(p[3] > 0.4, "latest snapshot should dominate: {p:?}");
+    }
+
+    #[test]
+    fn mean_tracks_the_window() {
+        let mut d = DualWindowDistribution::new(10, 16, 1.0);
+        assert_eq!(d.mean(), None, "no snapshots, no mean");
+        for _ in 0..40 {
+            d.add(0.5);
+        }
+        let m = d.mean().unwrap();
+        // Slot quantisation bounds the error to one slot width.
+        assert!((m - 0.5).abs() < 1.0 / 16.0 + 1e-9, "mean {m}");
     }
 
     #[test]

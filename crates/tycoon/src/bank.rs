@@ -53,6 +53,11 @@ pub enum BankError {
     },
     /// Transfer amounts must be strictly positive.
     NonPositiveAmount(Credits),
+    /// The client request id was already applied, but its recorded
+    /// outcome has been evicted from the volatile replay cache: the
+    /// transfer is durably known to have executed exactly once, so it is
+    /// refused rather than re-run (`DESIGN.md` §12).
+    DuplicateRequest(u64),
 }
 
 impl fmt::Display for BankError {
@@ -68,6 +73,9 @@ impl fmt::Display for BankError {
                 "insufficient funds in {account}: balance {balance}, requested {requested}"
             ),
             BankError::NonPositiveAmount(c) => write!(f, "non-positive amount {c}"),
+            BankError::DuplicateRequest(id) => {
+                write!(f, "transfer request {id} was already applied")
+            }
         }
     }
 }
@@ -125,6 +133,10 @@ pub struct Bank {
     /// Redeemed transfer-token ids (durable double-spend set; a superset
     /// of the grid's in-memory `TokenRegistry`).
     spent_tokens: BTreeSet<u64>,
+    /// Applied client transfer request ids (durable idempotency set: the
+    /// half of the service's dedup contract that survives both a crash
+    /// and replay-cache eviction).
+    applied_requests: BTreeSet<u64>,
     /// Write-ahead journal; `None` = volatile bank (pre-PR-4 behaviour).
     journal: Option<SharedJournal>,
     instruments: Option<LedgerInstruments>,
@@ -143,6 +155,7 @@ impl Bank {
             next_transfer: 0,
             minted: Credits::ZERO,
             spent_tokens: BTreeSet::new(),
+            applied_requests: BTreeSet::new(),
             journal: None,
             instruments: None,
             snapshot_every: 0,
@@ -221,6 +234,7 @@ impl Bank {
             minted: self.minted,
             accounts,
             spent_tokens: self.spent_tokens.iter().copied().collect(),
+            applied_requests: self.applied_requests.iter().copied().collect(),
         }
     }
 
@@ -266,6 +280,7 @@ impl Bank {
                 );
             }
             bank.spent_tokens = snap.spent_tokens.into_iter().collect();
+            bank.applied_requests = snap.applied_requests.into_iter().collect();
             report.snapshot_restored = true;
         }
         for (i, payload) in replay.records.iter().enumerate() {
@@ -327,6 +342,9 @@ impl Bank {
             BankEvent::TokenSpend { transfer_id } => {
                 self.spent_tokens.insert(transfer_id);
             }
+            BankEvent::RequestApplied { request_id } => {
+                self.applied_requests.insert(request_id);
+            }
         }
         Ok(())
     }
@@ -351,6 +369,29 @@ impl Bank {
     /// in-memory registry after a bank restart).
     pub fn spent_token_ids(&self) -> Vec<u64> {
         self.spent_tokens.iter().copied().collect()
+    }
+
+    /// Record that the transfer for client request id `request_id` was
+    /// applied. Returns `false` if it was already recorded. Durable: the
+    /// entry is journaled, so exactly-once holds across a
+    /// [`Bank::recover`] even after the service's volatile replay cache
+    /// evicted the outcome.
+    pub fn record_request_applied(&mut self, request_id: u64) -> bool {
+        if !self.applied_requests.insert(request_id) {
+            return false;
+        }
+        self.journal_event(&BankEvent::RequestApplied { request_id });
+        true
+    }
+
+    /// True if a transfer with this client request id already executed.
+    pub fn is_request_applied(&self, request_id: u64) -> bool {
+        self.applied_requests.contains(&request_id)
+    }
+
+    /// All applied client transfer request ids, sorted.
+    pub fn applied_request_ids(&self) -> Vec<u64> {
+        self.applied_requests.iter().copied().collect()
     }
 
     /// The bank's receipt-verification key.
@@ -790,6 +831,19 @@ mod tests {
         assert!(bank.is_token_spent(0));
         let (recovered, _) = Bank::recover(b"wal-bank", &journal).unwrap();
         assert!(recovered.is_token_spent(0), "spend survives recovery");
+    }
+
+    #[test]
+    fn applied_request_ids_are_durable_and_idempotent() {
+        let (mut bank, journal, _, _) = journaled_setup();
+        assert!(bank.record_request_applied(7), "first recording succeeds");
+        assert!(!bank.record_request_applied(7), "second is refused");
+        assert!(bank.is_request_applied(7));
+        assert!(!bank.is_request_applied(8));
+        let (recovered, _) = Bank::recover(b"wal-bank", &journal).unwrap();
+        assert!(recovered.is_request_applied(7), "survives recovery");
+        assert_eq!(recovered.applied_request_ids(), vec![7]);
+        assert_eq!(recovered.state_digest(), bank.state_digest());
     }
 
     #[test]

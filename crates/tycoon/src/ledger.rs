@@ -21,8 +21,11 @@ use gm_ledger::{LedgerError, SharedJournal};
 use crate::bank::{AccountId, Bank, Receipt};
 use crate::money::Credits;
 
-/// Snapshot codec version byte.
-const SNAPSHOT_VERSION: u8 = 1;
+/// Snapshot codec version byte. Version 2 added the applied transfer
+/// request-id set (`DESIGN.md` §12); journals are in-memory simulated
+/// disks, so there is no cross-version compatibility to keep and older
+/// payloads are simply rejected as undecodable.
+const SNAPSHOT_VERSION: u8 = 2;
 
 /// One journaled bank state change (the WAL record payloads).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,12 +66,19 @@ pub enum BankEvent {
         /// The receipt's transfer id that was consumed.
         transfer_id: u64,
     },
+    /// A client transfer request id was applied (idempotency set entry:
+    /// the durable half of the bank's exactly-once transfer contract).
+    RequestApplied {
+        /// The client-chosen request id of the applied transfer.
+        request_id: u64,
+    },
 }
 
 const TAG_ACCOUNT_OPEN: u8 = 1;
 const TAG_MINT: u8 = 2;
 const TAG_TRANSFER: u8 = 3;
 const TAG_TOKEN_SPEND: u8 = 4;
+const TAG_REQUEST_APPLIED: u8 = 5;
 
 /// Little decode cursor over a byte slice; every read is bounds-checked
 /// so malformed payloads decode to `None`, never panic.
@@ -164,6 +174,10 @@ impl BankEvent {
                 out.push(TAG_TOKEN_SPEND);
                 out.extend_from_slice(&transfer_id.to_be_bytes());
             }
+            BankEvent::RequestApplied { request_id } => {
+                out.push(TAG_REQUEST_APPLIED);
+                out.extend_from_slice(&request_id.to_be_bytes());
+            }
         }
         out
     }
@@ -199,6 +213,9 @@ impl BankEvent {
             },
             TAG_TOKEN_SPEND => BankEvent::TokenSpend {
                 transfer_id: c.u64()?,
+            },
+            TAG_REQUEST_APPLIED => BankEvent::RequestApplied {
+                request_id: c.u64()?,
             },
             _ => return None,
         };
@@ -237,6 +254,8 @@ pub struct BankSnapshot {
     pub accounts: Vec<SnapshotAccount>,
     /// All redeemed transfer-token ids, sorted.
     pub spent_tokens: Vec<u64>,
+    /// All applied client transfer request ids, sorted.
+    pub applied_requests: Vec<u64>,
 }
 
 impl BankSnapshot {
@@ -258,6 +277,10 @@ impl BankSnapshot {
         }
         out.extend_from_slice(&(self.spent_tokens.len() as u32).to_be_bytes());
         for id in &self.spent_tokens {
+            out.extend_from_slice(&id.to_be_bytes());
+        }
+        out.extend_from_slice(&(self.applied_requests.len() as u32).to_be_bytes());
+        for id in &self.applied_requests {
             out.extend_from_slice(&id.to_be_bytes());
         }
         out
@@ -294,12 +317,18 @@ impl BankSnapshot {
         for _ in 0..n_spent {
             spent_tokens.push(c.u64()?);
         }
+        let n_applied = c.u32()? as usize;
+        let mut applied_requests = Vec::with_capacity(n_applied.min(1 << 16));
+        for _ in 0..n_applied {
+            applied_requests.push(c.u64()?);
+        }
         c.done().then_some(BankSnapshot {
             next_account,
             next_transfer,
             minted,
             accounts,
             spent_tokens,
+            applied_requests,
         })
     }
 }
@@ -485,6 +514,7 @@ mod tests {
                 signature: kp.sign(b"msg"),
             },
             BankEvent::TokenSpend { transfer_id: 3 },
+            BankEvent::RequestApplied { request_id: 41 },
         ];
         for ev in events {
             let bytes = ev.encode();
@@ -525,6 +555,7 @@ mod tests {
                 },
             ],
             spent_tokens: vec![2, 4, 8],
+            applied_requests: vec![1, 3],
         };
         let bytes = snap.encode();
         assert_eq!(BankSnapshot::decode(&bytes), Some(snap.clone()));
@@ -550,6 +581,7 @@ mod tests {
                 label: "x".into(),
             }],
             spent_tokens: vec![],
+            applied_requests: vec![],
         };
         assert_eq!(snap.encode(), snap.clone().encode());
     }

@@ -23,6 +23,9 @@
 //! * [`telemetry`] — pre-resolved `gm_telemetry` instrument handles for
 //!   the market hot path (tick duration, spot gauges, bid/refund/outage
 //!   counters).
+//! * [`transport`] — deterministic lossy links, bounded mailboxes with
+//!   load shedding, and per-endpoint circuit breakers for the live
+//!   runtime (`DESIGN.md` §12).
 
 pub mod auction;
 pub mod bank;
@@ -35,6 +38,7 @@ pub mod pricestats;
 pub mod service;
 pub mod sls;
 pub mod telemetry;
+pub mod transport;
 
 pub use auction::{Allocation, Auctioneer, BidHandle, UserId};
 pub use bank::{AccountId, Bank, BankError, Receipt};
@@ -46,6 +50,10 @@ pub use ledger::{
 pub use market::{CrashReport, Market, MarketError, DEFAULT_INTERVAL_SECS};
 pub use money::Credits;
 pub use pricestats::PriceStats;
-pub use service::{AuctioneerClient, BankClient, BankService, LiveMarket, ServiceError};
+pub use service::{AuctioneerClient, BankClient, BankService, LiveMarket, NetConfig, ServiceError};
 pub use sls::Sls;
-pub use telemetry::{LedgerInstruments, MarketInstruments, ServiceInstruments};
+pub use telemetry::{LedgerInstruments, MarketInstruments, NetInstruments, ServiceInstruments};
+pub use transport::{
+    BreakerConfig, CircuitBreaker, LinkProfile, QueueConfig, QueueGate, ReplayCache,
+    ServiceTransport, ShedPolicy,
+};

@@ -43,6 +43,10 @@ pub struct Market {
     /// When `false`, every money-moving operation fails with
     /// [`MarketError::BankUnavailable`] (fault injection: bank outage).
     bank_online: bool,
+    /// Fault injection: when `true`, the quote links are degraded — fresh
+    /// quotes are unavailable ([`Market::try_quotes_for`] returns `None`)
+    /// and consumers fall back to degraded-mode pricing (`DESIGN.md` §12).
+    links_degraded: bool,
     price_trace: Trace,
     interval_secs: f64,
     /// Optional instrumentation; `None` keeps the uninstrumented market
@@ -80,6 +84,7 @@ impl Market {
             crashed: std::collections::BTreeSet::new(),
             payers: std::collections::BTreeMap::new(),
             bank_online: true,
+            links_degraded: false,
             price_trace: Trace::new(),
             interval_secs: DEFAULT_INTERVAL_SECS,
             telemetry: None,
@@ -236,6 +241,17 @@ impl Market {
                 })
             })
             .collect()
+    }
+
+    /// [`Market::quotes_for`] behind the degraded-link switch: `None`
+    /// while the links are degraded (a `LinkDown` fault window), when the
+    /// caller should fall back to its last-known or predicted prices
+    /// instead of trusting stale quotes.
+    pub fn try_quotes_for(&self, user: UserId, hosts: &[HostId]) -> Option<Vec<HostQuote>> {
+        if self.links_degraded {
+            return None;
+        }
+        Some(self.quotes_for(user, hosts))
     }
 
     /// Place a funded bid: debit `escrow` from `payer` into the host
@@ -497,6 +513,17 @@ impl Market {
     /// Whether the bank is currently reachable.
     pub fn bank_is_online(&self) -> bool {
         self.bank_online
+    }
+
+    /// Fault injection: degrade (`true`) or restore (`false`) the quote
+    /// links. While degraded, [`Market::try_quotes_for`] yields `None`.
+    pub fn set_links_degraded(&mut self, degraded: bool) {
+        self.links_degraded = degraded;
+    }
+
+    /// Whether the quote links are currently degraded.
+    pub fn links_degraded(&self) -> bool {
+        self.links_degraded
     }
 }
 
@@ -832,6 +859,23 @@ mod tests {
     fn audit_ledger_flags_nonconserving_books() {
         let (m, _) = market_with_user(1, 50);
         assert!(m.audit_ledger().ok());
+    }
+
+    #[test]
+    fn degraded_links_withhold_quotes_until_restored() {
+        let (mut m, acct) = market_with_user(2, 100);
+        m.place_funded_bid(UserId(1), acct, HostId(0), 0.5, Credits::from_whole(10))
+            .unwrap();
+        assert!(!m.links_degraded());
+        assert_eq!(m.try_quotes_for(UserId(2), &m.host_ids()).unwrap().len(), 2);
+        m.set_links_degraded(true);
+        assert!(m.links_degraded());
+        assert!(m.try_quotes_for(UserId(2), &m.host_ids()).is_none());
+        // Degraded links affect quotes only: money movement still works.
+        m.place_funded_bid(UserId(1), acct, HostId(1), 0.5, Credits::from_whole(10))
+            .unwrap();
+        m.set_links_degraded(false);
+        assert_eq!(m.try_quotes_for(UserId(2), &m.host_ids()).unwrap().len(), 2);
     }
 
     #[test]

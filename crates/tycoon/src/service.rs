@@ -24,8 +24,18 @@
 //! and a plain [`crate::Market`] driven with the same schedule produce
 //! identical allocations — the service boundary adds concurrency, not
 //! behaviour.
+//!
+//! Overload & loss (`DESIGN.md` §12): every client→service link runs
+//! through a [`crate::transport`] shim — a seedable [`LinkProfile`] of
+//! drop/delay/duplicate/reorder faults (perfect by default), a bounded
+//! mailbox with a [`ShedPolicy`], and an optional per-endpoint
+//! [`CircuitBreaker`]. Transfer idempotency is two-layered: a bounded
+//! [`ReplayCache`] replays recent outcomes byte-for-byte, and the bank's
+//! durable applied-request-id set refuses to re-execute anything older —
+//! so a duplicate can never double-debit, before or after eviction, even
+//! across a bank crash and recovery.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
@@ -35,13 +45,18 @@ use std::time::Duration;
 
 use gm_crypto::PublicKey;
 use gm_ledger::SharedJournal;
+use gm_telemetry::{Clock, WallClock};
 
 use crate::auction::{Allocation, Auctioneer, BidHandle, UserId};
 use crate::bank::{AccountId, Bank, BankError, Receipt};
 use crate::host::{HostId, HostSpec};
 use crate::ledger::{RecoverError, RecoveryReport};
 use crate::money::Credits;
-use crate::telemetry::ServiceInstruments;
+use crate::telemetry::{NetInstruments, ServiceInstruments};
+use crate::transport::{
+    jittered_backoff, BreakerConfig, CircuitBreaker, LinkProfile, QueueConfig, QueueGate,
+    ReplayCache, ServiceTransport, ShedPolicy, DEFAULT_REPLAY_CACHE,
+};
 
 /// Default per-request reply deadline. Healthy in-process services reply
 /// in microseconds; the deadline only fires when a service is wedged.
@@ -54,6 +69,85 @@ pub const DEFAULT_CALL_RETRIES: u32 = 3;
 /// tick before the host is declared crashed.
 pub const DEFAULT_TICK_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// Jitter fraction applied to `retry_after` back-off sleeps (same ±25 %
+/// spread the grid's `RetryPolicy` uses at `jitter = 0.5`).
+const OVERLOAD_BACKOFF_JITTER: f64 = 0.5;
+
+/// RNG stream salt for the bank service's link faults.
+const BANK_FAULT_STREAM: u64 = 0x6261_6e6b_2d6c_696e;
+
+/// RNG stream salt base for auctioneer link faults (mixed with host id).
+const AUCTIONEER_FAULT_STREAM: u64 = 0x6175_6374_2d6c_696e;
+
+// ---------------------------------------------------------- net config
+
+/// Overload-and-loss configuration for a [`LiveMarket`] and its services.
+///
+/// The default is the historical runtime: perfect links, unbounded
+/// mailboxes, no breakers, no `net.*` telemetry — byte-for-byte the
+/// behaviour before this layer existed.
+#[derive(Clone)]
+pub struct NetConfig {
+    /// Fault profile of every client→bank link.
+    pub bank_link: LinkProfile,
+    /// Fault profile of every client→auctioneer link.
+    pub auctioneer_link: LinkProfile,
+    /// Mailbox bound and shed policy applied to every service.
+    pub queue: QueueConfig,
+    /// Per-endpoint circuit breaker; `None` disables breaking.
+    pub breaker: Option<BreakerConfig>,
+    /// Capacity of the bank's volatile transfer replay cache.
+    pub replay_cache: usize,
+    /// Seed for the deterministic per-link fault streams.
+    pub fault_seed: u64,
+    /// Clock driving breaker cooldowns (`ManualClock` for DES-style
+    /// reproducibility, `WallClock` for real time).
+    pub clock: Arc<dyn Clock>,
+    /// `net.*` instruments; `None` keeps the export free of them.
+    pub telemetry: Option<NetInstruments>,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            bank_link: LinkProfile::PERFECT,
+            auctioneer_link: LinkProfile::PERFECT,
+            queue: QueueConfig::default(),
+            breaker: None,
+            replay_cache: DEFAULT_REPLAY_CACHE,
+            fault_seed: 0,
+            clock: Arc::new(WallClock::new()),
+            telemetry: None,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A chaos-suite configuration: uniformly lossy links at probability
+    /// `p`, a small bounded mailbox, and default breakers.
+    pub fn chaos(p: f64, fault_seed: u64, capacity: usize, policy: ShedPolicy) -> NetConfig {
+        NetConfig {
+            bank_link: LinkProfile::lossy(p),
+            auctioneer_link: LinkProfile::lossy(p),
+            queue: QueueConfig::bounded(capacity, policy),
+            breaker: Some(BreakerConfig::default()),
+            fault_seed,
+            ..NetConfig::default()
+        }
+    }
+}
+
+/// Client-side half of the overload layer for one endpoint: shared
+/// mailbox gate, shared breaker, `net.*` instruments, and the jitter salt
+/// for `retry_after` back-off.
+#[derive(Clone, Default)]
+struct ClientNet {
+    gate: Option<QueueGate>,
+    breaker: Option<CircuitBreaker>,
+    net: Option<NetInstruments>,
+    jitter_salt: u64,
+}
+
 // ------------------------------------------------------------- errors
 
 /// Why a live-service request failed.
@@ -65,6 +159,17 @@ pub enum ServiceError {
     Disconnected,
     /// The service is healthy but the bank rejected the operation.
     Rejected(BankError),
+    /// The service mailbox is full and shed this request; retry no sooner
+    /// than `retry_after` (clients back off with seeded jitter).
+    Overloaded {
+        /// Back-off hint from the service's [`QueueConfig`].
+        retry_after: Duration,
+    },
+    /// The endpoint's circuit breaker is open: recent calls failed at or
+    /// above the configured rate, so this one fast-failed without being
+    /// sent. Callers should fall back to degraded mode until the breaker's
+    /// half-open probe succeeds.
+    CircuitOpen,
 }
 
 impl fmt::Display for ServiceError {
@@ -73,6 +178,12 @@ impl fmt::Display for ServiceError {
             ServiceError::Timeout => write!(f, "service did not reply within the deadline"),
             ServiceError::Disconnected => write!(f, "service is no longer running"),
             ServiceError::Rejected(e) => write!(f, "request rejected: {e}"),
+            ServiceError::Overloaded { retry_after } => {
+                write!(f, "service overloaded; retry after {retry_after:?}")
+            }
+            ServiceError::CircuitOpen => {
+                write!(f, "circuit breaker open; request fast-failed")
+            }
         }
     }
 }
@@ -87,6 +198,7 @@ impl From<BankError> for ServiceError {
 
 // ---------------------------------------------------------------- bank
 
+#[derive(Clone)]
 enum BankRequest {
     OpenAccount {
         owner: PublicKey,
@@ -130,6 +242,7 @@ pub struct BankClient {
     retries: u32,
     next_request: Arc<AtomicU64>,
     telemetry: Option<ServiceInstruments>,
+    net: ClientNet,
 }
 
 /// The bank service thread.
@@ -137,20 +250,45 @@ pub struct BankService {
     handle: Option<JoinHandle<Bank>>,
     tx: Sender<BankRequest>,
     next_request: Arc<AtomicU64>,
+    client_net: ClientNet,
+}
+
+/// Messages exempt from link faults and shedding on the bank link.
+fn bank_is_control(req: &BankRequest) -> bool {
+    matches!(
+        req,
+        BankRequest::Shutdown | BankRequest::InjectDropNextReply
+    )
 }
 
 /// Runs bank requests against owned state, deduplicating transfers by
-/// request id so a retried transfer replays its recorded outcome.
+/// request id. Idempotency is two-layered: the bounded [`ReplayCache`]
+/// replays the recorded outcome for recent duplicates byte-for-byte, and
+/// the bank's durable applied-request-id set refuses to re-execute ids
+/// the cache has already evicted (surfacing
+/// [`BankError::DuplicateRequest`] instead of moving money twice).
 fn bank_service_loop(
     mut bank: Bank,
-    rx: std::sync::mpsc::Receiver<BankRequest>,
+    mut transport: ServiceTransport<BankRequest>,
+    replay_capacity: usize,
 ) -> Bank {
-    let mut completed: HashMap<u64, Result<Receipt, BankError>> = HashMap::new();
-    let mut drop_next_reply = false;
-    while let Ok(req) = rx.recv() {
-        // Consume the drop-next flag: the request executes, the reply is
-        // discarded (the sender side sees a timeout, not an error).
-        let lose_reply = std::mem::take(&mut drop_next_reply);
+    let mut completed: ReplayCache<Result<Receipt, BankError>> =
+        ReplayCache::new(replay_capacity);
+    while let Some(req) = transport.recv() {
+        // Control messages carry no reply: handle them before drawing any
+        // reply-loss decision, so an injected drop cannot be consumed by
+        // the injection message itself.
+        match req {
+            BankRequest::Shutdown => break,
+            BankRequest::InjectDropNextReply => {
+                transport.inject_drop_next_reply();
+                continue;
+            }
+            _ => {}
+        }
+        // The request executes either way; a lost reply is invisible to
+        // the service (the sender side sees a timeout, not an error).
+        let lose_reply = transport.reply_lost();
         macro_rules! respond {
             ($reply:expr, $value:expr) => {{
                 let v = $value;
@@ -173,10 +311,29 @@ fn bank_service_loop(
                 amount,
                 reply,
             } => {
-                let outcome = completed
-                    .entry(request_id)
-                    .or_insert_with(|| bank.transfer(from, to, amount))
-                    .clone();
+                let outcome = if let Some(prev) = completed.get(request_id) {
+                    if let Some(net) = transport.telemetry() {
+                        net.dup_suppressed.inc();
+                    }
+                    prev.clone()
+                } else if bank.is_request_applied(request_id) {
+                    // Evicted from the cache but durably applied: refuse
+                    // to re-execute rather than double-debit.
+                    if let Some(net) = transport.telemetry() {
+                        net.dup_suppressed.inc();
+                    }
+                    Err(BankError::DuplicateRequest(request_id))
+                } else {
+                    let outcome = bank.transfer(from, to, amount);
+                    // Only successes are durably marked: a failed transfer
+                    // moved no money and is safe to re-execute after the
+                    // volatile cache forgets it.
+                    if outcome.is_ok() {
+                        bank.record_request_applied(request_id);
+                    }
+                    completed.insert(request_id, outcome.clone());
+                    outcome
+                };
                 respond!(reply, outcome);
             }
             BankRequest::Balance { id, reply } => {
@@ -188,25 +345,80 @@ fn bank_service_loop(
             BankRequest::TotalMoney { reply } => {
                 respond!(reply, bank.total_money());
             }
-            BankRequest::InjectDropNextReply => drop_next_reply = true,
-            BankRequest::Shutdown => break,
+            // Handled before the reply-loss draw above.
+            BankRequest::InjectDropNextReply | BankRequest::Shutdown => {}
         }
     }
     bank
 }
 
 impl BankService {
-    /// Spawn the service, taking ownership of `bank`.
+    /// Spawn the service, taking ownership of `bank`, on a perfect link
+    /// with an unbounded mailbox (the historical behaviour).
     pub fn spawn(bank: Bank) -> BankService {
+        BankService::spawn_with_net(bank, &NetConfig::default())
+    }
+
+    /// Spawn with an overload/loss configuration (`DESIGN.md` §12).
+    pub fn spawn_with_net(bank: Bank, net: &NetConfig) -> BankService {
+        BankService::spawn_inner(bank, net, Arc::new(AtomicU64::new(1)))
+    }
+
+    /// Spawn with an existing request-id counter — used by
+    /// [`LiveMarket::restart_bank`] so ids consumed before a crash (now
+    /// durably marked applied) are never reissued to new transfers.
+    fn spawn_inner(
+        bank: Bank,
+        net: &NetConfig,
+        next_request: Arc<AtomicU64>,
+    ) -> BankService {
         let (tx, rx) = channel::<BankRequest>();
+        let gate = (net.queue.capacity.is_some() || net.telemetry.is_some()).then(|| {
+            QueueGate::new(
+                net.queue,
+                net.telemetry.as_ref().map(|t| t.queue_depth_gauge("bank")),
+            )
+        });
+        let fault_seed = net.fault_seed ^ BANK_FAULT_STREAM;
+        let transport = ServiceTransport::new(
+            rx,
+            net.bank_link,
+            fault_seed,
+            gate.clone(),
+            net.telemetry.clone(),
+            bank_is_control,
+        );
+        let replay_capacity = net.replay_cache;
         let handle = std::thread::Builder::new()
             .name("tycoon-bank".into())
-            .spawn(move || bank_service_loop(bank, rx))
+            .spawn(move || bank_service_loop(bank, transport, replay_capacity))
             .expect("spawn bank service");
+        let breaker = net
+            .breaker
+            .map(|cfg| CircuitBreaker::new(cfg, net.clock.clone(), net.telemetry.clone()));
         BankService {
             handle: Some(handle),
             tx,
-            next_request: Arc::new(AtomicU64::new(1)),
+            next_request,
+            client_net: ClientNet {
+                gate,
+                breaker,
+                net: net.telemetry.clone(),
+                jitter_salt: fault_seed,
+            },
+        }
+    }
+
+    /// Send a control message, keeping the mailbox depth accounting
+    /// balanced (control bypasses shedding but is still received).
+    fn send_control(&self, req: BankRequest) {
+        if let Some(gate) = &self.client_net.gate {
+            gate.count_send();
+            if self.tx.send(req).is_err() {
+                gate.cancel_send();
+            }
+        } else {
+            let _ = self.tx.send(req);
         }
     }
 
@@ -218,12 +430,13 @@ impl BankService {
             retries: DEFAULT_CALL_RETRIES,
             next_request: Arc::clone(&self.next_request),
             telemetry: None,
+            net: self.client_net.clone(),
         }
     }
 
     /// Stop the service and recover the bank state.
     pub fn shutdown(mut self) -> Bank {
-        let _ = self.tx.send(BankRequest::Shutdown);
+        self.send_control(BankRequest::Shutdown);
         self.handle
             .take()
             .expect("not yet shut down")
@@ -234,9 +447,11 @@ impl BankService {
     /// Kill the service in place, **discarding** its in-memory state — a
     /// simulated crash. Clients holding this service's channel get
     /// [`ServiceError::Disconnected`] from now on. Only state the bank
-    /// journaled to a [`SharedJournal`] survives, via [`Bank::recover`].
+    /// journaled to a [`SharedJournal`] survives, via [`Bank::recover`] —
+    /// the books, the spent-token set, and the applied-request-id set;
+    /// the volatile transfer-outcome cache does not.
     fn kill(&mut self) {
-        let _ = self.tx.send(BankRequest::Shutdown);
+        self.send_control(BankRequest::Shutdown);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -246,7 +461,7 @@ impl BankService {
 impl Drop for BankService {
     fn drop(&mut self) {
         if let Some(h) = self.handle.take() {
-            let _ = self.tx.send(BankRequest::Shutdown);
+            self.send_control(BankRequest::Shutdown);
             let _ = h.join();
         }
     }
@@ -260,18 +475,77 @@ impl Drop for BankService {
 /// like a timeout: if the service really is gone, the re-send itself fails
 /// and surfaces [`ServiceError::Disconnected`]. Only a dead request
 /// channel is proof of disconnection.
+///
+/// The overload layer wraps this: an open circuit breaker fast-fails with
+/// [`ServiceError::CircuitOpen`] before anything is sent, a full mailbox
+/// under `RejectNew` sheds the attempt and backs off with seeded jitter,
+/// and every transport-level outcome feeds the breaker's failure window.
 fn call_with_retry<T, R>(
     tx: &Sender<R>,
     timeout: Duration,
     retries: u32,
     telemetry: Option<&ServiceInstruments>,
+    net: &ClientNet,
+    make: impl FnMut(Sender<T>) -> R,
+) -> Result<T, ServiceError> {
+    if let Some(b) = &net.breaker {
+        if !b.admit() {
+            return Err(ServiceError::CircuitOpen);
+        }
+    }
+    let result = call_attempts(tx, timeout, retries, telemetry, net, make);
+    if let Some(b) = &net.breaker {
+        // Every error here is transport-level (timeout, disconnect,
+        // overload) — application-level rejections never reach this
+        // function as `Err`, so they correctly count as successes.
+        if result.is_ok() {
+            b.record_success();
+        } else {
+            b.record_failure();
+        }
+    }
+    result
+}
+
+/// The retry loop of [`call_with_retry`], without the breaker wrapper.
+fn call_attempts<T, R>(
+    tx: &Sender<R>,
+    timeout: Duration,
+    retries: u32,
+    telemetry: Option<&ServiceInstruments>,
+    net: &ClientNet,
     mut make: impl FnMut(Sender<T>) -> R,
 ) -> Result<T, ServiceError> {
     let started_micros = telemetry.map(|t| t.now_micros());
     let mut attempt = 0;
     loop {
+        if let Some(gate) = &net.gate {
+            if let Err(retry_after) = gate.try_enqueue() {
+                if let Some(n) = &net.net {
+                    n.shed.inc();
+                    n.shed_depth.record(gate.depth() as f64);
+                }
+                attempt += 1;
+                if attempt > retries {
+                    return Err(ServiceError::Overloaded { retry_after });
+                }
+                if let Some(t) = telemetry {
+                    t.retries.inc();
+                }
+                std::thread::sleep(jittered_backoff(
+                    retry_after,
+                    OVERLOAD_BACKOFF_JITTER,
+                    net.jitter_salt,
+                    attempt,
+                ));
+                continue;
+            }
+        }
         let (reply, rx) = channel();
         if tx.send(make(reply)).is_err() {
+            if let Some(gate) = &net.gate {
+                gate.cancel_send();
+            }
             if let Some(t) = telemetry {
                 t.disconnects.inc();
             }
@@ -307,6 +581,7 @@ impl BankClient {
             self.timeout,
             self.retries,
             self.telemetry.as_ref(),
+            &self.net,
             make,
         )
     }
@@ -398,14 +673,21 @@ impl BankClient {
     /// request (the request still executes). Used to exercise the
     /// timeout/retry and idempotent-replay paths in tests.
     pub fn inject_drop_next_reply(&self) -> Result<(), ServiceError> {
-        self.tx
-            .send(BankRequest::InjectDropNextReply)
-            .map_err(|_| ServiceError::Disconnected)
+        if let Some(gate) = &self.net.gate {
+            gate.count_send();
+        }
+        self.tx.send(BankRequest::InjectDropNextReply).map_err(|_| {
+            if let Some(gate) = &self.net.gate {
+                gate.cancel_send();
+            }
+            ServiceError::Disconnected
+        })
     }
 }
 
 // ---------------------------------------------------------- auctioneer
 
+#[derive(Clone)]
 enum AuctionRequest {
     PlaceBid {
         user: UserId,
@@ -449,63 +731,139 @@ pub struct AuctioneerClient {
     timeout: Duration,
     retries: u32,
     telemetry: Option<ServiceInstruments>,
+    net: ClientNet,
 }
 
 struct AuctioneerService {
     handle: Option<JoinHandle<Auctioneer>>,
     tx: Sender<AuctionRequest>,
+    client_net: ClientNet,
+}
+
+/// Messages exempt from link faults and shedding on an auctioneer link.
+/// `Allocate` is control: the scatter-gather tick has its own timeout and
+/// dead-host machinery, and a shed tick reply must never be able to mark
+/// a healthy host crashed.
+fn auction_is_control(req: &AuctionRequest) -> bool {
+    matches!(
+        req,
+        AuctionRequest::Shutdown | AuctionRequest::Allocate { .. }
+    )
+}
+
+/// Runs auction requests against owned state behind the lossy transport.
+fn auction_service_loop(
+    mut auctioneer: Auctioneer,
+    mut transport: ServiceTransport<AuctionRequest>,
+) -> Auctioneer {
+    while let Some(req) = transport.recv() {
+        if matches!(req, AuctionRequest::Shutdown) {
+            break;
+        }
+        // Control replies (the tick's `Allocate`) are never lost; drawing
+        // a loss for them would let the link falsely kill a host.
+        let lose_reply = !auction_is_control(&req) && transport.reply_lost();
+        macro_rules! respond {
+            ($reply:expr, $value:expr) => {{
+                let v = $value;
+                if !lose_reply {
+                    let _ = $reply.send(v);
+                }
+            }};
+        }
+        match req {
+            AuctionRequest::PlaceBid {
+                user,
+                rate,
+                escrow,
+                reply,
+            } => {
+                respond!(reply, auctioneer.place_bid(user, rate, escrow));
+            }
+            AuctionRequest::CancelBid { handle, reply } => {
+                respond!(reply, auctioneer.cancel_bid(handle));
+            }
+            AuctionRequest::TopUp {
+                handle,
+                extra,
+                reply,
+            } => {
+                respond!(reply, auctioneer.top_up(handle, extra));
+            }
+            AuctionRequest::UpdateRate { handle, rate, reply } => {
+                respond!(reply, auctioneer.update_rate(handle, rate));
+            }
+            AuctionRequest::Quote { user, reply } => {
+                respond!(
+                    reply,
+                    (auctioneer.spot_price(), auctioneer.others_rate(user))
+                );
+            }
+            AuctionRequest::Allocate { dt_secs, reply } => {
+                respond!(reply, auctioneer.allocate(dt_secs));
+            }
+            AuctionRequest::Earned { reply } => {
+                respond!(reply, auctioneer.earned());
+            }
+            AuctionRequest::Shutdown => {}
+        }
+    }
+    auctioneer
 }
 
 impl AuctioneerService {
-    fn spawn(spec: HostSpec) -> AuctioneerService {
+    fn spawn(spec: HostSpec, net: &NetConfig) -> AuctioneerService {
         let (tx, rx) = channel::<AuctionRequest>();
+        let host = spec.id;
+        let gate = (net.queue.capacity.is_some() || net.telemetry.is_some()).then(|| {
+            QueueGate::new(
+                net.queue,
+                net.telemetry
+                    .as_ref()
+                    .map(|t| t.queue_depth_gauge(&format!("{host}"))),
+            )
+        });
+        let fault_seed = net.fault_seed
+            ^ AUCTIONEER_FAULT_STREAM
+            ^ u64::from(host.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let transport = ServiceTransport::new(
+            rx,
+            net.auctioneer_link,
+            fault_seed,
+            gate.clone(),
+            net.telemetry.clone(),
+            auction_is_control,
+        );
         let name = format!("tycoon-{}", spec.id);
         let handle = std::thread::Builder::new()
             .name(name)
-            .spawn(move || {
-                let mut auctioneer = Auctioneer::new(spec);
-                while let Ok(req) = rx.recv() {
-                    match req {
-                        AuctionRequest::PlaceBid {
-                            user,
-                            rate,
-                            escrow,
-                            reply,
-                        } => {
-                            let _ = reply.send(auctioneer.place_bid(user, rate, escrow));
-                        }
-                        AuctionRequest::CancelBid { handle, reply } => {
-                            let _ = reply.send(auctioneer.cancel_bid(handle));
-                        }
-                        AuctionRequest::TopUp {
-                            handle,
-                            extra,
-                            reply,
-                        } => {
-                            let _ = reply.send(auctioneer.top_up(handle, extra));
-                        }
-                        AuctionRequest::UpdateRate { handle, rate, reply } => {
-                            let _ = reply.send(auctioneer.update_rate(handle, rate));
-                        }
-                        AuctionRequest::Quote { user, reply } => {
-                            let _ = reply
-                                .send((auctioneer.spot_price(), auctioneer.others_rate(user)));
-                        }
-                        AuctionRequest::Allocate { dt_secs, reply } => {
-                            let _ = reply.send(auctioneer.allocate(dt_secs));
-                        }
-                        AuctionRequest::Earned { reply } => {
-                            let _ = reply.send(auctioneer.earned());
-                        }
-                        AuctionRequest::Shutdown => break,
-                    }
-                }
-                auctioneer
-            })
+            .spawn(move || auction_service_loop(Auctioneer::new(spec), transport))
             .expect("spawn auctioneer service");
+        let breaker = net
+            .breaker
+            .map(|cfg| CircuitBreaker::new(cfg, net.clock.clone(), net.telemetry.clone()));
         AuctioneerService {
             handle: Some(handle),
             tx,
+            client_net: ClientNet {
+                gate,
+                breaker,
+                net: net.telemetry.clone(),
+                jitter_salt: fault_seed,
+            },
+        }
+    }
+
+    /// Send a control message, keeping the mailbox depth accounting
+    /// balanced (control bypasses shedding but is still received).
+    fn send_control(&self, req: AuctionRequest) {
+        if let Some(gate) = &self.client_net.gate {
+            gate.count_send();
+            if self.tx.send(req).is_err() {
+                gate.cancel_send();
+            }
+        } else {
+            let _ = self.tx.send(req);
         }
     }
 }
@@ -517,6 +875,7 @@ impl AuctioneerClient {
             self.timeout,
             self.retries,
             self.telemetry.as_ref(),
+            &self.net,
             make,
         )
     }
@@ -601,16 +960,27 @@ pub struct LiveMarket {
     dead: Mutex<BTreeSet<HostId>>,
     tick_timeout: Duration,
     telemetry: Option<ServiceInstruments>,
+    net: NetConfig,
+    /// Bumped on every bank restart so the replacement service draws a
+    /// fresh link-fault schedule instead of replaying the crashed one's.
+    bank_generation: u64,
 }
 
 impl LiveMarket {
     /// Spawn a live market: one bank service and one auctioneer service
-    /// per host.
+    /// per host, on perfect links with unbounded mailboxes.
     pub fn spawn(seed: &[u8], hosts: Vec<HostSpec>) -> LiveMarket {
-        let bank = BankService::spawn(Bank::new(seed));
+        LiveMarket::spawn_with_net(seed, hosts, NetConfig::default())
+    }
+
+    /// [`LiveMarket::spawn`] with an overload/loss configuration: every
+    /// client→service link gets `net`'s fault profile, bounded mailbox and
+    /// circuit breaker (`DESIGN.md` §12).
+    pub fn spawn_with_net(seed: &[u8], hosts: Vec<HostSpec>, net: NetConfig) -> LiveMarket {
+        let bank = BankService::spawn_with_net(Bank::new(seed), &net);
         let auctioneers = hosts
             .into_iter()
-            .map(|spec| (spec.id, AuctioneerService::spawn(spec)))
+            .map(|spec| (spec.id, AuctioneerService::spawn(spec, &net)))
             .collect();
         LiveMarket {
             bank,
@@ -618,6 +988,8 @@ impl LiveMarket {
             dead: Mutex::new(BTreeSet::new()),
             tick_timeout: DEFAULT_TICK_TIMEOUT,
             telemetry: None,
+            net,
+            bank_generation: 0,
         }
     }
 
@@ -626,16 +998,28 @@ impl LiveMarket {
     /// handle is what makes [`LiveMarket::restart_bank`] possible after a
     /// [`LiveMarket::kill_bank`]).
     pub fn spawn_durable(seed: &[u8], hosts: Vec<HostSpec>, journal: SharedJournal) -> LiveMarket {
-        let mut live = LiveMarket::spawn(seed, hosts);
+        LiveMarket::spawn_durable_with_net(seed, hosts, journal, NetConfig::default())
+    }
+
+    /// [`LiveMarket::spawn_durable`] with an overload/loss configuration —
+    /// the chaos-suite entry point: lossy links, bounded mailboxes and
+    /// breakers over a crash-recoverable bank.
+    pub fn spawn_durable_with_net(
+        seed: &[u8],
+        hosts: Vec<HostSpec>,
+        journal: SharedJournal,
+        net: NetConfig,
+    ) -> LiveMarket {
+        let mut live = LiveMarket::spawn_with_net(seed, hosts, net);
         let mut bank = Bank::new(seed);
         bank.attach_ledger(journal);
-        live.bank = BankService::spawn(bank);
+        live.bank = BankService::spawn_with_net(bank, &live.net);
         live
     }
 
     /// Fault injection: crash the bank service. The thread is stopped and
-    /// its in-memory state — books **and** the transfer request-id dedup
-    /// map — is discarded. Clients created before the kill fail with
+    /// its in-memory state — books **and** the volatile transfer-outcome
+    /// cache — is discarded. Clients created before the kill fail with
     /// [`ServiceError::Disconnected`]; fresh clients from
     /// [`LiveMarket::bank`] reach the replacement only after
     /// [`LiveMarket::restart_bank`].
@@ -647,11 +1031,14 @@ impl LiveMarket {
     /// `snapshot + WAL`, the journal is re-attached (checkpointing), and
     /// a fresh service thread is spawned.
     ///
-    /// Availability caveat, by design: the request-id dedup map is *not*
+    /// Transfer idempotency survives the crash: applied request ids are
     /// journaled, so a client retrying a transfer whose first execution
-    /// landed just before the crash can double-execute it after the
-    /// restart. The durable token spent-set still prevents the
-    /// grid-level harm (double token redemption); see `DESIGN.md` §11.
+    /// landed just before the crash gets
+    /// [`BankError::DuplicateRequest`] from the recovered bank rather
+    /// than a double-execution. (The recorded *outcome* is volatile — the
+    /// retry sees the duplicate rejection, not the original receipt; see
+    /// `DESIGN.md` §12.) The request-id counter is preserved across the
+    /// restart so fresh transfers never collide with pre-crash ids.
     pub fn restart_bank(
         &mut self,
         seed: &[u8],
@@ -659,7 +1046,11 @@ impl LiveMarket {
     ) -> Result<RecoveryReport, RecoverError> {
         let (mut bank, report) = Bank::recover(seed, journal)?;
         bank.attach_ledger(journal.clone());
-        self.bank = BankService::spawn(bank);
+        self.bank_generation += 1;
+        let mut net = self.net.clone();
+        net.fault_seed ^= self.bank_generation.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let next_request = Arc::clone(&self.bank.next_request);
+        self.bank = BankService::spawn_inner(bank, &net, next_request);
         Ok(report)
     }
 
@@ -693,6 +1084,7 @@ impl LiveMarket {
                 timeout: DEFAULT_CALL_TIMEOUT,
                 retries: DEFAULT_CALL_RETRIES,
                 telemetry: self.telemetry.clone(),
+                net: svc.client_net.clone(),
             })
     }
 
@@ -714,7 +1106,7 @@ impl LiveMarket {
         let Some((_, svc)) = self.auctioneers.iter_mut().find(|(id, _)| *id == host) else {
             return false;
         };
-        let _ = svc.tx.send(AuctionRequest::Shutdown);
+        svc.send_control(AuctionRequest::Shutdown);
         if let Some(h) = svc.handle.take() {
             let _ = h.join();
         }
@@ -739,9 +1131,15 @@ impl LiveMarket {
                 .filter(|(id, _)| !dead.contains(id))
                 .filter_map(|(id, svc)| {
                     let (reply, rx) = channel();
+                    if let Some(gate) = &svc.client_net.gate {
+                        gate.count_send();
+                    }
                     match svc.tx.send(AuctionRequest::Allocate { dt_secs, reply }) {
                         Ok(()) => Some((*id, rx)),
                         Err(_) => {
+                            if let Some(gate) = &svc.client_net.gate {
+                                gate.cancel_send();
+                            }
                             newly_dead.push(*id);
                             None
                         }
@@ -766,7 +1164,7 @@ impl LiveMarket {
     /// Shut all services down, recovering the bank for inspection.
     pub fn shutdown(mut self) -> Bank {
         for (_, svc) in self.auctioneers.iter_mut() {
-            let _ = svc.tx.send(AuctionRequest::Shutdown);
+            svc.send_control(AuctionRequest::Shutdown);
         }
         for (_, svc) in self.auctioneers.iter_mut() {
             if let Some(h) = svc.handle.take() {

@@ -30,6 +30,19 @@
 //! | `service.retries`     | counter   | re-sends after a lost/late reply       |
 //! | `service.disconnects` | counter   | calls that found the service dead      |
 //!
+//! Overload / lossy-transport metrics (`crate::transport`), registered
+//! lazily — only runs that opt into a [`NetInstruments`] export them, so
+//! fault-free runs keep their historical byte-identical JSONL:
+//!
+//! | name                        | kind      | meaning                            |
+//! |-----------------------------|-----------|------------------------------------|
+//! | `net.shed`                  | counter   | requests shed by a bounded mailbox |
+//! | `net.breaker_open`          | counter   | circuit-breaker trips              |
+//! | `net.dup_suppressed`        | counter   | duplicate transfers deduplicated   |
+//! | `net.drops`                 | counter   | messages lost by a lossy link      |
+//! | `net.shed_depth`            | histogram | queue depth observed at shed time  |
+//! | `net.queue_depth.<service>` | gauge     | live mailbox depth per service     |
+//!
 //! Durable-ledger metrics (`crate::ledger`, `crate::bank`):
 //!
 //! | name                      | kind    | meaning                               |
@@ -160,6 +173,45 @@ impl ServiceInstruments {
         let mut copy = self.clone();
         copy.request_us = self.registry.histogram_shard("service.request_us");
         copy
+    }
+}
+
+/// Instrument handles for the overload-and-loss layer
+/// ([`crate::transport`]): shed / breaker / dedup / drop counters plus
+/// per-service queue-depth gauges. Constructing one registers the `net.*`
+/// instruments, so only runs that opt into the overload layer carry them
+/// in their export.
+#[derive(Clone)]
+pub struct NetInstruments {
+    registry: Registry,
+    /// `net.shed`
+    pub shed: Counter,
+    /// `net.breaker_open`
+    pub breaker_open: Counter,
+    /// `net.dup_suppressed`
+    pub dup_suppressed: Counter,
+    /// `net.drops`
+    pub drops: Counter,
+    /// `net.shed_depth`
+    pub shed_depth: Histogram,
+}
+
+impl NetInstruments {
+    /// Resolve the overload-layer instruments against `registry`.
+    pub fn new(registry: &Registry) -> NetInstruments {
+        NetInstruments {
+            registry: registry.clone(),
+            shed: registry.counter("net.shed"),
+            breaker_open: registry.counter("net.breaker_open"),
+            dup_suppressed: registry.counter("net.dup_suppressed"),
+            drops: registry.counter("net.drops"),
+            shed_depth: registry.histogram("net.shed_depth"),
+        }
+    }
+
+    /// The `net.queue_depth.<service>` gauge for one service mailbox.
+    pub fn queue_depth_gauge(&self, service: &str) -> Gauge {
+        self.registry.gauge(&format!("net.queue_depth.{service}"))
     }
 }
 

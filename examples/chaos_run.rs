@@ -24,6 +24,8 @@ fn run(seed: u64) -> ScenarioResult {
             bank_outages: 1,
             outage_len: SimDuration::from_minutes(5),
             bank_restarts: 1,
+            link_outages: 1,
+            link_outage_len: SimDuration::from_minutes(5),
         },
     );
     Scenario::builder()

@@ -28,6 +28,15 @@ crash-matrix:
     cargo test -q --test ledger_recovery
     cargo run --release --example crash_matrix -- 2006 7 42
 
+# Overload soak (DESIGN.md §12): the lossy-link / bounded-queue /
+# breaker / degraded-pricing suite, then the live soak demo replayed
+# under a fixed seed at two loss rates (each run checks money
+# conservation and exactly-once transfers internally).
+soak:
+    cargo test -q --test overload
+    cargo run --release --example overload_run -- 2006 10
+    cargo run --release --example overload_run -- 2006 25
+
 # Policy matrix: run every allocator (Tycoon + all baselines) through the
 # shared PolicyDriver test suites, then gate the decomposed JobManager
 # modules against regrowing into a god-file (≤ 600 lines each).
@@ -47,3 +56,8 @@ bench:
 # result to BENCH_telemetry.json at the repo root.
 bench-save:
     cargo bench -p gm-bench --bench telemetry -- --save
+
+# Re-measure the overload-layer overhead budget (DESIGN.md §12) and
+# write the result to BENCH_overload.json at the repo root.
+bench-save-overload:
+    cargo bench -p gm-bench --bench overload -- --save

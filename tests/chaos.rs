@@ -115,6 +115,8 @@ fn random_fault_schedules_conserve_money_and_never_double_complete() {
             bank_outages: g.usize_in(0, 1) as u32,
             outage_len: SimDuration::from_minutes(g.usize_in(2, 10) as u64),
             bank_restarts: g.usize_in(0, 2) as u32,
+            link_outages: g.usize_in(0, 2) as u32,
+            link_outage_len: SimDuration::from_minutes(g.usize_in(2, 10) as u64),
         };
         let plan = FaultPlan::generate(g.u64(), cfg);
         let r = Scenario::builder()
