@@ -40,11 +40,13 @@
 //! * [`gm_telemetry`] — deterministic metrics + tracing ([`telemetry`]).
 //! * [`gm_des`] / [`gm_numeric`] — simulation kernel and numerics.
 
+pub mod mc;
 pub mod policy;
 pub mod report;
 pub mod scenario;
 
 pub use gm_core::{AllocationPolicy, PolicyDriver, PolicyError};
+pub use mc::{chaos_runner, chaos_scenario, ChaosConfig, ChaosMetrics};
 pub use policy::{TycoonJobSetup, TycoonPolicy};
 pub use report::{group_rows, render_table, GroupRow};
 pub use scenario::{Scenario, ScenarioResult, UserReport, UserSetup};

@@ -1,0 +1,244 @@
+//! Monte-Carlo chaos scenarios over the full market stack.
+//!
+//! This is the glue between the generic scenario runner
+//! ([`gm_core::MonteCarlo`], DESIGN.md §13) and the paper's end-to-end
+//! [`Scenario`]: one seed deterministically derives a whole world — host
+//! jitter, a randomly generated [`FaultPlan`] (crashes, VM failures,
+//! bank outages and restarts, link outages), and the market run itself — and the
+//! extracted [`ChaosMetrics`] feed the Student-t robustness report.
+//!
+//! The division of labour: [`chaos_scenario`] is the pure
+//! `seed → metrics` function handed to [`MonteCarlo::run`]; a scenario
+//! that fails its internal invariants (a `GridError`, a conservation or
+//! recovery-invariant violation) **panics**, which the runner quarantines
+//! as a [`gm_core::ScenarioFailure`] carrying the seed — exactly the
+//! replay key `examples/crash_matrix.rs` and `just mc-chaos` print.
+
+use gm_core::{jain_fairness, price_volatility, MonteCarlo};
+use gm_des::{FaultGenConfig, FaultPlan, SimDuration, SimTime};
+
+use crate::scenario::{Scenario, ScenarioResult};
+
+/// Knobs of one randomized chaos world. Everything is derived
+/// deterministically from the scenario seed; the config only sets the
+/// *distribution* shared by every seed in a batch.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Testbed hosts.
+    pub hosts: u32,
+    /// Competing users (equal funding — Table 1's symmetric setup).
+    pub users: u32,
+    /// Per-user token funding in credits.
+    pub funding: f64,
+    /// Sub-jobs per user.
+    pub subjobs: u32,
+    /// Minutes per chunk at a full vCPU.
+    pub chunk_minutes: f64,
+    /// Job deadline in minutes.
+    pub deadline_minutes: u64,
+    /// Simulation horizon in hours.
+    pub horizon_hours: u64,
+    /// Per-host capacity jitter in `[0, 1)`.
+    pub heterogeneity: f64,
+    /// Host crash/recovery pairs per run.
+    pub crashes: u32,
+    /// Mean host downtime in seconds.
+    pub mean_downtime_secs: u64,
+    /// Standalone VM failures per run.
+    pub vm_failures: u32,
+    /// Bank unavailability windows per run.
+    pub bank_outages: u32,
+    /// Length of each bank outage in seconds.
+    pub outage_secs: u64,
+    /// Bank kill + journal-recovery events per run.
+    pub bank_restarts: u32,
+    /// Network partitions (lost fault deliveries) per run.
+    pub link_outages: u32,
+    /// Length of each link outage in seconds.
+    pub link_outage_secs: u64,
+}
+
+impl Default for ChaosConfig {
+    /// A small-but-real world: every fault class fires, runs stay under
+    /// ~50 ms each so thousand-seed sweeps finish in seconds.
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            hosts: 6,
+            users: 3,
+            funding: 80.0,
+            subjobs: 4,
+            chunk_minutes: 10.0,
+            deadline_minutes: 180,
+            horizon_hours: 12,
+            heterogeneity: 0.1,
+            crashes: 2,
+            mean_downtime_secs: 1_200,
+            vm_failures: 1,
+            bank_outages: 1,
+            outage_secs: 300,
+            bank_restarts: 1,
+            link_outages: 1,
+            link_outage_secs: 300,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// The fault-schedule distribution this config induces. Faults are
+    /// confined to the first half of the horizon so recovery has room to
+    /// finish before the run is scored.
+    pub fn fault_gen(&self) -> FaultGenConfig {
+        FaultGenConfig {
+            hosts: self.hosts,
+            horizon: SimTime::ZERO + SimDuration::from_hours(self.horizon_hours) / 2,
+            crashes: self.crashes,
+            mean_downtime: SimDuration::from_secs(self.mean_downtime_secs),
+            vm_failures: self.vm_failures,
+            bank_outages: self.bank_outages,
+            outage_len: SimDuration::from_secs(self.outage_secs),
+            bank_restarts: self.bank_restarts,
+            link_outages: self.link_outages,
+            link_outage_len: SimDuration::from_secs(self.link_outage_secs),
+        }
+    }
+
+    /// Build the fully assembled (but not yet run) scenario for `seed`.
+    pub fn scenario(&self, seed: u64) -> Scenario {
+        Scenario::builder()
+            .seed(seed)
+            .hosts(self.hosts)
+            .equal_users(self.users, self.funding)
+            .chunk_minutes(self.chunk_minutes)
+            .deadline_minutes(self.deadline_minutes)
+            .horizon_hours(self.horizon_hours)
+            .heterogeneity(self.heterogeneity)
+            .faults(FaultPlan::generate(seed, self.fault_gen()))
+    }
+}
+
+/// The robustness metrics extracted from one chaos run — the columns of
+/// the Monte-Carlo report.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosMetrics {
+    /// `|total_minted − total_money|` at the end of the run; the
+    /// conservation invariant says this is exactly 0.
+    pub conservation_residual: f64,
+    /// Jain fairness index over the users' average node allocations.
+    pub fairness: f64,
+    /// Mean per-host spot-price coefficient of variation.
+    pub volatility: f64,
+    /// Fraction of users whose job did not finish.
+    pub deadline_miss_rate: f64,
+    /// Sub-jobs interrupted by faults and successfully re-dispatched.
+    pub redispatched: f64,
+    /// Jobs stalled after exhausting the fault retry budget.
+    pub stalled_jobs: f64,
+    /// Fault events delivered from the generated schedule.
+    pub faults_injected: f64,
+    /// Simulated hours until the run settled.
+    pub makespan_hours: f64,
+}
+
+impl ChaosMetrics {
+    /// Extract the metric columns from a finished scenario.
+    pub fn of(r: &ScenarioResult) -> ChaosMetrics {
+        let nodes: Vec<f64> = r.users.iter().map(|u| u.avg_nodes).collect();
+        let mut vols: Vec<f64> = Vec::new();
+        for (_, series) in r.price_trace.iter() {
+            if let Some(v) = price_volatility(series.values()) {
+                vols.push(v);
+            }
+        }
+        let volatility = if vols.is_empty() {
+            0.0
+        } else {
+            vols.iter().sum::<f64>() / vols.len() as f64
+        };
+        let missed = r.users.iter().filter(|u| u.completed_subjobs < u.subjobs).count();
+        ChaosMetrics {
+            conservation_residual: (r.total_minted - r.total_money).abs(),
+            fairness: jain_fairness(&nodes),
+            volatility,
+            deadline_miss_rate: missed as f64 / r.users.len().max(1) as f64,
+            redispatched: r.fault_counters.redispatched as f64,
+            stalled_jobs: r.fault_counters.jobs_stalled_by_faults as f64,
+            faults_injected: r.faults_injected as f64,
+            makespan_hours: r.finished_at.as_hours_f64(),
+        }
+    }
+
+    /// The named metric row handed to [`gm_core::McBatch::report`].
+    pub fn rows(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("conservation_residual", self.conservation_residual),
+            ("fairness", self.fairness),
+            ("volatility", self.volatility),
+            ("deadline_miss_rate", self.deadline_miss_rate),
+            ("redispatched", self.redispatched),
+            ("stalled_jobs", self.stalled_jobs),
+            ("faults_injected", self.faults_injected),
+            ("makespan_hours", self.makespan_hours),
+        ]
+    }
+}
+
+/// Run one chaos world to completion and score it: the pure
+/// `seed → metrics` function behind every Monte-Carlo batch.
+///
+/// # Panics
+/// Panics (→ quarantine with this seed as the replay key) when the run
+/// errors out or violates a safety invariant: a [`crate::grid::GridError`],
+/// a recovery-bookkeeping violation, or a conservation residual at the
+/// machine-precision floor. Deadline misses and stalls are *metrics*, not
+/// panics — liveness degradation under chaos is data.
+pub fn chaos_scenario(seed: u64, cfg: &ChaosConfig) -> ChaosMetrics {
+    let result = match cfg.scenario(seed).run() {
+        Ok(r) => r,
+        Err(e) => panic!("grid error under chaos (seed {seed:#x}): {e}"),
+    };
+    assert!(
+        result.recovery_invariant_ok,
+        "recovery invariant violated (seed {seed:#x}): a sub-job was both completed and re-dispatched"
+    );
+    let m = ChaosMetrics::of(&result);
+    assert!(
+        m.conservation_residual < 1e-6,
+        "money not conserved (seed {seed:#x}): residual {}",
+        m.conservation_residual
+    );
+    m
+}
+
+/// A [`MonteCarlo`] runner pre-configured for chaos sweeps: replay hints
+/// point at `examples/crash_matrix.rs`, which accepts explicit seeds.
+pub fn chaos_runner(threads: usize) -> MonteCarlo {
+    MonteCarlo::new(threads)
+        .replay_hint("replay: cargo run --release --example crash_matrix -- {seed}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_seed_is_deterministic() {
+        let cfg = ChaosConfig::default();
+        let a = chaos_scenario(0xC0A0, &cfg);
+        let b = chaos_scenario(0xC0A0, &cfg);
+        assert_eq!(a.rows(), b.rows(), "same seed must give identical metrics");
+        assert!(a.faults_injected > 0.0, "the generated plan must fire");
+    }
+
+    #[test]
+    fn chaos_batch_conserves_money_across_seeds() {
+        let cfg = ChaosConfig::default();
+        let mc = chaos_runner(2).batch(4);
+        let seeds = gm_core::seed_stream(0xBEEF, 6);
+        let batch = mc.run(&seeds, move |s| chaos_scenario(s, &cfg));
+        assert_eq!(batch.completed().count(), 6, "no quarantines expected");
+        let report = batch.report(|m| m.rows());
+        let residual = report.metric("conservation_residual").unwrap();
+        assert_eq!(residual.max, 0.0, "conservation residual must be exactly 0");
+        assert!(report.metric("fairness").unwrap().mean > 0.3);
+    }
+}

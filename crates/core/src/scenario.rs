@@ -27,6 +27,27 @@ use crate::policy::{TycoonJobSetup, TycoonPolicy};
 /// hand-written schedules, so this is far more than any run produces.
 const TRACE_CAPACITY: usize = 4096;
 
+/// The seeded heterogeneous testbed every scenario runs on: `n` hosts
+/// with CPU speeds jittered uniformly in `base·(1 ± heterogeneity)`,
+/// deterministically from the seed. Exposed so baseline policies (which
+/// build their host lists outside [`Scenario`]) can run on the
+/// *identical* hardware world for a given seed — the Monte-Carlo
+/// per-policy comparison depends on it.
+pub fn jittered_hosts(seed: u64, n: u32, heterogeneity: f64) -> Vec<HostSpec> {
+    let mut host_rng = gm_des::Pcg32::new(seed, 0x05f5);
+    let mut specs = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let mut spec = HostSpec::testbed(i);
+        if heterogeneity > 0.0 {
+            use gm_des::Rng64;
+            let jitter = 1.0 + heterogeneity * (2.0 * host_rng.next_f64() - 1.0);
+            spec.cpu_mhz *= jitter;
+        }
+        specs.push(spec);
+    }
+    specs
+}
+
 /// Per-user scenario parameters.
 #[derive(Clone, Debug)]
 pub struct UserSetup {
@@ -219,17 +240,9 @@ impl Scenario {
         market.set_interval_secs(self.interval_secs);
         market.attach_telemetry(&registry, Arc::clone(&clock));
         market.attach_ledger(self.ledger.clone().unwrap_or_default());
-        let mut host_rng = gm_des::Pcg32::new(self.seed, 0x05f5);
-        let mut host_specs = Vec::with_capacity(self.hosts as usize);
-        for i in 0..self.hosts {
-            let mut spec = HostSpec::testbed(i);
-            if self.heterogeneity > 0.0 {
-                use gm_des::Rng64;
-                let jitter = 1.0 + self.heterogeneity * (2.0 * host_rng.next_f64() - 1.0);
-                spec.cpu_mhz *= jitter;
-            }
+        let host_specs = jittered_hosts(self.seed, self.hosts, self.heterogeneity);
+        for spec in &host_specs {
             market.add_host(spec.clone());
-            host_specs.push(spec);
         }
         let jm = JobManager::with_registry(&mut market, self.agent, self.vm, &registry);
 

@@ -19,5 +19,5 @@
 pub mod pool;
 pub mod wait_group;
 
-pub use pool::ThreadPool;
+pub use pool::{panic_message, ThreadPool};
 pub use wait_group::WaitGroup;

@@ -8,6 +8,10 @@
 //!
 //! Panics inside tasks are caught per-task; `par_map` re-raises the first
 //! one after all tasks settle, so a poisoned run cannot deadlock `wait`.
+//! Every caught panic — including ones `par_for_each_index` and `execute`
+//! absorb to keep the pool alive — is counted in
+//! [`ThreadPool::tasks_panicked`] and its payload logged to stderr, so a
+//! quarantined task is a diagnosable data point, never a silent no-op.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -28,6 +32,31 @@ struct Shared {
     queue: Mutex<Queue>,
     wakeup: Condvar,
     executed: AtomicUsize,
+    panicked: AtomicUsize,
+}
+
+/// Render a caught panic payload as the human-readable message
+/// (`panic!("…")` produces `&str` or `String`; anything else is opaque).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+impl Shared {
+    /// Count and log one caught panic.
+    fn note_panic(&self, payload: &(dyn std::any::Any + Send)) {
+        self.panicked.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "gm-exec[{}]: task panicked: {}",
+            std::thread::current().name().unwrap_or("?"),
+            panic_message(payload)
+        );
+    }
 }
 
 /// A fixed-size thread pool over a shared run queue.
@@ -51,6 +80,7 @@ impl ThreadPool {
             }),
             wakeup: Condvar::new(),
             executed: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
         });
 
         let handles = (0..threads)
@@ -83,9 +113,26 @@ impl ThreadPool {
         self.threads
     }
 
-    /// Total tasks executed so far (diagnostics).
+    /// Total tasks picked up for execution so far (diagnostics). Counted
+    /// when a worker dequeues the task, so once a batch call like
+    /// [`ThreadPool::par_map`] returns, every task of that batch is
+    /// included.
     pub fn tasks_executed(&self) -> usize {
         self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Total task panics caught so far (diagnostics).
+    ///
+    /// Covers every capture path: fire-and-forget [`execute`] tasks
+    /// caught by the worker loop, [`par_for_each_index`] tasks, and
+    /// [`par_map`] tasks (which are *also* re-raised to the caller after
+    /// the batch settles).
+    ///
+    /// [`execute`]: ThreadPool::execute
+    /// [`par_for_each_index`]: ThreadPool::par_for_each_index
+    /// [`par_map`]: ThreadPool::par_map
+    pub fn tasks_panicked(&self) -> usize {
+        self.shared.panicked.load(Ordering::Relaxed)
     }
 
     /// Submit a task for asynchronous execution.
@@ -104,6 +151,57 @@ impl ThreadPool {
         T: Send + 'static,
         U: Send + 'static,
     {
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        let out: Vec<U> = self
+            .par_map_impl(items, f)
+            .into_iter()
+            .filter_map(|res| match res {
+                Ok(v) => Some(v),
+                Err(p) => {
+                    if panic_payload.is_none() {
+                        panic_payload = Some(p);
+                    }
+                    None
+                }
+            })
+            .collect();
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
+        }
+        out
+    }
+
+    /// Map `f` over `items` in parallel, preserving order, quarantining
+    /// panics instead of propagating them: a panicking task yields
+    /// `Err(panic message)` in its slot while every other task completes.
+    /// Quarantined panics still count toward [`ThreadPool::tasks_panicked`]
+    /// and are logged once to stderr.
+    pub fn try_par_map<T, U>(
+        &self,
+        items: Vec<T>,
+        f: impl Fn(T) -> U + Send + Sync + 'static,
+    ) -> Vec<Result<U, String>>
+    where
+        T: Send + 'static,
+        U: Send + 'static,
+    {
+        self.par_map_impl(items, f)
+            .into_iter()
+            .map(|res| res.map_err(|p| panic_message(p.as_ref())))
+            .collect()
+    }
+
+    /// Shared fan-out for [`ThreadPool::par_map`] / [`ThreadPool::try_par_map`]:
+    /// slots are filled by *item index*, never completion order.
+    fn par_map_impl<T, U>(
+        &self,
+        items: Vec<T>,
+        f: impl Fn(T) -> U + Send + Sync + 'static,
+    ) -> Vec<std::thread::Result<U>>
+    where
+        T: Send + 'static,
+        U: Send + 'static,
+    {
         let n = items.len();
         if n == 0 {
             return Vec::new();
@@ -117,8 +215,12 @@ impl ThreadPool {
             let f = Arc::clone(&f);
             let tx = tx.clone();
             let wg = wg.clone();
+            let shared = Arc::clone(&self.shared);
             self.execute(move || {
                 let out = catch_unwind(AssertUnwindSafe(|| f(item)));
+                if let Err(p) = &out {
+                    shared.note_panic(p.as_ref());
+                }
                 // Receiver outlives all tasks (rx lives until fn end), but
                 // ignore send errors defensively if the caller panicked.
                 let _ = tx.send((i, out));
@@ -128,20 +230,9 @@ impl ThreadPool {
         drop(tx);
         wg.wait();
 
-        let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
-        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut slots: Vec<Option<std::thread::Result<U>>> = (0..n).map(|_| None).collect();
         for (i, res) in rx.iter() {
-            match res {
-                Ok(v) => slots[i] = Some(v),
-                Err(p) => {
-                    if panic_payload.is_none() {
-                        panic_payload = Some(p);
-                    }
-                }
-            }
-        }
-        if let Some(p) = panic_payload {
-            std::panic::resume_unwind(p);
+            slots[i] = Some(res);
         }
         slots
             .into_iter()
@@ -158,8 +249,11 @@ impl ThreadPool {
         for i in 0..n {
             let f = Arc::clone(&f);
             let wg = wg.clone();
+            let shared = Arc::clone(&self.shared);
             self.execute(move || {
-                let _ = catch_unwind(AssertUnwindSafe(|| f(i)));
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    shared.note_panic(p.as_ref());
+                }
                 wg.done();
             });
         }
@@ -194,8 +288,14 @@ fn worker_loop(shared: Arc<Shared>) {
                 q = shared.wakeup.wait(q).unwrap();
             }
         };
-        let _ = catch_unwind(AssertUnwindSafe(task));
+        // Count at dequeue, not completion: batch APIs (`par_map` et al.)
+        // are released by a WaitGroup *inside* the task, so counting after
+        // the task returns would let a caller observe n-1 for an n-task
+        // batch that has fully settled.
         shared.executed.fetch_add(1, Ordering::Relaxed);
+        if let Err(p) = catch_unwind(AssertUnwindSafe(task)) {
+            shared.note_panic(p.as_ref());
+        }
     }
 }
 
@@ -303,8 +403,90 @@ mod tests {
     }
 
     #[test]
+    fn tasks_executed_is_settled_when_a_batch_returns() {
+        // Regression: the counter used to be bumped after the task body,
+        // i.e. after the WaitGroup released the caller, so a freshly
+        // returned batch could observe n-1.
+        for _ in 0..20 {
+            let pool = ThreadPool::new(4);
+            pool.par_map((0..16).collect::<Vec<u32>>(), |x| x);
+            assert_eq!(pool.tasks_executed(), 16);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         ThreadPool::new(0);
+    }
+
+    #[test]
+    fn execute_panics_are_counted_not_swallowed() {
+        let pool = ThreadPool::new(2);
+        let wg = WaitGroup::new();
+        wg.add(3);
+        for i in 0..3 {
+            let wg = wg.clone();
+            pool.execute(move || {
+                // WaitGroup::done must run even when the task panics.
+                struct Done(WaitGroup);
+                impl Drop for Done {
+                    fn drop(&mut self) {
+                        self.0.done();
+                    }
+                }
+                let _done = Done(wg);
+                if i == 1 {
+                    panic!("boom in execute");
+                }
+            });
+        }
+        wg.wait();
+        assert_eq!(pool.tasks_panicked(), 1);
+        // Pool still alive and usable.
+        assert_eq!(pool.par_map(vec![1, 2], |x| x * 2), vec![2, 4]);
+    }
+
+    #[test]
+    fn par_for_each_index_counts_panics_and_finishes_rest() {
+        let pool = ThreadPool::new(3);
+        let hits = Arc::new((0..50).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+        let hits2 = Arc::clone(&hits);
+        pool.par_for_each_index(50, move |i| {
+            if i % 10 == 7 {
+                panic!("index {i} exploded");
+            }
+            hits2[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(pool.tasks_panicked(), 5);
+        for (i, h) in hits.iter().enumerate() {
+            let want = u64::from(i % 10 != 7);
+            assert_eq!(h.load(Ordering::Relaxed), want, "index {i}");
+        }
+    }
+
+    #[test]
+    fn par_map_panics_are_counted_and_still_propagate() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(vec![1, 2, 3], |x| {
+                if x == 2 {
+                    panic!("boom");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.tasks_panicked(), 1);
+    }
+
+    #[test]
+    fn panic_message_extraction() {
+        let str_payload = catch_unwind(|| panic!("literal")).unwrap_err();
+        assert_eq!(panic_message(str_payload.as_ref()), "literal");
+        let string_payload = catch_unwind(|| panic!("value {}", 42)).unwrap_err();
+        assert_eq!(panic_message(string_payload.as_ref()), "value 42");
+        let opaque = catch_unwind(|| std::panic::panic_any(7u32)).unwrap_err();
+        assert_eq!(panic_message(opaque.as_ref()), "non-string panic payload");
     }
 }

@@ -1,0 +1,82 @@
+//! `mc` — the Monte-Carlo robustness CLI (DESIGN.md §13).
+//!
+//! ```text
+//! mc chaos  [--seeds N] [--base-seed HEX] [--threads N] [--check]
+//! mc report [--seeds N] [--base-seed HEX] [--threads N] [--paper]
+//! ```
+//!
+//! `chaos` runs the per-policy random-fault sweep and prints Student-t
+//! confidence intervals plus every quarantined seed with its replay
+//! hint. `--check` turns it into a CI gate: exit 1 unless zero seeds
+//! were quarantined and the Tycoon conservation residual is exactly 0.
+//! `report` re-runs the paper's figure experiments as seeded batches.
+
+use gm_experiments::mc::{chaos, report, McArgs};
+use gm_experiments::Scale;
+
+fn parse_args() -> (String, McArgs, bool) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mode = argv
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "chaos".to_owned());
+    let mut args = McArgs::default();
+    let mut check = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut next_val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .clone()
+        };
+        match a.as_str() {
+            "--seeds" => args.seeds = next_val("--seeds").parse().expect("--seeds: integer"),
+            "--base-seed" => {
+                let v = next_val("--base-seed");
+                let v = v.trim_start_matches("0x");
+                args.base_seed = u64::from_str_radix(v, 16).expect("--base-seed: hex");
+            }
+            "--threads" => {
+                args.threads = next_val("--threads").parse().expect("--threads: integer");
+            }
+            "--check" => check = true,
+            _ => {}
+        }
+    }
+    (mode, args, check)
+}
+
+fn main() {
+    let (mode, args, check) = parse_args();
+    match mode.as_str() {
+        "report" => {
+            let r = report(Scale::from_args(), args);
+            println!("{}", r.rendered);
+        }
+        "chaos" => {
+            let c = chaos(args);
+            println!("{}", c.rendered);
+            if check {
+                let quarantined = c.total_quarantined();
+                let residual = c.tycoon_conservation_max().unwrap_or(f64::NAN);
+                if quarantined != 0 || residual != 0.0 {
+                    eprintln!(
+                        "mc --check FAILED: {quarantined} quarantined seeds, \
+                         tycoon conservation residual max {residual}"
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "mc --check OK: {} seeds x {} policies, 0 quarantined, conservation residual 0",
+                    args.seeds,
+                    c.policies.len()
+                );
+            }
+        }
+        other => {
+            eprintln!("unknown mode {other:?}; use `chaos` or `report`");
+            std::process::exit(2);
+        }
+    }
+}

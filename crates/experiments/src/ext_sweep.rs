@@ -40,18 +40,23 @@ pub fn fundings(scale: Scale) -> Vec<f64> {
 /// Run the sweep: the target user (submitted last) vs four fixed
 /// 100-credit background users.
 pub fn run(scale: Scale) -> Sweep {
+    run_seeded(scale, 0x5EEB)
+}
+
+/// [`run`] with an explicit scenario seed (Monte-Carlo entry point).
+pub fn run_seeded(scale: Scale, seed: u64) -> Sweep {
     let points: Vec<SweepPoint> = fundings(scale)
         .into_iter()
         .map(|funding| {
             let mut s = match scale {
                 Scale::Paper => Scenario::builder()
-                    .seed(0x5EEB)
+                    .seed(seed)
                     .hosts(30)
                     .chunk_minutes(212.0)
                     .deadline_minutes(330)
                     .horizon_hours(48),
                 Scale::Quick => Scenario::builder()
-                    .seed(0x5EEB)
+                    .seed(seed)
                     .hosts(8)
                     .chunk_minutes(8.0)
                     .deadline_minutes(60)

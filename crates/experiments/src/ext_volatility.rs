@@ -67,6 +67,13 @@ fn step_error(xs: &[f64]) -> f64 {
 
 /// Run the comparison.
 pub fn run(scale: Scale) -> Volatility {
+    run_seeded(scale, 0xA11)
+}
+
+/// [`run`] with an explicit market seed (Monte-Carlo entry point). Only
+/// the Tycoon market takes a key seed; the posted-price and WTA baselines
+/// are deterministic given the (fixed) job stream.
+pub fn run_seeded(scale: Scale, seed: u64) -> Volatility {
     let hours = match scale {
         Scale::Paper => 24.0,
         Scale::Quick => 3.0,
@@ -88,7 +95,7 @@ pub fn run(scale: Scale) -> Volatility {
     let horizon = SimTime::from_secs((hours * 3600.0) as u64);
 
     // (a) Tycoon spot prices (host 0) through the shared driver.
-    let mut market = Market::new(&0xA11u64.to_be_bytes());
+    let mut market = Market::new(&seed.to_be_bytes());
     market.set_interval_secs(10.0);
     for h in &hosts {
         market.add_host(h.clone());

@@ -33,11 +33,18 @@ pub const GUARANTEES: [f64; 3] = [0.80, 0.90, 0.99];
 /// Run the experiment: derive the host price model from a generated
 /// market trace, then sweep budgets at each guarantee level.
 pub fn run(scale: Scale) -> Fig3 {
+    run_seeded(scale, 0xF163)
+}
+
+/// [`run`] with an explicit market seed — the Monte-Carlo entry point:
+/// each seed generates a different price trace through the same market,
+/// turning the figure's single curve into a population of curves.
+pub fn run_seeded(scale: Scale, seed: u64) -> Fig3 {
     let (hours, n_budgets) = match scale {
         Scale::Paper => (24.0, 40),
         Scale::Quick => (3.0, 15),
     };
-    let cfg = PriceGenConfig::new(hours, 0xF163);
+    let cfg = PriceGenConfig::new(hours, seed);
     let prices = host0_prices(&cfg);
     assert!(!prices.is_empty());
     let model = NormalPriceModel::from_prices(HostId(0), &prices, 2910.0);

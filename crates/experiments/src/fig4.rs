@@ -28,13 +28,18 @@ pub struct Fig4 {
 
 /// Run the experiment.
 pub fn run(scale: Scale) -> Fig4 {
+    run_seeded(scale, 0xF164)
+}
+
+/// [`run`] with an explicit market seed (Monte-Carlo entry point).
+pub fn run_seeded(scale: Scale, seed: u64) -> Fig4 {
     let (hours, interval_secs, horizon) = match scale {
         // 40 h at 60 s samples; 1 h forecast = 60 steps.
         Scale::Paper => (40.0, 60.0, 60usize),
         // 6 h at 60 s samples; 10 min forecast.
         Scale::Quick => (6.0, 60.0, 10usize),
     };
-    let mut cfg = PriceGenConfig::new(hours, 0xF164);
+    let mut cfg = PriceGenConfig::new(hours, seed);
     cfg.interval_secs = interval_secs;
     let prices = host0_prices(&cfg);
     assert!(prices.len() > 4 * horizon, "trace too short");

@@ -38,6 +38,11 @@ pub struct Fig6 {
 
 /// Run the experiment.
 pub fn run(scale: Scale) -> Fig6 {
+    run_seeded(scale, 0xF166)
+}
+
+/// [`run`] with an explicit market seed (Monte-Carlo entry point).
+pub fn run_seeded(scale: Scale, seed: u64) -> Fig6 {
     // Sample interval 60 s; windows in samples.
     let (hours, windows): (f64, [(&'static str, u64); 3]) = match scale {
         Scale::Paper => (
@@ -46,7 +51,7 @@ pub fn run(scale: Scale) -> Fig6 {
         ),
         Scale::Quick => (6.0, [("10min", 10), ("hour", 60), ("6hours", 360)]),
     };
-    let mut cfg = PriceGenConfig::new(hours, 0xF166);
+    let mut cfg = PriceGenConfig::new(hours, seed);
     cfg.interval_secs = 60.0;
     // Shape the workload so recent history differs from the long-run mix:
     // arrivals intensify over the second half via a second generator? The

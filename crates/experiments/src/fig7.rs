@@ -43,11 +43,16 @@ type BoxedSampler = Box<dyn Fn(&mut Pcg32) -> f64>;
 
 /// Run the experiment.
 pub fn run(scale: Scale) -> Fig7 {
+    run_seeded(scale, 0xF167)
+}
+
+/// [`run`] with an explicit sampling seed (Monte-Carlo entry point).
+pub fn run_seeded(scale: Scale, seed: u64) -> Fig7 {
     let (window, slots) = match scale {
         Scale::Paper => (2_000u64, 20usize),
         Scale::Quick => (400, 16),
     };
-    let mut rng = Pcg32::new(0xF167, 7);
+    let mut rng = Pcg32::new(seed, 7);
 
     let cases: Vec<(&'static str, BoxedSampler)> = vec![
         ("Norm(0.5,0.15)", {

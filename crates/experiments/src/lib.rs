@@ -20,6 +20,13 @@
 //! Tycoon / G-commerce / WTA implementations) and [`ext_scaling`] (§3's
 //! weak-scaling claim).
 //!
+//! [`mc`] runs all of the above as Monte-Carlo populations: the
+//! per-policy chaos sweep behind `just mc-chaos` and the seeded figure
+//! report behind `just mc-report` (DESIGN.md §13). Every figure module
+//! exposes a `run_seeded(scale, seed)` variant for this; the plain
+//! `run(scale)` entry points delegate to it with the historical seed, so
+//! single-seed outputs are unchanged.
+//!
 //! Absolute numbers differ from the paper (their testbed was 30 physical
 //! machines; ours is a simulator) — the *shapes* are asserted in
 //! `tests/experiments.rs` and recorded in `EXPERIMENTS.md`.
@@ -27,6 +34,7 @@
 pub mod ext_scaling;
 pub mod ext_sweep;
 pub mod ext_volatility;
+pub mod mc;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

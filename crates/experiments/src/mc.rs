@@ -1,0 +1,378 @@
+//! Monte-Carlo robustness experiments (DESIGN.md §13).
+//!
+//! Two entry points, both built on [`gridmarket::sched::MonteCarlo`]:
+//!
+//! * [`chaos`] — the 1000-seed chaos sweep behind `just mc-chaos`: every
+//!   seed deterministically generates a random [`FaultPlan`] world and
+//!   runs the *same* job stream through every allocation policy (Tycoon
+//!   market and the four baselines) via the shared `PolicyDriver`, then
+//!   reports per-policy Student-t confidence intervals plus the
+//!   quarantined failing seeds with replay hints.
+//! * [`report`] — `just mc-report`: re-expresses the paper's figure
+//!   experiments (Fig. 3–7, the funding sweep, the volatility
+//!   comparison) as seeded Monte-Carlo batches, so each headline scalar
+//!   ships with an interval instead of a single-seed point estimate.
+
+use gm_baselines::{FifoPolicy, GCommerceMarket, Placement, SharePolicy, WinnerTakesAllMarket};
+use gm_bio::workload::BioWorkload;
+use gm_des::{FaultPlan, SimDuration, SimTime};
+use gm_tycoon::{HostSpec, UserId};
+use gridmarket::sched::{seed_stream, AllocationPolicy, JobRequest, McReport, PolicyDriver, RunResult, ScenarioFailure};
+use gridmarket::{chaos_runner, chaos_scenario, ChaosConfig};
+
+use crate::Scale;
+
+/// Parameters of one Monte-Carlo sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct McArgs {
+    /// Number of scenario seeds.
+    pub seeds: usize,
+    /// Base seed the per-scenario seed stream is derived from.
+    pub base_seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Confidence level of the reported intervals.
+    pub confidence: f64,
+}
+
+impl Default for McArgs {
+    fn default() -> McArgs {
+        McArgs {
+            seeds: 64,
+            base_seed: 0xC4A05,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            confidence: 0.95,
+        }
+    }
+}
+
+/// One policy's slice of the chaos sweep.
+#[derive(Clone, Debug)]
+pub struct PolicyChaos {
+    /// Policy name (driver-registered).
+    pub policy: &'static str,
+    /// Student-t report over the completed seeds.
+    pub report: McReport,
+    /// Quarantined failures (seed, panic, replay hint).
+    pub failures: Vec<ScenarioFailure>,
+}
+
+/// Structured result of the per-policy chaos sweep.
+#[derive(Clone, Debug)]
+pub struct McChaos {
+    /// Per-policy reports, Tycoon first.
+    pub policies: Vec<PolicyChaos>,
+    /// Rendered report.
+    pub rendered: String,
+}
+
+impl McChaos {
+    /// Total quarantined scenarios across all policies.
+    pub fn total_quarantined(&self) -> usize {
+        self.policies.iter().map(|p| p.failures.len()).sum()
+    }
+
+    /// The Tycoon conservation residual column (the invariant: max 0).
+    pub fn tycoon_conservation_max(&self) -> Option<f64> {
+        self.policies
+            .iter()
+            .find(|p| p.policy == "tycoon")
+            .and_then(|p| p.report.metric("conservation_residual"))
+            .map(|s| s.max)
+    }
+}
+
+/// The job stream every baseline runs under — byte-for-byte the stream
+/// [`ChaosConfig::scenario`] builds internally (same stagger, work,
+/// budgets), so the only experimental variable is the policy.
+fn job_stream(cfg: &ChaosConfig) -> Vec<JobRequest> {
+    let workload = BioWorkload {
+        subjobs: cfg.subjobs,
+        chunk_minutes: cfg.chunk_minutes,
+        deadline_minutes: cfg.deadline_minutes,
+    };
+    (0..cfg.users)
+        .map(|i| JobRequest {
+            id: i,
+            user: UserId(i + 1),
+            subjobs: cfg.subjobs,
+            work_per_subjob: workload.work_mhz_secs_per_subjob(),
+            arrival: SimTime::ZERO + SimDuration::from_secs(30 * (u64::from(i) + 1)),
+            budget: cfg.funding,
+            deadline_secs: cfg.deadline_minutes as f64 * 60.0,
+        })
+        .collect()
+}
+
+/// Run one baseline policy under the seed's generated fault plan, on the
+/// seed's jittered hardware — the *identical* world the Tycoon scenario
+/// sees, policy being the only variable. (Capacity-oblivious baselines
+/// ignore the delivered fault events by design; the heterogeneity still
+/// gives every seed a distinct world.)
+fn baseline_run(policy: &mut dyn AllocationPolicy, seed: u64, cfg: &ChaosConfig) -> RunResult {
+    let hosts: Vec<HostSpec> =
+        gridmarket::scenario::jittered_hosts(seed, cfg.hosts, cfg.heterogeneity);
+    let jobs = job_stream(cfg);
+    PolicyDriver::new(hosts, 10.0)
+        .horizon(SimTime::ZERO + SimDuration::from_hours(cfg.horizon_hours))
+        .faults(FaultPlan::generate(seed, cfg.fault_gen()))
+        .run(policy, &jobs)
+        .expect("valid chaos job stream")
+}
+
+/// The metric row shared by every baseline (no bank ⇒ no conservation
+/// column; the names must be identical across seeds, not across
+/// policies).
+fn baseline_rows(r: &RunResult) -> Vec<(&'static str, f64)> {
+    let nodes: Vec<f64> = r.outcomes.iter().map(|o| o.avg_nodes).collect();
+    let missed = r.outcomes.iter().filter(|o| o.finished_at.is_none()).count();
+    vec![
+        ("fairness", gridmarket::sched::jain_fairness(&nodes)),
+        ("volatility", r.price_volatility().unwrap_or(0.0)),
+        (
+            "deadline_miss_rate",
+            missed as f64 / r.outcomes.len().max(1) as f64,
+        ),
+        ("makespan_hours", r.batch_makespan_secs() / 3600.0),
+    ]
+}
+
+/// The chaos sweep: every seed generates a random fault world; every
+/// policy runs the identical job stream through it.
+pub fn chaos(args: McArgs) -> McChaos {
+    let cfg = ChaosConfig::default();
+    let seeds = seed_stream(args.base_seed, args.seeds);
+    let mc = chaos_runner(args.threads).confidence(args.confidence);
+
+    let mut policies = Vec::new();
+    {
+        let cfg = cfg.clone();
+        let batch = mc.run(&seeds, move |s| chaos_scenario(s, &cfg));
+        policies.push(PolicyChaos {
+            policy: "tycoon",
+            report: batch.report(|m| m.rows()),
+            failures: batch.failures().cloned().collect(),
+        });
+    }
+    type PolicyMaker = fn() -> Box<dyn AllocationPolicy + Send>;
+    let baselines: [(&'static str, PolicyMaker); 4] = [
+        ("fifo", || Box::new(FifoPolicy::default())),
+        ("share", || Box::new(SharePolicy::new(Placement::LeastLoaded))),
+        ("gcommerce", || Box::new(GCommerceMarket::default().policy())),
+        ("wta", || Box::new(WinnerTakesAllMarket::default().policy())),
+    ];
+    for (name, make) in baselines {
+        let cfg = cfg.clone();
+        let batch = mc.run(&seeds, move |s| baseline_run(make().as_mut(), s, &cfg));
+        policies.push(PolicyChaos {
+            policy: name,
+            report: batch.report(baseline_rows),
+            failures: batch.failures().cloned().collect(),
+        });
+    }
+
+    let mut rendered = format!(
+        "Monte-Carlo chaos sweep: {} seeds (base {:#x}), {} threads\n\
+         world: {} hosts, {} users x {} credits, random faults per seed\n\n",
+        args.seeds, args.base_seed, args.threads, cfg.hosts, cfg.users, cfg.funding
+    );
+    for p in &policies {
+        rendered.push_str(&format!("== policy: {} ==\n{}", p.policy, p.report.render()));
+        for f in &p.failures {
+            rendered.push_str(&format!("  QUARANTINED {f}\n"));
+        }
+        rendered.push('\n');
+    }
+    McChaos { policies, rendered }
+}
+
+/// One figure's Monte-Carlo report.
+#[derive(Clone, Debug)]
+pub struct FigMc {
+    /// Experiment name (`fig3` … `volatility`).
+    pub name: &'static str,
+    /// Student-t report over the headline scalars.
+    pub report: McReport,
+}
+
+/// Structured result of the figure sweep.
+#[derive(Clone, Debug)]
+pub struct McFigs {
+    /// Per-figure reports.
+    pub figs: Vec<FigMc>,
+    /// Rendered report.
+    pub rendered: String,
+}
+
+/// Re-run every figure experiment over a seed stream and report each
+/// headline scalar with a confidence interval. This is the paper's whole
+/// evaluation as a population instead of an anecdote: the same
+/// `run_seeded` entry points the single-seed binaries call, just many
+/// seeds through the Monte-Carlo runner.
+#[allow(clippy::too_many_lines)]
+pub fn report(scale: Scale, args: McArgs) -> McFigs {
+    let seeds = seed_stream(args.base_seed, args.seeds);
+    let mc = chaos_runner(args.threads).confidence(args.confidence);
+    let mut figs: Vec<FigMc> = Vec::new();
+    {
+        let batch = mc.run(&seeds, move |s| crate::fig3::run_seeded(scale, s));
+        figs.push(FigMc {
+            name: "fig3",
+            report: batch.report(|f| {
+                let mid = f.budgets_per_day.len() / 2;
+                vec![
+                    ("price_mean", f.price_mean),
+                    ("price_std", f.price_std),
+                    ("cap90_mid_budget_mhz", f.curves[1].1[mid].capacity_mhz),
+                ]
+            }),
+        });
+    }
+    {
+        let batch = mc.run(&seeds, move |s| crate::fig4::run_seeded(scale, s));
+        figs.push(FigMc {
+            name: "fig4",
+            report: batch.report(|f| {
+                vec![
+                    ("eps_ar", f.eps_ar),
+                    ("eps_naive", f.eps_naive),
+                    ("ar_edge", f.eps_naive - f.eps_ar),
+                ]
+            }),
+        });
+    }
+    {
+        let batch = mc.run(&seeds, move |s| crate::fig5::run_seeded(scale, s));
+        figs.push(FigMc {
+            name: "fig5",
+            report: batch.report(|f| {
+                vec![
+                    ("std_risk_free", f.std_risk_free),
+                    ("std_equal", f.std_equal),
+                    ("std_reduction", 1.0 - f.std_risk_free / f.std_equal),
+                ]
+            }),
+        });
+    }
+    {
+        let batch = mc.run(&seeds, move |s| crate::fig6::run_seeded(scale, s));
+        figs.push(FigMc {
+            name: "fig6",
+            report: batch.report(|f| {
+                vec![
+                    ("skew_short_window", f.windows[0].skewness),
+                    ("skew_long_window", f.windows[2].skewness),
+                ]
+            }),
+        });
+    }
+    {
+        let batch = mc.run(&seeds, move |s| crate::fig7::run_seeded(scale, s));
+        figs.push(FigMc {
+            name: "fig7",
+            report: batch.report(|f| {
+                let max_tv = f.dists.iter().map(|d| d.tv_distance).fold(0.0, f64::max);
+                let mean_tv = f.dists.iter().map(|d| d.tv_distance).sum::<f64>()
+                    / f.dists.len().max(1) as f64;
+                vec![("max_tv_distance", max_tv), ("mean_tv_distance", mean_tv)]
+            }),
+        });
+    }
+    {
+        let batch = mc.run(&seeds, move |s| crate::ext_sweep::run_seeded(scale, s));
+        figs.push(FigMc {
+            name: "sweep",
+            report: batch.report(|f| {
+                let lo = &f.points.first().expect("sweep points").report;
+                let hi = &f.points.last().expect("sweep points").report;
+                let done = f
+                    .points
+                    .iter()
+                    .filter(|p| p.report.completed_subjobs == p.report.subjobs)
+                    .count() as f64;
+                vec![
+                    (
+                        "funding_nodes_ratio",
+                        if lo.avg_nodes > 0.0 { hi.avg_nodes / lo.avg_nodes } else { 0.0 },
+                    ),
+                    ("done_rate", done / f.points.len().max(1) as f64),
+                ]
+            }),
+        });
+    }
+    {
+        let batch = mc.run(&seeds, move |s| crate::ext_volatility::run_seeded(scale, s));
+        figs.push(FigMc {
+            name: "volatility",
+            report: batch.report(|f| {
+                vec![
+                    ("tycoon_cov", f.tycoon_cov),
+                    ("gcommerce_cov", f.gcommerce_cov),
+                    ("posted_edge", f.tycoon_step_err - f.gcommerce_step_err),
+                ]
+            }),
+        });
+    }
+
+    let mut rendered = format!(
+        "Monte-Carlo figure report: {} seeds per figure (base {:#x}), {} threads\n\n",
+        args.seeds, args.base_seed, args.threads
+    );
+    for f in &figs {
+        rendered.push_str(&format!("== {} ==\n{}\n", f.name, f.report.render()));
+    }
+    McFigs { figs, rendered }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> McArgs {
+        McArgs {
+            seeds: 4,
+            base_seed: 0xABCD,
+            threads: 2,
+            confidence: 0.95,
+        }
+    }
+
+    #[test]
+    fn chaos_sweep_covers_all_policies_with_zero_quarantines() {
+        let c = chaos(tiny());
+        let names: Vec<&str> = c.policies.iter().map(|p| p.policy).collect();
+        assert_eq!(names, ["tycoon", "fifo", "share", "gcommerce", "wta"]);
+        assert_eq!(c.total_quarantined(), 0, "{}", c.rendered);
+        assert_eq!(c.tycoon_conservation_max(), Some(0.0), "money leak");
+        for p in &c.policies {
+            assert_eq!(p.report.completed, 4, "policy {}", p.policy);
+            assert!(p.report.metric("fairness").is_some());
+        }
+        assert!(c.rendered.contains("== policy: tycoon =="));
+    }
+
+    #[test]
+    fn chaos_sweep_is_deterministic_across_thread_counts() {
+        let a = chaos(McArgs { threads: 1, ..tiny() });
+        let b = chaos(McArgs { threads: 4, ..tiny() });
+        // Thread count appears in the header; everything below it must
+        // be byte-identical.
+        let strip = |s: &str| s.split_once('\n').map(|(_, rest)| rest.to_owned()).unwrap_or_default();
+        assert_eq!(strip(&a.rendered), strip(&b.rendered));
+    }
+
+    #[test]
+    fn figure_report_renders_every_figure() {
+        let args = McArgs { seeds: 2, ..tiny() };
+        let r = report(Scale::Quick, args);
+        let names: Vec<&str> = r.figs.iter().map(|f| f.name).collect();
+        assert_eq!(
+            names,
+            ["fig3", "fig4", "fig5", "fig6", "fig7", "sweep", "volatility"]
+        );
+        for f in &r.figs {
+            assert_eq!(f.report.completed, 2, "figure {}", f.name);
+        }
+        assert!(r.rendered.contains("== fig4 =="));
+    }
+}

@@ -16,16 +16,27 @@
 //!   per-baseline `run()` loops: every policy sees *identical* arrival
 //!   streams, fault plans, and telemetry, so A/B results are
 //!   byte-reproducible.
+//! - [`montecarlo`] — the deterministic parallel scenario runner
+//!   ([`MonteCarlo`]): fans seeded scenarios across a `gm-exec` pool in
+//!   bounded batches, quarantines panicking seeds as
+//!   [`ScenarioFailure`] data points, and aggregates Student-t
+//!   confidence-interval reports ([`McReport`]) over robustness
+//!   metrics.
 //!
 //! The crate deliberately depends only on `gm-des`, `gm-tycoon` (for
-//! `HostSpec`/`UserId`) and `gm-telemetry`; the grid stack plugs in from
-//! above via `gridmarket::policy::TycoonPolicy`.
+//! `HostSpec`/`UserId`), `gm-telemetry`, and the in-repo `gm-exec` /
+//! `gm-numeric` substrates; the grid stack plugs in from above via
+//! `gridmarket::policy::TycoonPolicy`.
 #![deny(clippy::too_many_lines)]
 
 pub mod metrics;
+pub mod montecarlo;
 pub mod policy;
 pub mod workload;
 
 pub use metrics::{jain_fairness, price_volatility};
+pub use montecarlo::{
+    seed_stream, McBatch, McOutcome, McReport, MetricSummary, MonteCarlo, ScenarioFailure,
+};
 pub use policy::{AllocationPolicy, DriverStats, PolicyDriver, PolicyError, TickCtx};
 pub use workload::{JobOutcome, JobRequest, RunResult};

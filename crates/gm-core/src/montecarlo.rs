@@ -1,0 +1,564 @@
+//! The Monte-Carlo chaos engine: a deterministic parallel scenario
+//! runner with panic quarantine and confidence-interval reports.
+//!
+//! The paper validates its market claims with a handful of fixed-seed
+//! runs; this module is the throughput multiplier that turns each of
+//! those anecdotes into a population. A [`MonteCarlo`] runner fans N
+//! seeded scenarios across the in-repo [`gm_exec::ThreadPool`] in
+//! bounded-memory batches and guarantees three properties (DESIGN.md
+//! §13):
+//!
+//! 1. **Byte determinism** — per-seed results are assembled by *seed
+//!    index*, never by completion order, so the same seed list yields
+//!    bit-identical [`McBatch`]es (and rendered reports) at any thread
+//!    count and under any scheduling interleaving.
+//! 2. **Panic quarantine** — a panicking scenario becomes a
+//!    [`ScenarioFailure`] data point carrying its seed, the panic
+//!    message, and a replay hint; the other N − 1 scenarios complete
+//!    and the process survives.
+//! 3. **Honest aggregates** — [`McReport`] summarises every metric with
+//!    mean / variance / p50–p99 and a Student-t confidence interval
+//!    ([`gm_numeric::student`]), so "money is conserved under random
+//!    fault schedules" ships with a sample size and an interval, not a
+//!    seed triple.
+//!
+//! Telemetry (`mc.*` scenario counters, per-batch wall-time histogram,
+//! and the `exec.*` pool counters) is registered lazily via
+//! [`MonteCarlo::with_registry`], mirroring the `net.*` convention:
+//! default runs keep the historical metric set byte-identical.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gm_des::{Rng64, SplitMix64};
+use gm_exec::ThreadPool;
+use gm_numeric::Summary;
+use gm_telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// Default scenarios in flight per batch (bounds peak memory: at most
+/// this many un-aggregated results exist at once).
+pub const DEFAULT_BATCH: usize = 256;
+
+/// Default confidence level of the aggregate report intervals.
+pub const DEFAULT_CONFIDENCE: f64 = 0.95;
+
+/// A quarantined scenario: the panic became a data point, not a dead
+/// process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioFailure {
+    /// The scenario seed that panicked — the replay key.
+    pub seed: u64,
+    /// Position of that seed in the submitted seed list.
+    pub index: usize,
+    /// Rendered panic payload (`&str`/`String` payloads verbatim).
+    pub panic_message: String,
+    /// How to reproduce this exact scenario in isolation.
+    pub replay_hint: String,
+}
+
+impl std::fmt::Display for ScenarioFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "seed {:#018x} (index {}): {} — {}",
+            self.seed, self.index, self.panic_message, self.replay_hint
+        )
+    }
+}
+
+/// One scenario's slot in a [`McBatch`], in seed-index order.
+#[derive(Clone, Debug)]
+pub struct McOutcome<T> {
+    /// The scenario seed.
+    pub seed: u64,
+    /// Position in the submitted seed list.
+    pub index: usize,
+    /// The scenario's result, or its quarantined failure.
+    pub result: Result<T, ScenarioFailure>,
+}
+
+/// The results of one [`MonteCarlo::run`]: one outcome per submitted
+/// seed, **always** ordered by seed index regardless of which worker
+/// finished first.
+#[derive(Clone, Debug)]
+pub struct McBatch<T> {
+    /// Per-seed outcomes in seed-index order.
+    pub outcomes: Vec<McOutcome<T>>,
+    confidence: f64,
+}
+
+impl<T> McBatch<T> {
+    /// Number of submitted scenarios.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True when no scenarios were submitted.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Completed `(seed, result)` pairs in seed-index order.
+    pub fn completed(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().ok().map(|r| (o.seed, r)))
+    }
+
+    /// Quarantined failures in seed-index order.
+    pub fn failures(&self) -> impl Iterator<Item = &ScenarioFailure> {
+        self.outcomes.iter().filter_map(|o| o.result.as_ref().err())
+    }
+
+    /// Seeds of every quarantined scenario (the replay list).
+    pub fn quarantined_seeds(&self) -> Vec<u64> {
+        self.failures().map(|f| f.seed).collect()
+    }
+
+    /// Aggregate a report over the completed scenarios.
+    ///
+    /// `metrics` maps one scenario result to its named metric values;
+    /// every completed scenario must report the same metric names in the
+    /// same order (the extraction is a pure function of the result, so
+    /// this holds by construction for any honest extractor).
+    ///
+    /// # Panics
+    /// Panics if two scenarios disagree on the metric name set.
+    pub fn report(&self, metrics: impl Fn(&T) -> Vec<(&'static str, f64)>) -> McReport {
+        let mut names: Vec<&'static str> = Vec::new();
+        let mut columns: Vec<Vec<f64>> = Vec::new();
+        for (_, result) in self.completed() {
+            let row = metrics(result);
+            if names.is_empty() {
+                names = row.iter().map(|(n, _)| *n).collect();
+                columns = vec![Vec::new(); names.len()];
+            }
+            assert_eq!(
+                row.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+                names,
+                "scenario metric names must be identical across seeds"
+            );
+            for (col, (_, v)) in columns.iter_mut().zip(&row) {
+                col.push(*v);
+            }
+        }
+        let metrics = names
+            .iter()
+            .zip(&columns)
+            .filter_map(|(&name, col)| {
+                Summary::of(col, self.confidence).map(|summary| MetricSummary { name, summary })
+            })
+            .collect();
+        McReport {
+            requested: self.outcomes.len(),
+            completed: self.completed().count(),
+            confidence: self.confidence,
+            metrics,
+            quarantined: self
+                .failures()
+                .map(|f| (f.seed, f.panic_message.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// One metric's aggregate statistics in a [`McReport`].
+#[derive(Clone, Copy, Debug)]
+pub struct MetricSummary {
+    /// Metric name (as reported by the extractor).
+    pub name: &'static str,
+    /// Descriptive statistics + Student-t confidence interval.
+    pub summary: Summary,
+}
+
+/// Aggregate robustness report over one Monte-Carlo batch.
+#[derive(Clone, Debug)]
+pub struct McReport {
+    /// Scenarios submitted.
+    pub requested: usize,
+    /// Scenarios that completed (requested − quarantined).
+    pub completed: usize,
+    /// Confidence level of every interval below.
+    pub confidence: f64,
+    /// Per-metric summaries, in extractor order.
+    pub metrics: Vec<MetricSummary>,
+    /// `(seed, panic message)` of every quarantined scenario.
+    pub quarantined: Vec<(u64, String)>,
+}
+
+impl McReport {
+    /// Look up one metric's summary by name.
+    pub fn metric(&self, name: &str) -> Option<&Summary> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| &m.summary)
+    }
+
+    /// Render the report as an aligned text table (deterministic: a pure
+    /// function of the batch contents).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(
+            s,
+            "monte-carlo: {} scenarios, {} completed, {} quarantined  ({}% CI, Student-t)",
+            self.requested,
+            self.completed,
+            self.quarantined.len(),
+            self.confidence * 100.0
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "{:<24} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "metric", "n", "mean", "±ci", "p50", "p99", "min", "max"
+        )
+        .unwrap();
+        for m in &self.metrics {
+            let x = &m.summary;
+            writeln!(
+                s,
+                "{:<24} {:>6} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+                m.name,
+                x.count,
+                x.mean,
+                x.ci_half_width(),
+                x.p50,
+                x.p99,
+                x.min,
+                x.max
+            )
+            .unwrap();
+        }
+        if !self.quarantined.is_empty() {
+            writeln!(s, "quarantined seeds:").unwrap();
+            for (seed, msg) in &self.quarantined {
+                writeln!(s, "  {seed:#018x}  {msg}").unwrap();
+            }
+        }
+        s
+    }
+}
+
+/// Telemetry handles, resolved once at attach time (lazy surface: only
+/// runs that call [`MonteCarlo::with_registry`] export `mc.*`/`exec.*`).
+struct McInstruments {
+    /// `mc.scenarios_started`
+    started: Counter,
+    /// `mc.scenarios_completed`
+    completed: Counter,
+    /// `mc.scenarios_panicked`
+    panicked: Counter,
+    /// `mc.batch_ms` — wall time per bounded batch.
+    batch_ms: Histogram,
+    /// `exec.tasks_executed` — pool-lifetime task count.
+    exec_executed: Gauge,
+    /// `exec.tasks_panicked` — pool-lifetime caught panics.
+    exec_panicked: Gauge,
+}
+
+/// The deterministic parallel scenario runner. See the module docs for
+/// the determinism and quarantine contract.
+pub struct MonteCarlo {
+    pool: ThreadPool,
+    batch: usize,
+    confidence: f64,
+    replay_template: String,
+    instruments: Option<McInstruments>,
+}
+
+impl MonteCarlo {
+    /// Runner over a fresh pool of `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> MonteCarlo {
+        MonteCarlo {
+            pool: ThreadPool::new(threads),
+            batch: DEFAULT_BATCH,
+            confidence: DEFAULT_CONFIDENCE,
+            replay_template: "replay: re-run this scenario with seed {seed} (any thread count)"
+                .to_owned(),
+            instruments: None,
+        }
+    }
+
+    /// Runner sized to the available CPUs (min 1).
+    pub fn with_default_parallelism() -> MonteCarlo {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        MonteCarlo::new(n)
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The underlying pool (diagnostics: `tasks_executed`/`tasks_panicked`).
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Scenarios in flight per batch — the memory bound. Results of a
+    /// batch are drained into the output before the next batch starts.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn batch(mut self, n: usize) -> Self {
+        assert!(n > 0, "batch size must be >= 1");
+        self.batch = n;
+        self
+    }
+
+    /// Confidence level for [`McBatch::report`] intervals (default 0.95).
+    ///
+    /// # Panics
+    /// Panics unless `0 < c < 1`.
+    pub fn confidence(mut self, c: f64) -> Self {
+        assert!(c > 0.0 && c < 1.0, "confidence in (0,1), got {c}");
+        self.confidence = c;
+        self
+    }
+
+    /// Template for [`ScenarioFailure::replay_hint`]; every `{seed}` is
+    /// replaced with the failing seed in hex.
+    pub fn replay_hint(mut self, template: &str) -> Self {
+        self.replay_template = template.to_owned();
+        self
+    }
+
+    /// Attach telemetry: `mc.scenarios_started` / `mc.scenarios_completed`
+    /// / `mc.scenarios_panicked` counters, the `mc.batch_ms` wall-time
+    /// histogram, and `exec.tasks_executed` / `exec.tasks_panicked`
+    /// gauges sampled from the pool after each run.
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.instruments = Some(McInstruments {
+            started: registry.counter("mc.scenarios_started"),
+            completed: registry.counter("mc.scenarios_completed"),
+            panicked: registry.counter("mc.scenarios_panicked"),
+            batch_ms: registry.histogram("mc.batch_ms"),
+            exec_executed: registry.gauge("exec.tasks_executed"),
+            exec_panicked: registry.gauge("exec.tasks_panicked"),
+        });
+        self
+    }
+
+    /// Run `scenario(seed)` for every seed, in bounded parallel batches.
+    ///
+    /// The returned batch holds one outcome per seed **in seed-index
+    /// order**; a panicking scenario is quarantined as a
+    /// [`ScenarioFailure`] while the rest complete. The scenario function
+    /// must be a pure function of its seed for the determinism contract
+    /// to mean anything (every in-repo scenario is).
+    pub fn run<T: Send + 'static>(
+        &self,
+        seeds: &[u64],
+        scenario: impl Fn(u64) -> T + Send + Sync + 'static,
+    ) -> McBatch<T> {
+        let scenario = Arc::new(scenario);
+        let mut outcomes: Vec<McOutcome<T>> = Vec::with_capacity(seeds.len());
+        if let Some(ins) = &self.instruments {
+            ins.started.add(seeds.len() as u64);
+        }
+        for chunk in seeds.chunks(self.batch) {
+            let t0 = Instant::now();
+            let scenario = Arc::clone(&scenario);
+            // `try_par_map` fills result slots by item index and turns a
+            // task panic into an `Err(message)` slot, so this batch comes
+            // back in seed order no matter which worker ran what — and a
+            // detonating seed cannot take the sweep down with it.
+            let results: Vec<Result<T, String>> = self
+                .pool
+                .try_par_map(chunk.to_vec(), move |seed| scenario(seed));
+            let base = outcomes.len();
+            for (offset, (seed, result)) in chunk.iter().zip(results).enumerate() {
+                let index = base + offset;
+                let result = result.map_err(|panic_message| ScenarioFailure {
+                    seed: *seed,
+                    index,
+                    replay_hint: self
+                        .replay_template
+                        .replace("{seed}", &format!("{seed:#x}")),
+                    panic_message,
+                });
+                if let Some(ins) = &self.instruments {
+                    match &result {
+                        Ok(_) => ins.completed.inc(),
+                        Err(_) => ins.panicked.inc(),
+                    }
+                }
+                outcomes.push(McOutcome {
+                    seed: *seed,
+                    index,
+                    result,
+                });
+            }
+            if let Some(ins) = &self.instruments {
+                ins.batch_ms.record(t0.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        if let Some(ins) = &self.instruments {
+            ins.exec_executed.set(self.pool.tasks_executed() as f64);
+            ins.exec_panicked.set(self.pool.tasks_panicked() as f64);
+        }
+        McBatch {
+            outcomes,
+            confidence: self.confidence,
+        }
+    }
+}
+
+/// Derive `n` scenario seeds from one base seed (a SplitMix64 stream —
+/// the standard seed-sequence construction, so neighbouring base seeds
+/// do not produce overlapping scenario seeds).
+pub fn seed_stream(base: u64, n: usize) -> Vec<u64> {
+    let mut rng = SplitMix64::new(base);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic pseudo-scenario: a short arithmetic walk whose
+    /// result depends only on the seed.
+    fn walk(seed: u64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        let mut acc = 0.0;
+        let mut peak: f64 = 0.0;
+        for _ in 0..100 {
+            acc += rng.next_f64() - 0.5;
+            peak = peak.max(acc.abs());
+        }
+        vec![acc, peak]
+    }
+
+    fn walk_metrics(r: &[f64]) -> Vec<(&'static str, f64)> {
+        vec![("endpoint", r[0]), ("peak", r[1])]
+    }
+
+    /// Bit-exact fingerprint of a batch of float results.
+    fn fingerprint(batch: &McBatch<Vec<f64>>) -> Vec<(u64, Result<Vec<u64>, String>)> {
+        batch
+            .outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.seed,
+                    o.result
+                        .as_ref()
+                        .map(|v| v.iter().map(|x| x.to_bits()).collect())
+                        .map_err(|f| f.panic_message.clone()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_are_byte_identical_across_thread_counts() {
+        let seeds = seed_stream(0xC0FFEE, 40);
+        let baseline = MonteCarlo::new(1).run(&seeds, walk);
+        for threads in [2, 8] {
+            let batch = MonteCarlo::new(threads).batch(7).run(&seeds, walk);
+            assert_eq!(fingerprint(&baseline), fingerprint(&batch), "threads={threads}");
+            assert_eq!(
+                baseline.report(|r| walk_metrics(r)).render(),
+                batch.report(|r| walk_metrics(r)).render(),
+                "report differs at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_seed_is_quarantined_with_the_right_seed() {
+        let seeds = seed_stream(7, 16);
+        let bad = seeds[5];
+        let mc = MonteCarlo::new(4).replay_hint("re-run --seed {seed}");
+        let batch = mc.run(&seeds, move |s| {
+            if s == bad {
+                panic!("scenario exploded on purpose");
+            }
+            walk(s)
+        });
+        assert_eq!(batch.quarantined_seeds(), vec![bad]);
+        let failure = batch.failures().next().unwrap();
+        assert_eq!(failure.seed, bad);
+        assert_eq!(failure.index, 5);
+        assert_eq!(failure.panic_message, "scenario exploded on purpose");
+        assert_eq!(failure.replay_hint, format!("re-run --seed {bad:#x}"));
+        // The other 15 completed, in order.
+        assert_eq!(batch.completed().count(), 15);
+        assert_eq!(mc.pool().tasks_panicked(), 1);
+        // Aggregates exclude the quarantined seed but report it.
+        let report = batch.report(|r| walk_metrics(r));
+        assert_eq!(report.requested, 16);
+        assert_eq!(report.completed, 15);
+        assert_eq!(report.metric("endpoint").unwrap().count, 15);
+        assert_eq!(report.quarantined, vec![(bad, "scenario exploded on purpose".into())]);
+        assert!(report.render().contains("quarantined seeds:"));
+    }
+
+    #[test]
+    fn batching_bounds_do_not_change_results() {
+        let seeds = seed_stream(99, 23);
+        let whole = MonteCarlo::new(3).batch(1000).run(&seeds, walk);
+        let tiny = MonteCarlo::new(3).batch(2).run(&seeds, walk);
+        assert_eq!(fingerprint(&whole), fingerprint(&tiny));
+    }
+
+    #[test]
+    fn telemetry_is_lazy_and_counts_scenarios() {
+        // Default: no registry, no mc.* metrics anywhere.
+        let silent = Registry::new();
+        MonteCarlo::new(2).run(&seed_stream(1, 4), walk);
+        assert!(silent.snapshot().counters.is_empty());
+
+        // Attached: scenario counters and the exec surface appear.
+        let registry = Registry::new();
+        let mc = MonteCarlo::new(2).with_registry(&registry);
+        let bad = seed_stream(1, 6)[2];
+        mc.run(&seed_stream(1, 6), move |s| {
+            if s == bad {
+                panic!("boom");
+            }
+            walk(s)
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["mc.scenarios_started"], 6);
+        assert_eq!(snap.counters["mc.scenarios_completed"], 5);
+        assert_eq!(snap.counters["mc.scenarios_panicked"], 1);
+        assert_eq!(snap.gauges["exec.tasks_panicked"], 1.0);
+        assert!(snap.gauges["exec.tasks_executed"] >= 6.0);
+        assert!(snap.histograms.contains_key("mc.batch_ms"));
+    }
+
+    #[test]
+    fn report_on_empty_and_degenerate_batches() {
+        let empty = MonteCarlo::new(1).run(&[], walk);
+        let r = empty.report(|r| walk_metrics(r));
+        assert_eq!(r.requested, 0);
+        assert!(r.metrics.is_empty());
+
+        let one = MonteCarlo::new(1).run(&[42], walk);
+        let r = one.report(|r| walk_metrics(r));
+        assert_eq!(r.completed, 1);
+        let m = r.metric("endpoint").unwrap();
+        // Single observation: degenerate interval at the mean.
+        assert_eq!(m.ci_lo, m.mean);
+        assert_eq!(m.ci_hi, m.mean);
+    }
+
+    #[test]
+    fn seed_stream_is_stable_and_distinct() {
+        let a = seed_stream(5, 8);
+        let b = seed_stream(5, 8);
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8, "seed collision in stream");
+    }
+}

@@ -13,6 +13,10 @@
 //!   stateless price prediction model (§4.2, Eq. 4–5).
 //! * [`stats`] — running and exponentially-smoothed windowed moments
 //!   (mean, std, skewness, kurtosis; §4.5).
+//! * [`student`] — Student's t distribution (ln-gamma, incomplete beta,
+//!   CDF/quantile) and [`Summary`](student::Summary): the
+//!   confidence-interval math behind the Monte-Carlo robustness reports
+//!   (DESIGN.md §13).
 //! * [`samplers`] — normal / exponential / gamma / beta / lognormal
 //!   samplers over any [`gm_des::Rng64`] (used by Fig. 5 and Fig. 7).
 //! * [`histogram`] — fixed-range histograms for measured distributions.
@@ -26,6 +30,7 @@ pub mod probit;
 pub mod samplers;
 pub mod spline;
 pub mod stats;
+pub mod student;
 pub mod toeplitz;
 
 pub use histogram::Histogram;
@@ -34,4 +39,5 @@ pub use probit::{norm_cdf, norm_pdf, norm_quantile};
 pub use samplers::{Beta, Exponential, LogNormal, Normal, Sampler, Uniform};
 pub use spline::smoothing_spline;
 pub use stats::{Moments, RunningStats, SmoothedMoments};
+pub use student::{mean_confidence_interval, t_cdf, t_quantile, Summary};
 pub use toeplitz::{autocorrelation, levinson_durbin, yule_walker};

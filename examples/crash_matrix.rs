@@ -1,23 +1,33 @@
 //! Crash-matrix runner (`just crash-matrix`): the kill-point sweep from
-//! `DESIGN.md` §11 over one or more seeds. For each seed it runs a small
-//! Table-1-style scenario with a durable bank ledger attached, then
-//! crashes the bank at every WAL record boundary of the resulting
-//! journal, recovers it from disk, and runs the conservation auditor on
-//! the recovered books.
+//! `DESIGN.md` §11 over one or more seeds, fanned out as a Monte-Carlo
+//! batch (`DESIGN.md` §13). For each seed it runs a small Table-1-style
+//! scenario with a durable bank ledger attached, then crashes the bank
+//! at every WAL record boundary of the resulting journal, recovers it
+//! from disk, and runs the conservation auditor on the recovered books.
 //!
 //! ```text
 //! cargo run --release --example crash_matrix -- 2006 7 42
+//! cargo run --release --example crash_matrix -- 0xdead 0xbeef
 //! ```
 //!
-//! Exits non-zero on the first boundary whose recovered state fails the
-//! audit (non-conserved books, bad signature, accepted forgery, or a
-//! forgotten spent token).
+//! Seeds run in parallel through the deterministic scenario runner: a
+//! failing seed is quarantined (with a replay hint naming this example)
+//! instead of aborting the sweep, the report aggregates kill-point
+//! counts over the whole batch, and the exit code is non-zero if any
+//! seed failed.
 
+use gm_core::MonteCarlo;
 use gm_ledger::SharedJournal;
 use gm_tycoon::{Bank, ConservationAuditor};
 use gridmarket::scenario::Scenario;
 
-fn sweep(seed: u64) -> Result<(), String> {
+/// One seed's sweep statistics (the Monte-Carlo metric row).
+struct SweepStats {
+    kill_points: usize,
+    wal_bytes: usize,
+}
+
+fn sweep(seed: u64) -> Result<SweepStats, String> {
     let journal = SharedJournal::new();
     let r = Scenario::builder()
         .seed(seed)
@@ -72,22 +82,47 @@ fn sweep(seed: u64) -> Result<(), String> {
         boundaries.len(),
         disk.wal_len()
     );
-    Ok(())
+    Ok(SweepStats {
+        kill_points: boundaries.len(),
+        wal_bytes: disk.wal_len(),
+    })
+}
+
+fn parse_seed(a: &str) -> u64 {
+    if let Some(hex) = a.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).expect("seed must be a u64 (hex)")
+    } else {
+        a.parse().expect("seed must be a u64")
+    }
 }
 
 fn main() {
-    let mut seeds: Vec<u64> = std::env::args()
-        .skip(1)
-        .map(|a| a.parse().expect("seed must be a u64"))
-        .collect();
+    let mut seeds: Vec<u64> = std::env::args().skip(1).map(|a| parse_seed(&a)).collect();
     if seeds.is_empty() {
         seeds = vec![2006, 7, 42];
     }
-    for seed in seeds {
-        if let Err(msg) = sweep(seed) {
-            eprintln!("crash-matrix FAILED: {msg}");
-            std::process::exit(1);
+    // Fan the per-seed sweeps across the scenario runner: a failing seed
+    // panics inside its task, gets quarantined with its seed as the
+    // replay key, and the other seeds still finish.
+    let mc = MonteCarlo::with_default_parallelism()
+        .replay_hint("cargo run --release --example crash_matrix -- {seed}");
+    let batch = mc.run(&seeds, |seed| match sweep(seed) {
+        Ok(stats) => stats,
+        Err(msg) => panic!("{msg}"),
+    });
+    let report = batch.report(|s| {
+        vec![
+            ("kill_points", s.kill_points as f64),
+            ("wal_bytes", s.wal_bytes as f64),
+        ]
+    });
+    println!("{}", report.render());
+    if report.completed != report.requested {
+        eprintln!("crash-matrix FAILED: {} seed(s) quarantined", report.quarantined.len());
+        for f in batch.failures() {
+            eprintln!("  {f}");
         }
+        std::process::exit(1);
     }
-    println!("crash-matrix: all seeds passed");
+    println!("crash-matrix: all {} seeds passed", report.requested);
 }

@@ -44,6 +44,25 @@ policy-matrix:
     cargo test -q --test market_vs_baselines --test policy_driver
     wc -l crates/grid/src/manager/*.rs | awk '$2 != "total" && $1 > 600 {print $2" has "$1" lines (limit 600)"; bad=1} END {exit bad+0}'
 
+# Monte-Carlo chaos sweep (DESIGN.md §13): 1000 random-fault seeds per
+# policy through the deterministic parallel scenario runner; prints
+# Student-t confidence intervals for conservation / fairness /
+# volatility per policy plus any quarantined seeds, and fails unless
+# zero seeds quarantined and the conservation residual is exactly 0.
+mc-chaos:
+    cargo run --release -p gm-experiments --bin mc -- chaos --seeds 1000 --check
+
+# Monte-Carlo figure report (DESIGN.md §13): every experiment binary
+# (fig3–fig7, sweep, volatility) re-run as a seeded Monte-Carlo batch,
+# with a confidence interval on each figure's headline numbers.
+mc-report:
+    cargo run --release -p gm-experiments --bin mc -- report
+
+# Small demo of the harness: 32 chaos seeds plus one rigged-to-panic
+# seed, showing quarantine, replay hints, and the lazy mc.* telemetry.
+mc-demo:
+    cargo run --release --example mc_chaos
+
 # Regenerate the paper's tables and figures (quick scale).
 experiments:
     cargo run --release --example quickstart
@@ -61,3 +80,8 @@ bench-save:
 # write the result to BENCH_overload.json at the repo root.
 bench-save-overload:
     cargo bench -p gm-bench --bench overload -- --save
+
+# Re-measure Monte-Carlo runner throughput and parallel efficiency
+# (DESIGN.md §13) and write the result to BENCH_mc.json at the repo root.
+bench-save-mc:
+    cargo bench -p gm-bench --bench mc -- --save
