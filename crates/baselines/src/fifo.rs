@@ -53,6 +53,8 @@ struct JobTrack {
     id: u32,
     user: UserId,
     arrival: SimTime,
+    budget: f64,
+    deadline_secs: f64,
     pending: u32,
     running: u32,
     finished: u32,
@@ -96,6 +98,8 @@ impl AllocationPolicy for FifoPolicy {
             id: req.id,
             user: req.user,
             arrival: req.arrival,
+            budget: req.budget,
+            deadline_secs: req.deadline_secs,
             pending: req.subjobs,
             running: 0,
             finished: 0,
@@ -172,6 +176,12 @@ impl AllocationPolicy for FifoPolicy {
                 user: t.user,
                 finished_at: t.finished_at,
                 makespan_secs: t.finished_at.unwrap_or(now).since(t.arrival).as_secs_f64(),
+                value: gm_core::workload::on_time_value(
+                    t.budget,
+                    t.deadline_secs,
+                    t.arrival,
+                    t.finished_at,
+                ),
                 cost: 0.0,
                 max_nodes: t.nodes_stat.2,
                 avg_nodes: if t.nodes_stat.0 == 0 {

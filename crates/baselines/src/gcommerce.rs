@@ -73,6 +73,8 @@ struct JobTrack {
     id: u32,
     user: UserId,
     arrival: SimTime,
+    budget: f64,
+    deadline_secs: f64,
     subjobs: u32,
     /// Remaining work of subjobs not currently holding a slot (paused
     /// subjobs keep their progress — checkpointed, not lost).
@@ -118,6 +120,8 @@ impl AllocationPolicy for GCommercePolicy {
             id: req.id,
             user: req.user,
             arrival: req.arrival,
+            budget: req.budget,
+            deadline_secs: req.deadline_secs,
             subjobs: req.subjobs,
             queued: vec![req.work_per_subjob; req.subjobs as usize],
             running: Vec::new(),
@@ -246,6 +250,12 @@ impl AllocationPolicy for GCommercePolicy {
                 user: t.user,
                 finished_at: t.finished_at,
                 makespan_secs: t.finished_at.unwrap_or(now).since(t.arrival).as_secs_f64(),
+                value: gm_core::workload::on_time_value(
+                    t.budget,
+                    t.deadline_secs,
+                    t.arrival,
+                    t.finished_at,
+                ),
                 cost: t.spent,
                 max_nodes: t.nodes_stat.2,
                 avg_nodes: if t.nodes_stat.0 == 0 {

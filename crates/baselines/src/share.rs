@@ -65,6 +65,8 @@ struct JobTrack {
     id: u32,
     user: UserId,
     arrival: SimTime,
+    budget: f64,
+    deadline_secs: f64,
     subjobs: u32,
     pending: u32,
     finished: u32,
@@ -112,6 +114,8 @@ impl AllocationPolicy for SharePolicy {
             id: req.id,
             user: req.user,
             arrival: req.arrival,
+            budget: req.budget,
+            deadline_secs: req.deadline_secs,
             subjobs: req.subjobs,
             pending: req.subjobs,
             finished: 0,
@@ -212,6 +216,12 @@ impl AllocationPolicy for SharePolicy {
                 user: t.user,
                 finished_at: t.finished_at,
                 makespan_secs: t.finished_at.unwrap_or(now).since(t.arrival).as_secs_f64(),
+                value: gm_core::workload::on_time_value(
+                    t.budget,
+                    t.deadline_secs,
+                    t.arrival,
+                    t.finished_at,
+                ),
                 cost: 0.0,
                 max_nodes: t.nodes_stat.2,
                 avg_nodes: if t.nodes_stat.0 == 0 {

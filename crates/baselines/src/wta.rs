@@ -101,6 +101,7 @@ struct JobTrack {
     user: UserId,
     arrival: SimTime,
     deadline_secs: f64,
+    budget: f64,
     remaining: Vec<f64>,
     budget_left: f64,
     spent: f64,
@@ -132,6 +133,7 @@ impl AllocationPolicy for WtaPolicy {
             user: req.user,
             arrival: req.arrival,
             deadline_secs: req.deadline_secs,
+            budget: req.budget,
             remaining: vec![req.work_per_subjob; req.subjobs as usize],
             budget_left: req.budget,
             spent: 0.0,
@@ -262,6 +264,12 @@ impl AllocationPolicy for WtaPolicy {
                 user: t.user,
                 finished_at: t.finished_at,
                 makespan_secs: t.finished_at.unwrap_or(now).since(t.arrival).as_secs_f64(),
+                value: gm_core::workload::on_time_value(
+                    t.budget,
+                    t.deadline_secs,
+                    t.arrival,
+                    t.finished_at,
+                ),
                 cost: t.spent,
                 max_nodes: t.nodes_stat.2,
                 avg_nodes: if t.nodes_stat.0 == 0 {

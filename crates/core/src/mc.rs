@@ -137,11 +137,23 @@ pub struct ChaosMetrics {
     pub faults_injected: f64,
     /// Simulated hours until the run settled.
     pub makespan_hours: f64,
+    /// Realized social welfare under the suite's shared value model
+    /// (DESIGN.md §14): Σ funding over users whose job finished within
+    /// its deadline — the same all-or-nothing on-time value
+    /// [`gm_core::workload::on_time_value`] awards, so the column is
+    /// directly comparable across Tycoon, the baselines and the VCG
+    /// tier.
+    pub welfare: f64,
+    /// Provider revenue: total credits charged across users.
+    pub revenue: f64,
 }
 
 impl ChaosMetrics {
     /// Extract the metric columns from a finished scenario.
-    pub fn of(r: &ScenarioResult) -> ChaosMetrics {
+    /// `deadline_minutes` is the job deadline the run was configured
+    /// with (`0` = no deadline); it scopes the welfare column to
+    /// on-time completions.
+    pub fn of(r: &ScenarioResult, deadline_minutes: u64) -> ChaosMetrics {
         let nodes: Vec<f64> = r.users.iter().map(|u| u.avg_nodes).collect();
         let mut vols: Vec<f64> = Vec::new();
         for (_, series) in r.price_trace.iter() {
@@ -155,6 +167,17 @@ impl ChaosMetrics {
             vols.iter().sum::<f64>() / vols.len() as f64
         };
         let missed = r.users.iter().filter(|u| u.completed_subjobs < u.subjobs).count();
+        let deadline_hours = deadline_minutes as f64 / 60.0;
+        let welfare = r
+            .users
+            .iter()
+            .filter(|u| {
+                u.phase == crate::grid::JobPhase::Done
+                    && (deadline_minutes == 0 || u.time_hours <= deadline_hours + 1e-9)
+            })
+            .map(|u| u.funding)
+            .sum();
+        let revenue = r.users.iter().map(|u| u.charged).sum();
         ChaosMetrics {
             conservation_residual: (r.total_minted - r.total_money).abs(),
             fairness: jain_fairness(&nodes),
@@ -164,6 +187,8 @@ impl ChaosMetrics {
             stalled_jobs: r.fault_counters.jobs_stalled_by_faults as f64,
             faults_injected: r.faults_injected as f64,
             makespan_hours: r.finished_at.as_hours_f64(),
+            welfare,
+            revenue,
         }
     }
 
@@ -178,6 +203,8 @@ impl ChaosMetrics {
             ("stalled_jobs", self.stalled_jobs),
             ("faults_injected", self.faults_injected),
             ("makespan_hours", self.makespan_hours),
+            ("welfare", self.welfare),
+            ("revenue", self.revenue),
         ]
     }
 }
@@ -200,7 +227,7 @@ pub fn chaos_scenario(seed: u64, cfg: &ChaosConfig) -> ChaosMetrics {
         result.recovery_invariant_ok,
         "recovery invariant violated (seed {seed:#x}): a sub-job was both completed and re-dispatched"
     );
-    let m = ChaosMetrics::of(&result);
+    let m = ChaosMetrics::of(&result, cfg.deadline_minutes);
     assert!(
         m.conservation_residual < 1e-6,
         "money not conserved (seed {seed:#x}): residual {}",

@@ -56,6 +56,9 @@ pub struct TycoonPolicy {
     tracer: Option<Tracer>,
     setups: BTreeMap<u32, TycoonJobSetup>,
     jobs: BTreeMap<u32, JobId>,
+    /// Per-request `(budget, deadline_secs, arrival)` recorded at
+    /// admission — the inputs of the shared on-time value rule.
+    value_terms: BTreeMap<u32, (f64, f64, SimTime)>,
     last_error: Option<GridError>,
     ticks: u64,
 }
@@ -75,6 +78,7 @@ impl TycoonPolicy {
             tracer: None,
             setups: BTreeMap::new(),
             jobs: BTreeMap::new(),
+            value_terms: BTreeMap::new(),
             last_error: None,
             ticks: 0,
         }
@@ -254,6 +258,8 @@ impl AllocationPolicy for TycoonPolicy {
         match submitted {
             Ok(id) => {
                 self.jobs.insert(req.id, id);
+                self.value_terms
+                    .insert(req.id, (req.budget, req.deadline_secs, req.arrival));
                 Ok(())
             }
             Err(e) => {
@@ -305,11 +311,19 @@ impl AllocationPolicy for TycoonPolicy {
             .iter()
             .filter_map(|(&rid, &jid)| {
                 let job = self.jm.job(jid)?;
+                let (budget, deadline_secs, arrival) =
+                    self.value_terms.get(&rid).copied().unwrap_or_default();
                 Some(JobOutcome {
                     id: rid,
                     user: job.user,
                     finished_at: job.finished_at,
                     makespan_secs: job.makespan(now).as_secs_f64(),
+                    value: gm_core::workload::on_time_value(
+                        budget,
+                        deadline_secs,
+                        arrival,
+                        job.finished_at,
+                    ),
                     cost: job.charged.as_f64(),
                     max_nodes: job.max_nodes(),
                     avg_nodes: job.avg_nodes(),

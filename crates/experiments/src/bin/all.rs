@@ -11,4 +11,5 @@ fn main() {
     println!("{}", gm_experiments::ext_sweep::run(scale).rendered);
     println!("{}", gm_experiments::ext_volatility::run(scale).rendered);
     println!("{}", gm_experiments::ext_scaling::run(scale).rendered);
+    println!("{}", gm_experiments::ext_vcg::run(scale).rendered);
 }

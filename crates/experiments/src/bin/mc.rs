@@ -5,11 +5,13 @@
 //! mc report [--seeds N] [--base-seed HEX] [--threads N] [--paper]
 //! ```
 //!
-//! `chaos` runs the per-policy random-fault sweep and prints Student-t
-//! confidence intervals plus every quarantined seed with its replay
-//! hint. `--check` turns it into a CI gate: exit 1 unless zero seeds
-//! were quarantined and the Tycoon conservation residual is exactly 0.
-//! `report` re-runs the paper's figure experiments as seeded batches.
+//! `chaos` runs the per-policy random-fault sweep (Tycoon, the VCG
+//! optimization tier, and the four baselines, fanned out as one flat
+//! seed × policy batch) and prints Student-t confidence intervals plus
+//! every quarantined seed with its replay hint. `--check` turns it into
+//! a CI gate: exit 1 unless zero seeds were quarantined and both banked
+//! policies' conservation residuals are exactly 0. `report` re-runs the
+//! paper's figure experiments as seeded batches.
 
 use gm_experiments::mc::{chaos, report, McArgs};
 use gm_experiments::Scale;
@@ -60,10 +62,12 @@ fn main() {
             if check {
                 let quarantined = c.total_quarantined();
                 let residual = c.tycoon_conservation_max().unwrap_or(f64::NAN);
-                if quarantined != 0 || residual != 0.0 {
+                let vcg_residual = c.conservation_max("vcg").unwrap_or(f64::NAN);
+                if quarantined != 0 || residual != 0.0 || vcg_residual != 0.0 {
                     eprintln!(
                         "mc --check FAILED: {quarantined} quarantined seeds, \
-                         tycoon conservation residual max {residual}"
+                         tycoon conservation residual max {residual}, \
+                         vcg conservation residual max {vcg_residual}"
                     );
                     std::process::exit(1);
                 }

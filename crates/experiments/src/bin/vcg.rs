@@ -1,0 +1,7 @@
+//! `vcg` — the optimization-tier comparison (DESIGN.md §14): the VCG
+//! welfare-LP policy vs Tycoon and every baseline on the identical SLA
+//! workload. Pass `--paper` for full scale.
+fn main() {
+    let scale = gm_experiments::Scale::from_args();
+    println!("{}", gm_experiments::ext_vcg::run(scale).rendered);
+}

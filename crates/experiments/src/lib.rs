@@ -17,8 +17,10 @@
 //! Extensions of ours: [`ext_sweep`] (funding sweep against fixed
 //! background load, validating the Fig. 3 budget advice in vivo),
 //! [`ext_volatility`] (the §6 price-predictability debate measured on our
-//! Tycoon / G-commerce / WTA implementations) and [`ext_scaling`] (§3's
-//! weak-scaling claim).
+//! Tycoon / G-commerce / WTA implementations), [`ext_scaling`] (§3's
+//! weak-scaling claim) and [`ext_vcg`] (the optimization tier of
+//! DESIGN.md §14: welfare/revenue/fairness of the VCG welfare-LP policy
+//! against Tycoon and every baseline on one SLA workload).
 //!
 //! [`mc`] runs all of the above as Monte-Carlo populations: the
 //! per-policy chaos sweep behind `just mc-chaos` and the seeded figure
@@ -33,6 +35,7 @@
 
 pub mod ext_scaling;
 pub mod ext_sweep;
+pub mod ext_vcg;
 pub mod ext_volatility;
 pub mod mc;
 pub mod fig3;

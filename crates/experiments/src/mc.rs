@@ -5,9 +5,14 @@
 //! * [`chaos`] — the 1000-seed chaos sweep behind `just mc-chaos`: every
 //!   seed deterministically generates a random [`FaultPlan`] world and
 //!   runs the *same* job stream through every allocation policy (Tycoon
-//!   market and the four baselines) via the shared `PolicyDriver`, then
-//!   reports per-policy Student-t confidence intervals plus the
-//!   quarantined failing seeds with replay hints.
+//!   market, the VCG optimization tier and the four baselines) via the
+//!   shared `PolicyDriver`, then reports per-policy Student-t confidence
+//!   intervals plus the quarantined failing seeds with replay hints. The
+//!   whole sweep is one flat *(seed × policy)* fan-out over the worker
+//!   pool ([`MonteCarlo::run_tagged`](gridmarket::sched::MonteCarlo)) —
+//!   a slow policy on one seed no longer serializes the other five —
+//!   regrouped per policy afterwards, byte-identical at any thread
+//!   count.
 //! * [`report`] — `just mc-report`: re-expresses the paper's figure
 //!   experiments (Fig. 3–7, the funding sweep, the volatility
 //!   comparison) as seeded Monte-Carlo batches, so each headline scalar
@@ -17,7 +22,10 @@ use gm_baselines::{FifoPolicy, GCommerceMarket, Placement, SharePolicy, WinnerTa
 use gm_bio::workload::BioWorkload;
 use gm_des::{FaultPlan, SimDuration, SimTime};
 use gm_tycoon::{HostSpec, UserId};
-use gridmarket::sched::{seed_stream, AllocationPolicy, JobRequest, McReport, PolicyDriver, RunResult, ScenarioFailure};
+use gridmarket::sched::{
+    seed_stream, AllocationPolicy, JobRequest, McBatch, McOutcome, McReport, PolicyDriver,
+    RunResult, ScenarioFailure,
+};
 use gridmarket::{chaos_runner, chaos_scenario, ChaosConfig};
 
 use crate::Scale;
@@ -72,13 +80,19 @@ impl McChaos {
         self.policies.iter().map(|p| p.failures.len()).sum()
     }
 
-    /// The Tycoon conservation residual column (the invariant: max 0).
-    pub fn tycoon_conservation_max(&self) -> Option<f64> {
+    /// A policy's conservation-residual column max (banked policies —
+    /// `tycoon` and `vcg` — only; the invariant says exactly 0).
+    pub fn conservation_max(&self, policy: &str) -> Option<f64> {
         self.policies
             .iter()
-            .find(|p| p.policy == "tycoon")
+            .find(|p| p.policy == policy)
             .and_then(|p| p.report.metric("conservation_residual"))
             .map(|s| s.max)
+    }
+
+    /// The Tycoon conservation residual column (the invariant: max 0).
+    pub fn tycoon_conservation_max(&self) -> Option<f64> {
+        self.conservation_max("tycoon")
     }
 }
 
@@ -120,9 +134,11 @@ fn baseline_run(policy: &mut dyn AllocationPolicy, seed: u64, cfg: &ChaosConfig)
         .expect("valid chaos job stream")
 }
 
-/// The metric row shared by every baseline (no bank ⇒ no conservation
+/// The metric row shared by every bankless policy (no conservation
 /// column; the names must be identical across seeds, not across
-/// policies).
+/// policies). Welfare and revenue come from the shared value model
+/// ([`gm_core::workload::on_time_value`]), so the columns compare
+/// directly across every policy in the sweep.
 fn baseline_rows(r: &RunResult) -> Vec<(&'static str, f64)> {
     let nodes: Vec<f64> = r.outcomes.iter().map(|o| o.avg_nodes).collect();
     let missed = r.outcomes.iter().filter(|o| o.finished_at.is_none()).count();
@@ -134,42 +150,94 @@ fn baseline_rows(r: &RunResult) -> Vec<(&'static str, f64)> {
             missed as f64 / r.outcomes.len().max(1) as f64,
         ),
         ("makespan_hours", r.batch_makespan_secs() / 3600.0),
+        ("welfare", r.welfare()),
+        ("revenue", r.revenue()),
     ]
 }
 
+/// Run the VCG optimization tier under the seed's chaos world and score
+/// it. Like [`chaos_scenario`], a conservation violation **panics** —
+/// the VCG bank settles through the same journaled [`gm_tycoon::Bank`]
+/// machinery, so the sweep holds it to the identical exactly-zero
+/// residual invariant.
+fn vcg_chaos_run(seed: u64, cfg: &ChaosConfig) -> Vec<(&'static str, f64)> {
+    let mut policy = gm_optimal::VcgSlaPolicy::new(seed);
+    let r = baseline_run(&mut policy, seed, cfg);
+    let residual = policy.conservation_residual();
+    assert!(
+        residual == 0.0,
+        "money not conserved under VCG (seed {seed:#x}): residual {residual}"
+    );
+    let mut rows = vec![("conservation_residual", residual)];
+    rows.extend(baseline_rows(&r));
+    rows
+}
+
+/// The policy roster of the chaos sweep, in report order.
+pub const CHAOS_POLICIES: [&str; 6] = ["tycoon", "vcg", "fifo", "share", "gcommerce", "wta"];
+
+/// One (seed × policy) cell of the sweep: the named metric row.
+fn chaos_cell(policy: &'static str, seed: u64, cfg: &ChaosConfig) -> Vec<(&'static str, f64)> {
+    let mut baseline: Box<dyn AllocationPolicy + Send> = match policy {
+        "tycoon" => return chaos_scenario(seed, cfg).rows(),
+        "vcg" => return vcg_chaos_run(seed, cfg),
+        "fifo" => Box::new(FifoPolicy::default()),
+        "share" => Box::new(SharePolicy::new(Placement::LeastLoaded)),
+        "gcommerce" => Box::new(GCommerceMarket::default().policy()),
+        "wta" => Box::new(WinnerTakesAllMarket::default().policy()),
+        other => unreachable!("unknown chaos policy {other}"),
+    };
+    baseline_rows(&baseline_run(baseline.as_mut(), seed, cfg))
+}
+
 /// The chaos sweep: every seed generates a random fault world; every
-/// policy runs the identical job stream through it.
+/// policy runs the identical job stream through it. All
+/// `seeds × policies` cells go through the pool as one flat tagged
+/// fan-out, then regroup into per-policy batches (indices rewritten
+/// back to seed positions, so replay hints and failure indices read the
+/// same as a plain per-policy run).
 pub fn chaos(args: McArgs) -> McChaos {
     let cfg = ChaosConfig::default();
     let seeds = seed_stream(args.base_seed, args.seeds);
     let mc = chaos_runner(args.threads).confidence(args.confidence);
 
-    let mut policies = Vec::new();
-    {
+    let n = CHAOS_POLICIES.len();
+    let items: Vec<(u64, &'static str)> = seeds
+        .iter()
+        .flat_map(|&s| CHAOS_POLICIES.iter().map(move |&p| (s, p)))
+        .collect();
+    let batch = {
         let cfg = cfg.clone();
-        let batch = mc.run(&seeds, move |s| chaos_scenario(s, &cfg));
-        policies.push(PolicyChaos {
-            policy: "tycoon",
-            report: batch.report(|m| m.rows()),
-            failures: batch.failures().cloned().collect(),
+        mc.run_tagged(&items, move |seed, policy| chaos_cell(policy, seed, &cfg))
+    };
+
+    type PolicyRows = Vec<(&'static str, f64)>;
+    let confidence = batch.confidence();
+    let mut grouped: Vec<Vec<McOutcome<PolicyRows>>> = (0..n).map(|_| Vec::new()).collect();
+    for o in batch.outcomes {
+        let policy = o.index % n;
+        let seed_index = o.index / n;
+        grouped[policy].push(McOutcome {
+            seed: o.seed,
+            index: seed_index,
+            result: o.result.map_err(|mut f| {
+                f.index = seed_index;
+                f
+            }),
         });
     }
-    type PolicyMaker = fn() -> Box<dyn AllocationPolicy + Send>;
-    let baselines: [(&'static str, PolicyMaker); 4] = [
-        ("fifo", || Box::new(FifoPolicy::default())),
-        ("share", || Box::new(SharePolicy::new(Placement::LeastLoaded))),
-        ("gcommerce", || Box::new(GCommerceMarket::default().policy())),
-        ("wta", || Box::new(WinnerTakesAllMarket::default().policy())),
-    ];
-    for (name, make) in baselines {
-        let cfg = cfg.clone();
-        let batch = mc.run(&seeds, move |s| baseline_run(make().as_mut(), s, &cfg));
-        policies.push(PolicyChaos {
-            policy: name,
-            report: batch.report(baseline_rows),
-            failures: batch.failures().cloned().collect(),
-        });
-    }
+    let policies: Vec<PolicyChaos> = grouped
+        .into_iter()
+        .zip(CHAOS_POLICIES)
+        .map(|(outcomes, policy)| {
+            let b = McBatch::from_outcomes(outcomes, confidence);
+            PolicyChaos {
+                policy,
+                report: b.report(Clone::clone),
+                failures: b.failures().cloned().collect(),
+            }
+        })
+        .collect();
 
     let mut rendered = format!(
         "Monte-Carlo chaos sweep: {} seeds (base {:#x}), {} threads\n\
@@ -341,14 +409,21 @@ mod tests {
     fn chaos_sweep_covers_all_policies_with_zero_quarantines() {
         let c = chaos(tiny());
         let names: Vec<&str> = c.policies.iter().map(|p| p.policy).collect();
-        assert_eq!(names, ["tycoon", "fifo", "share", "gcommerce", "wta"]);
+        assert_eq!(names, CHAOS_POLICIES);
         assert_eq!(c.total_quarantined(), 0, "{}", c.rendered);
         assert_eq!(c.tycoon_conservation_max(), Some(0.0), "money leak");
+        assert_eq!(c.conservation_max("vcg"), Some(0.0), "VCG money leak");
         for p in &c.policies {
             assert_eq!(p.report.completed, 4, "policy {}", p.policy);
             assert!(p.report.metric("fairness").is_some());
+            assert!(
+                p.report.metric("welfare").is_some() && p.report.metric("revenue").is_some(),
+                "policy {} must report the shared welfare/revenue columns",
+                p.policy
+            );
         }
         assert!(c.rendered.contains("== policy: tycoon =="));
+        assert!(c.rendered.contains("== policy: vcg =="));
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod montecarlo;
 pub mod policy;
 pub mod workload;
 
-pub use metrics::{jain_fairness, price_volatility};
+pub use metrics::{jain_fairness, price_volatility, revenue, welfare};
 pub use montecarlo::{
     seed_stream, McBatch, McOutcome, McReport, MetricSummary, MonteCarlo, ScenarioFailure,
 };

@@ -14,6 +14,22 @@ pub fn jain_fairness(xs: &[f64]) -> f64 {
     s * s / (xs.len() as f64 * s2)
 }
 
+/// Allocative (social) welfare: the sum of per-job realized values.
+/// Payments are transfers between users and providers, so they cancel
+/// out of welfare and are reported separately as [`revenue`]. Every
+/// policy reports this uniformly through `JobOutcome::value`, so the
+/// VCG tier, the Tycoon market, and the conventional baselines are
+/// compared on one scale (DESIGN.md §14).
+pub fn welfare(values: impl IntoIterator<Item = f64>) -> f64 {
+    values.into_iter().sum()
+}
+
+/// Provider-side revenue: the sum of per-job credits charged (0 for
+/// policies that do not charge).
+pub fn revenue(costs: impl IntoIterator<Item = f64>) -> f64 {
+    costs.into_iter().sum()
+}
+
 /// Coefficient of variation of a price series (the G-commerce "price
 /// predictability" metric; lower = more predictable). `None` when the
 /// series is too short or its mean is ~0.

@@ -88,6 +88,21 @@ pub struct McBatch<T> {
 }
 
 impl<T> McBatch<T> {
+    /// Reassemble a batch from outcomes (used by callers that fan one
+    /// tagged run out over several logical batches — e.g. the per-policy
+    /// chaos sweep regrouping one `(seed × policy)` run by policy).
+    pub fn from_outcomes(outcomes: Vec<McOutcome<T>>, confidence: f64) -> McBatch<T> {
+        McBatch {
+            outcomes,
+            confidence,
+        }
+    }
+
+    /// Confidence level of [`McBatch::report`] intervals.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
     /// Number of submitted scenarios.
     pub fn len(&self) -> usize {
         self.outcomes.len()
@@ -358,23 +373,42 @@ impl MonteCarlo {
         seeds: &[u64],
         scenario: impl Fn(u64) -> T + Send + Sync + 'static,
     ) -> McBatch<T> {
+        let items: Vec<(u64, ())> = seeds.iter().map(|&s| (s, ())).collect();
+        self.run_tagged(&items, move |seed, ()| scenario(seed))
+    }
+
+    /// Like [`MonteCarlo::run`], but every scenario carries an arbitrary
+    /// tag alongside its seed — the fan-out axis for sweeps that vary
+    /// more than the seed (e.g. the chaos sweep running every *(seed ×
+    /// policy)* pair through one pool). The determinism and quarantine
+    /// contract is identical: outcomes come back in submission order,
+    /// and a panicking `(seed, tag)` pair is quarantined on its own.
+    pub fn run_tagged<K, T>(
+        &self,
+        items: &[(u64, K)],
+        scenario: impl Fn(u64, &K) -> T + Send + Sync + 'static,
+    ) -> McBatch<T>
+    where
+        K: Clone + Send + Sync + 'static,
+        T: Send + 'static,
+    {
         let scenario = Arc::new(scenario);
-        let mut outcomes: Vec<McOutcome<T>> = Vec::with_capacity(seeds.len());
+        let mut outcomes: Vec<McOutcome<T>> = Vec::with_capacity(items.len());
         if let Some(ins) = &self.instruments {
-            ins.started.add(seeds.len() as u64);
+            ins.started.add(items.len() as u64);
         }
-        for chunk in seeds.chunks(self.batch) {
+        for chunk in items.chunks(self.batch) {
             let t0 = Instant::now();
             let scenario = Arc::clone(&scenario);
             // `try_par_map` fills result slots by item index and turns a
             // task panic into an `Err(message)` slot, so this batch comes
-            // back in seed order no matter which worker ran what — and a
-            // detonating seed cannot take the sweep down with it.
+            // back in submission order no matter which worker ran what —
+            // and a detonating scenario cannot take the sweep down with it.
             let results: Vec<Result<T, String>> = self
                 .pool
-                .try_par_map(chunk.to_vec(), move |seed| scenario(seed));
+                .try_par_map(chunk.to_vec(), move |(seed, tag)| scenario(seed, &tag));
             let base = outcomes.len();
-            for (offset, (seed, result)) in chunk.iter().zip(results).enumerate() {
+            for (offset, ((seed, _), result)) in chunk.iter().zip(results).enumerate() {
                 let index = base + offset;
                 let result = result.map_err(|panic_message| ScenarioFailure {
                     seed: *seed,

@@ -330,6 +330,7 @@ impl PolicyDriver {
                     user: req.user,
                     finished_at: None,
                     makespan_secs: now.since(req.arrival).as_secs_f64(),
+                    value: 0.0,
                     cost: 0.0,
                     max_nodes: 0,
                     avg_nodes: 0.0,

@@ -29,6 +29,29 @@ pub struct JobRequest {
 }
 
 impl JobRequest {
+    /// Total work across all sub-jobs in MHz·seconds.
+    pub fn total_work(&self) -> f64 {
+        f64::from(self.subjobs) * self.work_per_subjob
+    }
+
+    /// Did a job that completed at `finished_at` make its deadline?
+    /// `deadline_secs <= 0` means "no deadline" (always on time).
+    pub fn on_time(&self, finished_at: SimTime) -> bool {
+        self.deadline_secs <= 0.0
+            || finished_at.since(self.arrival).as_secs_f64() <= self.deadline_secs + 1e-9
+    }
+
+    /// The shared all-or-nothing value model used by every policy that
+    /// has no richer value semantics of its own: the job delivers its
+    /// full `budget` as value iff it finished within its deadline, and
+    /// nothing otherwise. SLA-curve policies (`gm-optimal`) override
+    /// this with partial-credit curve values; both models award exactly
+    /// `budget` for full on-time delivery, which is what makes welfare
+    /// comparable across policies.
+    pub fn on_time_value(&self, finished_at: Option<SimTime>) -> f64 {
+        on_time_value(self.budget, self.deadline_secs, self.arrival, finished_at)
+    }
+
     /// Validate basic invariants.
     pub fn validate(&self) -> Result<(), PolicyError> {
         if self.subjobs == 0 {
@@ -44,6 +67,23 @@ impl JobRequest {
     }
 }
 
+/// The shared on-time value rule over raw fields (see
+/// [`JobRequest::on_time_value`]) — for policies that track jobs in
+/// their own structures instead of keeping the request around.
+pub fn on_time_value(
+    budget: f64,
+    deadline_secs: f64,
+    arrival: SimTime,
+    finished_at: Option<SimTime>,
+) -> f64 {
+    match finished_at {
+        Some(t) if deadline_secs <= 0.0 || t.since(arrival).as_secs_f64() <= deadline_secs + 1e-9 => {
+            budget
+        }
+        _ => 0.0,
+    }
+}
+
 /// What happened to one job.
 #[derive(Clone, Debug)]
 pub struct JobOutcome {
@@ -55,6 +95,9 @@ pub struct JobOutcome {
     pub finished_at: Option<SimTime>,
     /// Makespan in seconds (up to the horizon if unfinished).
     pub makespan_secs: f64,
+    /// Realized value delivered to the user under the run's value model
+    /// (see [`JobRequest::on_time_value`]); the per-job welfare term.
+    pub value: f64,
     /// Credits spent (market policies; 0 otherwise).
     pub cost: f64,
     /// Peak concurrent sub-jobs.
@@ -91,6 +134,19 @@ impl RunResult {
     pub fn price_volatility(&self) -> Option<f64> {
         let xs: Vec<f64> = self.price_history.iter().map(|(_, p)| *p).collect();
         crate::metrics::price_volatility(&xs)
+    }
+
+    /// Total realized value across all jobs — the allocative (social)
+    /// welfare of the run. Payments are transfers, so they do not enter;
+    /// see [`crate::metrics::welfare`].
+    pub fn welfare(&self) -> f64 {
+        crate::metrics::welfare(self.outcomes.iter().map(|o| o.value))
+    }
+
+    /// Total credits charged across all jobs — the provider-side revenue
+    /// of the run (0 for non-market policies).
+    pub fn revenue(&self) -> f64 {
+        crate::metrics::revenue(self.outcomes.iter().map(|o| o.cost))
     }
 }
 

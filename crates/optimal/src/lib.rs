@@ -1,0 +1,35 @@
+//! Optimization-based allocation tier (DESIGN.md §14).
+//!
+//! Where the Tycoon tier prices resources through proportional-share
+//! auctions and the baselines through queues, this crate allocates each
+//! planning window by *solving for the welfare optimum directly*:
+//!
+//! 1. [`SlaCurve`] — concave piecewise-linear value curves mapping
+//!    delivered work to credits (partial delivery earns partial
+//!    credit; the linear special case reproduces the suite's
+//!    all-or-nothing budget model at full delivery).
+//! 2. [`WelfareProgram`] — compiles one window (apps × hosts with
+//!    capacity, demand and deadline caps) into a linear program over
+//!    the in-repo deterministic simplex ([`gm_numeric::Lp`]) and reads
+//!    back the fluid allocation plus host shadow prices.
+//! 3. [`vcg`] — prices every app by its externality through
+//!    leave-one-out re-solves, yielding [`VcgReceipt`]s whose payments
+//!    are non-negative, individually rational and truthful.
+//! 4. [`VcgSlaPolicy`] — packages the above as a standard
+//!    [`gm_core::AllocationPolicy`]: windowed replanning, fault
+//!    tolerance, and VCG settlement through a journaled
+//!    [`gm_tycoon::Bank`] so conservation auditing covers the tier.
+//!
+//! Everything is pure Rust on the workspace's own crates — no external
+//! solver, and byte-identical results for a given seed at any thread
+//! count.
+
+pub mod policy;
+pub mod program;
+pub mod sla;
+pub mod vcg;
+
+pub use policy::VcgSlaPolicy;
+pub use program::{WelfareApp, WelfareProgram, WelfareSolution};
+pub use sla::{SlaCurve, SlaError};
+pub use vcg::{vcg, VcgOutcome, VcgReceipt};

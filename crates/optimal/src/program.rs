@@ -1,0 +1,290 @@
+//! The per-window welfare maximization program.
+//!
+//! [`WelfareProgram`] compiles one planning window — a set of apps with
+//! concave [`SlaCurve`](crate::SlaCurve) value segments competing for a
+//! set of capacity-bounded hosts — into a linear program over the
+//! in-repo simplex solver ([`gm_numeric::Lp`]), and reads back the
+//! optimal fluid allocation, per-app deliveries and values, and the
+//! host capacity shadow prices.
+//!
+//! Variables (per app `a` over `H` hosts, `K_a` value segments):
+//!
+//! ```text
+//! x[a][h]  work app a draws from host h this window   (>= 0)
+//! s[a][k]  fill of value segment k of app a           (0 <= s <= width)
+//! ```
+//!
+//! Constraints:
+//!
+//! ```text
+//! Σ_a x[a][h]              <= capacity_h     one per host
+//! Σ_h x[a][h] - Σ_k s[a][k] = 0             linking, one per app
+//! Σ_h x[a][h]              <= cap_a         app rate/demand cap
+//! s[a][k]                  <= width_k       one per segment
+//! maximize Σ_{a,k} slope_k · s[a][k]
+//! ```
+//!
+//! Because segment slopes are non-increasing (concavity), the LP fills
+//! high-value segments first on its own; no integrality is needed, and
+//! the whole program stays a pure LP the deterministic simplex solves
+//! bit-identically across runs and thread counts.
+
+use gm_numeric::{Cmp, Lp, LpOutcome};
+
+/// One app's slice of a [`WelfareProgram`] window.
+#[derive(Clone, Debug)]
+pub struct WelfareApp {
+    /// Caller-side id carried through to receipts.
+    pub id: u32,
+    /// Remaining value segments `(width, slope)` in non-increasing
+    /// slope order (see [`crate::SlaCurve::remaining_segments`]).
+    pub segments: Vec<(f64, f64)>,
+    /// Upper bound on total work deliverable to this app this window
+    /// (parallelism × window length, deadline truncation, remaining
+    /// work — whichever binds first).
+    pub cap: f64,
+}
+
+/// The compiled window program: hosts × apps → LP.
+#[derive(Clone, Debug, Default)]
+pub struct WelfareProgram {
+    host_capacity: Vec<f64>,
+    apps: Vec<WelfareApp>,
+}
+
+/// The solved window: optimal welfare, the allocation matrix, and the
+/// dual prices on host capacity.
+#[derive(Clone, Debug)]
+pub struct WelfareSolution {
+    /// Optimal welfare `Σ values` (the LP objective).
+    pub welfare: f64,
+    /// `alloc[a][h]`: work app `a` draws from host `h`.
+    pub alloc: Vec<Vec<f64>>,
+    /// Per-app total delivery `Σ_h alloc[a][h]`.
+    pub delivered: Vec<f64>,
+    /// Per-app realized value `Σ_k slope·s` at the optimum.
+    pub values: Vec<f64>,
+    /// Shadow price of each host's capacity constraint (credits per
+    /// unit of work; 0 for uncontended hosts).
+    pub host_prices: Vec<f64>,
+}
+
+impl WelfareProgram {
+    /// A window over hosts with the given capacities (work units each
+    /// can supply this window; 0 for crashed hosts).
+    pub fn new(host_capacity: Vec<f64>) -> WelfareProgram {
+        WelfareProgram {
+            host_capacity,
+            apps: Vec::new(),
+        }
+    }
+
+    /// Add one app; returns its row index in the solution.
+    pub fn add_app(&mut self, app: WelfareApp) -> usize {
+        self.apps.push(app);
+        self.apps.len() - 1
+    }
+
+    /// Number of apps added so far.
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// The apps added so far (solution rows are in this order).
+    pub fn apps(&self) -> &[WelfareApp] {
+        &self.apps
+    }
+
+    /// Replace app `a`'s value segments in place — the misreport hook
+    /// the truthfulness property tests (`tests/lp_properties.rs`) use
+    /// to probe deviations against the same hosts and caps.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of range.
+    pub fn set_app_segments(&mut self, a: usize, segments: Vec<(f64, f64)>) {
+        self.apps[a].segments = segments;
+    }
+
+    /// Compile and solve the window. Returns `None` only if the solver
+    /// fails to certify optimality — the program is always feasible
+    /// (`x = s = 0`) and bounded (all variables capped), so that means
+    /// the pivot cap was hit.
+    pub fn solve(&self) -> Option<WelfareSolution> {
+        self.solve_masked(None)
+    }
+
+    /// Optimal welfare of the same window with app `skip` excluded —
+    /// the `W_{-a}` term of a VCG payment. Cheaper than rebuilding the
+    /// program: the app's columns stay but its value segments are
+    /// ignored and its cap is forced to 0.
+    pub fn solve_without(&self, skip: usize) -> Option<f64> {
+        self.solve_masked(Some(skip)).map(|s| s.welfare)
+    }
+
+    fn solve_masked(&self, skip: Option<usize>) -> Option<WelfareSolution> {
+        let hosts = self.host_capacity.len();
+        let active = |a: usize| skip != Some(a);
+        // Variable layout: all x blocks first, then all s blocks.
+        let x0: Vec<usize> = (0..self.apps.len()).map(|a| a * hosts).collect();
+        let mut next = self.apps.len() * hosts;
+        let mut s0 = Vec::with_capacity(self.apps.len());
+        for app in &self.apps {
+            s0.push(next);
+            next += app.segments.len();
+        }
+        let mut lp = Lp::new(next);
+
+        for (a, app) in self.apps.iter().enumerate() {
+            for (k, &(width, slope)) in app.segments.iter().enumerate() {
+                if active(a) {
+                    lp.maximize(s0[a] + k, slope);
+                }
+                lp.constrain(&[(s0[a] + k, 1.0)], Cmp::Le, width);
+            }
+            // Linking: delivery fills segments exactly.
+            let mut link: Vec<(usize, f64)> = (0..hosts).map(|h| (x0[a] + h, 1.0)).collect();
+            link.extend((0..app.segments.len()).map(|k| (s0[a] + k, -1.0)));
+            lp.constrain(&link, Cmp::Eq, 0.0);
+            // App delivery cap (0 when excluded, so the VCG re-solve
+            // cannot hide the app's congestion in its idle columns).
+            let cap = if active(a) { app.cap.max(0.0) } else { 0.0 };
+            let row: Vec<(usize, f64)> = (0..hosts).map(|h| (x0[a] + h, 1.0)).collect();
+            lp.constrain(&row, Cmp::Le, cap);
+        }
+        // Host capacities last, so their duals are easy to index.
+        let host_row0 = lp.rows();
+        for (h, &cap) in self.host_capacity.iter().enumerate() {
+            let row: Vec<(usize, f64)> = self
+                .apps
+                .iter()
+                .enumerate()
+                .map(|(a, _)| (x0[a] + h, 1.0))
+                .collect();
+            lp.constrain(&row, Cmp::Le, cap.max(0.0));
+        }
+
+        let sol = match lp.solve() {
+            LpOutcome::Optimal(s) => s,
+            _ => return None,
+        };
+        let alloc: Vec<Vec<f64>> = self
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(a, _)| (0..hosts).map(|h| sol.x[x0[a] + h].max(0.0)).collect())
+            .collect();
+        let delivered: Vec<f64> = alloc.iter().map(|row| row.iter().sum()).collect();
+        let values: Vec<f64> = self
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(a, app)| {
+                if !active(a) {
+                    return 0.0;
+                }
+                app.segments
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &(_, slope))| slope * sol.x[s0[a] + k].max(0.0))
+                    .sum()
+            })
+            .collect();
+        Some(WelfareSolution {
+            welfare: sol.objective,
+            alloc,
+            delivered,
+            values,
+            host_prices: (0..hosts).map(|h| sol.duals[host_row0 + h].max(0.0)).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sla::SlaCurve;
+
+    fn app(id: u32, curve: &SlaCurve, cap: f64) -> WelfareApp {
+        WelfareApp {
+            id,
+            segments: curve.remaining_segments(0.0, cap),
+            cap,
+        }
+    }
+
+    #[test]
+    fn uncontended_window_serves_everyone_fully() {
+        let mut p = WelfareProgram::new(vec![100.0, 100.0]);
+        p.add_app(app(0, &SlaCurve::linear(60.0, 30.0), 60.0));
+        p.add_app(app(1, &SlaCurve::linear(80.0, 20.0), 80.0));
+        let s = p.solve().unwrap();
+        assert!((s.welfare - 50.0).abs() < 1e-6, "{}", s.welfare);
+        assert!((s.delivered[0] - 60.0).abs() < 1e-6);
+        assert!((s.delivered[1] - 80.0).abs() < 1e-6);
+        // No contention ⇒ zero shadow prices.
+        assert!(s.host_prices.iter().all(|p| *p < 1e-9));
+    }
+
+    #[test]
+    fn contention_favors_the_higher_value_curve() {
+        // One host of 100 units; two apps want 100 each, app 0 pays
+        // double per unit.
+        let mut p = WelfareProgram::new(vec![100.0]);
+        p.add_app(app(0, &SlaCurve::linear(100.0, 100.0), 100.0));
+        p.add_app(app(1, &SlaCurve::linear(100.0, 50.0), 100.0));
+        let s = p.solve().unwrap();
+        assert!((s.delivered[0] - 100.0).abs() < 1e-6, "{:?}", s.delivered);
+        assert!(s.delivered[1] < 1e-6);
+        assert!((s.welfare - 100.0).abs() < 1e-6);
+        // The host's shadow price is the displaced marginal value.
+        assert!((s.host_prices[0] - 0.5).abs() < 1e-6, "{:?}", s.host_prices);
+    }
+
+    #[test]
+    fn concavity_splits_capacity_across_front_loaded_curves() {
+        // Two identical front-loaded apps, capacity for exactly the two
+        // high-slope halves: welfare-optimal is a 50/50 split, not
+        // winner-takes-all.
+        let c = SlaCurve::front_loaded(100.0, 100.0, 0.5, 0.8);
+        let mut p = WelfareProgram::new(vec![100.0]);
+        p.add_app(app(0, &c, 100.0));
+        p.add_app(app(1, &c, 100.0));
+        let s = p.solve().unwrap();
+        assert!((s.delivered[0] - 50.0).abs() < 1e-6, "{:?}", s.delivered);
+        assert!((s.delivered[1] - 50.0).abs() < 1e-6);
+        assert!((s.welfare - 160.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crashed_hosts_contribute_nothing() {
+        let mut p = WelfareProgram::new(vec![0.0, 40.0]);
+        p.add_app(app(0, &SlaCurve::linear(100.0, 10.0), 100.0));
+        let s = p.solve().unwrap();
+        assert!(s.alloc[0][0] < 1e-9, "crashed host allocated");
+        assert!((s.delivered[0] - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_without_drops_exactly_one_app() {
+        let mut p = WelfareProgram::new(vec![100.0]);
+        p.add_app(app(0, &SlaCurve::linear(100.0, 100.0), 100.0));
+        p.add_app(app(1, &SlaCurve::linear(100.0, 50.0), 100.0));
+        // Without the winner, the loser takes the host.
+        assert!((p.solve_without(0).unwrap() - 50.0).abs() < 1e-6);
+        // Without the loser nothing changes for the winner.
+        assert!((p.solve_without(1).unwrap() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_windows_are_fine() {
+        let p = WelfareProgram::new(vec![50.0]);
+        let s = p.solve().unwrap();
+        assert_eq!(s.welfare, 0.0);
+        assert!(s.alloc.is_empty());
+        let mut p = WelfareProgram::new(Vec::new());
+        p.add_app(app(0, &SlaCurve::linear(10.0, 5.0), 10.0));
+        let s = p.solve().unwrap();
+        assert_eq!(s.welfare, 0.0);
+        assert_eq!(s.delivered[0], 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Piecewise-linear concave SLA value curves.
+//!
+//! A [`SlaCurve`] maps *delivered work* (MHz·seconds) to the credits of
+//! value the user realizes from that delivery. Curves are concave —
+//! non-increasing marginal value — which is both the economically
+//! natural shape (the first results of a parameter sweep are worth more
+//! than the last) and the shape a linear program can optimize exactly:
+//! a concave piecewise-linear objective decomposes into one bounded
+//! segment variable per piece, and because the slopes are
+//! non-increasing the LP fills the high-slope segments first without
+//! any integer variables (DESIGN.md §14).
+//!
+//! The all-or-nothing value model the rest of the suite uses
+//! ([`gm_core::workload::on_time_value`]) awards `budget` iff the whole
+//! job finishes by its deadline. A curve with `total_value == budget`
+//! awards exactly the same amount at full on-time delivery, which is
+//! what makes welfare comparable across the VCG tier and the baselines;
+//! partial delivery earns partial credit instead of nothing.
+
+/// Validation error for a [`SlaCurve`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SlaError {
+    /// No breakpoints were given.
+    Empty,
+    /// A breakpoint had a non-finite, non-increasing, or negative
+    /// coordinate.
+    BadBreakpoint(usize),
+    /// Marginal value increased between two segments (not concave).
+    NotConcave(usize),
+}
+
+impl std::fmt::Display for SlaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlaError::Empty => write!(f, "curve needs at least one breakpoint"),
+            SlaError::BadBreakpoint(i) => write!(f, "breakpoint {i} is not strictly increasing"),
+            SlaError::NotConcave(i) => write!(f, "segment {i} has a larger slope than its predecessor"),
+        }
+    }
+}
+
+impl std::error::Error for SlaError {}
+
+/// A concave piecewise-linear value curve over delivered work.
+///
+/// The curve starts at the implicit origin `(0, 0)` and is defined by
+/// breakpoints `(work, cumulative_value)`; past the last breakpoint the
+/// value is flat (extra delivery is worthless).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlaCurve {
+    /// `(delivered_work, cumulative_value)`, strictly increasing in
+    /// work, concave in value.
+    points: Vec<(f64, f64)>,
+}
+
+impl SlaCurve {
+    /// Curve through the given breakpoints (origin implicit).
+    pub fn new(points: Vec<(f64, f64)>) -> Result<SlaCurve, SlaError> {
+        if points.is_empty() {
+            return Err(SlaError::Empty);
+        }
+        let mut prev = (0.0, 0.0);
+        let mut prev_slope = f64::INFINITY;
+        for (i, &(w, v)) in points.iter().enumerate() {
+            if !(w.is_finite() && v.is_finite()) || w <= prev.0 || v < prev.1 {
+                return Err(SlaError::BadBreakpoint(i));
+            }
+            let slope = (v - prev.1) / (w - prev.0);
+            if slope > prev_slope + 1e-12 {
+                return Err(SlaError::NotConcave(i));
+            }
+            prev_slope = slope;
+            prev = (w, v);
+        }
+        Ok(SlaCurve { points })
+    }
+
+    /// The one-segment curve: value strictly proportional to delivered
+    /// work, reaching `total_value` at `total_work`. The default curve
+    /// the [`crate::VcgSlaPolicy`] derives from a plain
+    /// [`gm_core::JobRequest`] (`total_value = budget`).
+    ///
+    /// # Panics
+    /// Panics unless both arguments are positive and finite.
+    pub fn linear(total_work: f64, total_value: f64) -> SlaCurve {
+        assert!(total_work > 0.0 && total_work.is_finite());
+        assert!(total_value > 0.0 && total_value.is_finite());
+        SlaCurve {
+            points: vec![(total_work, total_value)],
+        }
+    }
+
+    /// A two-segment front-loaded curve: the first `frac` of the work
+    /// delivers `value_frac` of the value (concavity requires
+    /// `value_frac >= frac`). Models sweeps whose early results carry
+    /// most of the science.
+    ///
+    /// # Panics
+    /// Panics unless `0 < frac <= value_frac < 1` and the totals are
+    /// positive.
+    pub fn front_loaded(total_work: f64, total_value: f64, frac: f64, value_frac: f64) -> SlaCurve {
+        assert!(total_work > 0.0 && total_value > 0.0);
+        assert!(0.0 < frac && frac <= value_frac && value_frac < 1.0);
+        SlaCurve {
+            points: vec![
+                (total_work * frac, total_value * value_frac),
+                (total_work, total_value),
+            ],
+        }
+    }
+
+    /// Work at which the curve saturates.
+    pub fn total_work(&self) -> f64 {
+        self.points.last().expect("nonempty").0
+    }
+
+    /// Value at (and beyond) full delivery.
+    pub fn total_value(&self) -> f64 {
+        self.points.last().expect("nonempty").1
+    }
+
+    /// Curve value at `delivered` units of work (clamped to `[0,
+    /// total_work]`, linear between breakpoints).
+    pub fn value(&self, delivered: f64) -> f64 {
+        let d = delivered.clamp(0.0, self.total_work());
+        let mut prev = (0.0, 0.0);
+        for &(w, v) in &self.points {
+            if d <= w {
+                return prev.1 + (v - prev.1) * (d - prev.0) / (w - prev.0);
+            }
+            prev = (w, v);
+        }
+        self.total_value()
+    }
+
+    /// The `(width, slope)` segments of the curve that remain after
+    /// `done` units are already delivered, truncated to at most `limit`
+    /// additional units. Slopes come out non-increasing — exactly the
+    /// form [`crate::WelfareProgram`] compiles into segment variables.
+    pub fn remaining_segments(&self, done: f64, limit: f64) -> Vec<(f64, f64)> {
+        let mut pos = done.clamp(0.0, self.total_work());
+        let mut left = limit.max(0.0);
+        let mut out = Vec::new();
+        let mut prev = (0.0, 0.0);
+        for &(w, v) in &self.points {
+            let slope = (v - prev.1) / (w - prev.0);
+            prev = (w, v);
+            if w <= pos {
+                continue;
+            }
+            let take = (w - pos).min(left);
+            if take > 0.0 {
+                out.push((take, slope));
+                pos += take;
+                left -= take;
+            }
+            if left <= 0.0 {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_shape() {
+        assert_eq!(SlaCurve::new(vec![]), Err(SlaError::Empty));
+        // Non-increasing work coordinate.
+        assert_eq!(
+            SlaCurve::new(vec![(2.0, 1.0), (2.0, 2.0)]),
+            Err(SlaError::BadBreakpoint(1))
+        );
+        // Convex (increasing marginal value) is rejected.
+        assert_eq!(
+            SlaCurve::new(vec![(1.0, 1.0), (2.0, 3.0)]),
+            Err(SlaError::NotConcave(1))
+        );
+        // Concave passes.
+        assert!(SlaCurve::new(vec![(1.0, 2.0), (2.0, 3.0)]).is_ok());
+    }
+
+    #[test]
+    fn linear_curve_interpolates_and_saturates() {
+        let c = SlaCurve::linear(100.0, 50.0);
+        assert_eq!(c.value(0.0), 0.0);
+        assert!((c.value(40.0) - 20.0).abs() < 1e-12);
+        assert_eq!(c.value(100.0), 50.0);
+        assert_eq!(c.value(250.0), 50.0, "flat past saturation");
+        assert_eq!(c.value(-5.0), 0.0);
+    }
+
+    #[test]
+    fn front_loaded_is_concave_and_totals_match() {
+        let c = SlaCurve::front_loaded(100.0, 80.0, 0.5, 0.75);
+        assert_eq!(c.total_work(), 100.0);
+        assert_eq!(c.total_value(), 80.0);
+        assert!((c.value(50.0) - 60.0).abs() < 1e-12);
+        // Early work is worth more per unit than late work.
+        assert!(c.value(25.0) - c.value(0.0) > c.value(100.0) - c.value(75.0));
+    }
+
+    #[test]
+    fn remaining_segments_cover_the_leftover_curve() {
+        let c = SlaCurve::front_loaded(100.0, 80.0, 0.5, 0.75);
+        // Nothing delivered, no cap: both segments in full.
+        let s = c.remaining_segments(0.0, f64::INFINITY);
+        assert_eq!(s, vec![(50.0, 1.2), (50.0, 0.4)]);
+        // Mid-first-segment start, limit straddles the breakpoint.
+        let s = c.remaining_segments(30.0, 40.0);
+        assert_eq!(s.len(), 2);
+        assert!((s[0].0 - 20.0).abs() < 1e-12 && (s[0].1 - 1.2).abs() < 1e-12);
+        assert!((s[1].0 - 20.0).abs() < 1e-12 && (s[1].1 - 0.4).abs() < 1e-12);
+        // The segment values integrate back to the curve difference.
+        let total: f64 = s.iter().map(|(w, m)| w * m).sum();
+        assert!((total - (c.value(70.0) - c.value(30.0))).abs() < 1e-9);
+        // Fully delivered: nothing remains.
+        assert!(c.remaining_segments(100.0, 10.0).is_empty());
+        assert!(c.remaining_segments(0.0, 0.0).is_empty());
+    }
+}

@@ -44,13 +44,22 @@ policy-matrix:
     cargo test -q --test market_vs_baselines --test policy_driver
     wc -l crates/grid/src/manager/*.rs | awk '$2 != "total" && $1 > 600 {print $2" has "$1" lines (limit 600)"; bad=1} END {exit bad+0}'
 
-# Monte-Carlo chaos sweep (DESIGN.md §13): 1000 random-fault seeds per
-# policy through the deterministic parallel scenario runner; prints
-# Student-t confidence intervals for conservation / fairness /
-# volatility per policy plus any quarantined seeds, and fails unless
-# zero seeds quarantined and the conservation residual is exactly 0.
+# Monte-Carlo chaos sweep (DESIGN.md §13): 1000 random-fault seeds for
+# each of the six policies (Tycoon, VCG, and the four baselines), fanned
+# out as one flat seed x policy batch over the deterministic parallel
+# scenario runner; prints Student-t confidence intervals for
+# conservation / fairness / welfare / volatility per policy plus any
+# quarantined seeds, and fails unless zero seeds quarantined and both
+# banked policies' conservation residuals are exactly 0.
 mc-chaos:
     cargo run --release -p gm-experiments --bin mc -- chaos --seeds 1000 --check
+
+# Optimization tier (DESIGN.md §14): LP + VCG property tests, the
+# VcgSlaPolicy chaos/determinism integration suite, and the six-policy
+# welfare comparison on the shared SLA workload.
+vcg-matrix:
+    cargo test -q --test lp_properties --test vcg_policy
+    cargo run --release -p gm-experiments --bin vcg
 
 # Monte-Carlo figure report (DESIGN.md §13): every experiment binary
 # (fig3–fig7, sweep, volatility) re-run as a seeded Monte-Carlo batch,
@@ -85,3 +94,9 @@ bench-save-overload:
 # (DESIGN.md §13) and write the result to BENCH_mc.json at the repo root.
 bench-save-mc:
     cargo bench -p gm-bench --bench mc -- --save
+
+# Re-measure welfare-LP solve-time scaling and the Tycoon-vs-VCG welfare
+# gap (DESIGN.md §14) and write the result to BENCH_vcg.json at the repo
+# root.
+bench-save-vcg:
+    cargo bench -p gm-bench --bench vcg -- --save

@@ -1,0 +1,257 @@
+//! Property tests for the pure-rust LP solver and the VCG pricing layer
+//! (DESIGN.md §14), via the in-repo `gm_des::check` harness.
+//!
+//! Coverage:
+//! * simplex: primal feasibility and weak/strong duality on random
+//!   feasible bounded instances; graceful `Infeasible` / `Unbounded`
+//!   outcomes (never a panic) on randomly broken ones; determinism.
+//! * auction algorithm: optimal totals cross-validated against the
+//!   simplex on random assignment problems (the assignment polytope is
+//!   integral, so the LP relaxation's optimum equals the auction's).
+//! * VCG: non-negative payments, individual rationality, and
+//!   truthfulness on sampled misreports (scaling your value curve never
+//!   beats reporting it straight).
+
+use gm_des::check::{check, Gen};
+use gm_numeric::{assignment_auction, Cmp, Lp, LpOutcome};
+use gm_optimal::{vcg, SlaCurve, WelfareApp, WelfareProgram};
+
+/// A constraint row as handed to `Lp::constrain`: sparse terms + rhs.
+type LeRow = (Vec<(usize, f64)>, f64);
+
+/// Random feasible bounded max-LP: non-negative objective, per-variable
+/// upper bounds, plus random non-negative-coefficient `Le` rows (the
+/// origin is always feasible; the bounds keep it bounded).
+fn random_feasible(g: &mut Gen) -> (Lp, Vec<LeRow>) {
+    let vars = g.usize_in(1, 6);
+    let mut lp = Lp::new(vars);
+    for v in 0..vars {
+        lp.maximize(v, g.f64_in(0.0, 10.0));
+    }
+    let mut rows = Vec::new();
+    for v in 0..vars {
+        let bound = g.f64_in(0.5, 20.0);
+        lp.constrain(&[(v, 1.0)], Cmp::Le, bound);
+        rows.push((vec![(v, 1.0)], bound));
+    }
+    for _ in 0..g.usize_in(0, 4) {
+        let mut terms: Vec<(usize, f64)> = Vec::new();
+        for v in 0..vars {
+            if g.ratio(2, 3) {
+                terms.push((v, g.f64_in(0.0, 3.0)));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        let rhs = g.f64_in(1.0, 30.0);
+        lp.constrain(&terms, Cmp::Le, rhs);
+        rows.push((terms, rhs));
+    }
+    (lp, rows)
+}
+
+#[test]
+fn simplex_satisfies_primal_feasibility_and_strong_duality() {
+    check("lp-duality", 300, |g| {
+        let (lp, rows) = random_feasible(g);
+        let sol = match lp.solve() {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("feasible bounded LP must solve, got {other:?}"),
+        };
+        // Primal feasibility: every stored Le row holds.
+        for (terms, rhs) in &rows {
+            let lhs: f64 = terms.iter().map(|&(v, c)| c * sol.x[v]).sum();
+            assert!(lhs <= rhs + 1e-6, "violated row: {lhs} > {rhs}");
+        }
+        assert!(sol.x.iter().all(|&x| x >= -1e-9), "negative primal var");
+        // Strong duality: objective == Σ duals·b, with Le duals >= 0 in
+        // a max problem (weak duality is the ≥/≤ pair of the same sum).
+        // Every constraint of this instance is one of our stored rows,
+        // in insertion order, so `rows` doubles as the rhs vector.
+        let dual_obj: f64 = sol
+            .duals
+            .iter()
+            .zip(rows.iter().map(|(_, b)| *b))
+            .map(|(y, b)| y * b)
+            .sum();
+        assert!(
+            (sol.objective - dual_obj).abs() <= 1e-6 * (1.0 + sol.objective.abs()),
+            "duality gap: primal {} vs dual {}",
+            sol.objective,
+            dual_obj
+        );
+        assert!(sol.duals.iter().all(|&y| y >= -1e-9), "negative Le dual");
+    });
+}
+
+#[test]
+fn simplex_classifies_broken_instances_without_panicking() {
+    check("lp-broken", 200, |g| {
+        // Unbounded: a free direction with positive objective.
+        let mut lp = Lp::new(2);
+        lp.maximize(0, g.f64_in(0.1, 5.0));
+        lp.constrain(&[(1, 1.0)], Cmp::Le, g.f64_in(0.0, 5.0));
+        assert!(matches!(lp.solve(), LpOutcome::Unbounded), "must detect unbounded");
+
+        // Infeasible: x <= a and x >= a + gap.
+        let a = g.f64_in(0.0, 5.0);
+        let mut lp = Lp::new(1);
+        lp.maximize(0, 1.0);
+        lp.constrain(&[(0, 1.0)], Cmp::Le, a);
+        lp.constrain(&[(0, 1.0)], Cmp::Ge, a + g.f64_in(0.5, 4.0));
+        assert!(matches!(lp.solve(), LpOutcome::Infeasible), "must detect infeasible");
+
+        // Degenerate: duplicated and redundant rows still solve.
+        let (mut lp, _) = random_feasible(g);
+        let b = g.f64_in(0.5, 20.0);
+        for _ in 0..3 {
+            lp.constrain(&[(0, 1.0)], Cmp::Le, b);
+        }
+        assert!(
+            matches!(lp.solve(), LpOutcome::Optimal(_)),
+            "degenerate rows must not break the solve"
+        );
+    });
+}
+
+#[test]
+fn simplex_is_deterministic_across_repeat_solves() {
+    check("lp-determinism", 100, |g| {
+        let (a, _) = random_feasible(g);
+        let sa = a.solve();
+        let sb = a.solve();
+        let fp = |o: &LpOutcome| match o {
+            LpOutcome::Optimal(s) => Some((
+                s.objective.to_bits(),
+                s.x.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            )),
+            _ => None,
+        };
+        assert_eq!(fp(&sa), fp(&sb), "same instance must solve bit-identically");
+    });
+}
+
+#[test]
+fn auction_matches_the_simplex_on_random_assignments() {
+    check("auction-vs-simplex", 150, |g| {
+        let n = g.usize_in(1, 5);
+        // Integer weights: the auction's ε-scaling is then exact.
+        let w: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| g.u64_in(0, 20) as f64).collect())
+            .collect();
+        let auction = assignment_auction(&w, 1e-6);
+
+        // The LP relaxation over the (integral) assignment polytope.
+        let mut lp = Lp::new(n * n);
+        for (i, row_w) in w.iter().enumerate() {
+            for (j, &wij) in row_w.iter().enumerate() {
+                lp.maximize(i * n + j, wij);
+            }
+            let row: Vec<(usize, f64)> = (0..n).map(|j| (i * n + j, 1.0)).collect();
+            lp.constrain(&row, Cmp::Le, 1.0);
+            let col: Vec<(usize, f64)> = (0..n).map(|j| (j * n + i, 1.0)).collect();
+            lp.constrain(&col, Cmp::Le, 1.0);
+        }
+        let sol = lp.solve().optimal().expect("assignment LP solves");
+        assert!(
+            (auction.total - sol.objective).abs() < 1e-6,
+            "auction {} vs simplex {}",
+            auction.total,
+            sol.objective
+        );
+    });
+}
+
+/// A random concave curve: 1–3 segments with strictly decreasing slopes.
+fn random_curve(g: &mut Gen) -> SlaCurve {
+    let segs = g.usize_in(1, 3);
+    let mut points = Vec::new();
+    let mut w = 0.0;
+    let mut v = 0.0;
+    let mut slope = g.f64_in(1.0, 4.0);
+    for _ in 0..segs {
+        w += g.f64_in(5.0, 30.0);
+        v = (v + slope * (w - points.last().map_or(0.0, |&(pw, _)| pw))).max(v);
+        points.push((w, v));
+        slope *= g.f64_in(0.2, 0.9);
+    }
+    SlaCurve::new(points).expect("constructed concave")
+}
+
+fn random_program(g: &mut Gen) -> (WelfareProgram, Vec<SlaCurve>) {
+    let hosts = g.usize_in(1, 4);
+    let caps: Vec<f64> = (0..hosts).map(|_| g.f64_in(5.0, 60.0)).collect();
+    let mut program = WelfareProgram::new(caps);
+    let mut curves = Vec::new();
+    for a in 0..g.usize_in(1, 5) {
+        let curve = random_curve(g);
+        let cap = g.f64_in(0.5, 1.2) * curve.total_work();
+        program.add_app(WelfareApp {
+            id: a as u32,
+            segments: curve.remaining_segments(0.0, cap),
+            cap,
+        });
+        curves.push(curve);
+    }
+    (program, curves)
+}
+
+#[test]
+fn vcg_payments_are_nonnegative_and_individually_rational() {
+    check("vcg-ir", 200, |g| {
+        let (program, _) = random_program(g);
+        let out = vcg(&program).expect("window solves");
+        let mut welfare_check = 0.0;
+        for r in &out.receipts {
+            assert!(r.payment >= 0.0, "negative VCG payment: {}", r.payment);
+            assert!(
+                r.payment <= r.value + 1e-6,
+                "app {} pays {} above its value {}",
+                r.app,
+                r.payment,
+                r.value
+            );
+            assert!(
+                r.welfare_without <= r.welfare_with + 1e-6,
+                "removing an app cannot raise welfare"
+            );
+            welfare_check += r.value;
+        }
+        assert!(
+            (welfare_check - out.solution.welfare).abs() <= 1e-6 * (1.0 + welfare_check.abs()),
+            "welfare must decompose into per-app values"
+        );
+    });
+}
+
+#[test]
+fn truthful_reporting_weakly_dominates_sampled_misreports() {
+    check("vcg-truthful", 120, |g| {
+        let (program, curves) = random_program(g);
+        let truthful = vcg(&program).expect("window solves");
+        let a = g.usize_in(0, curves.len() - 1);
+        let true_curve = &curves[a];
+
+        // Misreport: scale the curve's values by λ (shape-preserving, so
+        // the report is still a valid concave curve).
+        let lambda = *g.choose(&[0.25, 0.5, 0.8, 1.25, 2.0, 4.0]);
+        let mut deviated = program.clone();
+        let scaled: Vec<(f64, f64)> = program.apps()[a]
+            .segments
+            .iter()
+            .map(|&(w, s)| (w, s * lambda))
+            .collect();
+        deviated.set_app_segments(a, scaled);
+        let misreport = vcg(&deviated).expect("deviated window solves");
+
+        // True utility = true value of what you were allocated, minus
+        // what you were charged (charges come from the *reported* run).
+        let u_truth = true_curve.value(truthful.solution.delivered[a]) - truthful.receipts[a].payment;
+        let u_dev = true_curve.value(misreport.solution.delivered[a]) - misreport.receipts[a].payment;
+        assert!(
+            u_truth >= u_dev - 1e-6 * (1.0 + u_truth.abs()),
+            "misreport λ={lambda} beats truth: {u_dev} > {u_truth} (app {a})"
+        );
+    });
+}
