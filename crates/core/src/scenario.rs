@@ -107,6 +107,7 @@ pub struct Scenario {
     heterogeneity: f64,
     faults: FaultPlan,
     ledger: Option<SharedJournal>,
+    sharding: usize,
 }
 
 impl Scenario {
@@ -125,6 +126,7 @@ impl Scenario {
             heterogeneity: 0.0,
             faults: FaultPlan::new(),
             ledger: None,
+            sharding: 1,
         }
     }
 
@@ -224,6 +226,19 @@ impl Scenario {
         self
     }
 
+    /// Split the market's tick sweep into `shards` host-range shards run
+    /// on scoped workers. The sharded sweep is byte-identical to the
+    /// sequential one at any shard count (DESIGN.md §15), so this is a
+    /// pure wall-clock knob — results, traces and telemetry don't change.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn sharding(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        self.sharding = shards;
+        self
+    }
+
     /// Run the scenario to completion (or the horizon).
     pub fn run(self) -> Result<ScenarioResult, GridError> {
         assert!(!self.users.is_empty(), "scenario needs at least one user");
@@ -238,6 +253,7 @@ impl Scenario {
         let seed_bytes = self.seed.to_be_bytes();
         let mut market = Market::new(&seed_bytes);
         market.set_interval_secs(self.interval_secs);
+        market.set_sharding(self.sharding);
         market.attach_telemetry(&registry, Arc::clone(&clock));
         market.attach_ledger(self.ledger.clone().unwrap_or_default());
         let host_specs = jittered_hosts(self.seed, self.hosts, self.heterogeneity);

@@ -17,7 +17,9 @@
 //! ```
 
 pub mod pool;
+pub mod scoped;
 pub mod wait_group;
 
 pub use pool::{panic_message, ThreadPool};
+pub use scoped::par_chunks_mut;
 pub use wait_group::WaitGroup;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mc chaos  [--seeds N] [--base-seed HEX] [--threads N] [--check]
-//! mc report [--seeds N] [--base-seed HEX] [--threads N] [--paper]
+//! mc report [--seeds N] [--base-seed HEX] [--threads N] [--paper-scale]
 //! ```
 //!
 //! `chaos` runs the per-policy random-fault sweep (Tycoon, the VCG
@@ -11,7 +11,9 @@
 //! every quarantined seed with its replay hint. `--check` turns it into
 //! a CI gate: exit 1 unless zero seeds were quarantined and both banked
 //! policies' conservation residuals are exactly 0. `report` re-runs the
-//! paper's figure experiments as seeded batches.
+//! paper's figure experiments as seeded batches; `--paper-scale` (alias
+//! `--paper`) runs them at the paper's full §5 parameters instead of the
+//! quick CI sizes.
 
 use gm_experiments::mc::{chaos, report, McArgs};
 use gm_experiments::Scale;

@@ -58,9 +58,11 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parse from a CLI argument (`--paper` selects full scale).
+    /// Parse from a CLI argument (`--paper` or its `--paper-scale` alias
+    /// selects full scale — the latter is what `just mc-report` forwards
+    /// for the fig3–fig7 Monte-Carlo batches).
     pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--paper") {
+        if std::env::args().any(|a| a == "--paper" || a == "--paper-scale") {
             Scale::Paper
         } else {
             Scale::Quick

@@ -12,10 +12,18 @@
 //! 3. charges each bid `rate × interval` against its escrow (pay-for-use:
 //!    cancelling refunds the remaining escrow),
 //! 4. publishes the spot price `y_j = Σ x_ij` (Eq. 1).
+//!
+//! Bids are stored in a dense struct-of-arrays lane (DESIGN.md §15):
+//! parallel vectors of handle / user / rate / escrow / payer in ascending
+//! handle order, so the allocation sweep is a branch-light linear scan
+//! and sums (`Σ x_ij`, `q_j`) are always fresh ordered reductions —
+//! byte-identical to the old `BTreeMap` walk. The payer column rides the
+//! bid itself, so cancelling, exhausting or evicting a bid removes its
+//! payer record in the same pass (no separate index to leak).
 
-use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::bank::AccountId;
 use crate::host::HostSpec;
 use crate::money::Credits;
 use crate::pricestats::PriceStats;
@@ -40,13 +48,82 @@ impl fmt::Display for UserId {
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct BidHandle(pub u64);
 
-#[derive(Clone, Debug)]
-struct Bid {
-    user: UserId,
-    /// Bid rate in credits/second.
-    rate: f64,
-    /// Remaining escrowed funds backing this bid.
-    escrow: Credits,
+/// Dense struct-of-arrays storage for one host's live bids, kept in
+/// ascending handle order (handles are monotonic per host, so appends
+/// always land at the end and the order never needs re-sorting).
+#[derive(Default)]
+struct BidLane {
+    handles: Vec<u64>,
+    users: Vec<UserId>,
+    rates: Vec<f64>,
+    escrows: Vec<Credits>,
+    /// Bank account that funded the bid, when placed through the market
+    /// (bids placed directly on the auctioneer, e.g. in tests or on the
+    /// live per-host service, carry `None`).
+    payers: Vec<Option<AccountId>>,
+}
+
+impl BidLane {
+    fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    fn idx(&self, handle: BidHandle) -> Option<usize> {
+        self.handles.binary_search(&handle.0).ok()
+    }
+
+    fn push(&mut self, handle: u64, user: UserId, rate: f64, escrow: Credits, payer: Option<AccountId>) {
+        debug_assert!(
+            self.handles.last().is_none_or(|&h| h < handle),
+            "handles must stay ascending"
+        );
+        self.handles.push(handle);
+        self.users.push(user);
+        self.rates.push(rate);
+        self.escrows.push(escrow);
+        self.payers.push(payer);
+    }
+
+    fn remove(&mut self, i: usize) -> (u64, UserId, f64, Credits, Option<AccountId>) {
+        (
+            self.handles.remove(i),
+            self.users.remove(i),
+            self.rates.remove(i),
+            self.escrows.remove(i),
+            self.payers.remove(i),
+        )
+    }
+
+    /// Drop every bid whose escrow ran dry, preserving order across all
+    /// columns (one stable in-place compaction).
+    fn compact_exhausted(&mut self) {
+        let mut w = 0;
+        for r in 0..self.len() {
+            if self.escrows[r].is_positive() {
+                if w != r {
+                    self.handles[w] = self.handles[r];
+                    self.users[w] = self.users[r];
+                    self.rates[w] = self.rates[r];
+                    self.escrows[w] = self.escrows[r];
+                    self.payers[w] = self.payers[r];
+                }
+                w += 1;
+            }
+        }
+        self.handles.truncate(w);
+        self.users.truncate(w);
+        self.rates.truncate(w);
+        self.escrows.truncate(w);
+        self.payers.truncate(w);
+    }
+
+    fn clear(&mut self) {
+        self.handles.clear();
+        self.users.clear();
+        self.rates.clear();
+        self.escrows.clear();
+        self.payers.clear();
+    }
 }
 
 /// The outcome of one allocation interval for one bid.
@@ -66,10 +143,15 @@ pub struct Allocation {
     pub exhausted: bool,
 }
 
+/// A bid evicted by a host crash or retirement: handle, owning user,
+/// remaining escrow, and the payer account recorded at placement (if the
+/// bid was placed through the market).
+pub type EvictedBid = (BidHandle, UserId, Credits, Option<AccountId>);
+
 /// Per-host continuous auction market.
 pub struct Auctioneer {
     spec: HostSpec,
-    bids: BTreeMap<BidHandle, Bid>,
+    lane: BidLane,
     next_handle: u64,
     /// Credits collected from charges (host income).
     earned: Credits,
@@ -86,7 +168,7 @@ impl Auctioneer {
         spec.validate().expect("invalid host spec");
         Auctioneer {
             spec,
-            bids: BTreeMap::new(),
+            lane: BidLane::default(),
             next_handle: 0,
             earned: Credits::ZERO,
             stats: PriceStats::standard(),
@@ -108,18 +190,36 @@ impl Auctioneer {
     /// # Panics
     /// Panics on non-positive rate or escrow (callers validate user input).
     pub fn place_bid(&mut self, user: UserId, rate: f64, escrow: Credits) -> BidHandle {
+        self.place_funded_bid(user, rate, escrow, None)
+    }
+
+    /// [`Auctioneer::place_bid`] with the funding account recorded on the
+    /// bid, so eviction and exhaustion drop the payer record in the same
+    /// pass that drops the bid.
+    ///
+    /// # Panics
+    /// Panics on non-positive rate or escrow (callers validate user input).
+    pub fn place_funded_bid(
+        &mut self,
+        user: UserId,
+        rate: f64,
+        escrow: Credits,
+        payer: Option<AccountId>,
+    ) -> BidHandle {
         assert!(rate > 0.0 && rate.is_finite(), "bid rate must be positive");
         assert!(escrow.is_positive(), "escrow must be positive");
         let handle = BidHandle(self.next_handle);
         self.next_handle += 1;
-        self.bids.insert(handle, Bid { user, rate, escrow });
+        self.lane.push(handle.0, user, rate, escrow, payer);
         handle
     }
 
     /// Cancel a bid, returning the unspent escrow (pay-for-use refund).
     /// Returns `None` for unknown/already-cancelled handles.
     pub fn cancel_bid(&mut self, handle: BidHandle) -> Option<Credits> {
-        self.bids.remove(&handle).map(|b| b.escrow)
+        let i = self.lane.idx(handle)?;
+        let (_, _, _, escrow, _) = self.lane.remove(i);
+        Some(escrow)
     }
 
     /// Evict every live bid at once, returning `(handle, user, remaining
@@ -130,18 +230,35 @@ impl Auctioneer {
     /// returned escrow to its payer so no money is stranded on the dead
     /// host.
     pub fn evict_all(&mut self) -> Vec<(BidHandle, UserId, Credits)> {
-        std::mem::take(&mut self.bids)
+        self.evict_all_funded()
             .into_iter()
-            .map(|(handle, bid)| (handle, bid.user, bid.escrow))
+            .map(|(h, u, e, _)| (h, u, e))
             .collect()
+    }
+
+    /// [`Auctioneer::evict_all`] carrying each bid's recorded payer, so
+    /// the market can refund escrows without a side index.
+    pub fn evict_all_funded(&mut self) -> Vec<EvictedBid> {
+        let out = (0..self.lane.len())
+            .map(|i| {
+                (
+                    BidHandle(self.lane.handles[i]),
+                    self.lane.users[i],
+                    self.lane.escrows[i],
+                    self.lane.payers[i],
+                )
+            })
+            .collect();
+        self.lane.clear();
+        out
     }
 
     /// Add funds to a live bid ("performance boosting" in §3).
     pub fn top_up(&mut self, handle: BidHandle, extra: Credits) -> bool {
         assert!(extra.is_positive(), "top-up must be positive");
-        match self.bids.get_mut(&handle) {
-            Some(b) => {
-                b.escrow += extra;
+        match self.lane.idx(handle) {
+            Some(i) => {
+                self.lane.escrows[i] += extra;
                 true
             }
             None => false,
@@ -151,18 +268,20 @@ impl Auctioneer {
     /// Change the rate of a live bid (re-bidding).
     pub fn update_rate(&mut self, handle: BidHandle, rate: f64) -> bool {
         assert!(rate > 0.0 && rate.is_finite(), "bid rate must be positive");
-        match self.bids.get_mut(&handle) {
-            Some(b) => {
-                b.rate = rate;
+        match self.lane.idx(handle) {
+            Some(i) => {
+                self.lane.rates[i] = rate;
                 true
             }
             None => false,
         }
     }
 
-    /// Sum of all live bid rates (the `Σ x_ij` part of the spot price).
+    /// Sum of all live bid rates (the `Σ x_ij` part of the spot price),
+    /// always a fresh reduction in handle order — never an incrementally
+    /// maintained total — so the float result is reproducible.
     pub fn total_bid_rate(&self) -> f64 {
-        self.bids.values().map(|b| b.rate).sum()
+        self.lane.rates.iter().sum()
     }
 
     /// The spot price `y_j`: total bid rates plus the owner's reserve.
@@ -177,29 +296,44 @@ impl Auctioneer {
     }
 
     /// Total of *other* users' bid rates plus reserve, as seen by `user`
-    /// (the `q_j` input to Best Response).
+    /// (the `q_j` input to Best Response). A filtered fresh sum, matching
+    /// [`Auctioneer::total_bid_rate`]'s float discipline.
     pub fn others_rate(&self, user: UserId) -> f64 {
-        self.bids
-            .values()
-            .filter(|b| b.user != user)
-            .map(|b| b.rate)
+        self.lane
+            .users
+            .iter()
+            .zip(&self.lane.rates)
+            .filter(|(u, _)| **u != user)
+            .map(|(_, r)| *r)
             .sum::<f64>()
             + self.spec.reserve_rate
     }
 
     /// Remaining escrow of a bid.
     pub fn escrow(&self, handle: BidHandle) -> Option<Credits> {
-        self.bids.get(&handle).map(|b| b.escrow)
+        self.lane.idx(handle).map(|i| self.lane.escrows[i])
+    }
+
+    /// Payer account recorded on a live bid (None for unfunded bids and
+    /// unknown handles).
+    pub fn payer(&self, handle: BidHandle) -> Option<AccountId> {
+        self.lane.idx(handle).and_then(|i| self.lane.payers[i])
     }
 
     /// Number of live bids.
     pub fn live_bids(&self) -> usize {
-        self.bids.len()
+        self.lane.len()
+    }
+
+    /// Number of live bids carrying a payer record — the whole payer
+    /// "index" of this host. Bounded by `live_bids` by construction.
+    pub fn funded_bids(&self) -> usize {
+        self.lane.payers.iter().filter(|p| p.is_some()).count()
     }
 
     /// Distinct users with live bids (= virtual machines on this host).
     pub fn active_users(&self) -> usize {
-        let mut users: Vec<UserId> = self.bids.values().map(|b| b.user).collect();
+        let mut users: Vec<UserId> = self.lane.users.clone();
         users.sort_unstable();
         users.dedup();
         users.len()
@@ -214,41 +348,50 @@ impl Auctioneer {
     /// charge escrows, deactivate exhausted bids. Returns one [`Allocation`]
     /// per live bid (in deterministic handle order).
     pub fn allocate(&mut self, dt_secs: f64) -> Vec<Allocation> {
+        self.sweep(dt_secs).1
+    }
+
+    /// [`Auctioneer::allocate`] fused with the tick-start spot price: the
+    /// rate column is summed exactly once and that sum serves as both the
+    /// returned spot and the proportional-share denominator. Bit-identical
+    /// to calling [`Auctioneer::spot_price`] followed by `allocate` (both
+    /// take the same fresh ordered sum), but half the rate-column reads —
+    /// the difference is measurable once 100k lanes stream from DRAM.
+    pub fn sweep(&mut self, dt_secs: f64) -> (f64, Vec<Allocation>) {
         assert!(dt_secs > 0.0 && dt_secs.is_finite());
         let denom = self.spot_price();
         self.stats.observe(denom);
-        let mut out = Vec::with_capacity(self.bids.len());
-        let mut exhausted_handles = Vec::new();
-
-        for (&handle, bid) in self.bids.iter_mut() {
-            let share = bid.rate / denom;
+        let n = self.lane.len();
+        let mut out = Vec::with_capacity(n);
+        let mut any_exhausted = false;
+        for i in 0..n {
+            let rate = self.lane.rates[i];
+            let share = rate / denom;
             // One VM cannot exceed one physical CPU (§5.2): a share of the
             // whole host translates to `share × cpus` of a single CPU,
             // capped at 1.
             let cpu_fraction = (share * self.spec.cpus as f64).min(1.0);
             let capacity_mhz = cpu_fraction * self.spec.vcpu_capacity_mhz();
 
-            let due = Credits::from_f64(bid.rate * dt_secs);
-            let charged = due.min(bid.escrow);
-            bid.escrow -= charged;
+            let due = Credits::from_f64(rate * dt_secs);
+            let charged = due.min(self.lane.escrows[i]);
+            self.lane.escrows[i] -= charged;
             self.earned += charged;
-            let exhausted = !bid.escrow.is_positive();
-            if exhausted {
-                exhausted_handles.push(handle);
-            }
+            let exhausted = !self.lane.escrows[i].is_positive();
+            any_exhausted |= exhausted;
             out.push(Allocation {
-                user: bid.user,
-                handle,
+                user: self.lane.users[i],
+                handle: BidHandle(self.lane.handles[i]),
                 share,
                 capacity_mhz,
                 charged,
                 exhausted,
             });
         }
-        for h in exhausted_handles {
-            self.bids.remove(&h);
+        if any_exhausted {
+            self.lane.compact_exhausted();
         }
-        out
+        (denom, out)
     }
 }
 
@@ -413,6 +556,38 @@ mod tests {
         a.place_bid(UserId(1), 0.582, Credits::from_whole(10));
         // effective capacity = 5820 MHz → ≈ 1e-4 credits/s per MHz
         assert!((a.price_per_mhz() - 1e-4).abs() < 1e-7);
+    }
+
+    #[test]
+    fn payer_rides_the_bid_and_dies_with_it() {
+        let mut a = auctioneer();
+        let h1 = a.place_funded_bid(UserId(1), 1.0, Credits::from_whole(3), Some(AccountId(7)));
+        let h2 = a.place_bid(UserId(2), 0.1, Credits::from_whole(10));
+        assert_eq!(a.payer(h1), Some(AccountId(7)));
+        assert_eq!(a.payer(h2), None);
+        assert_eq!(a.funded_bids(), 1);
+        // Exhaustion removes the bid and its payer record in one pass.
+        a.allocate(10.0);
+        assert_eq!(a.payer(h1), None);
+        assert_eq!(a.funded_bids(), 0);
+        assert_eq!(a.live_bids(), 1);
+    }
+
+    #[test]
+    fn evict_all_funded_reports_payers_in_handle_order() {
+        let mut a = auctioneer();
+        let h1 = a.place_funded_bid(UserId(1), 0.1, Credits::from_whole(5), Some(AccountId(3)));
+        let h2 = a.place_bid(UserId(2), 0.1, Credits::from_whole(7));
+        let evicted = a.evict_all_funded();
+        assert_eq!(
+            evicted,
+            vec![
+                (h1, UserId(1), Credits::from_whole(5), Some(AccountId(3))),
+                (h2, UserId(2), Credits::from_whole(7), None),
+            ]
+        );
+        assert_eq!(a.live_bids(), 0);
+        assert_eq!(a.funded_bids(), 0);
     }
 
     #[test]

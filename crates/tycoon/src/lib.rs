@@ -27,6 +27,7 @@
 //!   load shedding, and per-endpoint circuit breakers for the live
 //!   runtime (`DESIGN.md` §12).
 
+pub mod arena;
 pub mod auction;
 pub mod bank;
 pub mod best_response;
@@ -40,14 +41,17 @@ pub mod sls;
 pub mod telemetry;
 pub mod transport;
 
-pub use auction::{Allocation, Auctioneer, BidHandle, UserId};
+pub use arena::HostArena;
+pub use auction::{Allocation, Auctioneer, BidHandle, EvictedBid, UserId};
 pub use bank::{AccountId, Bank, BankError, Receipt};
 pub use best_response::{best_response, utility, HostQuote};
 pub use host::{HostId, HostSpec};
 pub use ledger::{
     AuditReport, BankEvent, BankSnapshot, ConservationAuditor, RecoverError, RecoveryReport,
 };
-pub use market::{CrashReport, Market, MarketError, DEFAULT_INTERVAL_SECS};
+pub use market::{
+    CrashReport, Market, MarketError, StagedOp, StagedOutcome, DEFAULT_INTERVAL_SECS,
+};
 pub use money::Credits;
 pub use pricestats::PriceStats;
 pub use service::{AuctioneerClient, BankClient, BankService, LiveMarket, NetConfig, ServiceError};

@@ -6,6 +6,17 @@
 //! cancelling refunds the unspent escrow back — so total money is conserved
 //! at every step (tested below and property-tested in the workspace
 //! integration suite).
+//!
+//! Since the scale refactor (DESIGN.md §15) the hot state lives in a
+//! dense struct-of-arrays [`HostArena`](crate::arena::HostArena) instead
+//! of per-host `BTreeMap`s: host lookup is an O(1) intern, the tick sweep
+//! is a linear scan over slots (optionally sharded across scoped workers
+//! via [`Market::set_sharding`] — byte-identical at any shard count), and
+//! each bid carries its payer account in the bid lane itself, so evicting
+//! or exhausting a bid drops the payer record in the same pass. Spot
+//! prices are *published* into an epoch buffer at each tick boundary;
+//! readers of [`Market::published_spots`] during tick `e` see the prices
+//! of epoch `e-1`, which is what makes the sharded sweep order-free.
 
 use std::sync::Arc;
 
@@ -13,6 +24,7 @@ use gm_des::{SimTime, Trace};
 use gm_ledger::SharedJournal;
 use gm_telemetry::{Clock, Registry};
 
+use crate::arena::HostArena;
 use crate::auction::{Allocation, Auctioneer, BidHandle, UserId};
 use crate::bank::{AccountId, Bank, BankError};
 use crate::best_response::HostQuote;
@@ -22,24 +34,13 @@ use crate::money::Credits;
 use crate::sls::Sls;
 use crate::telemetry::{LedgerInstruments, MarketInstruments};
 
-struct HostEntry {
-    auctioneer: Auctioneer,
-    /// The host's bank account: escrows live here while bids run; charges
-    /// stay here as host income.
-    account: AccountId,
-}
-
 /// A complete single-site Tycoon market.
 pub struct Market {
     bank: Bank,
     sls: Sls,
-    hosts: std::collections::BTreeMap<HostId, HostEntry>,
-    /// Hosts currently crashed: they keep their bank account (income
-    /// already earned stays theirs) but take no bids and skip ticks.
-    crashed: std::collections::BTreeSet<HostId>,
-    /// Payer account of each live funded bid, so a host crash can refund
-    /// evicted escrows to their owners.
-    payers: std::collections::BTreeMap<(HostId, BidHandle), AccountId>,
+    /// Dense struct-of-arrays host state: auctioneers, accounts, labels,
+    /// liveness and epoch prices, interned by `HostId` (DESIGN.md §15).
+    arena: HostArena,
     /// When `false`, every money-moving operation fails with
     /// [`MarketError::BankUnavailable`] (fault injection: bank outage).
     bank_online: bool,
@@ -48,7 +49,19 @@ pub struct Market {
     /// and consumers fall back to degraded-mode pricing (`DESIGN.md` §12).
     links_degraded: bool,
     price_trace: Trace,
+    /// Recording the per-tick price trace is O(hosts) strings + series
+    /// memory per tick; the 100k-host scale bench turns it off.
+    price_trace_enabled: bool,
     interval_secs: f64,
+    /// Number of contiguous host-range shards the tick sweep is split
+    /// into; `1` = sequential. Also the number of staging buffers.
+    shards: usize,
+    /// Per-shard staging buffers of batched operations, each ascending in
+    /// arrival sequence; drained in global arrival order by
+    /// [`Market::apply_staged`].
+    staging: Vec<Vec<(u64, StagedOp)>>,
+    /// Next arrival sequence number for staged operations.
+    staged_seq: u64,
     /// Optional instrumentation; `None` keeps the uninstrumented market
     /// entirely free of telemetry work.
     telemetry: Option<MarketInstruments>,
@@ -71,6 +84,79 @@ pub struct CrashReport {
     pub evicted: Vec<(BidHandle, UserId, Credits)>,
 }
 
+/// A market operation buffered for batched application at the tick
+/// boundary (DESIGN.md §15). Staged operations are bucketed per shard at
+/// ingest and drained **in global arrival order** by
+/// [`Market::apply_staged`], so a batched caller sees exactly the results
+/// it would have seen calling the market per message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StagedOp {
+    /// [`Market::place_funded_bid`].
+    Place {
+        /// The bidding user.
+        user: UserId,
+        /// Account the escrow is debited from.
+        payer: AccountId,
+        /// Target host.
+        host: HostId,
+        /// Bid rate in credits/second.
+        rate: f64,
+        /// Escrow backing the bid.
+        escrow: Credits,
+    },
+    /// [`Market::cancel_bid`].
+    Cancel {
+        /// Host carrying the bid.
+        host: HostId,
+        /// The bid to cancel.
+        handle: BidHandle,
+        /// Account refunded with the unspent escrow.
+        refund_to: AccountId,
+    },
+    /// [`Market::top_up_bid`].
+    TopUp {
+        /// Host carrying the bid.
+        host: HostId,
+        /// The bid to boost.
+        handle: BidHandle,
+        /// Account the extra escrow is debited from.
+        payer: AccountId,
+        /// Extra escrow.
+        extra: Credits,
+    },
+    /// [`Market::update_bid_rate`].
+    UpdateRate {
+        /// Host carrying the bid.
+        host: HostId,
+        /// The bid to re-rate.
+        handle: BidHandle,
+        /// New rate in credits/second.
+        rate: f64,
+    },
+}
+
+impl StagedOp {
+    fn host(&self) -> HostId {
+        match self {
+            StagedOp::Place { host, .. }
+            | StagedOp::Cancel { host, .. }
+            | StagedOp::TopUp { host, .. }
+            | StagedOp::UpdateRate { host, .. } => *host,
+        }
+    }
+}
+
+/// What a drained [`StagedOp`] produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StagedOutcome {
+    /// A `Place` succeeded with this handle.
+    Placed(BidHandle),
+    /// A `Cancel` succeeded, refunding this much.
+    Refunded(Credits),
+    /// A `TopUp` or `UpdateRate` succeeded.
+    Applied,
+}
+
 /// The paper's default reallocation interval (10 seconds, §2.2).
 pub const DEFAULT_INTERVAL_SECS: f64 = 10.0;
 
@@ -80,13 +166,15 @@ impl Market {
         Market {
             bank: Bank::new(seed),
             sls: Sls::new(),
-            hosts: std::collections::BTreeMap::new(),
-            crashed: std::collections::BTreeSet::new(),
-            payers: std::collections::BTreeMap::new(),
+            arena: HostArena::new(),
             bank_online: true,
             links_degraded: false,
             price_trace: Trace::new(),
+            price_trace_enabled: true,
             interval_secs: DEFAULT_INTERVAL_SECS,
+            shards: 1,
+            staging: vec![Vec::new()],
+            staged_seq: 0,
             telemetry: None,
             seed: seed.to_vec(),
             journal: None,
@@ -173,6 +261,41 @@ impl Market {
         self.interval_secs
     }
 
+    /// Split the tick sweep into `shards` contiguous host-range shards
+    /// run on scoped workers (`gm_exec::par_chunks_mut`), and bucket
+    /// staged operations into as many buffers. Per-host sweeps touch only
+    /// their own host's state and all cross-host reads go through the
+    /// epoch price buffer, so results are **byte-identical at any shard
+    /// count** (DESIGN.md §15). `1` restores the sequential sweep.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn set_sharding(&mut self, shards: usize) {
+        assert!(shards >= 1, "at least one shard");
+        // Re-bucket any staged-but-undrained operations.
+        let mut pending: Vec<(u64, StagedOp)> = self.staging.iter_mut().flat_map(std::mem::take).collect();
+        pending.sort_unstable_by_key(|(seq, _)| *seq);
+        self.shards = shards;
+        self.staging = vec![Vec::new(); shards];
+        for (seq, op) in pending {
+            let bucket = self.stage_bucket(op.host());
+            self.staging[bucket].push((seq, op));
+        }
+    }
+
+    /// Current shard count (`1` = sequential sweep).
+    pub fn sharding(&self) -> usize {
+        self.shards
+    }
+
+    /// Enable/disable the per-tick spot-price trace (on by default). The
+    /// trace stores every host's full price history — at 100k hosts the
+    /// scale bench disables it and reads [`Market::published_spots`]
+    /// instead.
+    pub fn set_price_trace_enabled(&mut self, enabled: bool) {
+        self.price_trace_enabled = enabled;
+    }
+
     /// Immutable access to the bank.
     pub fn bank(&self) -> &Bank {
         &self.bank
@@ -188,43 +311,46 @@ impl Market {
         &self.sls
     }
 
-    /// Add a host to the market; returns its bank account id.
+    /// Add a host to the market; returns its bank account id. Reuses a
+    /// free-listed arena slot if one is available (see
+    /// [`Market::retire_host`]).
     ///
     /// # Panics
     /// Panics on duplicate host ids or invalid specs.
     pub fn add_host(&mut self, spec: HostSpec) -> AccountId {
-        assert!(
-            !self.hosts.contains_key(&spec.id),
-            "duplicate host {:?}",
-            spec.id
-        );
+        assert!(!self.arena.contains(spec.id), "duplicate host {:?}", spec.id);
         let account = self
             .bank
             .open_account(self.bank.public_key(), &format!("{}", spec.id));
         self.sls.register(spec.clone());
-        self.hosts.insert(
-            spec.id,
-            HostEntry {
-                auctioneer: Auctioneer::new(spec),
-                account,
-            },
-        );
+        self.arena.insert(Auctioneer::new(spec), account);
         account
     }
 
     /// All host ids in deterministic order.
     pub fn host_ids(&self) -> Vec<HostId> {
-        self.hosts.keys().copied().collect()
+        self.arena.ids_in_order().collect()
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Arena slots ever allocated (registered + free-listed); bounded by
+    /// the peak host count, not by retire/add churn.
+    pub fn host_slot_capacity(&self) -> usize {
+        self.arena.capacity_slots()
     }
 
     /// Auctioneer of a host.
     pub fn auctioneer(&self, id: HostId) -> Option<&Auctioneer> {
-        self.hosts.get(&id).map(|e| &e.auctioneer)
+        self.arena.slot_of(id).map(|s| self.arena.auctioneer(s))
     }
 
     /// The host's bank account.
     pub fn host_account(&self, id: HostId) -> Option<AccountId> {
-        self.hosts.get(&id).map(|e| e.account)
+        self.arena.slot_of(id).map(|s| self.arena.account(s))
     }
 
     /// Build Best Response quotes for `user` over `hosts`, weighting each
@@ -232,12 +358,16 @@ impl Market {
     pub fn quotes_for(&self, user: UserId, hosts: &[HostId]) -> Vec<HostQuote> {
         hosts
             .iter()
-            .filter(|id| !self.crashed.contains(id))
-            .filter_map(|id| {
-                self.hosts.get(id).map(|e| HostQuote {
-                    host: *id,
-                    weight: e.auctioneer.spec().vcpu_capacity_mhz(),
-                    others_rate: e.auctioneer.others_rate(user),
+            .filter_map(|&id| {
+                let slot = self.arena.slot_of(id)?;
+                if !self.arena.is_live(slot) {
+                    return None;
+                }
+                let a = self.arena.auctioneer(slot);
+                Some(HostQuote {
+                    host: id,
+                    weight: a.spec().vcpu_capacity_mhz(),
+                    others_rate: a.others_rate(user),
                 })
             })
             .collect()
@@ -254,8 +384,63 @@ impl Market {
         Some(self.quotes_for(user, hosts))
     }
 
+    // ------------------------------------------------ batched ingestion
+
+    /// Buffer an operation for batched application, returning its arrival
+    /// sequence number. Staged operations are bucketed per shard and
+    /// applied — in global arrival order — when [`Market::apply_staged`]
+    /// runs (callers drain at `pre_tick`; [`Market::tick`] drains any
+    /// leftovers as a safety net, discarding the per-op results).
+    pub fn stage(&mut self, op: StagedOp) -> u64 {
+        let seq = self.staged_seq;
+        self.staged_seq += 1;
+        let bucket = self.stage_bucket(op.host());
+        self.staging[bucket].push((seq, op));
+        seq
+    }
+
+    fn stage_bucket(&self, host: HostId) -> usize {
+        host.0 as usize % self.shards
+    }
+
+    /// Number of staged-but-undrained operations.
+    pub fn staged_len(&self) -> usize {
+        self.staging.iter().map(Vec::len).sum()
+    }
+
+    /// Drain every staging buffer, applying the operations in global
+    /// arrival order (the per-shard buffers are merged by sequence
+    /// number), and return each operation's result tagged with its
+    /// sequence number. Telemetry counters fire exactly as if the calls
+    /// had been made directly.
+    pub fn apply_staged(&mut self) -> Vec<(u64, Result<StagedOutcome, MarketError>)> {
+        let mut ops: Vec<(u64, StagedOp)> = self.staging.iter_mut().flat_map(std::mem::take).collect();
+        ops.sort_unstable_by_key(|(seq, _)| *seq);
+        ops.into_iter()
+            .map(|(seq, op)| {
+                let result = match op {
+                    StagedOp::Place { user, payer, host, rate, escrow } => self
+                        .place_funded_bid(user, payer, host, rate, escrow)
+                        .map(StagedOutcome::Placed),
+                    StagedOp::Cancel { host, handle, refund_to } => self
+                        .cancel_bid(host, handle, refund_to)
+                        .map(StagedOutcome::Refunded),
+                    StagedOp::TopUp { host, handle, payer, extra } => self
+                        .top_up_bid(host, handle, payer, extra)
+                        .map(|()| StagedOutcome::Applied),
+                    StagedOp::UpdateRate { host, handle, rate } => self
+                        .update_bid_rate(host, handle, rate)
+                        .map(|()| StagedOutcome::Applied),
+                };
+                (seq, result)
+            })
+            .collect()
+    }
+
     /// Place a funded bid: debit `escrow` from `payer` into the host
-    /// account and register the bid with the host's auctioneer.
+    /// account and register the bid with the host's auctioneer. The payer
+    /// is recorded *on the bid* (in the bid lane), so eviction, exhaustion
+    /// and cancellation drop the payer record in the same pass.
     pub fn place_funded_bid(
         &mut self,
         user: UserId,
@@ -290,16 +475,21 @@ impl Market {
         rate: f64,
         escrow: Credits,
     ) -> Result<BidHandle, MarketError> {
-        if self.crashed.contains(&host) {
-            return Err(MarketError::HostOffline(host));
+        let slot = self.arena.slot_of(host);
+        if let Some(s) = slot {
+            if !self.arena.is_live(s) {
+                return Err(MarketError::HostOffline(host));
+            }
         }
         if !self.bank_online {
             return Err(MarketError::BankUnavailable);
         }
-        let entry = self.hosts.get_mut(&host).ok_or(MarketError::NoSuchHost(host))?;
-        self.bank.transfer(payer, entry.account, escrow)?;
-        let handle = entry.auctioneer.place_bid(user, rate, escrow);
-        self.payers.insert((host, handle), payer);
+        let slot = slot.ok_or(MarketError::NoSuchHost(host))?;
+        self.bank.transfer(payer, self.arena.account(slot), escrow)?;
+        let handle = self
+            .arena
+            .auctioneer_mut(slot)
+            .place_funded_bid(user, rate, escrow, Some(payer));
         Ok(handle)
     }
 
@@ -317,14 +507,14 @@ impl Market {
             }
             return Err(MarketError::BankUnavailable);
         }
-        let entry = self.hosts.get_mut(&host).ok_or(MarketError::NoSuchHost(host))?;
-        let refund = entry
-            .auctioneer
+        let slot = self.arena.slot_of(host).ok_or(MarketError::NoSuchHost(host))?;
+        let refund = self
+            .arena
+            .auctioneer_mut(slot)
             .cancel_bid(handle)
             .ok_or(MarketError::NoSuchBid(host, handle))?;
-        self.payers.remove(&(host, handle));
         if refund.is_positive() {
-            self.bank.transfer(entry.account, refund_to, refund)?;
+            self.bank.transfer(self.arena.account(slot), refund_to, refund)?;
         }
         if let Some(t) = &self.telemetry {
             t.refunds.inc();
@@ -343,8 +533,11 @@ impl Market {
         payer: AccountId,
         extra: Credits,
     ) -> Result<(), MarketError> {
-        if self.crashed.contains(&host) {
-            return Err(MarketError::HostOffline(host));
+        let slot = self.arena.slot_of(host);
+        if let Some(s) = slot {
+            if !self.arena.is_live(s) {
+                return Err(MarketError::HostOffline(host));
+            }
         }
         if !self.bank_online {
             if let Some(t) = &self.telemetry {
@@ -352,12 +545,12 @@ impl Market {
             }
             return Err(MarketError::BankUnavailable);
         }
-        let entry = self.hosts.get_mut(&host).ok_or(MarketError::NoSuchHost(host))?;
-        if entry.auctioneer.escrow(handle).is_none() {
+        let slot = slot.ok_or(MarketError::NoSuchHost(host))?;
+        if self.arena.auctioneer(slot).escrow(handle).is_none() {
             return Err(MarketError::NoSuchBid(host, handle));
         }
-        self.bank.transfer(payer, entry.account, extra)?;
-        let ok = entry.auctioneer.top_up(handle, extra);
+        self.bank.transfer(payer, self.arena.account(slot), extra)?;
+        let ok = self.arena.auctioneer_mut(slot).top_up(handle, extra);
         debug_assert!(ok);
         if let Some(t) = &self.telemetry {
             t.bank_transfers.inc();
@@ -372,8 +565,8 @@ impl Market {
         handle: BidHandle,
         rate: f64,
     ) -> Result<(), MarketError> {
-        let entry = self.hosts.get_mut(&host).ok_or(MarketError::NoSuchHost(host))?;
-        if entry.auctioneer.update_rate(handle, rate) {
+        let slot = self.arena.slot_of(host).ok_or(MarketError::NoSuchHost(host))?;
+        if self.arena.auctioneer_mut(slot).update_rate(handle, rate) {
             Ok(())
         } else {
             Err(MarketError::NoSuchBid(host, handle))
@@ -381,41 +574,122 @@ impl Market {
     }
 
     /// Run one allocation interval on every online host, recording spot
-    /// prices into the price trace. Returns per-host allocations; crashed
-    /// hosts are omitted entirely (no price sample, no allocation).
+    /// prices into the price trace. Returns per-host allocations in
+    /// ascending host-id order; crashed hosts are omitted entirely (no
+    /// price sample, no allocation).
+    ///
+    /// Any operations still staged are drained first (their results are
+    /// discarded — batch callers should drain via [`Market::apply_staged`]
+    /// at `pre_tick`). With sharding enabled the per-host sweeps run on
+    /// scoped workers over contiguous slot ranges; every per-host result
+    /// depends only on that host's own state, so the outcome is identical
+    /// at any shard count. At the end of the tick each swept host's
+    /// tick-start spot price is published into the epoch buffer
+    /// ([`Market::published_spots`]).
     pub fn tick(&mut self, now: SimTime) -> Vec<(HostId, Vec<Allocation>)> {
+        if self.staged_len() > 0 {
+            let _ = self.apply_staged();
+        }
         let started_micros = self.telemetry.as_ref().map(|t| t.now_micros());
         let dt = self.interval_secs;
-        let mut out = Vec::with_capacity(self.hosts.len());
-        for (&id, entry) in self.hosts.iter_mut() {
-            if self.crashed.contains(&id) {
-                continue;
+        let shards = self.shards;
+
+        // The sweep: per-slot tick-start spot + allocations. Slot-order
+        // execution (sequential or sharded) is safe because a host's sweep
+        // reads and writes only its own lane; emission order is ascending
+        // host id either way, so the two paths are byte-identical.
+        let n_slots = self.arena.capacity_slots();
+        let mut out = Vec::with_capacity(self.arena.len());
+        if shards <= 1 || n_slots < 2 {
+            // Sequential fast path: walk the occupied slots in host-id
+            // order and emit inline — no per-slot staging buffer, each
+            // lane and its output touched exactly once.
+            for i in 0..self.arena.len() {
+                let slot = self.arena.ordered_slots()[i] as usize;
+                if !self.arena.is_live(slot) {
+                    continue;
+                }
+                let (spot, allocations) = self.arena.auctioneer_mut(slot).sweep(dt);
+                if self.price_trace_enabled {
+                    self.price_trace.record(self.arena.label(slot), now, spot);
+                }
+                self.arena.publish_spot(slot, spot);
+                out.push((self.arena.id(slot), allocations));
             }
-            let spot = entry.auctioneer.spot_price();
-            self.price_trace.record(&format!("{id}"), now, spot);
-            if let Some(t) = self.telemetry.as_mut() {
-                t.set_spot(id, spot);
+        } else {
+            // Phase 1 — slot-chunked parallel sweep into a slot-indexed
+            // staging buffer.
+            let (auctioneers, occupied, live) = self.arena.sweep_columns();
+            let chunk = n_slots.div_ceil(shards);
+            let mut sweep: Vec<Option<(f64, Vec<Allocation>)>> =
+                gm_exec::par_chunks_mut(shards, auctioneers, chunk, |_ci, base, slice| {
+                    slice
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(k, a)| {
+                            let slot = base + k;
+                            (occupied[slot] && live[slot]).then(|| a.sweep(dt))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+
+            // Phase 2 — deterministic emission in ascending host-id order:
+            // price trace, epoch publication, and the caller's allocations.
+            for i in 0..self.arena.len() {
+                let slot = self.arena.ordered_slots()[i] as usize;
+                if let Some((spot, allocations)) = sweep[slot].take() {
+                    if self.price_trace_enabled {
+                        self.price_trace.record(self.arena.label(slot), now, spot);
+                    }
+                    self.arena.publish_spot(slot, spot);
+                    out.push((self.arena.id(slot), allocations));
+                }
             }
-            let allocations = entry.auctioneer.allocate(dt);
-            out.push((id, allocations));
         }
-        // Drop payer records of bids the allocation pass exhausted.
-        let hosts = &self.hosts;
-        self.payers
-            .retain(|(h, b), _| hosts.get(h).is_some_and(|e| e.auctioneer.escrow(*b).is_some()));
-        if let (Some(t), Some(start)) = (&self.telemetry, started_micros) {
+        // Spot gauges read straight from the arena's epoch column.
+        if let Some(t) = self.telemetry.as_mut() {
+            t.export_spots_from(&self.arena);
             t.ticks.inc();
-            t.tick_us.record_micros(t.now_micros().saturating_sub(start));
+            if let Some(start) = started_micros {
+                t.tick_us.record_micros(t.now_micros().saturating_sub(start));
+            }
         }
         out
     }
 
-    /// Spot prices of all hosts (deterministic order).
+    /// Spot prices of all hosts (deterministic order). These are *live*
+    /// prices — recomputed from the current bid lanes, reflecting any
+    /// mid-tick mutation — as opposed to [`Market::published_spots`].
     pub fn spot_prices(&self) -> Vec<(HostId, f64)> {
-        self.hosts
+        self.arena
+            .ordered_slots()
             .iter()
-            .map(|(&id, e)| (id, e.auctioneer.spot_price()))
+            .map(|&s| {
+                let s = s as usize;
+                (self.arena.id(s), self.arena.auctioneer(s).spot_price())
+            })
             .collect()
+    }
+
+    /// Epoch prices of all hosts (deterministic order): the spot price
+    /// each host published at its last tick boundary (its reserve rate
+    /// before the first tick). Readers during tick `e` see epoch `e-1`,
+    /// which is what lets shards (and external consumers) read prices
+    /// without ordering against the in-flight sweep (DESIGN.md §15).
+    pub fn published_spots(&self) -> Vec<(HostId, f64)> {
+        self.arena
+            .ordered_slots()
+            .iter()
+            .map(|&s| (self.arena.id(s as usize), self.arena.published_spot(s as usize)))
+            .collect()
+    }
+
+    /// Epoch price of one host (see [`Market::published_spots`]).
+    pub fn published_spot(&self, id: HostId) -> Option<f64> {
+        self.arena.slot_of(id).map(|s| self.arena.published_spot(s))
     }
 
     /// The recorded spot-price history.
@@ -425,7 +699,19 @@ impl Market {
 
     /// Income earned by a host so far.
     pub fn host_income(&self, id: HostId) -> Option<Credits> {
-        self.hosts.get(&id).map(|e| e.auctioneer.earned())
+        self.arena.slot_of(id).map(|s| self.arena.auctioneer(s).earned())
+    }
+
+    /// Total payer records across all hosts — the size of the (virtual)
+    /// payer index. Payers live in the bid lanes, so this is structurally
+    /// bounded by the number of live funded bids: evicted, exhausted and
+    /// cancelled bids shed their payer record in the same pass.
+    pub fn payer_index_len(&self) -> usize {
+        self.arena
+            .ordered_slots()
+            .iter()
+            .map(|&s| self.arena.auctioneer(s as usize).funded_bids())
+            .sum()
     }
 
     // ------------------------------------------------ failure semantics
@@ -440,20 +726,29 @@ impl Market {
     /// ignores a concurrent bank outage — the books stay conserved no
     /// matter which faults coincide.
     pub fn crash_host(&mut self, id: HostId) -> Result<CrashReport, MarketError> {
-        if self.crashed.contains(&id) {
+        let slot = self.arena.slot_of(id).ok_or(MarketError::NoSuchHost(id))?;
+        if !self.arena.is_live(slot) {
             return Err(MarketError::HostOffline(id));
         }
-        let entry = self.hosts.get_mut(&id).ok_or(MarketError::NoSuchHost(id))?;
-        let account = entry.account;
-        let evicted = entry.auctioneer.evict_all();
+        let evicted = self.evict_and_refund(slot);
+        self.arena.set_live(slot, false);
+        Ok(CrashReport { host: id, evicted })
+    }
+
+    /// Evict every bid on `slot`, refunding escrows to their recorded
+    /// payers (bids without a payer leave their escrow with the host —
+    /// money is conserved either way).
+    fn evict_and_refund(&mut self, slot: usize) -> Vec<(BidHandle, UserId, Credits)> {
+        let account = self.arena.account(slot);
+        let evicted = self.arena.auctioneer_mut(slot).evict_all_funded();
         if let Some(t) = &self.telemetry {
             t.evictions.add(evicted.len() as u64);
         }
-        for (handle, _user, escrow) in &evicted {
-            if let Some(payer) = self.payers.remove(&(id, *handle)) {
+        for (_handle, _user, escrow, payer) in &evicted {
+            if let Some(payer) = payer {
                 if escrow.is_positive() {
                     self.bank
-                        .transfer(account, payer, *escrow)
+                        .transfer(account, *payer, *escrow)
                         .expect("crash refund cannot fail: escrow is backed by host account");
                     if let Some(t) = &self.telemetry {
                         t.refunds.inc();
@@ -461,41 +756,55 @@ impl Market {
                     }
                 }
             }
-            // A bid without a recorded payer (placed around the market,
-            // e.g. directly on the auctioneer in tests) leaves its escrow
-            // in the host account: money is conserved either way.
         }
-        self.crashed.insert(id);
-        Ok(CrashReport { host: id, evicted })
+        evicted.into_iter().map(|(h, u, e, _)| (h, u, e)).collect()
     }
 
     /// Bring a crashed host back online, empty (no bids, no residue of the
     /// crash). No-op `Ok` if the host exists but was never crashed.
     pub fn recover_host(&mut self, id: HostId) -> Result<(), MarketError> {
-        if !self.hosts.contains_key(&id) {
-            return Err(MarketError::NoSuchHost(id));
-        }
-        self.crashed.remove(&id);
+        let slot = self.arena.slot_of(id).ok_or(MarketError::NoSuchHost(id))?;
+        self.arena.set_live(slot, true);
         Ok(())
+    }
+
+    /// Permanently remove a host from the market: evict and refund its
+    /// bids exactly like [`Market::crash_host`], deregister it from the
+    /// SLS, and free its arena slot onto the free-list for reuse by a
+    /// later [`Market::add_host`]. The host's bank account — and the
+    /// income it earned — survives in the bank. Unlike a crash, a retired
+    /// host cannot be recovered; re-adding the same id is a fresh host.
+    pub fn retire_host(&mut self, id: HostId) -> Result<CrashReport, MarketError> {
+        let slot = self.arena.slot_of(id).ok_or(MarketError::NoSuchHost(id))?;
+        let evicted = self.evict_and_refund(slot);
+        self.sls.deregister(id);
+        self.arena.remove(id);
+        Ok(CrashReport { host: id, evicted })
     }
 
     /// Whether a host is currently online (unknown hosts are offline).
     pub fn is_host_online(&self, id: HostId) -> bool {
-        self.hosts.contains_key(&id) && !self.crashed.contains(&id)
+        self.arena.slot_of(id).is_some_and(|s| self.arena.is_live(s))
     }
 
     /// Ids of all online hosts, deterministic order.
     pub fn online_host_ids(&self) -> Vec<HostId> {
-        self.hosts
-            .keys()
-            .filter(|id| !self.crashed.contains(id))
-            .copied()
+        self.arena
+            .ordered_slots()
+            .iter()
+            .filter(|&&s| self.arena.is_live(s as usize))
+            .map(|&s| self.arena.id(s as usize))
             .collect()
     }
 
     /// Ids of all crashed hosts, deterministic order.
     pub fn crashed_host_ids(&self) -> Vec<HostId> {
-        self.crashed.iter().copied().collect()
+        self.arena
+            .ordered_slots()
+            .iter()
+            .filter(|&&s| !self.arena.is_live(s as usize))
+            .map(|&s| self.arena.id(s as usize))
+            .collect()
     }
 
     /// Fault injection: make the bank unreachable (`false`) or reachable
@@ -889,5 +1198,172 @@ mod tests {
         assert_eq!(m.auctioneer(HostId(0)).unwrap().live_bids(), 0);
         assert_eq!(m.host_income(HostId(0)).unwrap(), Credits::from_whole(10));
         assert_eq!(m.bank().total_money(), Credits::from_whole(10));
+    }
+
+    // -------------------------------------------- scale-refactor tests
+
+    #[test]
+    fn sharded_tick_is_byte_identical_to_sequential() {
+        let run = |shards: usize| {
+            let (mut m, acct) = market_with_user(13, 10_000);
+            m.set_sharding(shards);
+            for i in 0..13 {
+                m.place_funded_bid(UserId(1 + i % 3), acct, HostId(i), 0.1 + i as f64 * 0.01, Credits::from_whole(20))
+                    .unwrap();
+            }
+            let mut allocs = Vec::new();
+            for k in 1..=30 {
+                allocs.push(m.tick(SimTime::from_secs(10 * k)));
+            }
+            let spots: Vec<(HostId, u64)> =
+                m.spot_prices().into_iter().map(|(h, p)| (h, p.to_bits())).collect();
+            let published: Vec<(HostId, u64)> =
+                m.published_spots().into_iter().map(|(h, p)| (h, p.to_bits())).collect();
+            (allocs, spots, published, m.bank().state_digest())
+        };
+        let seq = run(1);
+        assert_eq!(seq, run(2));
+        assert_eq!(seq, run(8));
+        assert_eq!(seq, run(64), "more shards than hosts");
+    }
+
+    #[test]
+    fn staged_ops_match_direct_calls_in_arrival_order() {
+        let direct = {
+            let (mut m, acct) = market_with_user(4, 1000);
+            let h0 = m
+                .place_funded_bid(UserId(1), acct, HostId(0), 0.5, Credits::from_whole(30))
+                .unwrap();
+            let h1 = m
+                .place_funded_bid(UserId(2), acct, HostId(1), 0.2, Credits::from_whole(20))
+                .unwrap();
+            m.top_up_bid(HostId(0), h0, acct, Credits::from_whole(5)).unwrap();
+            m.update_bid_rate(HostId(1), h1, 0.4).unwrap();
+            m.cancel_bid(HostId(1), h1, acct).unwrap();
+            m.tick(SimTime::from_secs(10));
+            m.bank().state_digest()
+        };
+        let staged = {
+            let (mut m, acct) = market_with_user(4, 1000);
+            m.set_sharding(3); // multiple buffers; drain must re-merge by arrival
+            m.stage(StagedOp::Place { user: UserId(1), payer: acct, host: HostId(0), rate: 0.5, escrow: Credits::from_whole(30) });
+            m.stage(StagedOp::Place { user: UserId(2), payer: acct, host: HostId(1), rate: 0.2, escrow: Credits::from_whole(20) });
+            let results = m.apply_staged();
+            let h0 = match results[0].1 { Ok(StagedOutcome::Placed(h)) => h, ref other => panic!("{other:?}") };
+            let h1 = match results[1].1 { Ok(StagedOutcome::Placed(h)) => h, ref other => panic!("{other:?}") };
+            m.stage(StagedOp::TopUp { host: HostId(0), handle: h0, payer: acct, extra: Credits::from_whole(5) });
+            m.stage(StagedOp::UpdateRate { host: HostId(1), handle: h1, rate: 0.4 });
+            m.stage(StagedOp::Cancel { host: HostId(1), handle: h1, refund_to: acct });
+            let results = m.apply_staged();
+            assert_eq!(results[0].1, Ok(StagedOutcome::Applied));
+            assert_eq!(results[1].1, Ok(StagedOutcome::Applied));
+            assert_eq!(results[2].1, Ok(StagedOutcome::Refunded(Credits::from_whole(20))));
+            m.tick(SimTime::from_secs(10));
+            m.bank().state_digest()
+        };
+        assert_eq!(direct, staged, "staged drain must replay arrival order");
+    }
+
+    #[test]
+    fn tick_drains_leftover_staged_ops() {
+        let (mut m, acct) = market_with_user(2, 100);
+        m.stage(StagedOp::Place { user: UserId(1), payer: acct, host: HostId(0), rate: 1.0, escrow: Credits::from_whole(50) });
+        assert_eq!(m.staged_len(), 1);
+        assert_eq!(m.auctioneer(HostId(0)).unwrap().live_bids(), 0, "not yet applied");
+        m.tick(SimTime::from_secs(10));
+        assert_eq!(m.staged_len(), 0);
+        // The staged bid was applied before the sweep: it was charged.
+        assert_eq!(m.host_income(HostId(0)).unwrap(), Credits::from_whole(10));
+    }
+
+    #[test]
+    fn staged_errors_surface_per_op() {
+        let (mut m, acct) = market_with_user(1, 100);
+        m.stage(StagedOp::Place { user: UserId(1), payer: acct, host: HostId(9), rate: 1.0, escrow: Credits::from_whole(5) });
+        m.stage(StagedOp::Cancel { host: HostId(0), handle: BidHandle(42), refund_to: acct });
+        let results = m.apply_staged();
+        assert_eq!(results[0].1, Err(MarketError::NoSuchHost(HostId(9))));
+        assert_eq!(results[1].1, Err(MarketError::NoSuchBid(HostId(0), BidHandle(42))));
+    }
+
+    #[test]
+    fn published_spots_lag_the_live_price_by_one_tick() {
+        let (mut m, acct) = market_with_user(1, 100);
+        let reserve = m.auctioneer(HostId(0)).unwrap().spec().reserve_rate;
+        // Before the first tick, the epoch buffer holds the idle spot.
+        assert_eq!(m.published_spot(HostId(0)), Some(reserve));
+        m.place_funded_bid(UserId(1), acct, HostId(0), 0.25, Credits::from_whole(50))
+            .unwrap();
+        // Live price sees the bid immediately; the epoch price does not.
+        assert!((m.spot_prices()[0].1 - (0.25 + reserve)).abs() < 1e-12);
+        assert_eq!(m.published_spot(HostId(0)), Some(reserve));
+        m.tick(SimTime::from_secs(10));
+        // The tick published its tick-start spot (which included the bid).
+        assert!((m.published_spot(HostId(0)).unwrap() - (0.25 + reserve)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn payer_index_stays_bounded_through_crash_recover_churn() {
+        // The satellite regression: payer records must die with their
+        // bids — across cancellation, exhaustion, eviction and recovery —
+        // so the index can never grow beyond the live funded bids.
+        let (mut m, acct) = market_with_user(3, 1_000_000);
+        let mut tick = 0u64;
+        for round in 0..50 {
+            for i in 0..3 {
+                // One long-lived bid and one that exhausts in a single tick.
+                m.place_funded_bid(UserId(1), acct, HostId(i), 0.1, Credits::from_whole(100))
+                    .unwrap();
+                m.place_funded_bid(UserId(2), acct, HostId(i), 5.0, Credits::from_whole(1))
+                    .unwrap();
+            }
+            assert_eq!(m.payer_index_len(), 6);
+            tick += 1;
+            m.tick(SimTime::from_secs(10 * tick)); // exhausts the rate-5 bids
+            assert_eq!(m.payer_index_len(), 3, "round {round}: exhausted bids shed payers");
+            let crash = HostId(round % 3);
+            m.crash_host(crash).unwrap();
+            assert_eq!(m.payer_index_len(), 2, "eviction sheds payers");
+            m.recover_host(crash).unwrap();
+            // Evict the survivors so the next round starts clean:
+            // crash+recover the hosts that still carry a bid.
+            for i in 0..3 {
+                if m.auctioneer(HostId(i)).unwrap().live_bids() > 0 {
+                    m.crash_host(HostId(i)).unwrap();
+                    m.recover_host(HostId(i)).unwrap();
+                }
+            }
+            assert_eq!(m.payer_index_len(), 0, "round {round} ends clean");
+        }
+        assert_eq!(m.bank().total_money(), Credits::from_whole(1_000_000), "churn conserves money");
+    }
+
+    #[test]
+    fn retire_host_refunds_frees_slot_and_bounds_arena() {
+        let (mut m, acct) = market_with_user(3, 1000);
+        m.place_funded_bid(UserId(1), acct, HostId(1), 0.1, Credits::from_whole(50))
+            .unwrap();
+        let report = m.retire_host(HostId(1)).unwrap();
+        assert_eq!(report.evicted.len(), 1);
+        assert_eq!(m.bank().balance(acct).unwrap(), Credits::from_whole(1000), "escrow refunded");
+        assert_eq!(m.host_ids(), vec![HostId(0), HostId(2)]);
+        assert!(m.auctioneer(HostId(1)).is_none());
+        assert!(m.sls().get(HostId(1)).is_none(), "deregistered from SLS");
+        assert_eq!(m.retire_host(HostId(1)), Err(MarketError::NoSuchHost(HostId(1))));
+
+        // Churn: retire/add cycles reuse slots — the arena stays bounded.
+        for round in 0..40u32 {
+            let id = 100 + round;
+            m.add_host(HostSpec::testbed(id));
+            m.retire_host(HostId(id)).unwrap();
+        }
+        assert_eq!(m.host_count(), 2);
+        assert_eq!(m.host_slot_capacity(), 3, "free-list bounds arena growth");
+        // The market still works end to end after the churn.
+        m.add_host(HostSpec::testbed(1000));
+        m.place_funded_bid(UserId(1), acct, HostId(1000), 0.5, Credits::from_whole(10))
+            .unwrap();
+        m.tick(SimTime::from_secs(10));
+        assert_eq!(m.bank().total_money(), Credits::from_whole(1000));
     }
 }

@@ -690,40 +690,55 @@ impl BankClient {
 #[derive(Clone)]
 enum AuctionRequest {
     PlaceBid {
+        host: HostId,
         user: UserId,
         rate: f64,
         escrow: Credits,
         reply: Sender<BidHandle>,
     },
     CancelBid {
+        host: HostId,
         handle: BidHandle,
         reply: Sender<Option<Credits>>,
     },
     TopUp {
+        host: HostId,
         handle: BidHandle,
         extra: Credits,
         reply: Sender<bool>,
     },
     UpdateRate {
+        host: HostId,
         handle: BidHandle,
         rate: f64,
         reply: Sender<bool>,
     },
     Quote {
+        host: HostId,
         user: UserId,
         reply: Sender<(f64, f64)>, // (spot price, others' rate)
     },
     Allocate {
+        host: HostId,
         dt_secs: f64,
         reply: Sender<Vec<Allocation>>,
     },
     Earned {
+        host: HostId,
         reply: Sender<Credits>,
+    },
+    /// Sweep every host the shard owns, in registration order — the
+    /// scatter-gather tick sends one of these per shard instead of one
+    /// `Allocate` per host.
+    TickShard {
+        dt_secs: f64,
+        reply: Sender<Vec<(HostId, Vec<Allocation>)>>,
     },
     Shutdown,
 }
 
-/// Handle to one host's auctioneer service.
+/// Handle to one host's auctioneer, addressed through the service that
+/// owns the host's shard (every request carries the target [`HostId`]).
 #[derive(Clone)]
 pub struct AuctioneerClient {
     host: HostId,
@@ -734,34 +749,47 @@ pub struct AuctioneerClient {
     net: ClientNet,
 }
 
+/// One auctioneer service thread owning a contiguous shard of hosts
+/// (DESIGN.md §15). Shard size 1 — the default — reproduces the historic
+/// one-thread-per-host layout, including its kill and timeout semantics.
 struct AuctioneerService {
-    handle: Option<JoinHandle<Auctioneer>>,
+    /// Hosts this shard owns, in registration order.
+    hosts: Vec<HostId>,
+    handle: Option<JoinHandle<Vec<Auctioneer>>>,
     tx: Sender<AuctionRequest>,
     client_net: ClientNet,
 }
 
 /// Messages exempt from link faults and shedding on an auctioneer link.
-/// `Allocate` is control: the scatter-gather tick has its own timeout and
-/// dead-host machinery, and a shed tick reply must never be able to mark
-/// a healthy host crashed.
+/// `Allocate`/`TickShard` are control: the scatter-gather tick has its
+/// own timeout and dead-host machinery, and a shed tick reply must never
+/// be able to mark a healthy host crashed.
 fn auction_is_control(req: &AuctionRequest) -> bool {
     matches!(
         req,
-        AuctionRequest::Shutdown | AuctionRequest::Allocate { .. }
+        AuctionRequest::Shutdown
+            | AuctionRequest::Allocate { .. }
+            | AuctionRequest::TickShard { .. }
     )
 }
 
-/// Runs auction requests against owned state behind the lossy transport.
+/// Runs auction requests against the shard's owned auctioneers behind
+/// the lossy transport. Host-addressed requests for a host this shard
+/// does not own are dropped (the caller times out) — they cannot occur
+/// through [`LiveMarket`], which routes by shard membership.
 fn auction_service_loop(
-    mut auctioneer: Auctioneer,
+    mut auctioneers: Vec<Auctioneer>,
     mut transport: ServiceTransport<AuctionRequest>,
-) -> Auctioneer {
+) -> Vec<Auctioneer> {
+    fn owned(auctioneers: &mut [Auctioneer], host: HostId) -> Option<&mut Auctioneer> {
+        auctioneers.iter_mut().find(|a| a.spec().id == host)
+    }
     while let Some(req) = transport.recv() {
         if matches!(req, AuctionRequest::Shutdown) {
             break;
         }
-        // Control replies (the tick's `Allocate`) are never lost; drawing
-        // a loss for them would let the link falsely kill a host.
+        // Control replies (the tick's sweep) are never lost; drawing a
+        // loss for them would let the link falsely kill a host.
         let lose_reply = !auction_is_control(&req) && transport.reply_lost();
         macro_rules! respond {
             ($reply:expr, $value:expr) => {{
@@ -771,61 +799,91 @@ fn auction_service_loop(
                 }
             }};
         }
+        macro_rules! respond_for {
+            ($host:expr, $reply:expr, |$a:ident| $value:expr) => {{
+                if let Some($a) = owned(&mut auctioneers, $host) {
+                    respond!($reply, $value);
+                } else {
+                    debug_assert!(false, "request for host outside shard");
+                }
+            }};
+        }
         match req {
             AuctionRequest::PlaceBid {
+                host,
                 user,
                 rate,
                 escrow,
                 reply,
             } => {
-                respond!(reply, auctioneer.place_bid(user, rate, escrow));
+                respond_for!(host, reply, |a| a.place_bid(user, rate, escrow));
             }
-            AuctionRequest::CancelBid { handle, reply } => {
-                respond!(reply, auctioneer.cancel_bid(handle));
+            AuctionRequest::CancelBid { host, handle, reply } => {
+                respond_for!(host, reply, |a| a.cancel_bid(handle));
             }
             AuctionRequest::TopUp {
+                host,
                 handle,
                 extra,
                 reply,
             } => {
-                respond!(reply, auctioneer.top_up(handle, extra));
+                respond_for!(host, reply, |a| a.top_up(handle, extra));
             }
-            AuctionRequest::UpdateRate { handle, rate, reply } => {
-                respond!(reply, auctioneer.update_rate(handle, rate));
+            AuctionRequest::UpdateRate {
+                host,
+                handle,
+                rate,
+                reply,
+            } => {
+                respond_for!(host, reply, |a| a.update_rate(handle, rate));
             }
-            AuctionRequest::Quote { user, reply } => {
-                respond!(
-                    reply,
-                    (auctioneer.spot_price(), auctioneer.others_rate(user))
-                );
+            AuctionRequest::Quote { host, user, reply } => {
+                respond_for!(host, reply, |a| (a.spot_price(), a.others_rate(user)));
             }
-            AuctionRequest::Allocate { dt_secs, reply } => {
-                respond!(reply, auctioneer.allocate(dt_secs));
+            AuctionRequest::Allocate {
+                host,
+                dt_secs,
+                reply,
+            } => {
+                respond_for!(host, reply, |a| a.allocate(dt_secs));
             }
-            AuctionRequest::Earned { reply } => {
-                respond!(reply, auctioneer.earned());
+            AuctionRequest::Earned { host, reply } => {
+                respond_for!(host, reply, |a| a.earned());
+            }
+            AuctionRequest::TickShard { dt_secs, reply } => {
+                let sweep: Vec<(HostId, Vec<Allocation>)> = auctioneers
+                    .iter_mut()
+                    .map(|a| (a.spec().id, a.allocate(dt_secs)))
+                    .collect();
+                respond!(reply, sweep);
             }
             AuctionRequest::Shutdown => {}
         }
     }
-    auctioneer
+    auctioneers
 }
 
 impl AuctioneerService {
-    fn spawn(spec: HostSpec, net: &NetConfig) -> AuctioneerService {
+    /// Spawn one service thread owning `specs` (a non-empty shard). The
+    /// link fault stream, queue gauge and thread name all derive from the
+    /// shard's lead (first) host, which at shard size 1 reproduces the
+    /// historic per-host identifiers exactly.
+    fn spawn_shard(specs: Vec<HostSpec>, net: &NetConfig) -> AuctioneerService {
+        assert!(!specs.is_empty(), "shard needs at least one host");
         let (tx, rx) = channel::<AuctionRequest>();
-        let host = spec.id;
+        let lead = specs[0].id;
+        let hosts: Vec<HostId> = specs.iter().map(|s| s.id).collect();
         let gate = (net.queue.capacity.is_some() || net.telemetry.is_some()).then(|| {
             QueueGate::new(
                 net.queue,
                 net.telemetry
                     .as_ref()
-                    .map(|t| t.queue_depth_gauge(&format!("{host}"))),
+                    .map(|t| t.queue_depth_gauge(&format!("{lead}"))),
             )
         });
         let fault_seed = net.fault_seed
             ^ AUCTIONEER_FAULT_STREAM
-            ^ u64::from(host.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ^ u64::from(lead.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let transport = ServiceTransport::new(
             rx,
             net.auctioneer_link,
@@ -834,15 +892,18 @@ impl AuctioneerService {
             net.telemetry.clone(),
             auction_is_control,
         );
-        let name = format!("tycoon-{}", spec.id);
+        let name = format!("tycoon-{lead}");
         let handle = std::thread::Builder::new()
             .name(name)
-            .spawn(move || auction_service_loop(Auctioneer::new(spec), transport))
+            .spawn(move || {
+                auction_service_loop(specs.into_iter().map(Auctioneer::new).collect(), transport)
+            })
             .expect("spawn auctioneer service");
         let breaker = net
             .breaker
             .map(|cfg| CircuitBreaker::new(cfg, net.clock.clone(), net.telemetry.clone()));
         AuctioneerService {
+            hosts,
             handle: Some(handle),
             tx,
             client_net: ClientNet {
@@ -907,6 +968,7 @@ impl AuctioneerClient {
         escrow: Credits,
     ) -> Result<BidHandle, ServiceError> {
         self.call(|reply| AuctionRequest::PlaceBid {
+            host: self.host,
             user,
             rate,
             escrow,
@@ -916,12 +978,17 @@ impl AuctioneerClient {
 
     /// Cancel a bid, refunding the remaining escrow.
     pub fn cancel_bid(&self, handle: BidHandle) -> Result<Option<Credits>, ServiceError> {
-        self.call(|reply| AuctionRequest::CancelBid { handle, reply })
+        self.call(|reply| AuctionRequest::CancelBid {
+            host: self.host,
+            handle,
+            reply,
+        })
     }
 
     /// Add escrow to a live bid.
     pub fn top_up(&self, handle: BidHandle, extra: Credits) -> Result<bool, ServiceError> {
         self.call(|reply| AuctionRequest::TopUp {
+            host: self.host,
             handle,
             extra,
             reply,
@@ -930,33 +997,55 @@ impl AuctioneerClient {
 
     /// Change a live bid's rate.
     pub fn update_rate(&self, handle: BidHandle, rate: f64) -> Result<bool, ServiceError> {
-        self.call(|reply| AuctionRequest::UpdateRate { handle, rate, reply })
+        self.call(|reply| AuctionRequest::UpdateRate {
+            host: self.host,
+            handle,
+            rate,
+            reply,
+        })
     }
 
     /// `(spot price, others' rate for user)` in one round trip.
     pub fn quote(&self, user: UserId) -> Result<(f64, f64), ServiceError> {
-        self.call(|reply| AuctionRequest::Quote { user, reply })
+        self.call(|reply| AuctionRequest::Quote {
+            host: self.host,
+            user,
+            reply,
+        })
     }
 
-    /// Run one allocation interval.
+    /// Run one allocation interval on this host.
     pub fn allocate(&self, dt_secs: f64) -> Result<Vec<Allocation>, ServiceError> {
-        self.call(|reply| AuctionRequest::Allocate { dt_secs, reply })
+        self.call(|reply| AuctionRequest::Allocate {
+            host: self.host,
+            dt_secs,
+            reply,
+        })
     }
 
     /// Host income so far.
     pub fn earned(&self) -> Result<Credits, ServiceError> {
-        self.call(|reply| AuctionRequest::Earned { reply })
+        self.call(|reply| AuctionRequest::Earned {
+            host: self.host,
+            reply,
+        })
     }
 }
 
 // ------------------------------------------------------------- market
 
-/// A market whose bank and auctioneers run as concurrent services.
+/// A market whose bank and auctioneers run as concurrent services, the
+/// hosts partitioned into contiguous shards of auctioneers each owned by
+/// one service thread (shard size 1 — the default — is the historic
+/// one-thread-per-host layout).
 pub struct LiveMarket {
     bank: BankService,
-    auctioneers: Vec<(HostId, AuctioneerService)>,
-    /// Hosts whose auctioneer has been observed (or made) dead. Guarded by
-    /// a mutex so the shared `tick` path can record deaths through `&self`.
+    shards: Vec<AuctioneerService>,
+    /// Hosts whose auctioneer shard has been observed (or made) dead.
+    /// Death is per *shard* — killing or timing out a shard marks every
+    /// host it owns — so this set is always a union of whole shards.
+    /// Guarded by a mutex so the shared `tick` path can record deaths
+    /// through `&self`.
     dead: Mutex<BTreeSet<HostId>>,
     tick_timeout: Duration,
     telemetry: Option<ServiceInstruments>,
@@ -977,14 +1066,34 @@ impl LiveMarket {
     /// client→service link gets `net`'s fault profile, bounded mailbox and
     /// circuit breaker (`DESIGN.md` §12).
     pub fn spawn_with_net(seed: &[u8], hosts: Vec<HostSpec>, net: NetConfig) -> LiveMarket {
+        LiveMarket::spawn_sharded_with_net(seed, hosts, net, 1)
+    }
+
+    /// [`LiveMarket::spawn_with_net`] with `shard_hosts` hosts per
+    /// auctioneer service thread (DESIGN.md §15). Hosts are partitioned
+    /// into contiguous shards in registration order; each shard's fault
+    /// stream, queue gauge and thread name derive from its lead host, so
+    /// `shard_hosts = 1` is byte-compatible with the historic per-host
+    /// services. Hosts sharing a shard share a mailbox, a link-fault
+    /// schedule and a failure domain: killing one kills the shard.
+    ///
+    /// # Panics
+    /// Panics if `shard_hosts` is zero.
+    pub fn spawn_sharded_with_net(
+        seed: &[u8],
+        hosts: Vec<HostSpec>,
+        net: NetConfig,
+        shard_hosts: usize,
+    ) -> LiveMarket {
+        assert!(shard_hosts >= 1, "at least one host per shard");
         let bank = BankService::spawn_with_net(Bank::new(seed), &net);
-        let auctioneers = hosts
-            .into_iter()
-            .map(|spec| (spec.id, AuctioneerService::spawn(spec, &net)))
+        let shards = hosts
+            .chunks(shard_hosts)
+            .map(|shard| AuctioneerService::spawn_shard(shard.to_vec(), &net))
             .collect();
         LiveMarket {
             bank,
-            auctioneers,
+            shards,
             dead: Mutex::new(BTreeSet::new()),
             tick_timeout: DEFAULT_TICK_TIMEOUT,
             telemetry: None,
@@ -1071,15 +1180,15 @@ impl LiveMarket {
         }
     }
 
-    /// A client for one host's auctioneer. Clients for a dead host are
-    /// still handed out; their calls fail with
-    /// [`ServiceError::Disconnected`].
+    /// A client for one host's auctioneer, routed to the shard service
+    /// that owns the host. Clients for a dead host are still handed out;
+    /// their calls fail with [`ServiceError::Disconnected`].
     pub fn auctioneer(&self, host: HostId) -> Option<AuctioneerClient> {
-        self.auctioneers
+        self.shards
             .iter()
-            .find(|(id, _)| *id == host)
-            .map(|(id, svc)| AuctioneerClient {
-                host: *id,
+            .find(|svc| svc.hosts.contains(&host))
+            .map(|svc| AuctioneerClient {
+                host,
                 tx: svc.tx.clone(),
                 timeout: DEFAULT_CALL_TIMEOUT,
                 retries: DEFAULT_CALL_RETRIES,
@@ -1090,7 +1199,7 @@ impl LiveMarket {
 
     /// All hosts the market was spawned with (alive or dead).
     pub fn host_ids(&self) -> Vec<HostId> {
-        self.auctioneers.iter().map(|(id, _)| *id).collect()
+        self.shards.iter().flat_map(|svc| svc.hosts.clone()).collect()
     }
 
     /// Hosts currently known dead (killed, or detected during a tick).
@@ -1098,61 +1207,66 @@ impl LiveMarket {
         self.dead.lock().unwrap().iter().copied().collect()
     }
 
-    /// Fault injection: crash one auctioneer service. The thread is
-    /// stopped and joined; subsequent client calls fail with
-    /// [`ServiceError::Disconnected`] and [`LiveMarket::tick`] skips the
-    /// host. Returns `false` for an unknown host.
+    /// Fault injection: crash the auctioneer service owning `host`. The
+    /// shard thread is stopped and joined; subsequent client calls to
+    /// *any* host in the shard fail with [`ServiceError::Disconnected`]
+    /// and [`LiveMarket::tick`] skips them (at the default shard size of
+    /// one host this is exactly the historic per-host kill). Returns
+    /// `false` for an unknown host.
     pub fn kill_auctioneer(&mut self, host: HostId) -> bool {
-        let Some((_, svc)) = self.auctioneers.iter_mut().find(|(id, _)| *id == host) else {
+        let Some(svc) = self.shards.iter_mut().find(|svc| svc.hosts.contains(&host)) else {
             return false;
         };
         svc.send_control(AuctionRequest::Shutdown);
         if let Some(h) = svc.handle.take() {
             let _ = h.join();
         }
-        self.dead.lock().unwrap().insert(host);
+        self.dead.lock().unwrap().extend(svc.hosts.iter().copied());
         true
     }
 
-    /// Scatter-gather allocation tick: every live auctioneer allocates
+    /// Scatter-gather allocation tick: every live shard sweeps its hosts
     /// concurrently; results return in deterministic host order.
     ///
-    /// Degrades gracefully: an auctioneer that cannot be reached, or whose
-    /// reply does not arrive within the tick deadline, is recorded in
-    /// [`LiveMarket::dead_hosts`] and omitted from the result — the tick
-    /// never deadlocks on a dead host.
+    /// Degrades gracefully: a shard that cannot be reached, or whose
+    /// reply does not arrive within the tick deadline, has its hosts
+    /// recorded in [`LiveMarket::dead_hosts`] and omitted from the result
+    /// — the tick never deadlocks on a dead shard.
     pub fn tick(&self, dt_secs: f64) -> Vec<(HostId, Vec<Allocation>)> {
+        type ShardReply = std::sync::mpsc::Receiver<Vec<(HostId, Vec<Allocation>)>>;
         let mut newly_dead = Vec::new();
-        // Scatter to every host not already known dead.
-        let pending: Vec<(HostId, std::sync::mpsc::Receiver<Vec<Allocation>>)> = {
+        // Scatter one sweep request per shard not already known dead
+        // (death is shard-granular, so checking the lead host suffices).
+        let pending: Vec<(&[HostId], ShardReply)> = {
             let dead = self.dead.lock().unwrap();
-            self.auctioneers
+            self.shards
                 .iter()
-                .filter(|(id, _)| !dead.contains(id))
-                .filter_map(|(id, svc)| {
+                .filter(|svc| !dead.contains(&svc.hosts[0]))
+                .filter_map(|svc| {
                     let (reply, rx) = channel();
                     if let Some(gate) = &svc.client_net.gate {
                         gate.count_send();
                     }
-                    match svc.tx.send(AuctionRequest::Allocate { dt_secs, reply }) {
-                        Ok(()) => Some((*id, rx)),
+                    match svc.tx.send(AuctionRequest::TickShard { dt_secs, reply }) {
+                        Ok(()) => Some((svc.hosts.as_slice(), rx)),
                         Err(_) => {
                             if let Some(gate) = &svc.client_net.gate {
                                 gate.cancel_send();
                             }
-                            newly_dead.push(*id);
+                            newly_dead.extend(svc.hosts.iter().copied());
                             None
                         }
                     }
                 })
                 .collect()
         };
-        // Gather in host order, skipping hosts that died mid-tick.
+        // Gather in shard (= host) order, skipping shards that died
+        // mid-tick.
         let mut out = Vec::with_capacity(pending.len());
-        for (id, rx) in pending {
+        for (hosts, rx) in pending {
             match rx.recv_timeout(self.tick_timeout) {
-                Ok(allocs) => out.push((id, allocs)),
-                Err(_) => newly_dead.push(id),
+                Ok(sweep) => out.extend(sweep),
+                Err(_) => newly_dead.extend(hosts.iter().copied()),
             }
         }
         if !newly_dead.is_empty() {
@@ -1163,10 +1277,10 @@ impl LiveMarket {
 
     /// Shut all services down, recovering the bank for inspection.
     pub fn shutdown(mut self) -> Bank {
-        for (_, svc) in self.auctioneers.iter_mut() {
+        for svc in self.shards.iter_mut() {
             svc.send_control(AuctionRequest::Shutdown);
         }
-        for (_, svc) in self.auctioneers.iter_mut() {
+        for svc in self.shards.iter_mut() {
             if let Some(h) = svc.handle.take() {
                 let _ = h.join();
             }
@@ -1471,6 +1585,57 @@ mod tests {
         let bank = live.bank();
         assert_eq!(bank.total_money().unwrap(), Credits::ZERO);
         assert!(bank.balance(a).is_err(), "account did not survive");
+        live.shutdown();
+    }
+
+    #[test]
+    fn sharded_live_market_matches_per_host_services() {
+        // 5 hosts in shards of 2 (so one ragged shard) must behave
+        // exactly like the per-host layout: same routing, same tick
+        // results in host order, same income.
+        let run = |shard_hosts: usize| {
+            let live = LiveMarket::spawn_sharded_with_net(
+                b"svc-shard",
+                specs(5),
+                NetConfig::default(),
+                shard_hosts,
+            );
+            for (k, id) in live.host_ids().into_iter().enumerate() {
+                let c = live.auctioneer(id).unwrap();
+                c.place_bid(UserId(1), 0.1 + k as f64 * 0.01, Credits::from_whole(50))
+                    .unwrap();
+            }
+            let ticks: Vec<Vec<(HostId, Vec<Allocation>)>> =
+                (0..3).map(|_| live.tick(10.0)).collect();
+            let earned: Vec<Credits> = live
+                .host_ids()
+                .into_iter()
+                .map(|id| live.auctioneer(id).unwrap().earned().unwrap())
+                .collect();
+            live.shutdown();
+            (ticks, earned)
+        };
+        let per_host = run(1);
+        assert_eq!(per_host, run(2));
+        assert_eq!(per_host, run(5), "single shard owning every host");
+    }
+
+    #[test]
+    fn killing_one_host_kills_its_whole_shard() {
+        let mut live = LiveMarket::spawn_sharded_with_net(
+            b"svc-shard-kill",
+            specs(4),
+            NetConfig::default(),
+            2,
+        );
+        // Killing host 2 takes down its shard-mate host 3 as well...
+        assert!(live.kill_auctioneer(HostId(2)));
+        assert_eq!(live.dead_hosts(), vec![HostId(2), HostId(3)]);
+        let hosts: Vec<HostId> = live.tick(10.0).into_iter().map(|(h, _)| h).collect();
+        assert_eq!(hosts, vec![HostId(0), HostId(1)]);
+        // ...and its clients disconnect rather than hang.
+        let c = live.auctioneer(HostId(3)).unwrap();
+        assert_eq!(c.earned(), Err(ServiceError::Disconnected));
         live.shutdown();
     }
 

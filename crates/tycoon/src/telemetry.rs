@@ -126,6 +126,18 @@ impl MarketInstruments {
             .get_or_insert_with(|| self.registry.gauge(&format!("market.spot.{host}")))
             .set(price);
     }
+
+    /// Bulk per-tick spot export: set the gauge of every live host from
+    /// the arena's epoch price column (the price just published at this
+    /// tick boundary). One pass, no per-host map lookups.
+    pub fn export_spots_from(&mut self, arena: &crate::arena::HostArena) {
+        for &slot in arena.ordered_slots() {
+            let slot = slot as usize;
+            if arena.is_live(slot) {
+                self.set_spot(arena.id(slot), arena.published_spot(slot));
+            }
+        }
+    }
 }
 
 /// Instrument handles for the live-service client path

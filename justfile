@@ -63,9 +63,12 @@ vcg-matrix:
 
 # Monte-Carlo figure report (DESIGN.md §13): every experiment binary
 # (fig3–fig7, sweep, volatility) re-run as a seeded Monte-Carlo batch,
-# with a confidence interval on each figure's headline numbers.
-mc-report:
-    cargo run --release -p gm-experiments --bin mc -- report
+# with a confidence interval on each figure's headline numbers. Extra
+# arguments pass straight through to the mc binary — e.g.
+# `just mc-report --paper-scale` runs the batches at the paper's full
+# §5 parameters, `just mc-report --seeds 100 --threads 8` resizes them.
+mc-report *ARGS:
+    cargo run --release -p gm-experiments --bin mc -- report {{ARGS}}
 
 # Small demo of the harness: 32 chaos seeds plus one rigged-to-panic
 # seed, showing quarantine, replay hints, and the lazy mc.* telemetry.
@@ -100,3 +103,15 @@ bench-save-mc:
 # root.
 bench-save-vcg:
     cargo bench -p gm-bench --bench vcg -- --save
+
+# Market-core scale matrix (DESIGN.md §15): tick throughput at
+# 30 / 1k / 10k / 100k hosts × 10 funded bids each, sequential and
+# sharded, gated on per-host cost at 100k staying within 2× of 1k.
+# Fails (exit 1) if the sweep has regressed super-linearly.
+scale-matrix:
+    cargo bench -p gm-bench --bench scale -- --check
+
+# Re-measure the scale matrix and write the result (including the gate
+# verdict) to BENCH_scale.json at the repo root.
+bench-save-scale:
+    cargo bench -p gm-bench --bench scale -- --save --check

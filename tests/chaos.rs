@@ -22,6 +22,12 @@ use gridmarket::tycoon::{Credits, HostSpec, LiveMarket};
 /// The Table-1 workload (equal funding) over 6 hosts with two hosts
 /// crashing at fixed times mid-run; one recovers, one stays down.
 fn table1_with_crashes(seed: u64) -> ScenarioResult {
+    table1_with_crashes_sharded(seed, 1)
+}
+
+/// Same workload with the market's tick sweep split over `shards`
+/// auctioneer shards (DESIGN.md §15).
+fn table1_with_crashes_sharded(seed: u64, shards: usize) -> ScenarioResult {
     let mut plan = FaultPlan::new();
     plan.host_crash(SimTime::from_secs(20 * 60), 0)
         .host_recover(SimTime::from_secs(80 * 60), 0)
@@ -34,6 +40,7 @@ fn table1_with_crashes(seed: u64) -> ScenarioResult {
         .horizon_hours(12)
         .equal_users(4, 120.0)
         .faults(plan)
+        .sharding(shards)
         .run()
         .expect("chaos scenario runs")
 }
@@ -101,6 +108,27 @@ fn fixed_host_crashes_complete_on_survivors_and_replay_identically() {
     assert_eq!(r.telemetry_jsonl, again.telemetry_jsonl);
     assert!(r.telemetry_jsonl.contains("\"fault.host_crash\""));
     assert_eq!(r.metrics.counters["grid.host_crashes"], 2);
+}
+
+#[test]
+fn sharded_chaos_runs_are_byte_identical_at_any_shard_count() {
+    // DESIGN.md §15: the slot-chunked sharded sweep re-imposes host-id
+    // emission order, so the whole chaos report — per-user metrics,
+    // money totals, and the timestamped telemetry export — is invariant
+    // in the shard count even while hosts crash and recover mid-run.
+    let base = table1_with_crashes(2006);
+    for shards in [2, 8] {
+        let sharded = table1_with_crashes_sharded(2006, shards);
+        assert_eq!(
+            fingerprint(&base),
+            fingerprint(&sharded),
+            "chaos metrics diverged at {shards} shards"
+        );
+        assert_eq!(
+            base.telemetry_jsonl, sharded.telemetry_jsonl,
+            "telemetry export diverged at {shards} shards"
+        );
+    }
 }
 
 #[test]
