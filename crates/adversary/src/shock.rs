@@ -1,0 +1,162 @@
+//! Seeded shock-workload generators.
+//!
+//! Where [`crate::strategy`] models *who* attacks, this module models
+//! *when* demand turns hostile: sudden load patterns that stress the
+//! market's price dynamics without any individual bidder misbehaving.
+//! Each generator is pure in `(config, rng)` and emits an ordinary
+//! [`JobRequest`] stream, so shocks compose with any policy and can be
+//! layered under a strategic cohort.
+
+use gm_core::JobRequest;
+use gm_des::rng::{Pcg32, Rng64};
+use gm_des::{SimDuration, SimTime};
+
+use crate::{AttackContext, ADVERSARY_USER_BASE};
+
+/// The three canonical shock shapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShockKind {
+    /// Step change: demand jumps to a higher plateau and stays there.
+    DemandShock,
+    /// Impulse: a burst of near-simultaneous arrivals, then silence.
+    FlashCrowd,
+    /// Bubble-and-crash: demand ramps up in waves, then vanishes at the
+    /// peak — the price path that stresses the circuit breaker hardest.
+    BubbleAndCrash,
+}
+
+impl ShockKind {
+    /// Every shock shape, report order.
+    pub const ALL: [ShockKind; 3] = [ShockKind::DemandShock, ShockKind::FlashCrowd, ShockKind::BubbleAndCrash];
+
+    /// The shock's stable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShockKind::DemandShock => "demand_shock",
+            ShockKind::FlashCrowd => "flash_crowd",
+            ShockKind::BubbleAndCrash => "bubble_and_crash",
+        }
+    }
+
+    /// Generate the shock's request stream: `waves × per_wave` honestly
+    /// funded jobs whose arrival *pattern* is the stress. Requests are
+    /// ascending by arrival with ids from `ctx.job_id_base` and users
+    /// from [`ADVERSARY_USER_BASE`], same contract as a strategy cohort.
+    pub fn requests(&self, ctx: &AttackContext, waves: u32, per_wave: u32, rng: &mut Pcg32) -> Vec<JobRequest> {
+        let onset = ctx
+            .arrivals
+            .first()
+            .copied()
+            .unwrap_or_else(|| SimTime::from_secs(600))
+            .min(ctx.horizon);
+        let span = (ctx.horizon - onset).max(SimDuration::from_secs(1));
+        let mut out = Vec::with_capacity((waves * per_wave) as usize);
+        for wave in 0..waves {
+            let wave_at = match self {
+                // Plateau: waves spread evenly over the remaining run.
+                ShockKind::DemandShock => onset + span.mul_f64(f64::from(wave) / f64::from(waves.max(1))),
+                // Impulse: every wave lands within seconds of the onset.
+                ShockKind::FlashCrowd => onset + SimDuration::from_secs(u64::from(wave)),
+                // Bubble: waves accelerate toward the midpoint, then stop
+                // cold — demand after the peak is the crash itself.
+                ShockKind::BubbleAndCrash => {
+                    let frac = f64::from(wave + 1) / f64::from(waves.max(1));
+                    onset + span.mul_f64(0.5 * frac * frac)
+                }
+            };
+            for j in 0..per_wave {
+                let k = wave * per_wave + j;
+                // Honest funding with mild seeded spread: the shock is
+                // the arrival pattern, not the budgets.
+                let budget = ctx.honest_funding * rng.next_range_f64(0.8, 1.2);
+                let jitter = SimDuration::from_micros(rng.next_bounded(2_000_000));
+                out.push(JobRequest {
+                    id: ctx.job_id_base + k,
+                    user: gm_tycoon::UserId(ADVERSARY_USER_BASE + k),
+                    subjobs: ctx.subjobs,
+                    work_per_subjob: ctx.work_per_subjob,
+                    arrival: (wave_at + jitter).min(ctx.horizon),
+                    budget,
+                    deadline_secs: ctx.honest_deadline_secs,
+                });
+            }
+        }
+        // Jitter can reorder within a wave; the driver wants ascending
+        // arrivals. Ids stay ascending by construction after a stable
+        // sort on arrival alone.
+        out.sort_by_key(|a| a.arrival);
+        for (i, req) in out.iter_mut().enumerate() {
+            req.id = ctx.job_id_base + i as u32;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> AttackContext {
+        AttackContext {
+            hosts: 6,
+            honest_users: 3,
+            honest_funding: 80.0,
+            honest_deadline_secs: 180.0 * 60.0,
+            honest_makespan_secs: 1200.0,
+            work_per_subjob: 10.0 * 60.0 * 2910.0,
+            subjobs: 4,
+            horizon: SimTime::from_secs(12 * 3600),
+            arrivals: vec![SimTime::from_secs(600)],
+            job_id_base: 100,
+            aggression: 1.0,
+        }
+    }
+
+    #[test]
+    fn shocks_are_deterministic_and_well_formed() {
+        let ctx = ctx();
+        for kind in ShockKind::ALL {
+            let a = kind.requests(&ctx, 4, 3, &mut Pcg32::seed_from_u64(11));
+            let b = kind.requests(&ctx, 4, 3, &mut Pcg32::seed_from_u64(11));
+            assert_eq!(a, b, "{} must be pure in (ctx, rng)", kind.name());
+            assert_eq!(a.len(), 12);
+            for (i, req) in a.iter().enumerate() {
+                assert_eq!(req.id, 100 + i as u32, "{}: ids reindexed ascending", kind.name());
+                assert!(req.user.0 >= ADVERSARY_USER_BASE);
+                assert!(req.arrival <= ctx.horizon);
+                assert!(req.budget >= 64.0 && req.budget <= 96.0, "{}: honest-ish budgets", kind.name());
+                if i > 0 {
+                    assert!(req.arrival >= a[i - 1].arrival, "{}: arrivals ascend", kind.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flash_crowd_is_an_impulse_and_demand_shock_a_plateau() {
+        let ctx = ctx();
+        let spread = |reqs: &[JobRequest]| {
+            reqs.last().unwrap().arrival.as_secs_f64() - reqs.first().unwrap().arrival.as_secs_f64()
+        };
+        let crowd = ShockKind::FlashCrowd.requests(&ctx, 6, 2, &mut Pcg32::seed_from_u64(5));
+        let plateau = ShockKind::DemandShock.requests(&ctx, 6, 2, &mut Pcg32::seed_from_u64(5));
+        assert!(spread(&crowd) < 10.0, "flash crowd lands within seconds, got {}", spread(&crowd));
+        assert!(spread(&plateau) > 3600.0, "demand shock spans hours, got {}", spread(&plateau));
+    }
+
+    #[test]
+    fn bubble_accelerates_toward_the_peak() {
+        let ctx = ctx();
+        let reqs = ShockKind::BubbleAndCrash.requests(&ctx, 8, 1, &mut Pcg32::seed_from_u64(5));
+        let gaps: Vec<f64> = reqs
+            .windows(2)
+            .map(|w| w[1].arrival.as_secs_f64() - w[0].arrival.as_secs_f64())
+            .collect();
+        // Quadratic ramp: later gaps widen (seeded jitter is ±2 s, far
+        // below the wave spacing), and all demand sits in the first half.
+        assert!(gaps.last().unwrap() > gaps.first().unwrap());
+        let peak = reqs.last().unwrap().arrival.as_secs_f64();
+        let mid = 600.0 + (12.0 * 3600.0 - 600.0) * 0.5 + 10.0;
+        assert!(peak <= mid, "bubble peaks by the midpoint, got {peak}");
+    }
+}

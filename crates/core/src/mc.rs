@@ -56,6 +56,10 @@ pub struct ChaosConfig {
     pub link_outages: u32,
     /// Length of each link outage in seconds.
     pub link_outage_secs: u64,
+    /// Strategic-adversary cohort arrivals per run (`gm-adversary`
+    /// materialises the hostile job streams at these seeded times;
+    /// `0` keeps the schedule byte-identical to pre-adversary plans).
+    pub adversary_arrivals: u32,
 }
 
 impl Default for ChaosConfig {
@@ -79,6 +83,7 @@ impl Default for ChaosConfig {
             bank_restarts: 1,
             link_outages: 1,
             link_outage_secs: 300,
+            adversary_arrivals: 0,
         }
     }
 }
@@ -99,6 +104,7 @@ impl ChaosConfig {
             bank_restarts: self.bank_restarts,
             link_outages: self.link_outages,
             link_outage_len: SimDuration::from_secs(self.link_outage_secs),
+            adversary_arrivals: self.adversary_arrivals,
         }
     }
 

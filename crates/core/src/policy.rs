@@ -233,6 +233,18 @@ impl AllocationPolicy for TycoonPolicy {
                 }
                 self.market.set_links_degraded(false);
             }
+            FaultKind::AdversaryArrival => {
+                // The adversary library materialises the hostile job
+                // requests for these seeded times (`gm-adversary`); the
+                // policy only traces that a cohort went live so the
+                // telemetry timeline lines up with the attack.
+                if let Some(t) = &self.tracer {
+                    t.event_with(
+                        "fault.adversary_arrival",
+                        &[("adversary", ev.target.to_string())],
+                    );
+                }
+            }
             FaultKind::MessageDelay | FaultKind::MessageDrop => {}
         }
     }

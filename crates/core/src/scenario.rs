@@ -19,7 +19,7 @@ use gm_grid::{
 };
 use gm_ledger::SharedJournal;
 use gm_telemetry::{metrics_jsonl, trace_jsonl, Clock, ManualClock, MetricsSnapshot, Registry, Tracer};
-use gm_tycoon::{Credits, HostSpec, Market, UserId};
+use gm_tycoon::{Credits, GuardConfig, HostSpec, Market, UserId};
 
 use crate::policy::{TycoonJobSetup, TycoonPolicy};
 
@@ -108,6 +108,7 @@ pub struct Scenario {
     faults: FaultPlan,
     ledger: Option<SharedJournal>,
     sharding: usize,
+    guard: Option<GuardConfig>,
 }
 
 impl Scenario {
@@ -127,6 +128,7 @@ impl Scenario {
             faults: FaultPlan::new(),
             ledger: None,
             sharding: 1,
+            guard: None,
         }
     }
 
@@ -239,6 +241,16 @@ impl Scenario {
         self
     }
 
+    /// Override the market's guard layer (rate limiter, price-band
+    /// circuit breaker, quarantine — DESIGN.md §16). The default guard is
+    /// enabled with thresholds honest workloads never reach; pass
+    /// `GuardConfig::disabled()` for an undefended market or a tightened
+    /// config for defense experiments.
+    pub fn guard(mut self, cfg: GuardConfig) -> Self {
+        self.guard = Some(cfg);
+        self
+    }
+
     /// Run the scenario to completion (or the horizon).
     pub fn run(self) -> Result<ScenarioResult, GridError> {
         assert!(!self.users.is_empty(), "scenario needs at least one user");
@@ -254,6 +266,9 @@ impl Scenario {
         let mut market = Market::new(&seed_bytes);
         market.set_interval_secs(self.interval_secs);
         market.set_sharding(self.sharding);
+        if let Some(cfg) = self.guard {
+            market.set_guard(cfg);
+        }
         market.attach_telemetry(&registry, Arc::clone(&clock));
         market.attach_ledger(self.ledger.clone().unwrap_or_default());
         let host_specs = jittered_hosts(self.seed, self.hosts, self.heterogeneity);

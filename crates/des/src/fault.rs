@@ -49,6 +49,14 @@ pub enum FaultKind {
     LinkDown,
     /// The degraded service links recover.
     LinkUp,
+    /// A strategic adversary cohort arrives (the `gm-adversary` attack
+    /// library materialises the actual hostile job requests at these
+    /// times; policies themselves only trace the event). `target` is the
+    /// adversary index within the cohort.
+    ///
+    /// Appended after [`FaultKind::LinkUp`] so existing plans keep their
+    /// `(at, kind, target)` sort order.
+    AdversaryArrival,
 }
 
 /// One scheduled fault event.
@@ -87,6 +95,11 @@ pub struct FaultGenConfig {
     pub link_outages: u32,
     /// Length of each degraded-link window.
     pub link_outage_len: SimDuration,
+    /// Number of adversary arrival events (strategic-bidder cohorts;
+    /// `gm-adversary` turns them into hostile job requests). Drawn after
+    /// every other stream so pre-adversary seeds keep their schedules
+    /// byte-identical.
+    pub adversary_arrivals: u32,
 }
 
 impl Default for FaultGenConfig {
@@ -102,6 +115,7 @@ impl Default for FaultGenConfig {
             bank_restarts: 0,
             link_outages: 0,
             link_outage_len: SimDuration::from_minutes(5),
+            adversary_arrivals: 0,
         }
     }
 }
@@ -199,6 +213,13 @@ impl FaultPlan {
             }
         }
 
+        // Adversary arrivals (drawn after every earlier stream — the same
+        // seed-stability contract as bank restarts and link outages).
+        for i in 0..cfg.adversary_arrivals {
+            let at = rng.next_bounded(horizon_us);
+            plan.push(SimTime::from_micros(at), FaultKind::AdversaryArrival, i);
+        }
+
         plan.normalize();
         plan
     }
@@ -241,6 +262,12 @@ impl FaultPlan {
     pub fn link_outage(&mut self, from: SimTime, until: SimTime) -> &mut Self {
         self.push(from, FaultKind::LinkDown, 0);
         self.push(until, FaultKind::LinkUp, 0)
+    }
+
+    /// Schedule an adversary-cohort arrival at `at` (adversary index
+    /// `idx` within the cohort).
+    pub fn adversary_arrival(&mut self, at: SimTime, idx: u32) -> &mut Self {
+        self.push(at, FaultKind::AdversaryArrival, idx)
     }
 
     /// Sort events by `(time, kind, target)`. Called automatically by
@@ -439,6 +466,94 @@ mod tests {
             assert!(e.at < with_links.horizon);
             assert_eq!(e.target, 0);
         }
+    }
+
+    #[test]
+    fn adversary_arrivals_generate_in_horizon_without_disturbing_other_draws() {
+        // The PR 4/5 append-last contract, extended to the adversary
+        // stream: arrivals are drawn after crashes, VM failures, bank
+        // outages, restarts AND link outages, so the non-adversary prefix
+        // of a schedule is byte-identical for the same seed.
+        let base = FaultGenConfig {
+            bank_restarts: 2,
+            link_outages: 2,
+            ..FaultGenConfig::default()
+        };
+        let with_adversaries = FaultGenConfig {
+            adversary_arrivals: 4,
+            ..base
+        };
+        let a = FaultPlan::generate(0xabcd, base);
+        let b = FaultPlan::generate(0xabcd, with_adversaries);
+        let non_adv: Vec<&FaultEvent> = b
+            .events()
+            .iter()
+            .filter(|e| e.kind != FaultKind::AdversaryArrival)
+            .collect();
+        assert_eq!(non_adv.len(), a.events().len());
+        for (x, y) in non_adv.iter().zip(a.events()) {
+            assert_eq!(**x, *y);
+        }
+        let arrivals: Vec<&FaultEvent> = b
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::AdversaryArrival)
+            .collect();
+        assert_eq!(arrivals.len(), 4);
+        let mut indices: Vec<u32> = arrivals.iter().map(|e| e.target).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2, 3], "targets are adversary indices");
+        for e in arrivals {
+            assert!(e.at < with_adversaries.horizon);
+        }
+    }
+
+    #[test]
+    fn golden_seed_schedule_is_byte_stable_with_adversary_field_defaulted() {
+        // Regression for the PR 8 golden harness seed (2006): adding the
+        // `adversary_arrivals` field at its zero default must leave the
+        // generated schedule — and therefore every committed golden run —
+        // byte-identical. The expected fingerprint was recorded before
+        // the field existed.
+        let cfg = FaultGenConfig {
+            hosts: 30,
+            horizon: SimTime::from_secs(8 * 3600),
+            crashes: 2,
+            vm_failures: 1,
+            bank_outages: 1,
+            bank_restarts: 1,
+            link_outages: 1,
+            ..FaultGenConfig::default()
+        };
+        let plan = FaultPlan::generate(2006, cfg);
+        // FNV-1a over the (at, kind-ordinal, target) stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fnv = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for e in plan.events() {
+            fnv(&e.at.as_micros().to_le_bytes());
+            fnv(&(e.kind as u8).to_le_bytes());
+            fnv(&e.target.to_le_bytes());
+        }
+        assert_eq!(
+            h, 0x7055_145c_c2cc_4c80,
+            "seed-2006 schedule fingerprint changed — the adversary stream \
+             must be drawn last (see the PR 4/5 append-last pattern)"
+        );
+    }
+
+    #[test]
+    fn explicit_adversary_arrival_builder_schedules_event() {
+        let mut plan = FaultPlan::new();
+        plan.adversary_arrival(SimTime::from_secs(42), 7);
+        let due = plan.take_due(SimTime::from_secs(60));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].kind, FaultKind::AdversaryArrival);
+        assert_eq!(due[0].target, 7);
     }
 
     #[test]

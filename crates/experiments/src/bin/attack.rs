@@ -1,0 +1,80 @@
+//! `attack` — the adversarial attack-matrix CLI (DESIGN.md §16).
+//!
+//! ```text
+//! attack [--seeds N] [--base-seed HEX] [--threads N] [--check]
+//! ```
+//!
+//! Runs every *(policy × strategy)* cell of the attack matrix — the six
+//! allocation policies (tycoon defended **and** open, the VCG tier, the
+//! four baselines) against the six `gm-adversary` bidder strategies —
+//! as one flat Monte-Carlo fan-out, and prints the honest-side report.
+//!
+//! `--check` turns it into the CI gate: exit 1 unless zero runs were
+//! quarantined, the honest cohort scored bit-identically with defenses
+//! on and off (the false-positive gate), and the guard measurably
+//! reduced both volatility and honest-fairness degradation under at
+//! least two attack strategies.
+
+use gm_experiments::ext_attack::matrix;
+use gm_experiments::mc::McArgs;
+
+fn parse_args() -> (McArgs, bool) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = McArgs::default();
+    let mut check = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut next_val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .clone()
+        };
+        match a.as_str() {
+            "--seeds" => args.seeds = next_val("--seeds").parse().expect("--seeds: integer"),
+            "--base-seed" => {
+                let v = next_val("--base-seed");
+                let v = v.trim_start_matches("0x");
+                args.base_seed = u64::from_str_radix(v, 16).expect("--base-seed: hex");
+            }
+            "--threads" => {
+                args.threads = next_val("--threads").parse().expect("--threads: integer");
+            }
+            "--check" => check = true,
+            _ => {}
+        }
+    }
+    (args, check)
+}
+
+fn main() {
+    let (args, check) = parse_args();
+    let m = matrix(args);
+    println!("{}", m.rendered);
+    if check {
+        let quarantined = m.total_quarantined();
+        let wins = m.defense_wins();
+        let honest_gate = ["fairness", "honest_welfare", "volatility", "revenue"]
+            .iter()
+            .all(|metric| {
+                let def = m.mean("tycoon", "honest", metric);
+                let open = m.mean("tycoon_open", "honest", metric);
+                match (def, open) {
+                    (Some(d), Some(o)) => d.to_bits() == o.to_bits(),
+                    _ => false,
+                }
+            });
+        if quarantined != 0 || wins.len() < 2 || !honest_gate {
+            eprintln!(
+                "attack --check FAILED: {quarantined} quarantined runs, \
+                 defense wins {wins:?} (need >= 2), honest-cohort gate {honest_gate}"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "attack --check OK: {} seeds x {} cells, 0 quarantined, \
+             honest cohort bit-identical with defenses on/off, defense wins: {wins:?}",
+            args.seeds,
+            m.cells.len()
+        );
+    }
+}

@@ -1,0 +1,536 @@
+//! Extension: the adversarial attack matrix (DESIGN.md §16).
+//!
+//! Every cell of the matrix is a Monte-Carlo batch over seeds of one
+//! *(policy × strategy)* pair: the honest chaos job stream plus one
+//! strategic cohort from `gm-adversary`, both driven through the
+//! unchanged [`PolicyDriver`] so the allocator is the only variable.
+//! Tycoon appears twice — `tycoon` with the default guard layer
+//! (rate limiter, price-band circuit breaker, quarantine) and
+//! `tycoon_open` with the guard disabled — so the matrix separates what
+//! the *market* absorbs from what the *defenses* absorb.
+//!
+//! Metrics are scored from the honest population's side of the run
+//! (user ids below [`gm_adversary::ADVERSARY_USER_BASE`]): an attack that transfers
+//! surplus from honest users to the cohort shows up as lost honest
+//! welfare and degraded honest fairness even when aggregate numbers look
+//! healthy. Volatility for the tycoon rows is computed over the
+//! *published* price trace — the external signal the circuit breaker
+//! actually defends; charging and allocation always see the raw spot.
+//! All volatility rows use absolute σ, not relative CoV (see
+//! [`abs_sigma`]).
+
+use gm_adversary::{AdversaryInstruments, AttackContext, AttackKind};
+use gm_baselines::{FifoPolicy, GCommerceMarket, Placement, SharePolicy, WinnerTakesAllMarket};
+use gm_des::rng::Pcg32;
+use gm_des::{FaultPlan, SimDuration, SimTime};
+use gm_grid::{AgentConfig, JobManager, VmConfig};
+use gm_tycoon::{GuardConfig, HostSpec, Market};
+use gridmarket::sched::{
+    jain_fairness, seed_stream, AllocationPolicy, JobRequest, McBatch, McOutcome, McReport,
+    PolicyDriver, RunResult, ScenarioFailure,
+};
+use gridmarket::telemetry::{ManualClock, Registry};
+use gridmarket::{chaos_runner, ChaosConfig, TycoonPolicy};
+
+use crate::mc::{job_stream, McArgs};
+
+/// Domain-separation salt for the strategy RNG: the cohort's random
+/// draws must not correlate with the fault plan generated from the same
+/// seed.
+const ATTACK_SALT: u64 = 0xA77A_C0DE;
+
+/// War-chest multiplier for the matrix: hostile budgets are sized at
+/// `aggression × honest funding`, concentrated enough that the hoarding
+/// and shill strategies cross the guard's 1 credit/s per-bid cap within
+/// a few re-bid escalations.
+const AGGRESSION: f64 = 8.0;
+
+/// The policy roster of the matrix, report order. `tycoon` runs the
+/// default guard; `tycoon_open` is the same market with defenses off.
+pub const ATTACK_POLICIES: [&str; 7] =
+    ["tycoon", "tycoon_open", "vcg", "fifo", "share", "gcommerce", "wta"];
+
+/// The chaos world the matrix runs in: the default chaos distribution
+/// plus two seeded adversary-cohort arrivals per run.
+pub fn attack_cfg() -> ChaosConfig {
+    ChaosConfig {
+        adversary_arrivals: 2,
+        ..ChaosConfig::default()
+    }
+}
+
+/// The strategic cohort for `(kind, seed)`: context derived from the
+/// chaos config, arrivals from the seed's fault plan, randomness from a
+/// salted stream — byte-identical for every policy that faces it.
+fn hostile_stream(kind: AttackKind, seed: u64, cfg: &ChaosConfig) -> Vec<JobRequest> {
+    let plan = FaultPlan::generate(seed, cfg.fault_gen());
+    let workload = gm_bio::workload::BioWorkload {
+        subjobs: cfg.subjobs,
+        chunk_minutes: cfg.chunk_minutes,
+        deadline_minutes: cfg.deadline_minutes,
+    };
+    // Unloaded honest batch makespan: each host runs its share of the
+    // honest sub-jobs back to back at full speed. Strategies time their
+    // strikes inside this window.
+    let waves = (cfg.users * cfg.subjobs).div_ceil(cfg.hosts.max(1));
+    let makespan = f64::from(waves) * cfg.chunk_minutes * 60.0;
+    let ctx = AttackContext {
+        hosts: cfg.hosts,
+        honest_users: cfg.users,
+        honest_funding: cfg.funding,
+        honest_deadline_secs: cfg.deadline_minutes as f64 * 60.0,
+        honest_makespan_secs: makespan,
+        work_per_subjob: workload.work_mhz_secs_per_subjob(),
+        subjobs: cfg.subjobs,
+        horizon: SimTime::ZERO + SimDuration::from_hours(cfg.horizon_hours),
+        arrivals: AttackContext::arrivals_from(&plan),
+        job_id_base: cfg.users,
+        aggression: AGGRESSION,
+    };
+    kind.strategy().requests(&ctx, &mut Pcg32::seed_from_u64(seed ^ ATTACK_SALT))
+}
+
+/// Absolute price volatility: the plain standard deviation of a price
+/// series in credits/second. Deliberately *not* the coefficient of
+/// variation ([`gm_core::metrics::price_volatility`]): a sustained
+/// attack inflates the mean price by orders of magnitude, which *lowers*
+/// relative CoV and would score a price wall as "calmer" than an idle
+/// market. Absolute σ scores exactly what the circuit breaker defends —
+/// the size of excursions in the published signal.
+fn abs_sigma(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Honest-side metric rows shared by every cell. The split keys on the
+/// request id — honest requests occupy ids `0..users`, the cohort ids
+/// start at `job_id_base = users` (the cohort's *user* ids start at
+/// [`gm_adversary::ADVERSARY_USER_BASE`], but some policies renumber users internally
+/// while every policy preserves request ids in its outcomes).
+/// `volatility` is passed in because the tycoon rows score the published
+/// price trace while the baselines score their own posted-price history.
+fn honest_rows(r: &RunResult, honest_jobs: u32, volatility: f64) -> Vec<(&'static str, f64)> {
+    let honest: Vec<_> = r.outcomes.iter().filter(|o| o.id < honest_jobs).collect();
+    let missed = honest
+        .iter()
+        .filter(|o| o.finished_at.is_none() || o.value <= 0.0)
+        .count();
+    let adversary_nodes: f64 = r
+        .outcomes
+        .iter()
+        .filter(|o| o.id >= honest_jobs)
+        .map(|o| o.avg_nodes)
+        .sum();
+    // Fairness over the honest users' realized on-time *value* (equal
+    // budgets, so this is value-per-credit). Node counts are blind here:
+    // a starved job keeps its VMs attached (4 "nodes") while receiving
+    // ~0 CPU share, so a Jain index over `avg_nodes` reads a total stall
+    // as perfectly fair. And rate metrics (value per makespan second)
+    // punish the *defended* market for staggered-but-successful
+    // finishes. Realized value scores exactly what the user cares
+    // about — who got what they paid for: everyone on time → 1.0, a
+    // price wall that makes one user miss a deadline the others squeaked
+    // past → 0.667 for three users.
+    let realized: Vec<f64> = honest.iter().map(|o| o.value).collect();
+    vec![
+        ("fairness", jain_fairness(&realized)),
+        ("honest_welfare", honest.iter().map(|o| o.value).sum()),
+        (
+            "honest_miss_rate",
+            missed as f64 / honest.len().max(1) as f64,
+        ),
+        ("adversary_nodes", adversary_nodes),
+        ("volatility", volatility),
+        ("revenue", r.revenue()),
+    ]
+}
+
+/// One tycoon cell: market + guard config, honest stream plus cohort,
+/// scored from the honest side. Also the only cell with live telemetry —
+/// the `adversary.*` cohort counters and the guard's own `market.guard.*`
+/// counters ride the same registry.
+fn tycoon_cell(
+    kind: AttackKind,
+    guard: GuardConfig,
+    seed: u64,
+    cfg: &ChaosConfig,
+) -> Vec<(&'static str, f64)> {
+    let hosts: Vec<HostSpec> =
+        gridmarket::scenario::jittered_hosts(seed, cfg.hosts, cfg.heterogeneity);
+    let registry = Registry::new();
+    let clock = ManualClock::new();
+    let mut market = Market::new(&seed.to_be_bytes());
+    market.set_interval_secs(10.0);
+    market.set_guard(guard);
+    market.attach_telemetry(&registry, std::sync::Arc::new(clock.clone()));
+    for h in &hosts {
+        market.add_host(h.clone());
+    }
+    let jm = JobManager::new(&mut market, AgentConfig::default(), VmConfig::default());
+    let mut policy = TycoonPolicy::new(market, jm).with_clock(clock);
+
+    let mut jobs = job_stream(cfg);
+    let cohort = hostile_stream(kind, seed, cfg);
+    let pairs = if kind == AttackKind::ShillPair { cohort.len() / 3 } else { 0 };
+    AdversaryInstruments::new(&registry).record_cohort(cohort.len(), pairs);
+    jobs.extend(cohort);
+
+    let r = PolicyDriver::new(hosts, 10.0)
+        .horizon(SimTime::ZERO + SimDuration::from_hours(cfg.horizon_hours))
+        .faults(FaultPlan::generate(seed, cfg.fault_gen()))
+        .with_registry(&registry)
+        .run(&mut policy, &jobs)
+        .expect("valid attack job stream");
+
+    // Volatility over the *published* (breaker-damped) per-host price
+    // trace — the signal external consumers actually see.
+    let mut vols: Vec<f64> = Vec::new();
+    for (_, series) in policy.market().price_trace().iter() {
+        if let Some(v) = abs_sigma(series.values()) {
+            vols.push(v);
+        }
+    }
+    let volatility = if vols.is_empty() {
+        0.0
+    } else {
+        vols.iter().sum::<f64>() / vols.len() as f64
+    };
+    let audit = policy.market().audit_ledger();
+    assert!(
+        audit.ok(),
+        "conservation violated under attack (seed {seed:#x}, strategy {}): {audit:?}",
+        kind.name()
+    );
+    let quarantined = policy.market().guard().quarantined_accounts().len();
+    let mut rows = vec![("quarantined", quarantined as f64)];
+    rows.extend(honest_rows(&r, cfg.users, volatility));
+    rows
+}
+
+/// One baseline cell: the identical honest + cohort stream through a
+/// guard-less policy tier.
+fn baseline_cell(
+    policy: &'static str,
+    kind: AttackKind,
+    seed: u64,
+    cfg: &ChaosConfig,
+) -> Vec<(&'static str, f64)> {
+    let mut boxed: Box<dyn AllocationPolicy + Send> = match policy {
+        "vcg" => Box::new(gm_optimal::VcgSlaPolicy::new(seed)),
+        "fifo" => Box::new(FifoPolicy::default()),
+        "share" => Box::new(SharePolicy::new(Placement::LeastLoaded)),
+        "gcommerce" => Box::new(GCommerceMarket::default().policy()),
+        "wta" => Box::new(WinnerTakesAllMarket::default().policy()),
+        other => unreachable!("unknown attack policy {other}"),
+    };
+    let hosts: Vec<HostSpec> =
+        gridmarket::scenario::jittered_hosts(seed, cfg.hosts, cfg.heterogeneity);
+    let mut jobs = job_stream(cfg);
+    jobs.extend(hostile_stream(kind, seed, cfg));
+    let r = PolicyDriver::new(hosts, 10.0)
+        .horizon(SimTime::ZERO + SimDuration::from_hours(cfg.horizon_hours))
+        .faults(FaultPlan::generate(seed, cfg.fault_gen()))
+        .run(boxed.as_mut(), &jobs)
+        .expect("valid attack job stream");
+    let prices: Vec<f64> = r.price_history.iter().map(|(_, p)| *p).collect();
+    let volatility = abs_sigma(&prices).unwrap_or(0.0);
+    honest_rows(&r, cfg.users, volatility)
+}
+
+/// One *(policy × strategy)* cell for one seed.
+fn attack_cell(
+    policy: &'static str,
+    kind: AttackKind,
+    seed: u64,
+    cfg: &ChaosConfig,
+) -> Vec<(&'static str, f64)> {
+    match policy {
+        "tycoon" => tycoon_cell(kind, GuardConfig::default(), seed, cfg),
+        "tycoon_open" => tycoon_cell(kind, GuardConfig::disabled(), seed, cfg),
+        other => baseline_cell(other, kind, seed, cfg),
+    }
+}
+
+/// One cell of the finished matrix: a Student-t report over the seeds.
+#[derive(Clone, Debug)]
+pub struct AttackCell {
+    /// Policy row (`tycoon`, `tycoon_open`, the baselines).
+    pub policy: &'static str,
+    /// Strategy column (see [`AttackKind`]).
+    pub strategy: &'static str,
+    /// Report over the completed seeds.
+    pub report: McReport,
+    /// Quarantined Monte-Carlo failures (seed, panic, replay hint).
+    pub failures: Vec<ScenarioFailure>,
+}
+
+/// The finished attack matrix.
+#[derive(Clone, Debug)]
+pub struct AttackMatrix {
+    /// All cells, policy-major in roster order.
+    pub cells: Vec<AttackCell>,
+    /// Rendered report.
+    pub rendered: String,
+}
+
+impl AttackMatrix {
+    /// Look up one cell.
+    pub fn cell(&self, policy: &str, strategy: &str) -> Option<&AttackCell> {
+        self.cells
+            .iter()
+            .find(|c| c.policy == policy && c.strategy == strategy)
+    }
+
+    /// A cell's mean for `metric`.
+    pub fn mean(&self, policy: &str, strategy: &str, metric: &str) -> Option<f64> {
+        self.cell(policy, strategy)
+            .and_then(|c| c.report.metric(metric))
+            .map(|s| s.mean)
+    }
+
+    /// Total quarantined Monte-Carlo runs (panics) across all cells.
+    pub fn total_quarantined(&self) -> usize {
+        self.cells.iter().map(|c| c.failures.len()).sum()
+    }
+
+    /// Attack strategies where the guard layer *measurably* helps: the
+    /// defended tycoon shows strictly lower published-price volatility
+    /// **and** strictly smaller honest-fairness degradation (relative to
+    /// each market's own honest baseline) than the open market.
+    pub fn defense_wins(&self) -> Vec<&'static str> {
+        let base_def = self.mean("tycoon", "honest", "fairness").unwrap_or(1.0);
+        let base_open = self.mean("tycoon_open", "honest", "fairness").unwrap_or(1.0);
+        AttackKind::ALL
+            .iter()
+            .filter(|k| **k != AttackKind::Honest)
+            .filter(|k| {
+                let s = k.name();
+                let (Some(vol_def), Some(vol_open)) = (
+                    self.mean("tycoon", s, "volatility"),
+                    self.mean("tycoon_open", s, "volatility"),
+                ) else {
+                    return false;
+                };
+                let (Some(fair_def), Some(fair_open)) = (
+                    self.mean("tycoon", s, "fairness"),
+                    self.mean("tycoon_open", s, "fairness"),
+                ) else {
+                    return false;
+                };
+                vol_def < vol_open && (base_def - fair_def) < (base_open - fair_open)
+            })
+            .map(|k| k.name())
+            .collect()
+    }
+}
+
+/// Run a sub-matrix: `policies × strategies`, all cells through one flat
+/// tagged Monte-Carlo fan-out, regrouped per cell afterwards.
+pub fn matrix_with(
+    args: McArgs,
+    policies: &[&'static str],
+    strategies: &[AttackKind],
+) -> AttackMatrix {
+    let cfg = attack_cfg();
+    let seeds = seed_stream(args.base_seed, args.seeds);
+    let mc = chaos_runner(args.threads).confidence(args.confidence);
+
+    let tags: Vec<(&'static str, AttackKind)> = policies
+        .iter()
+        .flat_map(|&p| strategies.iter().map(move |&k| (p, k)))
+        .collect();
+    let items: Vec<(u64, (&'static str, AttackKind))> = seeds
+        .iter()
+        .flat_map(|&s| tags.iter().map(move |&t| (s, t)))
+        .collect();
+    let batch = {
+        let cfg = cfg.clone();
+        mc.run_tagged(&items, move |seed, &(policy, kind)| {
+            attack_cell(policy, kind, seed, &cfg)
+        })
+    };
+
+    type CellRows = Vec<(&'static str, f64)>;
+    let n = tags.len();
+    let confidence = batch.confidence();
+    let mut grouped: Vec<Vec<McOutcome<CellRows>>> = (0..n).map(|_| Vec::new()).collect();
+    for o in batch.outcomes {
+        let cell = o.index % n;
+        let seed_index = o.index / n;
+        grouped[cell].push(McOutcome {
+            seed: o.seed,
+            index: seed_index,
+            result: o.result.map_err(|mut f| {
+                f.index = seed_index;
+                f
+            }),
+        });
+    }
+    // Regroup policy-major: cells of one policy stay adjacent in the
+    // report regardless of the fan-out interleaving.
+    let cells: Vec<AttackCell> = grouped
+        .into_iter()
+        .zip(tags)
+        .map(|(outcomes, (policy, kind))| {
+            let b = McBatch::from_outcomes(outcomes, confidence);
+            AttackCell {
+                policy,
+                strategy: kind.name(),
+                report: b.report(Clone::clone),
+                failures: b.failures().cloned().collect(),
+            }
+        })
+        .collect();
+
+    let mut rendered = format!(
+        "Adversarial attack matrix: {} seeds (base {:#x}), {} threads\n\
+         world: {} hosts, {} honest users x {} credits, aggression {}x, 2 cohort arrivals/run\n\
+         tycoon = default guard (DESIGN.md \u{a7}16), tycoon_open = defenses disabled\n\n",
+        args.seeds, args.base_seed, args.threads, cfg.hosts, cfg.users, cfg.funding, AGGRESSION
+    );
+    rendered.push_str(&format!(
+        "{:<14} {:<18} {:>9} {:>11} {:>9} {:>10} {:>9}\n",
+        "policy", "strategy", "fairness", "welfare", "miss", "volatility", "advnodes"
+    ));
+    for c in &cells {
+        let m = |name: &str| c.report.metric(name).map(|s| s.mean).unwrap_or(f64::NAN);
+        rendered.push_str(&format!(
+            "{:<14} {:<18} {:>9.3} {:>11.2} {:>9.3} {:>10.4} {:>9.3}\n",
+            c.policy,
+            c.strategy,
+            m("fairness"),
+            m("honest_welfare"),
+            m("honest_miss_rate"),
+            m("volatility"),
+            m("adversary_nodes"),
+        ));
+        for f in &c.failures {
+            rendered.push_str(&format!("  QUARANTINED {f}\n"));
+        }
+    }
+    AttackMatrix { cells, rendered }
+}
+
+/// The full attack matrix: every policy row against every strategy
+/// column (`just attack-matrix`).
+pub fn matrix(args: McArgs) -> AttackMatrix {
+    matrix_with(args, &ATTACK_POLICIES, &AttackKind::ALL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> McArgs {
+        McArgs {
+            seeds: 3,
+            base_seed: 0xA77AC,
+            threads: 4,
+            confidence: 0.95,
+        }
+    }
+
+    /// The tycoon-only duel behind the acceptance criterion, small
+    /// enough for the test suite.
+    fn duel(strategies: &[AttackKind]) -> AttackMatrix {
+        let mut with_honest = vec![AttackKind::Honest];
+        with_honest.extend_from_slice(strategies);
+        matrix_with(tiny(), &["tycoon", "tycoon_open"], &with_honest)
+    }
+
+    #[test]
+    fn defenses_reduce_volatility_and_fairness_degradation_under_attack() {
+        let m = duel(&[AttackKind::BudgetHoard, AttackKind::ShillPair]);
+        assert_eq!(m.total_quarantined(), 0, "{}", m.rendered);
+        let wins = m.defense_wins();
+        assert!(
+            wins.contains(&"budget_hoard") && wins.contains(&"shill_pair"),
+            "defenses must win on both attack strategies, got {wins:?}\n{}",
+            m.rendered
+        );
+        // The attacks actually fire: the defended market quarantines the
+        // hoarder and the shill while the open market lets them through,
+        // and the welfare/deadline damage lands only on the open market.
+        for s in ["budget_hoard", "shill_pair"] {
+            assert!(
+                m.mean("tycoon", s, "quarantined").unwrap_or(0.0) > 0.0,
+                "guard must quarantine under {s}\n{}",
+                m.rendered
+            );
+            assert_eq!(
+                m.mean("tycoon_open", s, "quarantined"),
+                Some(0.0),
+                "open market never quarantines"
+            );
+            let welfare_def = m.mean("tycoon", s, "honest_welfare").unwrap_or(0.0);
+            let welfare_open = m.mean("tycoon_open", s, "honest_welfare").unwrap_or(0.0);
+            assert!(
+                welfare_def > welfare_open,
+                "defenses must preserve honest welfare under {s}: \
+                 {welfare_def} vs {welfare_open}\n{}",
+                m.rendered
+            );
+            let miss_def = m.mean("tycoon", s, "honest_miss_rate").unwrap_or(1.0);
+            let miss_open = m.mean("tycoon_open", s, "honest_miss_rate").unwrap_or(0.0);
+            assert!(
+                miss_def < miss_open,
+                "defenses must cut honest deadline misses under {s}: \
+                 {miss_def} vs {miss_open}\n{}",
+                m.rendered
+            );
+        }
+    }
+
+    #[test]
+    fn honest_cohort_runs_identically_with_defenses_on_and_off() {
+        // False-positive gate: with only honest bidders (including the
+        // honest-baseline cohort), the guard's thresholds are never
+        // reached and the defended market's metrics match the open
+        // market's bit for bit.
+        let m = duel(&[]);
+        assert_eq!(m.total_quarantined(), 0, "{}", m.rendered);
+        let def = m.cell("tycoon", "honest").expect("defended honest cell");
+        let open = m.cell("tycoon_open", "honest").expect("open honest cell");
+        for name in [
+            "fairness",
+            "honest_welfare",
+            "honest_miss_rate",
+            "adversary_nodes",
+            "volatility",
+            "revenue",
+        ] {
+            let d = def.report.metric(name).expect(name);
+            let o = open.report.metric(name).expect(name);
+            assert_eq!(d.mean.to_bits(), o.mean.to_bits(), "metric {name} drifted");
+            assert_eq!(d.max.to_bits(), o.max.to_bits(), "metric {name} drifted");
+        }
+        assert_eq!(m.mean("tycoon", "honest", "quarantined"), Some(0.0));
+    }
+
+    #[test]
+    fn matrix_is_deterministic_across_thread_counts() {
+        let strategies = [AttackKind::Honest, AttackKind::ZeroIntelligence];
+        let a = matrix_with(McArgs { threads: 1, ..tiny() }, &["tycoon", "fifo"], &strategies);
+        let b = matrix_with(McArgs { threads: 4, ..tiny() }, &["tycoon", "fifo"], &strategies);
+        let strip = |s: &str| s.split_once('\n').map(|(_, rest)| rest.to_owned()).unwrap_or_default();
+        assert_eq!(strip(&a.rendered), strip(&b.rendered));
+    }
+
+    #[test]
+    fn every_policy_survives_every_strategy() {
+        // One seed across the full roster: no policy may crash or leak
+        // money when the hostile stream hits it.
+        let args = McArgs { seeds: 1, ..tiny() };
+        let m = matrix(args);
+        assert_eq!(m.total_quarantined(), 0, "{}", m.rendered);
+        assert_eq!(m.cells.len(), ATTACK_POLICIES.len() * AttackKind::ALL.len());
+        for c in &m.cells {
+            assert_eq!(c.report.completed, 1, "cell {}/{}", c.policy, c.strategy);
+            assert!(c.report.metric("fairness").is_some());
+        }
+    }
+}

@@ -33,6 +33,7 @@
 //! machines; ours is a simulator) — the *shapes* are asserted in
 //! `tests/experiments.rs` and recorded in `EXPERIMENTS.md`.
 
+pub mod ext_attack;
 pub mod ext_scaling;
 pub mod ext_sweep;
 pub mod ext_vcg;

@@ -99,7 +99,7 @@ impl McChaos {
 /// The job stream every baseline runs under — byte-for-byte the stream
 /// [`ChaosConfig::scenario`] builds internally (same stagger, work,
 /// budgets), so the only experimental variable is the policy.
-fn job_stream(cfg: &ChaosConfig) -> Vec<JobRequest> {
+pub(crate) fn job_stream(cfg: &ChaosConfig) -> Vec<JobRequest> {
     let workload = BioWorkload {
         subjobs: cfg.subjobs,
         chunk_minutes: cfg.chunk_minutes,

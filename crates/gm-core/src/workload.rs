@@ -10,7 +10,7 @@ use gm_tycoon::UserId;
 use crate::policy::PolicyError;
 
 /// A job as every policy sees it: a bag of equally-sized sub-jobs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JobRequest {
     /// Job id (unique within a run).
     pub id: u32,

@@ -440,10 +440,13 @@ impl AllocationPolicy for VcgSlaPolicy {
                 self.bank_online = true;
                 self.drain_queue();
             }
+            // Adversary cohorts arrive as extra job requests through the
+            // shared driver; the fault event itself needs no VCG action.
             FaultKind::LinkDown
             | FaultKind::LinkUp
             | FaultKind::MessageDelay
-            | FaultKind::MessageDrop => {}
+            | FaultKind::MessageDrop
+            | FaultKind::AdversaryArrival => {}
         }
     }
 

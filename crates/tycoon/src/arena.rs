@@ -53,6 +53,11 @@ pub struct HostArena {
     /// Epoch price: spot published at the last tick boundary. Initialised
     /// to the host's reserve rate (the idle spot) on insert.
     published_spot: Vec<f64>,
+    /// Remaining price-band circuit-breaker cooldown ticks (DESIGN.md
+    /// §16). `0` = breaker disengaged. Maintained at publication time —
+    /// single-threaded in both tick paths — so it is byte-identical at
+    /// any shard count.
+    breaker_cooldown: Vec<u32>,
 }
 
 impl HostArena {
@@ -69,6 +74,7 @@ impl HostArena {
             occupied: Vec::new(),
             live: Vec::new(),
             published_spot: Vec::new(),
+            breaker_cooldown: Vec::new(),
         }
     }
 
@@ -127,6 +133,7 @@ impl HostArena {
                 self.occupied[s] = true;
                 self.live[s] = true;
                 self.published_spot[s] = idle_spot;
+                self.breaker_cooldown[s] = 0;
                 s
             }
             None => {
@@ -138,6 +145,7 @@ impl HostArena {
                 self.occupied.push(true);
                 self.live.push(true);
                 self.published_spot.push(idle_spot);
+                self.breaker_cooldown.push(0);
                 s
             }
         };
@@ -216,6 +224,16 @@ impl HostArena {
     /// Publish `spot` as `slot`'s epoch price at a tick boundary.
     pub fn publish_spot(&mut self, slot: usize, spot: f64) {
         self.published_spot[slot] = spot;
+    }
+
+    /// Remaining circuit-breaker cooldown ticks of `slot` (DESIGN.md §16).
+    pub fn breaker_cooldown(&self, slot: usize) -> u32 {
+        self.breaker_cooldown[slot]
+    }
+
+    /// Store `slot`'s circuit-breaker cooldown at publication time.
+    pub fn set_breaker_cooldown(&mut self, slot: usize, ticks: u32) {
+        self.breaker_cooldown[slot] = ticks;
     }
 
     /// The columns the parallel sweep needs, borrowed disjointly: the
@@ -301,6 +319,21 @@ mod tests {
         assert!(a.published_spot(s) > 0.0);
         a.publish_spot(s, 0.5);
         assert_eq!(a.published_spot(s), 0.5);
+        // Breaker state starts disengaged and is a plain dense column.
+        assert_eq!(a.breaker_cooldown(s), 0);
+        a.set_breaker_cooldown(s, 6);
+        assert_eq!(a.breaker_cooldown(s), 6);
+    }
+
+    #[test]
+    fn freed_slot_reuse_resets_breaker_cooldown() {
+        let mut a = arena_with(&[0, 1]);
+        let s = a.slot_of(HostId(1)).unwrap();
+        a.set_breaker_cooldown(s, 4);
+        a.remove(HostId(1)).unwrap();
+        let reused = a.insert(Auctioneer::new(HostSpec::testbed(9)), AccountId(9));
+        assert_eq!(reused, s);
+        assert_eq!(a.breaker_cooldown(reused), 0, "stale breaker state must not leak");
     }
 
     #[test]

@@ -253,6 +253,43 @@ impl Auctioneer {
         out
     }
 
+    /// Evict only the live bids funded by `payer`, returning them in
+    /// deterministic handle order; every other bid keeps its position.
+    ///
+    /// This is the quarantine path (DESIGN.md §16): when an account is
+    /// quarantined the market evicts its bids host by host and refunds
+    /// each returned escrow, exactly like the crash path but selective.
+    /// One stable in-place compaction, same shape as exhaustion sweeping.
+    pub fn evict_funded_by_payer(&mut self, payer: AccountId) -> Vec<EvictedBid> {
+        let mut out = Vec::new();
+        let mut w = 0;
+        for r in 0..self.lane.len() {
+            if self.lane.payers[r] == Some(payer) {
+                out.push((
+                    BidHandle(self.lane.handles[r]),
+                    self.lane.users[r],
+                    self.lane.escrows[r],
+                    self.lane.payers[r],
+                ));
+            } else {
+                if w != r {
+                    self.lane.handles[w] = self.lane.handles[r];
+                    self.lane.users[w] = self.lane.users[r];
+                    self.lane.rates[w] = self.lane.rates[r];
+                    self.lane.escrows[w] = self.lane.escrows[r];
+                    self.lane.payers[w] = self.lane.payers[r];
+                }
+                w += 1;
+            }
+        }
+        self.lane.handles.truncate(w);
+        self.lane.users.truncate(w);
+        self.lane.rates.truncate(w);
+        self.lane.escrows.truncate(w);
+        self.lane.payers.truncate(w);
+        out
+    }
+
     /// Add funds to a live bid ("performance boosting" in §3).
     pub fn top_up(&mut self, handle: BidHandle, extra: Credits) -> bool {
         assert!(extra.is_positive(), "top-up must be positive");
@@ -588,6 +625,30 @@ mod tests {
         );
         assert_eq!(a.live_bids(), 0);
         assert_eq!(a.funded_bids(), 0);
+    }
+
+    #[test]
+    fn evict_funded_by_payer_is_selective_and_order_preserving() {
+        let mut a = auctioneer();
+        let h1 = a.place_funded_bid(UserId(1), 0.1, Credits::from_whole(5), Some(AccountId(3)));
+        let h2 = a.place_funded_bid(UserId(2), 0.2, Credits::from_whole(7), Some(AccountId(9)));
+        let h3 = a.place_funded_bid(UserId(1), 0.3, Credits::from_whole(2), Some(AccountId(3)));
+        let h4 = a.place_bid(UserId(4), 0.1, Credits::from_whole(1));
+        let evicted = a.evict_funded_by_payer(AccountId(3));
+        assert_eq!(
+            evicted,
+            vec![
+                (h1, UserId(1), Credits::from_whole(5), Some(AccountId(3))),
+                (h3, UserId(1), Credits::from_whole(2), Some(AccountId(3))),
+            ]
+        );
+        // Survivors keep their handles, payers, and relative order.
+        assert_eq!(a.live_bids(), 2);
+        assert_eq!(a.payer(h2), Some(AccountId(9)));
+        assert_eq!(a.payer(h4), None);
+        assert_eq!(a.payer(h1), None, "evicted bid is gone");
+        // A second sweep for the same payer is a no-op.
+        assert!(a.evict_funded_by_payer(AccountId(3)).is_empty());
     }
 
     #[test]

@@ -26,11 +26,16 @@
 //! * [`transport`] — deterministic lossy links, bounded mailboxes with
 //!   load shedding, and per-endpoint circuit breakers for the live
 //!   runtime (`DESIGN.md` §12).
+//! * [`guard`] — market defenses against strategic bidders: per-account
+//!   bid-rate limiting with seeded-jitter backoff, account quarantine
+//!   with escrow refunds, and the per-host price-band circuit breaker
+//!   (`DESIGN.md` §16).
 
 pub mod arena;
 pub mod auction;
 pub mod bank;
 pub mod best_response;
+pub mod guard;
 pub mod host;
 pub mod ledger;
 pub mod market;
@@ -45,6 +50,7 @@ pub use arena::HostArena;
 pub use auction::{Allocation, Auctioneer, BidHandle, EvictedBid, UserId};
 pub use bank::{AccountId, Bank, BankError, Receipt};
 pub use best_response::{best_response, utility, HostQuote};
+pub use guard::{GuardConfig, GuardVerdict, MarketGuard};
 pub use host::{HostId, HostSpec};
 pub use ledger::{
     AuditReport, BankEvent, BankSnapshot, ConservationAuditor, RecoverError, RecoveryReport,
@@ -56,7 +62,9 @@ pub use money::Credits;
 pub use pricestats::PriceStats;
 pub use service::{AuctioneerClient, BankClient, BankService, LiveMarket, NetConfig, ServiceError};
 pub use sls::Sls;
-pub use telemetry::{LedgerInstruments, MarketInstruments, NetInstruments, ServiceInstruments};
+pub use telemetry::{
+    GuardInstruments, LedgerInstruments, MarketInstruments, NetInstruments, ServiceInstruments,
+};
 pub use transport::{
     BreakerConfig, CircuitBreaker, LinkProfile, QueueConfig, QueueGate, ReplayCache,
     ServiceTransport, ShedPolicy,

@@ -28,6 +28,7 @@ use crate::arena::HostArena;
 use crate::auction::{Allocation, Auctioneer, BidHandle, UserId};
 use crate::bank::{AccountId, Bank, BankError};
 use crate::best_response::HostQuote;
+use crate::guard::{GuardConfig, GuardVerdict, MarketGuard};
 use crate::host::{HostId, HostSpec};
 use crate::ledger::{AuditReport, ConservationAuditor, RecoverError, RecoveryReport};
 use crate::money::Credits;
@@ -72,6 +73,10 @@ pub struct Market {
     journal: Option<SharedJournal>,
     /// `ledger.*` counters shared with the bank.
     ledger_telemetry: Option<LedgerInstruments>,
+    /// Strategic-bidder defenses (DESIGN.md §16): per-account rate
+    /// limiting, quarantine, and the price-band circuit breaker. Armed by
+    /// default with thresholds honest workloads never reach.
+    guard: MarketGuard,
 }
 
 /// What a host crash did to the market: each evicted bid with the escrow
@@ -179,7 +184,19 @@ impl Market {
             seed: seed.to_vec(),
             journal: None,
             ledger_telemetry: None,
+            guard: MarketGuard::new(GuardConfig::default()),
         }
+    }
+
+    /// Replace the guard layer's knobs (strike and quarantine books are
+    /// reset). [`GuardConfig::disabled`] restores the pre-guard market.
+    pub fn set_guard(&mut self, cfg: GuardConfig) {
+        self.guard = MarketGuard::new(cfg);
+    }
+
+    /// The guard layer's current state (knobs, strikes, quarantines).
+    pub fn guard(&self) -> &MarketGuard {
+        &self.guard
     }
 
     /// Attach telemetry: every subsequent market operation records into
@@ -450,7 +467,7 @@ impl Market {
         escrow: Credits,
     ) -> Result<BidHandle, MarketError> {
         let result = self.place_funded_bid_inner(user, payer, host, rate, escrow);
-        if let Some(t) = &self.telemetry {
+        if let Some(t) = self.telemetry.as_mut() {
             match &result {
                 Ok(_) => {
                     t.bids_placed.inc();
@@ -458,8 +475,11 @@ impl Market {
                 }
                 Err(e) => {
                     t.bids_rejected.inc();
-                    if matches!(e, MarketError::BankUnavailable) {
-                        t.bank_unavailable.inc();
+                    match e {
+                        MarketError::BankUnavailable => t.bank_unavailable.inc(),
+                        // Quarantine itself is counted where it happens.
+                        MarketError::RateLimited { .. } => t.guard().rate_limited.inc(),
+                        _ => {}
                     }
                 }
             }
@@ -485,6 +505,20 @@ impl Market {
             return Err(MarketError::BankUnavailable);
         }
         let slot = slot.ok_or(MarketError::NoSuchHost(host))?;
+        // Guard layer (DESIGN.md §16): vet the bid before any money moves.
+        match self.guard.vet_bid(payer, rate) {
+            Ok(()) => {}
+            Err(GuardVerdict::RateLimited { retry_after_secs }) => {
+                return Err(MarketError::RateLimited { retry_after_secs });
+            }
+            Err(GuardVerdict::Quarantined) => {
+                self.evict_and_refund_quarantined(payer);
+                return Err(MarketError::AccountQuarantined(payer));
+            }
+            Err(GuardVerdict::AlreadyQuarantined) => {
+                return Err(MarketError::AccountQuarantined(payer));
+            }
+        }
         self.bank.transfer(payer, self.arena.account(slot), escrow)?;
         let handle = self
             .arena
@@ -546,6 +580,9 @@ impl Market {
             return Err(MarketError::BankUnavailable);
         }
         let slot = slot.ok_or(MarketError::NoSuchHost(host))?;
+        if self.guard.vet_funding(payer).is_err() {
+            return Err(MarketError::AccountQuarantined(payer));
+        }
         if self.arena.auctioneer(slot).escrow(handle).is_none() {
             return Err(MarketError::NoSuchBid(host, handle));
         }
@@ -566,6 +603,28 @@ impl Market {
         rate: f64,
     ) -> Result<(), MarketError> {
         let slot = self.arena.slot_of(host).ok_or(MarketError::NoSuchHost(host))?;
+        // Guard layer (DESIGN.md §16): re-bids are vetted like placements —
+        // escalating a live bid past the rate cap is the cheapest way to
+        // spike a spot price, so the unguarded path would let an attacker
+        // place a tiny bid and then crank it each tick.
+        if let Some(payer) = self.arena.auctioneer(slot).payer(handle) {
+            match self.guard.vet_bid(payer, rate) {
+                Ok(()) => {}
+                Err(GuardVerdict::RateLimited { retry_after_secs }) => {
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.guard().rate_limited.inc();
+                    }
+                    return Err(MarketError::RateLimited { retry_after_secs });
+                }
+                Err(GuardVerdict::Quarantined) => {
+                    self.evict_and_refund_quarantined(payer);
+                    return Err(MarketError::AccountQuarantined(payer));
+                }
+                Err(GuardVerdict::AlreadyQuarantined) => {
+                    return Err(MarketError::AccountQuarantined(payer));
+                }
+            }
+        }
         if self.arena.auctioneer_mut(slot).update_rate(handle, rate) {
             Ok(())
         } else {
@@ -610,10 +669,8 @@ impl Market {
                     continue;
                 }
                 let (spot, allocations) = self.arena.auctioneer_mut(slot).sweep(dt);
-                if self.price_trace_enabled {
-                    self.price_trace.record(self.arena.label(slot), now, spot);
-                }
-                self.arena.publish_spot(slot, spot);
+                let published = self.republish(slot, now, spot);
+                self.arena.publish_spot(slot, published);
                 out.push((self.arena.id(slot), allocations));
             }
         } else {
@@ -641,10 +698,8 @@ impl Market {
             for i in 0..self.arena.len() {
                 let slot = self.arena.ordered_slots()[i] as usize;
                 if let Some((spot, allocations)) = sweep[slot].take() {
-                    if self.price_trace_enabled {
-                        self.price_trace.record(self.arena.label(slot), now, spot);
-                    }
-                    self.arena.publish_spot(slot, spot);
+                    let published = self.republish(slot, now, spot);
+                    self.arena.publish_spot(slot, published);
                     out.push((self.arena.id(slot), allocations));
                 }
             }
@@ -659,6 +714,33 @@ impl Market {
         }
         out
     }
+
+    /// Run one slot's epoch-price publication through the breaker
+    /// (DESIGN.md §16): damp the raw tick-start `spot` against the slot's
+    /// previously published price, record the *published* value in the
+    /// price trace (the breaker protects exactly the external price
+    /// signals), update the breaker-cooldown column, and return the price
+    /// to publish. With the guard at rest this is bit-for-bit the raw
+    /// spot. Runs single-threaded in both tick paths, so breaker state is
+    /// byte-identical at any shard count.
+    fn republish(&mut self, slot: usize, now: SimTime, spot: f64) -> f64 {
+        let prev = self.arena.published_spot(slot);
+        let cooldown = self.arena.breaker_cooldown(slot);
+        let (published, new_cooldown, tripped) = self.guard.damp_republish(prev, spot, cooldown);
+        if cooldown != new_cooldown {
+            self.arena.set_breaker_cooldown(slot, new_cooldown);
+        }
+        if tripped {
+            if let Some(t) = self.telemetry.as_mut() {
+                t.guard().breaker_trips.inc();
+            }
+        }
+        if self.price_trace_enabled {
+            self.price_trace.record(self.arena.label(slot), now, published);
+        }
+        published
+    }
+
 
     /// Spot prices of all hosts (deterministic order). These are *live*
     /// prices — recomputed from the current bid lanes, reflecting any
@@ -760,6 +842,57 @@ impl Market {
         evicted.into_iter().map(|(h, u, e, _)| (h, u, e)).collect()
     }
 
+    /// Quarantine `account` by operator action (DESIGN.md §16): its live
+    /// bids on every host are evicted and the unspent escrows refunded —
+    /// the conservation-preserving crash-settlement book transfer, made
+    /// selective — and all further placements and top-ups from it fail
+    /// with [`MarketError::AccountQuarantined`]. Returns the number of
+    /// bids evicted. No-op returning 0 when the guard is disabled or the
+    /// account is already quarantined.
+    pub fn quarantine_account(&mut self, account: AccountId) -> usize {
+        if !self.guard.quarantine(account) {
+            return 0;
+        }
+        self.evict_and_refund_quarantined(account)
+    }
+
+    /// Lift a quarantine (operator action); the strike count is cleared.
+    pub fn release_account(&mut self, account: AccountId) -> bool {
+        self.guard.release(account)
+    }
+
+    /// Evict and refund every bid funded by the freshly-quarantined
+    /// `account` across all hosts, and count the quarantine in telemetry.
+    /// Like crash settlement, the refunds are internal book transfers and
+    /// deliberately ignore a concurrent bank outage.
+    fn evict_and_refund_quarantined(&mut self, account: AccountId) -> usize {
+        let slots: Vec<usize> = self.arena.ordered_slots().iter().map(|&s| s as usize).collect();
+        let mut evicted_total = 0usize;
+        for slot in slots {
+            let host_account = self.arena.account(slot);
+            let evicted = self.arena.auctioneer_mut(slot).evict_funded_by_payer(account);
+            for (_handle, _user, escrow, payer) in &evicted {
+                if let (Some(payer), true) = (payer, escrow.is_positive()) {
+                    self.bank
+                        .transfer(host_account, *payer, *escrow)
+                        .expect("quarantine refund cannot fail: escrow is backed by host account");
+                    if let Some(t) = &self.telemetry {
+                        t.refunds.inc();
+                        t.bank_transfers.inc();
+                    }
+                }
+            }
+            evicted_total += evicted.len();
+        }
+        if let Some(t) = self.telemetry.as_mut() {
+            t.evictions.add(evicted_total as u64);
+            let g = t.guard();
+            g.quarantines.inc();
+            g.refunded_bids.add(evicted_total as u64);
+        }
+        evicted_total
+    }
+
     /// Bring a crashed host back online, empty (no bids, no residue of the
     /// crash). No-op `Ok` if the host exists but was never crashed.
     pub fn recover_host(&mut self, id: HostId) -> Result<(), MarketError> {
@@ -849,6 +982,17 @@ pub enum MarketError {
     HostOffline(HostId),
     /// The bank is in an injected outage window; retry after it lifts.
     BankUnavailable,
+    /// The guard layer rejected the bid's rate (over
+    /// [`crate::guard::GuardConfig::max_bid_rate`]); retry no sooner than
+    /// the advised seconds (deterministic seeded-jitter backoff,
+    /// DESIGN.md §16).
+    RateLimited {
+        /// Backoff advice in seconds.
+        retry_after_secs: u32,
+    },
+    /// The paying account is quarantined by the guard layer; its escrows
+    /// have been refunded and it can place no further bids.
+    AccountQuarantined(AccountId),
 }
 
 impl From<BankError> for MarketError {
@@ -865,6 +1009,12 @@ impl std::fmt::Display for MarketError {
             MarketError::Bank(e) => write!(f, "bank error: {e}"),
             MarketError::HostOffline(h) => write!(f, "host {h} is offline"),
             MarketError::BankUnavailable => write!(f, "bank is unavailable"),
+            MarketError::RateLimited { retry_after_secs } => {
+                write!(f, "bid rate limited; retry after {retry_after_secs}s")
+            }
+            MarketError::AccountQuarantined(a) => {
+                write!(f, "account {a:?} is quarantined")
+            }
         }
     }
 }
@@ -1308,6 +1458,9 @@ mod tests {
         // bids — across cancellation, exhaustion, eviction and recovery —
         // so the index can never grow beyond the live funded bids.
         let (mut m, acct) = market_with_user(3, 1_000_000);
+        // The exhaust-in-one-tick bids run hotter than the guard's rate
+        // cap; this test is about payer bookkeeping, not defenses.
+        m.set_guard(GuardConfig::disabled());
         let mut tick = 0u64;
         for round in 0..50 {
             for i in 0..3 {
@@ -1336,6 +1489,139 @@ mod tests {
             assert_eq!(m.payer_index_len(), 0, "round {round} ends clean");
         }
         assert_eq!(m.bank().total_money(), Credits::from_whole(1_000_000), "churn conserves money");
+    }
+
+    #[test]
+    fn over_limit_bidder_is_rate_limited_then_quarantined_with_refunds() {
+        let (mut m, acct) = market_with_user(2, 1000);
+        // An honest bid first, so quarantine has something to refund.
+        m.place_funded_bid(UserId(1), acct, HostId(0), 0.05, Credits::from_whole(40))
+            .unwrap();
+        assert_eq!(m.bank().balance(acct).unwrap(), Credits::from_whole(960));
+
+        // Two over-cap bids strike with escalating backoff advice ...
+        let e1 = m
+            .place_funded_bid(UserId(1), acct, HostId(1), 50.0, Credits::from_whole(100))
+            .unwrap_err();
+        let e2 = m
+            .place_funded_bid(UserId(1), acct, HostId(1), 50.0, Credits::from_whole(100))
+            .unwrap_err();
+        let (MarketError::RateLimited { retry_after_secs: r1 },
+             MarketError::RateLimited { retry_after_secs: r2 }) = (e1, e2)
+        else {
+            panic!("over-cap bids must be rate limited, got {e1:?} / {e2:?}");
+        };
+        assert!(r2 > r1, "backoff advice must escalate");
+        // ... no money moved on a rejected bid.
+        assert_eq!(m.bank().balance(acct).unwrap(), Credits::from_whole(960));
+
+        // The third strike quarantines: the honest bid is evicted and its
+        // escrow refunded, conserving money.
+        let e3 = m
+            .place_funded_bid(UserId(1), acct, HostId(1), 50.0, Credits::from_whole(100))
+            .unwrap_err();
+        assert_eq!(e3, MarketError::AccountQuarantined(acct));
+        assert!(m.guard().is_quarantined(acct));
+        assert_eq!(m.bank().balance(acct).unwrap(), Credits::from_whole(1000));
+        assert_eq!(m.payer_index_len(), 0, "quarantine evicts the account's bids");
+        assert_eq!(m.bank().total_money(), Credits::from_whole(1000));
+
+        // Quarantined accounts cannot bid at any rate — until released.
+        let e4 = m
+            .place_funded_bid(UserId(1), acct, HostId(0), 0.05, Credits::from_whole(1))
+            .unwrap_err();
+        assert_eq!(e4, MarketError::AccountQuarantined(acct));
+        assert!(m.release_account(acct));
+        m.place_funded_bid(UserId(1), acct, HostId(0), 0.05, Credits::from_whole(1))
+            .unwrap();
+    }
+
+    #[test]
+    fn over_limit_rebid_is_vetted_like_a_placement() {
+        // The cheapest spike is a tiny compliant bid cranked via re-bids:
+        // `update_bid_rate` must strike and eventually quarantine exactly
+        // like `place_funded_bid` does.
+        let (mut m, acct) = market_with_user(1, 1000);
+        let h = m
+            .place_funded_bid(UserId(1), acct, HostId(0), 0.05, Credits::from_whole(40))
+            .unwrap();
+        // Compliant re-bids pass untouched.
+        m.update_bid_rate(HostId(0), h, 0.08).unwrap();
+
+        let e1 = m.update_bid_rate(HostId(0), h, 50.0).unwrap_err();
+        let e2 = m.update_bid_rate(HostId(0), h, 50.0).unwrap_err();
+        let (MarketError::RateLimited { retry_after_secs: r1 },
+             MarketError::RateLimited { retry_after_secs: r2 }) = (e1, e2)
+        else {
+            panic!("over-cap re-bids must be rate limited, got {e1:?} / {e2:?}");
+        };
+        assert!(r2 > r1, "backoff advice must escalate");
+        // The rejected update leaves the accepted rate live.
+        assert!((m.auctioneer(HostId(0)).unwrap().total_bid_rate() - 0.08).abs() < 1e-12);
+
+        // Third strike quarantines: the bid is evicted, escrow refunded.
+        let e3 = m.update_bid_rate(HostId(0), h, 50.0).unwrap_err();
+        assert_eq!(e3, MarketError::AccountQuarantined(acct));
+        assert!(m.guard().is_quarantined(acct));
+        assert_eq!(m.bank().balance(acct).unwrap(), Credits::from_whole(1000));
+        assert_eq!(m.payer_index_len(), 0);
+        assert_eq!(m.bank().total_money(), Credits::from_whole(1000));
+
+        // With the guard disabled the same escalation sails through.
+        let (mut m2, acct2) = market_with_user(1, 1000);
+        m2.set_guard(GuardConfig::disabled());
+        let h2 = m2
+            .place_funded_bid(UserId(1), acct2, HostId(0), 0.05, Credits::from_whole(40))
+            .unwrap();
+        m2.update_bid_rate(HostId(0), h2, 50.0).unwrap();
+        assert!((m2.auctioneer(HostId(0)).unwrap().total_bid_rate() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarantined_account_cannot_top_up_surviving_bids() {
+        let (mut m, acct) = market_with_user(1, 1000);
+        let h = m
+            .place_funded_bid(UserId(1), acct, HostId(0), 0.05, Credits::from_whole(10))
+            .unwrap();
+        assert_eq!(m.quarantine_account(acct), 1);
+        // The bid is gone, but even against a stale handle the guard's
+        // verdict comes first.
+        let err = m.top_up_bid(HostId(0), h, acct, Credits::from_whole(5)).unwrap_err();
+        assert_eq!(err, MarketError::AccountQuarantined(acct));
+        assert_eq!(m.bank().balance(acct).unwrap(), Credits::from_whole(1000));
+    }
+
+    #[test]
+    fn breaker_damps_published_spike_but_not_live_spot() {
+        // Five per-bid-compliant bids stack the spot far beyond the band:
+        // the breaker clamps the *published* epoch price (and the trace)
+        // while the live spot — what charging uses — stays raw.
+        let (mut m, acct) = market_with_user(1, 1000);
+        for _ in 0..5 {
+            m.place_funded_bid(UserId(1), acct, HostId(0), 0.95, Credits::from_whole(100))
+                .unwrap();
+        }
+        let reserve = HostSpec::testbed(0).reserve_rate;
+        let raw = 5.0 * 0.95 + reserve;
+        m.tick(SimTime::from_secs(10));
+        let cfg = GuardConfig::default();
+        let clamped = cfg.breaker_floor * cfg.breaker_band;
+        assert!((m.published_spot(HostId(0)).unwrap() - clamped).abs() < 1e-12);
+        assert!((m.spot_prices()[0].1 - raw).abs() < 1e-12, "live spot stays raw");
+        // Cooldown slews the published price toward the raw spot over the
+        // following ticks instead of jumping.
+        m.tick(SimTime::from_secs(20));
+        let p2 = m.published_spot(HostId(0)).unwrap();
+        assert!(p2 > clamped && p2 <= clamped * cfg.breaker_band + 1e-12);
+        // An identical market with the guard disabled publishes raw at once.
+        let (mut m2, acct2) = market_with_user(1, 1000);
+        m2.set_guard(GuardConfig::disabled());
+        for _ in 0..5 {
+            m2.place_funded_bid(UserId(1), acct2, HostId(0), 0.95, Credits::from_whole(100))
+                .unwrap();
+        }
+        m2.tick(SimTime::from_secs(10));
+        assert!((m2.published_spot(HostId(0)).unwrap() - raw).abs() < 1e-12);
     }
 
     #[test]

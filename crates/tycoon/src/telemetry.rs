@@ -19,6 +19,17 @@
 //! | `market.bank_transfers` | counter   | successful bank book transfers           |
 //! | `market.bank_unavailable` | counter | operations refused by an outage window   |
 //! | `market.bank_outages`   | counter   | outage windows opened                    |
+//!
+//! Guard-layer metrics (`crate::guard`, DESIGN.md §16), registered
+//! **lazily on the first guard event** — honest runs (where the guard
+//! never fires) keep their historical byte-identical JSONL export:
+//!
+//! | name                         | kind    | meaning                               |
+//! |------------------------------|---------|---------------------------------------|
+//! | `market.guard.rate_limited`  | counter | bids rejected by the per-account cap  |
+//! | `market.guard.breaker_trips` | counter | price-band circuit-breaker trips      |
+//! | `market.guard.quarantines`   | counter | accounts quarantined                  |
+//! | `market.guard.refunded_bids` | counter | bids evicted+refunded by quarantines  |
 
 //!
 //! Live-service metrics (`crate::service`):
@@ -71,6 +82,9 @@ pub struct MarketInstruments {
     // index keeps the per-tick cost inside the 5 % budget where a map
     // lookup per host did not.
     spot: Vec<Option<Gauge>>,
+    // Guard counters, created on the first guard event so honest exports
+    // stay byte-identical (the NetInstruments lazy-opt-in pattern).
+    guard: Option<GuardInstruments>,
     /// `market.ticks`
     pub ticks: Counter,
     /// `market.tick_us`
@@ -99,6 +113,7 @@ impl MarketInstruments {
             registry: registry.clone(),
             clock,
             spot: Vec::new(),
+            guard: None,
             ticks: registry.counter("market.ticks"),
             tick_us: registry.histogram("market.tick_us"),
             bids_placed: registry.counter("market.bids_placed"),
@@ -127,6 +142,14 @@ impl MarketInstruments {
             .set(price);
     }
 
+    /// The lazily-registered `market.guard.*` counters, created on the
+    /// first guard event (rate limit, breaker trip, or quarantine) so
+    /// guard-silent runs export byte-identical JSONL.
+    pub fn guard(&mut self) -> &GuardInstruments {
+        self.guard
+            .get_or_insert_with(|| GuardInstruments::new(&self.registry))
+    }
+
     /// Bulk per-tick spot export: set the gauge of every live host from
     /// the arena's epoch price column (the price just published at this
     /// tick boundary). One pass, no per-host map lookups.
@@ -136,6 +159,34 @@ impl MarketInstruments {
             if arena.is_live(slot) {
                 self.set_spot(arena.id(slot), arena.published_spot(slot));
             }
+        }
+    }
+}
+
+/// Instrument handles for the market guard layer ([`crate::guard`]).
+/// Constructing one registers the `market.guard.*` counters, so only runs
+/// where a guard actually fired carry them in their export — reach them
+/// through [`MarketInstruments::guard`], never eagerly.
+#[derive(Clone)]
+pub struct GuardInstruments {
+    /// `market.guard.rate_limited`
+    pub rate_limited: Counter,
+    /// `market.guard.breaker_trips`
+    pub breaker_trips: Counter,
+    /// `market.guard.quarantines`
+    pub quarantines: Counter,
+    /// `market.guard.refunded_bids`
+    pub refunded_bids: Counter,
+}
+
+impl GuardInstruments {
+    /// Resolve the guard instruments against `registry`.
+    pub fn new(registry: &Registry) -> GuardInstruments {
+        GuardInstruments {
+            rate_limited: registry.counter("market.guard.rate_limited"),
+            breaker_trips: registry.counter("market.guard.breaker_trips"),
+            quarantines: registry.counter("market.guard.quarantines"),
+            refunded_bids: registry.counter("market.guard.refunded_bids"),
         }
     }
 }

@@ -26,6 +26,7 @@ fn run(seed: u64) -> ScenarioResult {
             bank_restarts: 1,
             link_outages: 1,
             link_outage_len: SimDuration::from_minutes(5),
+            adversary_arrivals: 0,
         },
     );
     Scenario::builder()

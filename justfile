@@ -115,3 +115,17 @@ scale-matrix:
 # verdict) to BENCH_scale.json at the repo root.
 bench-save-scale:
     cargo bench -p gm-bench --bench scale -- --save --check
+
+# Adversarial attack matrix (DESIGN.md §16): every allocation policy
+# (tycoon defended and open, VCG, the four baselines) against every
+# gm-adversary bidder strategy as one Monte-Carlo fan-out; `--check`
+# fails unless zero runs quarantined, the honest cohort is bit-identical
+# with defenses on and off, and the guard wins on >= 2 attack strategies.
+attack-matrix:
+    cargo test -q --test adversary
+    cargo run --release -p gm-experiments --bin attack -- --seeds 16 --check
+
+# Re-measure the guard-layer overhead budget (DESIGN.md §16) and write
+# the result to BENCH_attack.json at the repo root.
+bench-save-attack:
+    cargo bench -p gm-bench --bench attack -- --save

@@ -108,6 +108,13 @@ fn fixed_host_crashes_complete_on_survivors_and_replay_identically() {
     assert_eq!(r.telemetry_jsonl, again.telemetry_jsonl);
     assert!(r.telemetry_jsonl.contains("\"fault.host_crash\""));
     assert_eq!(r.metrics.counters["grid.host_crashes"], 2);
+
+    // The guard's and the adversary library's instruments are lazy
+    // (DESIGN.md §16): an honest chaos run never registers them, so the
+    // default telemetry export stays byte-compatible with pre-guard
+    // builds even while defenses are armed.
+    assert!(!r.telemetry_jsonl.contains("market.guard"));
+    assert!(!r.telemetry_jsonl.contains("adversary."));
 }
 
 #[test]
@@ -145,6 +152,7 @@ fn random_fault_schedules_conserve_money_and_never_double_complete() {
             bank_restarts: g.usize_in(0, 2) as u32,
             link_outages: g.usize_in(0, 2) as u32,
             link_outage_len: SimDuration::from_minutes(g.usize_in(2, 10) as u64),
+            adversary_arrivals: 0,
         };
         let plan = FaultPlan::generate(g.u64(), cfg);
         let r = Scenario::builder()

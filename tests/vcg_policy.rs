@@ -42,6 +42,7 @@ fn chaos_plan(seed: u64, n_hosts: u32) -> FaultPlan {
             bank_restarts: 1,
             link_outages: 1,
             link_outage_len: SimDuration::from_secs(300),
+            adversary_arrivals: 0,
         },
     )
 }
